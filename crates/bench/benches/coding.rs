@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks: encoding and decoding costs.
+//!
+//! Switch-side encode must run at line rate; the Recording/Inference side
+//! targets near-linear decoding (§4.2).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pint_core::coding::perfect::BlockDecoder;
+use pint_core::coding::SchemeConfig;
+use pint_core::hash::HashFamily;
+use pint_core::statictrace::{PathTracer, TracerConfig};
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode");
+    let tracer = PathTracer::new(TracerConfig::paper(8, 2, 10));
+    g.bench_function("path_hop_2x8bit", |b| {
+        let mut digest = tracer.new_digest();
+        let mut pid = 0u64;
+        b.iter(|| {
+            pid += 1;
+            tracer.encode_hop(pid, 3, 77, &mut digest);
+            black_box(&digest);
+        })
+    });
+    let single = PathTracer::new(TracerConfig::paper(8, 1, 10));
+    g.bench_function("path_hop_1x8bit", |b| {
+        let mut digest = single.new_digest();
+        let mut pid = 0u64;
+        b.iter(|| {
+            pid += 1;
+            single.encode_hop(pid, 3, 77, &mut digest);
+            black_box(&digest);
+        })
+    });
+    g.finish();
+}
+
+fn bench_classify(c: &mut Criterion) {
+    // §4.2 "Reducing the Decoding Complexity": the bit-vector membership
+    // test vs per-hop hash evaluation, k = 64.
+    let mut g = c.benchmark_group("classify");
+    let fam = HashFamily::new(9, 0);
+    let scheme = SchemeConfig::multilayer(16);
+    g.bench_function("per_hop_hashes_k64", |b| {
+        let mut pid = 0u64;
+        b.iter(|| {
+            pid += 1;
+            black_box(scheme.classify(&fam, pid, 64))
+        })
+    });
+    g.bench_function("bitvector_k64", |b| {
+        let mut pid = 0u64;
+        b.iter(|| {
+            pid += 1;
+            black_box(scheme.classify_fast(&fam, pid, 64))
+        })
+    });
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode");
+    g.sample_size(20);
+    for &k in &[10usize, 25, 59] {
+        g.bench_with_input(BenchmarkId::new("block_full_decode", k), &k, |b, &k| {
+            b.iter(|| {
+                let fam = HashFamily::new(3, 0);
+                let mut dec = BlockDecoder::new(SchemeConfig::multilayer(10), fam, k);
+                let mut pid = 0u64;
+                while !dec.is_complete() {
+                    pid += 1;
+                    dec.absorb(pid);
+                }
+                black_box(dec.packets())
+            })
+        });
+    }
+    // Full hashed path decode, the Fig. 10 workhorse.
+    for &k in &[5usize, 15, 30] {
+        g.bench_with_input(BenchmarkId::new("hashed_full_decode", k), &k, |b, &k| {
+            let universe: Vec<u64> = (0..157).collect();
+            let path: Vec<u64> = (0..k as u64).map(|i| (i * 13) % 157).collect();
+            let tracer = PathTracer::new(TracerConfig::paper(8, 2, 10));
+            b.iter(|| {
+                let mut dec = tracer.decoder(universe.clone(), k);
+                let mut pid = 0u64;
+                loop {
+                    pid += 1;
+                    if dec.absorb(pid, &tracer.encode_path(pid, &path)) {
+                        break;
+                    }
+                }
+                black_box(dec.packets())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_classify, bench_decode);
+criterion_main!(benches);

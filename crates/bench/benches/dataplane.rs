@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks: approximate data-plane arithmetic
+//! (Appendix B/C primitives).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pint_dataplane::{ApproxAlu, Fx, LogExpTables, SwitchUtilization};
+
+fn bench_dataplane(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataplane");
+    let t = LogExpTables::new(8, 20);
+    let alu = ApproxAlu::new(8);
+
+    g.bench_function("log2_int", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = (x.wrapping_mul(25214903917).wrapping_add(11)) | 1;
+            black_box(t.log2_int(x))
+        })
+    });
+    g.bench_function("exp2_fx", |b| {
+        let x = Fx::from_f64(13.37, 20);
+        b.iter(|| black_box(t.exp2_fx(x, 16)))
+    });
+    g.bench_function("mul_int", |b| {
+        let mut x = 7u64;
+        b.iter(|| {
+            x = (x.wrapping_mul(25214903917).wrapping_add(11)) % 1_000_000 + 1;
+            black_box(alu.mul_int(x, 12_345))
+        })
+    });
+    g.bench_function("ewma_update", |b| {
+        // The per-packet switch work of HPCC-over-PINT (Appendix B).
+        let mut su = SwitchUtilization::new(12, 13_000, 12.5);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 80;
+            black_box(su.on_packet_dequeue(now, 50_000, 1000))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dataplane);
+criterion_main!(benches);

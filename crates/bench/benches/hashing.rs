@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks: global hash throughput.
+//!
+//! The hashes run on every packet at every switch (§4.1), so their cost is
+//! the per-packet data-plane budget of a software PINT implementation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pint_core::hash::{acting_bitvec, mix64, GlobalHash, HashFamily};
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    let h = GlobalHash::new(42);
+    let fam = HashFamily::new(42, 0);
+
+    g.bench_function("mix64", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(mix64(x))
+        })
+    });
+    g.bench_function("hash2", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(h.hash2(x, 7))
+        })
+    });
+    g.bench_function("unit2", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(h.unit2(x, 7))
+        })
+    });
+    g.bench_function("value_digest_8bit", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(fam.value_digest(1234, x, 8))
+        })
+    });
+    g.bench_function("reservoir_winner_k25", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(fam.reservoir_winner(x, 25))
+        })
+    });
+    g.bench_function("acting_bitvec_k64_p1_8", |b| {
+        // The near-linear decode aid (§4.2 "Reducing the Decoding
+        // Complexity"): O(log 1/p) word ops instead of O(k) hashes.
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(acting_bitvec(&fam, x, 64, 1.0 / 8.0))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hashing);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion macro-benchmark: simulator event throughput.
+//!
+//! One iteration simulates 1 ms of a loaded 64-host fabric — the knob that
+//! determines how fast the Fig. 1/2/7/8 harnesses regenerate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pint_netsim::sim::{SimConfig, Simulator};
+use pint_netsim::telemetry::NoTelemetry;
+use pint_netsim::topology::Topology;
+use pint_netsim::transport::reno::Reno;
+use pint_netsim::workload::{FlowSizeCdf, WorkloadConfig};
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim");
+    g.sample_size(10);
+    g.bench_function("overhead_study_1ms_50pct", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(
+                Topology::overhead_study(),
+                SimConfig { end_time_ns: 1_000_000, ..SimConfig::default() },
+                Box::new(|meta| Box::new(Reno::new(meta))),
+                Box::new(NoTelemetry),
+            );
+            sim.add_workload(&WorkloadConfig {
+                cdf: FlowSizeCdf::hadoop(),
+                load: 0.5,
+                nic_bps: 10_000_000_000,
+                duration_ns: 1_000_000,
+                seed: 7,
+            });
+            black_box(sim.run().delivered_data_packets)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_netsim);
+criterion_main!(benches);

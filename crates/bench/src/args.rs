@@ -1,0 +1,65 @@
+//! A minimal `--key value` command-line parser (no external deps).
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()` of the form `--key value` or `--switch`.
+    pub fn parse() -> Self {
+        let mut flags = HashMap::new();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(key) = a.strip_prefix("--") {
+                let val = argv.get(i + 1).filter(|v| !v.starts_with("--"));
+                match val {
+                    Some(v) => {
+                        flags.insert(key.to_owned(), v.clone());
+                        i += 2;
+                    }
+                    None => {
+                        flags.insert(key.to_owned(), "true".to_owned());
+                        i += 1;
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Self { flags }
+    }
+
+    /// An integer flag with a default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// A float flag with a default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// A boolean switch.
+    pub fn get_bool(&self, key: &str) -> bool {
+        self.flags.get(key).is_some_and(|v| v == "true" || v == "1")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::default();
+        assert_eq!(a.get_u64("runs", 7), 7);
+        assert_eq!(a.get_f64("load", 0.5), 0.5);
+        assert!(!a.get_bool("full"));
+    }
+}

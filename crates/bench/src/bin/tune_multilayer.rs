@@ -1,0 +1,80 @@
+//! Parameter sweep for the multi-layer scheme (development aid).
+//!
+//! Sweeps the Baseline share τ and the XOR probability ladder to find the
+//! configuration that minimizes the mean packets-to-decode, within the
+//! structure Algorithm 1 prescribes (Baseline + L XOR layers with
+//! `p_ℓ = e↑↑(ℓ−1)/d`).
+
+use pint_core::coding::perfect::BlockDecoder;
+use pint_core::coding::SchemeConfig;
+use pint_core::hash::HashFamily;
+
+fn mean_packets(scheme: &SchemeConfig, k: usize, runs: u64) -> f64 {
+    let mut total = 0u64;
+    for r in 0..runs {
+        let fam = HashFamily::new(r * 7 + 1, 0);
+        let mut dec = BlockDecoder::new(scheme.clone(), fam, k);
+        let mut pid = r * 1_000_003;
+        loop {
+            pid += 1;
+            if dec.absorb(pid) {
+                break;
+            }
+        }
+        total += dec.packets();
+    }
+    total as f64 / runs as f64
+}
+
+fn main() {
+    let runs = 300;
+    // The paper's §6.3 configuration: d=10 regardless of actual path length
+    // (single XOR layer at p = 1/10).
+    for &k in &[5usize, 12, 25, 36, 59] {
+        for tau in [0.5, 0.667, 0.75] {
+            let eval10 = SchemeConfig { tau, xor_layers: vec![0.1] };
+            let eval10_2 = SchemeConfig { tau, xor_layers: vec![0.1, 0.27] };
+            println!(
+                "k={k:>2} tau={tau:.3} d=10 L1: {:>6.1}  d=10 L2(0.1,0.27): {:>6.1}",
+                mean_packets(&eval10, k, runs),
+                mean_packets(&eval10_2, k, runs)
+            );
+        }
+    }
+    for &k in &[25usize, 59] {
+        println!("=== k = {k} (d = k) ===");
+        println!(
+            "baseline: {:.1}",
+            mean_packets(&SchemeConfig::baseline(), k, runs)
+        );
+        println!(
+            "hybrid  : {:.1}",
+            mean_packets(&SchemeConfig::hybrid(k), k, runs)
+        );
+        let d = k as f64;
+        for tau in [0.45, 0.5, 0.55, 0.6, 0.667, 0.7, 0.75, 0.8] {
+            // L=1 and L=2 ladders.
+            let one = SchemeConfig { tau, xor_layers: vec![1.0 / d] };
+            let two = SchemeConfig {
+                tau,
+                xor_layers: vec![1.0 / d, std::f64::consts::E / d],
+            };
+            let three = SchemeConfig {
+                tau,
+                xor_layers: vec![1.0 / d, std::f64::consts::E / d, std::f64::consts::E.exp() / d],
+            };
+            // "loglog" style single layer like hybrid.
+            let lls = SchemeConfig {
+                tau,
+                xor_layers: vec![if d <= 15.0 { 1.0 / d.ln() } else { d.ln().ln() / d.ln() }],
+            };
+            println!(
+                "tau={tau:.3}  L1: {:>6.1}  L2: {:>6.1}  L3: {:>6.1}  loglog: {:>6.1}",
+                mean_packets(&one, k, runs),
+                mean_packets(&two, k, runs),
+                mean_packets(&three, k, runs),
+                mean_packets(&lls, k, runs),
+            );
+        }
+    }
+}

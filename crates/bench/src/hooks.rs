@@ -1,0 +1,230 @@
+//! Bench-specific telemetry hooks.
+//!
+//! * [`LatencyCollectorHook`] — records ground-truth per-(flow, hop) switch
+//!   latencies into shared storage (Fig. 9's input data).
+//! * [`CombinedPintHook`] — the Fig. 11 configuration: a 16-bit global
+//!   digest shared by three concurrent queries under a Query-Engine
+//!   execution plan (path tracing on every packet, latency on 15/16,
+//!   HPCC on 1/16).
+
+use pint_core::dynamic::DynamicAggregator;
+use pint_core::query::{AggregationKind, ExecutionPlan, QueryEngine, QuerySpec};
+use pint_core::statictrace::{PathTracer, TracerConfig};
+use pint_core::value::{Digest, MetadataKind};
+use pint_hpcc::HpccPintHook;
+use pint_netsim::packet::Packet;
+use pint_netsim::telemetry::{SwitchView, TelemetryHook};
+use pint_netsim::{FlowId, Nanos};
+use std::sync::{Arc, Mutex};
+
+/// One ground-truth latency observation.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencySample {
+    /// The flow the packet belonged to.
+    pub flow: FlowId,
+    /// The packet's unique ID (drives PINT's hashes on replay).
+    pub pid: u64,
+    /// 1-based hop index.
+    pub hop: u8,
+    /// Switch traversal latency, ns.
+    pub latency_ns: u32,
+}
+
+/// Records every data packet's per-hop latency (bounded by `cap`).
+pub struct LatencyCollectorHook {
+    /// Shared output buffer.
+    pub out: Arc<Mutex<Vec<LatencySample>>>,
+    /// Maximum samples retained.
+    pub cap: usize,
+}
+
+impl LatencyCollectorHook {
+    /// Creates a collector writing into `out`.
+    pub fn new(out: Arc<Mutex<Vec<LatencySample>>>, cap: usize) -> Self {
+        Self { out, cap }
+    }
+}
+
+impl TelemetryHook for LatencyCollectorHook {
+    fn initial_bytes(&self) -> u32 {
+        0
+    }
+
+    fn on_dequeue(&mut self, view: &SwitchView, pkt: &mut Packet) {
+        let mut out = self.out.lock().expect("poisoned");
+        if out.len() < self.cap {
+            out.push(LatencySample {
+                flow: pkt.flow,
+                pid: pkt.id,
+                hop: pkt.hop,
+                latency_ns: view.hop_latency_ns.min(u64::from(u32::MAX)) as u32,
+            });
+        }
+    }
+}
+
+/// Query IDs of the Fig. 11 plan.
+pub const Q_PATH: u32 = 1;
+/// Latency query ID.
+pub const Q_LATENCY: u32 = 2;
+/// HPCC query ID.
+pub const Q_HPCC: u32 = 3;
+
+/// Builds the §6.4 execution plan: path on every packet, latency on 15/16,
+/// HPCC on 1/16, under a 16-bit global budget.
+pub fn fig11_plan(seed: u64) -> ExecutionPlan {
+    let queries = [
+        QuerySpec::new(Q_PATH, "path", MetadataKind::SwitchId, AggregationKind::StaticPerFlow, 8),
+        QuerySpec::new(Q_LATENCY, "latency", MetadataKind::HopLatency, AggregationKind::DynamicPerFlow, 8)
+            .with_frequency(15.0 / 16.0),
+        QuerySpec::new(Q_HPCC, "hpcc", MetadataKind::EgressPortTxUtilization, AggregationKind::PerPacket, 8)
+            .with_frequency(1.0 / 16.0),
+    ];
+    QueryEngine::new(seed).plan(&queries, 16).expect("fig11 plan is feasible")
+}
+
+/// The Fig. 11 combined hook.
+///
+/// Wire budget: 2 bytes. Logical digest layout: lanes 0–1 carry the
+/// 8-bit path query as two independent 4-bit instances (§4.2 "Multiple
+/// Instantiations"); lane 2 carries whichever of the latency / HPCC
+/// queries the plan selected for this packet (8 bits).
+pub struct CombinedPintHook {
+    /// Compiled execution plan.
+    pub plan: Arc<ExecutionPlan>,
+    /// Path-tracing encoder: 2×(b=4).
+    pub path: PathTracer,
+    /// Latency encoder (8-bit budget → lane 2 when selected).
+    pub latency: DynamicAggregator,
+    /// HPCC utilization encoder (8-bit budget → lane 2 when selected).
+    pub hpcc: HpccPintHook,
+}
+
+impl CombinedPintHook {
+    /// Creates the hook plus the artifacts decoders need.
+    pub fn new(seed: u64, t_ns: Nanos, diameter: usize) -> Self {
+        Self {
+            plan: Arc::new(fig11_plan(seed)),
+            path: PathTracer::new(TracerConfig {
+                bits: 4,
+                instances: 2,
+                scheme: pint_core::SchemeConfig::multilayer(diameter),
+                seed: seed ^ 0x11AA,
+            }),
+            latency: DynamicAggregator::new(seed ^ 0x22BB, 8, 100.0, 1.0e5),
+            // Inner frequency 1.0: the plan gates which packets reach it.
+            hpcc: HpccPintHook::new(seed ^ 0x33CC, 1.0, t_ns, 0, 2, 3),
+        }
+    }
+}
+
+impl TelemetryHook for CombinedPintHook {
+    fn initial_bytes(&self) -> u32 {
+        2 // 16-bit global budget (§6.4)
+    }
+
+    fn on_dequeue(&mut self, view: &SwitchView, pkt: &mut Packet) {
+        if pkt.digest.lanes() < 3 {
+            pkt.digest = Digest::new(3);
+        }
+        let selected = self.plan.select(pkt.id);
+        if selected.contains(&Q_PATH) {
+            // Lanes 0–1: the two 4-bit path instances.
+            self.path.encode_hop(pkt.id, view.hop, view.switch as u64, &mut pkt.digest);
+        }
+        if selected.contains(&Q_LATENCY) {
+            self.latency.encode_hop(
+                pkt.id,
+                view.hop,
+                view.hop_latency_ns as f64,
+                &mut pkt.digest,
+                2,
+            );
+        }
+        if selected.contains(&Q_HPCC) {
+            self.hpcc.on_dequeue(view, pkt);
+        } else {
+            // Keep the per-port utilization EWMA current on every packet.
+            self.hpcc.advance_only(view, pkt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_pkt(id: u64) -> Packet {
+        Packet {
+            id,
+            flow: 1,
+            src: 0,
+            dst: 1,
+            kind: pint_netsim::packet::PacketKind::Data,
+            seq: 0,
+            payload: 100,
+            header: 40,
+            telemetry_bytes: 2,
+            hop: 1,
+            retransmitted: false,
+            digest: Digest::default(),
+            int_stack: Vec::new(),
+            sent_at: 0,
+            last_rx_at: 0,
+            echo: None,
+        }
+    }
+
+    fn test_view(hop: usize) -> SwitchView {
+        SwitchView {
+            switch: 3,
+            link: 0,
+            qlen_bytes: 0,
+            tx_bytes: 0,
+            bandwidth_bps: 10_000_000_000,
+            now: 100,
+            hop,
+            hop_latency_ns: 55,
+        }
+    }
+
+    #[test]
+    fn latency_collector_caps() {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let mut hook = LatencyCollectorHook::new(out.clone(), 3);
+        let mut pkt = test_pkt(1);
+        for i in 0..10 {
+            hook.on_dequeue(&test_view(i % 5 + 1), &mut pkt);
+        }
+        assert_eq!(out.lock().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn fig11_plan_matches_paper() {
+        let plan = fig11_plan(1);
+        assert!((plan.effective_frequency(Q_PATH) - 1.0).abs() < 1e-9);
+        assert!((plan.effective_frequency(Q_LATENCY) - 15.0 / 16.0).abs() < 1e-9);
+        assert!((plan.effective_frequency(Q_HPCC) - 1.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combined_hook_writes_three_lanes() {
+        let mut hook = CombinedPintHook::new(5, 13_000, 5);
+        let mut saw_lane01 = false;
+        let mut saw_lane2 = false;
+        for pid in 0..500u64 {
+            let mut pkt = test_pkt(pid);
+            for hop in 1..=5 {
+                hook.on_dequeue(&test_view(hop), &mut pkt);
+            }
+            if pkt.digest.get(0) != 0 || pkt.digest.get(1) != 0 {
+                saw_lane01 = true;
+            }
+            if pkt.digest.get(2) != 0 {
+                saw_lane2 = true;
+            }
+        }
+        assert!(saw_lane01, "path lanes never written");
+        assert!(saw_lane2, "latency/hpcc lane never written");
+    }
+}

@@ -1,0 +1,24 @@
+//! Shared helpers for the PINT benchmark harness.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §3 for the index):
+//!
+//! | binary | paper artifact |
+//! |--------|----------------|
+//! | `fig01_02_int_overhead` | Figs. 1–2: FCT / goodput vs overhead |
+//! | `fig05_coding_progress` | Fig. 5: coding-scheme progress |
+//! | `fig07_hpcc_comparison` | Fig. 7: HPCC INT vs PINT |
+//! | `fig08_sampling_fraction` | Fig. 8: digest frequency p |
+//! | `fig09_latency_quantiles` | Fig. 9: latency-quantile error |
+//! | `fig10_path_tracing` | Fig. 10: packets to trace a path |
+//! | `fig11_combined` | Fig. 11: three concurrent queries |
+//! | `thm3_scaling` | Theorem 3: k·log log* k scaling |
+//! | `appa4_loop_detection` | Appendix A.4: loop detection |
+//! | `appc_fixedpoint` | Appendix C: approximate arithmetic |
+//! | `tune_multilayer` | development aid: scheme parameter sweep |
+
+pub mod args;
+pub mod hooks;
+pub mod stats;
+
+pub use args::Args;

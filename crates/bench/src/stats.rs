@@ -1,0 +1,42 @@
+//! Small statistics helpers shared by the harness binaries.
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Nearest-rank percentile of an unsorted slice (`phi ∈ \[0,1\]`).
+pub fn percentile(xs: &[f64], phi: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let idx = ((phi * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
+    v[idx]
+}
+
+/// Relative error in percent.
+pub fn rel_err_pct(est: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        return if est == 0.0 { 0.0 } else { 100.0 };
+    }
+    (est - truth).abs() / truth * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert_eq!(percentile(&xs, 0.5), 2.0);
+        assert_eq!(percentile(&xs, 1.0), 4.0);
+        assert!((rel_err_pct(110.0, 100.0) - 10.0).abs() < 1e-12);
+    }
+}

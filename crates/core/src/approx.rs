@@ -1,0 +1,240 @@
+//! Value approximation codecs (paper §4.3).
+//!
+//! Encoding an exact numeric value (e.g. a 32-bit latency) may exceed the
+//! per-packet bit budget. PINT compresses values at the cost of a bounded
+//! error:
+//!
+//! * [`MultiplicativeCodec`] — writes `a = [log_{(1+ε)²} v]`, decoding to a
+//!   `(1+ε)`-multiplicative approximation. With randomized rounding
+//!   (`[·]_R`) the expected decoded value equals the true value, removing
+//!   systematic error — this is the variant HPCC-over-PINT uses with
+//!   `ε = 0.025` in 8 bits.
+//! * [`AdditiveCodec`] — writes `a = [v / 2Δ]`, trading `⌊log₂ Δ⌋` bits for
+//!   a `±Δ` additive error.
+//!
+//! Randomized counting (Morris counters) for sum/product aggregation lives
+//! in [`pint_sketches::morris`].
+
+/// Multiplicative (logarithmic) value compression.
+///
+/// Values in `[v_min, v_max]` are mapped to integer codes
+/// `a = round(log_base(v / v_min))` with `base = (1+ε)²`; decoding returns
+/// `v_min · base^a`, within a `(1+ε)²ᐟ²`-factor of the original. Zero gets
+/// the reserved code 0 (values below `v_min` clamp to `v_min`).
+#[derive(Debug, Clone, Copy)]
+pub struct MultiplicativeCodec {
+    eps: f64,
+    /// ln((1+ε)²)
+    ln_base: f64,
+    v_min: f64,
+    /// Number of usable codes (1..=levels map the value range; 0 = zero).
+    levels: u32,
+}
+
+impl MultiplicativeCodec {
+    /// Creates a codec for values in `[v_min, v_max]` with parameter `ε`.
+    pub fn new(eps: f64, v_min: f64, v_max: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "ε must be in (0,1)");
+        assert!(v_min > 0.0 && v_max > v_min, "need 0 < v_min < v_max");
+        let ln_base = 2.0 * (1.0 + eps).ln();
+        let levels = ((v_max / v_min).ln() / ln_base).ceil() as u32 + 1;
+        Self { eps, ln_base, v_min, levels }
+    }
+
+    /// The ε parameter.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Number of bits needed per encoded value (including the zero code).
+    pub fn bits(&self) -> u32 {
+        let codes = self.levels + 1; // code 0 reserved for value 0
+        (64 - u64::from(codes - 1).leading_zeros()).max(1)
+    }
+
+    /// Deterministic encoding: nearest-integer rounding of the logarithm.
+    pub fn encode(&self, v: f64) -> u32 {
+        if v <= 0.0 {
+            return 0;
+        }
+        let x = (v.max(self.v_min) / self.v_min).ln() / self.ln_base;
+        (x.round() as u32).min(self.levels - 1) + 1
+    }
+
+    /// Randomized rounding `[·]_R` (§4.3): floor or ceil of the logarithm
+    /// chosen with probability proportional to the fractional part, driven
+    /// by the externally supplied uniform draw `u ∈ [0,1)` (in the data
+    /// plane this comes from a global hash of the packet ID, so the
+    /// Inference Module can reproduce nothing — only the *expectation*
+    /// matters).
+    ///
+    /// The decoded expectation equals `v` exactly in log-space and is
+    /// unbiased up to `O(ε²)` in value space, eliminating systematic error.
+    pub fn encode_randomized(&self, v: f64, u: f64) -> u32 {
+        if v <= 0.0 {
+            return 0;
+        }
+        let x = (v.max(self.v_min) / self.v_min).ln() / self.ln_base;
+        let lo = x.floor();
+        let frac = x - lo;
+        let rounded = if u < frac { lo + 1.0 } else { lo };
+        (rounded as u32).min(self.levels - 1) + 1
+    }
+
+    /// Decodes a code back to a representative value.
+    pub fn decode(&self, code: u32) -> f64 {
+        if code == 0 {
+            return 0.0;
+        }
+        self.v_min * ((code - 1) as f64 * self.ln_base).exp()
+    }
+
+    /// The guaranteed multiplicative error factor of deterministic
+    /// encoding: `decode(encode(v)) / v ∈ [1/f, f]` with `f = (1+ε)`.
+    pub fn error_factor(&self) -> f64 {
+        1.0 + self.eps
+    }
+}
+
+/// Additive value compression: `a = [v / 2Δ]`, decode `= 2Δ·a` (§4.3).
+#[derive(Debug, Clone, Copy)]
+pub struct AdditiveCodec {
+    delta: f64,
+}
+
+impl AdditiveCodec {
+    /// Creates a codec with additive error target `Δ > 0`.
+    pub fn new(delta: f64) -> Self {
+        assert!(delta > 0.0, "Δ must be positive");
+        Self { delta }
+    }
+
+    /// The error target Δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Bits saved versus an exact encoding: `⌊log₂ Δ⌋` (paper §4.3).
+    pub fn bits_saved(&self) -> u32 {
+        self.delta.log2().floor().max(0.0) as u32
+    }
+
+    /// Bits needed to encode values up to `v_max`.
+    pub fn bits_for(&self, v_max: f64) -> u32 {
+        let max_code = (v_max / (2.0 * self.delta)).round() as u64;
+        (64 - max_code.leading_zeros()).max(1)
+    }
+
+    /// Encodes `v ≥ 0`.
+    pub fn encode(&self, v: f64) -> u64 {
+        (v.max(0.0) / (2.0 * self.delta)).round() as u64
+    }
+
+    /// Decodes back to the bucket center.
+    pub fn decode(&self, code: u64) -> f64 {
+        2.0 * self.delta * code as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn multiplicative_error_bounded() {
+        let c = MultiplicativeCodec::new(0.025, 1.0, 4.0e9);
+        for &v in &[1.0, 3.0, 100.0, 12_345.0, 1.0e6, 3.9e9] {
+            let d = c.decode(c.encode(v));
+            let ratio = d / v;
+            assert!(
+                ratio <= 1.0 + 0.026 && ratio >= 1.0 / 1.026,
+                "v={v} decoded={d} ratio={ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_bit_budgets() {
+        // §4.3: "if we want to compress a 32-bit value into 16 bits, we can
+        // set ε = 0.0025" and "in practice we just need 8 bits to support
+        // ε = 0.025" (for HPCC's utilization range).
+        let c16 = MultiplicativeCodec::new(0.0025, 1.0, u32::MAX as f64);
+        assert!(c16.bits() <= 16, "ε=0.0025 needs {} bits", c16.bits());
+        // HPCC utilization: U ∈ [~1e-3, ~4] suffices for the algorithm.
+        let c8 = MultiplicativeCodec::new(0.025, 1.0e-3, 4.0);
+        assert!(c8.bits() <= 8, "ε=0.025 needs {} bits", c8.bits());
+    }
+
+    #[test]
+    fn zero_roundtrips() {
+        let c = MultiplicativeCodec::new(0.1, 1.0, 1000.0);
+        assert_eq!(c.encode(0.0), 0);
+        assert_eq!(c.decode(0), 0.0);
+    }
+
+    #[test]
+    fn randomized_rounding_is_unbiased() {
+        let c = MultiplicativeCodec::new(0.05, 1.0, 1.0e6);
+        let mut rng = SmallRng::seed_from_u64(8);
+        // Pick a value square in the middle of two codes.
+        let v = 777.0;
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += c.decode(c.encode_randomized(v, rng.gen()));
+        }
+        let mean = sum / n as f64;
+        // Unbiased in log space ⇒ value-space bias < ε²; allow 1%.
+        assert!((mean / v - 1.0).abs() < 0.01, "mean {mean} vs {v}");
+    }
+
+    #[test]
+    fn randomized_rounding_within_one_level() {
+        let c = MultiplicativeCodec::new(0.05, 1.0, 1.0e6);
+        let det = c.encode(777.0);
+        for u in [0.0, 0.3, 0.7, 0.999] {
+            let r = c.encode_randomized(777.0, u);
+            assert!((i64::from(r) - i64::from(det)).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn codes_are_monotone() {
+        let c = MultiplicativeCodec::new(0.02, 1.0, 1.0e9);
+        let mut prev = 0;
+        for i in 0..60 {
+            let v = 1.5f64.powi(i);
+            let code = c.encode(v);
+            assert!(code >= prev);
+            prev = code;
+        }
+    }
+
+    #[test]
+    fn additive_error_bounded() {
+        let c = AdditiveCodec::new(8.0);
+        for v in [0.0, 5.0, 100.0, 12_345.0] {
+            let d = c.decode(c.encode(v));
+            assert!((d - v).abs() <= 8.0, "v={v} decoded={d}");
+        }
+    }
+
+    #[test]
+    fn additive_bits() {
+        let c = AdditiveCodec::new(8.0);
+        assert_eq!(c.bits_saved(), 3);
+        // 16-bit timestamps with Δ=8 → codes up to 2^16/16 = 4096,
+        // which needs 13 bits — 3 fewer than exact.
+        assert_eq!(c.bits_for(65_535.0), 13);
+    }
+
+    #[test]
+    fn multiplicative_clamps_out_of_range() {
+        let c = MultiplicativeCodec::new(0.025, 1.0, 1000.0);
+        let top = c.encode(1.0e12);
+        assert_eq!(top, c.encode(1.0e9), "values above v_max clamp");
+        assert!(c.decode(top) <= 1100.0 * 1.05);
+    }
+}

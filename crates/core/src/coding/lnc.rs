@@ -1,0 +1,148 @@
+//! Linear Network Coding over GF(2) — the comparison scheme of §4.2.
+//!
+//! Each packet's digest is a random linear combination of the message
+//! blocks: every hop XORs its block on with probability 1/2 (selected by the
+//! global hash, so the receiver knows each packet's coefficient vector).
+//! Decoding is Gaussian elimination; the message is recovered once the
+//! coefficient matrix reaches rank `k`, which takes `≈ k + log₂ k` packets.
+//!
+//! The paper keeps LNC as a baseline because (a) its decoding is `O(k³)`
+//! versus PINT's near-linear propagation, and (b) it "does not seem to work
+//! when using hashing to reduce the overhead" — so we implement only the
+//! perfect-block variant, as the paper does.
+
+use crate::hash::HashFamily;
+
+/// Incremental GF(2) rank tracker: decodes a `k`-block message from random
+/// linear combinations (supports `k ≤ 128`).
+#[derive(Debug, Clone)]
+pub struct LncDecoder {
+    family: HashFamily,
+    k: usize,
+    /// Row-echelon basis: `basis[i]` has its leading bit at position `i`.
+    basis: Vec<u128>,
+    rank: usize,
+    packets: u64,
+}
+
+impl LncDecoder {
+    /// Creates an LNC decoder for a `k`-block message.
+    pub fn new(family: HashFamily, k: usize) -> Self {
+        assert!((1..=128).contains(&k), "LNC decoder supports 1 ≤ k ≤ 128");
+        Self {
+            family,
+            k,
+            basis: vec![0; k],
+            rank: 0,
+            packets: 0,
+        }
+    }
+
+    /// The coefficient vector of packet `pid`: bit `i` set ⇔ hop `i+1`
+    /// XORs its block onto the digest (probability 1/2 each, from the
+    /// global hash).
+    pub fn coefficients(&self, pid: u64) -> u128 {
+        let mut row = 0u128;
+        for hop in 1..=self.k {
+            if self.family.xor_participates(pid, hop, 0.5) {
+                row |= 1 << (hop - 1);
+            }
+        }
+        row
+    }
+
+    /// Absorbs packet `pid`; returns `true` once rank `k` is reached.
+    pub fn absorb(&mut self, pid: u64) -> bool {
+        self.packets += 1;
+        let mut row = self.coefficients(pid);
+        // Reduce against the basis.
+        while row != 0 {
+            let lead = 127 - row.leading_zeros() as usize;
+            if self.basis[lead] == 0 {
+                self.basis[lead] = row;
+                self.rank += 1;
+                break;
+            }
+            row ^= self.basis[lead];
+        }
+        self.is_complete()
+    }
+
+    /// Current rank (number of independent combinations received).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// `true` when the message can be fully decoded.
+    pub fn is_complete(&self) -> bool {
+        self.rank == self.k
+    }
+
+    /// Packets absorbed so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packets_to_decode(k: usize, seed: u64) -> u64 {
+        let mut dec = LncDecoder::new(HashFamily::new(seed, 0), k);
+        let mut pid = seed * 1_000_000;
+        loop {
+            pid += 1;
+            if dec.absorb(pid) {
+                return dec.packets();
+            }
+            assert!(dec.packets() < 10_000, "LNC did not converge");
+        }
+    }
+
+    #[test]
+    fn decodes_near_k_packets() {
+        // §4.2: "LNC requires just ≈ k + log₂ k packets".
+        for &k in &[8usize, 25, 64] {
+            let runs = 60;
+            let mean: f64 = (0..runs)
+                .map(|s| packets_to_decode(k, s + 1) as f64)
+                .sum::<f64>()
+                / runs as f64;
+            let bound = k as f64 + (k as f64).log2() + 4.0;
+            assert!(
+                mean <= bound,
+                "k={k}: mean {mean} above k + log₂k bound {bound}"
+            );
+            assert!(mean >= k as f64, "k={k}: impossible mean {mean}");
+        }
+    }
+
+    #[test]
+    fn rank_monotone_and_bounded() {
+        let mut dec = LncDecoder::new(HashFamily::new(3, 0), 30);
+        let mut prev = 0;
+        for pid in 0..200 {
+            dec.absorb(pid);
+            assert!(dec.rank() >= prev);
+            assert!(dec.rank() <= 30);
+            prev = dec.rank();
+        }
+        assert!(dec.is_complete());
+    }
+
+    #[test]
+    fn coefficients_half_density() {
+        let dec = LncDecoder::new(HashFamily::new(17, 0), 100);
+        let total: u32 = (0..2_000u64).map(|pid| dec.coefficients(pid).count_ones()).sum();
+        let rate = total as f64 / (2_000.0 * 100.0);
+        assert!((rate - 0.5).abs() < 0.02, "density {rate}");
+    }
+
+    #[test]
+    fn k_equals_one() {
+        // Needs on average 2 packets (each has the block with prob 1/2).
+        let mean: f64 = (0..200).map(|s| packets_to_decode(1, s + 1) as f64).sum::<f64>() / 200.0;
+        assert!((mean - 2.0).abs() < 0.5, "mean {mean}");
+    }
+}

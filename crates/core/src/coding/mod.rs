@@ -1,0 +1,102 @@
+//! Distributed coding schemes (paper §4.2).
+//!
+//! When values are static for a flow (e.g. the switch IDs on its path),
+//! PINT spreads them over multiple packets. The message is *distributed*:
+//! encoder `e_i` (the `i`-th switch) holds only block `M_i`, packets start
+//! with a zero digest, and each encoder may modify — but never extend — the
+//! digest as the packet passes (Fig. 4).
+//!
+//! The schemes implemented here:
+//!
+//! * **Baseline** ([`SchemeConfig::baseline`]) — distributed reservoir
+//!   sampling: each packet carries a uniformly sampled block. Decoding is a
+//!   coupon-collector process needing `k·ln k·(1+o(1))` packets.
+//! * **Distributed XOR** ([`SchemeConfig::pure_xor`]) — each encoder XORs
+//!   its block with probability `p` (typically `1/d` for a known typical
+//!   path length `d`).
+//! * **Interleaved / Hybrid** ([`SchemeConfig::hybrid`]) — Baseline with
+//!   probability `τ = 3/4`, else XOR with probability `ln ln d / ln d`;
+//!   the Baseline decodes the bulk, the XOR layer the tail.
+//! * **Multi-layer** ([`SchemeConfig::multilayer`]) — Algorithm 1: layers
+//!   `ℓ = 1..L` with geometrically increasing probabilities
+//!   `p_ℓ = e↑↑(ℓ−1)/d`, achieving Theorem 3's
+//!   `k·log log* k·(1+o(1))` packet bound.
+//! * **Linear network coding** ([`lnc`]) — the comparison point discussed
+//!   in §4.2: random GF(2) combinations, decoded by Gaussian elimination in
+//!   `≈ k + log₂ k` packets but with `O(k³)` decoding.
+//!
+//! Two decoders are provided: [`perfect::BlockDecoder`] assumes a packet
+//! can carry an entire block (the analysis setting of Fig. 5 / Theorem 3),
+//! while [`decoder::HashedDecoder`] implements the hashing technique
+//! ("Reducing the Bit-overhead using Hashing") where only `b`-bit value
+//! hashes ride on packets and the Inference Module eliminates candidates
+//! from a known value set.
+
+pub mod decoder;
+pub mod fragment;
+pub mod lnc;
+pub mod perfect;
+pub mod schemes;
+
+pub use decoder::HashedDecoder;
+pub use fragment::FragmentCodec;
+pub use lnc::LncDecoder;
+pub use perfect::BlockDecoder;
+pub use schemes::{HopAction, PacketRole, SchemeConfig};
+
+/// Iterated natural logarithm `ln* x`: the number of times `ln` must be
+/// applied before the value drops to ≤ 1.
+pub fn ln_star(x: f64) -> u32 {
+    let mut v = x;
+    let mut c = 0;
+    while v > 1.0 {
+        v = v.ln();
+        c += 1;
+        if c > 8 {
+            break; // ln* of anything representable is ≤ 5
+        }
+    }
+    c
+}
+
+/// Iterated exponentiation `e ↑↑ n` (Knuth arrow): `e↑↑0 = 1`,
+/// `e↑↑n = e^(e↑↑(n−1))`.
+pub fn iterated_exp(n: u32) -> f64 {
+    let mut v = 1.0f64;
+    for _ in 0..n {
+        v = v.exp();
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_star_values() {
+        assert_eq!(ln_star(1.0), 0);
+        assert_eq!(ln_star(2.0), 1);
+        assert_eq!(ln_star(2.7), 1);
+        assert_eq!(ln_star(10.0), 2);
+        assert_eq!(ln_star(15.0), 2); // e^e ≈ 15.15
+        assert_eq!(ln_star(16.0), 3);
+        assert_eq!(ln_star(1.0e6), 3); // e^e^e ≈ 3.8M
+        assert_eq!(ln_star(5.0e6), 4);
+    }
+
+    #[test]
+    fn iterated_exp_values() {
+        assert_eq!(iterated_exp(0), 1.0);
+        assert!((iterated_exp(1) - std::f64::consts::E).abs() < 1e-12);
+        assert!((iterated_exp(2) - std::f64::consts::E.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_star_inverts_iterated_exp() {
+        for n in 0..4 {
+            let v = iterated_exp(n);
+            assert_eq!(ln_star(v), n, "ln*(e↑↑{n})");
+        }
+    }
+}

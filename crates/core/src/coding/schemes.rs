@@ -1,0 +1,360 @@
+//! Scheme configuration and packet classification.
+//!
+//! A [`SchemeConfig`] describes how packets are partitioned among coding
+//! layers and what each hop does. Both the switch-side encoder and the
+//! sink-side decoder derive their behaviour from the same config plus the
+//! same [`HashFamily`] — the implicit-coordination property of §4.1: the
+//! decoder can *reclassify* any packet from its ID alone.
+
+use super::{iterated_exp, ln_star};
+use crate::hash::HashFamily;
+
+/// What a single hop does to the digest for a given packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopAction {
+    /// Leave the digest untouched.
+    Keep,
+    /// Overwrite the digest with this hop's (hashed) block — Baseline layer.
+    Overwrite,
+    /// XOR this hop's (hashed) block onto the digest — XOR layer.
+    Xor,
+}
+
+/// Sink-side classification of a packet under a scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketRole {
+    /// Baseline packet: after the full path, the digest belongs to `writer`
+    /// (1-based hop index) — the last hop whose reservoir test fired.
+    Baseline {
+        /// The hop whose value survives in the digest.
+        writer: usize,
+    },
+    /// XOR packet on some layer: the digest is the XOR of the blocks of
+    /// `acting` (1-based hop indices, ascending; possibly empty).
+    Xor {
+        /// Hops that XOR-ed onto the digest.
+        acting: Vec<usize>,
+    },
+}
+
+/// Configuration of a distributed coding scheme: a Baseline (reservoir)
+/// layer chosen with probability `tau`, and `xor_layers.len()` XOR layers
+/// chosen uniformly otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeConfig {
+    /// Probability that a packet serves the Baseline layer.
+    pub tau: f64,
+    /// Per-layer XOR probabilities `p_ℓ`.
+    pub xor_layers: Vec<f64>,
+}
+
+impl SchemeConfig {
+    /// Pure Baseline scheme: every packet carries a uniformly sampled block.
+    pub fn baseline() -> Self {
+        Self { tau: 1.0, xor_layers: Vec::new() }
+    }
+
+    /// Pure XOR scheme with participation probability `p` (Fig. 5 uses
+    /// `p = 1/d`).
+    pub fn pure_xor(p: f64) -> Self {
+        Self { tau: 0.0, xor_layers: vec![p] }
+    }
+
+    /// The interleaved ("Hybrid") scheme of §4.2: Baseline with
+    /// `τ = 3/4`, one XOR layer with probability `ln ln d / ln d`
+    /// (or `1/ln d` when `d ≤ 15`, per footnote 8).
+    pub fn hybrid(d: usize) -> Self {
+        let d = d.max(2) as f64;
+        let p = if d <= 15.0 {
+            1.0 / d.ln()
+        } else {
+            d.ln().ln() / d.ln()
+        };
+        Self { tau: 0.75, xor_layers: vec![p.min(1.0)] }
+    }
+
+    /// The multi-layer scheme of Algorithm 1 for typical path length `d`:
+    /// `L` XOR layers with `p_ℓ = e↑↑(ℓ−1)/d`.
+    ///
+    /// `L` follows the paper's practical rule (§4.2): one XOR layer when
+    /// `d ≤ ⌊e^e⌋ = 15`, two when `16 ≤ d ≤ e^(e^e)` — i.e.
+    /// `L = max(1, ln*(d) − 1)`. The Baseline share follows Algorithm 1,
+    /// `τ = ln ln* d / (1 + ln ln* d)`, floored at 1/2 (a parameter sweep —
+    /// `pint-bench --bin tune_multilayer` — shows the formula's small-`d`
+    /// values starve the Baseline layer).
+    ///
+    /// The paper's §6.3 evaluation settings are `multilayer(10)` for the
+    /// ISP topologies and `multilayer(5)` for the fat tree — both yield
+    /// "a single XOR layer in addition to a Baseline layer".
+    pub fn multilayer(d: usize) -> Self {
+        let df = d.max(2) as f64;
+        let layers = ln_star(df).saturating_sub(1).max(1);
+        let xor_layers: Vec<f64> = (0..layers)
+            .map(|l| (iterated_exp(l) / df).min(0.5))
+            .collect();
+        let lls = (ln_star(df) as f64).ln().max(0.0);
+        let tau = (lls / (1.0 + lls)).max(0.5);
+        Self { tau, xor_layers }
+    }
+
+    /// Number of XOR layers.
+    pub fn num_layers(&self) -> usize {
+        self.xor_layers.len()
+    }
+
+    /// Which layer serves packet `pid`: `None` for Baseline, `Some(ℓ)`
+    /// (0-based) for XOR layer ℓ. Derived from the layer-selection hash
+    /// `H(pid)` so every switch and the decoder agree.
+    pub fn layer_of(&self, fam: &HashFamily, pid: u64) -> Option<usize> {
+        if self.xor_layers.is_empty() {
+            return None;
+        }
+        let h = fam.layer.unit1(pid);
+        if h < self.tau {
+            None
+        } else {
+            // Uniform among the L XOR layers.
+            let l = ((h - self.tau) / (1.0 - self.tau) * self.xor_layers.len() as f64) as usize;
+            Some(l.min(self.xor_layers.len() - 1))
+        }
+    }
+
+    /// Switch-side action of hop `hop` (1-based) for packet `pid`
+    /// (Algorithm 1 lines 2–8).
+    pub fn hop_action(&self, fam: &HashFamily, pid: u64, hop: usize) -> HopAction {
+        match self.layer_of(fam, pid) {
+            None => {
+                if fam.reservoir_writes(pid, hop) {
+                    HopAction::Overwrite
+                } else {
+                    HopAction::Keep
+                }
+            }
+            Some(l) => {
+                if fam.xor_participates(pid, hop, self.xor_layers[l]) {
+                    HopAction::Xor
+                } else {
+                    HopAction::Keep
+                }
+            }
+        }
+    }
+
+    /// Sink-side classification of packet `pid` over a `k`-hop path.
+    pub fn classify(&self, fam: &HashFamily, pid: u64, k: usize) -> PacketRole {
+        match self.layer_of(fam, pid) {
+            None => PacketRole::Baseline {
+                writer: fam.reservoir_winner(pid, k),
+            },
+            Some(l) => {
+                let p = self.xor_layers[l];
+                let acting = (1..=k)
+                    .filter(|&hop| fam.xor_participates(pid, hop, p))
+                    .collect();
+                PacketRole::Xor { acting }
+            }
+        }
+    }
+
+    /// Near-linear classification (§4.2 "Reducing the Decoding
+    /// Complexity"): XOR-layer membership of all `k ≤ 128` hops is read
+    /// from the AND of `O(log 1/p)` pseudo-random bit vectors instead of
+    /// `k` hash evaluations. The layer probability is rounded to the
+    /// nearest power of two, so the acting-set *distribution* differs
+    /// from [`Self::classify`] by at most a `√2` factor in `p` (the
+    /// approximation the paper accepts); encoders must use the same
+    /// fast membership test for the digests to decode (see
+    /// [`Self::hop_action_fast`]).
+    pub fn classify_fast(&self, fam: &HashFamily, pid: u64, k: usize) -> PacketRole {
+        match self.layer_of(fam, pid) {
+            None => PacketRole::Baseline {
+                writer: fam.reservoir_winner(pid, k),
+            },
+            Some(l) => {
+                let bits = crate::hash::acting_bitvec(fam, pid, k, self.xor_layers[l]);
+                let acting = (1..=k).filter(|&hop| bits & (1 << (hop - 1)) != 0).collect();
+                PacketRole::Xor { acting }
+            }
+        }
+    }
+
+    /// Switch-side action matching [`Self::classify_fast`].
+    pub fn hop_action_fast(&self, fam: &HashFamily, pid: u64, hop: usize, k: usize) -> HopAction {
+        match self.layer_of(fam, pid) {
+            None => {
+                if fam.reservoir_writes(pid, hop) {
+                    HopAction::Overwrite
+                } else {
+                    HopAction::Keep
+                }
+            }
+            Some(l) => {
+                let bits = crate::hash::acting_bitvec(fam, pid, k, self.xor_layers[l]);
+                if bits & (1 << (hop - 1)) != 0 {
+                    HopAction::Xor
+                } else {
+                    HopAction::Keep
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fam() -> HashFamily {
+        HashFamily::new(0xC0FFEE, 0)
+    }
+
+    #[test]
+    fn baseline_always_layer0() {
+        let s = SchemeConfig::baseline();
+        for pid in 0..100 {
+            assert_eq!(s.layer_of(&fam(), pid), None);
+        }
+    }
+
+    #[test]
+    fn pure_xor_always_xor() {
+        let s = SchemeConfig::pure_xor(0.25);
+        for pid in 0..100 {
+            assert_eq!(s.layer_of(&fam(), pid), Some(0));
+        }
+    }
+
+    #[test]
+    fn hybrid_layer_split_matches_tau() {
+        let s = SchemeConfig::hybrid(25);
+        let n = 100_000;
+        let baseline = (0..n)
+            .filter(|&pid| s.layer_of(&fam(), pid).is_none())
+            .count();
+        let frac = baseline as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.01, "baseline fraction {frac}");
+    }
+
+    #[test]
+    fn hybrid_xor_prob_follows_paper() {
+        // d = 25 > 15 ⇒ p = ln ln 25 / ln 25 ≈ 0.364.
+        let s = SchemeConfig::hybrid(25);
+        assert!((s.xor_layers[0] - 25.0f64.ln().ln() / 25.0f64.ln()).abs() < 1e-12);
+        // d = 10 ≤ 15 ⇒ p = 1/ln 10 ≈ 0.434.
+        let s = SchemeConfig::hybrid(10);
+        assert!((s.xor_layers[0] - 1.0 / 10.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multilayer_layer_count_follows_practical_rule() {
+        assert_eq!(SchemeConfig::multilayer(5).num_layers(), 1);
+        assert_eq!(SchemeConfig::multilayer(15).num_layers(), 1);
+        assert_eq!(SchemeConfig::multilayer(16).num_layers(), 2);
+        assert_eq!(SchemeConfig::multilayer(60).num_layers(), 2);
+    }
+
+    #[test]
+    fn multilayer_probability_ladder() {
+        let s = SchemeConfig::multilayer(60);
+        assert!((s.xor_layers[0] - 1.0 / 60.0).abs() < 1e-12);
+        assert!((s.xor_layers[1] - std::f64::consts::E / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classification_consistent_with_hop_actions() {
+        // The decoder's classification must match what encoders did.
+        let s = SchemeConfig::multilayer(25);
+        let f = fam();
+        let k = 25;
+        for pid in 0..2_000u64 {
+            let role = s.classify(&f, pid, k);
+            let actions: Vec<(usize, HopAction)> = (1..=k)
+                .map(|h| (h, s.hop_action(&f, pid, h)))
+                .filter(|&(_, a)| a != HopAction::Keep)
+                .collect();
+            match role {
+                PacketRole::Baseline { writer } => {
+                    // Writer is the last Overwrite action.
+                    let last = actions
+                        .iter()
+                        .filter(|&&(_, a)| a == HopAction::Overwrite)
+                        .next_back()
+                        .map(|&(h, _)| h);
+                    assert_eq!(last, Some(writer));
+                }
+                PacketRole::Xor { acting } => {
+                    let xors: Vec<usize> = actions
+                        .iter()
+                        .filter(|&&(_, a)| a == HopAction::Xor)
+                        .map(|&(h, _)| h)
+                        .collect();
+                    assert_eq!(xors, acting);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_classification_consistent_with_fast_actions() {
+        // The bit-vector path must agree between switch and sink, exactly
+        // like the hash path does.
+        let s = SchemeConfig::multilayer(16);
+        let f = fam();
+        let k = 32;
+        for pid in 0..2_000u64 {
+            match s.classify_fast(&f, pid, k) {
+                PacketRole::Baseline { writer } => {
+                    assert_eq!(s.hop_action_fast(&f, pid, writer, k), HopAction::Overwrite);
+                }
+                PacketRole::Xor { acting } => {
+                    for hop in 1..=k {
+                        let want = if acting.contains(&hop) {
+                            HopAction::Xor
+                        } else {
+                            HopAction::Keep
+                        };
+                        assert_eq!(s.hop_action_fast(&f, pid, hop, k), want);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_classification_rate_within_sqrt2_of_p() {
+        // §4.2 footnote 9: rounding p to a power of two costs at most √2.
+        let p = 0.1; // rounds to 1/8
+        let s = SchemeConfig { tau: 0.0, xor_layers: vec![p] };
+        let f = fam();
+        let k = 64;
+        let mut acting = 0u64;
+        let n = 20_000u64;
+        for pid in 0..n {
+            if let PacketRole::Xor { acting: a } = s.classify_fast(&f, pid, k) {
+                acting += a.len() as u64;
+            }
+        }
+        let rate = acting as f64 / (n * k as u64) as f64;
+        assert!(rate <= p * 1.45 && rate >= p / 1.45, "rate {rate} vs p {p}");
+    }
+
+    #[test]
+    fn xor_layers_chosen_uniformly() {
+        let s = SchemeConfig {
+            tau: 0.5,
+            xor_layers: vec![0.1, 0.2],
+        };
+        let f = fam();
+        let n = 100_000;
+        let mut counts = [0usize; 3];
+        for pid in 0..n {
+            match s.layer_of(&f, pid) {
+                None => counts[0] += 1,
+                Some(l) => counts[l + 1] += 1,
+            }
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.5).abs() < 0.01);
+        assert!((counts[1] as f64 / n as f64 - 0.25).abs() < 0.01);
+        assert!((counts[2] as f64 / n as f64 - 0.25).abs() < 0.01);
+    }
+}

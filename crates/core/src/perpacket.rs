@@ -1,0 +1,273 @@
+//! Per-packet aggregation (paper §3.1, §4.3 Example 3).
+//!
+//! Summarizes values across a single packet's path with an aggregation
+//! function (max/min/sum). The HPCC use case keeps only the *bottleneck*
+//! (max) link utilization in the packet header, compressed with the
+//! multiplicative codec and randomized rounding so that the sender's view
+//! is unbiased. Sum aggregation with tiny budgets uses randomized counting
+//! (Morris; see [`pint_sketches::morris`]).
+
+use crate::approx::MultiplicativeCodec;
+use crate::hash::GlobalHash;
+use crate::value::Digest;
+
+/// The aggregation function applied across hops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerPacketOp {
+    /// Keep the maximum (e.g. bottleneck utilization — HPCC).
+    Max,
+    /// Keep the minimum (e.g. smallest residual capacity).
+    Min,
+    /// Sum across hops (e.g. end-to-end latency).
+    Sum,
+}
+
+/// Switch-side per-packet aggregator.
+///
+/// The digest lane carries the compressed running aggregate. Because the
+/// multiplicative codec is monotone, max/min commute with encoding and each
+/// switch simply compares codes — a single ALU operation in the data plane.
+#[derive(Debug, Clone)]
+pub struct PerPacketAggregator {
+    op: PerPacketOp,
+    codec: MultiplicativeCodec,
+    rounding: GlobalHash,
+}
+
+impl PerPacketAggregator {
+    /// Creates an aggregator compressing values in `[v_min, v_max]` with
+    /// multiplicative parameter `eps` (the paper's HPCC configuration is
+    /// `eps = 0.025` → 8 bits).
+    pub fn new(op: PerPacketOp, eps: f64, v_min: f64, v_max: f64, seed: u64) -> Self {
+        Self {
+            op,
+            codec: MultiplicativeCodec::new(eps, v_min, v_max),
+            rounding: GlobalHash::new(seed ^ 0x5EED_0BAD),
+        }
+    }
+
+    /// The codec in use.
+    pub fn codec(&self) -> &MultiplicativeCodec {
+        &self.codec
+    }
+
+    /// Bits the digest lane occupies.
+    pub fn bits(&self) -> u32 {
+        match self.op {
+            PerPacketOp::Sum => self.codec.bits() + 2, // head-room for sums
+            _ => self.codec.bits(),
+        }
+    }
+
+    /// Encoding Module at one hop: folds `value` into digest lane `lane`.
+    ///
+    /// For max/min the switch encodes its value with randomized rounding
+    /// `[·]_R` (§4.3, keyed on (pid, hop) so it is reproducible yet
+    /// averages out) and keeps the larger/smaller code. For sum, the values
+    /// are summed in code space after decoding — the simulator-level
+    /// equivalent of the log/exp trick (Appendix B).
+    pub fn encode_hop(&self, pid: u64, hop: usize, value: f64, digest: &mut Digest, lane: usize) {
+        let u = self.rounding.unit2(pid, hop as u64);
+        let code = u64::from(self.codec.encode_randomized(value, u));
+        let cur = digest.get(lane);
+        let next = match self.op {
+            PerPacketOp::Max => cur.max(code),
+            PerPacketOp::Min => {
+                if cur == 0 {
+                    code // lane starts at 0 = "no value yet"
+                } else {
+                    cur.min(code)
+                }
+            }
+            PerPacketOp::Sum => {
+                let sum = self.codec.decode(cur as u32) + value;
+                u64::from(self.codec.encode_randomized(sum, u))
+            }
+        };
+        digest.set(lane, next);
+    }
+
+    /// Decodes the aggregate carried by the digest.
+    pub fn decode(&self, digest: &Digest, lane: usize) -> f64 {
+        self.codec.decode(digest.get(lane) as u32)
+    }
+}
+
+/// Randomized counting of per-hop events (§4.3 "Randomized counting").
+///
+/// Counting how many hops satisfy a predicate (e.g. "latency is high")
+/// needs `log₂ k` bits if done exactly; a Morris-style register does it in
+/// `O(log log k + log ε⁻¹)` bits. Each hop where the predicate holds
+/// increments the packet's register with probability `a^(−c)`, driven by
+/// the global hash so the outcome is reproducible; the Inference Module
+/// averages the unbiased per-packet estimates across packets.
+#[derive(Debug, Clone)]
+pub struct EventCounter {
+    hash: GlobalHash,
+    /// Accuracy parameter; base `a = 1 + 1/scale`.
+    scale: f64,
+    /// Register bits reserved on the packet.
+    bits: u32,
+}
+
+impl EventCounter {
+    /// Creates a counter able to count up to `max_events` per packet with
+    /// accuracy parameter `scale` (std-error ≈ `1/sqrt(2·scale)`).
+    pub fn new(seed: u64, scale: f64, max_events: u64) -> Self {
+        assert!(scale >= 1.0);
+        Self {
+            hash: GlobalHash::new(seed ^ 0x0C0_4A7),
+            scale,
+            bits: pint_sketches::MorrisCounter::bits_for(scale, max_events),
+        }
+    }
+
+    /// Bits the register occupies on the packet.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn base(&self) -> f64 {
+        1.0 + 1.0 / self.scale
+    }
+
+    /// Switch side: if this hop's event fired, probabilistically bump the
+    /// register in digest lane `lane`.
+    pub fn encode_hop(
+        &self,
+        pid: u64,
+        hop: usize,
+        event: bool,
+        digest: &mut Digest,
+        lane: usize,
+    ) {
+        if !event {
+            return;
+        }
+        let c = digest.get(lane) as i32;
+        let p = self.base().powi(-c);
+        if self.hash.unit2(pid, hop as u64) < p {
+            digest.set(lane, (c + 1) as u64);
+        }
+    }
+
+    /// Unbiased estimate of the number of events the packet saw.
+    pub fn decode(&self, digest: &Digest, lane: usize) -> f64 {
+        let a = self.base();
+        (a.powi(digest.get(lane) as i32) - 1.0) / (a - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(op: PerPacketOp, values: &[f64], pid: u64) -> f64 {
+        let agg = PerPacketAggregator::new(op, 0.025, 1e-4, 10.0, 3);
+        let mut d = Digest::new(1);
+        for (i, &v) in values.iter().enumerate() {
+            agg.encode_hop(pid, i + 1, v, &mut d, 0);
+        }
+        agg.decode(&d, 0)
+    }
+
+    #[test]
+    fn max_finds_bottleneck() {
+        let vals = [0.2, 0.9, 0.4, 0.1, 0.5];
+        let got = run(PerPacketOp::Max, &vals, 1);
+        assert!((got / 0.9 - 1.0).abs() < 0.06, "max {got} vs 0.9");
+    }
+
+    #[test]
+    fn min_finds_smallest() {
+        let vals = [0.2, 0.9, 0.05, 0.1, 0.5];
+        let got = run(PerPacketOp::Min, &vals, 2);
+        assert!((got / 0.05 - 1.0).abs() < 0.06, "min {got} vs 0.05");
+    }
+
+    #[test]
+    fn sum_approximates_total() {
+        let vals = [0.5, 0.25, 0.125, 1.0, 2.0];
+        let truth: f64 = vals.iter().sum();
+        let got = run(PerPacketOp::Sum, &vals, 3);
+        assert!(
+            (got / truth - 1.0).abs() < 0.2,
+            "sum {got} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn max_unbiased_over_packets() {
+        // Randomized rounding: averaging the decoded max over many packets
+        // should converge to the true value (no systematic error; §4.3).
+        let agg = PerPacketAggregator::new(PerPacketOp::Max, 0.025, 1e-4, 10.0, 3);
+        let truth = 0.7391;
+        let n = 50_000;
+        let mut sum = 0.0;
+        for pid in 0..n {
+            let mut d = Digest::new(1);
+            agg.encode_hop(pid, 1, truth, &mut d, 0);
+            sum += agg.decode(&d, 0);
+        }
+        let mean = sum / n as f64;
+        assert!(
+            (mean / truth - 1.0).abs() < 0.005,
+            "mean {mean} vs {truth}: systematic error not eliminated"
+        );
+    }
+
+    #[test]
+    fn eight_bit_budget_for_hpcc() {
+        let agg = PerPacketAggregator::new(PerPacketOp::Max, 0.025, 1e-3, 4.0, 1);
+        assert!(agg.bits() <= 8, "HPCC digest needs {} bits", agg.bits());
+    }
+
+    #[test]
+    fn zero_digest_decodes_to_zero() {
+        let agg = PerPacketAggregator::new(PerPacketOp::Max, 0.025, 1e-3, 4.0, 1);
+        let d = Digest::new(1);
+        assert_eq!(agg.decode(&d, 0), 0.0);
+    }
+
+    #[test]
+    fn event_counter_mean_unbiased() {
+        // 40 of 100 hops fire the "high latency" predicate; averaging the
+        // per-packet estimates over many packets recovers 40.
+        let ec = EventCounter::new(5, 8.0, 128);
+        let k = 100;
+        let n = 20_000u64;
+        let mut sum = 0.0;
+        for pid in 0..n {
+            let mut d = Digest::new(1);
+            for hop in 1..=k {
+                ec.encode_hop(pid, hop, hop % 5 < 2, &mut d, 0);
+            }
+            sum += ec.decode(&d, 0);
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 40.0).abs() < 2.0, "mean {mean} vs 40");
+    }
+
+    #[test]
+    fn event_counter_register_is_small() {
+        // §4.3: the register needs O(log ε⁻¹ + log log(…)) bits — far
+        // fewer than log₂(k) exact counting for large k.
+        let ec = EventCounter::new(7, 8.0, 1 << 20);
+        assert!(ec.bits() <= 7, "register {} bits", ec.bits());
+        let mut d = Digest::new(1);
+        for hop in 1..=(1 << 14) {
+            ec.encode_hop(1, hop, true, &mut d, 0);
+        }
+        assert!(d.get(0) < (1 << 7), "register overflowed: {}", d.get(0));
+    }
+
+    #[test]
+    fn event_counter_no_events_zero() {
+        let ec = EventCounter::new(9, 4.0, 64);
+        let mut d = Digest::new(1);
+        for hop in 1..=30 {
+            ec.encode_hop(3, hop, false, &mut d, 0);
+        }
+        assert_eq!(ec.decode(&d, 0), 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Telemetry values and metadata kinds (paper §3, Table 1).
+//!
+//! Whenever a packet `p` reaches a switch `s`, the switch observes a value
+//! `v(p, s)` — a function of the switch (port/switch ID), of switch state
+//! (timestamp, latency, queue occupancy), or any other quantity computable
+//! in the data plane. [`MetadataKind`] enumerates the INT metadata values of
+//! Table 1, all of which PINT supports.
+
+/// The INT metadata values a switch can report (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MetadataKind {
+    /// ID associated with the switch.
+    SwitchId,
+    /// Packet input port.
+    IngressPortId,
+    /// Time when packet is received.
+    IngressTimestamp,
+    /// Packet output port.
+    EgressPortId,
+    /// Time spent within the device.
+    HopLatency,
+    /// Current utilization of output port.
+    EgressPortTxUtilization,
+    /// The observed queue build up.
+    QueueOccupancy,
+    /// Percentage of queue being used.
+    QueueCongestionStatus,
+}
+
+impl MetadataKind {
+    /// All metadata kinds, in Table 1 order.
+    pub const ALL: [MetadataKind; 8] = [
+        MetadataKind::SwitchId,
+        MetadataKind::IngressPortId,
+        MetadataKind::IngressTimestamp,
+        MetadataKind::EgressPortId,
+        MetadataKind::HopLatency,
+        MetadataKind::EgressPortTxUtilization,
+        MetadataKind::QueueOccupancy,
+        MetadataKind::QueueCongestionStatus,
+    ];
+
+    /// Human-readable description (Table 1 right column).
+    pub fn description(self) -> &'static str {
+        match self {
+            MetadataKind::SwitchId => "ID associated with the switch",
+            MetadataKind::IngressPortId => "Packet input port",
+            MetadataKind::IngressTimestamp => "Time when packet is received",
+            MetadataKind::EgressPortId => "Packet output port",
+            MetadataKind::HopLatency => "Time spent within the device",
+            MetadataKind::EgressPortTxUtilization => "Current utilization of output port",
+            MetadataKind::QueueOccupancy => "The observed queue build up",
+            MetadataKind::QueueCongestionStatus => "Percentage of queue being used",
+        }
+    }
+
+    /// Size of the value as carried by standard INT (4-byte values, §2).
+    pub const INT_VALUE_BYTES: usize = 4;
+
+    /// Whether the value is *static* for a given (flow, switch) pair —
+    /// i.e. eligible for static per-flow aggregation (§3.1).
+    pub fn is_static_per_flow(self) -> bool {
+        matches!(
+            self,
+            MetadataKind::SwitchId | MetadataKind::IngressPortId | MetadataKind::EgressPortId
+        )
+    }
+}
+
+/// A telemetry observation `v(p, s)` made by a switch, as a raw 64-bit word.
+///
+/// Numeric values (latency in nanoseconds, utilization in fixed-point) are
+/// stored directly; identifiers are stored as their ID number.
+pub type TelemetryValue = u64;
+
+/// The per-packet digest PINT attaches to a packet: one lane per query
+/// instance, each lane at most 64 bits wide.
+///
+/// The total width (sum of the query bit budgets) is fixed by the global
+/// bit budget (§3.4) — unlike INT the size does **not** grow with path
+/// length. The PINT Source initializes it to zero; switches may modify but
+/// never extend it; the PINT Sink strips it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Digest {
+    lanes: Vec<u64>,
+}
+
+impl Digest {
+    /// Creates an all-zero digest with `lanes` lanes.
+    pub fn new(lanes: usize) -> Self {
+        Self { lanes: vec![0; lanes] }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Reads lane `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        self.lanes[i]
+    }
+
+    /// Overwrites lane `i` (the Baseline-layer action).
+    #[inline]
+    pub fn set(&mut self, i: usize, v: u64) {
+        self.lanes[i] = v;
+    }
+
+    /// XORs `v` onto lane `i` (the XOR-layer action).
+    #[inline]
+    pub fn xor(&mut self, i: usize, v: u64) {
+        self.lanes[i] ^= v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_eight_metadata_values() {
+        assert_eq!(MetadataKind::ALL.len(), 8);
+        for kind in MetadataKind::ALL {
+            assert!(!kind.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn static_kinds() {
+        assert!(MetadataKind::SwitchId.is_static_per_flow());
+        assert!(!MetadataKind::HopLatency.is_static_per_flow());
+        assert!(!MetadataKind::QueueOccupancy.is_static_per_flow());
+    }
+
+    #[test]
+    fn digest_ops() {
+        let mut d = Digest::new(2);
+        assert_eq!(d.lanes(), 2);
+        d.set(0, 0xAB);
+        d.xor(0, 0xFF);
+        assert_eq!(d.get(0), 0xAB ^ 0xFF);
+        assert_eq!(d.get(1), 0);
+    }
+}

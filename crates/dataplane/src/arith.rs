@@ -1,0 +1,126 @@
+//! Approximate multiply/divide for the data plane (paper Appendix C).
+//!
+//! "We overcome the lack of support for arithmetic operations such as
+//! multiplication and division using approximations, via logarithms and
+//! exponentiation: `x·y = 2^(log₂x + log₂y)` and
+//! `x/y = 2^(log₂x − log₂y)`."
+
+use crate::fixedpoint::Fx;
+use crate::lut::LogExpTables;
+
+/// An "ALU" built purely from switch-supported primitives: TCAM msb,
+/// `2^q`-entry lookup tables, shifts and adds.
+#[derive(Debug, Clone)]
+pub struct ApproxAlu {
+    tables: LogExpTables,
+}
+
+impl ApproxAlu {
+    /// Builds the ALU with `q` mantissa bits (paper default 8).
+    pub fn new(q: u32) -> Self {
+        Self { tables: LogExpTables::new(q, 20) }
+    }
+
+    /// Access to the underlying tables.
+    pub fn tables(&self) -> &LogExpTables {
+        &self.tables
+    }
+
+    /// Approximate `x · y` of two non-negative integers.
+    pub fn mul_int(&self, x: u64, y: u64) -> u64 {
+        if x == 0 || y == 0 {
+            return 0;
+        }
+        let s = self.tables.log2_int(x).add(self.tables.log2_int(y));
+        self.tables.exp2_fx(s, 0).raw() as u64
+    }
+
+    /// Approximate `x / y` (`y ≥ 1`) as fixed point with `frac_bits`.
+    pub fn div_int(&self, x: u64, y: u64, frac_bits: u32) -> Fx {
+        if x == 0 {
+            return Fx::zero(frac_bits);
+        }
+        let d = self.tables.log2_int(x).sub(self.tables.log2_int(y));
+        self.tables.exp2_fx(d, frac_bits)
+    }
+
+    /// Approximate product of fixed-point values.
+    pub fn mul_fx(&self, x: Fx, y: Fx, out_frac_bits: u32) -> Fx {
+        if x.raw() <= 0 || y.raw() <= 0 {
+            return Fx::zero(out_frac_bits);
+        }
+        let s = self.tables.log2_fx(x).add(self.tables.log2_fx(y));
+        self.tables.exp2_fx(s, out_frac_bits)
+    }
+
+    /// Approximate quotient of fixed-point values.
+    pub fn div_fx(&self, x: Fx, y: Fx, out_frac_bits: u32) -> Fx {
+        if x.raw() <= 0 {
+            return Fx::zero(out_frac_bits);
+        }
+        assert!(y.raw() > 0, "division by non-positive value");
+        let d = self.tables.log2_fx(x).sub(self.tables.log2_fx(y));
+        self.tables.exp2_fx(d, out_frac_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(a: f64, b: f64) -> f64 {
+        (a - b).abs() / b.abs().max(1e-12)
+    }
+
+    #[test]
+    fn multiplication_accuracy() {
+        let alu = ApproxAlu::new(8);
+        for &(x, y) in &[(3u64, 7u64), (100, 250), (1000, 999), (65_536, 12_345)] {
+            let got = alu.mul_int(x, y) as f64;
+            let want = (x * y) as f64;
+            assert!(rel(got, want) < 0.02, "{x}·{y}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn division_accuracy() {
+        let alu = ApproxAlu::new(8);
+        for &(x, y) in &[(7u64, 3u64), (1000, 17), (5, 1000), (1 << 30, 997)] {
+            let got = alu.div_int(x, y, 20).to_f64();
+            let want = x as f64 / y as f64;
+            assert!(rel(got, want) < 0.02, "{x}/{y}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn fx_mul_div_roundtrip() {
+        let alu = ApproxAlu::new(8);
+        let x = Fx::from_f64(1.19, 16);
+        let y = Fx::from_f64(0.37, 16);
+        let prod = alu.mul_fx(x, y, 16);
+        assert!(rel(prod.to_f64(), 1.19 * 0.37) < 0.02);
+        let q = alu.div_fx(prod, y, 16);
+        assert!(rel(q.to_f64(), 1.19) < 0.04, "{}", q.to_f64());
+    }
+
+    #[test]
+    fn zero_operands() {
+        let alu = ApproxAlu::new(8);
+        assert_eq!(alu.mul_int(0, 5), 0);
+        assert_eq!(alu.mul_int(5, 0), 0);
+        assert_eq!(alu.div_int(0, 5, 8).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn error_compounds_with_coarse_tables() {
+        // The paper warns that approximation errors compound; with q = 4
+        // the product error visibly exceeds the q = 8 error.
+        let coarse = ApproxAlu::new(4);
+        let fine = ApproxAlu::new(8);
+        let (x, y) = (12_345u64, 6_789u64);
+        let want = (x * y) as f64;
+        let e_coarse = rel(coarse.mul_int(x, y) as f64, want);
+        let e_fine = rel(fine.mul_int(x, y) as f64, want);
+        assert!(e_fine < e_coarse, "fine {e_fine} vs coarse {e_coarse}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Fixed-point representation (paper Appendix C).
+//!
+//! "When requiring a real-valued variable in the range `[0, R]`, we can use
+//! `m` bits to represent it so that the integer representation
+//! `r ∈ {0, …, 2^m − 1}` stands for `R · r · 2^−m`."
+//!
+//! [`Fx`] is a signed fixed-point number with a compile-run chosen number
+//! of fraction bits. Signed, because the logarithms of sub-unit quantities
+//! (Appendix B's `log(τ/T)` terms) are negative.
+
+/// A signed fixed-point value: `value = raw / 2^frac_bits`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Fx {
+    raw: i64,
+    frac_bits: u32,
+}
+
+impl Fx {
+    /// Creates a fixed-point value from a raw integer representation.
+    pub fn from_raw(raw: i64, frac_bits: u32) -> Self {
+        assert!(frac_bits < 62);
+        Self { raw, frac_bits }
+    }
+
+    /// Quantizes an `f64` (round-to-nearest).
+    pub fn from_f64(v: f64, frac_bits: u32) -> Self {
+        assert!(frac_bits < 62);
+        let raw = (v * (1i64 << frac_bits) as f64).round() as i64;
+        Self { raw, frac_bits }
+    }
+
+    /// The raw integer representation.
+    pub fn raw(self) -> i64 {
+        self.raw
+    }
+
+    /// Number of fraction bits.
+    pub fn frac_bits(self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Converts back to `f64` (test/inspection path — the data plane never
+    /// does this).
+    pub fn to_f64(self) -> f64 {
+        self.raw as f64 / (1i64 << self.frac_bits) as f64
+    }
+
+    /// The quantization step `2^-frac_bits`.
+    pub fn resolution(self) -> f64 {
+        1.0 / (1i64 << self.frac_bits) as f64
+    }
+
+    /// Addition — natively supported by switch ALUs.
+    pub fn add(self, other: Fx) -> Fx {
+        assert_eq!(self.frac_bits, other.frac_bits, "mixed formats");
+        Fx { raw: self.raw + other.raw, frac_bits: self.frac_bits }
+    }
+
+    /// Subtraction — natively supported by switch ALUs.
+    pub fn sub(self, other: Fx) -> Fx {
+        assert_eq!(self.frac_bits, other.frac_bits, "mixed formats");
+        Fx { raw: self.raw - other.raw, frac_bits: self.frac_bits }
+    }
+
+    /// Shift left/right (multiply/divide by a power of two) — natively
+    /// supported.
+    pub fn shift(self, bits: i32) -> Fx {
+        let raw = if bits >= 0 {
+            self.raw << bits
+        } else {
+            self.raw >> (-bits)
+        };
+        Fx { raw, frac_bits: self.frac_bits }
+    }
+
+    /// Converts to a different fraction-bit format.
+    pub fn rescale(self, frac_bits: u32) -> Fx {
+        let diff = frac_bits as i32 - self.frac_bits as i32;
+        let raw = if diff >= 0 {
+            self.raw << diff
+        } else {
+            // Round to nearest on downscale.
+            let shift = -diff;
+            (self.raw + (1 << (shift - 1))) >> shift
+        };
+        Fx { raw, frac_bits }
+    }
+
+    /// Zero in the given format.
+    pub fn zero(frac_bits: u32) -> Fx {
+        Fx { raw: 0, frac_bits }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example() {
+        // Appendix C: range [0,2], m = 16 bits, encoding 39131 represents
+        // 2·39131·2⁻¹⁶ ≈ 1.19. In Fx terms: value with 15 fraction bits.
+        let v = Fx::from_raw(39131, 15);
+        assert!((v.to_f64() - 1.194).abs() < 0.001);
+    }
+
+    #[test]
+    fn roundtrip_accuracy() {
+        for &v in &[0.0, 0.5, 1.19, 3.75, -2.5, 100.125] {
+            let fx = Fx::from_f64(v, 16);
+            assert!((fx.to_f64() - v).abs() <= fx.resolution());
+        }
+    }
+
+    #[test]
+    fn add_sub_exact() {
+        let a = Fx::from_f64(1.25, 16);
+        let b = Fx::from_f64(0.75, 16);
+        assert_eq!(a.add(b).to_f64(), 2.0);
+        assert_eq!(a.sub(b).to_f64(), 0.5);
+    }
+
+    #[test]
+    fn shifts_are_powers_of_two() {
+        let a = Fx::from_f64(3.0, 16);
+        assert_eq!(a.shift(2).to_f64(), 12.0);
+        assert_eq!(a.shift(-1).to_f64(), 1.5);
+    }
+
+    #[test]
+    fn rescale_preserves_value() {
+        let a = Fx::from_f64(1.19, 20);
+        let b = a.rescale(10);
+        assert!((b.to_f64() - 1.19).abs() < 2.0 * b.resolution());
+        let c = b.rescale(20);
+        assert!((c.to_f64() - b.to_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_values() {
+        let a = Fx::from_f64(-3.5, 12);
+        assert_eq!(a.to_f64(), -3.5);
+        assert_eq!(a.add(Fx::from_f64(3.5, 12)).to_f64(), 0.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Switch-side link-utilization EWMA (paper §4.3 "Tuning HPCC calculation
+//! for switch computation" and Appendix B).
+//!
+//! PINT moves HPCC's utilization estimate from the host into the switch.
+//! Each link maintains
+//!
+//! ```text
+//! U ← (T−τ)/T · U  +  qlen·τ/(B·T²)  +  byte/(B·T)
+//! ```
+//!
+//! updated on *every* dequeued packet. Per the paper's footnote 10, `τ` is
+//! the packet's **time occupation** of the link — the gap since the
+//! previous dequeue on this link (equal to the serialization time when the
+//! link is saturated, larger when it idles), so that an idling link's
+//! utilization decays. `T` is the base RTT and `B` the link bandwidth.
+//!
+//! The switch cannot multiply, so Appendix B evaluates each product
+//! through logarithms:
+//!
+//! ```text
+//! U_term    = log(T−τ) − log T + log U
+//! qlen_term = log qlen + log τ − log B − 2·log T
+//! byte_term = log byte − log B − log T
+//! U         = 2^U_term + 2^qlen_term + 2^byte_term
+//! ```
+//!
+//! All `log`/`2^x` evaluations go through the `q`-bit lookup tables of
+//! [`LogExpTables`] with *stochastic* rounding — deterministic rounding
+//! would freeze the EWMA at spurious fixed points because the per-packet
+//! decay `log((T−τ)/T)` is of the same order as the table resolution (see
+//! the `deterministic_rounding_biases_the_ewma` test).
+//! [`SwitchUtilization::exact_update`] is the real-arithmetic reference
+//! the tests compare against.
+
+use crate::fixedpoint::Fx;
+use crate::lut::LogExpTables;
+
+/// Fixed-point format for utilization values.
+const U_FRAC: u32 = 20;
+/// Fixed-point format for the log-domain terms.
+const LOG_FRAC: u32 = 20;
+
+/// Per-link utilization EWMA computed with data-plane primitives.
+#[derive(Debug, Clone)]
+pub struct SwitchUtilization {
+    tables: LogExpTables,
+    /// Base RTT `T` in nanoseconds.
+    t_ns: u64,
+    /// Link bandwidth in bytes per nanosecond.
+    bandwidth: f64,
+    /// Current EWMA utilization `U`.
+    u: Fx,
+    /// Exact `log₂ T`.
+    log_t: Fx,
+    /// Exact `log₂ B` (B in bytes/ns; may be negative for slow links).
+    log_b: Fx,
+    /// Timestamp of the previous dequeue.
+    last_ts: Option<u64>,
+    /// Dither counter driving the stochastic table rounding (in hardware:
+    /// the switch's hash unit applied to a packet counter).
+    dither: u64,
+}
+
+impl SwitchUtilization {
+    /// Creates the per-link state. `q` is the lookup-table precision
+    /// (12 suffices; see the bias test), `t_ns` the base RTT,
+    /// `bandwidth_bytes_per_ns` the link speed (e.g. 12.5 for 100 Gbps).
+    pub fn new(q: u32, t_ns: u64, bandwidth_bytes_per_ns: f64) -> Self {
+        assert!(t_ns > 1);
+        assert!(bandwidth_bytes_per_ns > 0.0);
+        let tables = LogExpTables::new(q, LOG_FRAC);
+        Self {
+            tables,
+            t_ns,
+            bandwidth: bandwidth_bytes_per_ns,
+            u: Fx::zero(U_FRAC),
+            log_t: Fx::from_f64((t_ns as f64).log2(), LOG_FRAC),
+            log_b: Fx::from_f64(bandwidth_bytes_per_ns.log2(), LOG_FRAC),
+            last_ts: None,
+            dither: 0x2545_F491_4F6C_DD1D,
+        }
+    }
+
+    /// Next dither draw in `[0, 1)` (SplitMix-style; a hardware hash unit).
+    fn next_dither(&mut self) -> f64 {
+        self.dither = self.dither.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.dither;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The current utilization estimate.
+    pub fn utilization(&self) -> f64 {
+        self.u.to_f64()
+    }
+
+    /// `log₂` of a positive integer with stochastic mantissa rounding.
+    fn slog(&mut self, x: u64) -> Fx {
+        let d = self.next_dither();
+        self.tables.log2_fx_stochastic(Fx::from_raw(x.max(1) as i64, 0), d)
+    }
+
+    /// Updates `U` at a dequeue happening at time `now_ns` using only
+    /// data-plane operations; returns the new estimate.
+    pub fn on_packet_dequeue(&mut self, now_ns: u64, qlen_bytes: u64, pkt_bytes: u64) -> f64 {
+        // τ = gap since previous dequeue, clamped to (0, T).
+        let tau = match self.last_ts {
+            Some(last) => now_ns.saturating_sub(last).clamp(1, self.t_ns - 1),
+            None => self.t_ns - 1,
+        };
+        self.last_ts = Some(now_ns);
+
+        // U_term = log(T−τ) − log T + log U   (skipped while U = 0).
+        let mut next = Fx::zero(U_FRAC);
+        if self.u.raw() > 0 {
+            let log_u = {
+                let d = self.next_dither();
+                self.tables.log2_fx_stochastic(self.u, d)
+            };
+            let u_term = self.slog(self.t_ns - tau).sub(self.log_t).add(log_u);
+            let d = self.next_dither();
+            next = next.add(self.tables.exp2_fx_stochastic(u_term, U_FRAC, d));
+        }
+        // qlen_term = log qlen + log τ − log B − 2·log T.
+        if qlen_bytes > 0 {
+            let qlen_term = self
+                .slog(qlen_bytes)
+                .add(self.slog(tau))
+                .sub(self.log_b)
+                .sub(self.log_t)
+                .sub(self.log_t);
+            let d = self.next_dither();
+            next = next.add(self.tables.exp2_fx_stochastic(qlen_term, U_FRAC, d));
+        }
+        // byte_term = log byte − log B − log T.
+        let byte_term = self.slog(pkt_bytes).sub(self.log_b).sub(self.log_t);
+        let d = self.next_dither();
+        next = next.add(self.tables.exp2_fx_stochastic(byte_term, U_FRAC, d));
+
+        self.u = next;
+        self.u.to_f64()
+    }
+
+    /// Reference update in exact arithmetic; used by tests to bound the
+    /// data-plane approximation error.
+    pub fn exact_update(
+        u: f64,
+        tau_ns: u64,
+        qlen_bytes: u64,
+        pkt_bytes: u64,
+        t_ns: u64,
+        b: f64,
+    ) -> f64 {
+        let t = t_ns as f64;
+        let tau = tau_ns as f64;
+        (t - tau) / t * u
+            + (qlen_bytes as f64) * tau / (b * t * t)
+            + pkt_bytes as f64 / (b * t)
+    }
+
+    /// The configured base RTT in nanoseconds.
+    pub fn base_rtt_ns(&self) -> u64 {
+        self.t_ns
+    }
+
+    /// The configured bandwidth in bytes/ns.
+    pub fn bandwidth_bytes_per_ns(&self) -> f64 {
+        self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a saturated link: 1000B packets back-to-back at 100 Gbps
+    /// (80 ns apart).
+    fn saturate(su: &mut SwitchUtilization, start: u64, n: u64, qlen: u64) -> u64 {
+        let mut now = start;
+        for _ in 0..n {
+            now += 80;
+            su.on_packet_dequeue(now, qlen, 1000);
+        }
+        now
+    }
+
+    #[test]
+    fn saturated_link_converges_to_one() {
+        // Back-to-back packets, empty queue: steady state
+        // U = (1−τ/T)U + byte/(B·T) with τ = byte/B ⇒ U* = 1.
+        let mut su = SwitchUtilization::new(12, 13_000, 12.5);
+        saturate(&mut su, 0, 5_000, 0);
+        let u = su.utilization();
+        assert!((u - 1.0).abs() < 0.05, "steady U {u}");
+    }
+
+    #[test]
+    fn queue_buildup_raises_utilization_above_one() {
+        let mut su = SwitchUtilization::new(12, 13_000, 12.5);
+        saturate(&mut su, 0, 5_000, 100_000);
+        assert!(su.utilization() > 1.3, "U {}", su.utilization());
+    }
+
+    #[test]
+    fn half_rate_link_reads_half() {
+        // One 1000B packet every 160 ns on a 12.5 B/ns link = 50% load.
+        let mut su = SwitchUtilization::new(12, 13_000, 12.5);
+        let mut now = 0;
+        for _ in 0..10_000 {
+            now += 160;
+            su.on_packet_dequeue(now, 0, 1000);
+        }
+        let u = su.utilization();
+        assert!((u - 0.5).abs() < 0.05, "U {u} at 50% load");
+    }
+
+    #[test]
+    fn idle_gaps_decay_utilization() {
+        let mut su = SwitchUtilization::new(12, 13_000, 12.5);
+        let now = saturate(&mut su, 0, 3_000, 200_000);
+        let high = su.utilization();
+        // Sparse keep-alives: one small packet per ~half RTT.
+        let mut t = now;
+        for _ in 0..200 {
+            t += 6_000;
+            su.on_packet_dequeue(t, 0, 64);
+        }
+        let low = su.utilization();
+        assert!(low < high / 10.0, "did not decay: {high} → {low}");
+    }
+
+    #[test]
+    fn tracks_exact_reference() {
+        let mut su = SwitchUtilization::new(12, 13_000, 12.5);
+        let mut exact = 0.0;
+        let mut now = 0u64;
+        let mut last = 0u64;
+        for i in 0..20_000u64 {
+            let pkt = if i % 7 == 0 { 64 } else { 1000 };
+            let qlen = if i % 100 < 30 { 50_000 } else { 0 };
+            let gap = if i % 13 == 0 { 900 } else { 80 };
+            now += gap;
+            su.on_packet_dequeue(now, qlen, pkt);
+            let tau = (now - last).clamp(1, 12_999);
+            last = now;
+            exact = SwitchUtilization::exact_update(exact, tau, qlen, pkt, 13_000, 12.5);
+        }
+        let got = su.utilization();
+        assert!(
+            (got - exact).abs() / exact < 0.08,
+            "data-plane {got} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn deterministic_rounding_biases_the_ewma() {
+        // The "errors compound" caveat of Appendix C in action: iterating
+        // U ← 2^(decay + log₂U) + c with *deterministic* q = 8 rounding
+        // locks into a fixed point away from the true steady state 1,
+        // because the per-step roundtrip error (~0.3%) is the same order
+        // as the per-packet decay (τ/T ≈ 0.6%). The stochastic rounding
+        // used by `SwitchUtilization` removes the bias even at q = 8.
+        let tables = LogExpTables::new(8, 20);
+        let decay = Fx::from_f64((1.0f64 - 80.0 / 13_000.0).log2(), 20);
+        let c = Fx::from_f64(80.0 / 13_000.0, 20);
+        let mut u = c;
+        for _ in 0..5_000 {
+            let term = decay.add(tables.log2_fx(u));
+            u = tables.exp2_fx(term, 20).add(c);
+        }
+        let det = u.to_f64();
+        assert!((det - 1.0).abs() > 0.05, "expected visible bias, got {det}");
+
+        let mut stoch = SwitchUtilization::new(8, 13_000, 12.5);
+        saturate(&mut stoch, 0, 5_000, 0);
+        let s = stoch.utilization();
+        assert!((s - 1.0).abs() < 0.06, "stochastic q=8 should track: {s}");
+    }
+
+    #[test]
+    fn starts_at_zero() {
+        let su = SwitchUtilization::new(12, 13_000, 12.5);
+        assert_eq!(su.utilization(), 0.0);
+    }
+}

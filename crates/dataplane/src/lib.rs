@@ -1,0 +1,31 @@
+//! Programmable-switch data-plane model (paper §5 and Appendices B, C).
+//!
+//! PINT is implemented in P4 on commodity programmable switches, which
+//! cannot multiply, divide, or take logarithms natively. The paper's
+//! Appendix C describes the standard workarounds, all modeled here:
+//!
+//! * [`fixedpoint`] — fixed-point representation of real values (a scaling
+//!   factor `R` maps `m`-bit integers onto `[0, R]`).
+//! * [`lut`] — `log₂`/`2^x` approximation with a TCAM most-significant-bit
+//!   lookup plus a `2^q`-entry lookup table on the next `q` bits.
+//! * [`arith`] — approximate multiply/divide via
+//!   `x·y = 2^(log₂x + log₂y)`.
+//! * [`hpcc_util`] — the switch-side link-utilization EWMA of Appendix B,
+//!   computed entirely with the approximate primitives.
+//! * [`pipeline`] — the match-action pipeline-stage model used to validate
+//!   that PINT's queries fit a Tofino-like stage budget (Fig. 6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod fixedpoint;
+pub mod hpcc_util;
+pub mod lut;
+pub mod pipeline;
+
+pub use arith::ApproxAlu;
+pub use fixedpoint::Fx;
+pub use hpcc_util::SwitchUtilization;
+pub use lut::LogExpTables;
+pub use pipeline::{Op, OpKind, Pipeline, PipelineError, Stage};

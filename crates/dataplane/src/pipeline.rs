@@ -1,0 +1,426 @@
+//! Match-action pipeline model (paper §5, Fig. 6).
+//!
+//! Programmable switches execute a packet program as a short sequence of
+//! match-action *stages*. Constraints the paper contends with (§3.5):
+//! a limited number of stages, a bounded number of operations per stage,
+//! and the rule that an operation may only read values produced in
+//! *earlier* stages (the pipeline is feed-forward; recirculation is the
+//! escape hatch).
+//!
+//! [`Pipeline`] validates a stage layout against these constraints. The
+//! constructors under [`layouts`] reproduce the paper's placements:
+//! path tracing in 4 stages, latency quantiles in 4 stages, HPCC in 8, and
+//! the Fig. 6 *combined* layout that runs all three queries concurrently in
+//! the same 8 stages by exploiting query independence.
+
+use std::collections::HashSet;
+
+/// Kinds of primitive operations a stage can host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Hash computation (CRC/`GlobalHash` unit).
+    Hash,
+    /// Stateful register read-modify-write.
+    Register,
+    /// Stateless ALU arithmetic (add/sub/shift/compare).
+    Alu,
+    /// SRAM/TCAM table lookup.
+    TableLookup,
+    /// Header field write.
+    HeaderWrite,
+}
+
+/// One primitive operation, with an explicit dataflow signature.
+#[derive(Debug, Clone)]
+pub struct Op {
+    /// Name for diagnostics (e.g. `"compute g"`).
+    pub name: String,
+    /// Operation class.
+    pub kind: OpKind,
+    /// Fields/metadata this op reads.
+    pub reads: Vec<String>,
+    /// Fields/metadata this op writes.
+    pub writes: Vec<String>,
+}
+
+impl Op {
+    /// Creates an op.
+    pub fn new(name: &str, kind: OpKind, reads: &[&str], writes: &[&str]) -> Self {
+        Self {
+            name: name.to_owned(),
+            kind,
+            reads: reads.iter().map(|s| (*s).to_owned()).collect(),
+            writes: writes.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+}
+
+/// One pipeline stage: a bundle of ops executing in parallel.
+#[derive(Debug, Clone, Default)]
+pub struct Stage {
+    /// Stage label.
+    pub name: String,
+    /// The ops placed in this stage.
+    pub ops: Vec<Op>,
+}
+
+/// Validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// More stages than the target permits.
+    TooManyStages {
+        /// Stages used.
+        used: usize,
+        /// Stage budget.
+        budget: usize,
+    },
+    /// A stage hosts more ops than the per-stage budget.
+    StageTooWide {
+        /// Offending stage index.
+        stage: usize,
+        /// Ops placed.
+        used: usize,
+        /// Per-stage budget.
+        budget: usize,
+    },
+    /// An op reads a field written in the same or a later stage.
+    DataHazard {
+        /// Offending stage index.
+        stage: usize,
+        /// The op.
+        op: String,
+        /// The field with the hazard.
+        field: String,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::TooManyStages { used, budget } => {
+                write!(f, "{used} stages exceed budget of {budget}")
+            }
+            PipelineError::StageTooWide { stage, used, budget } => {
+                write!(f, "stage {stage} hosts {used} ops, budget {budget}")
+            }
+            PipelineError::DataHazard { stage, op, field } => {
+                write!(f, "op '{op}' in stage {stage} reads '{field}' before it is produced")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// A pipeline program: stages plus the hardware budget.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// The stages in execution order.
+    pub stages: Vec<Stage>,
+    /// Maximum number of stages (Tofino-class: 12 per direction).
+    pub max_stages: usize,
+    /// Maximum ops per stage.
+    pub max_ops_per_stage: usize,
+    /// Fields available before stage 0 (packet headers, intrinsic metadata).
+    pub inputs: HashSet<String>,
+}
+
+impl Pipeline {
+    /// A Tofino-like budget: 12 stages, 4 parallel ops per stage.
+    pub fn tofino(inputs: &[&str]) -> Self {
+        Self {
+            stages: Vec::new(),
+            max_stages: 12,
+            max_ops_per_stage: 4,
+            inputs: inputs.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+
+    /// Appends a stage.
+    pub fn stage(mut self, name: &str, ops: Vec<Op>) -> Self {
+        self.stages.push(Stage { name: name.to_owned(), ops });
+        self
+    }
+
+    /// Number of stages used.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// `true` if no stage was added.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Validates stage budget, width, and feed-forward dataflow.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        if self.stages.len() > self.max_stages {
+            return Err(PipelineError::TooManyStages {
+                used: self.stages.len(),
+                budget: self.max_stages,
+            });
+        }
+        let mut available = self.inputs.clone();
+        for (i, stage) in self.stages.iter().enumerate() {
+            if stage.ops.len() > self.max_ops_per_stage {
+                return Err(PipelineError::StageTooWide {
+                    stage: i,
+                    used: stage.ops.len(),
+                    budget: self.max_ops_per_stage,
+                });
+            }
+            for op in &stage.ops {
+                for r in &op.reads {
+                    if !available.contains(r) {
+                        return Err(PipelineError::DataHazard {
+                            stage: i,
+                            op: op.name.clone(),
+                            field: r.clone(),
+                        });
+                    }
+                }
+            }
+            // Writes become visible to *later* stages only.
+            for op in &stage.ops {
+                for w in &op.writes {
+                    available.insert(w.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The paper's concrete stage placements (§5).
+pub mod layouts {
+    use super::*;
+
+    /// Path tracing (static per-flow): "four pipeline stages: the first
+    /// chooses a layer, another computes `g`, the third hashes the switch
+    /// ID …, and the last writes the digest" (§5). Two hash instances run
+    /// in parallel within the same stages.
+    pub fn path_tracing() -> Pipeline {
+        Pipeline::tofino(&["pkt.id", "pkt.ttl", "sw.id", "pkt.digest"])
+            .stage("choose layer", vec![Op::new("H(pid)", OpKind::Hash, &["pkt.id"], &["meta.layer"])])
+            .stage("compute g", vec![
+                Op::new("g1(pid,hop)", OpKind::Hash, &["pkt.id", "pkt.ttl"], &["meta.g1"]),
+                Op::new("g2(pid,hop)", OpKind::Hash, &["pkt.id", "pkt.ttl"], &["meta.g2"]),
+            ])
+            .stage("hash switch id", vec![
+                Op::new("h1(sw,pid)", OpKind::Hash, &["sw.id", "pkt.id"], &["meta.h1"]),
+                Op::new("h2(sw,pid)", OpKind::Hash, &["sw.id", "pkt.id"], &["meta.h2"]),
+            ])
+            .stage("write digest", vec![Op::new(
+                "conditional write/xor",
+                OpKind::HeaderWrite,
+                &["meta.layer", "meta.g1", "meta.g2", "meta.h1", "meta.h2", "pkt.digest"],
+                &["pkt.digest"],
+            )])
+    }
+
+    /// Median/tail latency (dynamic per-flow): "four pipeline stages: one
+    /// for computing the latency, one for compressing it, one to compute
+    /// `g`, and one to overwrite the value if needed" (§5).
+    pub fn latency_quantiles() -> Pipeline {
+        Pipeline::tofino(&["pkt.id", "pkt.ttl", "sw.ingress_ts", "sw.egress_ts", "pkt.digest"])
+            .stage("compute latency", vec![Op::new(
+                "egress-ingress",
+                OpKind::Alu,
+                &["sw.ingress_ts", "sw.egress_ts"],
+                &["meta.latency"],
+            )])
+            .stage("compress value", vec![Op::new(
+                "log-encode",
+                OpKind::TableLookup,
+                &["meta.latency"],
+                &["meta.compressed"],
+            )])
+            .stage("compute g", vec![Op::new(
+                "g(pid,hop)",
+                OpKind::Hash,
+                &["pkt.id", "pkt.ttl"],
+                &["meta.g"],
+            )])
+            .stage("write digest", vec![Op::new(
+                "conditional overwrite",
+                OpKind::HeaderWrite,
+                &["meta.g", "meta.compressed", "pkt.digest"],
+                &["pkt.digest"],
+            )])
+    }
+
+    /// HPCC congestion control (per-packet): "six pipeline stages to
+    /// compute the link utilization, followed by a stage for approximating
+    /// the value and another to write the digest" (§5).
+    pub fn hpcc() -> Pipeline {
+        Pipeline::tofino(&["pkt.id", "pkt.bytes", "port.qlen", "pkt.digest", "reg.U"])
+            // Six stages of "HPCC arithmetics" (Appendix B, via log/exp).
+            .stage("msb/log inputs", vec![
+                Op::new("log qlen", OpKind::TableLookup, &["port.qlen"], &["meta.log_qlen"]),
+                Op::new("log byte", OpKind::TableLookup, &["pkt.bytes"], &["meta.log_byte"]),
+            ])
+            .stage("log tau", vec![Op::new(
+                "log τ = log byte − log B",
+                OpKind::Alu,
+                &["meta.log_byte"],
+                &["meta.log_tau"],
+            )])
+            .stage("read U", vec![Op::new("read reg.U", OpKind::Register, &["reg.U"], &["meta.U"])])
+            .stage("log U", vec![Op::new("log U", OpKind::TableLookup, &["meta.U"], &["meta.log_U"])])
+            .stage("terms", vec![
+                Op::new("U_term", OpKind::Alu, &["meta.log_U", "meta.log_tau"], &["meta.u_term"]),
+                Op::new("qlen_term", OpKind::Alu, &["meta.log_qlen", "meta.log_tau"], &["meta.qlen_term"]),
+                Op::new("byte_term", OpKind::Alu, &["meta.log_byte"], &["meta.byte_term"]),
+            ])
+            .stage("exp + sum", vec![Op::new(
+                "2^terms sum",
+                OpKind::TableLookup,
+                &["meta.u_term", "meta.qlen_term", "meta.byte_term"],
+                &["meta.U_new"],
+            )])
+            .stage("approximate value + writeback", vec![
+                Op::new("multiplicative encode", OpKind::TableLookup,
+                    &["meta.U_new", "pkt.id"], &["meta.code"]),
+                Op::new("write reg.U", OpKind::Register, &["meta.U_new"], &["reg.U"]),
+            ])
+            .stage("write digest", vec![Op::new(
+                "max into digest",
+                OpKind::HeaderWrite,
+                &["meta.code", "pkt.digest"],
+                &["pkt.digest"],
+            )])
+    }
+
+    /// The combined layout of Fig. 6: all three queries run concurrently;
+    /// the query-subset choice overlaps HPCC's arithmetic stages, so the
+    /// total stage count equals HPCC alone (8 stages).
+    pub fn combined() -> Pipeline {
+        Pipeline::tofino(&[
+            "pkt.id", "pkt.ttl", "pkt.bytes", "sw.id", "sw.ingress_ts", "sw.egress_ts",
+            "port.qlen", "pkt.digest", "reg.U",
+        ])
+        // Stage 1: HPCC log lookups ∥ latency computation ∥ g for tracing.
+        .stage("s1", vec![
+            Op::new("log qlen", OpKind::TableLookup, &["port.qlen"], &["meta.log_qlen"]),
+            Op::new("log byte", OpKind::TableLookup, &["pkt.bytes"], &["meta.log_byte"]),
+            Op::new("compute latency", OpKind::Alu, &["sw.ingress_ts", "sw.egress_ts"], &["meta.latency"]),
+            Op::new("choose layer", OpKind::Hash, &["pkt.id"], &["meta.layer"]),
+        ])
+        // Stage 2: HPCC ∥ compress latency ∥ g hashes.
+        .stage("s2", vec![
+            Op::new("log tau", OpKind::Alu, &["meta.log_byte"], &["meta.log_tau"]),
+            Op::new("compress latency", OpKind::TableLookup, &["meta.latency"], &["meta.lat_code"]),
+            Op::new("g1", OpKind::Hash, &["pkt.id", "pkt.ttl"], &["meta.g1"]),
+            Op::new("g2", OpKind::Hash, &["pkt.id", "pkt.ttl"], &["meta.g2"]),
+        ])
+        // Stage 3: HPCC register ∥ switch-ID hashes ∥ query-subset choice.
+        .stage("s3", vec![
+            Op::new("read U", OpKind::Register, &["reg.U"], &["meta.U"]),
+            Op::new("h1(sw,pid)", OpKind::Hash, &["sw.id", "pkt.id"], &["meta.h1"]),
+            Op::new("h2(sw,pid)", OpKind::Hash, &["sw.id", "pkt.id"], &["meta.h2"]),
+            Op::new("choose query subset", OpKind::Hash, &["pkt.id"], &["meta.queries"]),
+        ])
+        .stage("s4", vec![
+            Op::new("log U", OpKind::TableLookup, &["meta.U"], &["meta.log_U"]),
+            Op::new("g latency", OpKind::Hash, &["pkt.id", "pkt.ttl"], &["meta.g_lat"]),
+        ])
+        .stage("s5", vec![
+            Op::new("U_term", OpKind::Alu, &["meta.log_U", "meta.log_tau"], &["meta.u_term"]),
+            Op::new("qlen_term", OpKind::Alu, &["meta.log_qlen", "meta.log_tau"], &["meta.qlen_term"]),
+            Op::new("byte_term", OpKind::Alu, &["meta.log_byte"], &["meta.byte_term"]),
+        ])
+        .stage("s6", vec![
+            Op::new("2^terms sum", OpKind::TableLookup,
+                &["meta.u_term", "meta.qlen_term", "meta.byte_term"], &["meta.U_new"]),
+        ])
+        .stage("s7", vec![
+            Op::new("encode U", OpKind::TableLookup, &["meta.U_new", "pkt.id"], &["meta.u_code"]),
+            Op::new("write reg.U", OpKind::Register, &["meta.U_new"], &["reg.U"]),
+        ])
+        // Stage 8: write all selected query digests.
+        .stage("s8", vec![
+            Op::new("write path digest", OpKind::HeaderWrite,
+                &["meta.queries", "meta.layer", "meta.g1", "meta.g2", "meta.h1", "meta.h2", "pkt.digest"],
+                &["pkt.digest"]),
+            Op::new("write latency digest", OpKind::HeaderWrite,
+                &["meta.queries", "meta.g_lat", "meta.lat_code", "pkt.digest"], &["pkt.digest"]),
+            Op::new("write hpcc digest", OpKind::HeaderWrite,
+                &["meta.queries", "meta.u_code", "pkt.digest"], &["pkt.digest"]),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::layouts;
+    use super::*;
+
+    #[test]
+    fn path_tracing_fits_four_stages() {
+        let p = layouts::path_tracing();
+        assert_eq!(p.len(), 4, "§5: path tracing requires four stages");
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn latency_fits_four_stages() {
+        let p = layouts::latency_quantiles();
+        assert_eq!(p.len(), 4, "§5: latency requires four stages");
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn hpcc_fits_eight_stages() {
+        let p = layouts::hpcc();
+        assert_eq!(p.len(), 8, "§5: 6 arithmetic + approximate + write");
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn combined_no_wider_than_hpcc_alone() {
+        // Fig. 6's point: running all three queries concurrently does not
+        // increase the stage count over HPCC alone.
+        let combined = layouts::combined();
+        combined.validate().unwrap();
+        assert_eq!(combined.len(), layouts::hpcc().len());
+    }
+
+    #[test]
+    fn stage_budget_enforced() {
+        let p = Pipeline::tofino(&["x"]);
+        let p = (0..13).fold(p, |p, i| {
+            p.stage(&format!("s{i}"), vec![Op::new("nop", OpKind::Alu, &["x"], &[])])
+        });
+        assert!(matches!(
+            p.validate(),
+            Err(PipelineError::TooManyStages { used: 13, budget: 12 })
+        ));
+    }
+
+    #[test]
+    fn width_budget_enforced() {
+        let ops: Vec<Op> = (0..5)
+            .map(|i| Op::new(&format!("op{i}"), OpKind::Alu, &["x"], &[]))
+            .collect();
+        let p = Pipeline::tofino(&["x"]).stage("wide", ops);
+        assert!(matches!(
+            p.validate(),
+            Err(PipelineError::StageTooWide { used: 5, budget: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn data_hazard_detected() {
+        // Reading a value in the same stage it is produced is illegal.
+        let p = Pipeline::tofino(&["x"]).stage("bad", vec![
+            Op::new("produce", OpKind::Alu, &["x"], &["y"]),
+            Op::new("consume", OpKind::Alu, &["y"], &["z"]),
+        ]);
+        assert!(matches!(p.validate(), Err(PipelineError::DataHazard { .. })));
+        // Split across two stages it becomes legal.
+        let p = Pipeline::tofino(&["x"])
+            .stage("a", vec![Op::new("produce", OpKind::Alu, &["x"], &["y"])])
+            .stage("b", vec![Op::new("consume", OpKind::Alu, &["y"], &["z"])]);
+        p.validate().unwrap();
+    }
+}

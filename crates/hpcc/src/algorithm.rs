@@ -1,0 +1,285 @@
+//! The HPCC window computation (transport-agnostic).
+//!
+//! Faithful to HPCC's Algorithm 1 with the PINT paper's settings
+//! (§6.1): `W_AI = 80` bytes, `maxStage = 0`, `η = 95%`, `T = 13 µs`.
+//! `maxStage = 0` means every update takes the multiplicative branch
+//! `W = W_c/(U/η) + W_AI`; the reference window `W_c` is frozen for an
+//! RTT at a time ("no overreaction": stability is guaranteed by the
+//! constant reference window regardless of the feedback frequency `p`,
+//! as §6.1 argues for Fig. 8).
+
+use pint_netsim::packet::IntRecord;
+use pint_netsim::Nanos;
+use std::collections::HashMap;
+
+/// HPCC parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HpccConfig {
+    /// Target utilization η (paper: 0.95).
+    pub eta: f64,
+    /// Additive increase per update, bytes (paper: 80).
+    pub wai_bytes: f64,
+    /// Max additive-increase stages before forcing the multiplicative
+    /// branch (paper setting: 0).
+    pub max_stage: u32,
+    /// Base RTT `T`, ns (paper: 13 µs).
+    pub base_rtt_ns: Nanos,
+}
+
+impl Default for HpccConfig {
+    fn default() -> Self {
+        Self { eta: 0.95, wai_bytes: 80.0, max_stage: 0, base_rtt_ns: 13_000 }
+    }
+}
+
+/// Per-link state remembered from the previous ACK (INT mode).
+#[derive(Debug, Clone, Copy)]
+struct LinkSnapshot {
+    ts: Nanos,
+    tx_bytes: u64,
+    qlen_bytes: u64,
+}
+
+/// The sender-side HPCC state machine (window math only).
+#[derive(Debug, Clone)]
+pub struct HpccState {
+    cfg: HpccConfig,
+    /// Current window, bytes.
+    w: f64,
+    /// Reference window, bytes.
+    wc: f64,
+    /// Maximum window (line-rate BDP), bytes.
+    w_max: f64,
+    /// Minimum window, bytes.
+    w_min: f64,
+    inc_stage: u32,
+    /// Sequence after which `W_c` may be refreshed (once per RTT).
+    last_update_seq: u64,
+    /// Host-side utilization EWMA (INT mode).
+    u_ewma: f64,
+    /// The EWMA is seeded from the first sample (like TCP's srtt).
+    u_initialized: bool,
+    last_ack_ts: Option<Nanos>,
+    /// Per-link snapshots from the previous ACK (INT mode).
+    links: HashMap<usize, LinkSnapshot>,
+}
+
+impl HpccState {
+    /// Creates the state with an initial (and maximum) window of
+    /// `bdp_bytes` — HPCC starts at line rate.
+    pub fn new(cfg: HpccConfig, bdp_bytes: u64, mss: u32) -> Self {
+        let w0 = bdp_bytes.max(u64::from(mss)) as f64;
+        Self {
+            cfg,
+            w: w0,
+            wc: w0,
+            w_max: w0,
+            w_min: f64::from(mss),
+            inc_stage: 0,
+            last_update_seq: 0,
+            u_ewma: 0.0,
+            u_initialized: false,
+            last_ack_ts: None,
+            links: HashMap::new(),
+        }
+    }
+
+    /// Current window in bytes.
+    pub fn window(&self) -> u64 {
+        self.w as u64
+    }
+
+    /// Host-side utilization estimate (diagnostics).
+    pub fn utilization(&self) -> f64 {
+        self.u_ewma
+    }
+
+    /// Processes per-link INT feedback: computes `max_i u_i`, folds it
+    /// into the host EWMA, and updates the window. `ack_seq` and
+    /// `snd_nxt` implement the once-per-RTT `W_c` refresh.
+    pub fn on_int_ack(
+        &mut self,
+        now: Nanos,
+        ack_seq: u64,
+        snd_nxt: u64,
+        stack: &[IntRecord],
+    ) {
+        let t = self.cfg.base_rtt_ns as f64;
+        let mut u = 0.0f64;
+        for rec in stack {
+            if let Some(prev) = self.links.get(&rec.link) {
+                let dt = rec.ts.saturating_sub(prev.ts) as f64;
+                if dt > 0.0 {
+                    let b_bytes_per_ns = rec.bandwidth_bps as f64 / 8.0e9;
+                    let tx_rate = (rec.tx_bytes.saturating_sub(prev.tx_bytes)) as f64 / dt;
+                    let qlen = rec.qlen_bytes.min(prev.qlen_bytes) as f64;
+                    let ui = qlen / (b_bytes_per_ns * t) + tx_rate / b_bytes_per_ns;
+                    u = u.max(ui);
+                }
+            }
+            self.links.insert(
+                rec.link,
+                LinkSnapshot { ts: rec.ts, tx_bytes: rec.tx_bytes, qlen_bytes: rec.qlen_bytes },
+            );
+        }
+        if u > 0.0 {
+            if self.u_initialized {
+                // Host EWMA over the ACK train: weight = inter-ACK gap / T.
+                let tau = match self.last_ack_ts {
+                    Some(last) => ((now.saturating_sub(last)) as f64).min(t),
+                    None => t,
+                };
+                self.u_ewma = (1.0 - tau / t) * self.u_ewma + (tau / t) * u;
+            } else {
+                self.u_ewma = u;
+                self.u_initialized = true;
+            }
+            self.update_window(ack_seq, snd_nxt);
+        }
+        self.last_ack_ts = Some(now);
+    }
+
+    /// Processes a PINT utilization digest: the switches already did the
+    /// EWMA (Appendix B); the digest is the path maximum.
+    pub fn on_pint_ack(&mut self, _now: Nanos, ack_seq: u64, snd_nxt: u64, utilization: f64) {
+        if utilization <= 0.0 {
+            return; // packet carried no HPCC digest (query frequency p < 1)
+        }
+        self.u_ewma = utilization;
+        self.update_window(ack_seq, snd_nxt);
+    }
+
+    fn update_window(&mut self, ack_seq: u64, snd_nxt: u64) {
+        let update_wc = ack_seq > self.last_update_seq;
+        let u = self.u_ewma;
+        if u >= self.cfg.eta || self.inc_stage >= self.cfg.max_stage {
+            // Multiplicative adjustment toward η.
+            self.w = self.wc / (u / self.cfg.eta).max(1e-3) + self.cfg.wai_bytes;
+            if update_wc {
+                self.inc_stage = 0;
+            }
+        } else {
+            self.w = self.wc + self.cfg.wai_bytes;
+            if update_wc {
+                self.inc_stage += 1;
+            }
+        }
+        self.w = self.w.clamp(self.w_min, self.w_max);
+        if update_wc {
+            self.wc = self.w;
+            self.last_update_seq = snd_nxt;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(link: usize, ts: Nanos, tx: u64, qlen: u64, bps: u64) -> IntRecord {
+        IntRecord { switch: 0, link, ts, qlen_bytes: qlen, tx_bytes: tx, bandwidth_bps: bps }
+    }
+
+    /// Feed a steady utilization and check the fixed point W* ≈ η·BDP.
+    #[test]
+    fn converges_to_eta_times_bdp() {
+        let bdp = 125_000u64; // 100 Gbps × 10 µs / 8
+        let mut st = HpccState::new(HpccConfig::default(), bdp, 1000);
+        // Simulate: link utilization tracks W/BDP (no queue).
+        let mut seq = 0u64;
+        for i in 0..2_000 {
+            let u = st.window() as f64 / bdp as f64;
+            seq += 1000;
+            st.on_pint_ack(i * 1_000, seq, seq + 100_000, u);
+        }
+        let w = st.window() as f64;
+        let target = 0.95 * bdp as f64;
+        assert!(
+            (w - target).abs() < target * 0.05,
+            "W {w} vs η·BDP {target}"
+        );
+    }
+
+    #[test]
+    fn congestion_shrinks_window() {
+        let bdp = 125_000u64;
+        let mut st = HpccState::new(HpccConfig::default(), bdp, 1000);
+        st.on_pint_ack(0, 1000, 2000, 2.0); // utilization 200%
+        assert!(
+            (st.window() as f64) < 0.55 * bdp as f64,
+            "W {} after U=2",
+            st.window()
+        );
+    }
+
+    #[test]
+    fn idle_path_grows_window_to_max() {
+        let bdp = 125_000u64;
+        let mut st = HpccState::new(HpccConfig::default(), bdp, 1000);
+        // Crush the window first.
+        st.on_pint_ack(0, 1000, 2000, 3.0);
+        let low = st.window();
+        // Now very low utilization: multiplicative increase back up.
+        let mut seq = 2000;
+        for i in 0..200 {
+            seq += 1000;
+            st.on_pint_ack(i * 1000, seq, seq + 1000, 0.05);
+        }
+        assert!(st.window() > low * 3, "did not recover: {} → {}", low, st.window());
+        assert!(st.window() <= bdp, "window above line-rate BDP");
+    }
+
+    #[test]
+    fn int_mode_computes_tx_rate_from_deltas() {
+        let mut st = HpccState::new(HpccConfig::default(), 125_000, 1000);
+        // 100 Gbps link = 12.5 B/ns; send 12500 bytes over 1000 ns = rate 1.0.
+        st.on_int_ack(0, 0, 100_000, &[rec(7, 0, 0, 0, 100_000_000_000)]);
+        let w0 = st.window();
+        st.on_int_ack(1_000, 1_000, 100_000, &[rec(7, 1_000, 12_500, 0, 100_000_000_000)]);
+        // Utilization ≈ 1.0 ≥ η ⇒ window shrinks below max.
+        assert!(st.window() < w0, "W should shrink at U≈1: {} → {}", w0, st.window());
+        assert!((st.utilization() - 1.0).abs() < 0.05, "U {}", st.utilization());
+    }
+
+    #[test]
+    fn int_mode_queue_term_counts() {
+        let mut st = HpccState::new(HpccConfig::default(), 125_000, 1000);
+        let b = 100_000_000_000;
+        st.on_int_ack(0, 0, 100_000, &[rec(1, 0, 0, 162_500, b)]);
+        st.on_int_ack(1_000, 1_000, 100_000, &[rec(1, 1_000, 0, 162_500, b)]);
+        // qlen/(B·T) = 162500/(12.5·13000) = 1.0; no tx → u = 1.0.
+        assert!((st.utilization() - 1.0).abs() < 0.1, "U {}", st.utilization());
+    }
+
+    #[test]
+    fn missing_pint_digest_is_a_noop() {
+        let mut st = HpccState::new(HpccConfig::default(), 125_000, 1000);
+        let w = st.window();
+        st.on_pint_ack(0, 1000, 2000, 0.0);
+        assert_eq!(st.window(), w, "zero digest must not update the window");
+    }
+
+    #[test]
+    fn wc_frozen_within_rtt() {
+        // HPCC's "no overreaction": after the once-per-RTT W_c refresh,
+        // every further ACK in the same RTT recomputes W from the *frozen*
+        // W_c, so repeated identical feedback cannot compound.
+        let bdp = 125_000u64;
+        let mut st = HpccState::new(HpccConfig::default(), bdp, 1000);
+        // First ACK crosses the watermark and refreshes W_c.
+        st.on_pint_ack(0, 1_000, 200_000, 1.9);
+        let w1 = st.window();
+        // Subsequent ACKs stay below last_update_seq (= 200 000): frozen.
+        st.on_pint_ack(100, 2_000, 200_000, 1.9);
+        let w2 = st.window();
+        st.on_pint_ack(200, 3_000, 200_000, 1.9);
+        let w3 = st.window();
+        assert_eq!(w2, w3, "same U + frozen Wc must give the same W");
+        assert!(w2 < w1, "one extra shrink right after the refresh is expected");
+        // And the sequence cannot spiral: many more same-RTT ACKs hold W.
+        for i in 0..50 {
+            st.on_pint_ack(300 + i, 4_000 + i, 200_000, 1.9);
+        }
+        assert_eq!(st.window(), w3, "W must not decay further within the RTT");
+    }
+}

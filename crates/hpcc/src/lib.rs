@@ -1,0 +1,35 @@
+//! # pint-hpcc — High Precision Congestion Control on `pint-netsim`
+//!
+//! HPCC (Li et al., SIGCOMM 2019) adjusts the sender window from precise
+//! per-link feedback: INT attaches each hop's `(timestamp, txBytes, qlen,
+//! bandwidth)` to every packet, and the sender reacts to the estimated
+//! *inflight* of the most utilized link:
+//!
+//! ```text
+//! u_i = qlen_i/(B_i·T) + txRate_i/B_i        (per link)
+//! U   = EWMA of max_i u_i                    (per ACK)
+//! W   = W_c/(U/η) + W_AI                     (multiplicative, maxStage=0)
+//! ```
+//!
+//! The PINT paper's first use case (§3.2, §4.3, §6.1) replaces the INT
+//! stack with a single 8-bit digest: switches maintain the utilization
+//! EWMA themselves (Appendix B, computed here with `pint-dataplane`'s
+//! approximate arithmetic) and the packet carries only the *maximum*
+//! compressed utilization along the path (multiplicative encoding,
+//! ε = 0.025, randomized rounding). This bounds the overhead to one byte
+//! regardless of path length — versus INT's 8 bytes per hop.
+//!
+//! * [`algorithm`] — the window computation, transport-agnostic.
+//! * [`transport`] — a `pint-netsim` transport implementation.
+//! * [`pint_hook`] — the switch-side PINT telemetry hook.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod pint_hook;
+pub mod transport;
+
+pub use algorithm::{HpccConfig, HpccState};
+pub use pint_hook::HpccPintHook;
+pub use transport::{FeedbackMode, HpccTransport};

@@ -1,0 +1,219 @@
+//! Switch-side PINT telemetry for HPCC (paper §4.3 Example 3, §5).
+//!
+//! Each egress port maintains the utilization EWMA of Appendix B with
+//! data-plane arithmetic ([`pint_dataplane::SwitchUtilization`]); selected
+//! packets carry the *maximum* utilization along their path, compressed to
+//! 8 bits with ε = 0.025 multiplicative encoding and randomized rounding
+//! ([`pint_core::PerPacketAggregator`]).
+//!
+//! The query frequency `p` (Fig. 8 evaluates p ∈ {1, 1/16, 1/256}) is
+//! honoured via the query-selection global hash, so all switches agree
+//! which packets carry the HPCC digest without communication (§4.1).
+
+use pint_core::hash::GlobalHash;
+use pint_core::perpacket::{PerPacketAggregator, PerPacketOp};
+use pint_core::value::Digest;
+use pint_netsim::packet::Packet;
+use pint_netsim::telemetry::{SwitchView, TelemetryHook};
+use pint_netsim::Nanos;
+use pint_dataplane::SwitchUtilization;
+use std::collections::HashMap;
+
+/// PINT telemetry hook implementing the HPCC use case.
+pub struct HpccPintHook {
+    /// Per-egress-port utilization state.
+    utils: HashMap<usize, SwitchUtilization>,
+    /// Max-aggregation with multiplicative compression.
+    agg: PerPacketAggregator,
+    /// Query-selection hash (frequency `p`).
+    selector: GlobalHash,
+    /// Fraction of packets carrying the digest.
+    frequency: f64,
+    /// Base RTT `T` for the EWMA, ns.
+    base_rtt_ns: Nanos,
+    /// Lookup-table precision for the switch arithmetic.
+    q: u32,
+    /// Digest lane used by this query.
+    lane: usize,
+    /// Total digest lanes on the packet (global budget / 8 bits).
+    lanes: usize,
+    /// Digest bytes reserved on each packet.
+    digest_bytes: u32,
+}
+
+impl HpccPintHook {
+    /// Creates the hook. `digest_bytes` is the global PINT budget on the
+    /// packet (2 bytes in the paper's combined experiment; 1 byte when
+    /// HPCC runs alone), `lane`/`lanes` locate this query's 8-bit share.
+    pub fn new(
+        seed: u64,
+        frequency: f64,
+        base_rtt_ns: Nanos,
+        digest_bytes: u32,
+        lane: usize,
+        lanes: usize,
+    ) -> Self {
+        assert!(frequency > 0.0 && frequency <= 1.0);
+        assert!(lane < lanes);
+        Self {
+            utils: HashMap::new(),
+            // Utilization spans ~[1e-3, 4]: 8 bits at ε = 0.025 (§4.3).
+            agg: PerPacketAggregator::new(PerPacketOp::Max, 0.025, 1e-3, 4.0, seed),
+            selector: GlobalHash::new(seed ^ 0x4070_CC00),
+            frequency,
+            base_rtt_ns,
+            q: 12,
+            lane,
+            lanes,
+            digest_bytes,
+        }
+    }
+
+    /// Whether packet `pid` carries the HPCC digest (global-hash test,
+    /// identical at every switch and at the sender).
+    pub fn selected(&self, pid: u64) -> bool {
+        self.selector.unit1(pid) < self.frequency
+    }
+
+    /// Decodes a digest lane back to a utilization (sender side).
+    pub fn decode(&self, digest: &Digest, lane: usize) -> f64 {
+        if digest.lanes() <= lane {
+            return 0.0;
+        }
+        self.agg.decode(digest, lane)
+    }
+
+    /// The value codec (for tests).
+    pub fn aggregator(&self) -> &PerPacketAggregator {
+        &self.agg
+    }
+
+    /// Advances the per-port utilization EWMA for this packet *without*
+    /// writing a digest — used by combined-query hooks when the execution
+    /// plan assigned this packet to a different query (§6.4): the link
+    /// state must stay current on every packet regardless.
+    pub fn advance_only(&mut self, view: &SwitchView, pkt: &Packet) {
+        let base_rtt = self.base_rtt_ns;
+        let q = self.q;
+        let su = self.utils.entry(view.link).or_insert_with(|| {
+            SwitchUtilization::new(q, base_rtt, view.bandwidth_bps as f64 / 8.0e9)
+        });
+        su.on_packet_dequeue(view.now, view.qlen_bytes, u64::from(pkt.wire_bytes()));
+    }
+}
+
+impl TelemetryHook for HpccPintHook {
+    fn initial_bytes(&self) -> u32 {
+        self.digest_bytes
+    }
+
+    fn on_dequeue(&mut self, view: &SwitchView, pkt: &mut Packet) {
+        let base_rtt = self.base_rtt_ns;
+        let q = self.q;
+        let su = self.utils.entry(view.link).or_insert_with(|| {
+            SwitchUtilization::new(q, base_rtt, view.bandwidth_bps as f64 / 8.0e9)
+        });
+        // The EWMA advances on *every* packet; only selected packets
+        // carry the digest (Fig. 8's frequency knob).
+        let u = su.on_packet_dequeue(view.now, view.qlen_bytes, u64::from(pkt.wire_bytes()));
+        if self.selected(pkt.id) {
+            if pkt.digest.lanes() < self.lanes {
+                pkt.digest = Digest::new(self.lanes);
+            }
+            self.agg.encode_hop(pkt.id, view.hop, u, &mut pkt.digest, self.lane);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pint_core::value::Digest as CoreDigest;
+    use pint_netsim::packet::PacketKind;
+
+    fn pkt(id: u64) -> Packet {
+        Packet {
+            id,
+            flow: 1,
+            src: 0,
+            dst: 9,
+            kind: PacketKind::Data,
+            seq: 0,
+            payload: 1000,
+            header: 40,
+            telemetry_bytes: 1,
+            hop: 0,
+            retransmitted: false,
+            digest: CoreDigest::default(),
+            int_stack: Vec::new(),
+            sent_at: 0,
+            last_rx_at: 0,
+            echo: None,
+        }
+    }
+
+    fn view(link: usize, hop: usize, qlen: u64) -> SwitchView {
+        SwitchView {
+            switch: 1,
+            link,
+            qlen_bytes: qlen,
+            tx_bytes: 0,
+            bandwidth_bps: 100_000_000_000,
+            now: 0,
+            hop,
+            hop_latency_ns: 100,
+        }
+    }
+
+    #[test]
+    fn digest_carries_max_utilization() {
+        let mut hook = HpccPintHook::new(1, 1.0, 13_000, 1, 0, 1);
+        // Warm two ports: port 5 busy (queue), port 6 idle.
+        for i in 0..3_000u64 {
+            let mut p = pkt(1_000_000 + i);
+            hook.on_dequeue(&view(5, 1, 200_000), &mut p);
+            let mut p2 = pkt(2_000_000 + i);
+            hook.on_dequeue(&view(6, 1, 0), &mut p2);
+        }
+        // A fresh packet through both ports should report ~the busy one.
+        let mut p = pkt(7);
+        hook.on_dequeue(&view(5, 1, 200_000), &mut p);
+        hook.on_dequeue(&view(6, 2, 0), &mut p);
+        let u = hook.decode(&p.digest, 0);
+        assert!(u > 1.5, "bottleneck utilization lost: {u}");
+    }
+
+    #[test]
+    fn frequency_controls_digest_presence() {
+        let mut hook = HpccPintHook::new(2, 1.0 / 16.0, 13_000, 1, 0, 1);
+        let mut with = 0;
+        let n = 20_000;
+        for i in 0..n {
+            let mut p = pkt(i);
+            hook.on_dequeue(&view(1, 1, 50_000), &mut p);
+            if p.digest.lanes() > 0 && p.digest.get(0) != 0 {
+                with += 1;
+            }
+        }
+        let frac = f64::from(with) / n as f64;
+        assert!(
+            (frac - 1.0 / 16.0).abs() < 0.01,
+            "digest frequency {frac} vs 1/16"
+        );
+    }
+
+    #[test]
+    fn unselected_packets_keep_empty_digest() {
+        let mut hook = HpccPintHook::new(3, 1e-9, 13_000, 1, 0, 1);
+        let mut p = pkt(42);
+        hook.on_dequeue(&view(1, 1, 0), &mut p);
+        assert_eq!(hook.decode(&p.digest, 0), 0.0);
+    }
+
+    #[test]
+    fn one_byte_overhead() {
+        let hook = HpccPintHook::new(4, 1.0, 13_000, 1, 0, 1);
+        assert_eq!(hook.initial_bytes(), 1);
+        assert!(hook.aggregator().codec().bits() <= 8);
+    }
+}

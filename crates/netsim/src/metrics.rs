@@ -1,0 +1,183 @@
+//! Per-flow metrics and simulation reports.
+//!
+//! The paper's headline metrics: flow completion time (Fig. 1), goodput of
+//! long flows (Figs. 2, 7a), and the 95th-percentile *slowdown* — the
+//! ratio between a flow's FCT in the loaded network and its FCT running
+//! alone (Figs. 7b/7c, 8, 11).
+
+use crate::{FlowId, Nanos};
+
+/// Outcome of one flow.
+#[derive(Debug, Clone)]
+pub struct FlowRecord {
+    /// Flow ID.
+    pub flow: FlowId,
+    /// Source host.
+    pub src: usize,
+    /// Destination host.
+    pub dst: usize,
+    /// Application bytes.
+    pub size: u64,
+    /// Start time.
+    pub start: Nanos,
+    /// Completion time (last byte at the receiver), if it finished.
+    pub finish: Option<Nanos>,
+    /// The flow's idealized (unloaded) FCT.
+    pub ideal_fct_ns: Nanos,
+}
+
+impl FlowRecord {
+    /// Actual FCT, if finished.
+    pub fn fct_ns(&self) -> Option<Nanos> {
+        self.finish.map(|f| f - self.start)
+    }
+
+    /// FCT normalized by the unloaded FCT (≥ 1 in a fair simulator).
+    pub fn slowdown(&self) -> Option<f64> {
+        self.fct_ns().map(|f| f as f64 / self.ideal_fct_ns.max(1) as f64)
+    }
+
+    /// Application-level throughput, bits/s.
+    pub fn goodput_bps(&self) -> Option<f64> {
+        self.fct_ns().map(|f| self.size as f64 * 8.0 / (f as f64 / 1e9))
+    }
+}
+
+/// Aggregate simulation output.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All flows that started.
+    pub flows: Vec<FlowRecord>,
+    /// Packets dropped at switch queues.
+    pub drops: u64,
+    /// Packets removed by fault injection.
+    pub injected_faults: u64,
+    /// Data packets delivered to receivers.
+    pub delivered_data_packets: u64,
+    /// Total data bytes delivered (payload only).
+    pub delivered_payload_bytes: u64,
+    /// Total wire bytes transmitted (includes headers + telemetry).
+    pub wire_bytes: u64,
+    /// Largest egress-queue depth observed at any switch port, bytes —
+    /// the quantity HPCC is designed to keep near zero.
+    pub max_queue_bytes: u64,
+    /// Simulated time span, ns.
+    pub elapsed_ns: Nanos,
+}
+
+impl Report {
+    /// Finished flows only.
+    pub fn finished(&self) -> impl Iterator<Item = &FlowRecord> {
+        self.flows.iter().filter(|f| f.finish.is_some())
+    }
+
+    /// Mean FCT over finished flows, ns.
+    pub fn mean_fct_ns(&self) -> Option<f64> {
+        let v: Vec<f64> = self.finished().filter_map(|f| f.fct_ns().map(|x| x as f64)).collect();
+        if v.is_empty() {
+            None
+        } else {
+            Some(v.iter().sum::<f64>() / v.len() as f64)
+        }
+    }
+
+    /// Mean goodput over finished flows larger than `min_size` bytes
+    /// (Fig. 2 / Fig. 7a use flows > 10 MB).
+    pub fn mean_goodput_bps(&self, min_size: u64) -> Option<f64> {
+        let v: Vec<f64> = self
+            .finished()
+            .filter(|f| f.size > min_size)
+            .filter_map(FlowRecord::goodput_bps)
+            .collect();
+        if v.is_empty() {
+            None
+        } else {
+            Some(v.iter().sum::<f64>() / v.len() as f64)
+        }
+    }
+
+    /// The `phi`-percentile slowdown of finished flows whose size is in
+    /// `[lo, hi)` — the Fig. 7b/7c per-decile statistic.
+    pub fn slowdown_percentile(&self, lo: u64, hi: u64, phi: f64) -> Option<f64> {
+        let mut v: Vec<f64> = self
+            .finished()
+            .filter(|f| f.size >= lo && f.size < hi)
+            .filter_map(FlowRecord::slowdown)
+            .collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let idx = ((phi * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
+        Some(v[idx])
+    }
+
+    /// Completion rate of flows that started.
+    pub fn completion_rate(&self) -> f64 {
+        if self.flows.is_empty() {
+            return 1.0;
+        }
+        self.finished().count() as f64 / self.flows.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(size: u64, fct: Nanos, ideal: Nanos) -> FlowRecord {
+        FlowRecord {
+            flow: 0,
+            src: 0,
+            dst: 1,
+            size,
+            start: 1000,
+            finish: Some(1000 + fct),
+            ideal_fct_ns: ideal,
+        }
+    }
+
+    #[test]
+    fn slowdown_ratio() {
+        let r = rec(1000, 3000, 1000);
+        assert_eq!(r.slowdown(), Some(3.0));
+    }
+
+    #[test]
+    fn goodput_computation() {
+        // 1 MB in 1 ms = 8 Gbps.
+        let r = rec(1_000_000, 1_000_000, 500_000);
+        assert!((r.goodput_bps().unwrap() - 8.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn unfinished_flow_has_no_fct() {
+        let mut r = rec(1000, 0, 100);
+        r.finish = None;
+        assert_eq!(r.fct_ns(), None);
+        assert_eq!(r.slowdown(), None);
+    }
+
+    #[test]
+    fn percentile_slowdown_by_size_bin() {
+        let mut rep = Report::default();
+        for i in 1..=100u64 {
+            rep.flows.push(rec(500, i * 1000, 1000)); // slowdowns 1..=100
+        }
+        rep.flows.push(rec(5_000_000, 10_000, 1000)); // different bin
+        let p95 = rep.slowdown_percentile(0, 1_000, 0.95).unwrap();
+        assert_eq!(p95, 95.0);
+        let p50 = rep.slowdown_percentile(1_000_000, u64::MAX, 0.5).unwrap();
+        assert_eq!(p50, 10.0);
+        assert!(rep.slowdown_percentile(10_000, 20_000, 0.5).is_none());
+    }
+
+    #[test]
+    fn goodput_filter_by_size() {
+        let mut rep = Report::default();
+        rep.flows.push(rec(20_000_000, 20_000_000, 1)); // 8 Gbps
+        rep.flows.push(rec(100, 1, 1)); // small flow, excluded
+        let g = rep.mean_goodput_bps(10_000_000).unwrap();
+        assert!((g - 8.0e9).abs() < 1e6);
+    }
+}

@@ -1,0 +1,141 @@
+//! Simulated packets.
+//!
+//! A packet's wire size is `header + payload + telemetry_bytes`; the
+//! telemetry component is what PINT bounds (fixed digest) and INT does not
+//! (per-hop growth) — the paper's central trade-off (§2).
+
+use crate::topology::NodeId;
+use crate::{FlowId, Nanos};
+use pint_core::value::Digest;
+
+/// Data or acknowledgment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// Carries flow payload (instrumented by telemetry).
+    Data,
+    /// Carries cumulative ACK + echoed telemetry feedback.
+    Ack,
+}
+
+/// One INT per-hop record, as HPCC consumes it: timestamp, queue length,
+/// transmitted-bytes counter, and link bandwidth (§2: HPCC collects three
+/// INT values per hop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntRecord {
+    /// The switch that appended the record.
+    pub switch: NodeId,
+    /// Egress link index (identifies the queue/port).
+    pub link: usize,
+    /// Dequeue timestamp.
+    pub ts: Nanos,
+    /// Egress queue length at dequeue, bytes.
+    pub qlen_bytes: u64,
+    /// Cumulative bytes transmitted on the egress port.
+    pub tx_bytes: u64,
+    /// Egress link bandwidth, bits/s.
+    pub bandwidth_bps: u64,
+}
+
+/// Telemetry feedback echoed on an ACK for the sender's transport.
+#[derive(Debug, Clone, Default)]
+pub struct Echo {
+    /// When the acknowledged data packet left the sender.
+    pub data_sent_at: Nanos,
+    /// `true` if the data packet was a retransmission (Karn: skip RTT).
+    pub retransmitted: bool,
+    /// INT per-hop records collected by the data packet (INT mode).
+    pub int_stack: Vec<IntRecord>,
+    /// PINT digest extracted by the sink (PINT mode).
+    pub digest: Digest,
+    /// The data packet's unique ID.
+    pub data_pkt_id: u64,
+    /// Switch hops the data packet traversed.
+    pub hops: u8,
+}
+
+/// A simulated packet.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Globally unique packet ID (PINT's packet identifier, §4.1).
+    pub id: u64,
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Data or ACK.
+    pub kind: PacketKind,
+    /// Data: first byte offset. ACK: cumulative in-order bytes received.
+    pub seq: u64,
+    /// Payload bytes (0 for ACKs).
+    pub payload: u32,
+    /// Base protocol headers (Ethernet+IP+TCP ≈ 40B model).
+    pub header: u32,
+    /// Telemetry bytes currently on the packet.
+    pub telemetry_bytes: u32,
+    /// Switch hops traversed so far (drives PINT's hop index).
+    pub hop: u8,
+    /// `true` if this data packet is a retransmission.
+    pub retransmitted: bool,
+    /// PINT digest lanes.
+    pub digest: Digest,
+    /// INT per-hop stack (INT mode).
+    pub int_stack: Vec<IntRecord>,
+    /// Send timestamp at the source host.
+    pub sent_at: Nanos,
+    /// When the packet arrived at the node currently holding it — the
+    /// switch's ingress timestamp, so `dequeue − last_rx_at` is the INT
+    /// "hop latency" metadata value (Table 1).
+    pub last_rx_at: Nanos,
+    /// ACK-only: echoed feedback.
+    pub echo: Option<Box<Echo>>,
+}
+
+impl Packet {
+    /// Total bytes occupying the wire.
+    pub fn wire_bytes(&self) -> u32 {
+        self.header + self.payload + self.telemetry_bytes
+    }
+}
+
+/// The sender-transport's view of an arriving ACK.
+#[derive(Debug)]
+pub struct AckView<'a> {
+    /// Current simulation time.
+    pub now: Nanos,
+    /// Cumulative in-order bytes the receiver has.
+    pub ack_seq: u64,
+    /// RTT sample (ns) — `None` for retransmitted segments (Karn).
+    pub rtt_ns: Option<u64>,
+    /// Echoed telemetry feedback.
+    pub echo: &'a Echo,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_sums_components() {
+        let p = Packet {
+            id: 1,
+            flow: 2,
+            src: 0,
+            dst: 1,
+            kind: PacketKind::Data,
+            seq: 0,
+            payload: 1000,
+            header: 40,
+            telemetry_bytes: 48,
+            hop: 0,
+            retransmitted: false,
+            digest: Digest::default(),
+            int_stack: Vec::new(),
+            sent_at: 0,
+            last_rx_at: 0,
+            echo: None,
+        };
+        assert_eq!(p.wire_bytes(), 1088);
+    }
+}

@@ -1,0 +1,134 @@
+//! ECMP shortest-path routing.
+//!
+//! The §2 experiment uses "standard ECMP routing"; HPCC's fabric likewise.
+//! We precompute all-pairs BFS distances and, at each switch, pick among
+//! the next-hops that lie on a shortest path by hashing the flow ID — the
+//! standard per-flow ECMP that keeps a flow on a single path (PINT's path
+//! tracing assumes single-path flows, §3.2).
+
+use crate::topology::{NodeId, Topology};
+use pint_core::hash::GlobalHash;
+
+/// Precomputed routing state.
+#[derive(Debug, Clone)]
+pub struct Routing {
+    /// `dist[n][d]` — hop distance from node `n` to node `d`.
+    dist: Vec<Vec<u32>>,
+    /// ECMP selection hash.
+    hash: GlobalHash,
+}
+
+impl Routing {
+    /// Builds routing tables for `topo` (all-pairs BFS).
+    pub fn new(topo: &Topology, seed: u64) -> Self {
+        let n = topo.num_nodes();
+        let mut dist = Vec::with_capacity(n);
+        for src in 0..n {
+            dist.push(topo.bfs(src).into_iter().map(|d| d.min(u32::MAX as usize) as u32).collect());
+        }
+        Self { dist, hash: GlobalHash::new(seed ^ 0xEC4B_0000) }
+    }
+
+    /// Hop distance from `a` to `b`.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        self.dist[a][b]
+    }
+
+    /// The egress link index at `node` toward `dst` for `flow`
+    /// (ECMP among shortest-path next hops, stable per flow).
+    pub fn next_link(&self, topo: &Topology, node: NodeId, dst: NodeId, flow: u64) -> Option<usize> {
+        if node == dst {
+            return None;
+        }
+        let here = self.dist[node][dst];
+        let candidates: Vec<usize> = topo
+            .out_links(node)
+            .iter()
+            .copied()
+            .filter(|&l| self.dist[topo.link(l).to][dst] + 1 == here)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let pick = self.hash.hash3(flow, node as u64, dst as u64) % candidates.len() as u64;
+        Some(candidates[pick as usize])
+    }
+
+    /// The full path (node IDs, src..=dst) flow `flow` takes.
+    pub fn flow_path(&self, topo: &Topology, src: NodeId, dst: NodeId, flow: u64) -> Vec<NodeId> {
+        let mut path = vec![src];
+        let mut here = src;
+        while here != dst {
+            match self.next_link(topo, here, dst, flow) {
+                Some(l) => {
+                    here = topo.link(l).to;
+                    path.push(here);
+                }
+                None => break,
+            }
+        }
+        path
+    }
+
+    /// The switch IDs (node IDs of switches) on the flow's path, in order.
+    pub fn switch_path(&self, topo: &Topology, src: NodeId, dst: NodeId, flow: u64) -> Vec<NodeId> {
+        self.flow_path(topo, src, dst, flow)
+            .into_iter()
+            .filter(|&n| topo.kind(n) == crate::topology::NodeKind::Switch)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeKind;
+
+    #[test]
+    fn routes_shortest_paths() {
+        let t = Topology::overhead_study();
+        let r = Routing::new(&t, 1);
+        let hosts = t.hosts();
+        for &a in hosts.iter().take(6) {
+            for &b in hosts.iter().rev().take(6) {
+                if a == b {
+                    continue;
+                }
+                let p = r.flow_path(&t, a, b, 7);
+                assert_eq!(p.first(), Some(&a));
+                assert_eq!(p.last(), Some(&b));
+                assert_eq!(p.len() as u32 - 1, r.distance(a, b), "not shortest");
+            }
+        }
+    }
+
+    #[test]
+    fn flow_path_is_stable() {
+        let t = Topology::paper_clos(100_000_000_000, 400_000_000_000);
+        let r = Routing::new(&t, 2);
+        let hosts = t.hosts();
+        let p1 = r.flow_path(&t, hosts[0], hosts[300], 99);
+        let p2 = r.flow_path(&t, hosts[0], hosts[300], 99);
+        assert_eq!(p1, p2, "per-flow ECMP must be deterministic");
+    }
+
+    #[test]
+    fn different_flows_spread_over_paths() {
+        let t = Topology::paper_clos(100_000_000_000, 400_000_000_000);
+        let r = Routing::new(&t, 3);
+        let hosts = t.hosts();
+        let paths: std::collections::HashSet<Vec<usize>> =
+            (0..64).map(|f| r.flow_path(&t, hosts[0], hosts[300], f)).collect();
+        assert!(paths.len() > 8, "ECMP not spreading: {} paths", paths.len());
+    }
+
+    #[test]
+    fn switch_path_excludes_hosts() {
+        let t = Topology::overhead_study();
+        let r = Routing::new(&t, 4);
+        let hosts = t.hosts();
+        let sp = r.switch_path(&t, hosts[0], hosts[63], 5);
+        assert!(sp.iter().all(|&n| t.kind(n) == NodeKind::Switch));
+        assert_eq!(sp.len(), 5, "inter-pod path must cross 5 switches");
+    }
+}

@@ -1,0 +1,190 @@
+//! Telemetry hooks: how switches instrument packets.
+//!
+//! The hook runs when a **data** packet is dequeued at a switch egress
+//! port — the point where INT records queue occupancy and where PINT's
+//! Encoding Module executes. Three built-in hooks cover the §2 study and
+//! the INT baseline; PINT hooks (HPCC digest, path tracing, latency) are
+//! assembled by `pint-hpcc` and the bench harness from `pint-core`
+//! encoders, through this same trait.
+
+use crate::packet::{IntRecord, Packet};
+use crate::topology::NodeId;
+use crate::Nanos;
+
+/// What a switch exposes to the telemetry hook at dequeue time.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchView {
+    /// The switch node.
+    pub switch: NodeId,
+    /// Egress (directed) link index — identifies the port.
+    pub link: usize,
+    /// Bytes waiting in the egress queue (excluding this packet).
+    pub qlen_bytes: u64,
+    /// Cumulative bytes transmitted on this port.
+    pub tx_bytes: u64,
+    /// Port bandwidth, bits/s.
+    pub bandwidth_bps: u64,
+    /// Current time.
+    pub now: Nanos,
+    /// 1-based switch-hop index of this packet at this switch.
+    pub hop: usize,
+    /// Time the packet spent in this switch (ingress → this dequeue) —
+    /// the INT "hop latency" value.
+    pub hop_latency_ns: Nanos,
+}
+
+/// A switch-side telemetry implementation.
+pub trait TelemetryHook {
+    /// Bytes the source adds to a fresh data packet (the digest/header
+    /// the telemetry scheme reserves). INT's per-hop growth happens in
+    /// [`TelemetryHook::on_dequeue`] instead.
+    fn initial_bytes(&self) -> u32;
+
+    /// Invoked when a data packet is dequeued at a switch egress port.
+    fn on_dequeue(&mut self, view: &SwitchView, pkt: &mut Packet);
+}
+
+/// No telemetry at all (the §2 "no overhead" baseline).
+#[derive(Debug, Clone, Default)]
+pub struct NoTelemetry;
+
+impl TelemetryHook for NoTelemetry {
+    fn initial_bytes(&self) -> u32 {
+        0
+    }
+    fn on_dequeue(&mut self, _view: &SwitchView, _pkt: &mut Packet) {}
+}
+
+/// A constant per-packet overhead with no semantics — the §2 experiment
+/// (Figs. 1–2) varies exactly this.
+#[derive(Debug, Clone)]
+pub struct FixedOverhead(pub u32);
+
+impl TelemetryHook for FixedOverhead {
+    fn initial_bytes(&self) -> u32 {
+        self.0
+    }
+    fn on_dequeue(&mut self, _view: &SwitchView, _pkt: &mut Packet) {}
+}
+
+/// Standard INT: an 8-byte instruction header plus `per_hop_bytes` of
+/// metadata appended by every switch (§2: the INT header is 8B and each
+/// value is 4B; HPCC's customized INT uses ~8B per hop for its three
+/// values).
+#[derive(Debug, Clone)]
+pub struct IntTelemetry {
+    /// Bytes of the INT instruction header added by the source.
+    pub header_bytes: u32,
+    /// Bytes each switch appends.
+    pub per_hop_bytes: u32,
+}
+
+impl IntTelemetry {
+    /// HPCC-style customized INT: no instruction header (the instructions
+    /// never change), 8 bytes per hop.
+    pub fn hpcc() -> Self {
+        Self { header_bytes: 0, per_hop_bytes: 8 }
+    }
+
+    /// Standard INT with `values` 4-byte metadata values per hop (§2).
+    pub fn standard(values: u32) -> Self {
+        Self { header_bytes: 8, per_hop_bytes: 4 * values }
+    }
+}
+
+impl TelemetryHook for IntTelemetry {
+    fn initial_bytes(&self) -> u32 {
+        self.header_bytes
+    }
+
+    fn on_dequeue(&mut self, view: &SwitchView, pkt: &mut Packet) {
+        pkt.int_stack.push(IntRecord {
+            switch: view.switch,
+            link: view.link,
+            ts: view.now,
+            qlen_bytes: view.qlen_bytes,
+            tx_bytes: view.tx_bytes,
+            bandwidth_bps: view.bandwidth_bps,
+        });
+        pkt.telemetry_bytes += self.per_hop_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+    use pint_core::value::Digest;
+
+    fn pkt() -> Packet {
+        Packet {
+            id: 1,
+            flow: 1,
+            src: 0,
+            dst: 9,
+            kind: PacketKind::Data,
+            seq: 0,
+            payload: 1000,
+            header: 40,
+            telemetry_bytes: 0,
+            hop: 0,
+            retransmitted: false,
+            digest: Digest::default(),
+            int_stack: Vec::new(),
+            sent_at: 0,
+            last_rx_at: 0,
+            echo: None,
+        }
+    }
+
+    fn view(hop: usize) -> SwitchView {
+        SwitchView {
+            switch: 5,
+            link: 3,
+            qlen_bytes: 1234,
+            tx_bytes: 9999,
+            bandwidth_bps: 10_000_000_000,
+            now: 42,
+            hop,
+            hop_latency_ns: 7,
+        }
+    }
+
+    #[test]
+    fn int_grows_linearly_with_hops() {
+        // §2: "on a generic data center topology with 5 hops, requesting
+        // two values per switch requires 48 bytes of overhead".
+        let mut int = IntTelemetry::standard(2);
+        let mut p = pkt();
+        p.telemetry_bytes = int.initial_bytes();
+        for h in 1..=5 {
+            int.on_dequeue(&view(h), &mut p);
+        }
+        assert_eq!(p.telemetry_bytes, 8 + 5 * 8);
+        assert_eq!(p.int_stack.len(), 5);
+    }
+
+    #[test]
+    fn one_value_five_hops_is_28_bytes() {
+        // §2: "the minimum space required on packet would be 28 bytes
+        // (only one metadata value per INT device)".
+        let mut int = IntTelemetry::standard(1);
+        let mut p = pkt();
+        p.telemetry_bytes = int.initial_bytes();
+        for h in 1..=5 {
+            int.on_dequeue(&view(h), &mut p);
+        }
+        assert_eq!(p.telemetry_bytes, 28);
+    }
+
+    #[test]
+    fn fixed_overhead_does_not_grow() {
+        let mut f = FixedOverhead(16);
+        let mut p = pkt();
+        p.telemetry_bytes = f.initial_bytes();
+        for h in 1..=10 {
+            f.on_dequeue(&view(h), &mut p);
+        }
+        assert_eq!(p.telemetry_bytes, 16);
+    }
+}

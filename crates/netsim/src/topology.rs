@@ -1,0 +1,427 @@
+//! Network topologies (paper §2, §6).
+//!
+//! Nodes are hosts or switches; links are full-duplex (constructed as two
+//! directed links with identical parameters). Builders cover every
+//! topology the paper evaluates on:
+//!
+//! * [`Topology::three_tier`] — the §2 overhead study: a 5-switch-hop
+//!   fat-tree with 64 hosts and 10 Gbps links.
+//! * [`Topology::paper_clos`] — the §6.1 HPCC fabric: 16 core, 20 agg,
+//!   20 ToRs, 320 servers (16 per rack), 100 Gbps NICs, 400 Gbps fabric.
+//! * [`Topology::fat_tree`] — the classic K-ary fat-tree (§6.3 uses K=8).
+//! * [`Topology::isp_chain`] — synthesized ISP graphs with a prescribed
+//!   node count and diameter (substitutes for Topology Zoo's Kentucky
+//!   Datalink and US Carrier, which we cannot redistribute; path-tracing
+//!   cost depends only on path lengths and the switch-ID universe size,
+//!   which are matched exactly).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Node index within a topology.
+pub type NodeId = usize;
+
+/// Host or switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An end host (traffic source/sink, runs a transport).
+    Host,
+    /// A switch (forwards, runs telemetry).
+    Switch,
+}
+
+/// A directed link.
+#[derive(Debug, Clone, Copy)]
+pub struct Link {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// Propagation delay in nanoseconds.
+    pub prop_delay_ns: u64,
+}
+
+/// An immutable network graph.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    kinds: Vec<NodeKind>,
+    links: Vec<Link>,
+    /// Outgoing link indices per node.
+    out: Vec<Vec<usize>>,
+    name: String,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new(name: &str) -> Self {
+        Self { kinds: Vec::new(), links: Vec::new(), out: Vec::new(), name: name.to_owned() }
+    }
+
+    /// The topology's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a node, returning its ID.
+    pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        self.kinds.push(kind);
+        self.out.push(Vec::new());
+        self.kinds.len() - 1
+    }
+
+    /// Adds a full-duplex link (two directed links).
+    pub fn add_duplex(&mut self, a: NodeId, b: NodeId, bandwidth_bps: u64, prop_delay_ns: u64) {
+        for (from, to) in [(a, b), (b, a)] {
+            let idx = self.links.len();
+            self.links.push(Link { from, to, bandwidth_bps, prop_delay_ns });
+            self.out[from].push(idx);
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of directed links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The kind of node `n`.
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.kinds[n]
+    }
+
+    /// All directed links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// A directed link by index.
+    pub fn link(&self, l: usize) -> &Link {
+        &self.links[l]
+    }
+
+    /// Outgoing link indices of node `n`.
+    pub fn out_links(&self, n: NodeId) -> &[usize] {
+        &self.out[n]
+    }
+
+    /// IDs of all hosts.
+    pub fn hosts(&self) -> Vec<NodeId> {
+        (0..self.num_nodes()).filter(|&n| self.kinds[n] == NodeKind::Host).collect()
+    }
+
+    /// IDs of all switches.
+    pub fn switches(&self) -> Vec<NodeId> {
+        (0..self.num_nodes()).filter(|&n| self.kinds[n] == NodeKind::Switch).collect()
+    }
+
+    /// BFS hop distances from `src` (usize::MAX = unreachable).
+    pub fn bfs(&self, src: NodeId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.num_nodes()];
+        dist[src] = 0;
+        let mut q = std::collections::VecDeque::from([src]);
+        while let Some(n) = q.pop_front() {
+            for &l in &self.out[n] {
+                let m = self.links[l].to;
+                if dist[m] == usize::MAX {
+                    dist[m] = dist[n] + 1;
+                    q.push_back(m);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Graph diameter restricted to switches (hop count between the most
+    /// distant switch pair).
+    pub fn switch_diameter(&self) -> usize {
+        let switches = self.switches();
+        let mut best = 0;
+        for &s in &switches {
+            let d = self.bfs(s);
+            for &t in &switches {
+                if d[t] != usize::MAX {
+                    best = best.max(d[t]);
+                }
+            }
+        }
+        best
+    }
+
+    // ------------------------------------------------------------------
+    // Builders
+    // ------------------------------------------------------------------
+
+    /// The §2 overhead-study fabric: a three-tier Clos with
+    /// `pods × edge_per_pod × hosts_per_edge` hosts and 5 switch hops
+    /// between hosts in different pods. Defaults in the paper: 64 hosts,
+    /// 10 Gbps links.
+    pub fn three_tier(
+        pods: usize,
+        agg_per_pod: usize,
+        edge_per_pod: usize,
+        hosts_per_edge: usize,
+        cores: usize,
+        link_bps: u64,
+        prop_ns: u64,
+    ) -> Self {
+        let mut t = Self::new("three-tier");
+        let core: Vec<NodeId> = (0..cores).map(|_| t.add_node(NodeKind::Switch)).collect();
+        for _ in 0..pods {
+            let aggs: Vec<NodeId> =
+                (0..agg_per_pod).map(|_| t.add_node(NodeKind::Switch)).collect();
+            for (i, &a) in aggs.iter().enumerate() {
+                // Each agg connects to a disjoint slice of the cores.
+                let per = cores / agg_per_pod;
+                for c in 0..per {
+                    t.add_duplex(a, core[i * per + c], link_bps, prop_ns);
+                }
+            }
+            for _ in 0..edge_per_pod {
+                let e = t.add_node(NodeKind::Switch);
+                for &a in &aggs {
+                    t.add_duplex(e, a, link_bps, prop_ns);
+                }
+                for _ in 0..hosts_per_edge {
+                    let h = t.add_node(NodeKind::Host);
+                    t.add_duplex(h, e, link_bps, prop_ns);
+                }
+            }
+        }
+        t
+    }
+
+    /// The §2 default instance: 4 pods × 2 agg × 2 edge × 8 hosts
+    /// = 64 hosts, 4 cores, 10 Gbps everywhere.
+    pub fn overhead_study() -> Self {
+        Self::three_tier(4, 2, 2, 8, 4, 10_000_000_000, 1_000)
+    }
+
+    /// The §6.1 HPCC fabric: 16 core, 20 agg, 20 ToRs, 320 servers
+    /// (16 per rack); NICs at `nic_bps`, fabric links at `fabric_bps`,
+    /// 1 µs propagation per link (paper: 12 µs max base RTT).
+    pub fn paper_clos(nic_bps: u64, fabric_bps: u64) -> Self {
+        Self::clos(16, 20, 20, 16, nic_bps, fabric_bps)
+    }
+
+    /// A generic 2-tier-over-core Clos: ToRs fully meshed to aggs, aggs
+    /// fully meshed to cores.
+    pub fn clos(
+        cores: usize,
+        aggs: usize,
+        tors: usize,
+        hosts_per_tor: usize,
+        nic_bps: u64,
+        fabric_bps: u64,
+    ) -> Self {
+        let mut t = Self::new("clos");
+        let core: Vec<NodeId> = (0..cores).map(|_| t.add_node(NodeKind::Switch)).collect();
+        let agg: Vec<NodeId> = (0..aggs).map(|_| t.add_node(NodeKind::Switch)).collect();
+        for &a in &agg {
+            for &c in &core {
+                t.add_duplex(a, c, fabric_bps, 1_000);
+            }
+        }
+        for _ in 0..tors {
+            let tor = t.add_node(NodeKind::Switch);
+            for &a in &agg {
+                t.add_duplex(tor, a, fabric_bps, 1_000);
+            }
+            for _ in 0..hosts_per_tor {
+                let h = t.add_node(NodeKind::Host);
+                t.add_duplex(h, tor, nic_bps, 1_000);
+            }
+        }
+        t
+    }
+
+    /// The classic K-ary fat-tree: `(K/2)²` cores, `K` pods of `K/2` agg +
+    /// `K/2` edge switches, `(K/2)²` hosts per pod (§6.3 uses K = 8, whose
+    /// switch diameter is 5 — "D = 5" in Fig. 10).
+    pub fn fat_tree(k: usize, link_bps: u64, prop_ns: u64) -> Self {
+        assert!(k >= 2 && k % 2 == 0, "K must be even");
+        let half = k / 2;
+        let mut t = Self::new("fat-tree");
+        let cores: Vec<NodeId> =
+            (0..half * half).map(|_| t.add_node(NodeKind::Switch)).collect();
+        for _pod in 0..k {
+            let aggs: Vec<NodeId> = (0..half).map(|_| t.add_node(NodeKind::Switch)).collect();
+            for (i, &a) in aggs.iter().enumerate() {
+                for j in 0..half {
+                    t.add_duplex(a, cores[i * half + j], link_bps, prop_ns);
+                }
+            }
+            for _ in 0..half {
+                let e = t.add_node(NodeKind::Switch);
+                for &a in &aggs {
+                    t.add_duplex(e, a, link_bps, prop_ns);
+                }
+                for _ in 0..half {
+                    let h = t.add_node(NodeKind::Host);
+                    t.add_duplex(h, e, link_bps, prop_ns);
+                }
+            }
+        }
+        t
+    }
+
+    /// Synthesizes an ISP-like switch graph with exactly `nodes` switches
+    /// and diameter exactly `diameter`: a backbone path of `diameter + 1`
+    /// nodes, with the remaining nodes attached as short branches near the
+    /// backbone's middle (so they never extend the diameter), plus a few
+    /// chords for redundancy. Deterministic for a given seed.
+    ///
+    /// Substitutes for Topology Zoo's Kentucky Datalink
+    /// (`isp_chain(753, 59, …)`) and US Carrier (`isp_chain(157, 36, …)`).
+    pub fn isp_chain(nodes: usize, diameter: usize, link_bps: u64, seed: u64) -> Self {
+        assert!(nodes > diameter, "need more nodes than the backbone");
+        let mut t = Self::new("isp");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let backbone: Vec<NodeId> =
+            (0..=diameter).map(|_| t.add_node(NodeKind::Switch)).collect();
+        for w in backbone.windows(2) {
+            t.add_duplex(w[0], w[1], link_bps, 100_000);
+        }
+        // Attach the remaining switches as branches. A branch rooted at
+        // backbone position p may have depth up to
+        // min(p, diameter − p): leaves then sit at distance ≤ diameter
+        // from both backbone ends, preserving the diameter.
+        let mut remaining = nodes - (diameter + 1);
+        while remaining > 0 {
+            let p = rng.gen_range(1..diameter);
+            let max_depth = p.min(diameter - p).min(4);
+            if max_depth == 0 {
+                continue;
+            }
+            let depth = rng.gen_range(1..=max_depth).min(remaining);
+            let mut parent = backbone[p];
+            for _ in 0..depth {
+                let n = t.add_node(NodeKind::Switch);
+                t.add_duplex(parent, n, link_bps, 100_000);
+                parent = n;
+                remaining -= 1;
+            }
+        }
+        t
+    }
+
+    /// Finds a simple switch path of exactly `len` hops (switch count),
+    /// if one exists: BFS from candidate start nodes. Returns node IDs.
+    pub fn find_path_of_length(&self, len: usize, seed: u64) -> Option<Vec<NodeId>> {
+        assert!(len >= 1);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let switches = self.switches();
+        // Try random starts; follow BFS parents from a node at distance
+        // len−1.
+        for _ in 0..switches.len().max(64) {
+            let s = switches[rng.gen_range(0..switches.len())];
+            let mut dist = vec![usize::MAX; self.num_nodes()];
+            let mut parent = vec![usize::MAX; self.num_nodes()];
+            dist[s] = 0;
+            let mut q = std::collections::VecDeque::from([s]);
+            let mut target = None;
+            while let Some(n) = q.pop_front() {
+                if dist[n] == len - 1 {
+                    target = Some(n);
+                    break;
+                }
+                for &l in &self.out[n] {
+                    let m = self.links[l].to;
+                    if self.kinds[m] == NodeKind::Switch && dist[m] == usize::MAX {
+                        dist[m] = dist[n] + 1;
+                        parent[m] = n;
+                        q.push_back(m);
+                    }
+                }
+            }
+            if let Some(mut n) = target {
+                let mut path = vec![n];
+                while parent[n] != usize::MAX {
+                    n = parent[n];
+                    path.push(n);
+                }
+                path.reverse();
+                return Some(path);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_study_shape() {
+        let t = Topology::overhead_study();
+        assert_eq!(t.hosts().len(), 64);
+        // 4 cores + 4 pods × (2 agg + 2 edge) = 20 switches.
+        assert_eq!(t.switches().len(), 20);
+        // Inter-pod host distance: host→edge→agg→core→agg→edge→host = 6
+        // links = 5 switch hops.
+        let hosts = t.hosts();
+        let d = t.bfs(hosts[0]);
+        let far = *hosts.iter().max_by_key(|&&h| d[h]).unwrap();
+        assert_eq!(d[far], 6, "expected 5 switch hops between far hosts");
+    }
+
+    #[test]
+    fn paper_clos_counts() {
+        let t = Topology::paper_clos(100_000_000_000, 400_000_000_000);
+        assert_eq!(t.hosts().len(), 320);
+        assert_eq!(t.switches().len(), 16 + 20 + 20);
+    }
+
+    #[test]
+    fn fat_tree_k8() {
+        let t = Topology::fat_tree(8, 100_000_000_000, 1_000);
+        // (K/2)² = 16 cores, K pods × K/2 = 32 agg + 32 edge, K³/4 = 128 hosts.
+        assert_eq!(t.switches().len(), 16 + 32 + 32);
+        assert_eq!(t.hosts().len(), 128);
+        assert_eq!(t.switch_diameter(), 4, "edge→agg→core→agg→edge");
+    }
+
+    #[test]
+    fn kentucky_proxy_dimensions() {
+        let t = Topology::isp_chain(753, 59, 10_000_000_000, 1);
+        assert_eq!(t.switches().len(), 753);
+        assert_eq!(t.switch_diameter(), 59);
+    }
+
+    #[test]
+    fn us_carrier_proxy_dimensions() {
+        let t = Topology::isp_chain(157, 36, 10_000_000_000, 2);
+        assert_eq!(t.switches().len(), 157);
+        assert_eq!(t.switch_diameter(), 36);
+    }
+
+    #[test]
+    fn paths_of_every_length_exist_in_isp() {
+        let t = Topology::isp_chain(157, 36, 10_000_000_000, 3);
+        for len in [2usize, 6, 12, 24, 36] {
+            let p = t.find_path_of_length(len, 42).unwrap_or_else(|| panic!("no {len}-path"));
+            assert_eq!(p.len(), len);
+            // consecutive nodes adjacent
+            for w in p.windows(2) {
+                assert!(t.out_links(w[0]).iter().any(|&l| t.link(l).to == w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn duplex_links_both_directions() {
+        let mut t = Topology::new("t");
+        let a = t.add_node(NodeKind::Switch);
+        let b = t.add_node(NodeKind::Switch);
+        t.add_duplex(a, b, 1_000, 10);
+        assert_eq!(t.num_links(), 2);
+        assert_eq!(t.out_links(a).len(), 1);
+        assert_eq!(t.out_links(b).len(), 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Transport abstraction: the sender-side congestion-control state machine.
+//!
+//! The engine owns packetization, the receiver, cumulative ACK generation
+//! and telemetry echo; a [`Transport`] decides *what to send when*. TCP
+//! Reno lives here ([`reno`]); HPCC (INT- and PINT-based) is implemented in
+//! the `pint-hpcc` crate against this same trait.
+
+pub mod reno;
+
+use crate::packet::AckView;
+use crate::{FlowId, Nanos};
+
+/// Commands a transport issues to the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Transmit a data segment `[seq, seq + bytes)`.
+    Send {
+        /// First byte offset.
+        seq: u64,
+        /// Segment length (≤ MSS).
+        bytes: u32,
+        /// Marks a retransmission (Karn's rule for RTT sampling).
+        retx: bool,
+    },
+    /// Arm a timer; it fires as `on_timer(now, token)`.
+    SetTimer {
+        /// Delay from now, ns.
+        delay: Nanos,
+        /// Opaque token (lets the transport ignore stale timers).
+        token: u64,
+    },
+}
+
+/// Static facts about a flow, given to the transport at creation.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowMeta {
+    /// Flow ID.
+    pub flow: FlowId,
+    /// Total bytes the application wants to move.
+    pub size_bytes: u64,
+    /// Maximum segment payload (MSS).
+    pub mss: u32,
+    /// Base (unloaded) RTT estimate for the path, ns.
+    pub base_rtt_ns: Nanos,
+    /// Sender NIC line rate, bits/s.
+    pub nic_bps: u64,
+    /// Switch hops on the forward path.
+    pub hops: usize,
+}
+
+impl FlowMeta {
+    /// The bandwidth-delay product in bytes at NIC rate.
+    pub fn bdp_bytes(&self) -> u64 {
+        (self.nic_bps as u128 * self.base_rtt_ns as u128 / 8 / 1_000_000_000) as u64
+    }
+}
+
+/// A sender-side congestion-control/reliability state machine.
+pub trait Transport {
+    /// Called once when the flow starts; emit the initial window.
+    fn start(&mut self, now: Nanos, out: &mut Vec<Action>);
+
+    /// Called for every arriving ACK.
+    fn on_ack(&mut self, ack: &AckView<'_>, out: &mut Vec<Action>);
+
+    /// Called when an armed timer fires.
+    fn on_timer(&mut self, now: Nanos, token: u64, out: &mut Vec<Action>);
+
+    /// `true` once all bytes are sent and acknowledged.
+    fn is_done(&self) -> bool;
+}
+
+/// Creates a transport per flow.
+pub type TransportFactory = Box<dyn Fn(FlowMeta) -> Box<dyn Transport>>;

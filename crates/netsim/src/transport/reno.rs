@@ -1,0 +1,311 @@
+//! TCP Reno — the transport of the §2 overhead study (Figs. 1–2:
+//! "We employed the standard ECMP routing with TCP Reno").
+//!
+//! Classic Reno: slow start, congestion avoidance, triple-duplicate-ACK
+//! fast retransmit with fast recovery, and an exponentially backed-off
+//! retransmission timeout with go-back-N on expiry. Windows are in bytes.
+
+use super::{Action, FlowMeta, Transport};
+use crate::packet::AckView;
+use crate::Nanos;
+
+/// Reno sender state.
+#[derive(Debug)]
+pub struct Reno {
+    meta: FlowMeta,
+    /// Oldest unacknowledged byte.
+    snd_una: u64,
+    /// Next byte to transmit.
+    snd_nxt: u64,
+    /// Congestion window, bytes.
+    cwnd: f64,
+    /// Slow-start threshold, bytes.
+    ssthresh: f64,
+    /// Duplicate-ACK counter.
+    dupacks: u32,
+    /// In fast recovery until `recover` is acked.
+    recover: Option<u64>,
+    /// Smoothed RTT / variance (RFC 6298 style), ns.
+    srtt: f64,
+    rttvar: f64,
+    /// Current RTO, ns.
+    rto: Nanos,
+    /// Timer generation: stale timers are ignored.
+    timer_gen: u64,
+    /// Consecutive RTO backoffs.
+    backoff: u32,
+}
+
+impl Reno {
+    /// Creates a Reno sender for `meta`.
+    pub fn new(meta: FlowMeta) -> Self {
+        let mss = f64::from(meta.mss);
+        Self {
+            meta,
+            snd_una: 0,
+            snd_nxt: 0,
+            cwnd: 2.0 * mss,
+            ssthresh: f64::MAX / 4.0,
+            dupacks: 0,
+            recover: None,
+            srtt: 0.0,
+            rttvar: 0.0,
+            rto: 3 * meta.base_rtt_ns.max(1_000_000), // conservative initial RTO
+            timer_gen: 0,
+            backoff: 0,
+        }
+    }
+
+    fn mss(&self) -> u64 {
+        u64::from(self.meta.mss)
+    }
+
+    fn update_rtt(&mut self, sample: Nanos) {
+        let s = sample as f64;
+        if self.srtt == 0.0 {
+            self.srtt = s;
+            self.rttvar = s / 2.0;
+        } else {
+            self.rttvar = 0.75 * self.rttvar + 0.25 * (self.srtt - s).abs();
+            self.srtt = 0.875 * self.srtt + 0.125 * s;
+        }
+        let rto = self.srtt + 4.0 * self.rttvar;
+        // Floor keeps spurious timeouts away in a µs-scale fabric.
+        self.rto = (rto as Nanos).max(self.meta.base_rtt_ns * 2).max(200_000);
+    }
+
+    fn arm_rto(&mut self, out: &mut Vec<Action>) {
+        self.timer_gen += 1;
+        out.push(Action::SetTimer {
+            delay: self.rto << self.backoff.min(6),
+            token: self.timer_gen,
+        });
+    }
+
+    /// Transmit as much new data as the window allows.
+    fn pump(&mut self, out: &mut Vec<Action>) {
+        let limit = self.snd_una + self.cwnd as u64;
+        while self.snd_nxt < self.meta.size_bytes && self.snd_nxt + 1 <= limit {
+            let bytes = self
+                .mss()
+                .min(self.meta.size_bytes - self.snd_nxt)
+                .min(limit.saturating_sub(self.snd_nxt))
+                .max(1) as u32;
+            out.push(Action::Send { seq: self.snd_nxt, bytes, retx: false });
+            self.snd_nxt += u64::from(bytes);
+        }
+    }
+}
+
+impl Transport for Reno {
+    fn start(&mut self, _now: Nanos, out: &mut Vec<Action>) {
+        self.pump(out);
+        self.arm_rto(out);
+    }
+
+    fn on_ack(&mut self, ack: &AckView<'_>, out: &mut Vec<Action>) {
+        if let Some(rtt) = ack.rtt_ns {
+            self.update_rtt(rtt);
+        }
+        let mss = self.mss() as f64;
+        if ack.ack_seq > self.snd_una {
+            // New data acknowledged.
+            self.snd_una = ack.ack_seq;
+            self.dupacks = 0;
+            self.backoff = 0;
+            match self.recover {
+                Some(rec) if ack.ack_seq < rec => {
+                    // Partial ACK in fast recovery (NewReno): retransmit the
+                    // next missing segment, keep the window.
+                    out.push(Action::Send {
+                        seq: ack.ack_seq,
+                        bytes: self.mss().min(self.meta.size_bytes - ack.ack_seq) as u32,
+                        retx: true,
+                    });
+                }
+                Some(_) => {
+                    // Recovery complete: deflate.
+                    self.recover = None;
+                    self.cwnd = self.ssthresh;
+                }
+                None => {
+                    if self.cwnd < self.ssthresh {
+                        self.cwnd += mss; // slow start
+                    } else {
+                        self.cwnd += mss * mss / self.cwnd; // AIMD increase
+                    }
+                }
+            }
+            if self.snd_una < self.meta.size_bytes {
+                self.arm_rto(out);
+            }
+        } else if ack.ack_seq == self.snd_una && self.snd_una < self.snd_nxt {
+            self.dupacks += 1;
+            if self.dupacks == 3 && self.recover.is_none() {
+                // Fast retransmit + fast recovery.
+                self.ssthresh = (self.cwnd / 2.0).max(2.0 * mss);
+                self.cwnd = self.ssthresh + 3.0 * mss;
+                self.recover = Some(self.snd_nxt);
+                out.push(Action::Send {
+                    seq: self.snd_una,
+                    bytes: self.mss().min(self.meta.size_bytes - self.snd_una) as u32,
+                    retx: true,
+                });
+            } else if self.dupacks > 3 && self.recover.is_some() {
+                self.cwnd += mss; // window inflation
+            }
+        }
+        self.pump(out);
+    }
+
+    fn on_timer(&mut self, _now: Nanos, token: u64, out: &mut Vec<Action>) {
+        if token != self.timer_gen || self.is_done() {
+            return; // stale timer
+        }
+        // RTO: collapse to one segment, go-back-N.
+        let mss = self.mss() as f64;
+        let inflight = (self.snd_nxt - self.snd_una) as f64;
+        self.ssthresh = (inflight / 2.0).max(2.0 * mss);
+        self.cwnd = mss;
+        self.recover = None;
+        self.dupacks = 0;
+        self.snd_nxt = self.snd_una;
+        self.backoff += 1;
+        self.pump(out);
+        self.arm_rto(out);
+    }
+
+    fn is_done(&self) -> bool {
+        self.snd_una >= self.meta.size_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Echo;
+
+    fn meta(size: u64) -> FlowMeta {
+        FlowMeta {
+            flow: 1,
+            size_bytes: size,
+            mss: 1000,
+            base_rtt_ns: 100_000,
+            nic_bps: 10_000_000_000,
+            hops: 5,
+        }
+    }
+
+    fn drive_ack(t: &mut Reno, seq: u64, rtt: Option<u64>) -> Vec<Action> {
+        let echo = Echo::default();
+        let view = AckView { now: 0, ack_seq: seq, rtt_ns: rtt, echo: &echo };
+        let mut out = Vec::new();
+        t.on_ack(&view, &mut out);
+        out
+    }
+
+    fn sends(actions: &[Action]) -> Vec<(u64, u32, bool)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { seq, bytes, retx } => Some((*seq, *bytes, *retx)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn starts_with_two_segments() {
+        let mut t = Reno::new(meta(100_000));
+        let mut out = Vec::new();
+        t.start(0, &mut out);
+        assert_eq!(sends(&out).len(), 2, "initial window = 2 MSS");
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut t = Reno::new(meta(10_000_000));
+        let mut out = Vec::new();
+        t.start(0, &mut out);
+        // Ack the first two segments: cwnd 2→4 MSS, two new per ack.
+        let s1 = sends(&drive_ack(&mut t, 1000, Some(100_000)));
+        let s2 = sends(&drive_ack(&mut t, 2000, Some(100_000)));
+        assert_eq!(s1.len(), 2);
+        assert_eq!(s2.len(), 2);
+    }
+
+    #[test]
+    fn triple_dupack_fast_retransmits() {
+        let mut t = Reno::new(meta(10_000_000));
+        let mut out = Vec::new();
+        t.start(0, &mut out);
+        // Grow the window a bit.
+        for i in 1..=8 {
+            drive_ack(&mut t, i * 1000, Some(100_000));
+        }
+        let snd_una = t.snd_una;
+        // Three duplicate ACKs at the same level.
+        drive_ack(&mut t, snd_una, None);
+        drive_ack(&mut t, snd_una, None);
+        let s = sends(&drive_ack(&mut t, snd_una, None));
+        assert!(
+            s.iter().any(|&(seq, _, retx)| retx && seq == snd_una),
+            "expected fast retransmit of {snd_una}: {s:?}"
+        );
+        assert!(t.recover.is_some());
+    }
+
+    #[test]
+    fn rto_collapses_window() {
+        let mut t = Reno::new(meta(10_000_000));
+        let mut out = Vec::new();
+        t.start(0, &mut out);
+        for i in 1..=8 {
+            drive_ack(&mut t, i * 1000, Some(100_000));
+        }
+        let gen = t.timer_gen;
+        let mut out = Vec::new();
+        t.on_timer(0, gen, &mut out);
+        assert_eq!(t.cwnd as u64, 1000, "cwnd collapses to 1 MSS");
+        let s = sends(&out);
+        assert_eq!(s[0].0, t.snd_una, "go-back-N from snd_una");
+    }
+
+    #[test]
+    fn stale_timer_ignored() {
+        let mut t = Reno::new(meta(1_000_000));
+        let mut out = Vec::new();
+        t.start(0, &mut out);
+        let cwnd = t.cwnd;
+        let mut out = Vec::new();
+        t.on_timer(0, 999, &mut out); // wrong token
+        assert_eq!(t.cwnd, cwnd);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn completes_exactly_at_size() {
+        let mut t = Reno::new(meta(2_500));
+        let mut out = Vec::new();
+        t.start(0, &mut out);
+        // 1000 + 1000 + 500.
+        drive_ack(&mut t, 1000, Some(100_000));
+        drive_ack(&mut t, 2000, Some(100_000));
+        drive_ack(&mut t, 2500, Some(100_000));
+        assert!(t.is_done());
+    }
+
+    #[test]
+    fn never_sends_beyond_flow_size() {
+        let mut t = Reno::new(meta(3_333));
+        let mut all = Vec::new();
+        let mut out = Vec::new();
+        t.start(0, &mut out);
+        all.extend(sends(&out));
+        for i in 1..=4 {
+            all.extend(sends(&drive_ack(&mut t, (i * 1000).min(3333), Some(50_000))));
+        }
+        let max_end = all.iter().map(|&(s, b, _)| s + u64::from(b)).max().unwrap();
+        assert!(max_end <= 3_333, "sent past end: {max_end}");
+    }
+}

@@ -1,0 +1,239 @@
+//! Traffic workloads (paper §2, §6.1).
+//!
+//! "The traffic is generated following the flow size distribution in web
+//! search from Microsoft \[3\] and Hadoop from Facebook \[62\]. Each server
+//! generates new flows according to a Poisson process, destined to random
+//! servers. The average flow arrival time is set so that the total network
+//! load is 50%."
+//!
+//! The two CDFs are reconstructed from the paper itself: Fig. 7b/7c state
+//! that the x-axis tick marks are chosen "such that there are 10% of the
+//! flows between consecutive tick marks" — i.e. the ticks are the
+//! distribution deciles. [`FlowSizeCdf::web_search`] and
+//! [`FlowSizeCdf::hadoop`] interpolate log-linearly between exactly those
+//! deciles.
+
+use rand::Rng;
+
+/// An empirical flow-size CDF with log-linear interpolation.
+#[derive(Debug, Clone)]
+pub struct FlowSizeCdf {
+    /// (size_bytes, cumulative_probability), strictly increasing in both.
+    points: Vec<(f64, f64)>,
+    name: String,
+}
+
+impl FlowSizeCdf {
+    /// Builds a CDF from (size, probability) control points.
+    pub fn new(name: &str, points: &[(f64, f64)]) -> Self {
+        assert!(points.len() >= 2);
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "sizes must increase");
+            assert!(w[0].1 <= w[1].1, "probabilities must not decrease");
+        }
+        assert_eq!(points[0].1, 0.0, "first point must have CDF 0");
+        assert_eq!(points[points.len() - 1].1, 1.0, "last point must have CDF 1");
+        Self { points: points.to_vec(), name: name.to_owned() }
+    }
+
+    /// The web-search workload \[3\]; deciles from the Fig. 7b tick marks
+    /// (7K…30M bytes).
+    pub fn web_search() -> Self {
+        Self::new(
+            "web-search",
+            &[
+                (1_000.0, 0.0),
+                (7_000.0, 0.1),
+                (20_000.0, 0.2),
+                (30_000.0, 0.3),
+                (50_000.0, 0.4),
+                (73_000.0, 0.5),
+                (197_000.0, 0.6),
+                (989_000.0, 0.7),
+                (2_000_000.0, 0.8),
+                (5_000_000.0, 0.9),
+                (30_000_000.0, 1.0),
+            ],
+        )
+    }
+
+    /// The Facebook Hadoop workload \[62\]; deciles from the Fig. 7c tick
+    /// marks (324…10M bytes).
+    pub fn hadoop() -> Self {
+        Self::new(
+            "hadoop",
+            &[
+                (100.0, 0.0),
+                (324.0, 0.1),
+                (399.0, 0.2),
+                (500.0, 0.3),
+                (599.0, 0.4),
+                (699.0, 0.5),
+                (999.0, 0.6),
+                (7_000.0, 0.7),
+                (46_000.0, 0.8),
+                (120_000.0, 0.9),
+                (10_000_000.0, 1.0),
+            ],
+        )
+    }
+
+    /// A fixed-size degenerate distribution (tests, microbenchmarks).
+    pub fn fixed(bytes: u64) -> Self {
+        Self::new(
+            "fixed",
+            &[(bytes as f64 - 0.5, 0.0), (bytes as f64, 1.0)],
+        )
+    }
+
+    /// Workload name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Inverse-CDF sampling with log-linear interpolation between control
+    /// points.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        self.quantile(u)
+    }
+
+    /// The size at cumulative probability `u ∈ \[0,1\]`.
+    pub fn quantile(&self, u: f64) -> u64 {
+        let u = u.clamp(0.0, 1.0);
+        let pts = &self.points;
+        for w in pts.windows(2) {
+            let (s0, p0) = w[0];
+            let (s1, p1) = w[1];
+            if u <= p1 {
+                if p1 == p0 {
+                    return s1 as u64;
+                }
+                let f = (u - p0) / (p1 - p0);
+                // Log-linear: sizes span decades.
+                let ls = s0.ln() + f * (s1.ln() - s0.ln());
+                return ls.exp().round().max(1.0) as u64;
+            }
+        }
+        pts[pts.len() - 1].0 as u64
+    }
+
+    /// Mean flow size (numerically integrated).
+    pub fn mean_bytes(&self) -> f64 {
+        let n = 100_000;
+        (0..n).map(|i| self.quantile((i as f64 + 0.5) / n as f64) as f64).sum::<f64>() / n as f64
+    }
+
+    /// Deciles (P10..P90 plus max) — the Fig. 7 tick marks.
+    pub fn deciles(&self) -> Vec<u64> {
+        (1..=10).map(|i| self.quantile(i as f64 / 10.0)).collect()
+    }
+}
+
+/// A Poisson open-loop workload over a set of hosts.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Flow-size distribution.
+    pub cdf: FlowSizeCdf,
+    /// Target network load as a fraction of aggregate host NIC capacity.
+    pub load: f64,
+    /// Host NIC rate, bits/s (for the load computation).
+    pub nic_bps: u64,
+    /// Workload generation horizon, ns.
+    pub duration_ns: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// Per-host flow arrival rate (flows/second) for the target load.
+    pub fn flows_per_second_per_host(&self) -> f64 {
+        let mean = self.cdf.mean_bytes();
+        self.load * self.nic_bps as f64 / (8.0 * mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn web_search_deciles_match_fig7b_ticks() {
+        let cdf = FlowSizeCdf::web_search();
+        let expect = [7_000, 20_000, 30_000, 50_000, 73_000, 197_000, 989_000, 2_000_000, 5_000_000, 30_000_000];
+        for (d, e) in cdf.deciles().iter().zip(expect) {
+            assert!(
+                (*d as f64 / e as f64 - 1.0).abs() < 0.01,
+                "decile {d} vs tick {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn hadoop_deciles_match_fig7c_ticks() {
+        let cdf = FlowSizeCdf::hadoop();
+        let expect = [324, 399, 500, 599, 699, 999, 7_000, 46_000, 120_000, 10_000_000];
+        for (d, e) in cdf.deciles().iter().zip(expect) {
+            assert!(
+                (*d as f64 / e as f64 - 1.0).abs() < 0.01,
+                "decile {d} vs tick {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_matches_quantiles() {
+        let cdf = FlowSizeCdf::web_search();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut samples: Vec<u64> = (0..100_000).map(|_| cdf.sample(&mut rng)).collect();
+        samples.sort_unstable();
+        let med = samples[samples.len() / 2];
+        let p50 = cdf.quantile(0.5);
+        assert!(
+            (med as f64 / p50 as f64 - 1.0).abs() < 0.05,
+            "median {med} vs P50 {p50}"
+        );
+    }
+
+    #[test]
+    fn hadoop_is_mostly_small_flows() {
+        // The Hadoop workload's median is under 1 KB — the regime where
+        // per-packet telemetry overhead matters most relatively.
+        let cdf = FlowSizeCdf::hadoop();
+        assert!(cdf.quantile(0.5) < 1_000);
+        assert!(cdf.quantile(1.0) == 10_000_000);
+    }
+
+    #[test]
+    fn mean_dominated_by_elephants() {
+        let ws = FlowSizeCdf::web_search();
+        let mean = ws.mean_bytes();
+        let median = ws.quantile(0.5) as f64;
+        assert!(mean > 5.0 * median, "mean {mean} vs median {median}");
+    }
+
+    #[test]
+    fn arrival_rate_scales_with_load() {
+        let mk = |load| WorkloadConfig {
+            cdf: FlowSizeCdf::web_search(),
+            load,
+            nic_bps: 10_000_000_000,
+            duration_ns: 1_000_000_000,
+            seed: 0,
+        };
+        let r30 = mk(0.3).flows_per_second_per_host();
+        let r70 = mk(0.7).flows_per_second_per_host();
+        assert!((r70 / r30 - 70.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_distribution() {
+        let cdf = FlowSizeCdf::fixed(5000);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(cdf.sample(&mut rng), 5000);
+        }
+    }
+}

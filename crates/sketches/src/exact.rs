@@ -1,0 +1,123 @@
+//! Exact quantile computation (store-everything baseline).
+//!
+//! Used as ground truth by the evaluation harness (Fig. 9 compares PINT's
+//! estimated latency quantiles against the true quantiles of the full
+//! per-hop stream) and by tests of the approximate sketches.
+
+/// Stores the full stream and answers exact quantile queries.
+#[derive(Debug, Clone, Default)]
+pub struct ExactQuantiles {
+    values: Vec<u64>,
+    sorted: bool,
+}
+
+impl ExactQuantiles {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a value to the stream.
+    pub fn update(&mut self, v: u64) {
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of values observed.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The exact ϕ-quantile using the nearest-rank definition
+    /// (the smallest value whose rank is ≥ ⌈ϕ·n⌉).
+    pub fn quantile(&mut self, phi: f64) -> Option<u64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let phi = phi.clamp(0.0, 1.0);
+        let n = self.values.len();
+        let idx = ((phi * n as f64).ceil() as usize).clamp(1, n) - 1;
+        Some(self.values[idx])
+    }
+
+    /// Exact rank of `v`: number of stream elements `< v`.
+    pub fn rank(&mut self, v: u64) -> usize {
+        self.ensure_sorted();
+        self.values.partition_point(|&x| x < v)
+    }
+
+    /// Normalized rank in `\[0, 1\]`.
+    pub fn normalized_rank(&mut self, v: u64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.rank(v) as f64 / self.values.len() as f64
+    }
+
+    /// Read-only access to the (possibly unsorted) raw values.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let mut q = ExactQuantiles::new();
+        assert!(q.quantile(0.5).is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn nearest_rank_definition() {
+        let mut q = ExactQuantiles::new();
+        for v in [10, 20, 30, 40] {
+            q.update(v);
+        }
+        assert_eq!(q.quantile(0.0), Some(10));
+        assert_eq!(q.quantile(0.25), Some(10));
+        assert_eq!(q.quantile(0.5), Some(20));
+        assert_eq!(q.quantile(0.75), Some(30));
+        assert_eq!(q.quantile(1.0), Some(40));
+    }
+
+    #[test]
+    fn rank_and_normalized_rank() {
+        let mut q = ExactQuantiles::new();
+        for v in 0..100u64 {
+            q.update(v);
+        }
+        assert_eq!(q.rank(0), 0);
+        assert_eq!(q.rank(50), 50);
+        assert!((q.normalized_rank(50) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interleaved_updates_and_queries() {
+        let mut q = ExactQuantiles::new();
+        q.update(5);
+        assert_eq!(q.quantile(0.5), Some(5));
+        q.update(1);
+        q.update(9);
+        assert_eq!(q.quantile(0.5), Some(5));
+        q.update(0);
+        q.update(2);
+        assert_eq!(q.quantile(0.5), Some(2));
+    }
+}

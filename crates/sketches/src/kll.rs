@@ -1,0 +1,354 @@
+//! The KLL streaming quantile sketch (Karnin, Lang, Liberty — FOCS 2016).
+//!
+//! PINT's Recording Module uses a KLL sketch per (flow, hop) pair to bound
+//! the per-flow storage while answering quantile queries over the sampled
+//! latency substream (paper §4.1, §6.2, Theorem 1). The sketch answers any
+//! ϕ-quantile to within ε·n rank error using `O(ε⁻¹)` stored items.
+//!
+//! This is a self-contained implementation of the standard compactor-based
+//! design: a tower of buffers ("compactors") where level `h` holds items of
+//! weight `2^h`. When the sketch exceeds its capacity the lowest over-full
+//! level is sorted and every other element (random offset) is promoted one
+//! level up, halving the stored item count at that level.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Capacity decay rate between compactor levels (the `c` parameter of the
+/// KLL paper; 2/3 is the value used in the authors' reference code).
+const DECAY: f64 = 2.0 / 3.0;
+/// Minimum capacity of any compactor.
+const MIN_CAP: usize = 2;
+
+/// A KLL quantile sketch over `u64` values.
+///
+/// ```
+/// use pint_sketches::KllSketch;
+/// let mut sk = KllSketch::new(200);
+/// for v in 0..10_000u64 {
+///     sk.update(v);
+/// }
+/// let med = sk.quantile(0.5).unwrap();
+/// assert!((med as i64 - 5_000).unsigned_abs() < 500);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KllSketch {
+    /// Accuracy parameter: the top compactor holds up to `k` items.
+    k: usize,
+    /// `compactors[h]` holds items of weight `2^h`.
+    compactors: Vec<Vec<u64>>,
+    /// Total items currently stored across all compactors.
+    size: usize,
+    /// Total capacity across all compactors; exceeded ⇒ compress.
+    max_size: usize,
+    /// Stream length observed so far.
+    n: u64,
+    rng: SmallRng,
+}
+
+impl KllSketch {
+    /// Creates a sketch with accuracy parameter `k` (rank error ≈ O(1/k))
+    /// and a fixed default seed.
+    pub fn new(k: usize) -> Self {
+        Self::with_seed(k, 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Creates a sketch with an explicit RNG seed (compaction coin flips).
+    pub fn with_seed(k: usize, seed: u64) -> Self {
+        assert!(k >= MIN_CAP, "KLL k must be at least {MIN_CAP}");
+        let mut s = Self {
+            k,
+            compactors: Vec::new(),
+            size: 0,
+            max_size: 0,
+            n: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        };
+        s.grow();
+        s
+    }
+
+    /// Creates a sketch whose in-memory footprint is approximately
+    /// `bytes` when each stored item occupies `item_bytes` bytes.
+    ///
+    /// This mirrors the paper's Fig. 9 x-axis ("Sketch Size \[Bytes\]"): a
+    /// `b`-bit PINT digest occupies `b/8` bytes, so a 100-byte sketch with
+    /// `b = 8` keeps roughly 100 digests.
+    pub fn with_byte_budget(bytes: usize, item_bytes: usize) -> Self {
+        Self::with_item_budget((bytes / item_bytes.max(1)).max(MIN_CAP * 3))
+    }
+
+    /// Creates a sketch retaining at most ≈ `items` stored values (for
+    /// sub-byte digests: a 100-byte budget at `b = 4` bits holds 200).
+    pub fn with_item_budget(items: usize) -> Self {
+        // Total capacity of a KLL tower with top-capacity k is ~ k / (1 - c)
+        // = 3k, so pick k ≈ items / 3.
+        Self::new((items / 3).max(MIN_CAP))
+    }
+
+    fn capacity_of(&self, h: usize) -> usize {
+        let depth = self.compactors.len() - h - 1;
+        let cap = (self.k as f64) * DECAY.powi(depth as i32);
+        (cap.ceil() as usize).max(MIN_CAP)
+    }
+
+    fn grow(&mut self) {
+        self.compactors.push(Vec::new());
+        self.max_size = (0..self.compactors.len()).map(|h| self.capacity_of(h)).sum();
+    }
+
+    /// Inserts a value into the sketch.
+    pub fn update(&mut self, v: u64) {
+        self.compactors[0].push(v);
+        self.size += 1;
+        self.n += 1;
+        if self.size >= self.max_size {
+            self.compress();
+        }
+    }
+
+    fn compress(&mut self) {
+        for h in 0..self.compactors.len() {
+            if self.compactors[h].len() >= self.capacity_of(h) {
+                if h + 1 >= self.compactors.len() {
+                    self.grow();
+                }
+                let mut items = std::mem::take(&mut self.compactors[h]);
+                items.sort_unstable();
+                let offset = usize::from(self.rng.gen_bool(0.5));
+                let promoted: Vec<u64> = items
+                    .iter()
+                    .copied()
+                    .skip(offset)
+                    .step_by(2)
+                    .collect();
+                self.size -= items.len();
+                self.size += promoted.len();
+                self.compactors[h + 1].extend_from_slice(&promoted);
+                // Compacting one level suffices to fall under max_size;
+                // matching the reference implementation we stop here.
+                break;
+            }
+        }
+    }
+
+    /// Number of items observed (the stream length `n`).
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Returns `true` if no item was ever inserted.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of items currently retained.
+    pub fn stored_items(&self) -> usize {
+        self.size
+    }
+
+    /// Approximate memory footprint assuming `item_bytes` bytes per item.
+    pub fn size_in_bytes(&self, item_bytes: usize) -> usize {
+        self.size * item_bytes
+    }
+
+    /// Returns all (value, weight) pairs currently held.
+    fn weighted_items(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.size);
+        for (h, c) in self.compactors.iter().enumerate() {
+            let w = 1u64 << h;
+            out.extend(c.iter().map(|&v| (v, w)));
+        }
+        out
+    }
+
+    /// Estimates the rank (number of stream items `< v`).
+    pub fn rank(&self, v: u64) -> u64 {
+        self.weighted_items()
+            .iter()
+            .filter(|&&(x, _)| x < v)
+            .map(|&(_, w)| w)
+            .sum()
+    }
+
+    /// Estimates the ϕ-quantile (ϕ ∈ \[0, 1\]) of the stream.
+    ///
+    /// Returns `None` on an empty sketch.
+    pub fn quantile(&self, phi: f64) -> Option<u64> {
+        if self.n == 0 {
+            return None;
+        }
+        let phi = phi.clamp(0.0, 1.0);
+        let mut items = self.weighted_items();
+        items.sort_unstable_by_key(|&(v, _)| v);
+        let total: u64 = items.iter().map(|&(_, w)| w).sum();
+        let target = (phi * total as f64).ceil() as u64;
+        let mut cum = 0u64;
+        for &(v, w) in &items {
+            cum += w;
+            if cum >= target {
+                return Some(v);
+            }
+        }
+        items.last().map(|&(v, _)| v)
+    }
+
+    /// Merges another sketch into this one (levelwise concatenation
+    /// followed by compaction).
+    pub fn merge(&mut self, other: &KllSketch) {
+        while self.compactors.len() < other.compactors.len() {
+            self.grow();
+        }
+        for (h, c) in other.compactors.iter().enumerate() {
+            self.compactors[h].extend_from_slice(c);
+            self.size += c.len();
+        }
+        self.n += other.n;
+        while self.size >= self.max_size {
+            let before = self.size;
+            self.compress();
+            if self.size == before {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::seq::SliceRandom;
+
+    fn rank_error(sk: &KllSketch, sorted: &[u64], phi: f64) -> f64 {
+        let est = sk.quantile(phi).unwrap();
+        // True rank of the estimate within the sorted data.
+        let rank = sorted.partition_point(|&x| x <= est);
+        (rank as f64 / sorted.len() as f64 - phi).abs()
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantile() {
+        let sk = KllSketch::new(64);
+        assert!(sk.quantile(0.5).is_none());
+        assert!(sk.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        let mut sk = KllSketch::new(64);
+        sk.update(42);
+        assert_eq!(sk.quantile(0.0), Some(42));
+        assert_eq!(sk.quantile(0.5), Some(42));
+        assert_eq!(sk.quantile(1.0), Some(42));
+    }
+
+    #[test]
+    fn exact_below_capacity() {
+        // While the stream fits in the bottom compactor the answer is exact.
+        let mut sk = KllSketch::new(512);
+        for v in 0..100u64 {
+            sk.update(v);
+        }
+        // Nearest-rank: the ⌈0.5·100⌉ = 50th smallest item is 49.
+        assert_eq!(sk.quantile(0.5), Some(49));
+    }
+
+    #[test]
+    fn uniform_stream_accuracy() {
+        let mut sk = KllSketch::with_seed(200, 7);
+        let mut data: Vec<u64> = (0..100_000).collect();
+        data.shuffle(&mut SmallRng::seed_from_u64(3));
+        for &v in &data {
+            sk.update(v);
+        }
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        for phi in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            assert!(
+                rank_error(&sk, &sorted, phi) < 0.03,
+                "phi={phi} error too large"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_stream_accuracy() {
+        // Heavy-tailed stream: mostly small with rare huge values — the
+        // regime of switch hop latencies.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut sk = KllSketch::with_seed(200, 5);
+        let mut data = Vec::new();
+        for _ in 0..50_000 {
+            let v = if rng.gen_bool(0.01) {
+                rng.gen_range(100_000..1_000_000u64)
+            } else {
+                rng.gen_range(0..1_000u64)
+            };
+            sk.update(v);
+            data.push(v);
+        }
+        data.sort_unstable();
+        for phi in [0.5, 0.9, 0.99] {
+            assert!(rank_error(&sk, &data, phi) < 0.03, "phi={phi}");
+        }
+    }
+
+    #[test]
+    fn space_is_bounded() {
+        let mut sk = KllSketch::new(100);
+        for v in 0..1_000_000u64 {
+            sk.update(v);
+        }
+        // Capacity of the tower is ~3k; allow slack for the transient.
+        assert!(sk.stored_items() < 400, "stored {}", sk.stored_items());
+    }
+
+    #[test]
+    fn merge_matches_combined_stream() {
+        let mut a = KllSketch::with_seed(200, 1);
+        let mut b = KllSketch::with_seed(200, 2);
+        let mut all = Vec::new();
+        for v in 0..20_000u64 {
+            a.update(v);
+            all.push(v);
+        }
+        for v in 20_000..60_000u64 {
+            b.update(v * 3);
+            all.push(v * 3);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 60_000);
+        all.sort_unstable();
+        for phi in [0.25, 0.5, 0.9] {
+            assert!(rank_error(&a, &all, phi) < 0.04, "phi={phi}");
+        }
+    }
+
+    #[test]
+    fn byte_budget_controls_size() {
+        let mut small = KllSketch::with_byte_budget(100, 1);
+        let mut big = KllSketch::with_byte_budget(300, 1);
+        for v in 0..100_000u64 {
+            small.update(v);
+            big.update(v);
+        }
+        assert!(small.stored_items() <= 150);
+        assert!(big.stored_items() <= 450);
+        assert!(small.stored_items() < big.stored_items());
+    }
+
+    #[test]
+    fn monotone_quantiles() {
+        let mut sk = KllSketch::with_seed(64, 9);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            sk.update(rng.gen_range(0..1_000_000));
+        }
+        let mut prev = 0;
+        for i in 0..=20 {
+            let q = sk.quantile(i as f64 / 20.0).unwrap();
+            assert!(q >= prev, "quantiles must be monotone");
+            prev = q;
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Morris' approximate counter (CACM 1978).
+//!
+//! The paper's "randomized counting" value approximation (§4.3) cites Morris
+//! \[55\]: a counter that represents counts up to `n` in `O(log log n)` bits by
+//! incrementing a small register probabilistically. PINT uses this idea to
+//! sum or count per-hop events (e.g. number of high-latency hops) within a
+//! tiny per-packet bit budget.
+
+use rand::Rng;
+
+/// A Morris counter with adjustable accuracy base.
+///
+/// The register `c` represents an estimated count of `(a^c - 1) / (a - 1)`
+/// where `a = 1 + 1/scale`. Larger `scale` trades bits for accuracy: the
+/// standard-error of the estimate is roughly `1/sqrt(2·scale)`.
+#[derive(Debug, Clone)]
+pub struct MorrisCounter {
+    /// The small register (the only state that would ride on a packet).
+    c: u32,
+    /// Accuracy parameter; `a = 1 + 1/scale`.
+    scale: f64,
+}
+
+impl MorrisCounter {
+    /// Creates a counter with accuracy parameter `scale ≥ 1`
+    /// (`scale = 1` is the classic base-2 Morris counter).
+    pub fn new(scale: f64) -> Self {
+        assert!(scale >= 1.0, "scale must be ≥ 1");
+        Self { c: 0, scale }
+    }
+
+    /// Base of the counter, `a = 1 + 1/scale`.
+    pub fn base(&self) -> f64 {
+        1.0 + 1.0 / self.scale
+    }
+
+    /// Probabilistically increments the register: with probability `a^-c`.
+    pub fn increment<R: Rng>(&mut self, rng: &mut R) {
+        let p = self.base().powi(-(self.c as i32));
+        if rng.gen::<f64>() < p {
+            self.c += 1;
+        }
+    }
+
+    /// Adds `n` increments.
+    pub fn increment_by<R: Rng>(&mut self, n: u64, rng: &mut R) {
+        for _ in 0..n {
+            self.increment(rng);
+        }
+    }
+
+    /// Unbiased estimate of the number of increments observed.
+    pub fn estimate(&self) -> f64 {
+        let a = self.base();
+        (a.powi(self.c as i32) - 1.0) / (a - 1.0)
+    }
+
+    /// The raw register value.
+    pub fn register(&self) -> u32 {
+        self.c
+    }
+
+    /// Overwrites the register (used when the counter value is decoded from
+    /// a packet digest).
+    pub fn set_register(&mut self, c: u32) {
+        self.c = c;
+    }
+
+    /// Number of bits needed to store the register for counts up to `n`.
+    ///
+    /// This is the paper's `O(log ε⁻¹ + log log(…))` bit bound in concrete
+    /// form: the register never exceeds `log_a(n·(a-1) + 1)`.
+    pub fn bits_for(scale: f64, n: u64) -> u32 {
+        let a = 1.0 + 1.0 / scale;
+        let max_c = ((n as f64) * (a - 1.0) + 1.0).log(a).ceil().max(1.0);
+        (max_c.log2().ceil() as u32).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_initially() {
+        let m = MorrisCounter::new(8.0);
+        assert_eq!(m.estimate(), 0.0);
+        assert_eq!(m.register(), 0);
+    }
+
+    #[test]
+    fn estimate_unbiased_mean() {
+        // Average over many independent counters should be close to n.
+        let n = 1000u64;
+        let trials = 400;
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let mut m = MorrisCounter::new(16.0);
+            m.increment_by(n, &mut rng);
+            sum += m.estimate();
+        }
+        let mean = sum / trials as f64;
+        assert!(
+            (mean - n as f64).abs() < n as f64 * 0.05,
+            "mean {mean} far from {n}"
+        );
+    }
+
+    #[test]
+    fn higher_scale_is_more_accurate() {
+        let n = 5000u64;
+        let trials = 300;
+        let err = |scale: f64, seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut se = 0.0;
+            for _ in 0..trials {
+                let mut m = MorrisCounter::new(scale);
+                m.increment_by(n, &mut rng);
+                let e = (m.estimate() - n as f64) / n as f64;
+                se += e * e;
+            }
+            (se / trials as f64).sqrt()
+        };
+        let coarse = err(1.0, 5);
+        let fine = err(32.0, 5);
+        assert!(
+            fine < coarse / 2.0,
+            "scale 32 ({fine}) not better than scale 1 ({coarse})"
+        );
+    }
+
+    #[test]
+    fn register_is_small() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut m = MorrisCounter::new(1.0);
+        m.increment_by(1_000_000, &mut rng);
+        // Base-2 Morris: register ≈ log2(n) ≈ 20.
+        assert!(m.register() < 32, "register {}", m.register());
+        assert!(MorrisCounter::bits_for(1.0, 1_000_000) <= 6);
+    }
+
+    #[test]
+    fn bits_bound_is_monotone_in_scale() {
+        let b1 = MorrisCounter::bits_for(1.0, 1 << 30);
+        let b16 = MorrisCounter::bits_for(16.0, 1 << 30);
+        assert!(b16 >= b1);
+    }
+
+    #[test]
+    fn set_register_roundtrip() {
+        let mut m = MorrisCounter::new(4.0);
+        m.set_register(10);
+        let a: f64 = 1.25;
+        let expect = (a.powi(10) - 1.0) / 0.25;
+        assert!((m.estimate() - expect).abs() < 1e-9);
+    }
+}

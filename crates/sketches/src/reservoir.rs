@@ -1,0 +1,196 @@
+//! Reservoir sampling (Vitter 1985, "Random Sampling with a Reservoir").
+//!
+//! PINT's dynamic per-flow aggregation (§4.1) and Baseline coding layer
+//! (§4.2) are distributed variants of reservoir sampling: the `i`-th switch
+//! overwrites the packet digest with probability `1/i`, so the surviving
+//! value is uniform over the path. These are the centralized counterparts,
+//! used by the Recording Module and by tests as the reference behaviour.
+
+use rand::Rng;
+
+/// A classic size-`k` reservoir sampler: after observing `n ≥ k` items,
+/// the reservoir holds a uniform random subset of size `k`.
+#[derive(Debug, Clone)]
+pub struct ReservoirSampler<T> {
+    items: Vec<T>,
+    capacity: usize,
+    seen: u64,
+}
+
+impl<T> ReservoirSampler<T> {
+    /// Creates a reservoir holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            items: Vec::with_capacity(capacity),
+            capacity,
+            seen: 0,
+        }
+    }
+
+    /// Observes one item (Algorithm R).
+    pub fn observe<R: Rng>(&mut self, item: T, rng: &mut R) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            let j = rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// The sampled items (arbitrary order).
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Number of items observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// `true` if nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.seen == 0
+    }
+
+    /// Current number of retained items (`min(seen, capacity)`).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// A single-slot reservoir: the retained item is uniform over the stream.
+///
+/// This mirrors PINT's per-packet digest: each switch on the path overwrites
+/// the digest with probability `1/i`, leaving a uniformly sampled hop.
+#[derive(Debug, Clone, Default)]
+pub struct SingleReservoir<T> {
+    item: Option<T>,
+    seen: u64,
+}
+
+impl<T> SingleReservoir<T> {
+    /// Creates an empty single-item reservoir.
+    pub fn new() -> Self {
+        Self { item: None, seen: 0 }
+    }
+
+    /// Observes one item; replaces the held item with probability `1/seen`.
+    pub fn observe<R: Rng>(&mut self, item: T, rng: &mut R) {
+        self.seen += 1;
+        if self.seen == 1 || rng.gen_range(0..self.seen) == 0 {
+            self.item = Some(item);
+        }
+    }
+
+    /// Deterministic variant driven by an externally supplied uniform draw
+    /// in `[0,1)` — this is exactly the switch-side rule `g(p, i) < 1/i`
+    /// from the paper, with `u = g(p, i)`.
+    pub fn observe_with_draw(&mut self, item: T, u: f64) {
+        self.seen += 1;
+        if u < 1.0 / self.seen as f64 {
+            self.item = Some(item);
+        }
+    }
+
+    /// The surviving item, if any.
+    pub fn item(&self) -> Option<&T> {
+        self.item.as_ref()
+    }
+
+    /// Number of observations.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reservoir_is_uniform() {
+        // chi-squared style check: each of 10 items retained ~equally often.
+        let mut counts = [0u32; 10];
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..20_000 {
+            let mut r = ReservoirSampler::new(1);
+            for v in 0..10 {
+                r.observe(v, &mut rng);
+            }
+            counts[r.items()[0] as usize] += 1;
+        }
+        for &c in &counts {
+            // Expected 2000 each; allow ±15%.
+            assert!((1700..=2300).contains(&c), "non-uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn reservoir_k_subset_uniform_membership() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut hits = [0u32; 20];
+        for _ in 0..10_000 {
+            let mut r = ReservoirSampler::new(5);
+            for v in 0..20usize {
+                r.observe(v, &mut rng);
+            }
+            for &v in r.items() {
+                hits[v] += 1;
+            }
+        }
+        // Each element should appear with probability 5/20 = 0.25.
+        for &h in &hits {
+            assert!((2100..=2900).contains(&h), "membership skewed: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn fills_before_sampling() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut r = ReservoirSampler::new(8);
+        for v in 0..5 {
+            r.observe(v, &mut rng);
+        }
+        assert_eq!(r.len(), 5);
+        let mut got: Vec<_> = r.items().to_vec();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn single_reservoir_uniform_with_hash_draws() {
+        // Drive the single reservoir with pseudo-random unit draws the way
+        // PINT switches do, and check uniformity over a k=25 path.
+        use rand::Rng;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let k = 25;
+        let mut counts = vec![0u32; k];
+        for _ in 0..50_000 {
+            let mut r = SingleReservoir::new();
+            for hop in 0..k {
+                r.observe_with_draw(hop, rng.gen::<f64>());
+            }
+            counts[*r.item().unwrap()] += 1;
+        }
+        let expect = 50_000.0 / k as f64; // 2000
+        for &c in &counts {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.15,
+                "hop sampling non-uniform: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_single_reservoir() {
+        let r: SingleReservoir<u32> = SingleReservoir::new();
+        assert!(r.item().is_none());
+        assert_eq!(r.seen(), 0);
+    }
+}

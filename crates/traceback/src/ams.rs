@@ -1,0 +1,241 @@
+//! Advanced Marking Scheme II (Song & Perrig, INFOCOM 2001),
+//! reservoir-improved per Sattari \[63\].
+//!
+//! Each marking router writes an 11-bit hash of its identity under one of
+//! `m` globally known hash functions (the function index is derived from
+//! the packet, so different packets exercise different functions) plus
+//! distance 0; later hops increment the distance.
+//!
+//! The victim knows the router universe and the `m` hash functions. For
+//! each hop it maintains the candidate set of routers consistent with every
+//! observed (function, value) pair. With `m = 6` the scheme needs more
+//! packets than `m = 5` (more coupons to collect) but has a lower
+//! false-positive probability (`|V|·2^−11m`) — the trade-off the paper
+//! cites. Following the original scheme's acceptance rule, a hop is
+//! *identified* only when all `m` hash values have been observed and
+//! exactly one candidate matches them all.
+
+use crate::Mark;
+use pint_core::hash::GlobalHash;
+
+/// Bits of the hash value in the 16-bit field (16 − 5 distance = 11).
+pub const HASH_BITS: u32 = 11;
+
+/// The AMS2 marking scheme (switch side).
+#[derive(Debug, Clone)]
+pub struct Ams {
+    /// Number of hash functions (paper: m = 5 or m = 6).
+    m: u32,
+    /// Reservoir / function-selection hash.
+    g: GlobalHash,
+    /// Family of m identity-hash functions.
+    h: GlobalHash,
+}
+
+impl Ams {
+    /// Creates the scheme with `m` hash functions.
+    pub fn new(seed: u64, m: u32) -> Self {
+        assert!(m >= 1);
+        let root = GlobalHash::new(seed ^ 0xA4B2_55AA);
+        Self { m, g: root.derive(1), h: root.derive(2) }
+    }
+
+    /// Number of hash functions.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// `h_f(switch)` truncated to 11 bits.
+    pub fn hash_of(&self, f: u32, switch_id: u64) -> u16 {
+        (self.h.hash2(u64::from(f), switch_id) >> (64 - HASH_BITS)) as u16
+    }
+
+    /// The hash-function index packet `pid` exercises.
+    pub fn function_of(&self, pid: u64) -> u32 {
+        (self.g.hash2(pid, 0xA11CE) % u64::from(self.m)) as u32
+    }
+
+    /// Runs the marking logic at hop `hop` (1-based) for packet `pid`.
+    pub fn mark(&self, pid: u64, hop: usize, switch_id: u64, mark: &mut Mark) {
+        if self.g.unit2(pid, hop as u64) < 1.0 / hop as f64 {
+            let f = self.function_of(pid);
+            mark.payload = self.hash_of(f, switch_id);
+            mark.distance = 0;
+            mark.written = true;
+        } else if mark.written {
+            mark.distance = mark.distance.saturating_add(1);
+        }
+    }
+
+    /// Convenience: marks a full path traversal.
+    pub fn mark_path(&self, pid: u64, path: &[u64]) -> Mark {
+        let mut m = Mark::default();
+        for (i, &sw) in path.iter().enumerate() {
+            self.mark(pid, i + 1, sw, &mut m);
+        }
+        m
+    }
+
+    /// Builds a decoder for a `k`-hop path over `universe` switch IDs.
+    pub fn decoder(&self, universe: Vec<u64>, k: usize) -> AmsDecoder {
+        AmsDecoder {
+            scheme: self.clone(),
+            universe,
+            k,
+            observed: vec![vec![None; self.m as usize]; k + 1],
+            packets: 0,
+        }
+    }
+}
+
+/// Victim-side reconstruction state.
+#[derive(Debug, Clone)]
+pub struct AmsDecoder {
+    scheme: Ams,
+    universe: Vec<u64>,
+    k: usize,
+    /// `observed[hop][f]` — the hash value seen under function `f`.
+    observed: Vec<Vec<Option<u16>>>,
+    packets: u64,
+}
+
+impl AmsDecoder {
+    /// Absorbs a packet's mark (the decoder re-derives the function index
+    /// from the packet ID); `true` when the path is identified.
+    pub fn absorb(&mut self, pid: u64, mark: &Mark) -> bool {
+        self.packets += 1;
+        if !mark.written {
+            return self.is_complete();
+        }
+        let dist = mark.distance as usize;
+        if dist >= self.k {
+            return self.is_complete();
+        }
+        let hop = self.k - dist;
+        let f = self.scheme.function_of(pid) as usize;
+        self.observed[hop][f] = Some(mark.payload);
+        self.is_complete()
+    }
+
+    /// Candidate routers for `hop` under the observations so far.
+    pub fn candidates(&self, hop: usize) -> Vec<u64> {
+        self.universe
+            .iter()
+            .copied()
+            .filter(|&sw| {
+                self.observed[hop].iter().enumerate().all(|(f, ov)| {
+                    ov.is_none_or(|v| self.scheme.hash_of(f as u32, sw) == v)
+                })
+            })
+            .collect()
+    }
+
+    /// A hop is identified once all `m` hash values are observed and
+    /// exactly one router matches them all (the original acceptance rule).
+    pub fn hop_identified(&self, hop: usize) -> bool {
+        self.observed[hop].iter().all(Option::is_some) && self.candidates(hop).len() == 1
+    }
+
+    /// `true` when every hop is identified.
+    pub fn is_complete(&self) -> bool {
+        (1..=self.k).all(|h| self.hop_identified(h))
+    }
+
+    /// Packets absorbed so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// The identified path, if complete.
+    pub fn decoded_path(&self) -> Option<Vec<u64>> {
+        if !self.is_complete() {
+            return None;
+        }
+        Some((1..=self.k).map(|h| self.candidates(h)[0]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &[u64], universe: Vec<u64>, m: u32, seed: u64) -> (u64, Vec<u64>) {
+        let ams = Ams::new(seed, m);
+        let mut dec = ams.decoder(universe, path.len());
+        let mut pid = seed * 1_000_003;
+        loop {
+            pid += 1;
+            let mark = ams.mark_path(pid, path);
+            if dec.absorb(pid, &mark) {
+                return (dec.packets(), dec.decoded_path().unwrap());
+            }
+            assert!(dec.packets() < 2_000_000, "AMS did not converge");
+        }
+    }
+
+    #[test]
+    fn decodes_short_path() {
+        let universe: Vec<u64> = (0..100).collect();
+        let path = vec![3, 71, 42, 8, 99];
+        let (packets, decoded) = run(&path, universe, 5, 1);
+        assert_eq!(decoded, path);
+        assert!(packets >= 25, "must collect ≥ m per hop");
+    }
+
+    #[test]
+    fn m6_needs_more_packets_than_m5() {
+        let universe: Vec<u64> = (0..200).collect();
+        let path: Vec<u64> = (0..8).map(|i| i * 11).collect();
+        let runs = 25;
+        let mean = |m: u32| -> f64 {
+            (0..runs)
+                .map(|s| run(&path, universe.clone(), m, s + 1).0 as f64)
+                .sum::<f64>()
+                / runs as f64
+        };
+        let m5 = mean(5);
+        let m6 = mean(6);
+        assert!(m6 > m5, "m=6 ({m6}) should need more packets than m=5 ({m5})");
+    }
+
+    #[test]
+    fn candidate_sets_shrink_with_observations() {
+        let universe: Vec<u64> = (0..2048).collect();
+        let path = vec![77, 1234, 2000];
+        let ams = Ams::new(5, 5);
+        let mut dec = ams.decoder(universe, 3);
+        let initial = dec.candidates(1).len();
+        assert_eq!(initial, 2048);
+        for pid in 0..400u64 {
+            dec.absorb(pid, &ams.mark_path(pid, &path));
+            if dec.is_complete() {
+                break;
+            }
+        }
+        // With an 11-bit hash and |V| = 2048 one observation leaves ~2
+        // candidates; several shrink it to 1.
+        assert!(dec.is_complete(), "not identified after 400 packets");
+    }
+
+    #[test]
+    fn hash_functions_differ() {
+        let ams = Ams::new(11, 6);
+        let mut distinct = std::collections::HashSet::new();
+        for f in 0..6 {
+            distinct.insert(ams.hash_of(f, 42));
+        }
+        assert!(distinct.len() >= 5, "hash family degenerate");
+    }
+
+    #[test]
+    fn function_selection_uniform() {
+        let ams = Ams::new(13, 5);
+        let mut counts = [0u32; 5];
+        for pid in 0..50_000u64 {
+            counts[ams.function_of(pid) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..=11_000).contains(&c), "{counts:?}");
+        }
+    }
+}

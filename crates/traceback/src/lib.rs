@@ -1,0 +1,48 @@
+//! IP-traceback baselines used in PINT's path-tracing evaluation (§6.3).
+//!
+//! The paper compares PINT against two classic probabilistic packet-marking
+//! schemes, both improved with Reservoir Sampling as proposed by Sattari
+//! \[63\] so that the marking hop is uniform over the path:
+//!
+//! * [`ppm`] — Probabilistic Packet Marking (Savage et al., SIGCOMM 2000):
+//!   fragment sampling. Each 16-bit mark carries an 8-bit fragment of the
+//!   marking router's identity plus a 3-bit fragment offset and a 5-bit
+//!   distance. Decoding hop `i` requires collecting all 8 fragments.
+//! * [`ams`] — Advanced Marking Scheme II (Song & Perrig, INFOCOM 2001):
+//!   hash sampling. Each 16-bit mark carries an 11-bit hash of the marking
+//!   router under one of `m` hash functions (m = 5 or 6) plus a 5-bit
+//!   distance; the victim eliminates router candidates until a single one
+//!   matches every observed hash.
+//!
+//! Both schemes need on the order of `k·F·ln(k·F)` (PPM) or `k·m·ln(k·m)`
+//! (AMS) packets for a `k`-hop path — 1–2 orders of magnitude above PINT's
+//! `k log log* k` (Fig. 10).
+//!
+//! Fidelity note: the distance field is modeled as an unbounded counter
+//! rather than a saturating 5-bit value; the paper evaluates paths up to 59
+//! hops, which also exceeds 5 bits, so it makes the same idealization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ams;
+pub mod ppm;
+
+pub use ams::{Ams, AmsDecoder};
+pub use ppm::{Ppm, PpmDecoder};
+
+/// A 16-bit-budget probabilistic mark carried by one packet.
+///
+/// `distance` is 0 when the marking router wrote the field and is
+/// incremented by every subsequent hop, so the sink learns the marker's
+/// hop index as `k − distance`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Mark {
+    /// Scheme-specific payload (8-bit fragment + 3-bit offset for PPM,
+    /// 11-bit hash value for AMS).
+    pub payload: u16,
+    /// Hops traversed since the mark was written.
+    pub distance: u8,
+    /// `true` once any router has written the field.
+    pub written: bool,
+}

@@ -1,0 +1,292 @@
+//! Probabilistic Packet Marking with fragment sampling (Savage et al.,
+//! SIGCOMM 2000), reservoir-improved per Sattari \[63\].
+//!
+//! Each router's 64-bit identity hash is split into 8 fragments of 8 bits.
+//! When a router marks a packet (reservoir rule: hop `i` marks with
+//! probability `1/i`, so the final marker is uniform), it writes one
+//! uniformly chosen fragment, the 3-bit fragment offset, and distance 0;
+//! every later hop increments the distance. The sink reconstructs hop
+//! `k − distance` once all 8 of its fragments arrived, then maps the
+//! assembled identity hash back to a switch ID.
+
+use crate::Mark;
+use pint_core::hash::GlobalHash;
+
+/// Number of fragments per router identity (3-bit offset field).
+pub const FRAGMENTS: usize = 8;
+/// Bits per fragment (16-bit field − 3 offset − 5 distance = 8).
+pub const FRAGMENT_BITS: u32 = 8;
+
+/// The PPM marking scheme (switch side).
+#[derive(Debug, Clone)]
+pub struct Ppm {
+    /// Reservoir / offset-selection hash shared by all routers.
+    g: GlobalHash,
+    /// Identity hash: maps a switch ID to the 64-bit value that is
+    /// fragmented (all parties know it).
+    ident: GlobalHash,
+}
+
+impl Ppm {
+    /// Creates the scheme for hash seed `seed`.
+    pub fn new(seed: u64) -> Self {
+        let root = GlobalHash::new(seed ^ 0x90F0_11A2);
+        Self { g: root.derive(1), ident: root.derive(2) }
+    }
+
+    /// The fragmented 64-bit identity of a switch.
+    pub fn identity(&self, switch_id: u64) -> u64 {
+        self.ident.hash1(switch_id)
+    }
+
+    /// Extracts fragment `offset` of `identity`.
+    pub fn fragment(identity: u64, offset: usize) -> u8 {
+        debug_assert!(offset < FRAGMENTS);
+        ((identity >> (offset as u32 * FRAGMENT_BITS)) & 0xFF) as u8
+    }
+
+    /// Runs the marking logic at hop `hop` (1-based) for packet `pid`.
+    pub fn mark(&self, pid: u64, hop: usize, switch_id: u64, mark: &mut Mark) {
+        // Reservoir-improved marking: overwrite with probability 1/hop.
+        if self.g.unit2(pid, hop as u64) < 1.0 / hop as f64 {
+            let offset = (self.g.hash2(pid, 0xF0F0) % FRAGMENTS as u64) as usize;
+            let frag = Self::fragment(self.identity(switch_id), offset);
+            mark.payload = ((offset as u16) << 8) | u16::from(frag);
+            mark.distance = 0;
+            mark.written = true;
+        } else if mark.written {
+            mark.distance = mark.distance.saturating_add(1);
+        }
+    }
+
+    /// Convenience: marks a full path traversal, returning the final field.
+    pub fn mark_path(&self, pid: u64, path: &[u64]) -> Mark {
+        let mut m = Mark::default();
+        for (i, &sw) in path.iter().enumerate() {
+            self.mark(pid, i + 1, sw, &mut m);
+        }
+        m
+    }
+
+    /// *Classic* Savage-style marking with a fixed probability `p`
+    /// (no reservoir improvement): every router overwrites with the same
+    /// `p`, so the surviving marker is geometrically biased toward the
+    /// last hops and early hops need `≈ 1/(p(1−p)^(k−1))` packets. Kept as
+    /// the ablation baseline for the \[63\] improvement the paper adopts.
+    pub fn mark_classic(&self, pid: u64, hop: usize, switch_id: u64, p: f64, mark: &mut Mark) {
+        if self.g.unit2(pid, hop as u64) < p {
+            let offset = (self.g.hash2(pid, 0xF0F0) % FRAGMENTS as u64) as usize;
+            let frag = Self::fragment(self.identity(switch_id), offset);
+            mark.payload = ((offset as u16) << 8) | u16::from(frag);
+            mark.distance = 0;
+            mark.written = true;
+        } else if mark.written {
+            mark.distance = mark.distance.saturating_add(1);
+        }
+    }
+
+    /// Classic marking over a full path.
+    pub fn mark_path_classic(&self, pid: u64, path: &[u64], p: f64) -> Mark {
+        let mut m = Mark::default();
+        for (i, &sw) in path.iter().enumerate() {
+            self.mark_classic(pid, i + 1, sw, p, &mut m);
+        }
+        m
+    }
+
+    /// Builds a decoder for a `k`-hop path over `universe` switch IDs.
+    pub fn decoder(&self, universe: Vec<u64>, k: usize) -> PpmDecoder {
+        PpmDecoder {
+            scheme: self.clone(),
+            universe,
+            k,
+            fragments: vec![[None; FRAGMENTS]; k + 1],
+            packets: 0,
+        }
+    }
+}
+
+/// Victim-side reconstruction state.
+#[derive(Debug, Clone)]
+pub struct PpmDecoder {
+    scheme: Ppm,
+    universe: Vec<u64>,
+    k: usize,
+    /// `fragments[hop][offset]` — collected fragment values.
+    fragments: Vec<[Option<u8>; FRAGMENTS]>,
+    packets: u64,
+}
+
+impl PpmDecoder {
+    /// Absorbs a packet's mark; returns `true` when the path is decoded.
+    pub fn absorb(&mut self, mark: &Mark) -> bool {
+        self.packets += 1;
+        if !mark.written {
+            return self.is_complete();
+        }
+        let dist = mark.distance as usize;
+        if dist >= self.k {
+            return self.is_complete();
+        }
+        let hop = self.k - dist;
+        let offset = (mark.payload >> 8) as usize;
+        let frag = (mark.payload & 0xFF) as u8;
+        if offset < FRAGMENTS {
+            self.fragments[hop][offset] = Some(frag);
+        }
+        self.is_complete()
+    }
+
+    /// `true` when every hop has all 8 fragments.
+    pub fn is_complete(&self) -> bool {
+        (1..=self.k).all(|h| self.fragments[h].iter().all(Option::is_some))
+    }
+
+    /// Packets absorbed so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Number of (hop, fragment) coupons still missing.
+    pub fn missing_fragments(&self) -> usize {
+        (1..=self.k)
+            .map(|h| self.fragments[h].iter().filter(|f| f.is_none()).count())
+            .sum()
+    }
+
+    /// The reconstructed path (switch IDs), if complete. Assembles each
+    /// hop's identity hash and looks it up in the universe.
+    pub fn decoded_path(&self) -> Option<Vec<u64>> {
+        if !self.is_complete() {
+            return None;
+        }
+        let mut path = Vec::with_capacity(self.k);
+        for hop in 1..=self.k {
+            let mut ident = 0u64;
+            for (off, frag) in self.fragments[hop].iter().enumerate() {
+                ident |= u64::from(frag.expect("complete")) << (off as u32 * FRAGMENT_BITS);
+            }
+            let sw = self
+                .universe
+                .iter()
+                .copied()
+                .find(|&s| self.scheme.identity(s) == ident)?;
+            path.push(sw);
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &[u64], universe: Vec<u64>, seed: u64) -> (u64, Vec<u64>) {
+        let ppm = Ppm::new(seed);
+        let mut dec = ppm.decoder(universe, path.len());
+        let mut pid = seed * 999_983;
+        loop {
+            pid += 1;
+            let mark = ppm.mark_path(pid, path);
+            if dec.absorb(&mark) {
+                return (dec.packets(), dec.decoded_path().unwrap());
+            }
+            assert!(dec.packets() < 2_000_000, "PPM did not converge");
+        }
+    }
+
+    #[test]
+    fn decodes_short_path() {
+        let universe: Vec<u64> = (0..50).collect();
+        let path = vec![3, 17, 42, 8, 29];
+        let (packets, decoded) = run(&path, universe, 1);
+        assert_eq!(decoded, path);
+        // 8 fragments × 5 hops = 40 coupons → ≥ 40 packets always.
+        assert!(packets >= 40);
+    }
+
+    #[test]
+    fn packet_count_matches_coupon_collector() {
+        // E[packets] ≈ kF·H(kF); for k = 5, F = 8: 40·H40 ≈ 171.
+        let universe: Vec<u64> = (0..100).collect();
+        let path: Vec<u64> = vec![1, 2, 3, 4, 5];
+        let runs = 40;
+        let mean: f64 = (0..runs)
+            .map(|s| run(&path, universe.clone(), s + 1).0 as f64)
+            .sum::<f64>()
+            / runs as f64;
+        let coupons = (path.len() * FRAGMENTS) as f64;
+        let expect = coupons * (coupons.ln() + 0.5772);
+        assert!(
+            (mean - expect).abs() < expect * 0.25,
+            "mean {mean} vs coupon-collector {expect}"
+        );
+    }
+
+    #[test]
+    fn fragments_reassemble_identity() {
+        let ppm = Ppm::new(7);
+        let ident = ppm.identity(12345);
+        let mut back = 0u64;
+        for off in 0..FRAGMENTS {
+            back |= u64::from(Ppm::fragment(ident, off)) << (off as u32 * 8);
+        }
+        assert_eq!(back, ident);
+    }
+
+    #[test]
+    fn distance_counts_hops_since_mark() {
+        let ppm = Ppm::new(3);
+        let path: Vec<u64> = (0..10).collect();
+        for pid in 0..200u64 {
+            let m = ppm.mark_path(pid, &path);
+            assert!(m.written, "hop 1 always marks");
+            assert!((m.distance as usize) < path.len());
+        }
+    }
+
+    #[test]
+    fn classic_marking_biased_to_late_hops() {
+        // With p = 0.25 over 10 hops, the final marker is the last hop
+        // that drew below p — geometrically favouring late hops; the
+        // reservoir-improved variant is uniform. This is why [63] helps.
+        let ppm = Ppm::new(21);
+        let path: Vec<u64> = (0..10).collect();
+        let mut classic_first = 0u32;
+        let mut improved_first = 0u32;
+        let trials = 20_000;
+        for pid in 0..trials {
+            let m = ppm.mark_path_classic(pid, &path, 0.25);
+            if m.written && m.distance == 9 {
+                classic_first += 1;
+            }
+            let m = ppm.mark_path(pid, &path);
+            if m.distance == 9 {
+                improved_first += 1;
+            }
+        }
+        // Improved: hop 1 wins 1/10 of the time; classic: ~p(1−p)^9 ≈ 1.9%.
+        assert!(
+            improved_first > classic_first * 3,
+            "classic {classic_first} vs improved {improved_first}"
+        );
+    }
+
+    #[test]
+    fn missing_fragments_decreases() {
+        let universe: Vec<u64> = (0..20).collect();
+        let path = vec![1, 2, 3];
+        let ppm = Ppm::new(9);
+        let mut dec = ppm.decoder(universe, 3);
+        let mut prev = 3 * FRAGMENTS;
+        for pid in 0..5_000u64 {
+            dec.absorb(&ppm.mark_path(pid, &path));
+            assert!(dec.missing_fragments() <= prev);
+            prev = dec.missing_fragments();
+            if dec.is_complete() {
+                break;
+            }
+        }
+        assert!(dec.is_complete());
+    }
+}

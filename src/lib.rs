@@ -1,0 +1,23 @@
+//! # pint — facade crate
+//!
+//! Re-exports the full PINT reproduction workspace under one roof so the
+//! examples and integration tests can use a single dependency:
+//!
+//! * `core` — queries, distributed coding, encoders/decoders.
+//! * `sketches` — KLL, Space-Saving, reservoir, Morris.
+//! * `dataplane` — switch pipeline + fixed-point math.
+//! * `netsim` — packet-level network simulator.
+//! * `hpcc` — HPCC congestion control (INT & PINT modes).
+//! * `traceback` — PPM / AMS2 baselines.
+
+pub use pint_core as core;
+pub use pint_dataplane as dataplane;
+pub use pint_hpcc as hpcc;
+pub use pint_netsim as netsim;
+pub use pint_sketches as sketches;
+pub use pint_traceback as traceback;
+
+pub use pint_core::{
+    Digest, GlobalHash, HashFamily, MetadataKind, PathDecoder, PathTracer, QueryEngine,
+    QuerySpec, SchemeConfig, TracerConfig,
+};

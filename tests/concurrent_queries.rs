@@ -1,0 +1,120 @@
+//! Integration: multiple queries sharing one global bit budget (§3.4,
+//! §6.4) — the Query Engine's execution plan drives per-packet query
+//! selection, and each query's decoder sees exactly its share.
+
+use pint::core::dynamic::{DynamicAggregator, DynamicRecorder};
+use pint::core::query::{AggregationKind, QueryEngine, QuerySpec};
+use pint::core::statictrace::{PathTracer, TracerConfig};
+use pint::core::value::{Digest, MetadataKind};
+use pint::MetadataKind as MK;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn two_queries_share_sixteen_bits_end_to_end() {
+    // Query 1: path tracing (8 bits). Query 2: hop latency (8 bits).
+    // Global budget 16 → both run on every packet.
+    let engine = QueryEngine::new(77);
+    let queries = [
+        QuerySpec::new(1, "path", MetadataKind::SwitchId, AggregationKind::StaticPerFlow, 8),
+        QuerySpec::new(2, "latency", MK::HopLatency, AggregationKind::DynamicPerFlow, 8),
+    ];
+    let plan = engine.plan(&queries, 16).unwrap();
+    assert_eq!(plan.sets().len(), 1);
+
+    let universe: Vec<u64> = (0..100).collect();
+    let path = vec![10u64, 20, 30, 40, 50];
+    let k = path.len();
+
+    let tracer = PathTracer::new(TracerConfig::paper(8, 1, 5));
+    let agg = DynamicAggregator::new(5, 8, 100.0, 1.0e6);
+    let mut path_dec = tracer.decoder(universe, k);
+    let mut recorder = DynamicRecorder::new_exact(agg.clone(), k);
+    let mut rng = SmallRng::seed_from_u64(3);
+
+    let mut decoded_at = None;
+    for pid in 0..5_000u64 {
+        let selected = plan.select(pid);
+        assert_eq!(selected, &[1, 2], "both queries on every packet");
+        // Lane 0: path; lane 1: latency — as the switches would write.
+        let mut digest = Digest::new(2);
+        for (i, &sw) in path.iter().enumerate() {
+            let hop = i + 1;
+            {
+                // Path query writes lane 0 through its own single-lane view.
+                let mut lane0 = Digest::new(1);
+                lane0.set(0, digest.get(0));
+                tracer.encode_hop(pid, hop, sw, &mut lane0);
+                digest.set(0, lane0.get(0));
+            }
+            let latency = 1_000.0 * hop as f64 * rng.gen_range(0.8..1.2);
+            agg.encode_hop(pid, hop, latency, &mut digest, 1);
+        }
+        // Sink: route each lane to its query's Recording Module.
+        let mut lane0 = Digest::new(1);
+        lane0.set(0, digest.get(0));
+        if path_dec.absorb(pid, &lane0) && decoded_at.is_none() {
+            decoded_at = Some(pid + 1);
+        }
+        recorder.record(pid, &digest, 1);
+    }
+    assert_eq!(path_dec.path().unwrap(), path);
+    assert!(decoded_at.unwrap() < 2_000, "path decode too slow");
+    for hop in 1..=k {
+        let est = recorder.quantile(hop, 0.5).unwrap();
+        let want = 1_000.0 * hop as f64;
+        assert!(
+            (est / want - 1.0).abs() < 0.15,
+            "hop {hop}: median {est} vs {want}"
+        );
+    }
+}
+
+#[test]
+fn fig11_style_plan_splits_frequencies() {
+    let engine = QueryEngine::new(99);
+    let queries = [
+        QuerySpec::new(1, "path", MetadataKind::SwitchId, AggregationKind::StaticPerFlow, 8),
+        QuerySpec::new(2, "lat", MK::HopLatency, AggregationKind::DynamicPerFlow, 8)
+            .with_frequency(15.0 / 16.0),
+        QuerySpec::new(3, "cc", MK::EgressPortTxUtilization, AggregationKind::PerPacket, 8)
+            .with_frequency(1.0 / 16.0),
+    ];
+    let plan = engine.plan(&queries, 16).unwrap();
+    // Measured selection matches requested frequencies, and no packet
+    // ever exceeds the global budget.
+    let mut counts = [0u64; 4];
+    let n = 160_000u64;
+    for pid in 0..n {
+        let set = plan.select(pid);
+        let bits: u32 = set
+            .iter()
+            .map(|id| queries.iter().find(|q| q.id == *id).unwrap().bit_budget)
+            .sum();
+        assert!(bits <= 16, "packet over budget: {bits}");
+        for &id in set {
+            counts[id as usize] += 1;
+        }
+    }
+    assert_eq!(counts[1], n, "path runs on every packet");
+    let lat = counts[2] as f64 / n as f64;
+    let cc = counts[3] as f64 / n as f64;
+    assert!((lat - 15.0 / 16.0).abs() < 0.01, "latency frequency {lat}");
+    assert!((cc - 1.0 / 16.0).abs() < 0.005, "hpcc frequency {cc}");
+}
+
+#[test]
+fn all_switches_agree_on_selection() {
+    // The property §4.1 needs: selection depends only on the packet ID,
+    // so independently constructed engines with the same seed agree.
+    let q = [
+        QuerySpec::new(1, "a", MetadataKind::SwitchId, AggregationKind::StaticPerFlow, 8),
+        QuerySpec::new(2, "b", MK::HopLatency, AggregationKind::DynamicPerFlow, 8)
+            .with_frequency(0.5),
+    ];
+    let p1 = QueryEngine::new(123).plan(&q, 16).unwrap();
+    let p2 = QueryEngine::new(123).plan(&q, 16).unwrap();
+    for pid in 0..10_000 {
+        assert_eq!(p1.select(pid), p2.select(pid));
+    }
+}

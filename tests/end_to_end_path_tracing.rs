@@ -1,0 +1,114 @@
+//! End-to-end integration: PINT path tracing *through the simulator*.
+//!
+//! A telemetry hook runs the real Encoding Module at every switch dequeue;
+//! the digest each packet holds after its last switch is what the PINT
+//! Sink would extract. The Recording/Inference side then decodes each
+//! flow's path and we compare against the simulator's ECMP ground truth.
+
+use pint::core::statictrace::{PathTracer, TracerConfig};
+use pint::netsim::packet::Packet;
+use pint::netsim::sim::{SimConfig, Simulator};
+use pint::netsim::telemetry::{SwitchView, TelemetryHook};
+use pint::netsim::topology::Topology;
+use pint::netsim::transport::reno::Reno;
+use pint::netsim::FlowId;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Runs the path-tracing Encoding Module and tees each packet's latest
+/// digest; the final record per packet equals the sink's view.
+struct TracerHook {
+    tracer: PathTracer,
+    sink: Arc<Mutex<HashMap<FlowId, Vec<(u64, pint::Digest)>>>>,
+}
+
+impl TelemetryHook for TracerHook {
+    fn initial_bytes(&self) -> u32 {
+        self.tracer.config().total_bits().div_ceil(8)
+    }
+
+    fn on_dequeue(&mut self, view: &SwitchView, pkt: &mut Packet) {
+        if pkt.digest.lanes() == 0 {
+            pkt.digest = self.tracer.new_digest();
+        }
+        self.tracer.encode_hop(pkt.id, view.hop, view.switch as u64, &mut pkt.digest);
+        let mut sink = self.sink.lock().unwrap();
+        let entries = sink.entry(pkt.flow).or_default();
+        // Keep the latest digest per packet (overwrites earlier hops).
+        match entries.iter_mut().find(|(pid, _)| *pid == pkt.id) {
+            Some(e) => e.1 = pkt.digest.clone(),
+            None => entries.push((pkt.id, pkt.digest.clone())),
+        }
+    }
+}
+
+#[test]
+fn traces_real_flows_through_the_fabric() {
+    let sink = Arc::new(Mutex::new(HashMap::new()));
+    let topo = Topology::overhead_study();
+    let universe: Vec<u64> = topo.switches().iter().map(|&s| s as u64).collect();
+
+    let mut sim = Simulator::new(
+        topo,
+        SimConfig { end_time_ns: 50_000_000, ..SimConfig::default() },
+        Box::new(|meta| Box::new(Reno::new(meta))),
+        Box::new(TracerHook { tracer: PathTracer::new(TracerConfig::paper(8, 2, 5)), sink: sink.clone() }),
+    );
+    let hosts = sim.topology().hosts();
+    // Three flows crossing pods (5 switch hops each).
+    let specs = [(0usize, 63usize), (5, 40), (17, 58)];
+    let mut flow_ids = Vec::new();
+    for &(a, b) in &specs {
+        flow_ids.push(sim.add_flow(hosts[a], hosts[b], 300_000, 0));
+    }
+    // Ground truth from the routing tables.
+    let truths: Vec<Vec<u64>> = specs
+        .iter()
+        .zip(&flow_ids)
+        .map(|(&(a, b), &f)| {
+            sim.routing()
+                .switch_path(sim.topology(), hosts[a], hosts[b], f)
+                .iter()
+                .map(|&n| n as u64)
+                .collect()
+        })
+        .collect();
+    let rep = sim.run();
+    assert_eq!(rep.finished().count(), 3, "flows must complete");
+
+    let sink = sink.lock().unwrap();
+    for (f, truth) in flow_ids.iter().zip(&truths) {
+        let digests = &sink[f];
+        assert!(digests.len() >= 100, "flow {f}: too few packets recorded");
+        let mut dec = PathTracer::new(TracerConfig::paper(8, 2, 5))
+            .decoder(universe.clone(), truth.len());
+        let mut used = 0;
+        for (pid, digest) in digests {
+            used += 1;
+            if dec.absorb(*pid, digest) {
+                break;
+            }
+        }
+        assert!(dec.is_complete(), "flow {f}: path not decoded from {used} packets");
+        assert_eq!(&dec.path().unwrap(), truth, "flow {f}: wrong path");
+        assert!(used < digests.len(), "decode should finish before the flow does");
+        assert_eq!(dec.inconsistencies(), 0, "single-path flow must be consistent");
+    }
+}
+
+#[test]
+fn ecmp_flows_take_distinct_but_stable_paths() {
+    let topo = Topology::overhead_study();
+    let mut sim = Simulator::new(
+        topo,
+        SimConfig::default(),
+        Box::new(|meta| Box::new(Reno::new(meta))),
+        Box::new(pint::netsim::telemetry::NoTelemetry),
+    );
+    let hosts = sim.topology().hosts();
+    let f1 = sim.add_flow(hosts[0], hosts[63], 1_000, 0);
+    let p1: Vec<usize> = sim.routing().switch_path(sim.topology(), hosts[0], hosts[63], f1);
+    let p1b: Vec<usize> = sim.routing().switch_path(sim.topology(), hosts[0], hosts[63], f1);
+    assert_eq!(p1, p1b, "per-flow path must be stable (PINT assumes it)");
+    assert_eq!(p1.len(), 5, "inter-pod paths cross 5 switches");
+}

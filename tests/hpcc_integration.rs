@@ -1,0 +1,112 @@
+//! Integration: HPCC over INT and over PINT on the paper's Clos fabric
+//! (scaled), exercising the full stack: Query selection → switch EWMA with
+//! data-plane arithmetic → compressed digest → sender window control.
+
+use pint::hpcc::{FeedbackMode, HpccConfig, HpccPintHook, HpccTransport};
+use pint::netsim::sim::{SimConfig, Simulator};
+use pint::netsim::telemetry::IntTelemetry;
+use pint::netsim::topology::Topology;
+use pint::netsim::transport::TransportFactory;
+use pint::netsim::workload::{FlowSizeCdf, WorkloadConfig};
+use std::sync::Arc;
+
+const T_NS: u64 = 60_000;
+
+fn clos_run(pint: bool, p: f64, seed: u64) -> pint::netsim::Report {
+    let topo = Topology::paper_clos(10_000_000_000, 40_000_000_000);
+    let telem: Box<dyn pint::netsim::telemetry::TelemetryHook> = if pint {
+        Box::new(HpccPintHook::new(21, p, T_NS, 1, 0, 1))
+    } else {
+        Box::new(IntTelemetry::hpcc())
+    };
+    let factory: TransportFactory = if pint {
+        let hook = Arc::new(HpccPintHook::new(21, p, T_NS, 1, 0, 1));
+        Box::new(move |meta| {
+            let cfg = HpccConfig { base_rtt_ns: T_NS, ..HpccConfig::default() };
+            Box::new(HpccTransport::new(
+                meta,
+                cfg,
+                FeedbackMode::Pint { lane: 0, decoder: hook.clone(), plan: None },
+            ))
+        })
+    } else {
+        Box::new(move |meta| {
+            let cfg = HpccConfig { base_rtt_ns: T_NS, ..HpccConfig::default() };
+            Box::new(HpccTransport::new(meta, cfg, FeedbackMode::Int))
+        })
+    };
+    let mut sim = Simulator::new(
+        topo,
+        SimConfig {
+            mss: 1000,
+            buffer_bytes: 32_000_000,
+            end_time_ns: 30_000_000,
+            seed,
+            ..SimConfig::default()
+        },
+        factory,
+        telem,
+    );
+    sim.add_workload(&WorkloadConfig {
+        cdf: FlowSizeCdf::hadoop(),
+        load: 0.4,
+        nic_bps: 10_000_000_000,
+        duration_ns: 2_000_000,
+        seed: seed ^ 0xCC,
+    });
+    sim.run()
+}
+
+#[test]
+fn both_modes_complete_the_workload() {
+    for pint in [false, true] {
+        let rep = clos_run(pint, 1.0, 3);
+        let rate = rep.completion_rate();
+        assert!(
+            rate > 0.95,
+            "mode pint={pint}: only {:.1}% of flows finished",
+            rate * 100.0
+        );
+        assert!(rep.flows.len() > 500, "workload too thin: {}", rep.flows.len());
+    }
+}
+
+#[test]
+fn pint_spends_fewer_telemetry_bytes_than_int() {
+    let int = clos_run(false, 1.0, 5);
+    let pint = clos_run(true, 1.0, 5);
+    // Identical flows; INT pays 8B × hops on data plus the echo on ACKs,
+    // PINT pays a flat 1B (+1B echo).
+    assert!(
+        int.wire_bytes as f64 > pint.wire_bytes as f64 * 1.01,
+        "INT ({}) should burn more wire than PINT ({})",
+        int.wire_bytes,
+        pint.wire_bytes
+    );
+}
+
+#[test]
+fn pint_slowdowns_comparable_to_int() {
+    let int = clos_run(false, 1.0, 7);
+    let pint = clos_run(true, 1.0, 7);
+    let s_int = int.slowdown_percentile(0, u64::MAX, 0.95).unwrap();
+    let s_pint = pint.slowdown_percentile(0, u64::MAX, 0.95).unwrap();
+    assert!(
+        s_pint < s_int * 1.6,
+        "PINT p95 slowdown {s_pint} far above INT {s_int}"
+    );
+}
+
+#[test]
+fn sixteenth_frequency_still_controls_congestion() {
+    let full = clos_run(true, 1.0, 9);
+    let sixteenth = clos_run(true, 1.0 / 16.0, 9);
+    let s_full = full.slowdown_percentile(0, u64::MAX, 0.95).unwrap();
+    let s_16 = sixteenth.slowdown_percentile(0, u64::MAX, 0.95).unwrap();
+    // Fig. 8's p=1/16 finding.
+    assert!(
+        s_16 < s_full * 2.0,
+        "p=1/16 collapses performance: {s_full} → {s_16}"
+    );
+    assert!(sixteenth.completion_rate() > 0.95);
+}

@@ -1,0 +1,101 @@
+//! Integration: physical invariants of the network simulator.
+//!
+//! The evaluation's credibility rests on the simulator conserving bytes,
+//! never beating the speed of light, and being bit-for-bit deterministic.
+
+use pint::netsim::sim::{SimConfig, Simulator};
+use pint::netsim::telemetry::{FixedOverhead, NoTelemetry};
+use pint::netsim::topology::Topology;
+use pint::netsim::transport::reno::Reno;
+use pint::netsim::workload::{FlowSizeCdf, WorkloadConfig};
+
+fn sim_with(load: f64, seed: u64, overhead: u32) -> pint::netsim::Report {
+    let mut sim = Simulator::new(
+        Topology::overhead_study(),
+        SimConfig { end_time_ns: 20_000_000, ..SimConfig::default() },
+        Box::new(|meta| Box::new(Reno::new(meta))),
+        if overhead == 0 { Box::new(NoTelemetry) } else { Box::new(FixedOverhead(overhead)) },
+    );
+    sim.add_workload(&WorkloadConfig {
+        cdf: FlowSizeCdf::hadoop(),
+        load,
+        nic_bps: 10_000_000_000,
+        duration_ns: 10_000_000,
+        seed,
+    });
+    sim.run()
+}
+
+#[test]
+fn no_flow_beats_the_ideal_fct() {
+    let rep = sim_with(0.4, 11, 0);
+    let mut checked = 0;
+    for f in rep.finished() {
+        let slow = f.slowdown().unwrap();
+        assert!(
+            slow > 0.99,
+            "flow {} finished faster than physically possible: {slow}",
+            f.flow
+        );
+        checked += 1;
+    }
+    assert!(checked > 100, "too few finished flows ({checked}) to trust the check");
+}
+
+#[test]
+fn payload_bytes_bounded_by_wire_bytes() {
+    let rep = sim_with(0.5, 13, 48);
+    assert!(rep.delivered_payload_bytes > 0);
+    assert!(
+        rep.wire_bytes > rep.delivered_payload_bytes,
+        "headers and telemetry must cost wire bytes"
+    );
+}
+
+#[test]
+fn determinism_across_runs() {
+    let a = sim_with(0.5, 17, 28);
+    let b = sim_with(0.5, 17, 28);
+    assert_eq!(a.delivered_data_packets, b.delivered_data_packets);
+    assert_eq!(a.wire_bytes, b.wire_bytes);
+    assert_eq!(a.drops, b.drops);
+    let fa: Vec<_> = a.flows.iter().map(|f| f.finish).collect();
+    let fb: Vec<_> = b.flows.iter().map(|f| f.finish).collect();
+    assert_eq!(fa, fb, "flow completions must be identical");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = sim_with(0.5, 1, 0);
+    let b = sim_with(0.5, 2, 0);
+    assert_ne!(
+        a.delivered_data_packets, b.delivered_data_packets,
+        "different workload seeds should differ"
+    );
+}
+
+#[test]
+fn higher_load_means_more_traffic_and_higher_fct() {
+    let lo = sim_with(0.2, 19, 0);
+    let hi = sim_with(0.8, 19, 0);
+    assert!(hi.delivered_payload_bytes > lo.delivered_payload_bytes * 2);
+    let fct_lo = lo.mean_fct_ns().unwrap();
+    let fct_hi = hi.mean_fct_ns().unwrap();
+    assert!(
+        fct_hi > fct_lo,
+        "congestion must slow flows: {fct_lo} vs {fct_hi}"
+    );
+}
+
+#[test]
+fn telemetry_overhead_consumes_wire_capacity() {
+    let plain = sim_with(0.5, 23, 0);
+    let heavy = sim_with(0.5, 23, 108);
+    // Same flows, same payloads — strictly more wire bytes per packet.
+    let plain_per_pkt = plain.wire_bytes as f64 / plain.delivered_data_packets as f64;
+    let heavy_per_pkt = heavy.wire_bytes as f64 / heavy.delivered_data_packets as f64;
+    assert!(
+        heavy_per_pkt > plain_per_pkt + 80.0,
+        "108B of telemetry missing from the wire: {plain_per_pkt} vs {heavy_per_pkt}"
+    );
+}

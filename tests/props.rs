@@ -1,0 +1,124 @@
+//! Property-based tests (proptest) on PINT's core invariants.
+
+use pint::core::approx::{AdditiveCodec, MultiplicativeCodec};
+use pint::core::coding::{FragmentCodec, SchemeConfig};
+use pint::core::hash::HashFamily;
+use pint::core::statictrace::{PathTracer, TracerConfig};
+use pint::sketches::KllSketch;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any path over any universe decodes to exactly itself.
+    #[test]
+    fn path_decoding_is_exact(
+        universe_size in 8usize..200,
+        k in 1usize..12,
+        seed in 0u64..1000,
+        bits in prop::sample::select(vec![4u32, 8, 16]),
+    ) {
+        let universe: Vec<u64> = (0..universe_size as u64).collect();
+        // Path values drawn (with repetition allowed) from the universe.
+        let path: Vec<u64> = (0..k)
+            .map(|i| (seed.wrapping_mul(31).wrapping_add(i as u64 * 17)) % universe_size as u64)
+            .collect();
+        let tracer = PathTracer::new(TracerConfig {
+            bits,
+            instances: 1,
+            scheme: SchemeConfig::multilayer(10),
+            seed,
+        });
+        let mut dec = tracer.decoder(universe, k);
+        let mut pid = seed;
+        let mut budget = 2_000_000u64;
+        loop {
+            pid = pid.wrapping_add(1);
+            if dec.absorb(pid, &tracer.encode_path(pid, &path)) {
+                break;
+            }
+            budget -= 1;
+            prop_assert!(budget > 0, "did not converge");
+        }
+        prop_assert_eq!(dec.path().unwrap(), path);
+        prop_assert_eq!(dec.inconsistencies(), 0);
+    }
+
+    /// The reservoir winner is always a valid hop and matches the last
+    /// writing hop of the switch-side rule.
+    #[test]
+    fn reservoir_winner_consistent(pid in any::<u64>(), k in 1usize..64, seed in any::<u64>()) {
+        let fam = HashFamily::new(seed, 0);
+        let w = fam.reservoir_winner(pid, k);
+        prop_assert!((1..=k).contains(&w));
+        let last_writer = (1..=k).filter(|&h| fam.reservoir_writes(pid, h)).next_back();
+        prop_assert_eq!(last_writer, Some(w));
+    }
+
+    /// Multiplicative codec: decode is within the promised factor.
+    #[test]
+    fn multiplicative_roundtrip_bounded(
+        v in 1.0f64..1.0e9,
+        eps in 0.001f64..0.3,
+    ) {
+        let c = MultiplicativeCodec::new(eps, 1.0, 1.0e9);
+        let d = c.decode(c.encode(v));
+        let f = c.error_factor() * 1.0001; // float slack
+        prop_assert!(d <= v * f && d >= v / f, "v={v} decoded={d} eps={eps}");
+    }
+
+    /// Randomized rounding never strays more than one level from the
+    /// deterministic code.
+    #[test]
+    fn randomized_rounding_adjacent(
+        v in 1.0f64..1.0e9,
+        u in 0.0f64..1.0,
+    ) {
+        let c = MultiplicativeCodec::new(0.025, 1.0, 1.0e9);
+        let det = i64::from(c.encode(v));
+        let rnd = i64::from(c.encode_randomized(v, u));
+        prop_assert!((det - rnd).abs() <= 1);
+    }
+
+    /// Additive codec honours its error bound.
+    #[test]
+    fn additive_roundtrip_bounded(v in 0.0f64..1.0e9, delta in 0.5f64..1.0e4) {
+        let c = AdditiveCodec::new(delta);
+        let d = c.decode(c.encode(v));
+        prop_assert!((d - v).abs() <= delta + 1e-9, "v={v} d={d} delta={delta}");
+    }
+
+    /// Fragmentation reassembles any value exactly.
+    #[test]
+    fn fragmentation_roundtrip(value in any::<u64>(), q in 1u32..=64, b in 1u32..=64) {
+        let c = FragmentCodec::new(q, b, 7);
+        let masked = if q == 64 { value } else { value & ((1u64 << q) - 1) };
+        let frags: Vec<u64> = (0..c.fragments()).map(|f| c.extract(masked, f)).collect();
+        prop_assert_eq!(c.assemble(&frags), masked);
+    }
+
+    /// KLL rank error stays within the coarse O(1/k) envelope.
+    #[test]
+    fn kll_quantile_bounded(seed in 0u64..100) {
+        let mut sk = KllSketch::with_seed(256, seed);
+        let n = 20_000u64;
+        for i in 0..n {
+            // Deterministic permutation of 0..n.
+            sk.update(i.wrapping_mul(2_654_435_761) % n);
+        }
+        for phi in [0.25, 0.5, 0.9] {
+            let q = sk.quantile(phi).unwrap() as f64;
+            let err = (q / n as f64 - phi).abs();
+            prop_assert!(err < 0.05, "phi={phi} err={err}");
+        }
+    }
+
+    /// Scheme classification is a function of (packet, k) only — switches
+    /// and the sink always agree.
+    #[test]
+    fn classification_deterministic(pid in any::<u64>(), k in 1usize..40, seed in any::<u64>()) {
+        let fam = HashFamily::new(seed, 0);
+        let s = SchemeConfig::multilayer(10);
+        prop_assert_eq!(s.classify(&fam, pid, k), s.classify(&fam, pid, k));
+    }
+}
