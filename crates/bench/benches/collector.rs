@@ -1,0 +1,81 @@
+//! Criterion macro-benchmark: collector ingest throughput vs. shard count.
+//!
+//! One iteration pushes a pre-generated workload of latency digests
+//! (5,000 flows × 40 digests) through a running collector and waits on a
+//! barrier until every shard has applied its batches — so the measured
+//! time covers sharding, channel transfer, recorder updates, accounting,
+//! and eviction, not just the channel send. `PINT_BENCH_JSON` records
+//! the baseline (`BENCH_collector.json`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pint_collector::{Collector, CollectorConfig};
+use pint_core::dynamic::{DynamicAggregator, DynamicRecorder};
+use pint_core::value::Digest;
+use pint_core::{DigestReport, FlowRecorder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const FLOWS: u64 = 5_000;
+const DIGESTS_PER_FLOW: u64 = 40;
+const HOPS: usize = 5;
+
+fn workload(agg: &DynamicAggregator) -> Vec<DigestReport> {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut out = Vec::with_capacity((FLOWS * DIGESTS_PER_FLOW) as usize);
+    for round in 0..DIGESTS_PER_FLOW {
+        for flow in 0..FLOWS {
+            let pid = flow * DIGESTS_PER_FLOW + round;
+            let mut digest = Digest::new(1);
+            for hop in 1..=HOPS {
+                let lat = 700.0 * hop as f64 * rng.gen_range(0.8..1.2);
+                agg.encode_hop(pid, hop, lat, &mut digest, 0);
+            }
+            out.push(DigestReport::new(flow, pid, digest, HOPS as u16, pid));
+        }
+    }
+    out
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let agg = DynamicAggregator::new(17, 8, 100.0, 1.0e7);
+    let reports = workload(&agg);
+    let mut g = c.benchmark_group("collector_ingest");
+    g.throughput(Throughput::Elements(reports.len() as u64));
+    for shards in [1usize, 2, 4, 8] {
+        let rec_agg = agg.clone();
+        let collector = Collector::spawn(
+            CollectorConfig {
+                shards,
+                batch_size: 512,
+                channel_capacity: 64,
+                max_flows_per_shard: 2_048,
+                ..CollectorConfig::default()
+            },
+            Arc::new(move |_flow, report: &DigestReport| {
+                Box::new(DynamicRecorder::new_sketched(
+                    rec_agg.clone(),
+                    usize::from(report.path_len).max(1),
+                    64,
+                )) as Box<dyn FlowRecorder>
+            }),
+        );
+        g.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, _| {
+            let mut handle = collector.handle();
+            b.iter(|| {
+                handle
+                    .push_batch(reports.iter().cloned())
+                    .expect("collector alive");
+                handle.flush().expect("flush");
+                collector.barrier().expect("barrier");
+                black_box(())
+            })
+        });
+        let stats = collector.shutdown();
+        assert!(stats.ingested >= reports.len() as u64, "workload applied");
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

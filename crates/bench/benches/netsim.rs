@@ -17,7 +17,10 @@ fn bench_netsim(c: &mut Criterion) {
         b.iter(|| {
             let mut sim = Simulator::new(
                 Topology::overhead_study(),
-                SimConfig { end_time_ns: 1_000_000, ..SimConfig::default() },
+                SimConfig {
+                    end_time_ns: 1_000_000,
+                    ..SimConfig::default()
+                },
                 Box::new(|meta| Box::new(Reno::new(meta))),
                 Box::new(NoTelemetry),
             );

@@ -37,12 +37,18 @@ impl Args {
 
     /// An integer flag with a default.
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
-        self.flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// A float flag with a default.
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
-        self.flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// A boolean switch.

@@ -21,7 +21,13 @@ use pint_netsim::topology::{NodeKind, Topology};
 use pint_traceback::Ppm;
 use std::collections::HashMap;
 
-fn pint_mean(cfg: TracerConfig, path: &[u64], universe: &[u64], adj: Option<&HashMap<u64, Vec<u64>>>, runs: u64) -> f64 {
+fn pint_mean(
+    cfg: TracerConfig,
+    path: &[u64],
+    universe: &[u64],
+    adj: Option<&HashMap<u64, Vec<u64>>>,
+    runs: u64,
+) -> f64 {
     let mut total = 0u64;
     for r in 0..runs {
         let tracer = PathTracer::new(cfg.clone());
@@ -62,8 +68,18 @@ fn main() {
         .collect();
 
     println!("# Ablation 1: how to spend 16 bits (k=25, ISP, topology-aware, {runs} runs)");
-    for (label, bits, inst) in [("1x(b=16)", 16u32, 1usize), ("2x(b=8)", 8, 2), ("4x(b=4)", 4, 4)] {
-        let mean = pint_mean(TracerConfig::paper(bits, inst, 10), &path, &universe, Some(&adj), runs);
+    for (label, bits, inst) in [
+        ("1x(b=16)", 16u32, 1usize),
+        ("2x(b=8)", 8, 2),
+        ("4x(b=4)", 4, 4),
+    ] {
+        let mean = pint_mean(
+            TracerConfig::paper(bits, inst, 10),
+            &path,
+            &universe,
+            Some(&adj),
+            runs,
+        );
         println!("  {label:<10} {mean:>8.1} packets");
     }
 
@@ -81,7 +97,13 @@ fn main() {
 
     println!("\n# Ablation 3: hashing vs fragmentation for 32-bit IDs in 8 bits (k=10)");
     let short_path: Vec<u64> = path.iter().take(10).copied().collect();
-    let hash_mean = pint_mean(TracerConfig::paper(8, 1, 10), &short_path, &universe, None, runs);
+    let hash_mean = pint_mean(
+        TracerConfig::paper(8, 1, 10),
+        &short_path,
+        &universe,
+        None,
+        runs,
+    );
     let mut frag_total = 0u64;
     for r in 0..runs {
         let codec = FragmentCodec::new(32, 8, r + 9);
@@ -99,7 +121,10 @@ fn main() {
     );
 
     println!("\n# Ablation 4: reservoir-improved vs classic PPM marking (k=25)");
-    for (label, classic) in [("reservoir (as evaluated)", false), ("classic p=1/25", true)] {
+    for (label, classic) in [
+        ("reservoir (as evaluated)", false),
+        ("classic p=1/25", true),
+    ] {
         let mut total = 0u64;
         for r in 0..runs.min(30) {
             let ppm = Ppm::new(r + 1);
@@ -120,6 +145,9 @@ fn main() {
             }
             total += n;
         }
-        println!("  {label:<26} {:>10.0} packets", total as f64 / runs.min(30) as f64);
+        println!(
+            "  {label:<26} {:>10.0} packets",
+            total as f64 / runs.min(30) as f64
+        );
     }
 }

@@ -25,11 +25,16 @@ fn main() {
     let packets = args.get_u64("packets", 2_000_000);
 
     println!("# App A.4: loop detection — false positives on a 32-hop loop-free path");
-    println!("{:>4} {:>3} {:>10} {:>12} {:>14}", "b", "T", "overhead", "FPs", "rate/packet");
+    println!(
+        "{:>4} {:>3} {:>10} {:>12} {:>14}",
+        "b", "T", "overhead", "FPs", "rate/packet"
+    );
     for &(b, t) in &[(15u32, 1u8), (14, 3), (8, 1), (8, 3), (4, 1), (4, 3)] {
         let det = LoopDetector::new(7, b, t);
         let path: Vec<u64> = (0..32).map(|i| 5000 + i).collect();
-        let fp = (0..packets).filter(|&pid| walk(&det, pid, &path).is_some()).count();
+        let fp = (0..packets)
+            .filter(|&pid| walk(&det, pid, &path).is_some())
+            .count();
         println!(
             "{b:>4} {t:>3} {:>9}b {fp:>12} {:>14.2e}",
             det.overhead_bits(),
@@ -38,7 +43,10 @@ fn main() {
     }
 
     println!("\n# Detection latency on a 3-switch forwarding loop (hops until report)");
-    println!("{:>4} {:>3} {:>12} {:>12}", "b", "T", "mean hops", "detected %");
+    println!(
+        "{:>4} {:>3} {:>12} {:>12}",
+        "b", "T", "mean hops", "detected %"
+    );
     for &(b, t) in &[(15u32, 1u8), (14, 3)] {
         let det = LoopDetector::new(11, b, t);
         let cycle = [9u64, 8, 7];

@@ -27,7 +27,9 @@ fn main() {
         let mut div_sum = 0.0f64;
         let mut x = 0x1234_5678u64;
         for i in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = (x >> 20) % (1 << 30) + 256;
             let b = (x >> 5) % 100_000 + 1;
             // log2
@@ -39,8 +41,8 @@ fn main() {
             exp_sum += (got - e.exp2()).abs() / e.exp2();
             // mul / div
             mul_sum += (alu.mul_int(a, b) as f64 - (a * b) as f64).abs() / (a * b) as f64;
-            div_sum +=
-                (alu.div_int(a, b, 20).to_f64() - a as f64 / b as f64).abs() / (a as f64 / b as f64);
+            div_sum += (alu.div_int(a, b, 20).to_f64() - a as f64 / b as f64).abs()
+                / (a as f64 / b as f64);
         }
         println!(
             "{q:>3} {log_max:>12.2e} {:>12.2e} {:>12.2e} {:>12.2e} {:>12.2e}",

@@ -19,7 +19,14 @@ use pint_netsim::topology::Topology;
 use pint_netsim::transport::reno::Reno;
 use pint_netsim::workload::{FlowSizeCdf, WorkloadConfig};
 
-fn run(load: f64, overhead: u32, duration_ns: u64, drain_ns: u64, seed: u64, long_b: u64) -> (f64, f64, f64) {
+fn run(
+    load: f64,
+    overhead: u32,
+    duration_ns: u64,
+    drain_ns: u64,
+    seed: u64,
+    long_b: u64,
+) -> (f64, f64, f64) {
     let topo = Topology::overhead_study();
     let mut sim = Simulator::new(
         topo,

@@ -41,7 +41,7 @@ fn main() {
         let mut decoded = vec![0u64; max_packets / step + 1];
         let mut completions = Vec::with_capacity(runs as usize);
         for r in 0..runs {
-            let fam = HashFamily::new(0xF16_5 + r * 7919, 0);
+            let fam = HashFamily::new(0xF165 + r * 7919, 0);
             let mut dec = BlockDecoder::new(scheme.clone(), fam, k);
             let mut pid = r * 1_000_003;
             let mut completed_at = None;

@@ -44,23 +44,33 @@ fn run(setup: &Setup, cdf: FlowSizeCdf, load: f64, pint: bool) -> Report {
     let factory: TransportFactory = if pint {
         let hook = Arc::new(HpccPintHook::new(42, 1.0, t_ns, 1, 0, 1));
         Box::new(move |meta| {
-            let cfg = HpccConfig { base_rtt_ns: t_ns, ..HpccConfig::default() };
+            let cfg = HpccConfig {
+                base_rtt_ns: t_ns,
+                ..HpccConfig::default()
+            };
             Box::new(HpccTransport::new(
                 meta,
                 cfg,
-                FeedbackMode::Pint { lane: 0, decoder: hook.clone(), plan: None },
+                FeedbackMode::Pint {
+                    lane: 0,
+                    decoder: hook.clone(),
+                    plan: None,
+                },
             ))
         })
     } else {
         Box::new(move |meta| {
-            let cfg = HpccConfig { base_rtt_ns: t_ns, ..HpccConfig::default() };
+            let cfg = HpccConfig {
+                base_rtt_ns: t_ns,
+                ..HpccConfig::default()
+            };
             Box::new(HpccTransport::new(meta, cfg, FeedbackMode::Int))
         })
     };
     let mut sim = Simulator::new(
         topo,
         SimConfig {
-            mss: 1000, // 1 KB RDMA-style MTU (§2, §6.1)
+            mss: 1000,                // 1 KB RDMA-style MTU (§2, §6.1)
             buffer_bytes: 32_000_000, // 32 MB switch buffer (§6.1)
             end_time_ns: setup.duration + setup.drain,
             seed: setup.seed,
@@ -84,7 +94,9 @@ fn print_slowdown_deciles(rep: &Report, cdf: &FlowSizeCdf, label: &str) {
     let mut lo = 0u64;
     print!("{label:<12}");
     for &hi in &deciles {
-        let s = rep.slowdown_percentile(lo, hi + 1, 0.95).unwrap_or(f64::NAN);
+        let s = rep
+            .slowdown_percentile(lo, hi + 1, 0.95)
+            .unwrap_or(f64::NAN);
         print!(" {s:>8.2}");
         lo = hi + 1;
     }
@@ -95,8 +107,16 @@ fn main() {
     let args = Args::parse();
     let full = args.get_bool("full");
     let setup = Setup {
-        nic: if full { 100_000_000_000 } else { 10_000_000_000 },
-        fabric: if full { 400_000_000_000 } else { 40_000_000_000 },
+        nic: if full {
+            100_000_000_000
+        } else {
+            10_000_000_000
+        },
+        fabric: if full {
+            400_000_000_000
+        } else {
+            40_000_000_000
+        },
         t_ns: args.get_u64("t-us", if full { 13 } else { 60 }) * 1_000,
         duration: args.get_u64("duration-ms", 3) * 1_000_000,
         drain: args.get_u64("drain-ms", 60) * 1_000_000,
@@ -112,8 +132,14 @@ fn main() {
     for &load in &[0.3, 0.5, 0.7] {
         let int = run(&setup, FlowSizeCdf::web_search(), load, false);
         let pint = run(&setup, FlowSizeCdf::web_search(), load, true);
-        let gi = int.mean_goodput_bps(10_000_000).or(int.mean_goodput_bps(1_000_000)).unwrap_or(f64::NAN);
-        let gp = pint.mean_goodput_bps(10_000_000).or(pint.mean_goodput_bps(1_000_000)).unwrap_or(f64::NAN);
+        let gi = int
+            .mean_goodput_bps(10_000_000)
+            .or(int.mean_goodput_bps(1_000_000))
+            .unwrap_or(f64::NAN);
+        let gp = pint
+            .mean_goodput_bps(10_000_000)
+            .or(pint.mean_goodput_bps(1_000_000))
+            .unwrap_or(f64::NAN);
         println!(
             "{load:>5.1} {:>12.3} {:>12.3} {:>9.1}",
             gi / 1e9,

@@ -34,11 +34,18 @@ fn run(
     let factory: TransportFactory = {
         let hook = hook.clone();
         Box::new(move |meta| {
-            let cfg = HpccConfig { base_rtt_ns: t_ns, ..HpccConfig::default() };
+            let cfg = HpccConfig {
+                base_rtt_ns: t_ns,
+                ..HpccConfig::default()
+            };
             Box::new(HpccTransport::new(
                 meta,
                 cfg,
-                FeedbackMode::Pint { lane: 0, decoder: hook.clone(), plan: None },
+                FeedbackMode::Pint {
+                    lane: 0,
+                    decoder: hook.clone(),
+                    plan: None,
+                },
             ))
         })
     };
@@ -54,7 +61,13 @@ fn run(
         factory,
         Box::new(HpccPintHook::new(42, p, t_ns, 1, 0, 1)),
     );
-    sim.add_workload(&WorkloadConfig { cdf, load: 0.5, nic_bps: nic, duration_ns: duration, seed: seed ^ 0x808 });
+    sim.add_workload(&WorkloadConfig {
+        cdf,
+        load: 0.5,
+        nic_bps: nic,
+        duration_ns: duration,
+        seed: seed ^ 0x808,
+    });
     sim.run()
 }
 
@@ -63,7 +76,9 @@ fn print_deciles(rep: &Report, cdf: &FlowSizeCdf, label: &str) {
     let mut lo = 0u64;
     print!("{label:<10}");
     for &hi in &deciles {
-        let s = rep.slowdown_percentile(lo, hi + 1, 0.95).unwrap_or(f64::NAN);
+        let s = rep
+            .slowdown_percentile(lo, hi + 1, 0.95)
+            .unwrap_or(f64::NAN);
         print!(" {s:>8.2}");
         lo = hi + 1;
     }
@@ -73,21 +88,36 @@ fn print_deciles(rep: &Report, cdf: &FlowSizeCdf, label: &str) {
 fn main() {
     let args = Args::parse();
     let full = args.get_bool("full");
-    let nic = if full { 100_000_000_000 } else { 10_000_000_000 };
-    let fabric = if full { 400_000_000_000 } else { 40_000_000_000 };
+    let nic = if full {
+        100_000_000_000
+    } else {
+        10_000_000_000
+    };
+    let fabric = if full {
+        400_000_000_000
+    } else {
+        40_000_000_000
+    };
     let t_ns = args.get_u64("t-us", if full { 13 } else { 60 }) * 1_000;
     let duration = args.get_u64("duration-ms", 3) * 1_000_000;
     let drain = args.get_u64("drain-ms", 60) * 1_000_000;
     let seed = args.get_u64("seed", 1);
 
-    for (name, cdf) in [("web search", FlowSizeCdf::web_search()), ("Hadoop", FlowSizeCdf::hadoop())] {
+    for (name, cdf) in [
+        ("web search", FlowSizeCdf::web_search()),
+        ("Hadoop", FlowSizeCdf::hadoop()),
+    ] {
         println!("# Fig 8: 95p slowdown per flow-size decile, HPCC(PINT) at digest frequency p ({name}, 50% load)");
         print!("{:<10}", "decile");
         for d in cdf.deciles() {
             print!(" {d:>8}");
         }
         println!();
-        for (label, p) in [("p=1", 1.0), ("p=1/16", 1.0 / 16.0), ("p=1/256", 1.0 / 256.0)] {
+        for (label, p) in [
+            ("p=1", 1.0),
+            ("p=1/16", 1.0 / 16.0),
+            ("p=1/256", 1.0 / 256.0),
+        ] {
             let rep = run(nic, fabric, t_ns, duration, drain, seed, cdf.clone(), p);
             print_deciles(&rep, &cdf, label);
         }

@@ -57,10 +57,18 @@ fn collect_traces(cdf: FlowSizeCdf, duration: u64, drain: u64, seed: u64) -> Vec
     });
     let _ = sim.run();
     // Group by flow, then by pid (samples arrive hop-by-hop in order).
-    let samples = Arc::try_unwrap(out).expect("sole owner").into_inner().expect("lock");
+    let samples = Arc::try_unwrap(out)
+        .expect("sole owner")
+        .into_inner()
+        .expect("lock");
     let mut flows: BTreeMap<u64, BTreeMap<u64, Vec<(u8, u32)>>> = BTreeMap::new();
     for s in samples {
-        flows.entry(s.flow).or_default().entry(s.pid).or_default().push((s.hop, s.latency_ns));
+        flows
+            .entry(s.flow)
+            .or_default()
+            .entry(s.pid)
+            .or_default()
+            .push((s.hop, s.latency_ns));
     }
     let mut traces = Vec::new();
     for (_, pkts) in flows {
@@ -85,7 +93,13 @@ fn collect_traces(cdf: FlowSizeCdf, duration: u64, drain: u64, seed: u64) -> Vec
 
 /// Replays `n` packets of a flow through the PINT pipeline; returns the
 /// mean relative error (%) of the ϕ-quantile across hops.
-fn replay_error(trace: &FlowTrace, bits: u32, sketch_bytes: Option<usize>, n: usize, phi: f64) -> f64 {
+fn replay_error(
+    trace: &FlowTrace,
+    bits: u32,
+    sketch_bytes: Option<usize>,
+    n: usize,
+    phi: f64,
+) -> f64 {
     let agg = DynamicAggregator::new(0xF19, bits, 100.0, 1.0e5);
     let mut rec = match sketch_bytes {
         None => DynamicRecorder::new_exact(agg.clone(), trace.k),
@@ -110,7 +124,10 @@ fn replay_error(trace: &FlowTrace, bits: u32, sketch_bytes: Option<usize>, n: us
 }
 
 fn panel(traces: &[FlowTrace], flows: usize, phi: f64, label: &str) {
-    println!("\n## {label} (ϕ = {phi}), {} usable flows", traces.len().min(flows));
+    println!(
+        "\n## {label} (ϕ = {phi}), {} usable flows",
+        traces.len().min(flows)
+    );
     println!(
         "{:>8} {:>11} {:>11} {:>12} {:>12}",
         "packets", "PINT(b=8)", "PINT(b=4)", "PINTs(b=8)", "PINTs(b=4)"
@@ -135,11 +152,20 @@ fn panel(traces: &[FlowTrace], flows: usize, phi: f64, label: &str) {
             stats::percentile(&cols[3], 0.5)
         );
     }
-    println!("{:>8} {:>11} {:>11} {:>12} {:>12}", "sk-bytes", "PINTs(b=8)", "PINTs(b=4)", "", "");
+    println!(
+        "{:>8} {:>11} {:>11} {:>12} {:>12}",
+        "sk-bytes", "PINTs(b=8)", "PINTs(b=4)", "", ""
+    );
     for &bytes in &[100usize, 150, 200, 250, 300] {
         let used: Vec<&FlowTrace> = traces.iter().take(flows).collect();
-        let c8: Vec<f64> = used.iter().map(|t| replay_error(t, 8, Some(bytes), 500, phi)).collect();
-        let c4: Vec<f64> = used.iter().map(|t| replay_error(t, 4, Some(bytes), 500, phi)).collect();
+        let c8: Vec<f64> = used
+            .iter()
+            .map(|t| replay_error(t, 8, Some(bytes), 500, phi))
+            .collect();
+        let c4: Vec<f64> = used
+            .iter()
+            .map(|t| replay_error(t, 4, Some(bytes), 500, phi))
+            .collect();
         println!(
             "{bytes:>8} {:>10.1}% {:>10.1}%",
             stats::percentile(&c8, 0.5),

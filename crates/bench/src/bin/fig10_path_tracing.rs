@@ -39,13 +39,7 @@ fn adjacency_of(topo: &Topology) -> Adjacency {
     adj
 }
 
-fn pint_run(
-    cfg: TracerConfig,
-    path: &[u64],
-    universe: &[u64],
-    adj: &Adjacency,
-    seed: u64,
-) -> u64 {
+fn pint_run(cfg: TracerConfig, path: &[u64], universe: &[u64], adj: &Adjacency, seed: u64) -> u64 {
     let tracer = PathTracer::new(cfg);
     let mut dec = tracer.decoder_with_topology(universe.to_vec(), path.len(), adj.clone());
     let mut pid = seed.wrapping_mul(0x9E37_79B9).wrapping_add(1);
@@ -138,8 +132,15 @@ fn evaluate(topo: &Topology, lengths: &[usize], d: usize, runs: u64) {
         for (name, run) in &algos {
             let mut counts: Vec<u64> = (0..runs).map(|r| run(r + 1)).collect();
             let (avg, p99) = stats(&mut counts);
-            let row = Row { algo: name, avg, p99 };
-            println!("{len:>5} {:>18} {:>10.1} {:>10}", row.algo, row.avg, row.p99);
+            let row = Row {
+                algo: name,
+                avg,
+                p99,
+            };
+            println!(
+                "{len:>5} {:>18} {:>10.1} {:>10}",
+                row.algo, row.avg, row.p99
+            );
         }
     }
     println!();
@@ -153,13 +154,19 @@ fn main() {
     println!("# Fig 10: packets to decode a flow's path ({runs} runs per point)\n");
 
     let kentucky = Topology::isp_chain(753, 59, 10_000_000_000, 1);
-    let lengths: Vec<usize> =
-        if quick { vec![12, 36, 59] } else { vec![6, 12, 18, 24, 30, 36, 42, 48, 54, 59] };
+    let lengths: Vec<usize> = if quick {
+        vec![12, 36, 59]
+    } else {
+        vec![6, 12, 18, 24, 30, 36, 42, 48, 54, 59]
+    };
     evaluate(&kentucky, &lengths, 10, runs);
 
     let uscarrier = Topology::isp_chain(157, 36, 10_000_000_000, 2);
-    let lengths: Vec<usize> =
-        if quick { vec![12, 24, 36] } else { vec![4, 8, 12, 16, 20, 24, 28, 32, 36] };
+    let lengths: Vec<usize> = if quick {
+        vec![12, 24, 36]
+    } else {
+        vec![4, 8, 12, 16, 20, 24, 28, 32, 36]
+    };
     evaluate(&uscarrier, &lengths, 10, runs);
 
     let fat = Topology::fat_tree(8, 100_000_000_000, 1_000);

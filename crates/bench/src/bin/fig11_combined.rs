@@ -12,7 +12,9 @@
 //! Usage: `fig11_combined [--duration-ms 4] [--drain-ms 60] [--runs 100]
 //!         [--seed 1]`
 
-use pint_bench::hooks::{fig11_plan, CombinedPintHook, LatencyCollectorHook, LatencySample, Q_HPCC, Q_LATENCY};
+use pint_bench::hooks::{
+    fig11_plan, CombinedPintHook, LatencyCollectorHook, LatencySample, Q_HPCC, Q_LATENCY,
+};
 use pint_bench::{stats, Args};
 use pint_core::dynamic::{DynamicAggregator, DynamicRecorder};
 use pint_core::statictrace::{PathTracer, TracerConfig};
@@ -41,7 +43,10 @@ fn run_hpcc(combined: bool, duration: Nanos, drain: Nanos, seed: u64) -> Report 
         let plan = hook.plan.clone();
         let decoder = Arc::new(HpccPintHook::new(seed ^ 0x33CC, 1.0, T_NS, 0, 2, 3));
         Box::new(move |meta| {
-            let cfg = HpccConfig { base_rtt_ns: T_NS, ..HpccConfig::default() };
+            let cfg = HpccConfig {
+                base_rtt_ns: T_NS,
+                ..HpccConfig::default()
+            };
             Box::new(HpccTransport::new(
                 meta,
                 cfg,
@@ -55,11 +60,18 @@ fn run_hpcc(combined: bool, duration: Nanos, drain: Nanos, seed: u64) -> Report 
     } else {
         let decoder = Arc::new(HpccPintHook::new(seed ^ 0x33CC, 1.0 / 16.0, T_NS, 2, 0, 1));
         Box::new(move |meta| {
-            let cfg = HpccConfig { base_rtt_ns: T_NS, ..HpccConfig::default() };
+            let cfg = HpccConfig {
+                base_rtt_ns: T_NS,
+                ..HpccConfig::default()
+            };
             Box::new(HpccTransport::new(
                 meta,
                 cfg,
-                FeedbackMode::Pint { lane: 0, decoder: decoder.clone(), plan: None },
+                FeedbackMode::Pint {
+                    lane: 0,
+                    decoder: decoder.clone(),
+                    plan: None,
+                },
             ))
         })
     };
@@ -143,10 +155,18 @@ fn latency_panel(duration: Nanos, drain: Nanos, seed: u64) -> (f64, f64) {
         seed: seed ^ 0xBEE,
     });
     let _ = sim.run();
-    let samples = Arc::try_unwrap(out).expect("sole owner").into_inner().expect("lock");
+    let samples = Arc::try_unwrap(out)
+        .expect("sole owner")
+        .into_inner()
+        .expect("lock");
     let mut flows: BTreeMap<u64, BTreeMap<u64, Vec<(u8, u32)>>> = BTreeMap::new();
     for s in samples {
-        flows.entry(s.flow).or_default().entry(s.pid).or_default().push((s.hop, s.latency_ns));
+        flows
+            .entry(s.flow)
+            .or_default()
+            .entry(s.pid)
+            .or_default()
+            .push((s.hop, s.latency_ns));
     }
     let plan = fig11_plan(seed);
     let mut comb_errs = Vec::new();
@@ -172,8 +192,9 @@ fn latency_panel(duration: Nanos, drain: Nanos, seed: u64) -> (f64, f64) {
         for (gated, errs) in [(true, &mut comb_errs), (false, &mut base_errs)] {
             let agg = DynamicAggregator::new(0x22BB ^ seed, 8, 100.0, 1.0e5);
             let mut rec = DynamicRecorder::new_exact(agg.clone(), k);
-            let mut truth: Vec<pint_sketches::ExactQuantiles> =
-                (0..=k).map(|_| pint_sketches::ExactQuantiles::new()).collect();
+            let mut truth: Vec<pint_sketches::ExactQuantiles> = (0..=k)
+                .map(|_| pint_sketches::ExactQuantiles::new())
+                .collect();
             for (pid, hops) in packets.iter().take(500) {
                 for (i, &lat) in hops.iter().enumerate() {
                     truth[i + 1].update(u64::from(lat.max(1)));
@@ -188,7 +209,8 @@ fn latency_panel(duration: Nanos, drain: Nanos, seed: u64) -> (f64, f64) {
                 rec.record(*pid, &digest, 0);
             }
             for hop in 1..=k {
-                if let (Some(est), Some(tru)) = (rec.quantile(hop, 0.99), truth[hop].quantile(0.99)) {
+                if let (Some(est), Some(tru)) = (rec.quantile(hop, 0.99), truth[hop].quantile(0.99))
+                {
                     errs.push(stats::rel_err_pct(est, tru as f64));
                 }
             }
@@ -210,17 +232,33 @@ fn main() {
     let alone = run_hpcc(false, duration, drain, seed);
     let combined = run_hpcc(true, duration, drain, seed);
     let short = |r: &Report| r.slowdown_percentile(0, 10_000, 0.95).unwrap_or(f64::NAN);
-    let long = |r: &Report| r.slowdown_percentile(100_000, u64::MAX, 0.95).unwrap_or(f64::NAN);
+    let long = |r: &Report| {
+        r.slowdown_percentile(100_000, u64::MAX, 0.95)
+            .unwrap_or(f64::NAN)
+    };
     println!("\n## HPCC(PINT) 95p slowdown (Hadoop, 50% load)");
     println!("{:<10} {:>12} {:>12}", "", "short <10KB", "long >100KB");
-    println!("{:<10} {:>12.2} {:>12.2}", "baseline", short(&alone), long(&alone));
-    println!("{:<10} {:>12.2} {:>12.2}", "combined", short(&combined), long(&combined));
+    println!(
+        "{:<10} {:>12.2} {:>12.2}",
+        "baseline",
+        short(&alone),
+        long(&alone)
+    );
+    println!(
+        "{:<10} {:>12.2} {:>12.2}",
+        "combined",
+        short(&combined),
+        long(&combined)
+    );
 
     // Panel 2: path tracing.
     let (comb_pkts, base_pkts) = path_panel(runs);
     println!("\n## Path tracing: avg packets to decode a 5-hop path ({runs} runs)");
     println!("{:<10} {:>10}", "", "packets");
-    println!("{:<10} {:>10.1}   (dedicated 2x(b=8))", "baseline", base_pkts);
+    println!(
+        "{:<10} {:>10.1}   (dedicated 2x(b=8))",
+        "baseline", base_pkts
+    );
     println!(
         "{:<10} {:>10.1}   (combined 2x(b=4), +{:.1}%)",
         "combined",

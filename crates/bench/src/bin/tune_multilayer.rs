@@ -32,8 +32,14 @@ fn main() {
     // (single XOR layer at p = 1/10).
     for &k in &[5usize, 12, 25, 36, 59] {
         for tau in [0.5, 0.667, 0.75] {
-            let eval10 = SchemeConfig { tau, xor_layers: vec![0.1] };
-            let eval10_2 = SchemeConfig { tau, xor_layers: vec![0.1, 0.27] };
+            let eval10 = SchemeConfig {
+                tau,
+                xor_layers: vec![0.1],
+            };
+            let eval10_2 = SchemeConfig {
+                tau,
+                xor_layers: vec![0.1, 0.27],
+            };
             println!(
                 "k={k:>2} tau={tau:.3} d=10 L1: {:>6.1}  d=10 L2(0.1,0.27): {:>6.1}",
                 mean_packets(&eval10, k, runs),
@@ -54,19 +60,30 @@ fn main() {
         let d = k as f64;
         for tau in [0.45, 0.5, 0.55, 0.6, 0.667, 0.7, 0.75, 0.8] {
             // L=1 and L=2 ladders.
-            let one = SchemeConfig { tau, xor_layers: vec![1.0 / d] };
+            let one = SchemeConfig {
+                tau,
+                xor_layers: vec![1.0 / d],
+            };
             let two = SchemeConfig {
                 tau,
                 xor_layers: vec![1.0 / d, std::f64::consts::E / d],
             };
             let three = SchemeConfig {
                 tau,
-                xor_layers: vec![1.0 / d, std::f64::consts::E / d, std::f64::consts::E.exp() / d],
+                xor_layers: vec![
+                    1.0 / d,
+                    std::f64::consts::E / d,
+                    std::f64::consts::E.exp() / d,
+                ],
             };
             // "loglog" style single layer like hybrid.
             let lls = SchemeConfig {
                 tau,
-                xor_layers: vec![if d <= 15.0 { 1.0 / d.ln() } else { d.ln().ln() / d.ln() }],
+                xor_layers: vec![if d <= 15.0 {
+                    1.0 / d.ln()
+                } else {
+                    d.ln().ln() / d.ln()
+                }],
             };
             println!(
                 "tau={tau:.3}  L1: {:>6.1}  L2: {:>6.1}  L3: {:>6.1}  loglog: {:>6.1}",

@@ -74,13 +74,33 @@ pub const Q_HPCC: u32 = 3;
 /// HPCC on 1/16, under a 16-bit global budget.
 pub fn fig11_plan(seed: u64) -> ExecutionPlan {
     let queries = [
-        QuerySpec::new(Q_PATH, "path", MetadataKind::SwitchId, AggregationKind::StaticPerFlow, 8),
-        QuerySpec::new(Q_LATENCY, "latency", MetadataKind::HopLatency, AggregationKind::DynamicPerFlow, 8)
-            .with_frequency(15.0 / 16.0),
-        QuerySpec::new(Q_HPCC, "hpcc", MetadataKind::EgressPortTxUtilization, AggregationKind::PerPacket, 8)
-            .with_frequency(1.0 / 16.0),
+        QuerySpec::new(
+            Q_PATH,
+            "path",
+            MetadataKind::SwitchId,
+            AggregationKind::StaticPerFlow,
+            8,
+        ),
+        QuerySpec::new(
+            Q_LATENCY,
+            "latency",
+            MetadataKind::HopLatency,
+            AggregationKind::DynamicPerFlow,
+            8,
+        )
+        .with_frequency(15.0 / 16.0),
+        QuerySpec::new(
+            Q_HPCC,
+            "hpcc",
+            MetadataKind::EgressPortTxUtilization,
+            AggregationKind::PerPacket,
+            8,
+        )
+        .with_frequency(1.0 / 16.0),
     ];
-    QueryEngine::new(seed).plan(&queries, 16).expect("fig11 plan is feasible")
+    QueryEngine::new(seed)
+        .plan(&queries, 16)
+        .expect("fig11 plan is feasible")
 }
 
 /// The Fig. 11 combined hook.
@@ -130,7 +150,8 @@ impl TelemetryHook for CombinedPintHook {
         let selected = self.plan.select(pkt.id);
         if selected.contains(&Q_PATH) {
             // Lanes 0–1: the two 4-bit path instances.
-            self.path.encode_hop(pkt.id, view.hop, view.switch as u64, &mut pkt.digest);
+            self.path
+                .encode_hop(pkt.id, view.hop, view.switch as u64, &mut pkt.digest);
         }
         if selected.contains(&Q_LATENCY) {
             self.latency.encode_hop(

@@ -1,0 +1,192 @@
+//! The collector: worker lifecycle, snapshots, events, stats.
+
+use crate::config::{CollectorConfig, RecorderFactory};
+use crate::error::CollectorError;
+use crate::events::Event;
+use crate::handle::CollectorHandle;
+use crate::inference::CollectorSnapshot;
+use crate::shard::{ShardMsg, ShardStats, ShardWorker};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Aggregated live counters across all shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectorStats {
+    /// Digests applied.
+    pub ingested: u64,
+    /// Batches applied.
+    pub batches: u64,
+    /// Currently tracked flows.
+    pub active_flows: u64,
+    /// Approximate recorder-state bytes held.
+    pub state_bytes: u64,
+    /// Flows evicted by the count/byte caps.
+    pub evicted_lru: u64,
+    /// Flows evicted by idle TTL.
+    pub evicted_ttl: u64,
+    /// Events fired.
+    pub events: u64,
+    /// Events discarded because the bounded event queue was full.
+    pub events_dropped: u64,
+}
+
+/// A sharded, multi-threaded telemetry collector.
+///
+/// Spawn with a [`CollectorConfig`] and a [`RecorderFactory`]; feed it
+/// [`DigestReport`](pint_core::DigestReport)s through cloneable
+/// [`CollectorHandle`]s; query it via merged [`snapshot`](Self::snapshot)s;
+/// subscribe to rule-driven [`Event`]s; and [`shutdown`](Self::shutdown)
+/// to join the workers.
+pub struct Collector {
+    senders: Vec<SyncSender<ShardMsg>>,
+    workers: Vec<JoinHandle<()>>,
+    events_rx: Mutex<Receiver<Event>>,
+    stats: Vec<Arc<ShardStats>>,
+    batch_size: usize,
+}
+
+impl Collector {
+    /// Spawns `config.shards` worker threads and returns the running
+    /// collector.
+    pub fn spawn(config: CollectorConfig, factory: RecorderFactory) -> Self {
+        config.validate();
+        // Bounded: a consumer that never drains costs dropped events
+        // (counted), not unbounded memory.
+        let (events_tx, events_rx) = sync_channel(config.event_capacity);
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        let mut stats = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = sync_channel(config.channel_capacity);
+            let shard_stats = Arc::new(ShardStats::default());
+            let worker = ShardWorker::new(
+                shard,
+                &config,
+                Arc::clone(&factory),
+                events_tx.clone(),
+                Arc::clone(&shard_stats),
+            );
+            let join = std::thread::Builder::new()
+                .name(format!("pint-collector-{shard}"))
+                .spawn(move || worker.run(rx))
+                .expect("spawn shard worker");
+            senders.push(tx);
+            workers.push(join);
+            stats.push(shard_stats);
+        }
+        Self {
+            senders,
+            workers,
+            events_rx: Mutex::new(events_rx),
+            stats,
+            batch_size: config.batch_size,
+        }
+    }
+
+    /// Number of shard workers.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// A new ingestion handle (cheap; one per sink thread).
+    pub fn handle(&self) -> CollectorHandle {
+        CollectorHandle::new(self.senders.clone(), self.batch_size)
+    }
+
+    /// Requests a snapshot from every shard and merges the results.
+    ///
+    /// The request is ordered after batches already *sent* on each shard
+    /// channel; digests still sitting in un-flushed handle buffers are
+    /// not included — flush the handles first for a precise cut.
+    pub fn snapshot(&self) -> Result<CollectorSnapshot, CollectorError> {
+        self.fanout(ShardMsg::Snapshot)
+            .map(CollectorSnapshot::from_shards)
+    }
+
+    /// Blocks until every batch already queued on the shard channels has
+    /// been applied — a cheap sync point (no state is serialized, unlike
+    /// [`snapshot`](Self::snapshot)). Digests still in un-flushed handle
+    /// buffers are not covered; flush the handles first.
+    pub fn barrier(&self) -> Result<(), CollectorError> {
+        self.fanout(ShardMsg::Barrier).map(|_| ())
+    }
+
+    /// Sends a request carrying a reply channel to every shard, then
+    /// collects one reply per shard (in shard order).
+    fn fanout<T>(
+        &self,
+        make_msg: impl Fn(Sender<T>) -> ShardMsg,
+    ) -> Result<Vec<T>, CollectorError> {
+        let mut pending = Vec::with_capacity(self.senders.len());
+        for (shard, tx) in self.senders.iter().enumerate() {
+            let (reply_tx, reply_rx) = channel();
+            tx.send(make_msg(reply_tx))
+                .map_err(|_| CollectorError::Disconnected)?;
+            pending.push((shard, reply_rx));
+        }
+        let mut out = Vec::with_capacity(pending.len());
+        for (shard, rx) in pending {
+            out.push(
+                rx.recv()
+                    .map_err(|_| CollectorError::SnapshotFailed { shard })?,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Drains all events fired since the last drain.
+    pub fn drain_events(&self) -> Vec<Event> {
+        self.events_rx
+            .lock()
+            .expect("event receiver poisoned")
+            .try_iter()
+            .collect()
+    }
+
+    /// Aggregated live counters (relaxed reads; exact after `shutdown`
+    /// or a snapshot barrier).
+    pub fn stats(&self) -> CollectorStats {
+        let mut out = CollectorStats::default();
+        for s in &self.stats {
+            out.ingested += s.ingested.load(Ordering::Relaxed);
+            out.batches += s.batches.load(Ordering::Relaxed);
+            out.active_flows += s.active_flows.load(Ordering::Relaxed);
+            out.state_bytes += s.state_bytes.load(Ordering::Relaxed);
+            out.evicted_lru += s.evicted_lru.load(Ordering::Relaxed);
+            out.evicted_ttl += s.evicted_ttl.load(Ordering::Relaxed);
+            out.events += s.events.load(Ordering::Relaxed);
+            out.events_dropped += s.events_dropped.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Stops the workers (after they drain already-queued batches) and
+    /// returns the final counters. Outstanding handles error on further
+    /// pushes.
+    pub fn shutdown(mut self) -> CollectorStats {
+        self.stop();
+        self.stats()
+    }
+
+    fn stop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(ShardMsg::Shutdown);
+        }
+        self.senders.clear();
+        for w in std::mem::take(&mut self.workers) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Collector {
+    /// Dropping without [`shutdown`](Collector::shutdown) still stops
+    /// and joins the workers — outstanding handles cannot keep orphaned
+    /// shard threads alive (their next push errors `Disconnected`-side
+    /// once the workers exit).
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

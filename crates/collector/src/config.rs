@@ -1,0 +1,93 @@
+//! Collector configuration.
+
+use crate::events::EventRule;
+use pint_core::{DigestReport, FlowRecorder};
+use std::sync::Arc;
+
+/// Flow identifier (matches `pint_netsim::FlowId`).
+pub type FlowId = u64;
+
+/// Builds the per-flow Recording Module when a shard first sees a flow.
+///
+/// The factory receives the flow ID and the first [`DigestReport`] of the
+/// flow, so it can size the recorder by the observed path length. That
+/// first report is authoritative: later digests are absorbed into the
+/// recorder as built, and a mid-flow route change shows up as decoder
+/// inconsistencies (the `PathChanged` rule), not a re-size. It runs on
+/// shard worker threads, hence `Send + Sync`.
+pub type RecorderFactory =
+    Arc<dyn Fn(FlowId, &DigestReport) -> Box<dyn FlowRecorder> + Send + Sync>;
+
+/// Tuning knobs for a [`Collector`](crate::Collector).
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Worker shards. Flows are hash-partitioned across shards, so every
+    /// digest of one flow lands on the same worker and per-flow state
+    /// needs no locking.
+    pub shards: usize,
+    /// Bounded depth (in batches) of each shard's ingestion channel;
+    /// senders block when a shard falls behind — backpressure instead of
+    /// unbounded buffering.
+    pub channel_capacity: usize,
+    /// Digests a handle buffers per shard before shipping a batch.
+    pub batch_size: usize,
+    /// Per-shard cap on tracked flows; least-recently-updated flows are
+    /// evicted beyond it.
+    pub max_flows_per_shard: usize,
+    /// Per-shard cap on approximate recorder state bytes; LRU eviction
+    /// runs until the estimate fits.
+    pub max_bytes_per_shard: usize,
+    /// Evict flows idle for longer than this (measured in report
+    /// timestamps, i.e. the sink's clock — deterministic in simulation).
+    /// `None` disables TTL eviction.
+    pub flow_ttl: Option<u64>,
+    /// Bound on undelivered events: if the consumer stops draining,
+    /// further events are counted as dropped instead of buffering
+    /// without limit (the collector's memory stays bounded even with a
+    /// negligent consumer).
+    pub event_capacity: usize,
+    /// Streaming event-detection rules, evaluated on shard workers as
+    /// batches are applied. At most 64 rules.
+    pub rules: Vec<EventRule>,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            channel_capacity: 64,
+            batch_size: 256,
+            max_flows_per_shard: 65_536,
+            max_bytes_per_shard: 64 << 20,
+            flow_ttl: None,
+            event_capacity: 65_536,
+            rules: Vec::new(),
+        }
+    }
+}
+
+impl CollectorConfig {
+    /// A config with `shards` workers and defaults elsewhere.
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards,
+            ..Self::default()
+        }
+    }
+
+    /// Validates invariants (positive sizes, rule-count limit).
+    pub(crate) fn validate(&self) {
+        assert!(self.shards >= 1, "need at least one shard");
+        assert!(
+            self.channel_capacity >= 1,
+            "channel capacity must be positive"
+        );
+        assert!(self.batch_size >= 1, "batch size must be positive");
+        assert!(self.max_flows_per_shard >= 1, "flow cap must be positive");
+        assert!(self.event_capacity >= 1, "event capacity must be positive");
+        assert!(
+            self.rules.len() <= 64,
+            "at most 64 event rules (per-flow fired-state is a u64 bitmask)"
+        );
+    }
+}

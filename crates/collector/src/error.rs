@@ -1,0 +1,32 @@
+//! Collector error types.
+
+use std::fmt;
+
+/// Errors surfaced by collector handles and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CollectorError {
+    /// The collector's worker threads have shut down; the digest or
+    /// request cannot be delivered.
+    Disconnected,
+    /// A shard did not answer a snapshot request (worker panicked or the
+    /// collector is shutting down concurrently).
+    SnapshotFailed {
+        /// The shard that failed to answer.
+        shard: usize,
+    },
+}
+
+impl fmt::Display for CollectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectorError::Disconnected => {
+                write!(f, "collector is shut down; digest channel disconnected")
+            }
+            CollectorError::SnapshotFailed { shard } => {
+                write!(f, "shard {shard} did not answer the snapshot request")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollectorError {}

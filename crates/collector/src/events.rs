@@ -1,0 +1,211 @@
+//! Streaming event detection.
+//!
+//! Post-hoc analysis answers "what was the p99 yesterday"; operators also
+//! need "tell me *now* when a hop's tail latency crosses X" (cf.
+//! *Programmable Event Detection for In-Band Network Telemetry*). Rules
+//! are evaluated on the shard workers as digest batches are applied, so
+//! detection latency is one batch, not one query cycle. Each rule fires
+//! at most once per flow *residency* (rising edge; the fired set is a
+//! bitmask in the flow table, so a flow that is evicted and later
+//! recreated re-arms its rules). Fired events go to a bounded queue —
+//! see `CollectorConfig::event_capacity`.
+
+use crate::config::FlowId;
+use pint_core::FlowRecorder;
+
+/// A user-registered detection rule.
+#[derive(Debug, Clone)]
+pub enum EventRule {
+    /// Fires when hop `hop`'s ϕ-quantile of the flow's value stream
+    /// exceeds `threshold` (value space, e.g. nanoseconds) with at least
+    /// `min_samples` recorded packets backing the estimate.
+    QuantileAbove {
+        /// 1-based hop index.
+        hop: usize,
+        /// Quantile in `[0, 1]`, e.g. `0.99`.
+        phi: f64,
+        /// Value-space threshold.
+        threshold: f64,
+        /// Minimum recorded packets before the rule may fire (suppresses
+        /// noise from tiny samples).
+        min_samples: u64,
+    },
+    /// Fires when a path-tracing flow's route is fully reconstructed.
+    PathResolved,
+    /// Fires when a flow's digests contradict its inferred path at least
+    /// `min_inconsistencies` times — the paper's §7 routing-change /
+    /// multipath signal.
+    PathChanged {
+        /// Contradictory digests required before firing.
+        min_inconsistencies: u64,
+    },
+    /// Fires when some value appears in at least a `theta` fraction of
+    /// hop `hop`'s stream (with `min_samples` backing it).
+    FrequentValue {
+        /// 1-based hop index.
+        hop: usize,
+        /// Frequency threshold in `(0, 1]`.
+        theta: f64,
+        /// Minimum recorded packets before the rule may fire.
+        min_samples: u64,
+    },
+}
+
+/// What a fired rule observed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// Quantile estimate that crossed the threshold.
+    QuantileAbove {
+        /// 1-based hop index.
+        hop: usize,
+        /// The quantile queried.
+        phi: f64,
+        /// The estimate (value space).
+        value: f64,
+    },
+    /// The reconstructed path.
+    PathResolved {
+        /// Switch IDs, hop 1..k.
+        path: Vec<u64>,
+    },
+    /// Routing-change signal.
+    PathChanged {
+        /// Contradictory digests seen.
+        inconsistencies: u64,
+    },
+    /// Heavy-hitter value detected.
+    FrequentValue {
+        /// 1-based hop index.
+        hop: usize,
+        /// The frequent value.
+        value: u64,
+        /// Its estimated fraction of the hop's stream.
+        fraction: f64,
+    },
+}
+
+/// A fired event, as delivered to the collector's event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Flow the event concerns.
+    pub flow: FlowId,
+    /// Shard that detected it.
+    pub shard: usize,
+    /// Index of the triggering rule in `CollectorConfig::rules`.
+    pub rule: usize,
+    /// Observation details.
+    pub kind: EventKind,
+    /// Sink timestamp of the batch that triggered the rule.
+    pub ts: u64,
+}
+
+impl EventRule {
+    /// Evaluates the rule against one flow's recorder; `Some(kind)` means
+    /// the rule fires now. Called only for rules that have not yet fired
+    /// for this flow.
+    pub(crate) fn evaluate(&self, rec: &mut dyn FlowRecorder) -> Option<EventKind> {
+        match *self {
+            EventRule::QuantileAbove {
+                hop,
+                phi,
+                threshold,
+                min_samples,
+            } => {
+                if rec.packets() < min_samples {
+                    return None;
+                }
+                let value = rec.quantile(hop, phi)?;
+                (value > threshold).then_some(EventKind::QuantileAbove { hop, phi, value })
+            }
+            EventRule::PathResolved => {
+                let progress = rec.path_progress()?;
+                let path = progress.path?;
+                Some(EventKind::PathResolved { path })
+            }
+            EventRule::PathChanged {
+                min_inconsistencies,
+            } => {
+                let inconsistencies = rec.inconsistencies();
+                (inconsistencies >= min_inconsistencies)
+                    .then_some(EventKind::PathChanged { inconsistencies })
+            }
+            EventRule::FrequentValue {
+                hop,
+                theta,
+                min_samples,
+            } => {
+                if rec.packets() < min_samples {
+                    return None;
+                }
+                let (value, fraction) = rec.frequent(hop, theta).into_iter().next()?;
+                Some(EventKind::FrequentValue {
+                    hop,
+                    value,
+                    fraction,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pint_core::dynamic::{DynamicAggregator, DynamicRecorder};
+    use pint_core::statictrace::{PathTracer, TracerConfig};
+    use pint_core::value::Digest;
+
+    #[test]
+    fn quantile_rule_requires_samples_then_fires() {
+        let agg = DynamicAggregator::new(3, 8, 100.0, 1.0e7);
+        let mut rec = DynamicRecorder::new_exact(agg.clone(), 2);
+        let rule = EventRule::QuantileAbove {
+            hop: 1,
+            phi: 0.5,
+            threshold: 5_000.0,
+            min_samples: 100,
+        };
+        for pid in 0..500u64 {
+            let mut d = Digest::new(1);
+            for hop in 1..=2 {
+                agg.encode_hop(pid, hop, 10_000.0, &mut d, 0);
+            }
+            rec.record(pid, &d, 0);
+            let fired = rule.evaluate(&mut rec).is_some();
+            if rec.packets() < 100 {
+                assert!(!fired, "fired below min_samples at {pid}");
+            }
+        }
+        match rule.evaluate(&mut rec) {
+            Some(EventKind::QuantileAbove { hop: 1, value, .. }) => {
+                assert!(value > 5_000.0, "median {value}");
+            }
+            other => panic!("expected fire, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn path_resolved_rule_fires_on_completion() {
+        let tracer = PathTracer::new(TracerConfig::paper(8, 2, 5));
+        let path = [2u64, 11, 19];
+        let mut dec = tracer.decoder((0..32).collect(), path.len());
+        let rule = EventRule::PathResolved;
+        let mut pid = 0u64;
+        loop {
+            pid += 1;
+            assert!(pid < 100_000, "no convergence");
+            if pint_core::statictrace::PathDecoder::absorb(
+                &mut dec,
+                pid,
+                &tracer.encode_path(pid, &path),
+            ) {
+                break;
+            }
+            assert!(rule.evaluate(&mut dec).is_none(), "fired early");
+        }
+        match rule.evaluate(&mut dec) {
+            Some(EventKind::PathResolved { path: p }) => assert_eq!(p, path),
+            other => panic!("expected fire, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Per-shard flow state with bounded memory.
+//!
+//! Each shard worker owns one `FlowTable` exclusively (share-nothing), so
+//! no synchronization appears on the ingest path. The table enforces two
+//! caps — flow count and approximate recorder-state bytes — by evicting
+//! the least-recently-updated flows, plus an optional idle TTL measured
+//! in sink timestamps. The collector therefore survives unbounded flow
+//! churn: old flows age out instead of accumulating forever.
+
+use crate::config::FlowId;
+use pint_core::FlowRecorder;
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-flow bookkeeping around the boxed recorder.
+pub struct FlowEntry {
+    /// The flow's Recording + Inference module.
+    pub rec: Box<dyn FlowRecorder>,
+    /// Latest sink timestamp observed for this flow.
+    pub last_ts: u64,
+    /// LRU stamp (monotonic per table).
+    touch: u64,
+    /// Bitmask of event rules already fired for this flow.
+    pub fired_rules: u64,
+    /// `rec.packets()` at the last event-rule evaluation (amortizes
+    /// quantile recomputation on the ingest path).
+    pub last_eval_packets: u64,
+    /// Cached `state_bytes` estimate (refreshed after each batch).
+    bytes: usize,
+}
+
+/// Eviction/ingest counters for one shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Flows created.
+    pub created: u64,
+    /// Flows evicted by the flow-count or byte cap (LRU order).
+    pub evicted_lru: u64,
+    /// Flows evicted by idle TTL.
+    pub evicted_ttl: u64,
+}
+
+/// One shard's flow map with LRU + TTL eviction and byte accounting.
+pub struct FlowTable {
+    flows: HashMap<FlowId, FlowEntry>,
+    /// touch stamp → flow, oldest first. Stamps are unique.
+    lru: BTreeMap<u64, FlowId>,
+    next_touch: u64,
+    total_bytes: usize,
+    max_flows: usize,
+    max_bytes: usize,
+    ttl: Option<u64>,
+    /// Clock of the last TTL sweep (sweeps are amortized; see
+    /// [`expire`](Self::expire)).
+    last_sweep: u64,
+    /// Counters exposed to the shard worker.
+    pub stats: TableStats,
+}
+
+impl FlowTable {
+    /// Creates a table with the given caps.
+    pub fn new(max_flows: usize, max_bytes: usize, ttl: Option<u64>) -> Self {
+        Self {
+            flows: HashMap::new(),
+            lru: BTreeMap::new(),
+            next_touch: 0,
+            total_bytes: 0,
+            max_flows,
+            max_bytes,
+            ttl,
+            last_sweep: 0,
+            stats: TableStats::default(),
+        }
+    }
+
+    /// Tracked flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// `true` when no flow is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Approximate recorder-state bytes across all flows.
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// Fetches the entry for `flow`, creating it via `make` on first
+    /// sight, stamping LRU recency and `last_ts`, and evicting other
+    /// flows if the caps are exceeded by the insertion.
+    pub fn entry_mut(
+        &mut self,
+        flow: FlowId,
+        ts: u64,
+        make: impl FnOnce() -> Box<dyn FlowRecorder>,
+    ) -> &mut FlowEntry {
+        if !self.flows.contains_key(&flow) {
+            // Make room first so the new flow is never its own victim.
+            while self.flows.len() >= self.max_flows {
+                self.evict_oldest();
+            }
+            let rec = make();
+            let bytes = rec.state_bytes();
+            self.total_bytes += bytes;
+            self.stats.created += 1;
+            self.flows.insert(
+                flow,
+                FlowEntry {
+                    rec,
+                    last_ts: ts,
+                    touch: 0,
+                    fired_rules: 0,
+                    last_eval_packets: 0,
+                    bytes,
+                },
+            );
+        }
+        self.touch(flow, ts);
+        self.flows.get_mut(&flow).expect("just inserted")
+    }
+
+    fn touch(&mut self, flow: FlowId, ts: u64) {
+        let entry = self.flows.get_mut(&flow).expect("touch of tracked flow");
+        if entry.touch != 0 {
+            self.lru.remove(&entry.touch);
+        }
+        self.next_touch += 1;
+        entry.touch = self.next_touch;
+        entry.last_ts = entry.last_ts.max(ts);
+        self.lru.insert(self.next_touch, flow);
+    }
+
+    /// Re-reads `state_bytes` for `flow` (call after absorbing a batch)
+    /// and evicts LRU flows until the byte cap holds again.
+    pub fn refresh_bytes(&mut self, flow: FlowId) {
+        if let Some(entry) = self.flows.get_mut(&flow) {
+            let now = entry.rec.state_bytes();
+            self.total_bytes = self.total_bytes - entry.bytes + now;
+            entry.bytes = now;
+        }
+        while self.total_bytes > self.max_bytes && self.flows.len() > 1 {
+            self.evict_oldest();
+        }
+    }
+
+    /// Evicts flows whose `last_ts` is older than `now − ttl`.
+    ///
+    /// A sweep is O(flows), so sweeps are amortized: at most ~4 per TTL
+    /// window (the first sweep after each `ttl/4` of clock advance).
+    /// Flows therefore linger at most ~1.25·ttl — acceptable slack for
+    /// an idle-eviction policy, and the ingest hot path stays O(batch).
+    pub fn expire(&mut self, now: u64) {
+        let Some(ttl) = self.ttl else {
+            return;
+        };
+        let stride = (ttl / 4).max(1);
+        if now < self.last_sweep.saturating_add(stride) {
+            return;
+        }
+        self.last_sweep = now;
+        let cutoff = now.saturating_sub(ttl);
+        // Collect victims first: the LRU index is ordered by recency, and
+        // recency order matches last_ts order closely but not exactly
+        // (last_ts is monotone per flow, touches are global), so scan all.
+        let victims: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, e)| e.last_ts < cutoff)
+            .map(|(&f, _)| f)
+            .collect();
+        for f in victims {
+            self.remove(f);
+            self.stats.evicted_ttl += 1;
+        }
+    }
+
+    fn evict_oldest(&mut self) {
+        let Some((&stamp, &flow)) = self.lru.iter().next() else {
+            return;
+        };
+        debug_assert!(self.flows.contains_key(&flow), "LRU index out of sync");
+        let _ = stamp;
+        self.remove(flow);
+        self.stats.evicted_lru += 1;
+    }
+
+    fn remove(&mut self, flow: FlowId) {
+        if let Some(entry) = self.flows.remove(&flow) {
+            self.total_bytes -= entry.bytes;
+            if entry.touch != 0 {
+                self.lru.remove(&entry.touch);
+            }
+        }
+    }
+
+    /// Iterates over `(flow, entry)` pairs (snapshot production).
+    pub fn iter(&self) -> impl Iterator<Item = (&FlowId, &FlowEntry)> {
+        self.flows.iter()
+    }
+
+    /// Mutable access without touching LRU recency (event evaluation).
+    pub fn get_mut(&mut self, flow: FlowId) -> Option<&mut FlowEntry> {
+        self.flows.get_mut(&flow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pint_core::dynamic::{DynamicAggregator, DynamicRecorder};
+    use pint_core::value::Digest;
+
+    fn recorder() -> Box<dyn FlowRecorder> {
+        let agg = DynamicAggregator::new(1, 8, 100.0, 1.0e7);
+        Box::new(DynamicRecorder::new_sketched(agg, 3, 64))
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_updated() {
+        let mut t = FlowTable::new(3, usize::MAX, None);
+        for f in 1..=3u64 {
+            t.entry_mut(f, f, recorder);
+        }
+        // Touch flow 1 again: flow 2 becomes the oldest.
+        t.entry_mut(1, 10, recorder);
+        t.entry_mut(4, 11, recorder);
+        assert_eq!(t.len(), 3);
+        assert!(t.iter().all(|(&f, _)| f != 2), "flow 2 should be evicted");
+        assert_eq!(t.stats.evicted_lru, 1);
+        assert_eq!(t.stats.created, 4);
+    }
+
+    #[test]
+    fn byte_cap_evicts_until_it_fits() {
+        let mut t = FlowTable::new(usize::MAX, 4_000, None);
+        let agg = DynamicAggregator::new(1, 8, 100.0, 1.0e7);
+        for f in 0..20u64 {
+            let e = t.entry_mut(f, f, recorder);
+            // Grow the recorder's state with real samples.
+            for pid in 0..200u64 {
+                let mut d = Digest::new(1);
+                for hop in 1..=3 {
+                    agg.encode_hop(pid, hop, 1_000.0, &mut d, 0);
+                }
+                e.rec.absorb(pid, &d);
+            }
+            t.refresh_bytes(f);
+        }
+        assert!(t.total_bytes() <= 4_000, "bytes {}", t.total_bytes());
+        assert!(t.stats.evicted_lru > 0);
+        assert!(t.len() < 20);
+    }
+
+    #[test]
+    fn ttl_expires_idle_flows_only() {
+        let mut t = FlowTable::new(usize::MAX, usize::MAX, Some(100));
+        t.entry_mut(1, 0, recorder);
+        t.entry_mut(2, 150, recorder);
+        t.expire(200);
+        assert_eq!(t.len(), 1, "flow 1 idle since ts=0 must expire");
+        assert!(t.iter().any(|(&f, _)| f == 2));
+        assert_eq!(t.stats.evicted_ttl, 1);
+        // Updating the survivor keeps it alive forever.
+        t.entry_mut(2, 300, recorder);
+        t.expire(350);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn accounting_stays_consistent_across_churn() {
+        let mut t = FlowTable::new(8, usize::MAX, None);
+        for f in 0..1000u64 {
+            t.entry_mut(f, f, recorder);
+            t.refresh_bytes(f);
+        }
+        assert_eq!(t.len(), 8);
+        let manual: usize = t.iter().map(|(_, e)| e.rec.state_bytes()).sum();
+        assert_eq!(t.total_bytes(), manual);
+        assert_eq!(t.stats.created, 1000);
+        assert_eq!(t.stats.evicted_lru, 992);
+    }
+}

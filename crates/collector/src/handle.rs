@@ -1,0 +1,143 @@
+//! Ingestion handles: how sinks feed digests into the collector.
+//!
+//! A [`CollectorHandle`] buffers digests per destination shard and ships
+//! them as batches over the bounded channels, amortizing channel
+//! synchronization over `batch_size` digests. Handles are cheap to clone
+//! (each clone gets private buffers), so every sink thread owns one.
+//! Per-flow ordering is preserved: a flow always maps to one shard, and
+//! one handle's pushes for it stay in push order.
+
+use crate::config::FlowId;
+use crate::error::CollectorError;
+use crate::shard::ShardMsg;
+use pint_core::DigestReport;
+use std::sync::mpsc::SyncSender;
+
+/// Stable shard choice via `pint-core`'s splitmix64 finalizer —
+/// decouples the partition from any structure in flow IDs.
+#[inline]
+pub(crate) fn shard_of(flow: FlowId, shards: usize) -> usize {
+    (pint_core::hash::mix64(flow.wrapping_add(0x9E37_79B9_7F4A_7C15)) % shards as u64) as usize
+}
+
+/// A cloneable, buffering front-end to a [`Collector`](crate::Collector).
+pub struct CollectorHandle {
+    senders: Vec<SyncSender<ShardMsg>>,
+    bufs: Vec<Vec<DigestReport>>,
+    batch_size: usize,
+}
+
+impl CollectorHandle {
+    pub(crate) fn new(senders: Vec<SyncSender<ShardMsg>>, batch_size: usize) -> Self {
+        let bufs = senders
+            .iter()
+            .map(|_| Vec::with_capacity(batch_size))
+            .collect();
+        Self {
+            senders,
+            bufs,
+            batch_size,
+        }
+    }
+
+    /// Number of shards digests fan out to.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Queues one digest; ships the destination shard's batch when it
+    /// reaches `batch_size`. Blocks (backpressure) when that shard's
+    /// channel is full.
+    pub fn push(&mut self, report: DigestReport) -> Result<(), CollectorError> {
+        let shard = shard_of(report.flow, self.senders.len());
+        self.bufs[shard].push(report);
+        if self.bufs[shard].len() >= self.batch_size {
+            self.ship(shard)?;
+        }
+        Ok(())
+    }
+
+    /// Queues a pre-assembled batch (e.g. from an upstream aggregator).
+    pub fn push_batch(
+        &mut self,
+        reports: impl IntoIterator<Item = DigestReport>,
+    ) -> Result<(), CollectorError> {
+        for r in reports {
+            self.push(r)?;
+        }
+        Ok(())
+    }
+
+    /// Ships all partially filled buffers now.
+    pub fn flush(&mut self) -> Result<(), CollectorError> {
+        for shard in 0..self.bufs.len() {
+            if !self.bufs[shard].is_empty() {
+                self.ship(shard)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn ship(&mut self, shard: usize) -> Result<(), CollectorError> {
+        let batch = std::mem::replace(&mut self.bufs[shard], Vec::with_capacity(self.batch_size));
+        self.senders[shard]
+            .send(ShardMsg::Batch(batch))
+            .map_err(|_| CollectorError::Disconnected)
+    }
+
+    /// Adapts the handle into a `pint-netsim` digest sink: install with
+    /// `Simulator::set_digest_sink(handle.into_digest_sink())`. Digests
+    /// still ship in batches; the handle's `Drop` flushes the tail.
+    pub fn into_digest_sink(mut self) -> Box<dyn FnMut(DigestReport)> {
+        Box::new(move |report| {
+            // The collector disappearing mid-simulation is a shutdown
+            // race, not a data-path error; drop the digest.
+            let _ = self.push(report);
+        })
+    }
+}
+
+impl Clone for CollectorHandle {
+    fn clone(&self) -> Self {
+        Self::new(self.senders.clone(), self.batch_size)
+    }
+}
+
+impl Drop for CollectorHandle {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in [1usize, 2, 4, 8, 13] {
+            for flow in 0..10_000u64 {
+                let s = shard_of(flow, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(flow, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_balances_sequential_ids() {
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        let n = 100_000u64;
+        for flow in 0..n {
+            counts[shard_of(flow, shards)] += 1;
+        }
+        let expect = n as usize / shards;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c.abs_diff(expect) < expect / 10,
+                "shard {i} got {c} of expected {expect}: {counts:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! # pint-collector — sharded, multi-threaded telemetry ingestion & inference
+//!
+//! The paper's Recording/Inference module (Fig. 3) is a single-threaded
+//! consumer of one flow's digests. This crate is the production-shaped
+//! version: a collector that absorbs digest streams from many sinks for
+//! very large flow counts, on a share-nothing sharded architecture.
+//!
+//! ```text
+//!  sinks (netsim hosts, PINT sinks)          shard workers (threads)
+//!  ┌────────────────┐  batches over          ┌────────────────────────┐
+//!  │ CollectorHandle│──bounded MPSC────────▶ │ shard 0: FlowTable     │
+//!  │  (buffers per  │  channels              │  flow → FlowRecorder   │
+//!  │   shard)       │ ─────────────────────▶ │  LRU + TTL eviction    │
+//!  └────────────────┘       …                │  EventRule evaluation  │
+//!        hash(flow) % N                      └────────────────────────┘
+//!                                                    │ snapshots
+//!                                                    ▼
+//!                                    CollectorSnapshot (merged KLL,
+//!                                    path completion, per-flow queries)
+//! ```
+//!
+//! * **Sharding** — flows are hash-partitioned ([`handle`]); each worker
+//!   owns its slice of per-flow state outright, so the ingest hot path is
+//!   lock-free by construction.
+//! * **Batched, bounded ingestion** — handles buffer `batch_size` digests
+//!   per shard and ship over bounded channels; a slow shard exerts
+//!   backpressure instead of ballooning memory.
+//! * **Bounded state** — per-shard flow-count and byte caps with
+//!   least-recently-updated eviction plus idle TTL ([`flow_table`]); the
+//!   collector survives unbounded flow churn.
+//! * **Uniform recorders** — per-flow state is any
+//!   [`FlowRecorder`](pint_core::FlowRecorder): latency quantiles, path
+//!   reconstruction, frequent values, or user-defined.
+//! * **Cross-shard inference** — [`snapshot`](Collector::snapshot) merges
+//!   per-shard state deterministically ([`inference`]): fleet-wide
+//!   latency quantiles via KLL merge, path-reconstruction completion,
+//!   per-flow drill-down.
+//! * **Streaming events** — threshold rules ([`events`]) are evaluated on
+//!   the workers as digests arrive: tail-latency alarms, path-change
+//!   detection, heavy-hitter values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+pub mod config;
+pub mod error;
+pub mod events;
+pub mod flow_table;
+pub mod handle;
+pub mod inference;
+mod shard;
+pub mod sink;
+
+pub use collector::{Collector, CollectorStats};
+pub use config::{CollectorConfig, FlowId, RecorderFactory};
+pub use error::CollectorError;
+pub use events::{Event, EventKind, EventRule};
+pub use handle::CollectorHandle;
+pub use inference::{CollectorSnapshot, FlowSummary, ShardSnapshot};
+pub use shard::ShardStats;
+pub use sink::{attach_collector, LatencyTelemetry};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pint_core::dynamic::{DynamicAggregator, DynamicRecorder};
+    use pint_core::statictrace::{PathTracer, TracerConfig};
+    use pint_core::value::Digest;
+    use pint_core::{DigestReport, FlowRecorder};
+    use std::sync::Arc;
+
+    fn latency_factory(agg: DynamicAggregator, sketch_bytes: usize) -> RecorderFactory {
+        Arc::new(move |_flow, report: &DigestReport| {
+            Box::new(DynamicRecorder::new_sketched(
+                agg.clone(),
+                usize::from(report.path_len).max(1),
+                sketch_bytes,
+            )) as Box<dyn FlowRecorder>
+        })
+    }
+
+    fn encode_latency(
+        agg: &DynamicAggregator,
+        flow: u64,
+        pid: u64,
+        k: usize,
+        ns_per_hop: f64,
+    ) -> DigestReport {
+        let mut d = Digest::new(1);
+        for hop in 1..=k {
+            agg.encode_hop(pid, hop, ns_per_hop * hop as f64, &mut d, 0);
+        }
+        DigestReport::new(flow, pid, d, k as u16, pid)
+    }
+
+    #[test]
+    fn many_flows_across_shards_with_live_quantiles() {
+        let agg = DynamicAggregator::new(5, 8, 100.0, 1.0e7);
+        let collector = Collector::spawn(
+            CollectorConfig {
+                shards: 4,
+                batch_size: 64,
+                ..CollectorConfig::default()
+            },
+            latency_factory(agg.clone(), 128),
+        );
+        let mut handle = collector.handle();
+        let flows = 200u64;
+        let per_flow = 300u64;
+        for pid in 0..per_flow {
+            for flow in 0..flows {
+                handle
+                    .push(encode_latency(
+                        &agg,
+                        flow,
+                        flow * per_flow + pid,
+                        3,
+                        1_000.0,
+                    ))
+                    .unwrap();
+            }
+        }
+        handle.flush().unwrap();
+        let snap = collector.snapshot().unwrap();
+        assert_eq!(snap.num_flows(), flows as usize);
+        assert_eq!(snap.total_packets(), flows * per_flow);
+        // Hop 2 carries ~2µs samples; fleet-wide median decodes close.
+        let q = snap.latency_quantile(2, 0.5, &agg).unwrap();
+        assert!((q / 2_000.0 - 1.0).abs() < 0.25, "fleet median {q}");
+        let stats = collector.shutdown();
+        assert_eq!(stats.ingested, flows * per_flow);
+        assert_eq!(stats.active_flows, flows);
+        assert_eq!(stats.evicted_lru + stats.evicted_ttl, 0);
+    }
+
+    #[test]
+    fn flow_churn_is_bounded_by_eviction() {
+        let agg = DynamicAggregator::new(6, 8, 100.0, 1.0e7);
+        let collector = Collector::spawn(
+            CollectorConfig {
+                shards: 2,
+                batch_size: 32,
+                max_flows_per_shard: 50,
+                ..CollectorConfig::default()
+            },
+            latency_factory(agg.clone(), 64),
+        );
+        let mut handle = collector.handle();
+        for flow in 0..5_000u64 {
+            for pid in 0..3u64 {
+                handle
+                    .push(encode_latency(&agg, flow, flow * 3 + pid, 2, 500.0))
+                    .unwrap();
+            }
+        }
+        handle.flush().unwrap();
+        let snap = collector.snapshot().unwrap();
+        assert!(
+            snap.num_flows() <= 100,
+            "flows bounded: {}",
+            snap.num_flows()
+        );
+        assert!(
+            snap.evicted_flows() >= 4_900,
+            "churn evicted: {}",
+            snap.evicted_flows()
+        );
+        let stats = collector.shutdown();
+        assert_eq!(stats.ingested, 15_000);
+        assert!(stats.active_flows <= 100);
+    }
+
+    #[test]
+    fn ttl_evicts_idle_flows_deterministically() {
+        let agg = DynamicAggregator::new(8, 8, 100.0, 1.0e7);
+        let collector = Collector::spawn(
+            CollectorConfig {
+                shards: 1,
+                batch_size: 16,
+                flow_ttl: Some(1_000),
+                ..CollectorConfig::default()
+            },
+            latency_factory(agg.clone(), 64),
+        );
+        let mut handle = collector.handle();
+        // Flow 1 active at ts 0..100; flow 2 keeps the clock advancing.
+        for pid in 0..100u64 {
+            let mut r = encode_latency(&agg, 1, pid, 2, 500.0);
+            r.ts = pid;
+            handle.push(r).unwrap();
+        }
+        for pid in 0..200u64 {
+            let mut r = encode_latency(&agg, 2, 10_000 + pid, 2, 500.0);
+            r.ts = 5_000 + pid;
+            handle.push(r).unwrap();
+        }
+        handle.flush().unwrap();
+        let snap = collector.snapshot().unwrap();
+        assert_eq!(snap.num_flows(), 1, "idle flow 1 must expire");
+        assert!(snap.flow(2).is_some());
+        let stats = collector.shutdown();
+        assert_eq!(stats.evicted_ttl, 1);
+    }
+
+    #[test]
+    fn tail_latency_alarm_fires_once_per_flow() {
+        let agg = DynamicAggregator::new(9, 8, 100.0, 1.0e7);
+        let collector = Collector::spawn(
+            CollectorConfig {
+                shards: 2,
+                batch_size: 32,
+                rules: vec![EventRule::QuantileAbove {
+                    hop: 1,
+                    phi: 0.9,
+                    threshold: 50_000.0,
+                    min_samples: 50,
+                }],
+                ..CollectorConfig::default()
+            },
+            latency_factory(agg.clone(), 256),
+        );
+        let mut handle = collector.handle();
+        // Flow 7 runs hot (~100µs hop latency); flows 1..=5 stay cool.
+        for pid in 0..400u64 {
+            for flow in 1..=5u64 {
+                handle
+                    .push(encode_latency(&agg, flow, flow * 1_000 + pid, 2, 1_000.0))
+                    .unwrap();
+            }
+            handle
+                .push(encode_latency(&agg, 7, 900_000 + pid, 2, 100_000.0))
+                .unwrap();
+        }
+        handle.flush().unwrap();
+        // Barrier: snapshot answers arrive after all batches applied.
+        let _ = collector.snapshot().unwrap();
+        let events = collector.drain_events();
+        assert_eq!(events.len(), 1, "exactly one alarm: {events:?}");
+        let e = &events[0];
+        assert_eq!(e.flow, 7);
+        assert_eq!(e.rule, 0);
+        match &e.kind {
+            EventKind::QuantileAbove { hop: 1, value, .. } => {
+                assert!(*value > 50_000.0, "p90 {value}")
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        collector.shutdown();
+    }
+
+    #[test]
+    fn path_tracing_flows_resolve_and_alert() {
+        let tracer = PathTracer::new(TracerConfig::paper(8, 2, 5));
+        let universe: Vec<u64> = (0..64).collect();
+        let factory_tracer = tracer.clone();
+        let factory_universe = universe.clone();
+        let collector = Collector::spawn(
+            CollectorConfig {
+                shards: 4,
+                batch_size: 16,
+                rules: vec![EventRule::PathResolved],
+                ..CollectorConfig::default()
+            },
+            Arc::new(move |_flow, report: &DigestReport| {
+                Box::new(factory_tracer.decoder(
+                    factory_universe.clone(),
+                    usize::from(report.path_len).max(1),
+                )) as Box<dyn FlowRecorder>
+            }),
+        );
+        let mut handle = collector.handle();
+        let paths: Vec<Vec<u64>> = (0..20u64)
+            .map(|f| (0..4).map(|h| (f * 7 + h * 13) % 64).collect())
+            .collect();
+        for pid in 1..=400u64 {
+            for (f, path) in paths.iter().enumerate() {
+                let digest = tracer.encode_path(pid, path);
+                handle
+                    .push(DigestReport::new(
+                        f as u64,
+                        pid,
+                        digest,
+                        path.len() as u16,
+                        pid,
+                    ))
+                    .unwrap();
+            }
+        }
+        handle.flush().unwrap();
+        let snap = collector.snapshot().unwrap();
+        assert_eq!(snap.path_completion(), Some(1.0), "all paths resolve");
+        for (f, path) in paths.iter().enumerate() {
+            let summary = snap.flow(f as u64).unwrap();
+            assert_eq!(
+                summary.path.as_ref().unwrap().path.as_ref().unwrap(),
+                path,
+                "flow {f}"
+            );
+        }
+        let events = collector.drain_events();
+        assert_eq!(events.len(), paths.len(), "one PathResolved per flow");
+        collector.shutdown();
+    }
+
+    #[test]
+    fn handle_errors_after_shutdown() {
+        let agg = DynamicAggregator::new(3, 8, 100.0, 1.0e7);
+        let collector = Collector::spawn(
+            CollectorConfig {
+                shards: 1,
+                batch_size: 1,
+                ..CollectorConfig::default()
+            },
+            latency_factory(agg.clone(), 64),
+        );
+        let mut handle = collector.handle();
+        collector.shutdown();
+        let err = handle
+            .push(encode_latency(&agg, 1, 1, 2, 500.0))
+            .unwrap_err();
+        assert_eq!(err, CollectorError::Disconnected);
+    }
+}

@@ -1,0 +1,239 @@
+//! Shard worker: the thread that owns one slice of flow state.
+//!
+//! Workers drain batches from a bounded channel, apply each digest to the
+//! owning flow's recorder, refresh memory accounting, run TTL expiry, and
+//! evaluate event rules for the flows the batch touched. Because flows
+//! are hash-partitioned, a worker never shares recorder state with
+//! another thread — the ingest hot path takes no locks.
+
+use crate::config::{CollectorConfig, FlowId, RecorderFactory};
+use crate::events::{Event, EventRule};
+use crate::flow_table::FlowTable;
+use crate::inference::{FlowSummary, ShardSnapshot};
+use pint_core::DigestReport;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+
+/// Messages a shard worker consumes.
+pub(crate) enum ShardMsg {
+    /// A batch of digests to apply.
+    Batch(Vec<DigestReport>),
+    /// Snapshot request; the worker answers on the provided channel.
+    Snapshot(Sender<ShardSnapshot>),
+    /// Sync point: the worker acknowledges once every batch queued ahead
+    /// of this message has been applied.
+    Barrier(Sender<()>),
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// Live counters one shard publishes (read from any thread).
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Digests applied.
+    pub ingested: AtomicU64,
+    /// Batches applied.
+    pub batches: AtomicU64,
+    /// Currently tracked flows.
+    pub active_flows: AtomicU64,
+    /// Approximate recorder-state bytes held.
+    pub state_bytes: AtomicU64,
+    /// Flows evicted by the count/byte caps.
+    pub evicted_lru: AtomicU64,
+    /// Flows evicted by idle TTL.
+    pub evicted_ttl: AtomicU64,
+    /// Events fired and delivered to the event queue.
+    pub events: AtomicU64,
+    /// Events fired but discarded — the bounded event channel was full
+    /// (consumer stopped draining) or the consumer was gone.
+    pub events_dropped: AtomicU64,
+}
+
+pub(crate) struct ShardWorker {
+    shard: usize,
+    table: FlowTable,
+    factory: RecorderFactory,
+    rules: Vec<EventRule>,
+    events_tx: SyncSender<Event>,
+    stats: Arc<ShardStats>,
+    /// Scratch: flows touched by the current batch (dedup'd).
+    touched: Vec<FlowId>,
+    /// Latest sink timestamp seen (drives TTL expiry).
+    clock: u64,
+}
+
+impl ShardWorker {
+    pub(crate) fn new(
+        shard: usize,
+        config: &CollectorConfig,
+        factory: RecorderFactory,
+        events_tx: SyncSender<Event>,
+        stats: Arc<ShardStats>,
+    ) -> Self {
+        Self {
+            shard,
+            table: FlowTable::new(
+                config.max_flows_per_shard,
+                config.max_bytes_per_shard,
+                config.flow_ttl,
+            ),
+            factory,
+            rules: config.rules.clone(),
+            events_tx,
+            stats,
+            touched: Vec::new(),
+            clock: 0,
+        }
+    }
+
+    /// The worker loop; runs until `Shutdown` or channel disconnect.
+    pub(crate) fn run(mut self, rx: Receiver<ShardMsg>) {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                ShardMsg::Batch(batch) => self.apply_batch(batch),
+                ShardMsg::Snapshot(reply) => {
+                    // The requester may have given up; ignore send errors.
+                    let _ = reply.send(self.snapshot());
+                }
+                ShardMsg::Barrier(reply) => {
+                    let _ = reply.send(());
+                }
+                ShardMsg::Shutdown => break,
+            }
+        }
+    }
+
+    fn apply_batch(&mut self, batch: Vec<DigestReport>) {
+        self.touched.clear();
+        let n = batch.len() as u64;
+        for report in batch {
+            self.clock = self.clock.max(report.ts);
+            let flow = report.flow;
+            let factory = &self.factory;
+            let entry = self
+                .table
+                .entry_mut(flow, report.ts, || factory(flow, &report));
+            entry.rec.absorb(report.pid, &report.digest);
+            self.touched.push(flow);
+        }
+        self.touched.sort_unstable();
+        self.touched.dedup();
+        // Memory accounting + byte-cap eviction for the flows that grew.
+        for i in 0..self.touched.len() {
+            self.table.refresh_bytes(self.touched[i]);
+        }
+        self.table.expire(self.clock);
+        self.detect_events();
+        self.publish_stats(n);
+    }
+
+    /// Evaluates not-yet-fired rules against every flow this batch
+    /// touched (the flow may have been evicted meanwhile — skip then).
+    ///
+    /// Evaluation is amortized: rules (which may recompute quantiles)
+    /// run eagerly while a flow is young, then only after every
+    /// [`EVAL_STRIDE`] new packets — so a long-lived flow that never
+    /// crosses a threshold costs O(1/EVAL_STRIDE) evaluations per
+    /// digest, and detection lags a firing condition by at most one
+    /// batch plus `EVAL_STRIDE` packets.
+    fn detect_events(&mut self) {
+        /// Re-evaluate after this many new packets (steady state).
+        const EVAL_STRIDE: u64 = 16;
+        /// Evaluate on every batch below this packet count, so
+        /// fast-converging rules (e.g. path resolution) alert promptly.
+        const EVAL_EAGER: u64 = 64;
+        if self.rules.is_empty() {
+            return;
+        }
+        let all_rules = if self.rules.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.rules.len()) - 1
+        };
+        let mut fired = 0u64;
+        for idx in 0..self.touched.len() {
+            let flow = self.touched[idx];
+            let ts = self.clock;
+            let Some(entry) = self.table.get_mut(flow) else {
+                continue;
+            };
+            if entry.fired_rules == all_rules {
+                continue;
+            }
+            let packets = entry.rec.packets();
+            if packets >= EVAL_EAGER && packets < entry.last_eval_packets + EVAL_STRIDE {
+                continue;
+            }
+            entry.last_eval_packets = packets;
+            for (rule_idx, rule) in self.rules.iter().enumerate() {
+                let bit = 1u64 << rule_idx;
+                if entry.fired_rules & bit != 0 {
+                    continue;
+                }
+                if let Some(kind) = rule.evaluate(entry.rec.as_mut()) {
+                    entry.fired_rules |= bit;
+                    let event = Event {
+                        flow,
+                        shard: self.shard,
+                        rule: rule_idx,
+                        kind,
+                        ts,
+                    };
+                    // Never block the ingest path on the event queue:
+                    // `events` counts deliveries, `events_dropped` counts
+                    // firings lost to a full queue or a gone consumer.
+                    match self.events_tx.try_send(event) {
+                        Ok(()) => fired += 1,
+                        Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                            self.stats.events_dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        }
+        if fired > 0 {
+            self.stats.events.fetch_add(fired, Ordering::Relaxed);
+        }
+    }
+
+    fn publish_stats(&self, batch_digests: u64) {
+        let s = &self.stats;
+        s.ingested.fetch_add(batch_digests, Ordering::Relaxed);
+        s.batches.fetch_add(1, Ordering::Relaxed);
+        s.active_flows
+            .store(self.table.len() as u64, Ordering::Relaxed);
+        s.state_bytes
+            .store(self.table.total_bytes() as u64, Ordering::Relaxed);
+        s.evicted_lru
+            .store(self.table.stats.evicted_lru, Ordering::Relaxed);
+        s.evicted_ttl
+            .store(self.table.stats.evicted_ttl, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ShardSnapshot {
+        let flows = self
+            .table
+            .iter()
+            .map(|(&flow, entry)| {
+                let rec = entry.rec.as_ref();
+                let summary = FlowSummary {
+                    kind: rec.kind(),
+                    packets: rec.packets(),
+                    state_bytes: rec.state_bytes(),
+                    last_ts: entry.last_ts,
+                    hop_sketches: rec.hop_sketches(),
+                    path: rec.path_progress(),
+                    inconsistencies: rec.inconsistencies(),
+                };
+                (flow, summary)
+            })
+            .collect();
+        ShardSnapshot {
+            shard: self.shard,
+            flows,
+            table_stats: self.table.stats,
+            ingested: self.stats.ingested.load(Ordering::Relaxed),
+        }
+    }
+}

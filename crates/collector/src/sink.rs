@@ -1,0 +1,141 @@
+//! Glue between `pint-netsim`'s sink tap and the collector.
+//!
+//! The simulator invokes its digest sink for every data packet arriving
+//! at a destination host — the PINT sink of the paper's Fig. 3. This
+//! module wires that tap into a [`CollectorHandle`], and provides a
+//! reusable switch-side [`TelemetryHook`] that runs a latency-query
+//! Encoding Module so simulations produce decodable digests end-to-end.
+
+use crate::handle::CollectorHandle;
+use pint_core::dynamic::DynamicAggregator;
+use pint_core::value::Digest;
+use pint_netsim::{Packet, Simulator, SwitchView, TelemetryHook};
+
+/// Installs `handle` as `sim`'s digest sink: every digest extracted at a
+/// receiving host is batched and sharded into the collector. Remember to
+/// keep another handle (or the collector) around for queries.
+pub fn attach_collector(sim: &mut Simulator, handle: CollectorHandle) {
+    sim.set_digest_sink(handle.into_digest_sink());
+}
+
+/// A switch-side [`TelemetryHook`] running PINT's dynamic-aggregation
+/// Encoding Module on hop latency: each switch compresses its observed
+/// hop latency and conditionally overwrites digest lane 0 under the
+/// reservoir rule. The digest reaching the sink is exactly what a
+/// latency-query [`DynamicRecorder`](pint_core::dynamic::DynamicRecorder)
+/// decodes.
+#[derive(Debug, Clone)]
+pub struct LatencyTelemetry {
+    agg: DynamicAggregator,
+    /// Digest bytes on the wire (PINT's constant overhead).
+    digest_bytes: u32,
+}
+
+impl LatencyTelemetry {
+    /// Builds the hook from the query's aggregator; wire overhead is the
+    /// aggregator's bit budget rounded up to whole bytes.
+    pub fn new(agg: DynamicAggregator) -> Self {
+        let digest_bytes = agg.bits().div_ceil(8);
+        Self { agg, digest_bytes }
+    }
+
+    /// The aggregator (shared with recorders/decoders).
+    pub fn aggregator(&self) -> &DynamicAggregator {
+        &self.agg
+    }
+}
+
+impl TelemetryHook for LatencyTelemetry {
+    fn initial_bytes(&self) -> u32 {
+        self.digest_bytes
+    }
+
+    fn on_dequeue(&mut self, view: &SwitchView, pkt: &mut Packet) {
+        if pkt.digest.lanes() == 0 {
+            pkt.digest = Digest::new(1);
+        }
+        self.agg.encode_hop(
+            pkt.id,
+            view.hop,
+            view.hop_latency_ns.max(1) as f64,
+            &mut pkt.digest,
+            0,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Collector, CollectorConfig};
+    use pint_core::dynamic::DynamicRecorder;
+    use pint_core::FlowRecorder;
+    use pint_netsim::sim::SimConfig;
+    use pint_netsim::topology::Topology;
+    use pint_netsim::transport::reno::Reno;
+    use pint_netsim::NodeKind;
+    use std::sync::Arc;
+
+    #[test]
+    fn simulator_digests_flow_into_collector_end_to_end() {
+        // host0 — switch — host1; one 500 KB flow under PINT latency
+        // telemetry; the sink forwards digests into a 2-shard collector.
+        let mut topo = Topology::new("pair");
+        let h0 = topo.add_node(NodeKind::Host);
+        let s = topo.add_node(NodeKind::Switch);
+        let h1 = topo.add_node(NodeKind::Host);
+        topo.add_duplex(h0, s, 10_000_000_000, 1_000);
+        topo.add_duplex(s, h1, 10_000_000_000, 1_000);
+
+        let agg = DynamicAggregator::new(77, 8, 100.0, 1.0e9);
+        let rec_agg = agg.clone();
+        let collector = Collector::spawn(
+            CollectorConfig {
+                shards: 2,
+                batch_size: 32,
+                ..CollectorConfig::default()
+            },
+            Arc::new(move |_flow, report| {
+                Box::new(DynamicRecorder::new_exact(
+                    rec_agg.clone(),
+                    usize::from(report.path_len).max(1),
+                )) as Box<dyn FlowRecorder>
+            }),
+        );
+
+        let mut sim = Simulator::new(
+            topo,
+            SimConfig::default(),
+            Box::new(|meta| Box::new(Reno::new(meta))),
+            Box::new(LatencyTelemetry::new(agg)),
+        );
+        attach_collector(&mut sim, collector.handle());
+        let hosts = sim.topology().hosts();
+        sim.add_flow(hosts[0], hosts[1], 500_000, 0);
+        // `run` consumes the simulator; the sink closure (and its
+        // handle) is dropped on return, flushing the tail batch.
+        let report = sim.run();
+        assert_eq!(report.finished().count(), 1, "flow must complete");
+        let snap = collector.snapshot().expect("snapshot");
+        assert_eq!(snap.num_flows(), 1, "one flow tracked");
+        let (_, summary) = snap.flows().next().unwrap();
+        assert!(
+            summary.packets >= 500,
+            "digests recorded: {}",
+            summary.packets
+        );
+        // Hop 1 has latency samples; the merged quantile decodes sanely.
+        let q = snap.latency_quantile(1, 0.5, collector_agg());
+        assert!(q.is_some(), "median hop latency available");
+        assert!(q.unwrap() >= 1.0);
+        let stats = collector.shutdown();
+        assert!(stats.ingested >= 500);
+        assert_eq!(stats.active_flows, 1);
+    }
+
+    fn collector_agg() -> &'static DynamicAggregator {
+        use std::sync::OnceLock;
+        static AGG: OnceLock<DynamicAggregator> = OnceLock::new();
+        AGG.get_or_init(|| DynamicAggregator::new(77, 8, 100.0, 1.0e9))
+    }
+}

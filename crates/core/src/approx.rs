@@ -38,7 +38,12 @@ impl MultiplicativeCodec {
         assert!(v_min > 0.0 && v_max > v_min, "need 0 < v_min < v_max");
         let ln_base = 2.0 * (1.0 + eps).ln();
         let levels = ((v_max / v_min).ln() / ln_base).ceil() as u32 + 1;
-        Self { eps, ln_base, v_min, levels }
+        Self {
+            eps,
+            ln_base,
+            v_min,
+            levels,
+        }
     }
 
     /// The ε parameter.
@@ -149,7 +154,7 @@ mod tests {
             let d = c.decode(c.encode(v));
             let ratio = d / v;
             assert!(
-                ratio <= 1.0 + 0.026 && ratio >= 1.0 / 1.026,
+                (1.0 / 1.026..=1.026).contains(&ratio),
                 "v={v} decoded={d} ratio={ratio}"
             );
         }

@@ -102,16 +102,18 @@ impl HashedDecoder {
     /// prunes its neighbors' candidate sets), which is how an Inference
     /// Module with topology knowledge decodes chain-like ISP paths with
     /// far fewer packets.
-    pub fn set_adjacency(
-        &mut self,
-        neighbors: std::collections::HashMap<u64, Vec<u64>>,
-    ) {
+    pub fn set_adjacency(&mut self, neighbors: std::collections::HashMap<u64, Vec<u64>>) {
         self.adjacency = Some(neighbors);
     }
 
     /// Hops resolved so far.
     pub fn resolved(&self) -> usize {
         self.resolved_count
+    }
+
+    /// Path length (`k`) this decoder was built for.
+    pub fn path_len(&self) -> usize {
+        self.k
     }
 
     /// `true` once every hop has a unique value.
@@ -165,7 +167,11 @@ impl HashedDecoder {
 
     /// Absorbs one packet; returns `true` if the path is now fully decoded.
     pub fn absorb(&mut self, pid: u64, digest: &Digest) -> bool {
-        assert_eq!(digest.lanes(), self.families.len(), "lane/instance mismatch");
+        assert_eq!(
+            digest.lanes(),
+            self.families.len(),
+            "lane/instance mismatch"
+        );
         self.packets += 1;
         for t in 0..self.families.len() {
             let lane = digest.get(t);
@@ -350,13 +356,7 @@ mod tests {
         max_packets: u64,
     ) -> (u64, Vec<u64>) {
         let fams = families(instances, seed);
-        let mut dec = HashedDecoder::new(
-            scheme.clone(),
-            fams.clone(),
-            bits,
-            value_set,
-            path.len(),
-        );
+        let mut dec = HashedDecoder::new(scheme.clone(), fams.clone(), bits, value_set, path.len());
         let mut pid = seed.wrapping_mul(0x1234_5677).wrapping_add(1);
         loop {
             pid = pid.wrapping_add(1);
@@ -420,7 +420,10 @@ mod tests {
             tot1 += p1;
             tot2 += p2;
         }
-        assert!(tot2 < tot1, "2 instances ({tot2}) not faster than 1 ({tot1})");
+        assert!(
+            tot2 < tot1,
+            "2 instances ({tot2}) not faster than 1 ({tot1})"
+        );
     }
 
     #[test]
@@ -463,15 +466,7 @@ mod tests {
     fn pure_baseline_decodes() {
         let value_set: Vec<u64> = (0..256).collect();
         let path: Vec<u64> = vec![10, 20, 30, 40, 50, 60, 70, 80];
-        let (_, decoded) = decode_path(
-            SchemeConfig::baseline(),
-            8,
-            1,
-            &path,
-            value_set,
-            5,
-            50_000,
-        );
+        let (_, decoded) = decode_path(SchemeConfig::baseline(), 8, 1, &path, value_set, 5, 50_000);
         assert_eq!(decoded, path);
     }
 
@@ -508,8 +503,7 @@ mod tests {
         let fams = families(1, 9);
         let value_set: Vec<u64> = (0..1000).collect();
         let path = vec![17, 450, 999];
-        let mut dec =
-            HashedDecoder::new(scheme.clone(), fams.clone(), 4, value_set, 3);
+        let mut dec = HashedDecoder::new(scheme.clone(), fams.clone(), 4, value_set, 3);
         let mut shrunk = false;
         for pid in 0..200u64 {
             dec.absorb(pid, &encode(&scheme, &fams, 4, pid, &path));
@@ -533,8 +527,7 @@ mod tests {
         let fams = families(1, 2);
         let value_set: Vec<u64> = (0..200).collect();
         let path: Vec<u64> = (0..10).map(|i| i * 13 % 200).collect();
-        let mut dec =
-            HashedDecoder::new(scheme.clone(), fams.clone(), 8, value_set, 10);
+        let mut dec = HashedDecoder::new(scheme.clone(), fams.clone(), 8, value_set, 10);
         for pid in 0..100_000u64 {
             if dec.absorb(pid, &encode(&scheme, &fams, 8, pid, &path)) {
                 break;

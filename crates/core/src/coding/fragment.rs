@@ -48,7 +48,11 @@ impl FragmentCodec {
     /// Extracts fragment `f` (0-based, low to high) of `value`.
     pub fn extract(&self, value: u64, f: u32) -> u64 {
         debug_assert!(f < self.fragments());
-        let mask = if self.b == 64 { !0 } else { (1u64 << self.b) - 1 };
+        let mask = if self.b == 64 {
+            !0
+        } else {
+            (1u64 << self.b) - 1
+        };
         (value >> (f * self.b)) & mask
     }
 
@@ -243,8 +247,7 @@ mod tests {
     fn end_to_end_fragmented_decode() {
         let c = FragmentCodec::new(32, 8, 9);
         let path: Vec<u64> = vec![0xAABBCCDD, 0x11223344, 0x55667788];
-        let mut agg =
-            FragmentedAggregation::new(c, SchemeConfig::hybrid(12), 13, path.len());
+        let mut agg = FragmentedAggregation::new(c, SchemeConfig::hybrid(12), 13, path.len());
         let mut pid = 0u64;
         while !agg.simulate_packet(pid, &path) {
             pid += 1;

@@ -134,7 +134,9 @@ mod tests {
     #[test]
     fn coefficients_half_density() {
         let dec = LncDecoder::new(HashFamily::new(17, 0), 100);
-        let total: u32 = (0..2_000u64).map(|pid| dec.coefficients(pid).count_ones()).sum();
+        let total: u32 = (0..2_000u64)
+            .map(|pid| dec.coefficients(pid).count_ones())
+            .sum();
         let rate = total as f64 / (2_000.0 * 100.0);
         assert!((rate - 0.5).abs() < 0.02, "density {rate}");
     }
@@ -142,7 +144,10 @@ mod tests {
     #[test]
     fn k_equals_one() {
         // Needs on average 2 packets (each has the block with prob 1/2).
-        let mean: f64 = (0..200).map(|s| packets_to_decode(1, s + 1) as f64).sum::<f64>() / 200.0;
+        let mean: f64 = (0..200)
+            .map(|s| packets_to_decode(1, s + 1) as f64)
+            .sum::<f64>()
+            / 200.0;
         assert!((mean - 2.0).abs() < 0.5, "mean {mean}");
     }
 }

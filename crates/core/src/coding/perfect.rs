@@ -166,7 +166,10 @@ mod tests {
         // percentile of 68 for k = d = 25.
         let (_, med_h, p99_h) = stats(|| SchemeConfig::hybrid(25), 25, 400);
         let (_, med_b, p99_b) = stats(SchemeConfig::baseline, 25, 400);
-        assert!(med_h < med_b * 2 / 3, "hybrid median {med_h} vs baseline {med_b}");
+        assert!(
+            med_h < med_b * 2 / 3,
+            "hybrid median {med_h} vs baseline {med_b}"
+        );
         assert!(p99_h < p99_b / 2, "hybrid p99 {p99_h} vs baseline {p99_b}");
         assert!((30..=60).contains(&med_h), "hybrid median {med_h}");
         assert!((50..=100).contains(&p99_h), "hybrid p99 {p99_h}");

@@ -51,13 +51,19 @@ pub struct SchemeConfig {
 impl SchemeConfig {
     /// Pure Baseline scheme: every packet carries a uniformly sampled block.
     pub fn baseline() -> Self {
-        Self { tau: 1.0, xor_layers: Vec::new() }
+        Self {
+            tau: 1.0,
+            xor_layers: Vec::new(),
+        }
     }
 
     /// Pure XOR scheme with participation probability `p` (Fig. 5 uses
     /// `p = 1/d`).
     pub fn pure_xor(p: f64) -> Self {
-        Self { tau: 0.0, xor_layers: vec![p] }
+        Self {
+            tau: 0.0,
+            xor_layers: vec![p],
+        }
     }
 
     /// The interleaved ("Hybrid") scheme of §4.2: Baseline with
@@ -70,7 +76,10 @@ impl SchemeConfig {
         } else {
             d.ln().ln() / d.ln()
         };
-        Self { tau: 0.75, xor_layers: vec![p.min(1.0)] }
+        Self {
+            tau: 0.75,
+            xor_layers: vec![p.min(1.0)],
+        }
     }
 
     /// The multi-layer scheme of Algorithm 1 for typical path length `d`:
@@ -172,7 +181,9 @@ impl SchemeConfig {
             },
             Some(l) => {
                 let bits = crate::hash::acting_bitvec(fam, pid, k, self.xor_layers[l]);
-                let acting = (1..=k).filter(|&hop| bits & (1 << (hop - 1)) != 0).collect();
+                let acting = (1..=k)
+                    .filter(|&hop| bits & (1 << (hop - 1)) != 0)
+                    .collect();
                 PacketRole::Xor { acting }
             }
         }
@@ -277,8 +288,7 @@ mod tests {
                     // Writer is the last Overwrite action.
                     let last = actions
                         .iter()
-                        .filter(|&&(_, a)| a == HopAction::Overwrite)
-                        .next_back()
+                        .rfind(|&&(_, a)| a == HopAction::Overwrite)
                         .map(|&(h, _)| h);
                     assert_eq!(last, Some(writer));
                 }
@@ -324,7 +334,10 @@ mod tests {
     fn fast_classification_rate_within_sqrt2_of_p() {
         // §4.2 footnote 9: rounding p to a power of two costs at most √2.
         let p = 0.1; // rounds to 1/8
-        let s = SchemeConfig { tau: 0.0, xor_layers: vec![p] };
+        let s = SchemeConfig {
+            tau: 0.0,
+            xor_layers: vec![p],
+        };
         let f = fam();
         let k = 64;
         let mut acting = 0u64;

@@ -58,14 +58,7 @@ impl DynamicAggregator {
 
     /// Encoding Module at hop `hop` (1-based): overwrite the digest lane
     /// `lane` with the compressed value iff the reservoir test fires.
-    pub fn encode_hop(
-        &self,
-        pid: u64,
-        hop: usize,
-        value: f64,
-        digest: &mut Digest,
-        lane: usize,
-    ) {
+    pub fn encode_hop(&self, pid: u64, hop: usize, value: f64, digest: &mut Digest, lane: usize) {
         if self.family.reservoir_writes(pid, hop) {
             // Randomized rounding driven by a hash of (pid, hop) so the
             // expectation is unbiased but fully reproducible.
@@ -122,6 +115,49 @@ impl HopStore {
             HopStore::Sliding(s) => s.covered_items(),
         }
     }
+
+    fn stored(&self) -> usize {
+        match self {
+            HopStore::Exact(e) => e.count(),
+            HopStore::Sketch(s) => s.stored_items(),
+            HopStore::Sliding(s) => s.stored_items(),
+        }
+    }
+
+    /// The store's contents as a mergeable KLL sketch (code space).
+    ///
+    /// `Exact` stores replay their samples into a fresh sketch. `Sliding`
+    /// stores are approximated by a quantile grid over the window (the
+    /// window summary does not retain raw items); each grid point is
+    /// inserted with weight `covered/m`, so the store contributes its
+    /// true item count to cross-flow merges.
+    fn to_kll(&self) -> KllSketch {
+        match self {
+            HopStore::Exact(e) => {
+                let mut sk = KllSketch::with_seed(200, 0x51AB_0001);
+                for &v in e.values() {
+                    sk.update(v);
+                }
+                sk
+            }
+            HopStore::Sketch(s) => s.clone(),
+            HopStore::Sliding(s) => {
+                let mut sk = KllSketch::with_seed(200, 0x51AB_0002);
+                let covered = s.covered_items();
+                let m = (covered as usize).min(256);
+                for i in 0..m {
+                    let phi = (i as f64 + 0.5) / m as f64;
+                    if let Some(v) = s.quantile(phi) {
+                        // Spread the remainder over the first points so
+                        // total weight equals `covered` exactly.
+                        let w = covered / m as u64 + u64::from((i as u64) < covered % m as u64);
+                        sk.update_weighted(v, w);
+                    }
+                }
+                sk
+            }
+        }
+    }
 }
 
 /// Recording + Inference module for one flow: splits arriving digests by
@@ -137,8 +173,15 @@ pub struct DynamicRecorder {
 impl DynamicRecorder {
     /// Creates a recorder storing every sample per hop.
     pub fn new_exact(agg: DynamicAggregator, k: usize) -> Self {
-        let hops = (0..=k).map(|_| HopStore::Exact(ExactQuantiles::new())).collect();
-        Self { agg, k, hops, packets: 0 }
+        let hops = (0..=k)
+            .map(|_| HopStore::Exact(ExactQuantiles::new()))
+            .collect();
+        Self {
+            agg,
+            k,
+            hops,
+            packets: 0,
+        }
     }
 
     /// Creates a recorder with a per-hop KLL sketch of roughly
@@ -151,7 +194,12 @@ impl DynamicRecorder {
         let hops = (0..=k)
             .map(|_| HopStore::Sketch(KllSketch::with_item_budget(items.max(6))))
             .collect();
-        Self { agg, k, hops, packets: 0 }
+        Self {
+            agg,
+            k,
+            hops,
+            packets: 0,
+        }
     }
 
     /// Creates a recorder whose per-hop state covers only the most recent
@@ -160,7 +208,12 @@ impl DynamicRecorder {
         let hops = (0..=k)
             .map(|_| HopStore::Sliding(SlidingKll::new(window.max(16), 8, 64)))
             .collect();
-        Self { agg, k, hops, packets: 0 }
+        Self {
+            agg,
+            k,
+            hops,
+            packets: 0,
+        }
     }
 
     /// Absorbs an extracted digest lane for packet `pid`.
@@ -192,6 +245,22 @@ impl DynamicRecorder {
     pub fn path_len(&self) -> usize {
         self.k
     }
+
+    /// The aggregator (and therefore codec) this recorder decodes with.
+    pub fn aggregator(&self) -> &DynamicAggregator {
+        &self.agg
+    }
+
+    /// Total samples currently retained across all hop stores.
+    pub fn stored_items(&self) -> usize {
+        self.hops.iter().map(|h| h.stored()).sum()
+    }
+
+    /// Hop `hop`'s store as a mergeable *code-space* KLL sketch (decode
+    /// merged quantiles with [`DynamicAggregator::decode`]).
+    pub fn hop_sketch(&self, hop: usize) -> KllSketch {
+        self.hops[hop].to_kll()
+    }
 }
 
 /// Recording + Inference for the *frequent values* dynamic aggregation
@@ -217,7 +286,9 @@ impl FrequentValuesRecorder {
         Self {
             family: HashFamily::new(seed, 0),
             k,
-            hops: (0..=k).map(|_| pint_sketches::SpaceSaving::new(counters)).collect(),
+            hops: (0..=k)
+                .map(|_| pint_sketches::SpaceSaving::new(counters))
+                .collect(),
             packets: 0,
         }
     }
@@ -252,6 +323,21 @@ impl FrequentValuesRecorder {
     /// Samples recorded at `hop`.
     pub fn samples_at(&self, hop: usize) -> u64 {
         self.hops[hop].count()
+    }
+
+    /// Total packets recorded.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Path length this recorder was built for.
+    pub fn path_len(&self) -> usize {
+        self.k
+    }
+
+    /// Space-Saving counters currently allocated across all hops.
+    pub fn stored_counters(&self) -> usize {
+        self.hops.iter().map(|h| h.len()).sum()
     }
 }
 
@@ -435,7 +521,11 @@ mod tests {
         }
         let hh = rec.frequent(2, 0.4);
         assert_eq!(hh.first().map(|&(v, _)| v), Some(99), "hop 2's hot value");
-        assert!((hh[0].1 - 0.6).abs() < 0.08, "frequency estimate {}", hh[0].1);
+        assert!(
+            (hh[0].1 - 0.6).abs() < 0.08,
+            "frequency estimate {}",
+            hh[0].1
+        );
         // Other hops must not report 99 as frequent.
         for hop in [1usize, 3, 4] {
             assert!(

@@ -40,15 +40,20 @@ pub mod hash;
 pub mod loopdetect;
 pub mod perpacket;
 pub mod query;
+pub mod recorder;
+pub mod report;
 pub mod statictrace;
 pub mod value;
 
 pub use approx::{AdditiveCodec, MultiplicativeCodec};
 pub use coding::{BlockDecoder, FragmentCodec, HashedDecoder, LncDecoder, SchemeConfig};
+pub use dynamic::{DynamicAggregator, DynamicRecorder, FrequentValuesRecorder};
 pub use hash::{GlobalHash, HashFamily};
 pub use loopdetect::{LoopDetector, LoopState, LoopVerdict};
 pub use perpacket::{EventCounter, PerPacketAggregator, PerPacketOp};
 pub use query::{AggregationKind, ExecutionPlan, QueryEngine, QuerySpec};
+pub use recorder::{FlowRecorder, PathProgress, RecorderKind};
+pub use report::DigestReport;
 pub use statictrace::{PathDecoder, PathTracer, TracerConfig};
 pub use value::{Digest, MetadataKind, TelemetryValue};
 

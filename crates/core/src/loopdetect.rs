@@ -55,7 +55,7 @@ impl LoopDetector {
 
     /// Total per-packet overhead in bits (digest + counter).
     pub fn overhead_bits(&self) -> u32 {
-        self.bits + 8 - u8::from(self.threshold).leading_zeros().min(8)
+        self.bits + 8 - self.threshold.leading_zeros().min(8)
     }
 
     /// Processes packet `pid` at the `hop`-th switch (1-based) with ID
@@ -169,7 +169,9 @@ mod tests {
     fn loop_free_long_path_mostly_clean() {
         let det = LoopDetector::new(5, 14, 3);
         let path: Vec<u64> = (0..59).map(|i| 4000 + i).collect();
-        let fp = (0..100_000u64).filter(|&pid| walk(&det, pid, &path)).count();
+        let fp = (0..100_000u64)
+            .filter(|&pid| walk(&det, pid, &path))
+            .count();
         assert_eq!(fp, 0, "T=3,b=14 should be false-positive free");
     }
 

@@ -133,14 +133,7 @@ impl EventCounter {
 
     /// Switch side: if this hop's event fired, probabilistically bump the
     /// register in digest lane `lane`.
-    pub fn encode_hop(
-        &self,
-        pid: u64,
-        hop: usize,
-        event: bool,
-        digest: &mut Digest,
-        lane: usize,
-    ) {
+    pub fn encode_hop(&self, pid: u64, hop: usize, event: bool, digest: &mut Digest, lane: usize) {
         if !event {
             return;
         }
@@ -190,10 +183,7 @@ mod tests {
         let vals = [0.5, 0.25, 0.125, 1.0, 2.0];
         let truth: f64 = vals.iter().sum();
         let got = run(PerPacketOp::Sum, &vals, 3);
-        assert!(
-            (got / truth - 1.0).abs() < 0.2,
-            "sum {got} vs {truth}"
-        );
+        assert!((got / truth - 1.0).abs() < 0.2, "sum {got} vs {truth}");
     }
 
     #[test]

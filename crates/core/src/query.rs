@@ -119,7 +119,11 @@ pub enum PlanError {
 impl std::fmt::Display for PlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PlanError::QueryTooWide { query, bits, global } => write!(
+            PlanError::QueryTooWide {
+                query,
+                bits,
+                global,
+            } => write!(
                 f,
                 "query {query} needs {bits} bits, above the global budget {global}"
             ),
@@ -409,7 +413,10 @@ impl UseCase {
     pub fn aggregation(self) -> AggregationKind {
         use UseCase::*;
         match self {
-            CongestionControl | CongestionAnalysis | NetworkTomography | PowerManagement
+            CongestionControl
+            | CongestionAnalysis
+            | NetworkTomography
+            | PowerManagement
             | RealTimeAnomalyDetection => AggregationKind::PerPacket,
             PathTracing | RoutingMisconfiguration | PathConformance => {
                 AggregationKind::StaticPerFlow
@@ -426,8 +433,14 @@ mod tests {
     use super::*;
 
     fn q(id: u32, bits: u32, freq: f64) -> QuerySpec {
-        QuerySpec::new(id, &format!("q{id}"), MetadataKind::SwitchId, AggregationKind::StaticPerFlow, bits)
-            .with_frequency(freq)
+        QuerySpec::new(
+            id,
+            &format!("q{id}"),
+            MetadataKind::SwitchId,
+            AggregationKind::StaticPerFlow,
+            bits,
+        )
+        .with_frequency(freq)
     }
 
     #[test]
@@ -456,9 +469,9 @@ mod tests {
         // 16-bit global budget (§6.4).
         let engine = QueryEngine::new(3);
         let queries = [
-            q(1, 8, 1.0),          // path
-            q(2, 8, 15.0 / 16.0),  // latency
-            q(3, 8, 1.0 / 16.0),   // HPCC
+            q(1, 8, 1.0),         // path
+            q(2, 8, 15.0 / 16.0), // latency
+            q(3, 8, 1.0 / 16.0),  // HPCC
         ];
         let plan = engine.plan(&queries, 16).unwrap();
         assert!((plan.effective_frequency(1) - 1.0).abs() < 1e-9);

@@ -1,0 +1,48 @@
+//! The unit of data a PINT sink hands to a collector.
+//!
+//! In the paper's architecture (Fig. 3) the sink extracts the digest from
+//! each arriving packet and feeds it to the Recording Module in-process.
+//! At production scale recording runs in a separate, sharded collector
+//! (`pint-collector`), so the extraction result becomes an explicit,
+//! self-describing value: everything the Recording Module needs to
+//! reclassify the packet (the global hashes take the packet ID) and to
+//! attribute it to per-flow state.
+
+use crate::value::Digest;
+
+/// One extracted digest, as shipped from a sink to a collector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestReport {
+    /// Flow the packet belonged to (5-tuple hash or simulator flow ID).
+    pub flow: u64,
+    /// Packet identifier — the value every switch derived from headers
+    /// (IPID, TCP checksum+seq, …; §4.1). Drives hash reclassification.
+    pub pid: u64,
+    /// The digest extracted from the packet.
+    pub digest: Digest,
+    /// Switch hops the packet traversed (the sink knows this from TTL or
+    /// topology); recorders need `k` to recompute reservoir winners.
+    ///
+    /// Note: per-flow recorders fix `k` at construction (the paper's
+    /// model — one recorder per (flow, path)), so a collector sizes the
+    /// recorder from the flow's *first* report and later values are not
+    /// re-examined. A mid-flow path-length change surfaces as decoder
+    /// inconsistencies (§7) rather than a resize.
+    pub path_len: u16,
+    /// Sink timestamp (ns in simulation time or wall clock) — drives TTL
+    /// eviction and windowed event detection downstream.
+    pub ts: u64,
+}
+
+impl DigestReport {
+    /// Convenience constructor.
+    pub fn new(flow: u64, pid: u64, digest: Digest, path_len: u16, ts: u64) -> Self {
+        Self {
+            flow,
+            pid,
+            digest,
+            path_len,
+            ts,
+        }
+    }
+}

@@ -181,6 +181,16 @@ impl PathDecoder {
     pub fn inconsistencies(&self) -> u64 {
         self.inner.inconsistencies()
     }
+
+    /// Path length (`k`) this decoder was built for.
+    pub fn path_len(&self) -> usize {
+        self.inner.path_len()
+    }
+
+    /// Remaining candidate switch IDs for `hop` (1-based).
+    pub fn candidates_left(&self, hop: usize) -> usize {
+        self.inner.candidates_left(hop)
+    }
 }
 
 #[cfg(test)]
@@ -222,7 +232,12 @@ mod tests {
         let runs = 50;
         for r in 0..runs {
             let path = random_path(&mut rng, &universe, 5);
-            total += trace_run(TracerConfig::paper(8, 2, 5), &path, universe.clone(), r * 7919);
+            total += trace_run(
+                TracerConfig::paper(8, 2, 5),
+                &path,
+                universe.clone(),
+                r * 7919,
+            );
         }
         let avg = total as f64 / runs as f64;
         assert!(avg < 25.0, "avg packets {avg} too high for 2×(b=8), k=5");

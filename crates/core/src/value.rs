@@ -88,7 +88,9 @@ pub struct Digest {
 impl Digest {
     /// Creates an all-zero digest with `lanes` lanes.
     pub fn new(lanes: usize) -> Self {
-        Self { lanes: vec![0; lanes] }
+        Self {
+            lanes: vec![0; lanes],
+        }
     }
 
     /// Number of lanes.

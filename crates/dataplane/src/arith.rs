@@ -18,7 +18,9 @@ pub struct ApproxAlu {
 impl ApproxAlu {
     /// Builds the ALU with `q` mantissa bits (paper default 8).
     pub fn new(q: u32) -> Self {
-        Self { tables: LogExpTables::new(q, 20) }
+        Self {
+            tables: LogExpTables::new(q, 20),
+        }
     }
 
     /// Access to the underlying tables.

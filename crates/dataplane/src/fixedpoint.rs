@@ -53,13 +53,19 @@ impl Fx {
     /// Addition — natively supported by switch ALUs.
     pub fn add(self, other: Fx) -> Fx {
         assert_eq!(self.frac_bits, other.frac_bits, "mixed formats");
-        Fx { raw: self.raw + other.raw, frac_bits: self.frac_bits }
+        Fx {
+            raw: self.raw + other.raw,
+            frac_bits: self.frac_bits,
+        }
     }
 
     /// Subtraction — natively supported by switch ALUs.
     pub fn sub(self, other: Fx) -> Fx {
         assert_eq!(self.frac_bits, other.frac_bits, "mixed formats");
-        Fx { raw: self.raw - other.raw, frac_bits: self.frac_bits }
+        Fx {
+            raw: self.raw - other.raw,
+            frac_bits: self.frac_bits,
+        }
     }
 
     /// Shift left/right (multiply/divide by a power of two) — natively
@@ -70,7 +76,10 @@ impl Fx {
         } else {
             self.raw >> (-bits)
         };
-        Fx { raw, frac_bits: self.frac_bits }
+        Fx {
+            raw,
+            frac_bits: self.frac_bits,
+        }
     }
 
     /// Converts to a different fraction-bit format.

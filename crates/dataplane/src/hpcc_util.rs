@@ -99,7 +99,8 @@ impl SwitchUtilization {
     /// `log₂` of a positive integer with stochastic mantissa rounding.
     fn slog(&mut self, x: u64) -> Fx {
         let d = self.next_dither();
-        self.tables.log2_fx_stochastic(Fx::from_raw(x.max(1) as i64, 0), d)
+        self.tables
+            .log2_fx_stochastic(Fx::from_raw(x.max(1) as i64, 0), d)
     }
 
     /// Updates `U` at a dequeue happening at time `now_ns` using only
@@ -155,9 +156,7 @@ impl SwitchUtilization {
     ) -> f64 {
         let t = t_ns as f64;
         let tau = tau_ns as f64;
-        (t - tau) / t * u
-            + (qlen_bytes as f64) * tau / (b * t * t)
-            + pkt_bytes as f64 / (b * t)
+        (t - tau) / t * u + (qlen_bytes as f64) * tau / (b * t * t) + pkt_bytes as f64 / (b * t)
     }
 
     /// The configured base RTT in nanoseconds.

@@ -40,7 +40,12 @@ impl LogExpTables {
         let exp_table = (0..size)
             .map(|f| Fx::from_f64((f as f64 / size as f64).exp2(), frac_bits))
             .collect();
-        Self { q, log_table, exp_table, frac_bits }
+        Self {
+            q,
+            log_table,
+            exp_table,
+            frac_bits,
+        }
     }
 
     /// Mantissa bits `q`.
@@ -134,7 +139,7 @@ impl LogExpTables {
         let raw = x.raw();
         let mut n = raw >> fb; // floor division: works for negatives too
         let frac = raw - (n << fb); // in [0, 2^fb)
-        // Reduce the fraction to q bits of index, round to nearest.
+                                    // Reduce the fraction to q bits of index, round to nearest.
         let mut idx = if fb >= self.q {
             let drop = fb - self.q;
             if drop == 0 {
@@ -225,10 +230,7 @@ mod tests {
         for x in [300u64, 1_000, 65_535, 1 << 20, (1 << 40) + 12345] {
             let got = t.log2_int(x).to_f64();
             let want = (x as f64).log2();
-            assert!(
-                (got - want).abs() < 0.006,
-                "x={x}: {got} vs {want}"
-            );
+            assert!((got - want).abs() < 0.006, "x={x}: {got} vs {want}");
         }
     }
 
@@ -247,10 +249,7 @@ mod tests {
             e_coarse += (coarse.log2_int(x).to_f64() - want).abs();
             e_fine += (fine.log2_int(x).to_f64() - want).abs();
         }
-        assert!(
-            e_fine < e_coarse / 10.0,
-            "fine {e_fine} coarse {e_coarse}"
-        );
+        assert!(e_fine < e_coarse / 10.0, "fine {e_fine} coarse {e_coarse}");
     }
 
     #[test]

@@ -100,11 +100,18 @@ impl std::fmt::Display for PipelineError {
             PipelineError::TooManyStages { used, budget } => {
                 write!(f, "{used} stages exceed budget of {budget}")
             }
-            PipelineError::StageTooWide { stage, used, budget } => {
+            PipelineError::StageTooWide {
+                stage,
+                used,
+                budget,
+            } => {
                 write!(f, "stage {stage} hosts {used} ops, budget {budget}")
             }
             PipelineError::DataHazard { stage, op, field } => {
-                write!(f, "op '{op}' in stage {stage} reads '{field}' before it is produced")
+                write!(
+                    f,
+                    "op '{op}' in stage {stage} reads '{field}' before it is produced"
+                )
             }
         }
     }
@@ -138,7 +145,10 @@ impl Pipeline {
 
     /// Appends a stage.
     pub fn stage(mut self, name: &str, ops: Vec<Op>) -> Self {
-        self.stages.push(Stage { name: name.to_owned(), ops });
+        self.stages.push(Stage {
+            name: name.to_owned(),
+            ops,
+        });
         self
     }
 
@@ -201,52 +211,114 @@ pub mod layouts {
     /// in parallel within the same stages.
     pub fn path_tracing() -> Pipeline {
         Pipeline::tofino(&["pkt.id", "pkt.ttl", "sw.id", "pkt.digest"])
-            .stage("choose layer", vec![Op::new("H(pid)", OpKind::Hash, &["pkt.id"], &["meta.layer"])])
-            .stage("compute g", vec![
-                Op::new("g1(pid,hop)", OpKind::Hash, &["pkt.id", "pkt.ttl"], &["meta.g1"]),
-                Op::new("g2(pid,hop)", OpKind::Hash, &["pkt.id", "pkt.ttl"], &["meta.g2"]),
-            ])
-            .stage("hash switch id", vec![
-                Op::new("h1(sw,pid)", OpKind::Hash, &["sw.id", "pkt.id"], &["meta.h1"]),
-                Op::new("h2(sw,pid)", OpKind::Hash, &["sw.id", "pkt.id"], &["meta.h2"]),
-            ])
-            .stage("write digest", vec![Op::new(
-                "conditional write/xor",
-                OpKind::HeaderWrite,
-                &["meta.layer", "meta.g1", "meta.g2", "meta.h1", "meta.h2", "pkt.digest"],
-                &["pkt.digest"],
-            )])
+            .stage(
+                "choose layer",
+                vec![Op::new(
+                    "H(pid)",
+                    OpKind::Hash,
+                    &["pkt.id"],
+                    &["meta.layer"],
+                )],
+            )
+            .stage(
+                "compute g",
+                vec![
+                    Op::new(
+                        "g1(pid,hop)",
+                        OpKind::Hash,
+                        &["pkt.id", "pkt.ttl"],
+                        &["meta.g1"],
+                    ),
+                    Op::new(
+                        "g2(pid,hop)",
+                        OpKind::Hash,
+                        &["pkt.id", "pkt.ttl"],
+                        &["meta.g2"],
+                    ),
+                ],
+            )
+            .stage(
+                "hash switch id",
+                vec![
+                    Op::new(
+                        "h1(sw,pid)",
+                        OpKind::Hash,
+                        &["sw.id", "pkt.id"],
+                        &["meta.h1"],
+                    ),
+                    Op::new(
+                        "h2(sw,pid)",
+                        OpKind::Hash,
+                        &["sw.id", "pkt.id"],
+                        &["meta.h2"],
+                    ),
+                ],
+            )
+            .stage(
+                "write digest",
+                vec![Op::new(
+                    "conditional write/xor",
+                    OpKind::HeaderWrite,
+                    &[
+                        "meta.layer",
+                        "meta.g1",
+                        "meta.g2",
+                        "meta.h1",
+                        "meta.h2",
+                        "pkt.digest",
+                    ],
+                    &["pkt.digest"],
+                )],
+            )
     }
 
     /// Median/tail latency (dynamic per-flow): "four pipeline stages: one
     /// for computing the latency, one for compressing it, one to compute
     /// `g`, and one to overwrite the value if needed" (§5).
     pub fn latency_quantiles() -> Pipeline {
-        Pipeline::tofino(&["pkt.id", "pkt.ttl", "sw.ingress_ts", "sw.egress_ts", "pkt.digest"])
-            .stage("compute latency", vec![Op::new(
+        Pipeline::tofino(&[
+            "pkt.id",
+            "pkt.ttl",
+            "sw.ingress_ts",
+            "sw.egress_ts",
+            "pkt.digest",
+        ])
+        .stage(
+            "compute latency",
+            vec![Op::new(
                 "egress-ingress",
                 OpKind::Alu,
                 &["sw.ingress_ts", "sw.egress_ts"],
                 &["meta.latency"],
-            )])
-            .stage("compress value", vec![Op::new(
+            )],
+        )
+        .stage(
+            "compress value",
+            vec![Op::new(
                 "log-encode",
                 OpKind::TableLookup,
                 &["meta.latency"],
                 &["meta.compressed"],
-            )])
-            .stage("compute g", vec![Op::new(
+            )],
+        )
+        .stage(
+            "compute g",
+            vec![Op::new(
                 "g(pid,hop)",
                 OpKind::Hash,
                 &["pkt.id", "pkt.ttl"],
                 &["meta.g"],
-            )])
-            .stage("write digest", vec![Op::new(
+            )],
+        )
+        .stage(
+            "write digest",
+            vec![Op::new(
                 "conditional overwrite",
                 OpKind::HeaderWrite,
                 &["meta.g", "meta.compressed", "pkt.digest"],
                 &["pkt.digest"],
-            )])
+            )],
+        )
     }
 
     /// HPCC congestion control (per-packet): "six pipeline stages to
@@ -255,40 +327,103 @@ pub mod layouts {
     pub fn hpcc() -> Pipeline {
         Pipeline::tofino(&["pkt.id", "pkt.bytes", "port.qlen", "pkt.digest", "reg.U"])
             // Six stages of "HPCC arithmetics" (Appendix B, via log/exp).
-            .stage("msb/log inputs", vec![
-                Op::new("log qlen", OpKind::TableLookup, &["port.qlen"], &["meta.log_qlen"]),
-                Op::new("log byte", OpKind::TableLookup, &["pkt.bytes"], &["meta.log_byte"]),
-            ])
-            .stage("log tau", vec![Op::new(
-                "log τ = log byte − log B",
-                OpKind::Alu,
-                &["meta.log_byte"],
-                &["meta.log_tau"],
-            )])
-            .stage("read U", vec![Op::new("read reg.U", OpKind::Register, &["reg.U"], &["meta.U"])])
-            .stage("log U", vec![Op::new("log U", OpKind::TableLookup, &["meta.U"], &["meta.log_U"])])
-            .stage("terms", vec![
-                Op::new("U_term", OpKind::Alu, &["meta.log_U", "meta.log_tau"], &["meta.u_term"]),
-                Op::new("qlen_term", OpKind::Alu, &["meta.log_qlen", "meta.log_tau"], &["meta.qlen_term"]),
-                Op::new("byte_term", OpKind::Alu, &["meta.log_byte"], &["meta.byte_term"]),
-            ])
-            .stage("exp + sum", vec![Op::new(
-                "2^terms sum",
-                OpKind::TableLookup,
-                &["meta.u_term", "meta.qlen_term", "meta.byte_term"],
-                &["meta.U_new"],
-            )])
-            .stage("approximate value + writeback", vec![
-                Op::new("multiplicative encode", OpKind::TableLookup,
-                    &["meta.U_new", "pkt.id"], &["meta.code"]),
-                Op::new("write reg.U", OpKind::Register, &["meta.U_new"], &["reg.U"]),
-            ])
-            .stage("write digest", vec![Op::new(
-                "max into digest",
-                OpKind::HeaderWrite,
-                &["meta.code", "pkt.digest"],
-                &["pkt.digest"],
-            )])
+            .stage(
+                "msb/log inputs",
+                vec![
+                    Op::new(
+                        "log qlen",
+                        OpKind::TableLookup,
+                        &["port.qlen"],
+                        &["meta.log_qlen"],
+                    ),
+                    Op::new(
+                        "log byte",
+                        OpKind::TableLookup,
+                        &["pkt.bytes"],
+                        &["meta.log_byte"],
+                    ),
+                ],
+            )
+            .stage(
+                "log tau",
+                vec![Op::new(
+                    "log τ = log byte − log B",
+                    OpKind::Alu,
+                    &["meta.log_byte"],
+                    &["meta.log_tau"],
+                )],
+            )
+            .stage(
+                "read U",
+                vec![Op::new(
+                    "read reg.U",
+                    OpKind::Register,
+                    &["reg.U"],
+                    &["meta.U"],
+                )],
+            )
+            .stage(
+                "log U",
+                vec![Op::new(
+                    "log U",
+                    OpKind::TableLookup,
+                    &["meta.U"],
+                    &["meta.log_U"],
+                )],
+            )
+            .stage(
+                "terms",
+                vec![
+                    Op::new(
+                        "U_term",
+                        OpKind::Alu,
+                        &["meta.log_U", "meta.log_tau"],
+                        &["meta.u_term"],
+                    ),
+                    Op::new(
+                        "qlen_term",
+                        OpKind::Alu,
+                        &["meta.log_qlen", "meta.log_tau"],
+                        &["meta.qlen_term"],
+                    ),
+                    Op::new(
+                        "byte_term",
+                        OpKind::Alu,
+                        &["meta.log_byte"],
+                        &["meta.byte_term"],
+                    ),
+                ],
+            )
+            .stage(
+                "exp + sum",
+                vec![Op::new(
+                    "2^terms sum",
+                    OpKind::TableLookup,
+                    &["meta.u_term", "meta.qlen_term", "meta.byte_term"],
+                    &["meta.U_new"],
+                )],
+            )
+            .stage(
+                "approximate value + writeback",
+                vec![
+                    Op::new(
+                        "multiplicative encode",
+                        OpKind::TableLookup,
+                        &["meta.U_new", "pkt.id"],
+                        &["meta.code"],
+                    ),
+                    Op::new("write reg.U", OpKind::Register, &["meta.U_new"], &["reg.U"]),
+                ],
+            )
+            .stage(
+                "write digest",
+                vec![Op::new(
+                    "max into digest",
+                    OpKind::HeaderWrite,
+                    &["meta.code", "pkt.digest"],
+                    &["pkt.digest"],
+                )],
+            )
     }
 
     /// The combined layout of Fig. 6: all three queries run concurrently;
@@ -296,57 +431,174 @@ pub mod layouts {
     /// total stage count equals HPCC alone (8 stages).
     pub fn combined() -> Pipeline {
         Pipeline::tofino(&[
-            "pkt.id", "pkt.ttl", "pkt.bytes", "sw.id", "sw.ingress_ts", "sw.egress_ts",
-            "port.qlen", "pkt.digest", "reg.U",
+            "pkt.id",
+            "pkt.ttl",
+            "pkt.bytes",
+            "sw.id",
+            "sw.ingress_ts",
+            "sw.egress_ts",
+            "port.qlen",
+            "pkt.digest",
+            "reg.U",
         ])
         // Stage 1: HPCC log lookups ∥ latency computation ∥ g for tracing.
-        .stage("s1", vec![
-            Op::new("log qlen", OpKind::TableLookup, &["port.qlen"], &["meta.log_qlen"]),
-            Op::new("log byte", OpKind::TableLookup, &["pkt.bytes"], &["meta.log_byte"]),
-            Op::new("compute latency", OpKind::Alu, &["sw.ingress_ts", "sw.egress_ts"], &["meta.latency"]),
-            Op::new("choose layer", OpKind::Hash, &["pkt.id"], &["meta.layer"]),
-        ])
+        .stage(
+            "s1",
+            vec![
+                Op::new(
+                    "log qlen",
+                    OpKind::TableLookup,
+                    &["port.qlen"],
+                    &["meta.log_qlen"],
+                ),
+                Op::new(
+                    "log byte",
+                    OpKind::TableLookup,
+                    &["pkt.bytes"],
+                    &["meta.log_byte"],
+                ),
+                Op::new(
+                    "compute latency",
+                    OpKind::Alu,
+                    &["sw.ingress_ts", "sw.egress_ts"],
+                    &["meta.latency"],
+                ),
+                Op::new("choose layer", OpKind::Hash, &["pkt.id"], &["meta.layer"]),
+            ],
+        )
         // Stage 2: HPCC ∥ compress latency ∥ g hashes.
-        .stage("s2", vec![
-            Op::new("log tau", OpKind::Alu, &["meta.log_byte"], &["meta.log_tau"]),
-            Op::new("compress latency", OpKind::TableLookup, &["meta.latency"], &["meta.lat_code"]),
-            Op::new("g1", OpKind::Hash, &["pkt.id", "pkt.ttl"], &["meta.g1"]),
-            Op::new("g2", OpKind::Hash, &["pkt.id", "pkt.ttl"], &["meta.g2"]),
-        ])
+        .stage(
+            "s2",
+            vec![
+                Op::new(
+                    "log tau",
+                    OpKind::Alu,
+                    &["meta.log_byte"],
+                    &["meta.log_tau"],
+                ),
+                Op::new(
+                    "compress latency",
+                    OpKind::TableLookup,
+                    &["meta.latency"],
+                    &["meta.lat_code"],
+                ),
+                Op::new("g1", OpKind::Hash, &["pkt.id", "pkt.ttl"], &["meta.g1"]),
+                Op::new("g2", OpKind::Hash, &["pkt.id", "pkt.ttl"], &["meta.g2"]),
+            ],
+        )
         // Stage 3: HPCC register ∥ switch-ID hashes ∥ query-subset choice.
-        .stage("s3", vec![
-            Op::new("read U", OpKind::Register, &["reg.U"], &["meta.U"]),
-            Op::new("h1(sw,pid)", OpKind::Hash, &["sw.id", "pkt.id"], &["meta.h1"]),
-            Op::new("h2(sw,pid)", OpKind::Hash, &["sw.id", "pkt.id"], &["meta.h2"]),
-            Op::new("choose query subset", OpKind::Hash, &["pkt.id"], &["meta.queries"]),
-        ])
-        .stage("s4", vec![
-            Op::new("log U", OpKind::TableLookup, &["meta.U"], &["meta.log_U"]),
-            Op::new("g latency", OpKind::Hash, &["pkt.id", "pkt.ttl"], &["meta.g_lat"]),
-        ])
-        .stage("s5", vec![
-            Op::new("U_term", OpKind::Alu, &["meta.log_U", "meta.log_tau"], &["meta.u_term"]),
-            Op::new("qlen_term", OpKind::Alu, &["meta.log_qlen", "meta.log_tau"], &["meta.qlen_term"]),
-            Op::new("byte_term", OpKind::Alu, &["meta.log_byte"], &["meta.byte_term"]),
-        ])
-        .stage("s6", vec![
-            Op::new("2^terms sum", OpKind::TableLookup,
-                &["meta.u_term", "meta.qlen_term", "meta.byte_term"], &["meta.U_new"]),
-        ])
-        .stage("s7", vec![
-            Op::new("encode U", OpKind::TableLookup, &["meta.U_new", "pkt.id"], &["meta.u_code"]),
-            Op::new("write reg.U", OpKind::Register, &["meta.U_new"], &["reg.U"]),
-        ])
+        .stage(
+            "s3",
+            vec![
+                Op::new("read U", OpKind::Register, &["reg.U"], &["meta.U"]),
+                Op::new(
+                    "h1(sw,pid)",
+                    OpKind::Hash,
+                    &["sw.id", "pkt.id"],
+                    &["meta.h1"],
+                ),
+                Op::new(
+                    "h2(sw,pid)",
+                    OpKind::Hash,
+                    &["sw.id", "pkt.id"],
+                    &["meta.h2"],
+                ),
+                Op::new(
+                    "choose query subset",
+                    OpKind::Hash,
+                    &["pkt.id"],
+                    &["meta.queries"],
+                ),
+            ],
+        )
+        .stage(
+            "s4",
+            vec![
+                Op::new("log U", OpKind::TableLookup, &["meta.U"], &["meta.log_U"]),
+                Op::new(
+                    "g latency",
+                    OpKind::Hash,
+                    &["pkt.id", "pkt.ttl"],
+                    &["meta.g_lat"],
+                ),
+            ],
+        )
+        .stage(
+            "s5",
+            vec![
+                Op::new(
+                    "U_term",
+                    OpKind::Alu,
+                    &["meta.log_U", "meta.log_tau"],
+                    &["meta.u_term"],
+                ),
+                Op::new(
+                    "qlen_term",
+                    OpKind::Alu,
+                    &["meta.log_qlen", "meta.log_tau"],
+                    &["meta.qlen_term"],
+                ),
+                Op::new(
+                    "byte_term",
+                    OpKind::Alu,
+                    &["meta.log_byte"],
+                    &["meta.byte_term"],
+                ),
+            ],
+        )
+        .stage(
+            "s6",
+            vec![Op::new(
+                "2^terms sum",
+                OpKind::TableLookup,
+                &["meta.u_term", "meta.qlen_term", "meta.byte_term"],
+                &["meta.U_new"],
+            )],
+        )
+        .stage(
+            "s7",
+            vec![
+                Op::new(
+                    "encode U",
+                    OpKind::TableLookup,
+                    &["meta.U_new", "pkt.id"],
+                    &["meta.u_code"],
+                ),
+                Op::new("write reg.U", OpKind::Register, &["meta.U_new"], &["reg.U"]),
+            ],
+        )
         // Stage 8: write all selected query digests.
-        .stage("s8", vec![
-            Op::new("write path digest", OpKind::HeaderWrite,
-                &["meta.queries", "meta.layer", "meta.g1", "meta.g2", "meta.h1", "meta.h2", "pkt.digest"],
-                &["pkt.digest"]),
-            Op::new("write latency digest", OpKind::HeaderWrite,
-                &["meta.queries", "meta.g_lat", "meta.lat_code", "pkt.digest"], &["pkt.digest"]),
-            Op::new("write hpcc digest", OpKind::HeaderWrite,
-                &["meta.queries", "meta.u_code", "pkt.digest"], &["pkt.digest"]),
-        ])
+        .stage(
+            "s8",
+            vec![
+                Op::new(
+                    "write path digest",
+                    OpKind::HeaderWrite,
+                    &[
+                        "meta.queries",
+                        "meta.layer",
+                        "meta.g1",
+                        "meta.g2",
+                        "meta.h1",
+                        "meta.h2",
+                        "pkt.digest",
+                    ],
+                    &["pkt.digest"],
+                ),
+                Op::new(
+                    "write latency digest",
+                    OpKind::HeaderWrite,
+                    &["meta.queries", "meta.g_lat", "meta.lat_code", "pkt.digest"],
+                    &["pkt.digest"],
+                ),
+                Op::new(
+                    "write hpcc digest",
+                    OpKind::HeaderWrite,
+                    &["meta.queries", "meta.u_code", "pkt.digest"],
+                    &["pkt.digest"],
+                ),
+            ],
+        )
     }
 }
 
@@ -389,11 +641,17 @@ mod tests {
     fn stage_budget_enforced() {
         let p = Pipeline::tofino(&["x"]);
         let p = (0..13).fold(p, |p, i| {
-            p.stage(&format!("s{i}"), vec![Op::new("nop", OpKind::Alu, &["x"], &[])])
+            p.stage(
+                &format!("s{i}"),
+                vec![Op::new("nop", OpKind::Alu, &["x"], &[])],
+            )
         });
         assert!(matches!(
             p.validate(),
-            Err(PipelineError::TooManyStages { used: 13, budget: 12 })
+            Err(PipelineError::TooManyStages {
+                used: 13,
+                budget: 12
+            })
         ));
     }
 
@@ -405,18 +663,28 @@ mod tests {
         let p = Pipeline::tofino(&["x"]).stage("wide", ops);
         assert!(matches!(
             p.validate(),
-            Err(PipelineError::StageTooWide { used: 5, budget: 4, .. })
+            Err(PipelineError::StageTooWide {
+                used: 5,
+                budget: 4,
+                ..
+            })
         ));
     }
 
     #[test]
     fn data_hazard_detected() {
         // Reading a value in the same stage it is produced is illegal.
-        let p = Pipeline::tofino(&["x"]).stage("bad", vec![
-            Op::new("produce", OpKind::Alu, &["x"], &["y"]),
-            Op::new("consume", OpKind::Alu, &["y"], &["z"]),
-        ]);
-        assert!(matches!(p.validate(), Err(PipelineError::DataHazard { .. })));
+        let p = Pipeline::tofino(&["x"]).stage(
+            "bad",
+            vec![
+                Op::new("produce", OpKind::Alu, &["x"], &["y"]),
+                Op::new("consume", OpKind::Alu, &["y"], &["z"]),
+            ],
+        );
+        assert!(matches!(
+            p.validate(),
+            Err(PipelineError::DataHazard { .. })
+        ));
         // Split across two stages it becomes legal.
         let p = Pipeline::tofino(&["x"])
             .stage("a", vec![Op::new("produce", OpKind::Alu, &["x"], &["y"])])

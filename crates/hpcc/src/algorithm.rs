@@ -28,7 +28,12 @@ pub struct HpccConfig {
 
 impl Default for HpccConfig {
     fn default() -> Self {
-        Self { eta: 0.95, wai_bytes: 80.0, max_stage: 0, base_rtt_ns: 13_000 }
+        Self {
+            eta: 0.95,
+            wai_bytes: 80.0,
+            max_stage: 0,
+            base_rtt_ns: 13_000,
+        }
     }
 }
 
@@ -97,13 +102,7 @@ impl HpccState {
     /// Processes per-link INT feedback: computes `max_i u_i`, folds it
     /// into the host EWMA, and updates the window. `ack_seq` and
     /// `snd_nxt` implement the once-per-RTT `W_c` refresh.
-    pub fn on_int_ack(
-        &mut self,
-        now: Nanos,
-        ack_seq: u64,
-        snd_nxt: u64,
-        stack: &[IntRecord],
-    ) {
+    pub fn on_int_ack(&mut self, now: Nanos, ack_seq: u64, snd_nxt: u64, stack: &[IntRecord]) {
         let t = self.cfg.base_rtt_ns as f64;
         let mut u = 0.0f64;
         for rec in stack {
@@ -119,7 +118,11 @@ impl HpccState {
             }
             self.links.insert(
                 rec.link,
-                LinkSnapshot { ts: rec.ts, tx_bytes: rec.tx_bytes, qlen_bytes: rec.qlen_bytes },
+                LinkSnapshot {
+                    ts: rec.ts,
+                    tx_bytes: rec.tx_bytes,
+                    qlen_bytes: rec.qlen_bytes,
+                },
             );
         }
         if u > 0.0 {
@@ -177,7 +180,14 @@ mod tests {
     use super::*;
 
     fn rec(link: usize, ts: Nanos, tx: u64, qlen: u64, bps: u64) -> IntRecord {
-        IntRecord { switch: 0, link, ts, qlen_bytes: qlen, tx_bytes: tx, bandwidth_bps: bps }
+        IntRecord {
+            switch: 0,
+            link,
+            ts,
+            qlen_bytes: qlen,
+            tx_bytes: tx,
+            bandwidth_bps: bps,
+        }
     }
 
     /// Feed a steady utilization and check the fixed point W* ≈ η·BDP.
@@ -225,7 +235,12 @@ mod tests {
             seq += 1000;
             st.on_pint_ack(i * 1000, seq, seq + 1000, 0.05);
         }
-        assert!(st.window() > low * 3, "did not recover: {} → {}", low, st.window());
+        assert!(
+            st.window() > low * 3,
+            "did not recover: {} → {}",
+            low,
+            st.window()
+        );
         assert!(st.window() <= bdp, "window above line-rate BDP");
     }
 
@@ -235,10 +250,24 @@ mod tests {
         // 100 Gbps link = 12.5 B/ns; send 12500 bytes over 1000 ns = rate 1.0.
         st.on_int_ack(0, 0, 100_000, &[rec(7, 0, 0, 0, 100_000_000_000)]);
         let w0 = st.window();
-        st.on_int_ack(1_000, 1_000, 100_000, &[rec(7, 1_000, 12_500, 0, 100_000_000_000)]);
+        st.on_int_ack(
+            1_000,
+            1_000,
+            100_000,
+            &[rec(7, 1_000, 12_500, 0, 100_000_000_000)],
+        );
         // Utilization ≈ 1.0 ≥ η ⇒ window shrinks below max.
-        assert!(st.window() < w0, "W should shrink at U≈1: {} → {}", w0, st.window());
-        assert!((st.utilization() - 1.0).abs() < 0.05, "U {}", st.utilization());
+        assert!(
+            st.window() < w0,
+            "W should shrink at U≈1: {} → {}",
+            w0,
+            st.window()
+        );
+        assert!(
+            (st.utilization() - 1.0).abs() < 0.05,
+            "U {}",
+            st.utilization()
+        );
     }
 
     #[test]
@@ -248,7 +277,11 @@ mod tests {
         st.on_int_ack(0, 0, 100_000, &[rec(1, 0, 0, 162_500, b)]);
         st.on_int_ack(1_000, 1_000, 100_000, &[rec(1, 1_000, 0, 162_500, b)]);
         // qlen/(B·T) = 162500/(12.5·13000) = 1.0; no tx → u = 1.0.
-        assert!((st.utilization() - 1.0).abs() < 0.1, "U {}", st.utilization());
+        assert!(
+            (st.utilization() - 1.0).abs() < 0.1,
+            "U {}",
+            st.utilization()
+        );
     }
 
     #[test]
@@ -275,7 +308,10 @@ mod tests {
         st.on_pint_ack(200, 3_000, 200_000, 1.9);
         let w3 = st.window();
         assert_eq!(w2, w3, "same U + frozen Wc must give the same W");
-        assert!(w2 < w1, "one extra shrink right after the refresh is expected");
+        assert!(
+            w2 < w1,
+            "one extra shrink right after the refresh is expected"
+        );
         // And the sequence cannot spiral: many more same-RTT ACKs hold W.
         for i in 0..50 {
             st.on_pint_ack(300 + i, 4_000 + i, 200_000, 1.9);

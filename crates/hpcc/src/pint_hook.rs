@@ -13,10 +13,10 @@
 use pint_core::hash::GlobalHash;
 use pint_core::perpacket::{PerPacketAggregator, PerPacketOp};
 use pint_core::value::Digest;
+use pint_dataplane::SwitchUtilization;
 use pint_netsim::packet::Packet;
 use pint_netsim::telemetry::{SwitchView, TelemetryHook};
 use pint_netsim::Nanos;
-use pint_dataplane::SwitchUtilization;
 use std::collections::HashMap;
 
 /// PINT telemetry hook implementing the HPCC use case.
@@ -120,7 +120,8 @@ impl TelemetryHook for HpccPintHook {
             if pkt.digest.lanes() < self.lanes {
                 pkt.digest = Digest::new(self.lanes);
             }
-            self.agg.encode_hop(pkt.id, view.hop, u, &mut pkt.digest, self.lane);
+            self.agg
+                .encode_hop(pkt.id, view.hop, u, &mut pkt.digest, self.lane);
         }
     }
 }

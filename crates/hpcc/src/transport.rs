@@ -104,13 +104,20 @@ impl HpccTransport {
             return; // window-limited; resumes on the next ACK
         }
         let bytes = self.mss().min(self.meta.size_bytes - self.snd_nxt).max(1) as u32;
-        out.push(Action::Send { seq: self.snd_nxt, bytes, retx: false });
+        out.push(Action::Send {
+            seq: self.snd_nxt,
+            bytes,
+            retx: false,
+        });
         self.snd_nxt += u64::from(bytes);
         // Inter-packet gap: bytes / (W/T).
         let w = self.state.window().max(1);
         let delay = (u128::from(bytes) * u128::from(self.base_rtt_ns) / u128::from(w)) as Nanos;
         self.pacer_armed = true;
-        out.push(Action::SetTimer { delay, token: PACE_TOKEN });
+        out.push(Action::SetTimer {
+            delay,
+            token: PACE_TOKEN,
+        });
     }
 
     fn arm_rto(&mut self, out: &mut Vec<Action>) {
@@ -132,15 +139,21 @@ impl Transport for HpccTransport {
         // 1. Congestion feedback.
         match &self.mode {
             FeedbackMode::Int => {
-                self.state.on_int_ack(ack.now, ack.ack_seq, self.snd_nxt, &ack.echo.int_stack);
+                self.state
+                    .on_int_ack(ack.now, ack.ack_seq, self.snd_nxt, &ack.echo.int_stack);
             }
-            FeedbackMode::Pint { lane, decoder, plan } => {
-                let gated_out = plan.as_ref().is_some_and(|(plan, qid)| {
-                    !plan.select(ack.echo.data_pkt_id).contains(qid)
-                });
+            FeedbackMode::Pint {
+                lane,
+                decoder,
+                plan,
+            } => {
+                let gated_out = plan
+                    .as_ref()
+                    .is_some_and(|(plan, qid)| !plan.select(ack.echo.data_pkt_id).contains(qid));
                 if !gated_out {
                     let u = decoder.decode(&ack.echo.digest, *lane);
-                    self.state.on_pint_ack(ack.now, ack.ack_seq, self.snd_nxt, u);
+                    self.state
+                        .on_pint_ack(ack.now, ack.ack_seq, self.snd_nxt, u);
                 }
             }
         }
@@ -205,18 +218,28 @@ mod tests {
 
     fn int_factory(base_rtt: Nanos) -> TransportFactory {
         Box::new(move |meta| {
-            let cfg = HpccConfig { base_rtt_ns: base_rtt, ..HpccConfig::default() };
+            let cfg = HpccConfig {
+                base_rtt_ns: base_rtt,
+                ..HpccConfig::default()
+            };
             Box::new(HpccTransport::new(meta, cfg, FeedbackMode::Int))
         })
     }
 
     fn pint_factory(base_rtt: Nanos, hook: Arc<HpccPintHook>) -> TransportFactory {
         Box::new(move |meta| {
-            let cfg = HpccConfig { base_rtt_ns: base_rtt, ..HpccConfig::default() };
+            let cfg = HpccConfig {
+                base_rtt_ns: base_rtt,
+                ..HpccConfig::default()
+            };
             Box::new(HpccTransport::new(
                 meta,
                 cfg,
-                FeedbackMode::Pint { lane: 0, decoder: hook.clone(), plan: None },
+                FeedbackMode::Pint {
+                    lane: 0,
+                    decoder: hook.clone(),
+                    plan: None,
+                },
             ))
         })
     }
@@ -249,7 +272,10 @@ mod tests {
         let topo = pair(10_000_000_000);
         let mut sim = Simulator::new(
             topo,
-            SimConfig { end_time_ns: 100_000_000, ..SimConfig::default() },
+            SimConfig {
+                end_time_ns: 100_000_000,
+                ..SimConfig::default()
+            },
             int_factory(13_000),
             Box::new(IntTelemetry::hpcc()),
         );
@@ -267,7 +293,10 @@ mod tests {
         let hook = Arc::new(HpccPintHook::new(5, 1.0, 13_000, 1, 0, 1));
         let mut sim = Simulator::new(
             topo,
-            SimConfig { end_time_ns: 100_000_000, ..SimConfig::default() },
+            SimConfig {
+                end_time_ns: 100_000_000,
+                ..SimConfig::default()
+            },
             pint_factory(13_000, hook.clone()),
             Box::new(HpccPintHook::new(5, 1.0, 13_000, 1, 0, 1)),
         );
@@ -285,7 +314,10 @@ mod tests {
         let topo = star3(10_000_000_000);
         let mut sim = Simulator::new(
             topo,
-            SimConfig { end_time_ns: 200_000_000, ..SimConfig::default() },
+            SimConfig {
+                end_time_ns: 200_000_000,
+                ..SimConfig::default()
+            },
             int_factory(13_000),
             Box::new(IntTelemetry::hpcc()),
         );
@@ -328,7 +360,10 @@ mod tests {
             };
             let mut sim = Simulator::new(
                 star3(10_000_000_000),
-                SimConfig { end_time_ns: 100_000_000, ..SimConfig::default() },
+                SimConfig {
+                    end_time_ns: 100_000_000,
+                    ..SimConfig::default()
+                },
                 factory,
                 telem,
             );
@@ -363,7 +398,10 @@ mod tests {
             };
             let mut sim = Simulator::new(
                 topo,
-                SimConfig { end_time_ns: 300_000_000, ..SimConfig::default() },
+                SimConfig {
+                    end_time_ns: 300_000_000,
+                    ..SimConfig::default()
+                },
                 factory,
                 telem,
             );

@@ -34,12 +34,14 @@ impl FlowRecord {
 
     /// FCT normalized by the unloaded FCT (≥ 1 in a fair simulator).
     pub fn slowdown(&self) -> Option<f64> {
-        self.fct_ns().map(|f| f as f64 / self.ideal_fct_ns.max(1) as f64)
+        self.fct_ns()
+            .map(|f| f as f64 / self.ideal_fct_ns.max(1) as f64)
     }
 
     /// Application-level throughput, bits/s.
     pub fn goodput_bps(&self) -> Option<f64> {
-        self.fct_ns().map(|f| self.size as f64 * 8.0 / (f as f64 / 1e9))
+        self.fct_ns()
+            .map(|f| self.size as f64 * 8.0 / (f as f64 / 1e9))
     }
 }
 
@@ -73,7 +75,10 @@ impl Report {
 
     /// Mean FCT over finished flows, ns.
     pub fn mean_fct_ns(&self) -> Option<f64> {
-        let v: Vec<f64> = self.finished().filter_map(|f| f.fct_ns().map(|x| x as f64)).collect();
+        let v: Vec<f64> = self
+            .finished()
+            .filter_map(|f| f.fct_ns().map(|x| x as f64))
+            .collect();
         if v.is_empty() {
             None
         } else {

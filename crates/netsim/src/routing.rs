@@ -24,9 +24,17 @@ impl Routing {
         let n = topo.num_nodes();
         let mut dist = Vec::with_capacity(n);
         for src in 0..n {
-            dist.push(topo.bfs(src).into_iter().map(|d| d.min(u32::MAX as usize) as u32).collect());
+            dist.push(
+                topo.bfs(src)
+                    .into_iter()
+                    .map(|d| d.min(u32::MAX as usize) as u32)
+                    .collect(),
+            );
         }
-        Self { dist, hash: GlobalHash::new(seed ^ 0xEC4B_0000) }
+        Self {
+            dist,
+            hash: GlobalHash::new(seed ^ 0xEC4B_0000),
+        }
     }
 
     /// Hop distance from `a` to `b`.
@@ -36,7 +44,13 @@ impl Routing {
 
     /// The egress link index at `node` toward `dst` for `flow`
     /// (ECMP among shortest-path next hops, stable per flow).
-    pub fn next_link(&self, topo: &Topology, node: NodeId, dst: NodeId, flow: u64) -> Option<usize> {
+    pub fn next_link(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        dst: NodeId,
+        flow: u64,
+    ) -> Option<usize> {
         if node == dst {
             return None;
         }
@@ -117,8 +131,9 @@ mod tests {
         let t = Topology::paper_clos(100_000_000_000, 400_000_000_000);
         let r = Routing::new(&t, 3);
         let hosts = t.hosts();
-        let paths: std::collections::HashSet<Vec<usize>> =
-            (0..64).map(|f| r.flow_path(&t, hosts[0], hosts[300], f)).collect();
+        let paths: std::collections::HashSet<Vec<usize>> = (0..64)
+            .map(|f| r.flow_path(&t, hosts[0], hosts[300], f))
+            .collect();
         assert!(paths.len() > 8, "ECMP not spreading: {} paths", paths.len());
     }
 

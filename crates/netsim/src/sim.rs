@@ -22,6 +22,14 @@ use crate::transport::{Action, FlowMeta, TransportFactory};
 use crate::workload::WorkloadConfig;
 use crate::{FlowId, Nanos};
 use pint_core::value::Digest;
+use pint_core::DigestReport;
+
+/// Sink-side digest tap: invoked once per data packet arriving at its
+/// destination host, with everything a Recording Module needs. This is
+/// the seam between the simulator and an external collector
+/// (`pint-collector`): the hook typically forwards into a collector
+/// handle, which batches and shards the stream across worker threads.
+pub type DigestSink = Box<dyn FnMut(DigestReport)>;
 
 /// Engine parameters.
 #[derive(Debug, Clone)]
@@ -73,10 +81,23 @@ struct Port {
 }
 
 enum EvKind {
-    Deliver { link: usize, pkt: Packet },
-    PortFree { link: usize },
-    Timer { flow: FlowId, token: u64 },
-    FlowStart { flow: FlowId, src: NodeId, dst: NodeId, size: u64 },
+    Deliver {
+        link: usize,
+        pkt: Packet,
+    },
+    PortFree {
+        link: usize,
+    },
+    Timer {
+        flow: FlowId,
+        token: u64,
+    },
+    FlowStart {
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        size: u64,
+    },
 }
 
 struct Ev {
@@ -131,6 +152,7 @@ pub struct Simulator {
     next_flow_id: u64,
     report: Report,
     fault_rng: SmallRng,
+    digest_sink: Option<DigestSink>,
 }
 
 impl Simulator {
@@ -160,7 +182,14 @@ impl Simulator {
             next_flow_id: 1,
             report: Report::default(),
             fault_rng,
+            digest_sink: None,
         }
+    }
+
+    /// Installs a sink-side digest tap (see [`DigestSink`]). Replaces any
+    /// previously installed sink.
+    pub fn set_digest_sink(&mut self, sink: DigestSink) {
+        self.digest_sink = Some(sink);
     }
 
     /// The topology.
@@ -175,7 +204,11 @@ impl Simulator {
 
     fn push(&mut self, at: Nanos, kind: EvKind) {
         self.ev_seq += 1;
-        self.heap.push(Reverse(Ev { at, seq: self.ev_seq, kind }));
+        self.heap.push(Reverse(Ev {
+            at,
+            seq: self.ev_seq,
+            kind,
+        }));
     }
 
     /// Schedules one flow; returns its ID.
@@ -185,7 +218,15 @@ impl Simulator {
         assert_eq!(self.topo.kind(dst), NodeKind::Host);
         let flow = self.next_flow_id;
         self.next_flow_id += 1;
-        self.push(start, EvKind::FlowStart { flow, src, dst, size });
+        self.push(
+            start,
+            EvKind::FlowStart {
+                flow,
+                src,
+                dst,
+                size,
+            },
+        );
         flow
     }
 
@@ -222,9 +263,10 @@ impl Simulator {
     fn ideal_fct(&self, src: NodeId, dst: NodeId, flow: FlowId, size: u64) -> Nanos {
         let path = self.routing.flow_path(&self.topo, src, dst, flow);
         let hops = path.len().saturating_sub(1);
-        let telem = u32::from(self.telemetry.initial_bytes());
-        let full_wire =
-            u64::from(self.config.header_bytes) + u64::from(self.config.mss.min(size as u32)) + u64::from(telem);
+        let telem = self.telemetry.initial_bytes();
+        let full_wire = u64::from(self.config.header_bytes)
+            + u64::from(self.config.mss.min(size as u32))
+            + u64::from(telem);
         let mut first = 0u128;
         let mut min_bw = u64::MAX;
         for w in path.windows(2) {
@@ -245,17 +287,19 @@ impl Simulator {
         // header/telemetry overhead — the last segment may be partial, so
         // bill exact bytes rather than full MTUs.
         let rest_payload = size.saturating_sub(u64::from(self.config.mss));
-        let rest_overhead = pkts.saturating_sub(1)
-            * (u64::from(self.config.header_bytes) + u64::from(telem));
-        let rest = (rest_payload + rest_overhead) as u128 * 8_000_000_000
-            / min_bw.max(1) as u128;
+        let rest_overhead =
+            pkts.saturating_sub(1) * (u64::from(self.config.header_bytes) + u64::from(telem));
+        let rest = (rest_payload + rest_overhead) as u128 * 8_000_000_000 / min_bw.max(1) as u128;
         let _ = hops;
         (first + rest) as Nanos
     }
 
     fn start_flow(&mut self, flow: FlowId, src: NodeId, dst: NodeId, size: u64) {
         let path = self.routing.flow_path(&self.topo, src, dst, flow);
-        let hops = path.iter().filter(|&&n| self.topo.kind(n) == NodeKind::Switch).count();
+        let hops = path
+            .iter()
+            .filter(|&&n| self.topo.kind(n) == NodeKind::Switch)
+            .count();
         let nic = self.topo.link(self.topo.out_links(src)[0]).bandwidth_bps;
         // Base RTT: full-MTU data forward + ACK back, unloaded.
         let mut rtt = 0u128;
@@ -409,7 +453,10 @@ impl Simulator {
         self.report.wire_bytes += wire;
         let tx_ns = (wire as u128 * 8_000_000_000 / l.bandwidth_bps as u128).max(1) as Nanos;
         self.push(self.now + tx_ns, EvKind::PortFree { link });
-        self.push(self.now + tx_ns + l.prop_delay_ns, EvKind::Deliver { link, pkt });
+        self.push(
+            self.now + tx_ns + l.prop_delay_ns,
+            EvKind::Deliver { link, pkt },
+        );
     }
 
     fn deliver(&mut self, link: usize, mut pkt: Packet) {
@@ -417,8 +464,7 @@ impl Simulator {
         pkt.last_rx_at = self.now;
         match self.topo.kind(node) {
             NodeKind::Switch => {
-                let Some(next) = self.routing.next_link(&self.topo, node, pkt.dst, pkt.flow)
-                else {
+                let Some(next) = self.routing.next_link(&self.topo, node, pkt.dst, pkt.flow) else {
                     self.report.drops += 1;
                     return;
                 };
@@ -461,6 +507,20 @@ impl Simulator {
             f.done_receiving = true;
             self.report.flows[f.record].finish = Some(self.now);
         }
+        // The PINT sink extracts the digest before echoing it back.
+        // Retransmitted packets are included: each carries a fresh packet
+        // ID (assigned per transmission, like IPID/checksum in §4.1), so
+        // its digest is an independent observation of a real traversal,
+        // not a duplicate sample.
+        if let Some(sink) = self.digest_sink.as_mut() {
+            sink(DigestReport::new(
+                pkt.flow,
+                pkt.id,
+                pkt.digest.clone(),
+                u16::from(pkt.hop),
+                self.now,
+            ));
+        }
         // Cumulative ACK with telemetry echo.
         let echo = Echo {
             data_sent_at: pkt.sent_at,
@@ -470,7 +530,11 @@ impl Simulator {
             data_pkt_id: pkt.id,
             hops: pkt.hop,
         };
-        let echo_bytes = if self.config.echo_bytes_on_acks { pkt.telemetry_bytes } else { 0 };
+        let echo_bytes = if self.config.echo_bytes_on_acks {
+            pkt.telemetry_bytes
+        } else {
+            0
+        };
         let ack = Packet {
             id: self.next_pkt_id,
             flow: pkt.flow,
@@ -503,8 +567,17 @@ impl Simulator {
             return;
         }
         let echo = pkt.echo.as_deref().expect("acks carry echo");
-        let rtt = if echo.retransmitted { None } else { Some(self.now - echo.data_sent_at) };
-        let view = AckView { now: self.now, ack_seq: pkt.seq, rtt_ns: rtt, echo };
+        let rtt = if echo.retransmitted {
+            None
+        } else {
+            Some(self.now - echo.data_sent_at)
+        };
+        let view = AckView {
+            now: self.now,
+            ack_seq: pkt.seq,
+            rtt_ns: rtt,
+            echo,
+        };
         let mut actions = Vec::new();
         f.transport.on_ack(&view, &mut actions);
         self.apply_actions(flow_id, actions);
@@ -518,7 +591,12 @@ impl Simulator {
             }
             self.now = ev.at;
             match ev.kind {
-                EvKind::FlowStart { flow, src, dst, size } => {
+                EvKind::FlowStart {
+                    flow,
+                    src,
+                    dst,
+                    size,
+                } => {
                     self.start_flow(flow, src, dst, size);
                 }
                 EvKind::Deliver { link, pkt } => self.deliver(link, pkt),
@@ -591,7 +669,10 @@ mod tests {
     fn two_flows_share_bottleneck_fairly() {
         let mut sim = Simulator::new(
             two_hosts(),
-            SimConfig { end_time_ns: 50_000_000, ..SimConfig::default() },
+            SimConfig {
+                end_time_ns: 50_000_000,
+                ..SimConfig::default()
+            },
             reno_factory(),
             Box::new(NoTelemetry),
         );
@@ -633,7 +714,10 @@ mod tests {
         let run_with = |telem: Box<dyn TelemetryHook>| -> f64 {
             let mut sim = Simulator::new(
                 Topology::overhead_study(),
-                SimConfig { end_time_ns: 30_000_000, ..SimConfig::default() },
+                SimConfig {
+                    end_time_ns: 30_000_000,
+                    ..SimConfig::default()
+                },
                 reno_factory(),
                 telem,
             );
@@ -685,7 +769,10 @@ mod tests {
         let run_once = || -> (u64, Option<f64>) {
             let mut sim = Simulator::new(
                 Topology::overhead_study(),
-                SimConfig { end_time_ns: 10_000_000, ..SimConfig::default() },
+                SimConfig {
+                    end_time_ns: 10_000_000,
+                    ..SimConfig::default()
+                },
                 reno_factory(),
                 Box::new(NoTelemetry),
             );
@@ -706,7 +793,10 @@ mod tests {
     fn workload_generates_poisson_flows() {
         let mut sim = Simulator::new(
             Topology::overhead_study(),
-            SimConfig { end_time_ns: 1, ..SimConfig::default() }, // don't simulate
+            SimConfig {
+                end_time_ns: 1,
+                ..SimConfig::default()
+            }, // don't simulate
             reno_factory(),
             Box::new(NoTelemetry),
         );

@@ -83,12 +83,18 @@ impl IntTelemetry {
     /// HPCC-style customized INT: no instruction header (the instructions
     /// never change), 8 bytes per hop.
     pub fn hpcc() -> Self {
-        Self { header_bytes: 0, per_hop_bytes: 8 }
+        Self {
+            header_bytes: 0,
+            per_hop_bytes: 8,
+        }
     }
 
     /// Standard INT with `values` 4-byte metadata values per hop (§2).
     pub fn standard(values: u32) -> Self {
-        Self { header_bytes: 8, per_hop_bytes: 4 * values }
+        Self {
+            header_bytes: 8,
+            per_hop_bytes: 4 * values,
+        }
     }
 }
 

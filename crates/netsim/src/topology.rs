@@ -56,7 +56,12 @@ pub struct Topology {
 impl Topology {
     /// Creates an empty topology.
     pub fn new(name: &str) -> Self {
-        Self { kinds: Vec::new(), links: Vec::new(), out: Vec::new(), name: name.to_owned() }
+        Self {
+            kinds: Vec::new(),
+            links: Vec::new(),
+            out: Vec::new(),
+            name: name.to_owned(),
+        }
     }
 
     /// The topology's name.
@@ -75,7 +80,12 @@ impl Topology {
     pub fn add_duplex(&mut self, a: NodeId, b: NodeId, bandwidth_bps: u64, prop_delay_ns: u64) {
         for (from, to) in [(a, b), (b, a)] {
             let idx = self.links.len();
-            self.links.push(Link { from, to, bandwidth_bps, prop_delay_ns });
+            self.links.push(Link {
+                from,
+                to,
+                bandwidth_bps,
+                prop_delay_ns,
+            });
             self.out[from].push(idx);
         }
     }
@@ -112,12 +122,16 @@ impl Topology {
 
     /// IDs of all hosts.
     pub fn hosts(&self) -> Vec<NodeId> {
-        (0..self.num_nodes()).filter(|&n| self.kinds[n] == NodeKind::Host).collect()
+        (0..self.num_nodes())
+            .filter(|&n| self.kinds[n] == NodeKind::Host)
+            .collect()
     }
 
     /// IDs of all switches.
     pub fn switches(&self) -> Vec<NodeId> {
-        (0..self.num_nodes()).filter(|&n| self.kinds[n] == NodeKind::Switch).collect()
+        (0..self.num_nodes())
+            .filter(|&n| self.kinds[n] == NodeKind::Switch)
+            .collect()
     }
 
     /// BFS hop distances from `src` (usize::MAX = unreachable).
@@ -173,8 +187,9 @@ impl Topology {
         let mut t = Self::new("three-tier");
         let core: Vec<NodeId> = (0..cores).map(|_| t.add_node(NodeKind::Switch)).collect();
         for _ in 0..pods {
-            let aggs: Vec<NodeId> =
-                (0..agg_per_pod).map(|_| t.add_node(NodeKind::Switch)).collect();
+            let aggs: Vec<NodeId> = (0..agg_per_pod)
+                .map(|_| t.add_node(NodeKind::Switch))
+                .collect();
             for (i, &a) in aggs.iter().enumerate() {
                 // Each agg connects to a disjoint slice of the cores.
                 let per = cores / agg_per_pod;
@@ -244,11 +259,12 @@ impl Topology {
     /// `K/2` edge switches, `(K/2)²` hosts per pod (§6.3 uses K = 8, whose
     /// switch diameter is 5 — "D = 5" in Fig. 10).
     pub fn fat_tree(k: usize, link_bps: u64, prop_ns: u64) -> Self {
-        assert!(k >= 2 && k % 2 == 0, "K must be even");
+        assert!(k >= 2 && k.is_multiple_of(2), "K must be even");
         let half = k / 2;
         let mut t = Self::new("fat-tree");
-        let cores: Vec<NodeId> =
-            (0..half * half).map(|_| t.add_node(NodeKind::Switch)).collect();
+        let cores: Vec<NodeId> = (0..half * half)
+            .map(|_| t.add_node(NodeKind::Switch))
+            .collect();
         for _pod in 0..k {
             let aggs: Vec<NodeId> = (0..half).map(|_| t.add_node(NodeKind::Switch)).collect();
             for (i, &a) in aggs.iter().enumerate() {
@@ -282,8 +298,9 @@ impl Topology {
         assert!(nodes > diameter, "need more nodes than the backbone");
         let mut t = Self::new("isp");
         let mut rng = SmallRng::seed_from_u64(seed);
-        let backbone: Vec<NodeId> =
-            (0..=diameter).map(|_| t.add_node(NodeKind::Switch)).collect();
+        let backbone: Vec<NodeId> = (0..=diameter)
+            .map(|_| t.add_node(NodeKind::Switch))
+            .collect();
         for w in backbone.windows(2) {
             t.add_duplex(w[0], w[1], link_bps, 100_000);
         }
@@ -405,7 +422,9 @@ mod tests {
     fn paths_of_every_length_exist_in_isp() {
         let t = Topology::isp_chain(157, 36, 10_000_000_000, 3);
         for len in [2usize, 6, 12, 24, 36] {
-            let p = t.find_path_of_length(len, 42).unwrap_or_else(|| panic!("no {len}-path"));
+            let p = t
+                .find_path_of_length(len, 42)
+                .unwrap_or_else(|| panic!("no {len}-path"));
             assert_eq!(p.len(), len);
             // consecutive nodes adjacent
             for w in p.windows(2) {

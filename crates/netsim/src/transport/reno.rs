@@ -85,13 +85,17 @@ impl Reno {
     /// Transmit as much new data as the window allows.
     fn pump(&mut self, out: &mut Vec<Action>) {
         let limit = self.snd_una + self.cwnd as u64;
-        while self.snd_nxt < self.meta.size_bytes && self.snd_nxt + 1 <= limit {
+        while self.snd_nxt < self.meta.size_bytes && self.snd_nxt < limit {
             let bytes = self
                 .mss()
                 .min(self.meta.size_bytes - self.snd_nxt)
                 .min(limit.saturating_sub(self.snd_nxt))
                 .max(1) as u32;
-            out.push(Action::Send { seq: self.snd_nxt, bytes, retx: false });
+            out.push(Action::Send {
+                seq: self.snd_nxt,
+                bytes,
+                retx: false,
+            });
             self.snd_nxt += u64::from(bytes);
         }
     }
@@ -198,7 +202,12 @@ mod tests {
 
     fn drive_ack(t: &mut Reno, seq: u64, rtt: Option<u64>) -> Vec<Action> {
         let echo = Echo::default();
-        let view = AckView { now: 0, ack_seq: seq, rtt_ns: rtt, echo: &echo };
+        let view = AckView {
+            now: 0,
+            ack_seq: seq,
+            rtt_ns: rtt,
+            echo: &echo,
+        };
         let mut out = Vec::new();
         t.on_ack(&view, &mut out);
         out
@@ -303,7 +312,11 @@ mod tests {
         t.start(0, &mut out);
         all.extend(sends(&out));
         for i in 1..=4 {
-            all.extend(sends(&drive_ack(&mut t, (i * 1000).min(3333), Some(50_000))));
+            all.extend(sends(&drive_ack(
+                &mut t,
+                (i * 1000).min(3333),
+                Some(50_000),
+            )));
         }
         let max_end = all.iter().map(|&(s, b, _)| s + u64::from(b)).max().unwrap();
         assert!(max_end <= 3_333, "sent past end: {max_end}");

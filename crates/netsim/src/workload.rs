@@ -32,8 +32,15 @@ impl FlowSizeCdf {
             assert!(w[0].1 <= w[1].1, "probabilities must not decrease");
         }
         assert_eq!(points[0].1, 0.0, "first point must have CDF 0");
-        assert_eq!(points[points.len() - 1].1, 1.0, "last point must have CDF 1");
-        Self { points: points.to_vec(), name: name.to_owned() }
+        assert_eq!(
+            points[points.len() - 1].1,
+            1.0,
+            "last point must have CDF 1"
+        );
+        Self {
+            points: points.to_vec(),
+            name: name.to_owned(),
+        }
     }
 
     /// The web-search workload \[3\]; deciles from the Fig. 7b tick marks
@@ -80,10 +87,7 @@ impl FlowSizeCdf {
 
     /// A fixed-size degenerate distribution (tests, microbenchmarks).
     pub fn fixed(bytes: u64) -> Self {
-        Self::new(
-            "fixed",
-            &[(bytes as f64 - 0.5, 0.0), (bytes as f64, 1.0)],
-        )
+        Self::new("fixed", &[(bytes as f64 - 0.5, 0.0), (bytes as f64, 1.0)])
     }
 
     /// Workload name.
@@ -121,7 +125,10 @@ impl FlowSizeCdf {
     /// Mean flow size (numerically integrated).
     pub fn mean_bytes(&self) -> f64 {
         let n = 100_000;
-        (0..n).map(|i| self.quantile((i as f64 + 0.5) / n as f64) as f64).sum::<f64>() / n as f64
+        (0..n)
+            .map(|i| self.quantile((i as f64 + 0.5) / n as f64) as f64)
+            .sum::<f64>()
+            / n as f64
     }
 
     /// Deciles (P10..P90 plus max) — the Fig. 7 tick marks.
@@ -162,7 +169,10 @@ mod tests {
     #[test]
     fn web_search_deciles_match_fig7b_ticks() {
         let cdf = FlowSizeCdf::web_search();
-        let expect = [7_000, 20_000, 30_000, 50_000, 73_000, 197_000, 989_000, 2_000_000, 5_000_000, 30_000_000];
+        let expect = [
+            7_000, 20_000, 30_000, 50_000, 73_000, 197_000, 989_000, 2_000_000, 5_000_000,
+            30_000_000,
+        ];
         for (d, e) in cdf.deciles().iter().zip(expect) {
             assert!(
                 (*d as f64 / e as f64 - 1.0).abs() < 0.01,
@@ -174,7 +184,9 @@ mod tests {
     #[test]
     fn hadoop_deciles_match_fig7c_ticks() {
         let cdf = FlowSizeCdf::hadoop();
-        let expect = [324, 399, 500, 599, 699, 999, 7_000, 46_000, 120_000, 10_000_000];
+        let expect = [
+            324, 399, 500, 599, 699, 999, 7_000, 46_000, 120_000, 10_000_000,
+        ];
         for (d, e) in cdf.deciles().iter().zip(expect) {
             assert!(
                 (*d as f64 / e as f64 - 1.0).abs() < 0.01,

@@ -94,7 +94,9 @@ impl KllSketch {
 
     fn grow(&mut self) {
         self.compactors.push(Vec::new());
-        self.max_size = (0..self.compactors.len()).map(|h| self.capacity_of(h)).sum();
+        self.max_size = (0..self.compactors.len())
+            .map(|h| self.capacity_of(h))
+            .sum();
     }
 
     /// Inserts a value into the sketch.
@@ -107,6 +109,41 @@ impl KllSketch {
         }
     }
 
+    /// Inserts a value with multiplicity `weight`, in O(log weight):
+    /// `weight` is decomposed into powers of two and one copy of `v` is
+    /// placed in the compactor of each matching level (level `h` items
+    /// carry weight `2^h`). Equivalent in expectation to calling
+    /// [`update`](Self::update) `weight` times.
+    pub fn update_weighted(&mut self, v: u64, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        let mut remaining = weight;
+        while remaining > 0 {
+            let h = 63 - remaining.leading_zeros() as usize;
+            while self.compactors.len() <= h {
+                self.grow();
+            }
+            self.compactors[h].push(v);
+            self.size += 1;
+            remaining -= 1u64 << h;
+        }
+        self.n += weight;
+        self.compress_to_fit();
+    }
+
+    /// Compacts until the tower fits its capacity (or compaction stops
+    /// making progress).
+    fn compress_to_fit(&mut self) {
+        while self.size >= self.max_size {
+            let before = self.size;
+            self.compress();
+            if self.size == before {
+                break;
+            }
+        }
+    }
+
     fn compress(&mut self) {
         for h in 0..self.compactors.len() {
             if self.compactors[h].len() >= self.capacity_of(h) {
@@ -116,12 +153,7 @@ impl KllSketch {
                 let mut items = std::mem::take(&mut self.compactors[h]);
                 items.sort_unstable();
                 let offset = usize::from(self.rng.gen_bool(0.5));
-                let promoted: Vec<u64> = items
-                    .iter()
-                    .copied()
-                    .skip(offset)
-                    .step_by(2)
-                    .collect();
+                let promoted: Vec<u64> = items.iter().copied().skip(offset).step_by(2).collect();
                 self.size -= items.len();
                 self.size += promoted.len();
                 self.compactors[h + 1].extend_from_slice(&promoted);
@@ -204,13 +236,7 @@ impl KllSketch {
             self.size += c.len();
         }
         self.n += other.n;
-        while self.size >= self.max_size {
-            let before = self.size;
-            self.compress();
-            if self.size == before {
-                break;
-            }
-        }
+        self.compress_to_fit();
     }
 }
 
@@ -335,6 +361,43 @@ mod tests {
         assert!(small.stored_items() <= 150);
         assert!(big.stored_items() <= 450);
         assert!(small.stored_items() < big.stored_items());
+    }
+
+    #[test]
+    fn weighted_update_matches_repetition() {
+        let mut rep = KllSketch::with_seed(200, 21);
+        let mut wtd = KllSketch::with_seed(200, 21);
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..500 {
+            let v = rng.gen_range(0..1_000_000u64);
+            let w = rng.gen_range(1..400u64);
+            for _ in 0..w {
+                rep.update(v);
+            }
+            wtd.update_weighted(v, w);
+        }
+        assert_eq!(rep.count(), wtd.count());
+        for phi in [0.1, 0.5, 0.9] {
+            let a = rep.quantile(phi).unwrap() as f64;
+            let b = wtd.quantile(phi).unwrap() as f64;
+            let spread = 1_000_000.0;
+            assert!(
+                (a - b).abs() / spread < 0.05,
+                "phi={phi}: repeated {a} vs weighted {b}"
+            );
+        }
+        // Weighted inserts stay within the usual space bound.
+        assert!(wtd.stored_items() < 900, "stored {}", wtd.stored_items());
+    }
+
+    #[test]
+    fn weighted_update_zero_is_noop() {
+        let mut sk = KllSketch::new(64);
+        sk.update_weighted(5, 0);
+        assert!(sk.is_empty());
+        sk.update_weighted(5, 1);
+        assert_eq!(sk.count(), 1);
+        assert_eq!(sk.quantile(0.5), Some(5));
     }
 
     #[test]

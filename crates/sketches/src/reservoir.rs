@@ -75,7 +75,10 @@ pub struct SingleReservoir<T> {
 impl<T> SingleReservoir<T> {
     /// Creates an empty single-item reservoir.
     pub fn new() -> Self {
-        Self { item: None, seen: 0 }
+        Self {
+            item: None,
+            seen: 0,
+        }
     }
 
     /// Observes one item; replaces the held item with probability `1/seen`.

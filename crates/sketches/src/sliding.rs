@@ -91,6 +91,13 @@ impl SlidingKll {
     pub fn covered_items(&self) -> u64 {
         self.chunks.iter().map(|c| c.count()).sum()
     }
+
+    /// Items physically retained across the chunk sketches — the memory
+    /// footprint, as opposed to [`covered_items`](Self::covered_items)
+    /// which counts the (much larger) summarized stream span.
+    pub fn stored_items(&self) -> usize {
+        self.chunks.iter().map(|c| c.stored_items()).sum()
+    }
 }
 
 #[cfg(test)]
@@ -133,10 +140,7 @@ mod tests {
             }
         }
         let med = s.quantile(0.5).unwrap();
-        assert!(
-            (med as i64 - 10_000).unsigned_abs() < 1_500,
-            "median {med}"
-        );
+        assert!((med as i64 - 10_000).unsigned_abs() < 1_500, "median {med}");
     }
 
     #[test]

@@ -37,7 +37,11 @@ impl Ams {
     pub fn new(seed: u64, m: u32) -> Self {
         assert!(m >= 1);
         let root = GlobalHash::new(seed ^ 0xA4B2_55AA);
-        Self { m, g: root.derive(1), h: root.derive(2) }
+        Self {
+            m,
+            g: root.derive(1),
+            h: root.derive(2),
+        }
     }
 
     /// Number of hash functions.
@@ -123,9 +127,10 @@ impl AmsDecoder {
             .iter()
             .copied()
             .filter(|&sw| {
-                self.observed[hop].iter().enumerate().all(|(f, ov)| {
-                    ov.is_none_or(|v| self.scheme.hash_of(f as u32, sw) == v)
-                })
+                self.observed[hop]
+                    .iter()
+                    .enumerate()
+                    .all(|(f, ov)| ov.is_none_or(|v| self.scheme.hash_of(f as u32, sw) == v))
             })
             .collect()
     }
@@ -195,7 +200,10 @@ mod tests {
         };
         let m5 = mean(5);
         let m6 = mean(6);
-        assert!(m6 > m5, "m=6 ({m6}) should need more packets than m=5 ({m5})");
+        assert!(
+            m6 > m5,
+            "m=6 ({m6}) should need more packets than m=5 ({m5})"
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl Ppm {
     /// Creates the scheme for hash seed `seed`.
     pub fn new(seed: u64) -> Self {
         let root = GlobalHash::new(seed ^ 0x90F0_11A2);
-        Self { g: root.derive(1), ident: root.derive(2) }
+        Self {
+            g: root.derive(1),
+            ident: root.derive(2),
+        }
     }
 
     /// The fragmented 64-bit identity of a switch.

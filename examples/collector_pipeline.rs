@@ -1,0 +1,189 @@
+//! Production-shaped collection: many flows, sharded ingestion, bounded
+//! memory, live alerts.
+//!
+//! The paper's Recording Module consumes one flow in one thread; this
+//! example drives the `pint-collector` subsystem the way a deployment
+//! would: 12,000 concurrent flows emit over a million PINT digests, a
+//! sharded collector ingests them in batches over bounded channels,
+//! per-shard LRU caps keep memory flat despite the churn, a streaming
+//! rule fires tail-latency alarms as digests arrive, and cross-shard
+//! snapshot queries answer fleet-wide quantiles at the end.
+//!
+//! Run with: `cargo run --release --example collector_pipeline`
+
+use pint::collector::{Collector, CollectorConfig, EventKind, EventRule};
+use pint::core::dynamic::{DynamicAggregator, DynamicRecorder};
+use pint::core::value::Digest;
+use pint::core::{DigestReport, FlowRecorder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let flows: u64 = 12_000;
+    let digests_per_flow: u64 = 100;
+    let k = 5; // hops per path
+    let hot_flows = 5u64; // flows with a congested hop
+
+    // 8-bit budget over [100ns, 10ms]: the switch-side query.
+    let agg = DynamicAggregator::new(31, 8, 100.0, 1.0e7);
+
+    // Collector: 4 shards, but each shard may hold at most 2,000 flows
+    // and 8 MB of recorder state — far fewer than the 12,000 offered
+    // flows, so LRU eviction MUST kick in (bounded-memory guarantee).
+    let config = CollectorConfig {
+        shards: 4,
+        batch_size: 512,
+        channel_capacity: 64,
+        max_flows_per_shard: 2_000,
+        max_bytes_per_shard: 8 << 20,
+        flow_ttl: None,
+        rules: vec![EventRule::QuantileAbove {
+            hop: 3,
+            phi: 0.9,
+            threshold: 100_000.0, // alarm: hop-3 p90 above 100µs
+            min_samples: 40,
+        }],
+        ..CollectorConfig::default()
+    };
+    let rec_agg = agg.clone();
+    let collector = Collector::spawn(
+        config,
+        Arc::new(move |_flow, report: &DigestReport| {
+            Box::new(DynamicRecorder::new_sketched(
+                rec_agg.clone(),
+                usize::from(report.path_len).max(1),
+                64, // bytes per hop sketch
+            )) as Box<dyn FlowRecorder>
+        }),
+    );
+
+    println!(
+        "ingesting {} digests from {} flows into {} shards…",
+        flows * digests_per_flow,
+        flows,
+        collector.shards()
+    );
+    let mut handle = collector.handle();
+    let mut rng = SmallRng::seed_from_u64(7);
+    let started = Instant::now();
+    let mut pushed = 0u64;
+
+    // Interleave flows round-robin — worst case for locality, realistic
+    // for a sink that sees packets of thousands of flows multiplexed.
+    // Hot flows are elephants (10× the digest rate) whose packets arrive
+    // interleaved with the mice, so LRU keeps them resident while the
+    // mouse flows churn through the caps.
+    let mut seq = vec![0u64; flows as usize];
+    let mut emit = |flow: u64, seq: &mut Vec<u64>, rng: &mut SmallRng| {
+        let hot = flow < hot_flows;
+        let pid = flow * 10_000 + seq[flow as usize];
+        seq[flow as usize] += 1;
+        let mut digest = Digest::new(1);
+        for hop in 1..=k {
+            let base = 700.0 * hop as f64;
+            // Hot flows suffer a congested hop 3.
+            let lat = if hop == 3 && hot {
+                base * rng.gen_range(200.0..600.0)
+            } else {
+                base * rng.gen_range(0.8..1.2)
+            };
+            agg.encode_hop(pid, hop, lat, &mut digest, 0);
+        }
+        handle
+            .push(DigestReport::new(flow, pid, digest, k as u16, pid))
+            .expect("collector alive");
+    };
+    for round in 0..digests_per_flow {
+        for flow in hot_flows..flows {
+            emit(flow, &mut seq, &mut rng);
+            pushed += 1;
+            // Elephant packets every ~1/10 of a round, interleaved.
+            if flow % (flows / 10) == 0 {
+                for hf in 0..hot_flows {
+                    emit(hf, &mut seq, &mut rng);
+                    pushed += 1;
+                }
+            }
+        }
+        // Live alert check a few times during the run.
+        if round % 25 == 24 {
+            for e in collector.drain_events() {
+                if let EventKind::QuantileAbove { hop, phi, value } = e.kind {
+                    println!(
+                        "  ALERT during ingest: flow {} hop {hop} p{:.0} ≈ {value:.0}ns (shard {})",
+                        e.flow,
+                        phi * 100.0,
+                        e.shard
+                    );
+                }
+            }
+        }
+    }
+    handle.flush().expect("flush");
+    let snap = collector.snapshot().expect("snapshot");
+    let elapsed = started.elapsed();
+
+    let stats = collector.stats();
+    println!(
+        "\ningested {} digests in {:.2?}  ({:.2} M digests/s)",
+        stats.ingested,
+        elapsed,
+        stats.ingested as f64 / elapsed.as_secs_f64() / 1e6
+    );
+    println!(
+        "flows offered {}   tracked {}   evicted-LRU {}   evicted-TTL {}",
+        flows, stats.active_flows, stats.evicted_lru, stats.evicted_ttl
+    );
+    println!(
+        "recorder state ≈ {:.1} MB across {} shards (caps enforced)",
+        stats.state_bytes as f64 / 1e6,
+        collector.shards()
+    );
+
+    // Cross-shard inference: fleet-wide per-hop quantiles over every
+    // still-tracked flow (KLL merge in deterministic flow order).
+    println!("\nfleet-wide hop latency (merged across shards):");
+    println!("{:>4} {:>12} {:>12}", "hop", "p50", "p99");
+    for hop in 1..=k {
+        let p50 = snap.latency_quantile(hop, 0.5, &agg);
+        let p99 = snap.latency_quantile(hop, 0.99, &agg);
+        println!(
+            "{hop:>4} {:>10.0}ns {:>10.0}ns",
+            p50.unwrap_or(f64::NAN),
+            p99.unwrap_or(f64::NAN)
+        );
+    }
+
+    let remaining_events = collector.drain_events();
+    for e in &remaining_events {
+        if let EventKind::QuantileAbove { hop, phi, value } = &e.kind {
+            println!(
+                "ALERT: flow {} hop {hop} p{:.0} ≈ {value:.0}ns (rule {}, shard {})",
+                e.flow,
+                phi * 100.0,
+                e.rule,
+                e.shard
+            );
+        }
+    }
+
+    let final_stats = collector.shutdown();
+    assert_eq!(
+        final_stats.ingested, pushed,
+        "no digest lost before shutdown"
+    );
+    assert!(
+        final_stats.active_flows <= 4 * 2_000,
+        "memory bound respected"
+    );
+    assert!(final_stats.evicted_lru > 0, "eviction must be observable");
+    assert!(final_stats.events >= hot_flows, "hot flows must alarm");
+    println!(
+        "\n{} alarms total; eviction kept ≤ {} flows resident of {} offered.",
+        final_stats.events,
+        4 * 2_000,
+        flows
+    );
+}

@@ -36,22 +36,35 @@ fn run(pint: bool) {
     let factory: TransportFactory = if pint {
         let hook = Arc::new(HpccPintHook::new(9, 1.0, T_NS, 1, 0, 1));
         Box::new(move |meta| {
-            let cfg = HpccConfig { base_rtt_ns: T_NS, ..HpccConfig::default() };
+            let cfg = HpccConfig {
+                base_rtt_ns: T_NS,
+                ..HpccConfig::default()
+            };
             Box::new(HpccTransport::new(
                 meta,
                 cfg,
-                FeedbackMode::Pint { lane: 0, decoder: hook.clone(), plan: None },
+                FeedbackMode::Pint {
+                    lane: 0,
+                    decoder: hook.clone(),
+                    plan: None,
+                },
             ))
         })
     } else {
         Box::new(move |meta| {
-            let cfg = HpccConfig { base_rtt_ns: T_NS, ..HpccConfig::default() };
+            let cfg = HpccConfig {
+                base_rtt_ns: T_NS,
+                ..HpccConfig::default()
+            };
             Box::new(HpccTransport::new(meta, cfg, FeedbackMode::Int))
         })
     };
     let mut sim = Simulator::new(
         star(),
-        SimConfig { end_time_ns: 200_000_000, ..SimConfig::default() },
+        SimConfig {
+            end_time_ns: 200_000_000,
+            ..SimConfig::default()
+        },
         factory,
         telem,
     );
@@ -60,7 +73,14 @@ fn run(pint: bool) {
     sim.add_flow(hosts[1], hosts[2], 8_000_000, 0);
     let rep = sim.run();
 
-    println!("--- HPCC({}) ---", if pint { "PINT, 1 byte/pkt" } else { "INT, 8 bytes/hop/pkt" });
+    println!(
+        "--- HPCC({}) ---",
+        if pint {
+            "PINT, 1 byte/pkt"
+        } else {
+            "INT, 8 bytes/hop/pkt"
+        }
+    );
     println!("  drops at switch queues : {}", rep.drops);
     for f in rep.finished() {
         println!(

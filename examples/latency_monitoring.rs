@@ -48,7 +48,10 @@ fn main() {
         recorder.record(pid, &digest, 0); // sink side
     }
 
-    println!("\n{:>4} {:>12} {:>12} {:>12} {:>12}", "hop", "true p50", "est p50", "true p99", "est p99");
+    println!(
+        "\n{:>4} {:>12} {:>12} {:>12} {:>12}",
+        "hop", "true p50", "est p50", "true p99", "est p99"
+    );
     for hop in 1..=k {
         println!(
             "{hop:>4} {:>10}ns {:>10.0}ns {:>10}ns {:>10.0}ns",
@@ -58,6 +61,12 @@ fn main() {
             recorder.quantile(hop, 0.99).unwrap(),
         );
     }
-    println!("\nhop 3's inflated tail is visible from ~{} samples/hop,", packets / k as u64);
-    println!("with only {} bits per packet and 100 B of per-hop sketch state.", agg.bits());
+    println!(
+        "\nhop 3's inflated tail is visible from ~{} samples/hop,",
+        packets / k as u64
+    );
+    println!(
+        "with only {} bits per packet and 100 B of per-hop sketch state.",
+        agg.bits()
+    );
 }

@@ -20,11 +20,16 @@ fn walk(det: &LoopDetector, pid: u64, path: &[u64]) -> Option<usize> {
 
 fn main() {
     let det = LoopDetector::new(7, 14, 3); // T=3, b=14 → 16 bits total
-    println!("loop detector: b=14, T=3 → {} bits on the packet", det.overhead_bits());
+    println!(
+        "loop detector: b=14, T=3 → {} bits on the packet",
+        det.overhead_bits()
+    );
 
     // A healthy 32-hop path: no reports across 100k packets.
     let healthy: Vec<u64> = (0..32).map(|i| 100 + i).collect();
-    let false_positives = (0..100_000u64).filter(|&p| walk(&det, p, &healthy).is_some()).count();
+    let false_positives = (0..100_000u64)
+        .filter(|&p| walk(&det, p, &healthy).is_some())
+        .count();
     println!("loop-free path: {false_positives} false reports in 100k packets");
 
     // A misconfigured route: switches 8→9→10 forward in a cycle.

@@ -24,14 +24,20 @@ fn main() {
     let mut adjacency: HashMap<u64, Vec<u64>> = HashMap::new();
     for l in topo.links() {
         if topo.kind(l.from) == NodeKind::Switch && topo.kind(l.to) == NodeKind::Switch {
-            adjacency.entry(l.from as u64).or_default().push(l.to as u64);
+            adjacency
+                .entry(l.from as u64)
+                .or_default()
+                .push(l.to as u64);
         }
     }
 
     let tracer = PathTracer::new(TracerConfig::paper(8, 2, 10));
     let path_nodes = topo.find_path_of_length(59, 42).expect("diameter path");
     let path: Vec<u64> = path_nodes.iter().map(|&n| n as u64).collect();
-    println!("tracing a {}-hop flow with 2x(b=8) = 16 bits/packet", path.len());
+    println!(
+        "tracing a {}-hop flow with 2x(b=8) = 16 bits/packet",
+        path.len()
+    );
 
     for (label, with_topology) in [("graph-blind", false), ("topology-aware", true)] {
         let mut dec = if with_topology {

@@ -39,7 +39,14 @@ fn main() {
         }
     }
 
-    println!("decoded after {} packets: {:?}", decoder.packets(), decoder.path().unwrap());
+    println!(
+        "decoded after {} packets: {:?}",
+        decoder.packets(),
+        decoder.path().unwrap()
+    );
     assert_eq!(decoder.path().unwrap(), true_path);
-    println!("inconsistencies observed: {} (0 = single stable path)", decoder.inconsistencies());
+    println!(
+        "inconsistencies observed: {} (0 = single stable path)",
+        decoder.inconsistencies()
+    );
 }

@@ -1,0 +1,263 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace uses: the [`proptest!`] macro with an
+//! optional `#![proptest_config(...)]` header, range strategies
+//! (`8usize..200`, `1u32..=64`), `any::<T>()`, `prop::sample::select`,
+//! and `prop_assert!`/`prop_assert_eq!`. Instead of upstream's shrinking
+//! test runner, each property is driven for `cases` deterministic random
+//! inputs (seed derived from the test name, overridable via
+//! `PROPTEST_SEED`); a failing case panics with the generated arguments
+//! printed so it can be reproduced.
+
+#![forbid(unsafe_code)]
+
+/// Runner configuration (subset of upstream's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// The deterministic RNG driving each property.
+pub mod test_runner {
+    pub use rand::rngs::SmallRng as TestRngInner;
+    use rand::SeedableRng;
+
+    /// Per-test RNG; seeded from the test name so runs are reproducible.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub TestRngInner);
+
+    impl TestRng {
+        /// Builds the RNG for `test_name`, honoring `PROPTEST_SEED`.
+        pub fn deterministic(test_name: &str) -> Self {
+            let seed = match std::env::var("PROPTEST_SEED") {
+                Ok(s) => s.parse::<u64>().unwrap_or(0xC0FFEE),
+                // FNV-1a over the test name.
+                Err(_) => test_name.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+                    (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+                }),
+            };
+            Self(TestRngInner::seed_from_u64(seed))
+        }
+    }
+}
+
+/// Input-generation strategies.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::{Rng, SampleUniform};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Something that can generate values for a property's argument.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: std::fmt::Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<T: SampleUniform + std::fmt::Debug> Strategy for Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.0.gen_range(self.clone())
+        }
+    }
+
+    impl<T: SampleUniform + std::fmt::Debug> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.0.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy returned by [`crate::arbitrary::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    /// Types with a full-domain strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.0.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.0.gen::<u64>() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Uniform choice among explicit options (`prop::sample::select`).
+    #[derive(Debug, Clone)]
+    pub struct Select<T>(pub(crate) Vec<T>);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.0.is_empty(), "select over an empty list");
+            self.0[rng.0.gen_range(0..self.0.len())].clone()
+        }
+    }
+}
+
+/// `any::<T>()` and friends.
+pub mod arbitrary {
+    use super::strategy::{Any, Arbitrary};
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Upstream-compatible `prop::…` namespace.
+pub mod prop {
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::strategy::Select;
+
+        /// Uniformly selects one of `options`.
+        pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+            Select(options)
+        }
+    }
+}
+
+/// Asserts inside a property; panics with the message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __described = format!(
+                    concat!("case {}: ", $(stringify!($arg), " = {:?} ",)+),
+                    __case, $(&$arg),+
+                );
+                let __result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    $body
+                }));
+                if let Err(panic) = __result {
+                    eprintln!("proptest failure in {}: {}", stringify!($name), __described);
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestRng;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges stay in bounds.
+        #[test]
+        fn ranges_in_bounds(a in 3usize..10, b in 1u32..=4, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((1..=4).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        /// `any` and `select` generate usable values.
+        #[test]
+        fn any_and_select(x in any::<u64>(), pick in prop::sample::select(vec![4u32, 8, 16])) {
+            prop_assert!(matches!(pick, 4 | 8 | 16));
+            prop_assert_eq!(x.wrapping_add(0), x);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::deterministic("t");
+        let mut b = TestRng::deterministic("t");
+        let s = 0u64..u64::MAX;
+        for _ in 0..16 {
+            assert_eq!(
+                Strategy::generate(&s, &mut a),
+                Strategy::generate(&s, &mut b)
+            );
+        }
+    }
+}

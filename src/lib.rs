@@ -9,7 +9,9 @@
 //! * `netsim` — packet-level network simulator.
 //! * `hpcc` — HPCC congestion control (INT & PINT modes).
 //! * `traceback` — PPM / AMS2 baselines.
+//! * `collector` — sharded, multi-threaded ingestion & inference.
 
+pub use pint_collector as collector;
 pub use pint_core as core;
 pub use pint_dataplane as dataplane;
 pub use pint_hpcc as hpcc;
@@ -17,7 +19,8 @@ pub use pint_netsim as netsim;
 pub use pint_sketches as sketches;
 pub use pint_traceback as traceback;
 
+pub use pint_collector::{Collector, CollectorConfig, CollectorHandle, EventRule};
 pub use pint_core::{
-    Digest, GlobalHash, HashFamily, MetadataKind, PathDecoder, PathTracer, QueryEngine,
-    QuerySpec, SchemeConfig, TracerConfig,
+    Digest, DigestReport, FlowRecorder, GlobalHash, HashFamily, MetadataKind, PathDecoder,
+    PathTracer, QueryEngine, QuerySpec, SchemeConfig, TracerConfig,
 };

@@ -1,0 +1,203 @@
+//! Shard-equivalence property: a sharded collector answers exactly like
+//! the paper's single-threaded Recording Module.
+//!
+//! For a random mixed workload (latency-quantile flows and path-tracing
+//! flows), a collector with 1, 2, 4, or 8 shards must yield, after
+//! ingesting the same digest stream:
+//!
+//! * per-flow quantile sketches identical to a serial [`DynamicRecorder`]
+//!   fed the same digests in order,
+//! * per-flow reconstructed paths identical to a serial [`PathDecoder`],
+//! * cross-shard merged quantiles identical across all shard counts.
+//!
+//! This holds exactly (not approximately): flows are hash-partitioned so
+//! per-flow digest order is preserved, recorders are seeded
+//! deterministically, and snapshot merging sorts by flow ID.
+
+use pint::collector::{Collector, CollectorConfig};
+use pint::core::dynamic::{DynamicAggregator, DynamicRecorder};
+use pint::core::statictrace::{PathTracer, TracerConfig};
+use pint::core::{Digest, DigestReport, FlowRecorder};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SKETCH_BYTES: usize = 96;
+
+struct Workload {
+    agg: DynamicAggregator,
+    tracer: PathTracer,
+    universe: Vec<u64>,
+    k: usize,
+    /// All digests in arrival order (flows interleaved).
+    reports: Vec<DigestReport>,
+    flows: u64,
+}
+
+/// Flow IDs alternate: even = latency query, odd = path tracing.
+fn is_path_flow(flow: u64) -> bool {
+    flow % 2 == 1
+}
+
+fn build_workload(flows: u64, per_flow: u64, k: usize, seed: u64) -> Workload {
+    let agg = DynamicAggregator::new(seed ^ 0xA55A, 8, 100.0, 1.0e7);
+    let tracer = PathTracer::new(TracerConfig::paper(8, 2, k));
+    let universe: Vec<u64> = (0..48).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let paths: Vec<Vec<u64>> = (0..flows)
+        .map(|f| {
+            (0..k)
+                .map(|h| universe[((f * 31 + h as u64 * 7 + seed) % 48) as usize])
+                .collect()
+        })
+        .collect();
+    let mut reports = Vec::new();
+    for round in 0..per_flow {
+        for flow in 0..flows {
+            let pid = flow * per_flow + round + 1;
+            let digest = if is_path_flow(flow) {
+                tracer.encode_path(pid, &paths[flow as usize])
+            } else {
+                let mut d = Digest::new(1);
+                for hop in 1..=k {
+                    let lat = 500.0 * hop as f64 * rng.gen_range(0.5..2.0);
+                    agg.encode_hop(pid, hop, lat, &mut d, 0);
+                }
+                d
+            };
+            reports.push(DigestReport::new(flow, pid, digest, k as u16, pid));
+        }
+    }
+    Workload {
+        agg,
+        tracer,
+        universe,
+        k,
+        reports,
+        flows,
+    }
+}
+
+/// The paper's serial Recording Module: one recorder per flow, digests
+/// applied in stream order on one thread.
+fn serial_baseline(w: &Workload) -> Vec<Box<dyn FlowRecorder>> {
+    let mut recs: Vec<Box<dyn FlowRecorder>> = (0..w.flows)
+        .map(|f| {
+            if is_path_flow(f) {
+                Box::new(w.tracer.decoder(w.universe.clone(), w.k)) as Box<dyn FlowRecorder>
+            } else {
+                Box::new(DynamicRecorder::new_sketched(
+                    w.agg.clone(),
+                    w.k,
+                    SKETCH_BYTES,
+                )) as Box<dyn FlowRecorder>
+            }
+        })
+        .collect();
+    for r in &w.reports {
+        recs[r.flow as usize].absorb(r.pid, &r.digest);
+    }
+    recs
+}
+
+fn spawn_collector(w: &Workload, shards: usize) -> Collector {
+    let agg = w.agg.clone();
+    let tracer = w.tracer.clone();
+    let universe = w.universe.clone();
+    Collector::spawn(
+        CollectorConfig {
+            shards,
+            batch_size: 32,
+            // No eviction: equivalence is about the answers, so every
+            // flow must stay resident.
+            max_flows_per_shard: usize::MAX >> 1,
+            max_bytes_per_shard: usize::MAX >> 1,
+            ..CollectorConfig::default()
+        },
+        Arc::new(move |flow, report: &DigestReport| {
+            let k = usize::from(report.path_len).max(1);
+            if is_path_flow(flow) {
+                Box::new(tracer.decoder(universe.clone(), k)) as Box<dyn FlowRecorder>
+            } else {
+                Box::new(DynamicRecorder::new_sketched(agg.clone(), k, SKETCH_BYTES))
+                    as Box<dyn FlowRecorder>
+            }
+        }),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn sharded_collector_matches_serial_recording_module(
+        flows in 2u64..24,
+        per_flow in 30u64..80,
+        k in 2usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let w = build_workload(flows, per_flow, k, seed);
+        let mut serial = serial_baseline(&w);
+
+        let phis = [0.25, 0.5, 0.9, 0.99];
+        // Merged (cross-shard) quantile codes per hop, per shard count —
+        // must be identical across shard counts.
+        let mut merged_by_shards: Vec<Vec<Vec<Option<u64>>>> = Vec::new();
+
+        for shards in SHARD_COUNTS {
+            let collector = spawn_collector(&w, shards);
+            let mut handle = collector.handle();
+            for r in &w.reports {
+                handle.push(r.clone()).expect("collector alive");
+            }
+            handle.flush().expect("flush");
+            let snap = collector.snapshot().expect("snapshot");
+
+            prop_assert_eq!(snap.num_flows(), flows as usize);
+            for flow in 0..flows {
+                let summary = snap.flow(flow).expect("flow tracked");
+                let baseline = &mut serial[flow as usize];
+                prop_assert_eq!(summary.packets, baseline.packets(),
+                    "packets diverge: flow {} shards {}", flow, shards);
+                if is_path_flow(flow) {
+                    let got = summary.path.as_ref().expect("path progress");
+                    let want = baseline.path_progress().expect("baseline progress");
+                    prop_assert_eq!(got, &want,
+                        "path progress diverges: flow {} shards {}", flow, shards);
+                } else {
+                    // Code-space sketches must agree quantile-for-quantile.
+                    let base_sketches = baseline.hop_sketches();
+                    for hop in 1..=k {
+                        for &phi in &phis {
+                            prop_assert_eq!(
+                                summary.hop_sketches[hop].quantile(phi),
+                                base_sketches[hop].quantile(phi),
+                                "quantile diverges: flow {} hop {} phi {} shards {}",
+                                flow, hop, phi, shards
+                            );
+                        }
+                    }
+                }
+            }
+
+            let merged: Vec<Vec<Option<u64>>> = (1..=k)
+                .map(|hop| {
+                    let sk = snap.merged_hop_sketch(hop);
+                    phis.iter()
+                        .map(|&phi| sk.as_ref().and_then(|s| s.quantile(phi)))
+                        .collect()
+                })
+                .collect();
+            merged_by_shards.push(merged);
+            collector.shutdown();
+        }
+
+        for (i, later) in merged_by_shards.iter().enumerate().skip(1) {
+            prop_assert_eq!(&merged_by_shards[0], later,
+                "merged quantiles diverge between shard counts {} and {}",
+                SHARD_COUNTS[0], SHARD_COUNTS[i]);
+        }
+    }
+}

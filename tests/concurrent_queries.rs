@@ -16,8 +16,20 @@ fn two_queries_share_sixteen_bits_end_to_end() {
     // Global budget 16 → both run on every packet.
     let engine = QueryEngine::new(77);
     let queries = [
-        QuerySpec::new(1, "path", MetadataKind::SwitchId, AggregationKind::StaticPerFlow, 8),
-        QuerySpec::new(2, "latency", MK::HopLatency, AggregationKind::DynamicPerFlow, 8),
+        QuerySpec::new(
+            1,
+            "path",
+            MetadataKind::SwitchId,
+            AggregationKind::StaticPerFlow,
+            8,
+        ),
+        QuerySpec::new(
+            2,
+            "latency",
+            MK::HopLatency,
+            AggregationKind::DynamicPerFlow,
+            8,
+        ),
     ];
     let plan = engine.plan(&queries, 16).unwrap();
     assert_eq!(plan.sets().len(), 1);
@@ -74,11 +86,23 @@ fn two_queries_share_sixteen_bits_end_to_end() {
 fn fig11_style_plan_splits_frequencies() {
     let engine = QueryEngine::new(99);
     let queries = [
-        QuerySpec::new(1, "path", MetadataKind::SwitchId, AggregationKind::StaticPerFlow, 8),
+        QuerySpec::new(
+            1,
+            "path",
+            MetadataKind::SwitchId,
+            AggregationKind::StaticPerFlow,
+            8,
+        ),
         QuerySpec::new(2, "lat", MK::HopLatency, AggregationKind::DynamicPerFlow, 8)
             .with_frequency(15.0 / 16.0),
-        QuerySpec::new(3, "cc", MK::EgressPortTxUtilization, AggregationKind::PerPacket, 8)
-            .with_frequency(1.0 / 16.0),
+        QuerySpec::new(
+            3,
+            "cc",
+            MK::EgressPortTxUtilization,
+            AggregationKind::PerPacket,
+            8,
+        )
+        .with_frequency(1.0 / 16.0),
     ];
     let plan = engine.plan(&queries, 16).unwrap();
     // Measured selection matches requested frequencies, and no packet
@@ -108,7 +132,13 @@ fn all_switches_agree_on_selection() {
     // The property §4.1 needs: selection depends only on the packet ID,
     // so independently constructed engines with the same seed agree.
     let q = [
-        QuerySpec::new(1, "a", MetadataKind::SwitchId, AggregationKind::StaticPerFlow, 8),
+        QuerySpec::new(
+            1,
+            "a",
+            MetadataKind::SwitchId,
+            AggregationKind::StaticPerFlow,
+            8,
+        ),
         QuerySpec::new(2, "b", MK::HopLatency, AggregationKind::DynamicPerFlow, 8)
             .with_frequency(0.5),
     ];

@@ -31,7 +31,8 @@ impl TelemetryHook for TracerHook {
         if pkt.digest.lanes() == 0 {
             pkt.digest = self.tracer.new_digest();
         }
-        self.tracer.encode_hop(pkt.id, view.hop, view.switch as u64, &mut pkt.digest);
+        self.tracer
+            .encode_hop(pkt.id, view.hop, view.switch as u64, &mut pkt.digest);
         let mut sink = self.sink.lock().unwrap();
         let entries = sink.entry(pkt.flow).or_default();
         // Keep the latest digest per packet (overwrites earlier hops).
@@ -50,9 +51,15 @@ fn traces_real_flows_through_the_fabric() {
 
     let mut sim = Simulator::new(
         topo,
-        SimConfig { end_time_ns: 50_000_000, ..SimConfig::default() },
+        SimConfig {
+            end_time_ns: 50_000_000,
+            ..SimConfig::default()
+        },
         Box::new(|meta| Box::new(Reno::new(meta))),
-        Box::new(TracerHook { tracer: PathTracer::new(TracerConfig::paper(8, 2, 5)), sink: sink.clone() }),
+        Box::new(TracerHook {
+            tracer: PathTracer::new(TracerConfig::paper(8, 2, 5)),
+            sink: sink.clone(),
+        }),
     );
     let hosts = sim.topology().hosts();
     // Three flows crossing pods (5 switch hops each).
@@ -80,8 +87,8 @@ fn traces_real_flows_through_the_fabric() {
     for (f, truth) in flow_ids.iter().zip(&truths) {
         let digests = &sink[f];
         assert!(digests.len() >= 100, "flow {f}: too few packets recorded");
-        let mut dec = PathTracer::new(TracerConfig::paper(8, 2, 5))
-            .decoder(universe.clone(), truth.len());
+        let mut dec =
+            PathTracer::new(TracerConfig::paper(8, 2, 5)).decoder(universe.clone(), truth.len());
         let mut used = 0;
         for (pid, digest) in digests {
             used += 1;
@@ -89,10 +96,20 @@ fn traces_real_flows_through_the_fabric() {
                 break;
             }
         }
-        assert!(dec.is_complete(), "flow {f}: path not decoded from {used} packets");
+        assert!(
+            dec.is_complete(),
+            "flow {f}: path not decoded from {used} packets"
+        );
         assert_eq!(&dec.path().unwrap(), truth, "flow {f}: wrong path");
-        assert!(used < digests.len(), "decode should finish before the flow does");
-        assert_eq!(dec.inconsistencies(), 0, "single-path flow must be consistent");
+        assert!(
+            used < digests.len(),
+            "decode should finish before the flow does"
+        );
+        assert_eq!(
+            dec.inconsistencies(),
+            0,
+            "single-path flow must be consistent"
+        );
     }
 }
 
@@ -107,8 +124,12 @@ fn ecmp_flows_take_distinct_but_stable_paths() {
     );
     let hosts = sim.topology().hosts();
     let f1 = sim.add_flow(hosts[0], hosts[63], 1_000, 0);
-    let p1: Vec<usize> = sim.routing().switch_path(sim.topology(), hosts[0], hosts[63], f1);
-    let p1b: Vec<usize> = sim.routing().switch_path(sim.topology(), hosts[0], hosts[63], f1);
+    let p1: Vec<usize> = sim
+        .routing()
+        .switch_path(sim.topology(), hosts[0], hosts[63], f1);
+    let p1b: Vec<usize> = sim
+        .routing()
+        .switch_path(sim.topology(), hosts[0], hosts[63], f1);
     assert_eq!(p1, p1b, "per-flow path must be stable (PINT assumes it)");
     assert_eq!(p1.len(), 5, "inter-pod paths cross 5 switches");
 }

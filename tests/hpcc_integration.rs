@@ -22,16 +22,26 @@ fn clos_run(pint: bool, p: f64, seed: u64) -> pint::netsim::Report {
     let factory: TransportFactory = if pint {
         let hook = Arc::new(HpccPintHook::new(21, p, T_NS, 1, 0, 1));
         Box::new(move |meta| {
-            let cfg = HpccConfig { base_rtt_ns: T_NS, ..HpccConfig::default() };
+            let cfg = HpccConfig {
+                base_rtt_ns: T_NS,
+                ..HpccConfig::default()
+            };
             Box::new(HpccTransport::new(
                 meta,
                 cfg,
-                FeedbackMode::Pint { lane: 0, decoder: hook.clone(), plan: None },
+                FeedbackMode::Pint {
+                    lane: 0,
+                    decoder: hook.clone(),
+                    plan: None,
+                },
             ))
         })
     } else {
         Box::new(move |meta| {
-            let cfg = HpccConfig { base_rtt_ns: T_NS, ..HpccConfig::default() };
+            let cfg = HpccConfig {
+                base_rtt_ns: T_NS,
+                ..HpccConfig::default()
+            };
             Box::new(HpccTransport::new(meta, cfg, FeedbackMode::Int))
         })
     };
@@ -67,7 +77,11 @@ fn both_modes_complete_the_workload() {
             "mode pint={pint}: only {:.1}% of flows finished",
             rate * 100.0
         );
-        assert!(rep.flows.len() > 500, "workload too thin: {}", rep.flows.len());
+        assert!(
+            rep.flows.len() > 500,
+            "workload too thin: {}",
+            rep.flows.len()
+        );
     }
 }
 

@@ -12,9 +12,16 @@ use pint::netsim::workload::{FlowSizeCdf, WorkloadConfig};
 fn sim_with(load: f64, seed: u64, overhead: u32) -> pint::netsim::Report {
     let mut sim = Simulator::new(
         Topology::overhead_study(),
-        SimConfig { end_time_ns: 20_000_000, ..SimConfig::default() },
+        SimConfig {
+            end_time_ns: 20_000_000,
+            ..SimConfig::default()
+        },
         Box::new(|meta| Box::new(Reno::new(meta))),
-        if overhead == 0 { Box::new(NoTelemetry) } else { Box::new(FixedOverhead(overhead)) },
+        if overhead == 0 {
+            Box::new(NoTelemetry)
+        } else {
+            Box::new(FixedOverhead(overhead))
+        },
     );
     sim.add_workload(&WorkloadConfig {
         cdf: FlowSizeCdf::hadoop(),
@@ -39,7 +46,10 @@ fn no_flow_beats_the_ideal_fct() {
         );
         checked += 1;
     }
-    assert!(checked > 100, "too few finished flows ({checked}) to trust the check");
+    assert!(
+        checked > 100,
+        "too few finished flows ({checked}) to trust the check"
+    );
 }
 
 #[test]

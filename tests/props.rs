@@ -51,7 +51,7 @@ proptest! {
         let fam = HashFamily::new(seed, 0);
         let w = fam.reservoir_winner(pid, k);
         prop_assert!((1..=k).contains(&w));
-        let last_writer = (1..=k).filter(|&h| fam.reservoir_writes(pid, h)).next_back();
+        let last_writer = (1..=k).rfind(|&h| fam.reservoir_writes(pid, h));
         prop_assert_eq!(last_writer, Some(w));
     }
 
