@@ -1,11 +1,17 @@
-//! Criterion macro-benchmark: collector ingest throughput vs. shard count.
+//! Criterion macro-benchmark: collector ingest throughput as an
+//! N-producer × M-shard matrix.
 //!
 //! One iteration pushes a pre-generated workload of latency digests
 //! (5,000 flows × 40 digests) through a running collector and waits on a
 //! barrier until every shard has applied its batches — so the measured
-//! time covers sharding, channel transfer, recorder updates, accounting,
-//! and eviction, not just the channel send. `PINT_BENCH_JSON` records
-//! the baseline (`BENCH_collector.json`).
+//! time covers digest cloning on the producers, sharding, ring transfer,
+//! recorder updates, accounting, and eviction, not just the hand-off.
+//! Flows are partitioned across producers (`flow % producers`), each
+//! producer pushing from its own thread through its own registered
+//! handle — the same methodology as the historical single-producer
+//! numbers in `BENCH_collector.json`, which `collector_ingest/p1/s*`
+//! reproduces. `PINT_BENCH_JSON` records the baseline
+//! (`BENCH_ingest.json`).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pint_collector::{Collector, CollectorConfig};
@@ -37,42 +43,72 @@ fn workload(agg: &DynamicAggregator) -> Vec<DigestReport> {
     out
 }
 
+/// Splits the stream by `flow % producers`, preserving per-flow order
+/// within each part.
+fn partition(reports: &[DigestReport], producers: u64) -> Vec<Vec<DigestReport>> {
+    let mut parts: Vec<Vec<DigestReport>> = (0..producers).map(|_| Vec::new()).collect();
+    for r in reports {
+        parts[(r.flow % producers) as usize].push(r.clone());
+    }
+    parts
+}
+
 fn bench_ingest(c: &mut Criterion) {
     let agg = DynamicAggregator::new(17, 8, 100.0, 1.0e7);
     let reports = workload(&agg);
     let mut g = c.benchmark_group("collector_ingest");
     g.throughput(Throughput::Elements(reports.len() as u64));
-    for shards in [1usize, 2, 4, 8] {
-        let rec_agg = agg.clone();
-        let collector = Collector::spawn(
-            CollectorConfig {
-                shards,
-                batch_size: 512,
-                channel_capacity: 64,
-                max_flows_per_shard: 2_048,
-                ..CollectorConfig::default()
-            },
-            Arc::new(move |_flow, report: &DigestReport| {
-                Box::new(DynamicRecorder::new_sketched(
-                    rec_agg.clone(),
-                    usize::from(report.path_len).max(1),
-                    64,
-                )) as Box<dyn FlowRecorder>
-            }),
-        );
-        g.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, _| {
-            let mut handle = collector.handle();
-            b.iter(|| {
-                handle
-                    .push_batch(reports.iter().cloned())
-                    .expect("collector alive");
-                handle.flush().expect("flush");
-                collector.barrier().expect("barrier");
-                black_box(())
-            })
-        });
-        let stats = collector.shutdown();
-        assert!(stats.ingested >= reports.len() as u64, "workload applied");
+    for producers in [1u64, 2, 4] {
+        let parts = partition(&reports, producers);
+        for shards in [1usize, 2, 4, 8] {
+            let rec_agg = agg.clone();
+            let collector = Collector::spawn(
+                CollectorConfig {
+                    shards,
+                    batch_size: 1_024,
+                    ring_capacity: 64,
+                    max_flows_per_shard: 2_048,
+                    ..CollectorConfig::default()
+                },
+                Arc::new(move |_flow, report: &DigestReport| {
+                    Box::new(DynamicRecorder::new_sketched(
+                        rec_agg.clone(),
+                        usize::from(report.path_len).max(1),
+                        64,
+                    )) as Box<dyn FlowRecorder>
+                }),
+            );
+            // Register once per cell: iterations measure ingest, not
+            // producer registration/teardown.
+            let mut handles: Vec<_> = parts
+                .iter()
+                .map(|_| collector.register_producer())
+                .collect();
+            g.bench_with_input(
+                BenchmarkId::new(format!("p{producers}"), format!("s{shards}")),
+                &shards,
+                |b, _| {
+                    b.iter(|| {
+                        std::thread::scope(|s| {
+                            for (part, handle) in parts.iter().zip(handles.iter_mut()) {
+                                s.spawn(move || {
+                                    for r in part {
+                                        handle.push(r.clone()).expect("collector alive");
+                                    }
+                                    handle.flush().expect("flush");
+                                });
+                            }
+                        });
+                        collector.barrier().expect("barrier");
+                        black_box(())
+                    })
+                },
+            );
+            drop(handles);
+            let stats = collector.shutdown();
+            assert!(stats.ingested >= reports.len() as u64, "workload applied");
+            assert_eq!(stats.digests_dropped, 0, "no digest lost");
+        }
     }
     g.finish();
 }

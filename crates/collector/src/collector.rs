@@ -1,15 +1,24 @@
-//! The collector: worker lifecycle, snapshots, events, stats.
+//! The collector: worker lifecycle, producer registration, snapshots,
+//! events, stats.
 
-use crate::config::{CollectorConfig, RecorderFactory};
+use crate::config::{CollectorConfig, FlowId, RecorderFactory};
 use crate::error::CollectorError;
 use crate::events::Event;
-use crate::handle::CollectorHandle;
+use crate::handle::{shard_of, CollectorHandle};
 use crate::inference::CollectorSnapshot;
+use crate::ring::{self, RingTuning, Waiter};
 use crate::shard::{ShardMsg, ShardStats, ShardWorker};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Depth of each shard's control channel. Control traffic is low-rate
+/// (registrations, snapshots, shutdown); the bound only matters as a
+/// memory cap when a caller registers producers far faster than shards
+/// can adopt them.
+const CTRL_CAPACITY: usize = 64;
 
 /// Aggregated live counters across all shards.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -18,6 +27,8 @@ pub struct CollectorStats {
     pub ingested: u64,
     /// Batches applied.
     pub batches: u64,
+    /// Producer rings currently attached across shards.
+    pub producers: u64,
     /// Currently tracked flows.
     pub active_flows: u64,
     /// Approximate recorder-state bytes held.
@@ -30,21 +41,74 @@ pub struct CollectorStats {
     pub events: u64,
     /// Events discarded because the bounded event queue was full.
     pub events_dropped: u64,
+    /// Digests lost by handles: a batch could not be delivered because
+    /// the collector had shut down (counts every digest of the lost
+    /// batch — nothing disappears silently).
+    pub digests_dropped: u64,
+    /// Times a producer parked on a full ring (backpressure pressure
+    /// gauge: rising fast means shards cannot keep up).
+    pub producer_parks: u64,
+}
+
+/// Everything a [`CollectorHandle`] needs to mint sibling producers:
+/// per-shard control senders and waiters, ring sizing, and the shared
+/// loss/backpressure counters. Owned by the [`Collector`] and by every
+/// handle (so `CollectorHandle::clone` can register a fresh producer
+/// even after the collector value itself moved).
+pub(crate) struct ProducerRegistry {
+    ctrl: Vec<SyncSender<ShardMsg>>,
+    waiters: Vec<Arc<Waiter>>,
+    batch_size: usize,
+    ring_capacity: usize,
+    tuning: RingTuning,
+    /// Digests lost in undeliverable batches (see `CollectorStats`).
+    pub(crate) dropped: AtomicU64,
+    /// Producer park count across all rings ever registered.
+    pub(crate) parks: Arc<AtomicU64>,
+}
+
+impl ProducerRegistry {
+    /// Creates rings to every shard and announces them; the returned
+    /// handle is the producer's exclusive front-end.
+    ///
+    /// If a shard cannot adopt the ring (worker already exited), the
+    /// consumer endpoint drops here and the handle's pushes to that
+    /// shard fail with [`CollectorError::Disconnected`] — same contract
+    /// as any other post-shutdown push.
+    pub(crate) fn register(self: &Arc<Self>) -> CollectorHandle {
+        let mut producers = Vec::with_capacity(self.ctrl.len());
+        for (shard, ctrl) in self.ctrl.iter().enumerate() {
+            let (tx, rx) = ring::ring(
+                self.ring_capacity,
+                self.tuning,
+                Arc::clone(&self.waiters[shard]),
+                Arc::clone(&self.parks),
+            );
+            if ctrl.send(ShardMsg::Attach(rx)).is_ok() {
+                self.waiters[shard].wake();
+            }
+            producers.push(tx);
+        }
+        CollectorHandle::new(producers, self.batch_size, Arc::clone(self))
+    }
 }
 
 /// A sharded, multi-threaded telemetry collector.
 ///
-/// Spawn with a [`CollectorConfig`] and a [`RecorderFactory`]; feed it
-/// [`DigestReport`](pint_core::DigestReport)s through cloneable
-/// [`CollectorHandle`]s; query it via merged [`snapshot`](Self::snapshot)s;
-/// subscribe to rule-driven [`Event`]s; and [`shutdown`](Self::shutdown)
-/// to join the workers.
+/// Spawn with a [`CollectorConfig`] and a [`RecorderFactory`]; register
+/// producers with [`register_producer`](Self::register_producer) — each
+/// gets its own lock-free ring per shard — and feed them
+/// [`DigestReport`](pint_core::DigestReport)s; query via merged
+/// [`snapshot`](Self::snapshot)s (full, [flow-filtered](Self::snapshot_flows),
+/// or [top-K](Self::snapshot_top_k)); subscribe to rule-driven
+/// [`Event`]s; and [`shutdown`](Self::shutdown) to join the workers.
 pub struct Collector {
-    senders: Vec<SyncSender<ShardMsg>>,
+    ctrl: Vec<SyncSender<ShardMsg>>,
+    waiters: Vec<Arc<Waiter>>,
     workers: Vec<JoinHandle<()>>,
     events_rx: Mutex<Receiver<Event>>,
     stats: Vec<Arc<ShardStats>>,
-    batch_size: usize,
+    registry: Arc<ProducerRegistry>,
 }
 
 impl Collector {
@@ -55,11 +119,13 @@ impl Collector {
         // Bounded: a consumer that never drains costs dropped events
         // (counted), not unbounded memory.
         let (events_tx, events_rx) = sync_channel(config.event_capacity);
-        let mut senders = Vec::with_capacity(config.shards);
+        let mut ctrl = Vec::with_capacity(config.shards);
+        let mut waiters = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         let mut stats = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
-            let (tx, rx) = sync_channel(config.channel_capacity);
+            let (tx, rx) = sync_channel(CTRL_CAPACITY);
+            let waiter = Arc::new(Waiter::new());
             let shard_stats = Arc::new(ShardStats::default());
             let worker = ShardWorker::new(
                 shard,
@@ -67,48 +133,125 @@ impl Collector {
                 Arc::clone(&factory),
                 events_tx.clone(),
                 Arc::clone(&shard_stats),
+                Arc::clone(&waiter),
             );
             let join = std::thread::Builder::new()
                 .name(format!("pint-collector-{shard}"))
                 .spawn(move || worker.run(rx))
                 .expect("spawn shard worker");
-            senders.push(tx);
+            ctrl.push(tx);
+            waiters.push(waiter);
             workers.push(join);
             stats.push(shard_stats);
         }
+        let registry = Arc::new(ProducerRegistry {
+            ctrl: ctrl.clone(),
+            waiters: waiters.clone(),
+            batch_size: config.batch_size,
+            ring_capacity: config.ring_capacity,
+            tuning: RingTuning {
+                spin_limit: config.spin_limit,
+                park_timeout: Duration::from_micros(config.park_timeout_us.max(1)),
+            },
+            dropped: AtomicU64::new(0),
+            parks: Arc::new(AtomicU64::new(0)),
+        });
         Self {
-            senders,
+            ctrl,
+            waiters,
             workers,
             events_rx: Mutex::new(events_rx),
             stats,
-            batch_size: config.batch_size,
+            registry,
         }
     }
 
     /// Number of shard workers.
     pub fn shards(&self) -> usize {
-        self.senders.len()
+        self.ctrl.len()
     }
 
-    /// A new ingestion handle (cheap; one per sink thread).
+    /// Registers a new producer: a [`CollectorHandle`] owning one
+    /// lock-free SPSC ring to every shard. One per producing thread;
+    /// per-flow ordering is preserved within each producer.
+    pub fn register_producer(&self) -> CollectorHandle {
+        self.registry.register()
+    }
+
+    /// A new ingestion handle — alias for
+    /// [`register_producer`](Self::register_producer).
     pub fn handle(&self) -> CollectorHandle {
-        CollectorHandle::new(self.senders.clone(), self.batch_size)
+        self.register_producer()
     }
 
     /// Requests a snapshot from every shard and merges the results.
     ///
-    /// The request is ordered after batches already *sent* on each shard
-    /// channel; digests still sitting in un-flushed handle buffers are
-    /// not included — flush the handles first for a precise cut.
+    /// Each shard drains every producer ring before answering, so the
+    /// snapshot covers all batches shipped (flushed) before this call.
+    /// Digests still sitting in un-flushed handle buffers are not
+    /// included — flush the handles first for a precise cut.
     pub fn snapshot(&self) -> Result<CollectorSnapshot, CollectorError> {
         self.fanout(ShardMsg::Snapshot)
             .map(CollectorSnapshot::from_shards)
     }
 
-    /// Blocks until every batch already queued on the shard channels has
-    /// been applied — a cheap sync point (no state is serialized, unlike
-    /// [`snapshot`](Self::snapshot)). Digests still in un-flushed handle
-    /// buffers are not covered; flush the handles first.
+    /// A snapshot restricted to `flows` — dashboards polling a watch
+    /// list pay for those flows only, not a clone of every hop sketch
+    /// the collector holds. Flows not currently tracked are simply
+    /// absent from the result. Only the shards owning the requested
+    /// flows are consulted, so the snapshot's aggregate fields
+    /// (`ingested`, `shard_stats`) cover *those shards only* — read
+    /// fleet-wide totals from [`stats`](Self::stats) or a full
+    /// [`snapshot`](Self::snapshot) instead.
+    pub fn snapshot_flows(&self, flows: &[FlowId]) -> Result<CollectorSnapshot, CollectorError> {
+        let shards = self.shards();
+        let mut per_shard: Vec<Vec<FlowId>> = vec![Vec::new(); shards];
+        let mut sorted: Vec<FlowId> = flows.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for flow in sorted {
+            per_shard[shard_of(flow, shards)].push(flow);
+        }
+        let mut pending = Vec::new();
+        for (shard, wanted) in per_shard.into_iter().enumerate() {
+            if wanted.is_empty() {
+                continue;
+            }
+            let (reply_tx, reply_rx) = channel();
+            self.ctrl[shard]
+                .send(ShardMsg::SnapshotFlows(wanted, reply_tx))
+                .map_err(|_| CollectorError::Disconnected)?;
+            self.waiters[shard].wake();
+            pending.push((shard, reply_rx));
+        }
+        let mut out = Vec::with_capacity(pending.len());
+        for (shard, rx) in pending {
+            out.push(
+                rx.recv()
+                    .map_err(|_| CollectorError::SnapshotFailed { shard })?,
+            );
+        }
+        Ok(CollectorSnapshot::from_shards(out))
+    }
+
+    /// A snapshot of the `k` flows with the most recorded packets
+    /// (ties broken by ascending flow ID) — the "heaviest flows" panel
+    /// without serializing the full flow population. Each shard ranks
+    /// locally and returns its own top `k`; the merge keeps the global
+    /// top `k` (correct because every globally-heavy flow is heavy in
+    /// its owning shard).
+    pub fn snapshot_top_k(&self, k: usize) -> Result<CollectorSnapshot, CollectorError> {
+        let merged = self
+            .fanout(|reply| ShardMsg::SnapshotTopK(k, reply))
+            .map(CollectorSnapshot::from_shards)?;
+        Ok(merged.into_top_k(k))
+    }
+
+    /// Blocks until every batch shipped to the shard rings before this
+    /// call has been applied — a cheap sync point (no state is
+    /// serialized, unlike [`snapshot`](Self::snapshot)). Digests still
+    /// in un-flushed handle buffers are not covered; flush the handles
+    /// first.
     pub fn barrier(&self) -> Result<(), CollectorError> {
         self.fanout(ShardMsg::Barrier).map(|_| ())
     }
@@ -119,11 +262,12 @@ impl Collector {
         &self,
         make_msg: impl Fn(Sender<T>) -> ShardMsg,
     ) -> Result<Vec<T>, CollectorError> {
-        let mut pending = Vec::with_capacity(self.senders.len());
-        for (shard, tx) in self.senders.iter().enumerate() {
+        let mut pending = Vec::with_capacity(self.ctrl.len());
+        for (shard, tx) in self.ctrl.iter().enumerate() {
             let (reply_tx, reply_rx) = channel();
             tx.send(make_msg(reply_tx))
                 .map_err(|_| CollectorError::Disconnected)?;
+            self.waiters[shard].wake();
             pending.push((shard, reply_rx));
         }
         let mut out = Vec::with_capacity(pending.len());
@@ -152,6 +296,7 @@ impl Collector {
         for s in &self.stats {
             out.ingested += s.ingested.load(Ordering::Relaxed);
             out.batches += s.batches.load(Ordering::Relaxed);
+            out.producers += s.producers.load(Ordering::Relaxed);
             out.active_flows += s.active_flows.load(Ordering::Relaxed);
             out.state_bytes += s.state_bytes.load(Ordering::Relaxed);
             out.evicted_lru += s.evicted_lru.load(Ordering::Relaxed);
@@ -159,6 +304,8 @@ impl Collector {
             out.events += s.events.load(Ordering::Relaxed);
             out.events_dropped += s.events_dropped.load(Ordering::Relaxed);
         }
+        out.digests_dropped = self.registry.dropped.load(Ordering::Relaxed);
+        out.producer_parks = self.registry.parks.load(Ordering::Relaxed);
         out
     }
 
@@ -171,10 +318,11 @@ impl Collector {
     }
 
     fn stop(&mut self) {
-        for tx in &self.senders {
+        for (shard, tx) in self.ctrl.iter().enumerate() {
             let _ = tx.send(ShardMsg::Shutdown);
+            self.waiters[shard].wake();
         }
-        self.senders.clear();
+        self.ctrl.clear();
         for w in std::mem::take(&mut self.workers) {
             let _ = w.join();
         }
@@ -184,8 +332,8 @@ impl Collector {
 impl Drop for Collector {
     /// Dropping without [`shutdown`](Collector::shutdown) still stops
     /// and joins the workers — outstanding handles cannot keep orphaned
-    /// shard threads alive (their next push errors `Disconnected`-side
-    /// once the workers exit).
+    /// shard threads alive (their next push fails `Disconnected` once
+    /// the workers exit).
     fn drop(&mut self) {
         self.stop();
     }

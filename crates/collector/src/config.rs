@@ -25,12 +25,23 @@ pub struct CollectorConfig {
     /// digest of one flow lands on the same worker and per-flow state
     /// needs no locking.
     pub shards: usize,
-    /// Bounded depth (in batches) of each shard's ingestion channel;
-    /// senders block when a shard falls behind — backpressure instead of
-    /// unbounded buffering.
-    pub channel_capacity: usize,
+    /// Bounded depth, in batches, of each producer→shard SPSC ring. A
+    /// producer that outruns a shard fills its ring and parks
+    /// (backpressure) instead of buffering without limit. Rounded up to a
+    /// power of two. Total ingest buffering is
+    /// `producers × shards × ring_capacity × batch_size` digests.
+    pub ring_capacity: usize,
     /// Digests a handle buffers per shard before shipping a batch.
     pub batch_size: usize,
+    /// Busy-poll iterations before a blocked side (producer on a full
+    /// ring, shard worker with nothing to do) parks its thread. Keep
+    /// small on machines with few cores — a spinning thread steals the
+    /// core the other side needs.
+    pub spin_limit: u32,
+    /// Upper bound, in microseconds, on one park. This is a safety net
+    /// that turns wakeup races into bounded latency; explicit wakes make
+    /// the common case much faster than this.
+    pub park_timeout_us: u64,
     /// Per-shard cap on tracked flows; least-recently-updated flows are
     /// evicted beyond it.
     pub max_flows_per_shard: usize,
@@ -55,8 +66,10 @@ impl Default for CollectorConfig {
     fn default() -> Self {
         Self {
             shards: 4,
-            channel_capacity: 64,
+            ring_capacity: 64,
             batch_size: 256,
+            spin_limit: 64,
+            park_timeout_us: 200,
             max_flows_per_shard: 65_536,
             max_bytes_per_shard: 64 << 20,
             flow_ttl: None,
@@ -78,11 +91,12 @@ impl CollectorConfig {
     /// Validates invariants (positive sizes, rule-count limit).
     pub(crate) fn validate(&self) {
         assert!(self.shards >= 1, "need at least one shard");
-        assert!(
-            self.channel_capacity >= 1,
-            "channel capacity must be positive"
-        );
+        assert!(self.ring_capacity >= 1, "ring capacity must be positive");
         assert!(self.batch_size >= 1, "batch size must be positive");
+        assert!(
+            self.park_timeout_us >= 1,
+            "park timeout must be positive (it bounds wakeup races)"
+        );
         assert!(self.max_flows_per_shard >= 1, "flow cap must be positive");
         assert!(self.event_capacity >= 1, "event capacity must be positive");
         assert!(

@@ -14,6 +14,11 @@ pub enum CollectorError {
         /// The shard that failed to answer.
         shard: usize,
     },
+    /// A non-blocking push found the destination shard's ring full and
+    /// the handle's buffer for it already at one batch: accepting the
+    /// digest would require blocking. The digest was *not* queued; retry,
+    /// reroute, or drop it.
+    WouldBlock,
 }
 
 impl fmt::Display for CollectorError {
@@ -24,6 +29,9 @@ impl fmt::Display for CollectorError {
             }
             CollectorError::SnapshotFailed { shard } => {
                 write!(f, "shard {shard} did not answer the snapshot request")
+            }
+            CollectorError::WouldBlock => {
+                write!(f, "shard ring full; digest not queued (backpressure)")
             }
         }
     }

@@ -4,19 +4,27 @@
 //! need "tell me *now* when a hop's tail latency crosses X" (cf.
 //! *Programmable Event Detection for In-Band Network Telemetry*). Rules
 //! are evaluated on the shard workers as digest batches are applied, so
-//! detection latency is one batch, not one query cycle. Each rule fires
-//! at most once per flow *residency* (rising edge; the fired set is a
-//! bitmask in the flow table, so a flow that is evicted and later
-//! recreated re-arms its rules). Fired events go to a bounded queue —
-//! see `CollectorConfig::event_capacity`.
+//! detection latency is one batch, not one query cycle.
+//!
+//! A rule is a [`RuleCondition`] plus an optional per-rule *cooldown*.
+//! Without a cooldown, a rule fires at most once per flow residency
+//! (rising edge; the fired set is a bitmask in the flow table, so a flow
+//! that is evicted and later recreated re-arms its rules). With
+//! [`EventRule::with_cooldown`], the rule re-arms after the given quiet
+//! period (in sink-timestamp units): if the condition still holds when
+//! the cooldown elapses, it fires again — so a persistently hot flow
+//! produces a bounded alarm stream instead of a single easily-missed
+//! edge. Fired events go to a bounded queue — see
+//! `CollectorConfig::event_capacity`.
 
 use crate::config::FlowId;
 use pint_core::FlowRecorder;
 
-/// A user-registered detection rule.
+/// The observable predicate of a rule — what to test on a flow's
+/// recorder.
 #[derive(Debug, Clone)]
-pub enum EventRule {
-    /// Fires when hop `hop`'s ϕ-quantile of the flow's value stream
+pub enum RuleCondition {
+    /// Holds when hop `hop`'s ϕ-quantile of the flow's value stream
     /// exceeds `threshold` (value space, e.g. nanoseconds) with at least
     /// `min_samples` recorded packets backing the estimate.
     QuantileAbove {
@@ -30,16 +38,16 @@ pub enum EventRule {
         /// noise from tiny samples).
         min_samples: u64,
     },
-    /// Fires when a path-tracing flow's route is fully reconstructed.
+    /// Holds when a path-tracing flow's route is fully reconstructed.
     PathResolved,
-    /// Fires when a flow's digests contradict its inferred path at least
+    /// Holds when a flow's digests contradict its inferred path at least
     /// `min_inconsistencies` times — the paper's §7 routing-change /
     /// multipath signal.
     PathChanged {
         /// Contradictory digests required before firing.
         min_inconsistencies: u64,
     },
-    /// Fires when some value appears in at least a `theta` fraction of
+    /// Holds when some value appears in at least a `theta` fraction of
     /// hop `hop`'s stream (with `min_samples` backing it).
     FrequentValue {
         /// 1-based hop index.
@@ -49,6 +57,40 @@ pub enum EventRule {
         /// Minimum recorded packets before the rule may fire.
         min_samples: u64,
     },
+}
+
+/// A user-registered detection rule: a condition plus firing policy.
+#[derive(Debug, Clone)]
+pub struct EventRule {
+    /// The predicate evaluated against each touched flow's recorder.
+    pub condition: RuleCondition,
+    /// Quiet period (sink-timestamp units) after a firing during which
+    /// the rule stays silent for that flow; once elapsed the rule
+    /// re-arms. `None` (default) = fire once per flow residency.
+    pub cooldown: Option<u64>,
+}
+
+impl EventRule {
+    /// A rule that fires once per flow residency (rising edge).
+    pub fn new(condition: RuleCondition) -> Self {
+        Self {
+            condition,
+            cooldown: None,
+        }
+    }
+
+    /// Lets the rule re-fire after `quiet` sink-timestamp units of
+    /// silence (see the module docs for semantics).
+    pub fn with_cooldown(mut self, quiet: u64) -> Self {
+        self.cooldown = Some(quiet.max(1));
+        self
+    }
+}
+
+impl From<RuleCondition> for EventRule {
+    fn from(condition: RuleCondition) -> Self {
+        Self::new(condition)
+    }
 }
 
 /// What a fired rule observed.
@@ -99,13 +141,13 @@ pub struct Event {
     pub ts: u64,
 }
 
-impl EventRule {
-    /// Evaluates the rule against one flow's recorder; `Some(kind)` means
-    /// the rule fires now. Called only for rules that have not yet fired
+impl RuleCondition {
+    /// Evaluates the condition against one flow's recorder; `Some(kind)`
+    /// means the rule fires now. Called only for rules currently armed
     /// for this flow.
     pub(crate) fn evaluate(&self, rec: &mut dyn FlowRecorder) -> Option<EventKind> {
         match *self {
-            EventRule::QuantileAbove {
+            RuleCondition::QuantileAbove {
                 hop,
                 phi,
                 threshold,
@@ -117,19 +159,19 @@ impl EventRule {
                 let value = rec.quantile(hop, phi)?;
                 (value > threshold).then_some(EventKind::QuantileAbove { hop, phi, value })
             }
-            EventRule::PathResolved => {
+            RuleCondition::PathResolved => {
                 let progress = rec.path_progress()?;
                 let path = progress.path?;
                 Some(EventKind::PathResolved { path })
             }
-            EventRule::PathChanged {
+            RuleCondition::PathChanged {
                 min_inconsistencies,
             } => {
                 let inconsistencies = rec.inconsistencies();
                 (inconsistencies >= min_inconsistencies)
                     .then_some(EventKind::PathChanged { inconsistencies })
             }
-            EventRule::FrequentValue {
+            RuleCondition::FrequentValue {
                 hop,
                 theta,
                 min_samples,
@@ -159,24 +201,24 @@ mod tests {
     fn quantile_rule_requires_samples_then_fires() {
         let agg = DynamicAggregator::new(3, 8, 100.0, 1.0e7);
         let mut rec = DynamicRecorder::new_exact(agg.clone(), 2);
-        let rule = EventRule::QuantileAbove {
+        let rule = EventRule::new(RuleCondition::QuantileAbove {
             hop: 1,
             phi: 0.5,
             threshold: 5_000.0,
             min_samples: 100,
-        };
+        });
         for pid in 0..500u64 {
             let mut d = Digest::new(1);
             for hop in 1..=2 {
                 agg.encode_hop(pid, hop, 10_000.0, &mut d, 0);
             }
             rec.record(pid, &d, 0);
-            let fired = rule.evaluate(&mut rec).is_some();
+            let fired = rule.condition.evaluate(&mut rec).is_some();
             if rec.packets() < 100 {
                 assert!(!fired, "fired below min_samples at {pid}");
             }
         }
-        match rule.evaluate(&mut rec) {
+        match rule.condition.evaluate(&mut rec) {
             Some(EventKind::QuantileAbove { hop: 1, value, .. }) => {
                 assert!(value > 5_000.0, "median {value}");
             }
@@ -189,7 +231,7 @@ mod tests {
         let tracer = PathTracer::new(TracerConfig::paper(8, 2, 5));
         let path = [2u64, 11, 19];
         let mut dec = tracer.decoder((0..32).collect(), path.len());
-        let rule = EventRule::PathResolved;
+        let rule = EventRule::new(RuleCondition::PathResolved);
         let mut pid = 0u64;
         loop {
             pid += 1;
@@ -201,11 +243,19 @@ mod tests {
             ) {
                 break;
             }
-            assert!(rule.evaluate(&mut dec).is_none(), "fired early");
+            assert!(rule.condition.evaluate(&mut dec).is_none(), "fired early");
         }
-        match rule.evaluate(&mut dec) {
+        match rule.condition.evaluate(&mut dec) {
             Some(EventKind::PathResolved { path: p }) => assert_eq!(p, path),
             other => panic!("expected fire, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn cooldown_builder_clamps_to_positive() {
+        let rule = EventRule::new(RuleCondition::PathResolved).with_cooldown(0);
+        assert_eq!(rule.cooldown, Some(1), "zero cooldown clamps to 1 tick");
+        let rule: EventRule = RuleCondition::PathResolved.into();
+        assert_eq!(rule.cooldown, None, "From keeps rising-edge default");
     }
 }

@@ -1,17 +1,27 @@
 //! Ingestion handles: how sinks feed digests into the collector.
 //!
-//! A [`CollectorHandle`] buffers digests per destination shard and ships
-//! them as batches over the bounded channels, amortizing channel
-//! synchronization over `batch_size` digests. Handles are cheap to clone
-//! (each clone gets private buffers), so every sink thread owns one.
-//! Per-flow ordering is preserved: a flow always maps to one shard, and
-//! one handle's pushes for it stay in push order.
+//! A [`CollectorHandle`] is one registered *producer*: it owns a private
+//! lock-free SPSC ring to every shard (see
+//! [`Collector::register_producer`](crate::Collector::register_producer)),
+//! buffers digests per destination shard, and ships them as batches, so
+//! ring synchronization is amortized over `batch_size` digests. Handles
+//! are `Clone` — a clone registers a *sibling* producer with fresh rings
+//! — so every sink thread owns its own, and producers never contend with
+//! each other on the data path.
+//!
+//! Ordering: a flow always maps to one shard, and one handle's pushes
+//! for it stay in push order — per-flow-per-producer ordering is exact.
+//! Digests for one flow pushed through *different* handles interleave
+//! arbitrarily (they ride different rings), so route any one flow
+//! through one producer when stream order matters.
 
+use crate::collector::ProducerRegistry;
 use crate::config::FlowId;
 use crate::error::CollectorError;
-use crate::shard::ShardMsg;
+use crate::ring::{PushError, RingProducer};
 use pint_core::DigestReport;
-use std::sync::mpsc::SyncSender;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// Stable shard choice via `pint-core`'s splitmix64 finalizer —
 /// decouples the partition from any structure in flow IDs.
@@ -20,41 +30,77 @@ pub(crate) fn shard_of(flow: FlowId, shards: usize) -> usize {
     (pint_core::hash::mix64(flow.wrapping_add(0x9E37_79B9_7F4A_7C15)) % shards as u64) as usize
 }
 
-/// A cloneable, buffering front-end to a [`Collector`](crate::Collector).
+/// One producer's buffering front-end to a [`Collector`](crate::Collector).
 pub struct CollectorHandle {
-    senders: Vec<SyncSender<ShardMsg>>,
+    producers: Vec<RingProducer>,
     bufs: Vec<Vec<DigestReport>>,
     batch_size: usize,
+    registry: Arc<ProducerRegistry>,
 }
 
 impl CollectorHandle {
-    pub(crate) fn new(senders: Vec<SyncSender<ShardMsg>>, batch_size: usize) -> Self {
-        let bufs = senders
+    pub(crate) fn new(
+        producers: Vec<RingProducer>,
+        batch_size: usize,
+        registry: Arc<ProducerRegistry>,
+    ) -> Self {
+        let bufs = producers
             .iter()
             .map(|_| Vec::with_capacity(batch_size))
             .collect();
         Self {
-            senders,
+            producers,
             bufs,
             batch_size,
+            registry,
         }
     }
 
     /// Number of shards digests fan out to.
     pub fn shards(&self) -> usize {
-        self.senders.len()
+        self.producers.len()
+    }
+
+    /// Digests lost collector-wide because a batch could not be
+    /// delivered (shard gone mid-shipment — see
+    /// [`CollectorStats::digests_dropped`](crate::CollectorStats)).
+    /// Shared across all handles of one collector.
+    pub fn dropped_digests(&self) -> u64 {
+        self.registry.dropped.load(Ordering::Relaxed)
     }
 
     /// Queues one digest; ships the destination shard's batch when it
-    /// reaches `batch_size`. Blocks (backpressure) when that shard's
-    /// channel is full.
+    /// reaches `batch_size`. Parks (backpressure) while that shard's
+    /// ring is full.
     pub fn push(&mut self, report: DigestReport) -> Result<(), CollectorError> {
-        let shard = shard_of(report.flow, self.senders.len());
+        let shard = shard_of(report.flow, self.producers.len());
         self.bufs[shard].push(report);
         if self.bufs[shard].len() >= self.batch_size {
             self.ship(shard)?;
         }
         Ok(())
+    }
+
+    /// Non-blocking [`push`](Self::push): if the destination shard's
+    /// ring is full *and* the handle's buffer for it already holds a
+    /// full batch, returns [`CollectorError::WouldBlock`] without
+    /// accepting the digest — the caller chooses whether to retry,
+    /// reroute, or drop. Buffering stays bounded at one batch per shard.
+    pub fn try_push(&mut self, report: DigestReport) -> Result<(), CollectorError> {
+        let shard = shard_of(report.flow, self.producers.len());
+        if self.bufs[shard].len() >= self.batch_size {
+            self.try_ship(shard)?;
+        }
+        self.bufs[shard].push(report);
+        if self.bufs[shard].len() >= self.batch_size {
+            // Opportunistic: a full ring is fine, the digest is buffered.
+            match self.try_ship(shard) {
+                Err(CollectorError::WouldBlock) => Ok(()),
+                other => other,
+            }
+        } else {
+            Ok(())
+        }
     }
 
     /// Queues a pre-assembled batch (e.g. from an upstream aggregator).
@@ -68,44 +114,87 @@ impl CollectorHandle {
         Ok(())
     }
 
-    /// Ships all partially filled buffers now.
+    /// Ships all partially filled buffers now (parking if rings are
+    /// full). Every shard's buffer is attempted even if an earlier one
+    /// fails — so after a disconnect, all undeliverable digests land in
+    /// the dropped counter rather than vanishing with the buffers — and
+    /// the first error is returned.
     pub fn flush(&mut self) -> Result<(), CollectorError> {
+        let mut result = Ok(());
         for shard in 0..self.bufs.len() {
             if !self.bufs[shard].is_empty() {
-                self.ship(shard)?;
+                let shipped = self.ship(shard);
+                if result.is_ok() {
+                    result = shipped;
+                }
             }
         }
-        Ok(())
+        result
     }
 
     fn ship(&mut self, shard: usize) -> Result<(), CollectorError> {
         let batch = std::mem::replace(&mut self.bufs[shard], Vec::with_capacity(self.batch_size));
-        self.senders[shard]
-            .send(ShardMsg::Batch(batch))
-            .map_err(|_| CollectorError::Disconnected)
+        match self.producers[shard].push(batch) {
+            Ok(()) => Ok(()),
+            Err(PushError::Closed(lost)) => {
+                // The batch cannot be delivered anywhere; account for
+                // every digest of it before reporting the disconnect.
+                self.registry
+                    .dropped
+                    .fetch_add(lost.len() as u64, Ordering::Relaxed);
+                Err(CollectorError::Disconnected)
+            }
+            Err(PushError::Full(_)) => unreachable!("blocking push never reports Full"),
+        }
+    }
+
+    fn try_ship(&mut self, shard: usize) -> Result<(), CollectorError> {
+        let batch = std::mem::replace(&mut self.bufs[shard], Vec::with_capacity(self.batch_size));
+        match self.producers[shard].try_push(batch) {
+            Ok(()) => Ok(()),
+            Err(PushError::Full(batch)) => {
+                self.bufs[shard] = batch;
+                Err(CollectorError::WouldBlock)
+            }
+            Err(PushError::Closed(lost)) => {
+                self.registry
+                    .dropped
+                    .fetch_add(lost.len() as u64, Ordering::Relaxed);
+                Err(CollectorError::Disconnected)
+            }
+        }
     }
 
     /// Adapts the handle into a `pint-netsim` digest sink: install with
     /// `Simulator::set_digest_sink(handle.into_digest_sink())`. Digests
     /// still ship in batches; the handle's `Drop` flushes the tail.
+    ///
+    /// The collector disappearing mid-simulation is a shutdown race, not
+    /// a data-path error, so the sink keeps running — but nothing is
+    /// lost *silently*: every undeliverable digest is counted in
+    /// [`dropped_digests`](Self::dropped_digests) /
+    /// [`CollectorStats::digests_dropped`](crate::CollectorStats).
     pub fn into_digest_sink(mut self) -> Box<dyn FnMut(DigestReport)> {
         Box::new(move |report| {
-            // The collector disappearing mid-simulation is a shutdown
-            // race, not a data-path error; drop the digest.
+            // Delivery failures are counted inside `ship`.
             let _ = self.push(report);
         })
     }
 }
 
 impl Clone for CollectorHandle {
+    /// Registers a sibling producer: the clone gets fresh rings of its
+    /// own, so two clones never synchronize on the data path.
     fn clone(&self) -> Self {
-        Self::new(self.senders.clone(), self.batch_size)
+        self.registry.register()
     }
 }
 
 impl Drop for CollectorHandle {
     fn drop(&mut self) {
         let _ = self.flush();
+        // Dropping the `RingProducer`s closes the rings; shards drain
+        // what was shipped, then detach them.
     }
 }
 

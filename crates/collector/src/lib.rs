@@ -1,45 +1,66 @@
-//! # pint-collector — sharded, multi-threaded telemetry ingestion & inference
+//! # pint-collector — sharded, multi-producer telemetry ingestion & inference
 //!
 //! The paper's Recording/Inference module (Fig. 3) is a single-threaded
 //! consumer of one flow's digests. This crate is the production-shaped
 //! version: a collector that absorbs digest streams from many sinks for
-//! very large flow counts, on a share-nothing sharded architecture.
+//! very large flow counts, on a share-nothing sharded architecture with
+//! an explicitly multi-producer, lock-free ingest pipeline.
 //!
 //! ```text
-//!  sinks (netsim hosts, PINT sinks)          shard workers (threads)
-//!  ┌────────────────┐  batches over          ┌────────────────────────┐
-//!  │ CollectorHandle│──bounded MPSC────────▶ │ shard 0: FlowTable     │
-//!  │  (buffers per  │  channels              │  flow → FlowRecorder   │
-//!  │   shard)       │ ─────────────────────▶ │  LRU + TTL eviction    │
-//!  └────────────────┘       …                │  EventRule evaluation  │
-//!        hash(flow) % N                      └────────────────────────┘
-//!                                                    │ snapshots
-//!                                                    ▼
-//!                                    CollectorSnapshot (merged KLL,
-//!                                    path completion, per-flow queries)
+//!  producers (PINT sinks, netsim drivers)      shard workers (threads)
+//!  ┌──────────────────┐   SPSC rings           ┌────────────────────────┐
+//!  │ CollectorHandle  │══════════════════════▶ │ shard 0: FlowTable     │
+//!  │  (one ring per   │══╗                     │  flow → FlowRecorder   │
+//!  │   shard)         │  ║ (1 ring per         │  O(1) LRU + TTL        │
+//!  └──────────────────┘  ║  producer × shard)  │  EventRule evaluation  │
+//!  ┌──────────────────┐  ║                     └────────────────────────┘
+//!  │ CollectorHandle  │══╩═══════════════════▶        … shard N-1
+//!  └──────────────────┘    control channel ─▶  (attach, snapshot,
+//!        hash(flow) % N                         barrier, shutdown)
+//!                                                      │ snapshots
+//!                                                      ▼
+//!                                      CollectorSnapshot (merged KLL,
+//!                                      path completion, top-K, per-flow)
 //! ```
 //!
-//! * **Sharding** — flows are hash-partitioned ([`handle`]); each worker
-//!   owns its slice of per-flow state outright, so the ingest hot path is
-//!   lock-free by construction.
-//! * **Batched, bounded ingestion** — handles buffer `batch_size` digests
-//!   per shard and ship over bounded channels; a slow shard exerts
-//!   backpressure instead of ballooning memory.
+//! * **Producer registration** — every producer calls
+//!   [`Collector::register_producer`] (or clones a handle) and receives
+//!   its own bounded SPSC [ring](`CollectorConfig::ring_capacity`) to
+//!   each shard: producers never contend with each other, and the data
+//!   path has no locks at all. Control traffic (registration, snapshots,
+//!   barriers, shutdown) rides a separate low-rate channel.
+//! * **Batched, park-based backpressure** — handles buffer `batch_size`
+//!   digests per shard and ship batch-granular ring slots; a producer
+//!   that outruns a shard fills its ring, spins briefly
+//!   ([`spin_limit`](CollectorConfig::spin_limit)), and parks until the
+//!   shard frees a slot — bounded memory, no burned cores.
+//! * **Ordering** — a flow maps to one shard, and one producer's pushes
+//!   for it stay in order: per-flow-per-producer ordering is exact, and
+//!   cross-shard merges are deterministic, so answers are identical at
+//!   any (producer, shard) combination — pinned by the
+//!   `collector_equivalence` property test.
 //! * **Bounded state** — per-shard flow-count and byte caps with
 //!   least-recently-updated eviction plus idle TTL ([`flow_table`]); the
 //!   collector survives unbounded flow churn.
 //! * **Uniform recorders** — per-flow state is any
 //!   [`FlowRecorder`](pint_core::FlowRecorder): latency quantiles, path
 //!   reconstruction, frequent values, or user-defined.
-//! * **Cross-shard inference** — [`snapshot`](Collector::snapshot) merges
-//!   per-shard state deterministically ([`inference`]): fleet-wide
-//!   latency quantiles via KLL merge, path-reconstruction completion,
-//!   per-flow drill-down.
-//! * **Streaming events** — threshold rules ([`events`]) are evaluated on
-//!   the workers as digests arrive: tail-latency alarms, path-change
-//!   detection, heavy-hitter values.
+//! * **Cross-shard inference** — [`snapshot`](Collector::snapshot)
+//!   merges per-shard state deterministically ([`inference`]); filtered
+//!   ([`snapshot_flows`](Collector::snapshot_flows)) and top-K
+//!   ([`snapshot_top_k`](Collector::snapshot_top_k)) variants let
+//!   dashboards poll without cloning every flow's sketches.
+//! * **Streaming events** — threshold rules ([`events`]) are evaluated
+//!   on the workers as digests arrive; per-rule cooldowns re-arm alarms
+//!   after a quiet period.
+//! * **Nothing lost silently** — undeliverable batches are counted
+//!   ([`CollectorStats::digests_dropped`]), as is producer backpressure
+//!   ([`CollectorStats::producer_parks`]).
+//!
+//! `unsafe` is confined to the [`ring`](crate) module's slot hand-off
+//! (two threads, release/acquire protocol) and denied everywhere else.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod collector;
@@ -49,17 +70,18 @@ pub mod events;
 pub mod flow_table;
 pub mod handle;
 pub mod inference;
+mod ring;
 mod shard;
 pub mod sink;
 
 pub use collector::{Collector, CollectorStats};
 pub use config::{CollectorConfig, FlowId, RecorderFactory};
 pub use error::CollectorError;
-pub use events::{Event, EventKind, EventRule};
+pub use events::{Event, EventKind, EventRule, RuleCondition};
 pub use handle::CollectorHandle;
 pub use inference::{CollectorSnapshot, FlowSummary, ShardSnapshot};
 pub use shard::ShardStats;
-pub use sink::{attach_collector, LatencyTelemetry};
+pub use sink::{attach_collector, attach_collector_parallel, LatencyTelemetry, ParallelSinkDriver};
 
 #[cfg(test)]
 mod tests {
@@ -132,6 +154,61 @@ mod tests {
         assert_eq!(stats.ingested, flows * per_flow);
         assert_eq!(stats.active_flows, flows);
         assert_eq!(stats.evicted_lru + stats.evicted_ttl, 0);
+        assert_eq!(stats.digests_dropped, 0, "no digest lost");
+    }
+
+    #[test]
+    fn concurrent_producers_preserve_per_flow_streams() {
+        // 4 producers on their own threads, each owning a disjoint flow
+        // set; totals and per-flow packet counts must be exact.
+        let agg = DynamicAggregator::new(11, 8, 100.0, 1.0e7);
+        let collector = Collector::spawn(
+            CollectorConfig {
+                shards: 4,
+                batch_size: 32,
+                ring_capacity: 8,
+                ..CollectorConfig::default()
+            },
+            latency_factory(agg.clone(), 96),
+        );
+        let producers = 4u64;
+        let flows = 64u64;
+        let per_flow = 200u64;
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let mut handle = collector.register_producer();
+                let agg = agg.clone();
+                s.spawn(move || {
+                    for pid in 0..per_flow {
+                        for flow in (0..flows).filter(|f| f % producers == p) {
+                            handle
+                                .push(encode_latency(
+                                    &agg,
+                                    flow,
+                                    flow * per_flow + pid,
+                                    3,
+                                    1_000.0,
+                                ))
+                                .unwrap();
+                        }
+                    }
+                    handle.flush().unwrap();
+                });
+            }
+        });
+        let snap = collector.snapshot().unwrap();
+        assert_eq!(snap.num_flows(), flows as usize);
+        assert_eq!(snap.total_packets(), flows * per_flow);
+        for flow in 0..flows {
+            assert_eq!(
+                snap.flow(flow).unwrap().packets,
+                per_flow,
+                "flow {flow} complete"
+            );
+        }
+        let stats = collector.shutdown();
+        assert_eq!(stats.ingested, flows * per_flow);
+        assert_eq!(stats.digests_dropped, 0);
     }
 
     #[test]
@@ -204,18 +281,56 @@ mod tests {
     }
 
     #[test]
+    fn filtered_and_top_k_snapshots_answer_cheaply() {
+        let agg = DynamicAggregator::new(21, 8, 100.0, 1.0e7);
+        let collector = Collector::spawn(
+            CollectorConfig {
+                shards: 4,
+                batch_size: 16,
+                ..CollectorConfig::default()
+            },
+            latency_factory(agg.clone(), 64),
+        );
+        let mut handle = collector.handle();
+        // Flow f gets f+1 packets: flow 63 is the heaviest.
+        for flow in 0..64u64 {
+            for pid in 0..=flow {
+                handle
+                    .push(encode_latency(&agg, flow, flow * 100 + pid, 2, 700.0))
+                    .unwrap();
+            }
+        }
+        handle.flush().unwrap();
+
+        let watch = collector.snapshot_flows(&[3, 17, 42, 999]).unwrap();
+        assert_eq!(watch.num_flows(), 3, "untracked flow 999 absent");
+        for f in [3u64, 17, 42] {
+            assert_eq!(watch.flow(f).unwrap().packets, f + 1);
+        }
+
+        let top = collector.snapshot_top_k(5).unwrap();
+        assert_eq!(top.num_flows(), 5);
+        let ids: Vec<u64> = top.flows().map(|&(f, _)| f).collect();
+        assert_eq!(ids, vec![59, 60, 61, 62, 63], "five heaviest, ID-sorted");
+
+        let full = collector.snapshot().unwrap();
+        assert_eq!(full.num_flows(), 64);
+        collector.shutdown();
+    }
+
+    #[test]
     fn tail_latency_alarm_fires_once_per_flow() {
         let agg = DynamicAggregator::new(9, 8, 100.0, 1.0e7);
         let collector = Collector::spawn(
             CollectorConfig {
                 shards: 2,
                 batch_size: 32,
-                rules: vec![EventRule::QuantileAbove {
+                rules: vec![EventRule::new(RuleCondition::QuantileAbove {
                     hop: 1,
                     phi: 0.9,
                     threshold: 50_000.0,
                     min_samples: 50,
-                }],
+                })],
                 ..CollectorConfig::default()
             },
             latency_factory(agg.clone(), 256),
@@ -250,6 +365,53 @@ mod tests {
     }
 
     #[test]
+    fn cooldown_rule_refires_after_quiet_period() {
+        let agg = DynamicAggregator::new(13, 8, 100.0, 1.0e7);
+        let collector = Collector::spawn(
+            CollectorConfig {
+                shards: 1,
+                batch_size: 8,
+                rules: vec![EventRule::new(RuleCondition::QuantileAbove {
+                    hop: 1,
+                    phi: 0.5,
+                    threshold: 50_000.0,
+                    min_samples: 20,
+                })
+                .with_cooldown(1_000)],
+                ..CollectorConfig::default()
+            },
+            latency_factory(agg.clone(), 256),
+        );
+        let mut handle = collector.handle();
+        // A persistently hot flow across 10 cooldown windows: timestamps
+        // advance 100 per digest, so each 1_000-tick cooldown spans ~10
+        // digests.
+        for pid in 0..400u64 {
+            let mut r = encode_latency(&agg, 1, pid, 2, 100_000.0);
+            r.ts = pid * 100;
+            handle.push(r).unwrap();
+        }
+        handle.flush().unwrap();
+        let _ = collector.snapshot().unwrap();
+        let events = collector.drain_events();
+        assert!(
+            events.len() >= 3,
+            "cooldown must allow re-fires, got {}",
+            events.len()
+        );
+        // Consecutive firings respect the quiet period.
+        for pair in events.windows(2) {
+            assert!(
+                pair[1].ts.saturating_sub(pair[0].ts) >= 1_000,
+                "fires {} and {} closer than the cooldown",
+                pair[0].ts,
+                pair[1].ts
+            );
+        }
+        collector.shutdown();
+    }
+
+    #[test]
     fn path_tracing_flows_resolve_and_alert() {
         let tracer = PathTracer::new(TracerConfig::paper(8, 2, 5));
         let universe: Vec<u64> = (0..64).collect();
@@ -259,7 +421,7 @@ mod tests {
             CollectorConfig {
                 shards: 4,
                 batch_size: 16,
-                rules: vec![EventRule::PathResolved],
+                rules: vec![EventRule::new(RuleCondition::PathResolved)],
                 ..CollectorConfig::default()
             },
             Arc::new(move |_flow, report: &DigestReport| {
@@ -304,7 +466,7 @@ mod tests {
     }
 
     #[test]
-    fn handle_errors_after_shutdown() {
+    fn handle_errors_after_shutdown_and_counts_losses() {
         let agg = DynamicAggregator::new(3, 8, 100.0, 1.0e7);
         let collector = Collector::spawn(
             CollectorConfig {
@@ -320,5 +482,44 @@ mod tests {
             .push(encode_latency(&agg, 1, 1, 2, 500.0))
             .unwrap_err();
         assert_eq!(err, CollectorError::Disconnected);
+        assert_eq!(
+            handle.dropped_digests(),
+            1,
+            "undeliverable digest must be counted, not silently dropped"
+        );
+    }
+
+    #[test]
+    fn try_push_reports_backpressure_without_blocking() {
+        let agg = DynamicAggregator::new(4, 8, 100.0, 1.0e7);
+        let collector = Collector::spawn(
+            CollectorConfig {
+                shards: 1,
+                batch_size: 4,
+                ring_capacity: 1,
+                ..CollectorConfig::default()
+            },
+            latency_factory(agg.clone(), 64),
+        );
+        let mut handle = collector.handle();
+        // Stall the only shard with a barrier we never... cannot stall
+        // the worker from outside; instead rely on capacity: with a
+        // 1-slot ring and batch_size 4, pushing fast enough eventually
+        // sees WouldBlock or succeeds — both are valid; the invariant
+        // under test is that try_push never loses an accepted digest.
+        let mut accepted = 0u64;
+        for pid in 0..100_000u64 {
+            match handle.try_push(encode_latency(&agg, 1, pid, 2, 500.0)) {
+                Ok(()) => accepted += 1,
+                Err(CollectorError::WouldBlock) => {}
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        handle.flush().unwrap();
+        collector.barrier().unwrap();
+        let stats = collector.stats();
+        assert_eq!(stats.ingested, accepted, "every accepted digest applied");
+        assert_eq!(stats.digests_dropped, 0);
+        collector.shutdown();
     }
 }

@@ -1,30 +1,43 @@
 //! Shard worker: the thread that owns one slice of flow state.
 //!
-//! Workers drain batches from a bounded channel, apply each digest to the
-//! owning flow's recorder, refresh memory accounting, run TTL expiry, and
-//! evaluate event rules for the flows the batch touched. Because flows
-//! are hash-partitioned, a worker never shares recorder state with
-//! another thread — the ingest hot path takes no locks.
+//! A worker multiplexes two inputs: a low-rate *control* channel
+//! (producer attachment, snapshot/barrier requests, shutdown) and one
+//! SPSC *data ring* per registered producer. The run loop polls control
+//! first, then takes one batch from each ring per pass — round-robin, so
+//! no producer can starve the others — and parks when everything is
+//! momentarily idle. Because flows are hash-partitioned, a worker never
+//! shares recorder state with another thread: the ingest hot path takes
+//! no locks, and the only synchronization is the ring hand-off itself.
 
 use crate::config::{CollectorConfig, FlowId, RecorderFactory};
 use crate::events::{Event, EventRule};
 use crate::flow_table::FlowTable;
 use crate::inference::{FlowSummary, ShardSnapshot};
+use crate::ring::{RingConsumer, Waiter};
 use pint_core::DigestReport;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError, TrySendError};
 use std::sync::Arc;
+use std::time::Duration;
 
-/// Messages a shard worker consumes.
+/// Messages a shard worker consumes on its control channel. Data batches
+/// arrive on the per-producer rings, never here.
 pub(crate) enum ShardMsg {
-    /// A batch of digests to apply.
-    Batch(Vec<DigestReport>),
-    /// Snapshot request; the worker answers on the provided channel.
+    /// A new producer registered; adopt its ring.
+    Attach(RingConsumer),
+    /// Snapshot request; the worker drains all rings, then answers on
+    /// the provided channel.
     Snapshot(Sender<ShardSnapshot>),
-    /// Sync point: the worker acknowledges once every batch queued ahead
-    /// of this message has been applied.
+    /// Snapshot restricted to the given flows (already filtered to this
+    /// shard's partition by the collector).
+    SnapshotFlows(Vec<FlowId>, Sender<ShardSnapshot>),
+    /// Snapshot of this shard's `k` flows with the most recorded
+    /// packets (ties broken by ascending flow ID).
+    SnapshotTopK(usize, Sender<ShardSnapshot>),
+    /// Sync point: the worker acknowledges once every batch enqueued
+    /// before this message was sent has been applied.
     Barrier(Sender<()>),
-    /// Drain and exit.
+    /// Drain all rings and exit.
     Shutdown,
 }
 
@@ -35,6 +48,8 @@ pub struct ShardStats {
     pub ingested: AtomicU64,
     /// Batches applied.
     pub batches: AtomicU64,
+    /// Currently attached producer rings.
+    pub producers: AtomicU64,
     /// Currently tracked flows.
     pub active_flows: AtomicU64,
     /// Approximate recorder-state bytes held.
@@ -55,10 +70,20 @@ pub(crate) struct ShardWorker {
     table: FlowTable,
     factory: RecorderFactory,
     rules: Vec<EventRule>,
+    /// Bitmask of rules that carry a cooldown (they can re-arm, so a
+    /// fully-fired flow cannot be skipped outright).
+    cooldown_mask: u64,
     events_tx: SyncSender<Event>,
     stats: Arc<ShardStats>,
-    /// Scratch: flows touched by the current batch (dedup'd).
-    touched: Vec<FlowId>,
+    /// This shard's park slot; producers and the collector wake it.
+    waiter: Arc<Waiter>,
+    spin_limit: u32,
+    park_timeout: Duration,
+    /// Scratch: `(slot, flow)` touched by the current batch (unique per
+    /// batch via the table's stamp — no sort/dedup pass).
+    touched: Vec<(u32, FlowId)>,
+    /// Monotonic batch stamp driving touch dedup.
+    batch_stamp: u64,
     /// Latest sink timestamp seen (drives TTL expiry).
     clock: u64,
 }
@@ -70,7 +95,14 @@ impl ShardWorker {
         factory: RecorderFactory,
         events_tx: SyncSender<Event>,
         stats: Arc<ShardStats>,
+        waiter: Arc<Waiter>,
     ) -> Self {
+        let cooldown_mask = config
+            .rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.cooldown.is_some())
+            .fold(0u64, |m, (i, _)| m | (1 << i));
         Self {
             shard,
             table: FlowTable::new(
@@ -80,56 +112,189 @@ impl ShardWorker {
             ),
             factory,
             rules: config.rules.clone(),
+            cooldown_mask,
             events_tx,
             stats,
+            waiter,
+            spin_limit: config.spin_limit,
+            park_timeout: Duration::from_micros(config.park_timeout_us.max(1)),
             touched: Vec::new(),
+            batch_stamp: 0,
             clock: 0,
         }
     }
 
-    /// The worker loop; runs until `Shutdown` or channel disconnect.
-    pub(crate) fn run(mut self, rx: Receiver<ShardMsg>) {
-        while let Ok(msg) = rx.recv() {
-            match msg {
-                ShardMsg::Batch(batch) => self.apply_batch(batch),
-                ShardMsg::Snapshot(reply) => {
-                    // The requester may have given up; ignore send errors.
-                    let _ = reply.send(self.snapshot());
+    /// The worker loop; runs until `Shutdown` (or the collector and all
+    /// producers are gone).
+    pub(crate) fn run(mut self, ctrl: Receiver<ShardMsg>) {
+        self.waiter.register_current();
+        let mut rings: Vec<RingConsumer> = Vec::new();
+        let mut ctrl_open = true;
+        let mut idle = 0u32;
+        loop {
+            let mut progressed = false;
+            // Control first: attachment must precede any sync request
+            // sent after it (the channel preserves that order).
+            while ctrl_open {
+                match ctrl.try_recv() {
+                    Ok(msg) => {
+                        progressed = true;
+                        if !self.on_ctrl(msg, &mut rings) {
+                            return; // Shutdown: rings already drained
+                        }
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        // Collector gone without a Shutdown message:
+                        // finish the remaining producers, then exit.
+                        ctrl_open = false;
+                    }
                 }
-                ShardMsg::Barrier(reply) => {
-                    let _ = reply.send(());
+            }
+            // One batch per ring per pass (fair across producers);
+            // closed-and-drained rings detach as soon as they run dry,
+            // so producer churn cannot accumulate dead rings.
+            let before = rings.len();
+            rings.retain_mut(|ring| match ring.pop() {
+                Some(batch) => {
+                    self.apply_batch(batch);
+                    progressed = true;
+                    true
                 }
-                ShardMsg::Shutdown => break,
+                None => !ring.is_finished(),
+            });
+            if rings.len() != before {
+                self.stats
+                    .producers
+                    .store(rings.len() as u64, Ordering::Relaxed);
+            }
+            if progressed {
+                idle = 0;
+                continue;
+            }
+            if !ctrl_open && rings.is_empty() {
+                return;
+            }
+            idle += 1;
+            if idle <= self.spin_limit {
+                std::hint::spin_loop();
+                continue;
+            }
+            // Park until a producer pushes or the collector sends
+            // control traffic (both wake this waiter). `prepare` orders
+            // the announce before the re-checks; both inputs must be
+            // re-checked after it, or a wake racing the announce is
+            // lost and the request stalls a full park_timeout.
+            self.waiter.prepare();
+            if rings.iter().any(|r| !r.is_empty()) {
+                self.waiter.cancel();
+            } else {
+                match ctrl.try_recv() {
+                    Ok(msg) => {
+                        self.waiter.cancel();
+                        if !self.on_ctrl(msg, &mut rings) {
+                            return;
+                        }
+                    }
+                    Err(TryRecvError::Empty) => self.waiter.park(self.park_timeout),
+                    Err(TryRecvError::Disconnected) => {
+                        ctrl_open = false;
+                        self.waiter.park(self.park_timeout);
+                    }
+                }
+            }
+            idle = 0;
+        }
+    }
+
+    /// Handles one control message; `false` means exit now.
+    fn on_ctrl(&mut self, msg: ShardMsg, rings: &mut Vec<RingConsumer>) -> bool {
+        match msg {
+            ShardMsg::Attach(ring) => {
+                rings.push(ring);
+                self.stats
+                    .producers
+                    .store(rings.len() as u64, Ordering::Relaxed);
+            }
+            ShardMsg::Snapshot(reply) => {
+                self.drain_all(rings);
+                // The requester may have given up; ignore send errors.
+                let _ = reply.send(self.snapshot());
+            }
+            ShardMsg::SnapshotFlows(flows, reply) => {
+                self.drain_all(rings);
+                let _ = reply.send(self.snapshot_flows(&flows));
+            }
+            ShardMsg::SnapshotTopK(k, reply) => {
+                self.drain_all(rings);
+                let _ = reply.send(self.snapshot_top_k(k));
+            }
+            ShardMsg::Barrier(reply) => {
+                self.drain_all(rings);
+                let _ = reply.send(());
+            }
+            ShardMsg::Shutdown => {
+                self.drain_all(rings);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Applies every batch queued on any ring *at the moment of the
+    /// call*: the sync point behind snapshots, barriers, and shutdown.
+    /// Batches enqueued by a producer before the triggering request was
+    /// sent are guaranteed in (they were visible in its ring). The drain
+    /// is bounded by a per-ring quota taken up front, so a producer
+    /// sustaining line-rate ingest cannot starve the request — batches
+    /// racing in behind the quota catch the next cycle.
+    fn drain_all(&mut self, rings: &mut [RingConsumer]) {
+        let quotas: Vec<u64> = rings.iter().map(|r| r.pending()).collect();
+        for (ring, quota) in rings.iter_mut().zip(quotas) {
+            for _ in 0..quota {
+                match ring.pop() {
+                    Some(batch) => self.apply_batch(batch),
+                    None => break,
+                }
             }
         }
     }
 
     fn apply_batch(&mut self, batch: Vec<DigestReport>) {
         self.touched.clear();
+        self.batch_stamp += 1;
+        let stamp = self.batch_stamp;
         let n = batch.len() as u64;
         for report in batch {
             self.clock = self.clock.max(report.ts);
             let flow = report.flow;
             let factory = &self.factory;
-            let entry = self
+            let (idx, first) = self
                 .table
-                .entry_mut(flow, report.ts, || factory(flow, &report));
-            entry.rec.absorb(report.pid, &report.digest);
-            self.touched.push(flow);
+                .upsert(flow, report.ts, stamp, || factory(flow, &report));
+            if first {
+                self.touched.push((idx, flow));
+            }
+            self.table
+                .entry_if(idx, flow)
+                .expect("slot just upserted")
+                .rec
+                .absorb(report.pid, &report.digest);
         }
-        self.touched.sort_unstable();
-        self.touched.dedup();
-        // Memory accounting + byte-cap eviction for the flows that grew.
+        // Memory accounting + byte-cap eviction for the flows that grew
+        // (the estimate itself refreshes on a packet stride inside the
+        // table).
         for i in 0..self.touched.len() {
-            self.table.refresh_bytes(self.touched[i]);
+            let (idx, flow) = self.touched[i];
+            self.table.refresh_bytes_at(idx, flow);
         }
         self.table.expire(self.clock);
         self.detect_events();
         self.publish_stats(n);
     }
 
-    /// Evaluates not-yet-fired rules against every flow this batch
-    /// touched (the flow may have been evicted meanwhile — skip then).
+    /// Evaluates armed rules against every flow this batch touched (the
+    /// flow may have been evicted meanwhile — skip then).
     ///
     /// Evaluation is amortized: rules (which may recompute quantiles)
     /// run eagerly while a flow is young, then only after every
@@ -137,6 +302,12 @@ impl ShardWorker {
     /// crosses a threshold costs O(1/EVAL_STRIDE) evaluations per
     /// digest, and detection lags a firing condition by at most one
     /// batch plus `EVAL_STRIDE` packets.
+    ///
+    /// A fired rule without a cooldown stays fired for the flow's
+    /// residency. A fired rule *with* a cooldown re-arms once the quiet
+    /// period elapses: if the condition still holds it fires again (and
+    /// the cooldown restarts); if it cleared meanwhile, the rule returns
+    /// to rising-edge arming.
     fn detect_events(&mut self) {
         /// Re-evaluate after this many new packets (steady state).
         const EVAL_STRIDE: u64 = 16;
@@ -151,14 +322,16 @@ impl ShardWorker {
         } else {
             (1u64 << self.rules.len()) - 1
         };
+        let nrules = self.rules.len();
+        let ts = self.clock;
         let mut fired = 0u64;
-        for idx in 0..self.touched.len() {
-            let flow = self.touched[idx];
-            let ts = self.clock;
-            let Some(entry) = self.table.get_mut(flow) else {
+        for i in 0..self.touched.len() {
+            let (idx, flow) = self.touched[i];
+            let Some(entry) = self.table.entry_if(idx, flow) else {
                 continue;
             };
-            if entry.fired_rules == all_rules {
+            // Fully fired and nothing can re-arm: skip the flow outright.
+            if entry.fired_rules == all_rules && self.cooldown_mask == 0 {
                 continue;
             }
             let packets = entry.rec.packets();
@@ -169,25 +342,48 @@ impl ShardWorker {
             for (rule_idx, rule) in self.rules.iter().enumerate() {
                 let bit = 1u64 << rule_idx;
                 if entry.fired_rules & bit != 0 {
-                    continue;
-                }
-                if let Some(kind) = rule.evaluate(entry.rec.as_mut()) {
-                    entry.fired_rules |= bit;
-                    let event = Event {
-                        flow,
-                        shard: self.shard,
-                        rule: rule_idx,
-                        kind,
-                        ts,
+                    // Fired earlier: only a cooldown can re-arm it.
+                    let Some(quiet) = rule.cooldown else {
+                        continue;
                     };
-                    // Never block the ingest path on the event queue:
-                    // `events` counts deliveries, `events_dropped` counts
-                    // firings lost to a full queue or a gone consumer.
-                    match self.events_tx.try_send(event) {
-                        Ok(()) => fired += 1,
-                        Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
-                            self.stats.events_dropped.fetch_add(1, Ordering::Relaxed);
+                    let since = ts.saturating_sub(entry.fired_ts[rule_idx]);
+                    if since < quiet {
+                        continue;
+                    }
+                    // Quiet period over; evaluate fresh below. If the
+                    // condition cleared, drop back to rising-edge arming.
+                }
+                match rule.condition.evaluate(entry.rec.as_mut()) {
+                    Some(kind) => {
+                        entry.fired_rules |= bit;
+                        if rule.cooldown.is_some() {
+                            if entry.fired_ts.len() < nrules {
+                                entry.fired_ts.resize(nrules, 0);
+                            }
+                            entry.fired_ts[rule_idx] = ts;
                         }
+                        let event = Event {
+                            flow,
+                            shard: self.shard,
+                            rule: rule_idx,
+                            kind,
+                            ts,
+                        };
+                        // Never block the ingest path on the event queue:
+                        // `events` counts deliveries, `events_dropped`
+                        // counts firings lost to a full queue or a gone
+                        // consumer.
+                        match self.events_tx.try_send(event) {
+                            Ok(()) => fired += 1,
+                            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                                self.stats.events_dropped.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    None => {
+                        // A re-armed cooldown rule whose condition has
+                        // cleared returns to normal rising-edge state.
+                        entry.fired_rules &= !bit;
                     }
                 }
             }
@@ -211,29 +407,69 @@ impl ShardWorker {
             .store(self.table.stats.evicted_ttl, Ordering::Relaxed);
     }
 
-    fn snapshot(&self) -> ShardSnapshot {
-        let flows = self
-            .table
-            .iter()
-            .map(|(&flow, entry)| {
-                let rec = entry.rec.as_ref();
-                let summary = FlowSummary {
-                    kind: rec.kind(),
-                    packets: rec.packets(),
-                    state_bytes: rec.state_bytes(),
-                    last_ts: entry.last_ts,
-                    hop_sketches: rec.hop_sketches(),
-                    path: rec.path_progress(),
-                    inconsistencies: rec.inconsistencies(),
-                };
-                (flow, summary)
-            })
-            .collect();
+    fn summarize(entry: &crate::flow_table::FlowEntry) -> FlowSummary {
+        let rec = entry.rec.as_ref();
+        FlowSummary {
+            kind: rec.kind(),
+            packets: rec.packets(),
+            state_bytes: rec.state_bytes(),
+            last_ts: entry.last_ts,
+            hop_sketches: rec.hop_sketches(),
+            path: rec.path_progress(),
+            inconsistencies: rec.inconsistencies(),
+        }
+    }
+
+    fn snapshot_with(&self, flows: Vec<(FlowId, FlowSummary)>) -> ShardSnapshot {
         ShardSnapshot {
             shard: self.shard,
             flows,
             table_stats: self.table.stats,
             ingested: self.stats.ingested.load(Ordering::Relaxed),
         }
+    }
+
+    fn snapshot(&self) -> ShardSnapshot {
+        let flows = self
+            .table
+            .iter()
+            .map(|(&flow, entry)| (flow, Self::summarize(entry)))
+            .collect();
+        self.snapshot_with(flows)
+    }
+
+    fn snapshot_flows(&self, wanted: &[FlowId]) -> ShardSnapshot {
+        // The collector pre-filters the list to this shard, so a direct
+        // per-ID probe beats scanning the whole table.
+        let flows = wanted
+            .iter()
+            .filter_map(|&flow| {
+                self.table
+                    .get(flow)
+                    .map(|entry| (flow, Self::summarize(entry)))
+            })
+            .collect();
+        self.snapshot_with(flows)
+    }
+
+    fn snapshot_top_k(&self, k: usize) -> ShardSnapshot {
+        let mut ranked: Vec<(u64, FlowId)> = self
+            .table
+            .iter()
+            .map(|(&flow, entry)| (entry.rec.packets(), flow))
+            .collect();
+        // Most packets first; ascending flow ID breaks ties so the
+        // selection is deterministic.
+        ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        ranked.truncate(k);
+        let flows = ranked
+            .into_iter()
+            .filter_map(|(_, flow)| {
+                self.table
+                    .get(flow)
+                    .map(|entry| (flow, Self::summarize(entry)))
+            })
+            .collect();
+        self.snapshot_with(flows)
     }
 }

@@ -153,14 +153,18 @@ impl HashFamily {
     /// sampling over a `k`-hop path: the *last* hop that writes.
     ///
     /// Always exists because hop 1 writes unconditionally.
+    ///
+    /// Scans from the last hop down: the winner is the *highest* hop
+    /// that writes, so the first writer found from the top is it. Same
+    /// answer as the forward scan, with half the hash evaluations in
+    /// expectation (the winner is uniform over the path).
     pub fn reservoir_winner(&self, pid: u64, k: usize) -> usize {
-        let mut winner = 1;
-        for hop in 2..=k {
+        for hop in (2..=k).rev() {
             if self.reservoir_writes(pid, hop) {
-                winner = hop;
+                return hop;
             }
         }
-        winner
+        1
     }
 
     /// The XOR-layer participation test with probability `p` (§4.2).

@@ -80,40 +80,87 @@ pub type TelemetryValue = u64;
 /// bit budget (§3.4) — unlike INT the size does **not** grow with path
 /// length. The PINT Source initializes it to zero; switches may modify but
 /// never extend it; the PINT Sink strips it.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Digest {
-    lanes: Vec<u64>,
+    lanes: Lanes,
+}
+
+/// Digests up to this many lanes live inline (no heap allocation).
+///
+/// Real deployments run one or two concurrent query instances per
+/// packet (§3.4 plans a 16-bit global budget), so essentially every
+/// digest fits inline; the heap spill only exists so the type has no
+/// hard lane limit. Keeping
+/// the common case allocation-free matters off-path: the collector
+/// clones and ships millions of `DigestReport`s per second, and an
+/// inline digest makes that a flat memcpy.
+const INLINE_LANES: usize = 2;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Lanes {
+    /// `len` live lanes in `vals[..len]`; unused tail lanes stay zero.
+    Inline { len: u8, vals: [u64; INLINE_LANES] },
+    /// More than [`INLINE_LANES`] lanes (rare).
+    Heap(Vec<u64>),
 }
 
 impl Digest {
     /// Creates an all-zero digest with `lanes` lanes.
     pub fn new(lanes: usize) -> Self {
-        Self {
-            lanes: vec![0; lanes],
+        let lanes = if lanes <= INLINE_LANES {
+            Lanes::Inline {
+                len: lanes as u8,
+                vals: [0; INLINE_LANES],
+            }
+        } else {
+            Lanes::Heap(vec![0; lanes])
+        };
+        Self { lanes }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u64] {
+        match &self.lanes {
+            Lanes::Inline { len, vals } => &vals[..usize::from(*len)],
+            Lanes::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [u64] {
+        match &mut self.lanes {
+            Lanes::Inline { len, vals } => &mut vals[..usize::from(*len)],
+            Lanes::Heap(v) => v,
         }
     }
 
     /// Number of lanes.
     pub fn lanes(&self) -> usize {
-        self.lanes.len()
+        self.as_slice().len()
     }
 
     /// Reads lane `i`.
     #[inline]
     pub fn get(&self, i: usize) -> u64 {
-        self.lanes[i]
+        self.as_slice()[i]
     }
 
     /// Overwrites lane `i` (the Baseline-layer action).
     #[inline]
     pub fn set(&mut self, i: usize, v: u64) {
-        self.lanes[i] = v;
+        self.as_mut_slice()[i] = v;
     }
 
     /// XORs `v` onto lane `i` (the XOR-layer action).
     #[inline]
     pub fn xor(&mut self, i: usize, v: u64) {
-        self.lanes[i] ^= v;
+        self.as_mut_slice()[i] ^= v;
+    }
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Self::new(0)
     }
 }
 

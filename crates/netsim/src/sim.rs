@@ -31,6 +31,12 @@ use pint_core::DigestReport;
 /// handle, which batches and shards the stream across worker threads.
 pub type DigestSink = Box<dyn FnMut(DigestReport)>;
 
+/// Batched sink-side digest tap: like [`DigestSink`], but invoked with
+/// chunks of reports, amortizing the closure dispatch (and whatever
+/// routing the hook does) over many packets. The simulator buffers up to
+/// the configured chunk size and flushes the tail when `run` ends.
+pub type DigestBatchSink = Box<dyn FnMut(Vec<DigestReport>)>;
+
 /// Engine parameters.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -153,6 +159,30 @@ pub struct Simulator {
     report: Report,
     fault_rng: SmallRng,
     digest_sink: Option<DigestSink>,
+    batch_sink: Option<BatchTap>,
+}
+
+/// A [`DigestBatchSink`] plus its accumulation buffer.
+struct BatchTap {
+    buf: Vec<DigestReport>,
+    chunk: usize,
+    sink: DigestBatchSink,
+}
+
+impl BatchTap {
+    fn push(&mut self, report: DigestReport) {
+        self.buf.push(report);
+        if self.buf.len() >= self.chunk {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            let chunk = std::mem::replace(&mut self.buf, Vec::with_capacity(self.chunk));
+            (self.sink)(chunk);
+        }
+    }
 }
 
 impl Simulator {
@@ -183,6 +213,7 @@ impl Simulator {
             report: Report::default(),
             fault_rng,
             digest_sink: None,
+            batch_sink: None,
         }
     }
 
@@ -190,6 +221,20 @@ impl Simulator {
     /// previously installed sink.
     pub fn set_digest_sink(&mut self, sink: DigestSink) {
         self.digest_sink = Some(sink);
+    }
+
+    /// Installs a *batched* sink-side digest tap (see
+    /// [`DigestBatchSink`]): digests accumulate in chunks of `chunk`
+    /// before the hook runs, and the tail chunk flushes when
+    /// [`run`](Self::run) finishes. Replaces any previously installed
+    /// batch sink; independent of [`set_digest_sink`](Self::set_digest_sink)
+    /// (both fire if both are set).
+    pub fn set_digest_batch_sink(&mut self, chunk: usize, sink: DigestBatchSink) {
+        self.batch_sink = Some(BatchTap {
+            buf: Vec::with_capacity(chunk.max(1)),
+            chunk: chunk.max(1),
+            sink,
+        });
     }
 
     /// The topology.
@@ -512,14 +557,26 @@ impl Simulator {
         // ID (assigned per transmission, like IPID/checksum in §4.1), so
         // its digest is an independent observation of a real traversal,
         // not a duplicate sample.
-        if let Some(sink) = self.digest_sink.as_mut() {
-            sink(DigestReport::new(
+        if self.digest_sink.is_some() || self.batch_sink.is_some() {
+            let report = DigestReport::new(
                 pkt.flow,
                 pkt.id,
                 pkt.digest.clone(),
                 u16::from(pkt.hop),
                 self.now,
-            ));
+            );
+            if let Some(tap) = self.batch_sink.as_mut() {
+                match self.digest_sink.as_mut() {
+                    // Both taps installed: the per-digest sink gets a copy.
+                    Some(sink) => {
+                        sink(report.clone());
+                        tap.push(report);
+                    }
+                    None => tap.push(report),
+                }
+            } else if let Some(sink) = self.digest_sink.as_mut() {
+                sink(report);
+            }
         }
         // Cumulative ACK with telemetry echo.
         let echo = Echo {
@@ -616,6 +673,9 @@ impl Simulator {
                     self.apply_actions(flow, actions);
                 }
             }
+        }
+        if let Some(tap) = self.batch_sink.as_mut() {
+            tap.flush();
         }
         self.report.elapsed_ns = self.now;
         self.report

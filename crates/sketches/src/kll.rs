@@ -150,13 +150,25 @@ impl KllSketch {
                 if h + 1 >= self.compactors.len() {
                     self.grow();
                 }
-                let mut items = std::mem::take(&mut self.compactors[h]);
-                items.sort_unstable();
+                // In place: sort, promote every other item upward, keep
+                // the level's buffer (small sketches compact every few
+                // updates — a scratch allocation here would dominate the
+                // ingest hot path).
                 let offset = usize::from(self.rng.gen_bool(0.5));
-                let promoted: Vec<u64> = items.iter().copied().skip(offset).step_by(2).collect();
-                self.size -= items.len();
-                self.size += promoted.len();
-                self.compactors[h + 1].extend_from_slice(&promoted);
+                let (lower, upper) = self.compactors.split_at_mut(h + 1);
+                let items = &mut lower[h];
+                items.sort_unstable();
+                let len = items.len();
+                let next = &mut upper[0];
+                let mut i = offset;
+                while i < len {
+                    next.push(items[i]);
+                    i += 2;
+                }
+                let promoted = (len - offset).div_ceil(2);
+                self.size -= len;
+                self.size += promoted;
+                items.clear();
                 // Compacting one level suffices to fall under max_size;
                 // matching the reference implementation we stop here.
                 break;

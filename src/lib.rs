@@ -19,7 +19,7 @@ pub use pint_netsim as netsim;
 pub use pint_sketches as sketches;
 pub use pint_traceback as traceback;
 
-pub use pint_collector::{Collector, CollectorConfig, CollectorHandle, EventRule};
+pub use pint_collector::{Collector, CollectorConfig, CollectorHandle, EventRule, RuleCondition};
 pub use pint_core::{
     Digest, DigestReport, FlowRecorder, GlobalHash, HashFamily, MetadataKind, PathDecoder,
     PathTracer, QueryEngine, QuerySpec, SchemeConfig, TracerConfig,

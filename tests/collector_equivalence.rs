@@ -1,18 +1,23 @@
-//! Shard-equivalence property: a sharded collector answers exactly like
-//! the paper's single-threaded Recording Module.
+//! Shard/producer-equivalence property: a sharded, multi-producer
+//! collector answers exactly like the paper's single-threaded Recording
+//! Module.
 //!
 //! For a random mixed workload (latency-quantile flows and path-tracing
-//! flows), a collector with 1, 2, 4, or 8 shards must yield, after
-//! ingesting the same digest stream:
+//! flows), a collector with S ∈ {1, 2, 4, 8} shards fed by P ∈ {1, 2, 4}
+//! concurrent producer threads must yield, after ingesting the same
+//! digest stream:
 //!
 //! * per-flow quantile sketches identical to a serial [`DynamicRecorder`]
 //!   fed the same digests in order,
 //! * per-flow reconstructed paths identical to a serial [`PathDecoder`],
-//! * cross-shard merged quantiles identical across all shard counts.
+//! * cross-shard merged quantiles identical across every (P, S)
+//!   combination.
 //!
-//! This holds exactly (not approximately): flows are hash-partitioned so
-//! per-flow digest order is preserved, recorders are seeded
-//! deterministically, and snapshot merging sorts by flow ID.
+//! This holds exactly (not approximately): each flow is owned by one
+//! producer (`flow % P`) and hash-partitioned to one shard, so per-flow
+//! digest order is preserved end-to-end no matter how the producers'
+//! rings interleave; recorders are seeded deterministically; and
+//! snapshot merging sorts by flow ID.
 
 use pint::collector::{Collector, CollectorConfig};
 use pint::core::dynamic::{DynamicAggregator, DynamicRecorder};
@@ -23,6 +28,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
+const PRODUCER_COUNTS: [u64; 3] = [1, 2, 4];
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const SKETCH_BYTES: usize = 96;
 
@@ -110,6 +116,8 @@ fn spawn_collector(w: &Workload, shards: usize) -> Collector {
         CollectorConfig {
             shards,
             batch_size: 32,
+            // Small rings exercise wrap-around and backpressure.
+            ring_capacity: 4,
             // No eviction: equivalence is about the answers, so every
             // flow must stay resident.
             max_flows_per_shard: usize::MAX >> 1,
@@ -128,11 +136,29 @@ fn spawn_collector(w: &Workload, shards: usize) -> Collector {
     )
 }
 
+/// Feeds the workload through `producers` concurrent producer threads,
+/// each owning the flows with `flow % producers == p` (stream order
+/// preserved per flow).
+fn ingest(collector: &Collector, w: &Workload, producers: u64) {
+    std::thread::scope(|s| {
+        for p in 0..producers {
+            let mut handle = collector.register_producer();
+            let reports = &w.reports;
+            s.spawn(move || {
+                for r in reports.iter().filter(|r| r.flow % producers == p) {
+                    handle.push(r.clone()).expect("collector alive");
+                }
+                handle.flush().expect("flush");
+            });
+        }
+    });
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
+    #![proptest_config(ProptestConfig::with_cases(4))]
 
     #[test]
-    fn sharded_collector_matches_serial_recording_module(
+    fn multi_producer_sharded_collector_matches_serial_recording_module(
         flows in 2u64..24,
         per_flow in 30u64..80,
         k in 2usize..6,
@@ -142,62 +168,63 @@ proptest! {
         let mut serial = serial_baseline(&w);
 
         let phis = [0.25, 0.5, 0.9, 0.99];
-        // Merged (cross-shard) quantile codes per hop, per shard count —
-        // must be identical across shard counts.
-        let mut merged_by_shards: Vec<Vec<Vec<Option<u64>>>> = Vec::new();
+        // Merged (cross-shard) quantile codes per hop, per (P, S) combo —
+        // must be identical across all combinations.
+        let mut merged_by_combo: Vec<((u64, usize), Vec<Vec<Option<u64>>>)> = Vec::new();
 
-        for shards in SHARD_COUNTS {
-            let collector = spawn_collector(&w, shards);
-            let mut handle = collector.handle();
-            for r in &w.reports {
-                handle.push(r.clone()).expect("collector alive");
-            }
-            handle.flush().expect("flush");
-            let snap = collector.snapshot().expect("snapshot");
+        for producers in PRODUCER_COUNTS {
+            for shards in SHARD_COUNTS {
+                let collector = spawn_collector(&w, shards);
+                ingest(&collector, &w, producers);
+                let snap = collector.snapshot().expect("snapshot");
 
-            prop_assert_eq!(snap.num_flows(), flows as usize);
-            for flow in 0..flows {
-                let summary = snap.flow(flow).expect("flow tracked");
-                let baseline = &mut serial[flow as usize];
-                prop_assert_eq!(summary.packets, baseline.packets(),
-                    "packets diverge: flow {} shards {}", flow, shards);
-                if is_path_flow(flow) {
-                    let got = summary.path.as_ref().expect("path progress");
-                    let want = baseline.path_progress().expect("baseline progress");
-                    prop_assert_eq!(got, &want,
-                        "path progress diverges: flow {} shards {}", flow, shards);
-                } else {
-                    // Code-space sketches must agree quantile-for-quantile.
-                    let base_sketches = baseline.hop_sketches();
-                    for hop in 1..=k {
-                        for &phi in &phis {
-                            prop_assert_eq!(
-                                summary.hop_sketches[hop].quantile(phi),
-                                base_sketches[hop].quantile(phi),
-                                "quantile diverges: flow {} hop {} phi {} shards {}",
-                                flow, hop, phi, shards
-                            );
+                prop_assert_eq!(snap.num_flows(), flows as usize);
+                for flow in 0..flows {
+                    let summary = snap.flow(flow).expect("flow tracked");
+                    let baseline = &mut serial[flow as usize];
+                    prop_assert_eq!(summary.packets, baseline.packets(),
+                        "packets diverge: flow {} P {} S {}", flow, producers, shards);
+                    if is_path_flow(flow) {
+                        let got = summary.path.as_ref().expect("path progress");
+                        let want = baseline.path_progress().expect("baseline progress");
+                        prop_assert_eq!(got, &want,
+                            "path progress diverges: flow {} P {} S {}",
+                            flow, producers, shards);
+                    } else {
+                        // Code-space sketches must agree quantile-for-quantile.
+                        let base_sketches = baseline.hop_sketches();
+                        for hop in 1..=k {
+                            for &phi in &phis {
+                                prop_assert_eq!(
+                                    summary.hop_sketches[hop].quantile(phi),
+                                    base_sketches[hop].quantile(phi),
+                                    "quantile diverges: flow {} hop {} phi {} P {} S {}",
+                                    flow, hop, phi, producers, shards
+                                );
+                            }
                         }
                     }
                 }
-            }
 
-            let merged: Vec<Vec<Option<u64>>> = (1..=k)
-                .map(|hop| {
-                    let sk = snap.merged_hop_sketch(hop);
-                    phis.iter()
-                        .map(|&phi| sk.as_ref().and_then(|s| s.quantile(phi)))
-                        .collect()
-                })
-                .collect();
-            merged_by_shards.push(merged);
-            collector.shutdown();
+                let merged: Vec<Vec<Option<u64>>> = (1..=k)
+                    .map(|hop| {
+                        let sk = snap.merged_hop_sketch(hop);
+                        phis.iter()
+                            .map(|&phi| sk.as_ref().and_then(|s| s.quantile(phi)))
+                            .collect()
+                    })
+                    .collect();
+                merged_by_combo.push(((producers, shards), merged));
+                let stats = collector.shutdown();
+                prop_assert_eq!(stats.digests_dropped, 0);
+            }
         }
 
-        for (i, later) in merged_by_shards.iter().enumerate().skip(1) {
-            prop_assert_eq!(&merged_by_shards[0], later,
-                "merged quantiles diverge between shard counts {} and {}",
-                SHARD_COUNTS[0], SHARD_COUNTS[i]);
+        let (first_combo, first) = &merged_by_combo[0];
+        for (combo, later) in merged_by_combo.iter().skip(1) {
+            prop_assert_eq!(first, later,
+                "merged quantiles diverge between combos {:?} and {:?}",
+                first_combo, combo);
         }
     }
 }
