@@ -203,6 +203,49 @@ impl Collector {
     /// (`ingested`, `shard_stats`) cover *those shards only* — read
     /// fleet-wide totals from [`stats`](Self::stats) or a full
     /// [`snapshot`](Self::snapshot) instead.
+    ///
+    /// Edge cases: an empty watch list yields an empty snapshot without
+    /// consulting any shard; unknown IDs cost one probe on their owning
+    /// shard and are absent from the result; duplicate IDs in `flows`
+    /// are deduplicated before fan-out.
+    ///
+    /// ```
+    /// use pint_collector::{Collector, CollectorConfig};
+    /// use pint_core::dynamic::{DynamicAggregator, DynamicRecorder};
+    /// use pint_core::{Digest, DigestReport, FlowRecorder};
+    /// use std::sync::Arc;
+    ///
+    /// let agg = DynamicAggregator::new(1, 8, 100.0, 1.0e7);
+    /// let factory_agg = agg.clone();
+    /// let collector = Collector::spawn(
+    ///     CollectorConfig::with_shards(2),
+    ///     Arc::new(move |_flow, report: &DigestReport| {
+    ///         Box::new(DynamicRecorder::new_sketched(
+    ///             factory_agg.clone(),
+    ///             usize::from(report.path_len).max(1),
+    ///             64,
+    ///         )) as Box<dyn FlowRecorder>
+    ///     }),
+    /// );
+    /// let mut handle = collector.handle();
+    /// for flow in 0..10u64 {
+    ///     for pid in 0..=flow {
+    ///         let mut d = Digest::new(1);
+    ///         agg.encode_hop(flow * 100 + pid, 1, 1_000.0, &mut d, 0);
+    ///         handle
+    ///             .push(DigestReport::new(flow, flow * 100 + pid, d, 1, 0))
+    ///             .unwrap();
+    ///     }
+    /// }
+    /// handle.flush().unwrap();
+    ///
+    /// // Only the watch list is serialized; unknown flow 999 is absent.
+    /// let watch = collector.snapshot_flows(&[3, 3, 999]).unwrap();
+    /// assert_eq!(watch.num_flows(), 1);
+    /// assert_eq!(watch.flow(3).unwrap().packets, 4);
+    /// assert_eq!(collector.snapshot_flows(&[]).unwrap().num_flows(), 0);
+    /// collector.shutdown();
+    /// ```
     pub fn snapshot_flows(&self, flows: &[FlowId]) -> Result<CollectorSnapshot, CollectorError> {
         let shards = self.shards();
         let mut per_shard: Vec<Vec<FlowId>> = vec![Vec::new(); shards];
@@ -240,11 +283,73 @@ impl Collector {
     /// locally and returns its own top `k`; the merge keeps the global
     /// top `k` (correct because every globally-heavy flow is heavy in
     /// its owning shard).
+    ///
+    /// Edge cases: `k = 0` yields an empty snapshot, and `k` larger
+    /// than the tracked-flow population yields every flow.
+    ///
+    /// ```
+    /// use pint_collector::{Collector, CollectorConfig};
+    /// use pint_core::dynamic::{DynamicAggregator, DynamicRecorder};
+    /// use pint_core::{Digest, DigestReport, FlowRecorder};
+    /// use std::sync::Arc;
+    ///
+    /// let agg = DynamicAggregator::new(1, 8, 100.0, 1.0e7);
+    /// let factory_agg = agg.clone();
+    /// let collector = Collector::spawn(
+    ///     CollectorConfig::with_shards(2),
+    ///     Arc::new(move |_flow, report: &DigestReport| {
+    ///         Box::new(DynamicRecorder::new_sketched(
+    ///             factory_agg.clone(),
+    ///             usize::from(report.path_len).max(1),
+    ///             64,
+    ///         )) as Box<dyn FlowRecorder>
+    ///     }),
+    /// );
+    /// let mut handle = collector.handle();
+    /// // Flow f records f + 1 packets, so flows 8 and 9 are heaviest.
+    /// for flow in 0..10u64 {
+    ///     for pid in 0..=flow {
+    ///         let mut d = Digest::new(1);
+    ///         agg.encode_hop(flow * 100 + pid, 1, 1_000.0, &mut d, 0);
+    ///         handle
+    ///             .push(DigestReport::new(flow, flow * 100 + pid, d, 1, 0))
+    ///             .unwrap();
+    ///     }
+    /// }
+    /// handle.flush().unwrap();
+    ///
+    /// let top = collector.snapshot_top_k(2).unwrap();
+    /// let ids: Vec<u64> = top.flows().map(|&(f, _)| f).collect();
+    /// assert_eq!(ids, vec![8, 9], "heaviest two, ascending by ID");
+    /// assert_eq!(collector.snapshot_top_k(100).unwrap().num_flows(), 10);
+    /// assert_eq!(collector.snapshot_top_k(0).unwrap().num_flows(), 0);
+    /// collector.shutdown();
+    /// ```
     pub fn snapshot_top_k(&self, k: usize) -> Result<CollectorSnapshot, CollectorError> {
         let merged = self
             .fanout(|reply| ShardMsg::SnapshotTopK(k, reply))
             .map(CollectorSnapshot::from_shards)?;
         Ok(merged.into_top_k(k))
+    }
+
+    /// Takes a full [`snapshot`](Self::snapshot) and encodes it as a
+    /// ready-to-send wire frame (header included) keyed by this
+    /// collector's identity and an `epoch` sequence number — the unit a
+    /// fleet aggregator (`pint-fleet`) ingests. Epochs must increase
+    /// monotonically per collector; the aggregator discards frames whose
+    /// epoch is older than what it already holds for `collector_id`.
+    pub fn export_snapshot_frame(
+        &self,
+        collector_id: u64,
+        epoch: u64,
+    ) -> Result<Vec<u8>, CollectorError> {
+        let snapshot = self.snapshot()?;
+        Ok(crate::wire::SnapshotFrame {
+            collector_id,
+            epoch,
+            snapshot,
+        }
+        .to_frame_bytes())
     }
 
     /// Blocks until every batch shipped to the shard rings before this

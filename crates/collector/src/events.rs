@@ -6,16 +6,26 @@
 //! are evaluated on the shard workers as digest batches are applied, so
 //! detection latency is one batch, not one query cycle.
 //!
-//! A rule is a [`RuleCondition`] plus an optional per-rule *cooldown*.
-//! Without a cooldown, a rule fires at most once per flow residency
-//! (rising edge; the fired set is a bitmask in the flow table, so a flow
-//! that is evicted and later recreated re-arms its rules). With
-//! [`EventRule::with_cooldown`], the rule re-arms after the given quiet
-//! period (in sink-timestamp units): if the condition still holds when
-//! the cooldown elapses, it fires again — so a persistently hot flow
-//! produces a bounded alarm stream instead of a single easily-missed
-//! edge. Fired events go to a bounded queue — see
-//! `CollectorConfig::event_capacity`.
+//! A rule is a [`RuleCondition`] plus an optional per-rule *cooldown*,
+//! with full hysteresis: rules report both edges of a condition.
+//!
+//! * **Rising edge** — an armed rule whose condition starts holding
+//!   fires once (its condition-specific [`EventKind`]).
+//! * **Falling edge** — a fired rule whose condition later *stops*
+//!   holding emits an explicit [`EventKind::Cleared`] event and
+//!   re-arms, so operators see recoveries instead of inferring them
+//!   from silence, and the rule can fire again on the next rising edge.
+//! * **Cooldown** — with [`EventRule::with_cooldown`], a fired rule is
+//!   re-checked only after the given quiet period (in sink-timestamp
+//!   units): if the condition still holds it re-fires (bounded alarm
+//!   stream for a persistently hot flow); if it cleared meanwhile, the
+//!   `Cleared` event is emitted then. Without a cooldown, clearing is
+//!   detected at the normal evaluation stride.
+//!
+//! The fired set is a bitmask in the flow table, so a flow that is
+//! evicted and later recreated starts re-armed (with no `Cleared`
+//! event — eviction is not a recovery signal). Fired events go to a
+//! bounded queue — see `CollectorConfig::event_capacity`.
 
 use crate::config::FlowId;
 use pint_core::FlowRecorder;
@@ -124,6 +134,10 @@ pub enum EventKind {
         /// Its estimated fraction of the hop's stream.
         fraction: f64,
     },
+    /// A previously fired rule's condition stopped holding for this
+    /// flow (falling edge). The rule index is in [`Event::rule`]; the
+    /// rule is re-armed and will fire again on its next rising edge.
+    Cleared,
 }
 
 /// A fired event, as delivered to the collector's event stream.

@@ -81,6 +81,33 @@ impl CollectorSnapshot {
         }
     }
 
+    /// Builds a snapshot directly from its parts (the decode path of the
+    /// wire codec, and `pint-fleet`'s merged-view construction). `flows`
+    /// is sorted by flow ID if it isn't already; duplicate IDs are kept
+    /// (then [`flow`](Self::flow) returns one of them arbitrarily —
+    /// fleet-level merging dedupes before calling this).
+    pub fn from_parts(
+        mut flows: Vec<(FlowId, FlowSummary)>,
+        shard_stats: Vec<TableStats>,
+        ingested: u64,
+    ) -> Self {
+        if !flows.windows(2).all(|w| w[0].0 <= w[1].0) {
+            flows.sort_by_key(|&(f, _)| f);
+        }
+        Self {
+            flows,
+            shard_stats,
+            ingested,
+        }
+    }
+
+    /// Decomposes the snapshot into `(flows, shard_stats, ingested)` —
+    /// the inverse of [`from_parts`](Self::from_parts). Flows come out
+    /// ascending by ID.
+    pub fn into_parts(self) -> (Vec<(FlowId, FlowSummary)>, Vec<TableStats>, u64) {
+        (self.flows, self.shard_stats, self.ingested)
+    }
+
     /// Keeps only the `k` flows with the most recorded packets (ties
     /// broken by ascending flow ID), preserving the sorted-by-ID
     /// invariant of the survivors. Used by
@@ -115,9 +142,13 @@ impl CollectorSnapshot {
             .map(|i| &self.flows[i].1)
     }
 
-    /// Digests recorded across all tracked flows.
+    /// Digests recorded across all tracked flows. Saturating: snapshots
+    /// may have been decoded from the wire, where per-flow counts are
+    /// untrusted.
     pub fn total_packets(&self) -> u64 {
-        self.flows.iter().map(|(_, s)| s.packets).sum()
+        self.flows
+            .iter()
+            .fold(0u64, |acc, (_, s)| acc.saturating_add(s.packets))
     }
 
     /// Merges hop `hop`'s code-space sketches across every latency flow
@@ -186,9 +217,12 @@ impl CollectorSnapshot {
         })
     }
 
-    /// Sum of per-flow state-byte estimates.
+    /// Sum of per-flow state-byte estimates (saturating — see
+    /// [`total_packets`](Self::total_packets)).
     pub fn state_bytes(&self) -> usize {
-        self.flows.iter().map(|(_, s)| s.state_bytes).sum()
+        self.flows
+            .iter()
+            .fold(0usize, |acc, (_, s)| acc.saturating_add(s.state_bytes))
     }
 
     /// Total flows evicted (LRU + TTL) across shards.

@@ -56,6 +56,11 @@
 //! * **Nothing lost silently** — undeliverable batches are counted
 //!   ([`CollectorStats::digests_dropped`]), as is producer backpressure
 //!   ([`CollectorStats::producer_parks`]).
+//! * **Fleet export** — [`Collector::export_snapshot_frame`] encodes a
+//!   snapshot as a versioned `pint-wire` frame keyed by collector id +
+//!   epoch ([`wire`]); a `pint-fleet` aggregator merges frames from
+//!   many collector processes into one fleet view (collector → wire →
+//!   fleet).
 //!
 //! `unsafe` is confined to the [`ring`](crate) module's slot hand-off
 //! (two threads, release/acquire protocol) and denied everywhere else.
@@ -73,6 +78,7 @@ pub mod inference;
 mod ring;
 mod shard;
 pub mod sink;
+pub mod wire;
 
 pub use collector::{Collector, CollectorStats};
 pub use config::{CollectorConfig, FlowId, RecorderFactory};
@@ -82,6 +88,7 @@ pub use handle::CollectorHandle;
 pub use inference::{CollectorSnapshot, FlowSummary, ShardSnapshot};
 pub use shard::ShardStats;
 pub use sink::{attach_collector, attach_collector_parallel, LatencyTelemetry, ParallelSinkDriver};
+pub use wire::SnapshotFrame;
 
 #[cfg(test)]
 mod tests {
@@ -361,6 +368,97 @@ mod tests {
             }
             other => panic!("unexpected kind {other:?}"),
         }
+        collector.shutdown();
+    }
+
+    #[test]
+    fn rule_clears_on_falling_edge_then_refires() {
+        // Rising → Cleared → rising again: full hysteresis on one flow.
+        let agg = DynamicAggregator::new(17, 8, 100.0, 1.0e7);
+        let collector = Collector::spawn(
+            CollectorConfig {
+                shards: 1,
+                batch_size: 8,
+                rules: vec![EventRule::new(RuleCondition::QuantileAbove {
+                    hop: 1,
+                    phi: 0.5,
+                    threshold: 50_000.0,
+                    min_samples: 8,
+                })],
+                ..CollectorConfig::default()
+            },
+            latency_factory(agg.clone(), 512),
+        );
+        let mut handle = collector.handle();
+        let mut pid = 0u64;
+        let mut burst = |handle: &mut CollectorHandle, n: u64, ns: f64| {
+            for _ in 0..n {
+                handle.push(encode_latency(&agg, 1, pid, 1, ns)).unwrap();
+                pid += 1;
+            }
+            handle.flush().unwrap();
+        };
+        // 64 hot digests: the median is ~100µs, the rule fires.
+        burst(&mut handle, 64, 100_000.0);
+        // 200 cool digests: the median sinks to ~1µs, the rule clears.
+        burst(&mut handle, 200, 1_000.0);
+        // 600 hot digests: the median is hot again, the rule re-fires.
+        burst(&mut handle, 600, 100_000.0);
+        let _ = collector.snapshot().unwrap();
+        let events = collector.drain_events();
+        let kinds: Vec<&EventKind> = events.iter().map(|e| &e.kind).collect();
+        assert_eq!(events.len(), 3, "fire, clear, re-fire: {events:?}");
+        assert!(
+            matches!(kinds[0], EventKind::QuantileAbove { .. }),
+            "rising edge first"
+        );
+        assert_eq!(*kinds[1], EventKind::Cleared, "explicit falling edge");
+        assert!(
+            matches!(kinds[2], EventKind::QuantileAbove { .. }),
+            "re-fires after clearing"
+        );
+        assert!(events.iter().all(|e| e.flow == 1 && e.rule == 0));
+        collector.shutdown();
+    }
+
+    #[test]
+    fn snapshot_query_edge_cases() {
+        let agg = DynamicAggregator::new(29, 8, 100.0, 1.0e7);
+        let collector = Collector::spawn(
+            CollectorConfig::with_shards(4),
+            latency_factory(agg.clone(), 64),
+        );
+        let mut handle = collector.handle();
+        for flow in 0..6u64 {
+            handle
+                .push(encode_latency(&agg, flow, flow, 2, 700.0))
+                .unwrap();
+        }
+        handle.flush().unwrap();
+
+        // k = 0: empty snapshot, no flows serialized.
+        let empty = collector.snapshot_top_k(0).unwrap();
+        assert_eq!(empty.num_flows(), 0);
+        assert_eq!(empty.total_packets(), 0);
+        // k beyond the population: everything, still ID-sorted.
+        let all = collector.snapshot_top_k(64).unwrap();
+        assert_eq!(all.num_flows(), 6);
+        let ids: Vec<u64> = all.flows().map(|&(f, _)| f).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+
+        // Unknown-only watch list: empty result (the owning shards are
+        // still consulted — only they know the flows are untracked).
+        let none = collector.snapshot_flows(&[100, 200]).unwrap();
+        assert_eq!(none.num_flows(), 0);
+        assert!(none.shard_stats.len() <= 2, "only owning shards consulted");
+        // Empty watch list: nothing to ask, no shard consulted.
+        let empty_watch = collector.snapshot_flows(&[]).unwrap();
+        assert_eq!(empty_watch.num_flows(), 0);
+        assert!(empty_watch.shard_stats.is_empty(), "no shard consulted");
+        // Duplicates collapse; known and unknown IDs mix.
+        let dup = collector.snapshot_flows(&[2, 2, 2, 100]).unwrap();
+        assert_eq!(dup.num_flows(), 1);
+        assert_eq!(dup.flow(2).unwrap().packets, 1);
         collector.shutdown();
     }
 

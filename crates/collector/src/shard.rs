@@ -10,7 +10,7 @@
 //! no locks, and the only synchronization is the ring hand-off itself.
 
 use crate::config::{CollectorConfig, FlowId, RecorderFactory};
-use crate::events::{Event, EventRule};
+use crate::events::{Event, EventKind, EventRule};
 use crate::flow_table::FlowTable;
 use crate::inference::{FlowSummary, ShardSnapshot};
 use crate::ring::{RingConsumer, Waiter};
@@ -70,9 +70,6 @@ pub(crate) struct ShardWorker {
     table: FlowTable,
     factory: RecorderFactory,
     rules: Vec<EventRule>,
-    /// Bitmask of rules that carry a cooldown (they can re-arm, so a
-    /// fully-fired flow cannot be skipped outright).
-    cooldown_mask: u64,
     events_tx: SyncSender<Event>,
     stats: Arc<ShardStats>,
     /// This shard's park slot; producers and the collector wake it.
@@ -97,12 +94,6 @@ impl ShardWorker {
         stats: Arc<ShardStats>,
         waiter: Arc<Waiter>,
     ) -> Self {
-        let cooldown_mask = config
-            .rules
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.cooldown.is_some())
-            .fold(0u64, |m, (i, _)| m | (1 << i));
         Self {
             shard,
             table: FlowTable::new(
@@ -112,7 +103,6 @@ impl ShardWorker {
             ),
             factory,
             rules: config.rules.clone(),
-            cooldown_mask,
             events_tx,
             stats,
             waiter,
@@ -303,11 +293,13 @@ impl ShardWorker {
     /// digest, and detection lags a firing condition by at most one
     /// batch plus `EVAL_STRIDE` packets.
     ///
-    /// A fired rule without a cooldown stays fired for the flow's
-    /// residency. A fired rule *with* a cooldown re-arms once the quiet
-    /// period elapses: if the condition still holds it fires again (and
-    /// the cooldown restarts); if it cleared meanwhile, the rule returns
-    /// to rising-edge arming.
+    /// Hysteresis: a fired rule keeps being evaluated (at the stride);
+    /// when its condition stops holding the worker emits an explicit
+    /// [`EventKind::Cleared`](crate::events::EventKind::Cleared) event
+    /// and re-arms the rule, so the next rising edge fires again. A
+    /// fired rule *with* a cooldown is re-checked only once the quiet
+    /// period elapses: still holding ⇒ re-fire (cooldown restarts),
+    /// cleared ⇒ the `Cleared` event is emitted then.
     fn detect_events(&mut self) {
         /// Re-evaluate after this many new packets (steady state).
         const EVAL_STRIDE: u64 = 16;
@@ -317,11 +309,6 @@ impl ShardWorker {
         if self.rules.is_empty() {
             return;
         }
-        let all_rules = if self.rules.len() == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.rules.len()) - 1
-        };
         let nrules = self.rules.len();
         let ts = self.clock;
         let mut fired = 0u64;
@@ -330,10 +317,6 @@ impl ShardWorker {
             let Some(entry) = self.table.entry_if(idx, flow) else {
                 continue;
             };
-            // Fully fired and nothing can re-arm: skip the flow outright.
-            if entry.fired_rules == all_rules && self.cooldown_mask == 0 {
-                continue;
-            }
             let packets = entry.rec.packets();
             if packets >= EVAL_EAGER && packets < entry.last_eval_packets + EVAL_STRIDE {
                 continue;
@@ -341,20 +324,28 @@ impl ShardWorker {
             entry.last_eval_packets = packets;
             for (rule_idx, rule) in self.rules.iter().enumerate() {
                 let bit = 1u64 << rule_idx;
-                if entry.fired_rules & bit != 0 {
-                    // Fired earlier: only a cooldown can re-arm it.
-                    let Some(quiet) = rule.cooldown else {
-                        continue;
-                    };
-                    let since = ts.saturating_sub(entry.fired_ts[rule_idx]);
-                    if since < quiet {
-                        continue;
+                let was_fired = entry.fired_rules & bit != 0;
+                if was_fired {
+                    if let Some(quiet) = rule.cooldown {
+                        // A fired cooldown rule stays silent (and
+                        // unevaluated) until its quiet period elapses;
+                        // then it either re-fires or clears below.
+                        let since = ts.saturating_sub(entry.fired_ts[rule_idx]);
+                        if since < quiet {
+                            continue;
+                        }
                     }
-                    // Quiet period over; evaluate fresh below. If the
-                    // condition cleared, drop back to rising-edge arming.
+                    // Fired, no cooldown: keep evaluating at the stride
+                    // so the falling edge is observed and reported.
                 }
                 match rule.condition.evaluate(entry.rec.as_mut()) {
                     Some(kind) => {
+                        // Rising edge, or a cooldown re-fire; a fired
+                        // non-cooldown rule whose condition still holds
+                        // stays fired silently.
+                        if was_fired && rule.cooldown.is_none() {
+                            continue;
+                        }
                         entry.fired_rules |= bit;
                         if rule.cooldown.is_some() {
                             if entry.fired_ts.len() < nrules {
@@ -362,34 +353,55 @@ impl ShardWorker {
                             }
                             entry.fired_ts[rule_idx] = ts;
                         }
-                        let event = Event {
-                            flow,
-                            shard: self.shard,
-                            rule: rule_idx,
-                            kind,
-                            ts,
-                        };
-                        // Never block the ingest path on the event queue:
-                        // `events` counts deliveries, `events_dropped`
-                        // counts firings lost to a full queue or a gone
-                        // consumer.
-                        match self.events_tx.try_send(event) {
-                            Ok(()) => fired += 1,
-                            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
-                                self.stats.events_dropped.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
+                        fired += Self::deliver(
+                            &self.events_tx,
+                            &self.stats,
+                            Event {
+                                flow,
+                                shard: self.shard,
+                                rule: rule_idx,
+                                kind,
+                                ts,
+                            },
+                        );
                     }
                     None => {
-                        // A re-armed cooldown rule whose condition has
-                        // cleared returns to normal rising-edge state.
+                        // Falling edge: a fired rule whose condition
+                        // stopped holding clears explicitly and re-arms.
                         entry.fired_rules &= !bit;
+                        if was_fired {
+                            fired += Self::deliver(
+                                &self.events_tx,
+                                &self.stats,
+                                Event {
+                                    flow,
+                                    shard: self.shard,
+                                    rule: rule_idx,
+                                    kind: EventKind::Cleared,
+                                    ts,
+                                },
+                            );
+                        }
                     }
                 }
             }
         }
         if fired > 0 {
             self.stats.events.fetch_add(fired, Ordering::Relaxed);
+        }
+    }
+
+    /// Sends one event without ever blocking the ingest path: returns 1
+    /// on delivery; a full queue or gone consumer counts into
+    /// `events_dropped` and returns 0. (Associated fn over the two
+    /// fields it needs, so callers can hold a flow-table borrow.)
+    fn deliver(events_tx: &SyncSender<Event>, stats: &ShardStats, event: Event) -> u64 {
+        match events_tx.try_send(event) {
+            Ok(()) => 1,
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                stats.events_dropped.fetch_add(1, Ordering::Relaxed);
+                0
+            }
         }
     }
 

@@ -1,0 +1,299 @@
+//! Wire-codec impls for the collector's snapshot types, and the
+//! [`SnapshotFrame`] a collector ships to a fleet aggregator.
+//!
+//! `pint-wire` owns the format primitives (frames, varints, typed
+//! errors) and the leaf-type codecs (digests, KLL sketches, path
+//! progress); this module composes them into
+//! [`FlowSummary`]/[`CollectorSnapshot`] encodings plus the
+//! collector-id + epoch envelope the fleet tier keys on. See
+//! [`Collector::export_snapshot_frame`](crate::Collector::export_snapshot_frame)
+//! for the one-call export path.
+
+use crate::flow_table::TableStats;
+use crate::inference::{CollectorSnapshot, FlowSummary};
+use pint_core::{PathProgress, RecorderKind};
+use pint_sketches::KllSketch;
+use pint_wire::{frame_into, FrameType, WireDecode, WireEncode, WireError, WireReader, WireWriter};
+
+impl WireEncode for TableStats {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = WireWriter::new(out);
+        w.put_varint(self.created);
+        w.put_varint(self.evicted_lru);
+        w.put_varint(self.evicted_ttl);
+    }
+}
+
+impl WireDecode for TableStats {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(TableStats {
+            created: r.get_varint()?,
+            evicted_lru: r.get_varint()?,
+            evicted_ttl: r.get_varint()?,
+        })
+    }
+}
+
+impl WireEncode for FlowSummary {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.kind.encode_into(out);
+        let mut w = WireWriter::new(out);
+        w.put_varint(self.packets);
+        w.put_varint(self.state_bytes as u64);
+        w.put_varint(self.last_ts);
+        w.put_varint(self.inconsistencies);
+        w.put_varint(self.hop_sketches.len() as u64);
+        for sk in &self.hop_sketches {
+            sk.encode_into(out);
+        }
+        let mut w = WireWriter::new(out);
+        match &self.path {
+            Some(p) => {
+                w.put_u8(1);
+                p.encode_into(out);
+            }
+            None => w.put_u8(0),
+        }
+    }
+}
+
+impl WireDecode for FlowSummary {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let kind = RecorderKind::decode_from(r)?;
+        let packets = r.get_varint()?;
+        let state_bytes = r.get_varint()?;
+        let last_ts = r.get_varint()?;
+        let inconsistencies = r.get_varint()?;
+        // An empty sketch still occupies ≥ 11 bytes on the wire; the
+        // count is a path length (+1), so anything past the digest
+        // format's u16 hop bound is hostile — reject before allocating
+        // (each claimed sketch costs ~9× its wire minimum in memory).
+        let sketches = r.get_count(11)?;
+        if sketches > usize::from(u16::MAX) + 1 {
+            return Err(WireError::Invalid("hop sketch count exceeds path bound"));
+        }
+        let mut hop_sketches = Vec::with_capacity(sketches);
+        for _ in 0..sketches {
+            hop_sketches.push(KllSketch::decode_from(r)?);
+        }
+        let path = match r.get_u8()? {
+            0 => None,
+            1 => Some(PathProgress::decode_from(r)?),
+            _ => return Err(WireError::Invalid("path presence tag must be 0 or 1")),
+        };
+        Ok(FlowSummary {
+            kind,
+            packets,
+            state_bytes: state_bytes as usize,
+            last_ts,
+            hop_sketches,
+            path,
+            inconsistencies,
+        })
+    }
+}
+
+impl WireEncode for CollectorSnapshot {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = WireWriter::new(out);
+        w.put_varint(self.ingested);
+        w.put_varint(self.shard_stats.len() as u64);
+        for t in &self.shard_stats {
+            t.encode_into(out);
+        }
+        WireWriter::new(out).put_varint(self.num_flows() as u64);
+        for (flow, summary) in self.flows() {
+            WireWriter::new(out).put_varint(*flow);
+            summary.encode_into(out);
+        }
+    }
+}
+
+impl WireDecode for CollectorSnapshot {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let ingested = r.get_varint()?;
+        // Counts are validated against the remaining wire bytes, but an
+        // in-memory element costs far more than its wire minimum — so
+        // cap the *pre-reservation* and let the vectors grow only as
+        // elements actually decode (hostile counts then cost nothing).
+        let shards = r.get_count(3)?;
+        let mut shard_stats = Vec::with_capacity(shards.min(1_024));
+        for _ in 0..shards {
+            shard_stats.push(TableStats::decode_from(r)?);
+        }
+        // Each flow entry is ≥ 19 bytes (id + minimal summary).
+        let n = r.get_count(19)?;
+        let mut flows = Vec::with_capacity(n.min(4_096));
+        for _ in 0..n {
+            let flow = r.get_varint()?;
+            flows.push((flow, FlowSummary::decode_from(r)?));
+        }
+        Ok(CollectorSnapshot::from_parts(flows, shard_stats, ingested))
+    }
+}
+
+/// The envelope a collector process ships to the fleet tier: which
+/// collector this is, a monotonically increasing epoch (snapshot
+/// sequence number — the aggregator keeps only the newest per
+/// collector), and the full snapshot.
+#[derive(Debug, Clone)]
+pub struct SnapshotFrame {
+    /// Stable identity of the producing collector process.
+    pub collector_id: u64,
+    /// Snapshot sequence number; later epochs replace earlier ones.
+    pub epoch: u64,
+    /// The merged state of every shard at export time.
+    pub snapshot: CollectorSnapshot,
+}
+
+impl WireEncode for SnapshotFrame {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = WireWriter::new(out);
+        w.put_varint(self.collector_id);
+        w.put_varint(self.epoch);
+        self.snapshot.encode_into(out);
+    }
+}
+
+impl WireDecode for SnapshotFrame {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(SnapshotFrame {
+            collector_id: r.get_varint()?,
+            epoch: r.get_varint()?,
+            snapshot: CollectorSnapshot::decode_from(r)?,
+        })
+    }
+}
+
+impl SnapshotFrame {
+    /// Encodes the complete wire frame (header included) ready to write
+    /// to a transport.
+    pub fn to_frame_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        frame_into(FrameType::Snapshot, self, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference::ShardSnapshot;
+    use pint_wire::parse_frame;
+
+    fn summary(values: &[u64], hops: usize) -> FlowSummary {
+        let mut sketches = vec![KllSketch::with_seed(32, 5)];
+        for h in 1..=hops {
+            let mut sk = KllSketch::with_seed(32, h as u64);
+            for &v in values {
+                sk.update(v + h as u64);
+            }
+            sketches.push(sk);
+        }
+        FlowSummary {
+            kind: RecorderKind::LatencyQuantiles,
+            packets: values.len() as u64,
+            state_bytes: values.len() * 8,
+            last_ts: 77,
+            hop_sketches: sketches,
+            path: None,
+            inconsistencies: 1,
+        }
+    }
+
+    fn sample_snapshot() -> CollectorSnapshot {
+        let path_summary = FlowSummary {
+            kind: RecorderKind::PathTracing,
+            packets: 40,
+            state_bytes: 320,
+            last_ts: 99,
+            hop_sketches: Vec::new(),
+            path: Some(PathProgress {
+                resolved: 3,
+                k: 3,
+                path: Some(vec![4, 11, 19]),
+                inconsistencies: 0,
+            }),
+            inconsistencies: 0,
+        };
+        CollectorSnapshot::from_shards(vec![
+            ShardSnapshot {
+                shard: 0,
+                flows: vec![(9, summary(&[10, 20, 30, 40], 2)), (2, path_summary)],
+                table_stats: TableStats {
+                    created: 4,
+                    evicted_lru: 1,
+                    evicted_ttl: 0,
+                },
+                ingested: 44,
+            },
+            ShardSnapshot {
+                shard: 1,
+                flows: vec![(5, summary(&(0..200).collect::<Vec<_>>(), 3))],
+                table_stats: TableStats::default(),
+                ingested: 200,
+            },
+        ])
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_answers() {
+        let snap = sample_snapshot();
+        let decoded = CollectorSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded.num_flows(), snap.num_flows());
+        assert_eq!(decoded.total_packets(), snap.total_packets());
+        assert_eq!(decoded.ingested, snap.ingested);
+        assert_eq!(decoded.state_bytes(), snap.state_bytes());
+        assert_eq!(decoded.evicted_flows(), snap.evicted_flows());
+        assert_eq!(decoded.path_counts(), snap.path_counts());
+        for phi in [0.1, 0.5, 0.99] {
+            for hop in 1..=3 {
+                assert_eq!(
+                    decoded.merged_hop_sketch(hop).and_then(|s| s.quantile(phi)),
+                    snap.merged_hop_sketch(hop).and_then(|s| s.quantile(phi)),
+                    "hop {hop} phi {phi}"
+                );
+            }
+        }
+        assert_eq!(
+            decoded.flow(2).unwrap().path,
+            snap.flow(2).unwrap().path,
+            "decoded path survives"
+        );
+    }
+
+    #[test]
+    fn snapshot_frame_round_trips_through_a_wire_frame() {
+        let frame = SnapshotFrame {
+            collector_id: 3,
+            epoch: 12,
+            snapshot: sample_snapshot(),
+        };
+        let bytes = frame.to_frame_bytes();
+        let (ty, payload) = parse_frame(&bytes).unwrap();
+        assert_eq!(ty, FrameType::Snapshot);
+        let decoded = SnapshotFrame::decode(payload).unwrap();
+        assert_eq!(decoded.collector_id, 3);
+        assert_eq!(decoded.epoch, 12);
+        assert_eq!(decoded.snapshot.num_flows(), 3);
+    }
+
+    #[test]
+    fn corrupted_snapshot_bytes_error_not_panic() {
+        let bytes = sample_snapshot().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                CollectorSnapshot::decode(&bytes[..cut]).is_err(),
+                "truncation at {cut}"
+            );
+        }
+        // Flip each byte in the prefix region; decode must never panic
+        // (it may still succeed when the flip lands in a don't-care
+        // bit, e.g. a coin state).
+        for i in 0..bytes.len().min(64) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x55;
+            let _ = CollectorSnapshot::decode(&bad);
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! The fleet aggregator: frame ingestion, epoch keying, rule
+//! evaluation.
+
+use crate::error::FleetError;
+use crate::rules::{FleetEdge, FleetEvent, FleetRule};
+use crate::view::FleetView;
+use pint_collector::wire::SnapshotFrame;
+use pint_collector::{CollectorSnapshot, FlowId};
+use pint_core::dynamic::DynamicAggregator;
+use pint_wire::{parse_frame, FrameType, WireDecode, WireReader};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Bound on undrained fleet events; older events are discarded (and
+/// counted) beyond it, so a negligent consumer cannot grow memory.
+const EVENT_CAPACITY: usize = 4_096;
+
+/// Fleet-tier configuration.
+#[derive(Debug, Clone, Default)]
+pub struct FleetConfig {
+    /// Fleet-level rules, evaluated on the merged view after every
+    /// applied snapshot.
+    pub rules: Vec<FleetRule>,
+    /// The value codec shared by the fleet's latency queries —
+    /// quantile rules decompress code-space sketches through it. The
+    /// deployment's `RecorderFactory` and this codec must agree (one
+    /// query plan fleet-wide).
+    pub codec: Option<DynamicAggregator>,
+}
+
+/// Live counters of one aggregator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Frames ingested (any type, decoded successfully).
+    pub frames: u64,
+    /// Snapshots applied to the fleet state.
+    pub snapshots_applied: u64,
+    /// Snapshot frames discarded because a newer epoch for the same
+    /// collector was already held.
+    pub snapshots_stale: u64,
+    /// Frames rejected by the decoder.
+    pub decode_errors: u64,
+    /// Fleet events discarded because the event queue was full.
+    pub events_dropped: u64,
+    /// Collectors currently contributing snapshots.
+    pub collectors: usize,
+}
+
+/// Latest state held for one collector.
+#[derive(Debug, Clone)]
+struct CollectorState {
+    epoch: u64,
+    snapshot: pint_collector::CollectorSnapshot,
+}
+
+/// Merges snapshot frames from N collector processes into a fleet view
+/// and evaluates fleet rules over it.
+///
+/// The aggregator itself is transport-agnostic and single-threaded —
+/// hand it bytes via [`ingest_frame`](Self::ingest_frame) (or decoded
+/// [`SnapshotFrame`]s via [`apply_snapshot`](Self::apply_snapshot))
+/// from whatever carries them: the in-process
+/// [`InMemoryTransport`](crate::InMemoryTransport), or
+/// [`FleetServer`](crate::FleetServer)'s TCP threads, which share one
+/// aggregator behind a mutex.
+pub struct FleetAggregator {
+    config: FleetConfig,
+    collectors: BTreeMap<u64, CollectorState>,
+    /// Per-rule hysteresis state: `true` = currently fired.
+    fired: Vec<bool>,
+    /// Last observation per fired rule (reported on the cleared edge).
+    last_observed: Vec<f64>,
+    events: VecDeque<FleetEvent>,
+    stats: FleetStats,
+}
+
+impl FleetAggregator {
+    /// An empty aggregator with the given config.
+    pub fn new(config: FleetConfig) -> Self {
+        let rules = config.rules.len();
+        Self {
+            config,
+            collectors: BTreeMap::new(),
+            fired: vec![false; rules],
+            last_observed: vec![0.0; rules],
+            events: VecDeque::new(),
+            stats: FleetStats::default(),
+        }
+    }
+
+    /// Ingests one complete wire frame (header included): parses the
+    /// header, then hands the payload to
+    /// [`ingest_payload`](Self::ingest_payload). Decode failures are
+    /// typed errors (and counted), never panics — frames come off the
+    /// network.
+    pub fn ingest_frame(&mut self, bytes: &[u8]) -> Result<FrameType, FleetError> {
+        match parse_frame(bytes) {
+            Ok((ty, payload)) => self.ingest_payload(ty, payload),
+            Err(e) => {
+                self.stats.decode_errors += 1;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Ingests an already-framed payload (e.g. from
+    /// [`FrameReader`](pint_wire::FrameReader)), dispatching on its
+    /// type: `Snapshot` updates fleet state and re-evaluates rules,
+    /// `Bye` removes the collector, `Hello` and `DigestBatch` are
+    /// acknowledged but carry no fleet state today.
+    pub fn ingest_payload(
+        &mut self,
+        ty: FrameType,
+        payload: &[u8],
+    ) -> Result<FrameType, FleetError> {
+        match ty {
+            FrameType::Snapshot => match SnapshotFrame::decode(payload) {
+                Ok(frame) => {
+                    self.apply_snapshot(frame);
+                }
+                Err(e) => {
+                    self.stats.decode_errors += 1;
+                    return Err(e.into());
+                }
+            },
+            FrameType::Bye => {
+                let mut r = WireReader::new(payload);
+                match r.get_varint() {
+                    Ok(collector_id) => {
+                        if self.collectors.remove(&collector_id).is_some() {
+                            self.stats.collectors = self.collectors.len();
+                            self.evaluate_rules();
+                        }
+                    }
+                    Err(e) => {
+                        self.stats.decode_errors += 1;
+                        return Err(e.into());
+                    }
+                }
+            }
+            FrameType::Hello | FrameType::DigestBatch => {}
+        }
+        self.stats.frames += 1;
+        Ok(ty)
+    }
+
+    /// Applies one decoded snapshot, keyed by `(collector_id, epoch)`:
+    /// an epoch not newer than what is already held for that collector
+    /// is discarded as stale (returns `false`). On application, fleet
+    /// rules are re-evaluated against the new merged view.
+    pub fn apply_snapshot(&mut self, frame: SnapshotFrame) -> bool {
+        if let Some(existing) = self.collectors.get(&frame.collector_id) {
+            if frame.epoch <= existing.epoch {
+                self.stats.snapshots_stale += 1;
+                return false;
+            }
+        }
+        self.collectors.insert(
+            frame.collector_id,
+            CollectorState {
+                epoch: frame.epoch,
+                snapshot: frame.snapshot,
+            },
+        );
+        self.stats.snapshots_applied += 1;
+        self.stats.collectors = self.collectors.len();
+        self.evaluate_rules();
+        true
+    }
+
+    /// The merged fleet view over every collector's latest snapshot.
+    pub fn view(&self) -> FleetView {
+        FleetView::merge(
+            self.collectors
+                .iter()
+                .map(|(&id, state)| (id, state.snapshot.clone())),
+        )
+    }
+
+    /// `(collector id, epoch)` of every contributing collector,
+    /// ascending by id.
+    pub fn collector_epochs(&self) -> Vec<(u64, u64)> {
+        self.collectors
+            .iter()
+            .map(|(&id, s)| (id, s.epoch))
+            .collect()
+    }
+
+    /// Fleet-wide top-`k` flows by packets — see
+    /// [`FleetView::top_k`]. (Builds a fresh merged view; dashboards
+    /// polling at high rate should hold a [`view`](Self::view) and
+    /// query it.)
+    pub fn top_k(&self, k: usize) -> Vec<(FlowId, u64)> {
+        self.view()
+            .top_k(k)
+            .into_iter()
+            .map(|(f, s)| (f, s.packets))
+            .collect()
+    }
+
+    /// Counts a transport-level framing failure (a connection whose
+    /// byte stream could not be resynchronized).
+    pub(crate) fn record_decode_error(&mut self) {
+        self.stats.decode_errors += 1;
+    }
+
+    /// Drains fleet events accumulated since the last drain.
+    pub fn drain_events(&mut self) -> Vec<FleetEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> FleetStats {
+        self.stats
+    }
+
+    /// The union of all rule scopes, or `None` if any rule is unscoped
+    /// (and therefore needs the full view).
+    fn scope_union(&self) -> Option<Vec<FlowId>> {
+        let mut union = Vec::new();
+        for rule in &self.config.rules {
+            union.extend_from_slice(rule.scope.as_ref()?);
+        }
+        union.sort_unstable();
+        union.dedup();
+        Some(union)
+    }
+
+    /// A fleet view merged over only `flows` — what scoped-only rule
+    /// evaluation needs, at watch-list cost instead of a full-fleet
+    /// merge.
+    fn view_of(&self, flows: &[FlowId]) -> FleetView {
+        FleetView::merge(self.collectors.iter().map(|(&id, state)| {
+            let kept: Vec<_> = flows
+                .iter()
+                .filter_map(|&f| state.snapshot.flow(f).map(|s| (f, s.clone())))
+                .collect();
+            (id, CollectorSnapshot::from_parts(kept, Vec::new(), 0))
+        }))
+    }
+
+    /// Re-runs every rule on the current merged view, emitting
+    /// fired/cleared edges into the bounded event queue.
+    ///
+    /// Runs after every applied snapshot. When *every* rule is scoped,
+    /// only the scoped flows are merged (cheap); one unscoped rule
+    /// forces a full-fleet merge per evaluation — which the bench
+    /// (`BENCH_fleet.json`, `wire/fleet_merge`) prices, so prefer
+    /// scoped rules on large fleets.
+    fn evaluate_rules(&mut self) {
+        if self.config.rules.is_empty() {
+            return;
+        }
+        let view = match self.scope_union() {
+            Some(union) => self.view_of(&union),
+            None => self.view(),
+        };
+        let collectors = view.collectors().len();
+        for (i, rule) in self.config.rules.iter().enumerate() {
+            let observed = rule.evaluate(&view, self.config.codec.as_ref());
+            let event = match (self.fired[i], observed) {
+                (false, Some(value)) => {
+                    self.fired[i] = true;
+                    self.last_observed[i] = value;
+                    Some(FleetEvent {
+                        rule: i,
+                        edge: FleetEdge::Fired,
+                        observed: value,
+                        collectors,
+                    })
+                }
+                (true, Some(value)) => {
+                    // Still holding: remember the latest observation for
+                    // the eventual cleared edge, but stay silent.
+                    self.last_observed[i] = value;
+                    None
+                }
+                (true, None) => {
+                    self.fired[i] = false;
+                    Some(FleetEvent {
+                        rule: i,
+                        edge: FleetEdge::Cleared,
+                        observed: self.last_observed[i],
+                        collectors,
+                    })
+                }
+                (false, None) => None,
+            };
+            if let Some(event) = event {
+                if self.events.len() >= EVENT_CAPACITY {
+                    self.events.pop_front();
+                    self.stats.events_dropped += 1;
+                }
+                self.events.push_back(event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FleetCondition;
+    use pint_collector::flow_table::TableStats;
+    use pint_collector::{FlowSummary, ShardSnapshot};
+    use pint_core::RecorderKind;
+    use pint_sketches::KllSketch;
+
+    fn latency_snapshot(flow: FlowId, code_values: &[u64]) -> CollectorSnapshot {
+        let mut sk = KllSketch::with_seed(64, 9);
+        for &v in code_values {
+            sk.update(v);
+        }
+        CollectorSnapshot::from_shards(vec![ShardSnapshot {
+            shard: 0,
+            flows: vec![(
+                flow,
+                FlowSummary {
+                    kind: RecorderKind::LatencyQuantiles,
+                    packets: code_values.len() as u64,
+                    state_bytes: 100,
+                    last_ts: 0,
+                    hop_sketches: vec![KllSketch::with_seed(64, 9), sk],
+                    path: None,
+                    inconsistencies: 0,
+                },
+            )],
+            table_stats: TableStats::default(),
+            ingested: code_values.len() as u64,
+        }])
+    }
+
+    fn frame(collector_id: u64, epoch: u64, snap: CollectorSnapshot) -> SnapshotFrame {
+        SnapshotFrame {
+            collector_id,
+            epoch,
+            snapshot: snap,
+        }
+    }
+
+    #[test]
+    fn epochs_gate_staleness_per_collector() {
+        let mut agg = FleetAggregator::new(FleetConfig::default());
+        assert!(agg.apply_snapshot(frame(1, 5, latency_snapshot(10, &[1, 2, 3]))));
+        assert!(
+            !agg.apply_snapshot(frame(1, 5, latency_snapshot(10, &[9]))),
+            "same epoch is stale"
+        );
+        assert!(
+            !agg.apply_snapshot(frame(1, 4, latency_snapshot(10, &[9]))),
+            "older epoch is stale"
+        );
+        assert!(agg.apply_snapshot(frame(1, 6, latency_snapshot(10, &[4, 5]))));
+        // A different collector has its own epoch sequence.
+        assert!(agg.apply_snapshot(frame(2, 1, latency_snapshot(11, &[7]))));
+        let stats = agg.stats();
+        assert_eq!(stats.snapshots_applied, 3);
+        assert_eq!(stats.snapshots_stale, 2);
+        assert_eq!(stats.collectors, 2);
+        assert_eq!(agg.collector_epochs(), vec![(1, 6), (2, 1)]);
+        // The view reflects the newest epoch only: flow 10 has 2 packets.
+        assert_eq!(agg.view().snapshot().flow(10).unwrap().packets, 2);
+    }
+
+    #[test]
+    fn bye_removes_a_collector_from_the_view() {
+        let mut agg = FleetAggregator::new(FleetConfig::default());
+        agg.apply_snapshot(frame(1, 1, latency_snapshot(10, &[1])));
+        agg.apply_snapshot(frame(2, 1, latency_snapshot(20, &[2])));
+        assert_eq!(agg.view().num_flows(), 2);
+
+        let mut bye = Vec::new();
+        struct Id(u64);
+        impl pint_wire::WireEncode for Id {
+            fn encode_into(&self, out: &mut Vec<u8>) {
+                pint_wire::WireWriter::new(out).put_varint(self.0);
+            }
+        }
+        pint_wire::frame_into(FrameType::Bye, &Id(1), &mut bye);
+        assert_eq!(agg.ingest_frame(&bye).unwrap(), FrameType::Bye);
+        assert_eq!(agg.view().num_flows(), 1);
+        assert!(agg.view().snapshot().flow(20).is_some());
+    }
+
+    #[test]
+    fn malformed_frames_are_typed_errors_and_counted() {
+        let mut agg = FleetAggregator::new(FleetConfig::default());
+        assert!(agg.ingest_frame(b"not a frame").is_err());
+        let good = frame(1, 1, latency_snapshot(10, &[1])).to_frame_bytes();
+        for cut in 1..good.len() {
+            let _ = agg.ingest_frame(&good[..cut]); // must never panic
+        }
+        let mut corrupt = good.clone();
+        let payload_at = corrupt.len() - 3;
+        corrupt[payload_at] ^= 0xFF;
+        let _ = agg.ingest_frame(&corrupt);
+        assert!(agg.stats().decode_errors > 0);
+        assert_eq!(agg.stats().snapshots_applied, 0);
+        // A good frame still applies afterwards.
+        agg.ingest_frame(&good).unwrap();
+        assert_eq!(agg.stats().snapshots_applied, 1);
+    }
+
+    #[test]
+    fn inconsistency_rule_fires_and_clears_across_snapshots() {
+        let mut agg = FleetAggregator::new(FleetConfig {
+            rules: vec![FleetRule::new(FleetCondition::InconsistenciesAbove {
+                min_total: 5,
+            })],
+            codec: None,
+        });
+        let with_inconsistencies = |n: u64| {
+            let mut snap = latency_snapshot(10, &[1, 2, 3]);
+            let (mut flows, stats, ingested) = snap.into_parts();
+            flows[0].1.inconsistencies = n;
+            snap = CollectorSnapshot::from_parts(flows, stats, ingested);
+            snap
+        };
+        agg.apply_snapshot(frame(1, 1, with_inconsistencies(2)));
+        assert!(agg.drain_events().is_empty(), "below threshold");
+        agg.apply_snapshot(frame(1, 2, with_inconsistencies(9)));
+        let fired = agg.drain_events();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].edge, FleetEdge::Fired);
+        assert_eq!(fired[0].observed, 9.0);
+        // Still holding: silent.
+        agg.apply_snapshot(frame(1, 3, with_inconsistencies(11)));
+        assert!(agg.drain_events().is_empty());
+        // Condition clears.
+        agg.apply_snapshot(frame(1, 4, with_inconsistencies(0)));
+        let cleared = agg.drain_events();
+        assert_eq!(cleared.len(), 1);
+        assert_eq!(cleared[0].edge, FleetEdge::Cleared);
+        assert_eq!(cleared[0].observed, 11.0, "last-seen observation");
+    }
+}

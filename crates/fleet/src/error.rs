@@ -1,0 +1,36 @@
+//! Fleet-tier errors.
+
+use pint_wire::WireError;
+use std::fmt;
+
+/// Errors surfaced by the fleet aggregator and transports.
+#[derive(Debug)]
+pub enum FleetError {
+    /// A frame failed to decode (malformed, truncated, wrong version).
+    Wire(WireError),
+    /// A transport-level I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Wire(e) => write!(f, "fleet frame decode failed: {e}"),
+            FleetError::Io(e) => write!(f, "fleet transport failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<WireError> for FleetError {
+    fn from(e: WireError) -> Self {
+        FleetError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for FleetError {
+    fn from(e: std::io::Error) -> Self {
+        FleetError::Io(e)
+    }
+}

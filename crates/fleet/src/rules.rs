@@ -1,0 +1,159 @@
+//! Fleet-level rules: conditions evaluated on the *merged* view, not on
+//! any single collector's state.
+//!
+//! The collector's per-flow `EventRule`s catch a hot flow inside one
+//! process; fleet rules catch conditions no single collector can see —
+//! a hop whose tail latency is fine in every pod but hot in aggregate,
+//! or path-reconstruction stalling across the fleet. Rules are
+//! re-evaluated after every applied snapshot and report both edges:
+//! [`FleetEdge::Fired`] when a condition starts holding,
+//! [`FleetEdge::Cleared`] when it stops (hysteresis — same contract as
+//! the collector tier's `EventKind::Cleared`).
+
+use crate::view::FleetView;
+use pint_collector::FlowId;
+use pint_core::dynamic::DynamicAggregator;
+
+/// The observable predicate of a fleet rule.
+#[derive(Debug, Clone)]
+pub enum FleetCondition {
+    /// Holds when the fleet-wide ϕ-quantile of hop `hop`'s value stream
+    /// — merged across every latency flow in scope — exceeds
+    /// `threshold` (value space), with at least `min_samples` packets
+    /// backing it. Needs the fleet's value codec
+    /// ([`FleetConfig::codec`](crate::FleetConfig)) to decompress; with
+    /// no codec configured the rule never holds.
+    QuantileAbove {
+        /// 1-based hop index.
+        hop: usize,
+        /// Quantile in `[0, 1]`.
+        phi: f64,
+        /// Value-space threshold (e.g. nanoseconds).
+        threshold: f64,
+        /// Minimum in-scope packets before the rule may fire.
+        min_samples: u64,
+    },
+    /// Holds when the fraction of in-scope path-tracing flows with a
+    /// fully reconstructed route drops below `min_fraction` (with at
+    /// least `min_flows` such flows tracked) — fleet-wide inference is
+    /// stalling.
+    PathCompletionBelow {
+        /// Completion fraction in `[0, 1]` below which the rule holds.
+        min_fraction: f64,
+        /// Minimum path-tracing flows before the rule may fire.
+        min_flows: usize,
+    },
+    /// Holds when total routing-inconsistency signals across in-scope
+    /// flows reach `min_total` (the paper's §7 routing-change signal,
+    /// summed fleet-wide).
+    InconsistenciesAbove {
+        /// Total contradictory digests required.
+        min_total: u64,
+    },
+}
+
+/// A fleet rule: a condition plus an optional flow scope.
+#[derive(Debug, Clone)]
+pub struct FleetRule {
+    /// The predicate.
+    pub condition: FleetCondition,
+    /// Restrict evaluation to these flows (e.g. "all flows through
+    /// switch S", resolved to a flow set by the operator's topology).
+    /// `None` = every flow in the fleet view.
+    pub scope: Option<Vec<FlowId>>,
+}
+
+impl FleetRule {
+    /// A rule over every flow in the fleet view.
+    pub fn new(condition: FleetCondition) -> Self {
+        Self {
+            condition,
+            scope: None,
+        }
+    }
+
+    /// Restricts the rule to a flow set.
+    pub fn scoped(mut self, flows: Vec<FlowId>) -> Self {
+        self.scope = Some(flows);
+        self
+    }
+
+    /// Evaluates the rule against a view: `Some(observed)` when the
+    /// condition holds now (the value that crossed the threshold),
+    /// `None` otherwise.
+    pub(crate) fn evaluate(
+        &self,
+        view: &FleetView,
+        codec: Option<&DynamicAggregator>,
+    ) -> Option<f64> {
+        let scoped;
+        let view = match &self.scope {
+            None => view,
+            Some(flows) => {
+                scoped = view.restricted_to(flows);
+                &scoped
+            }
+        };
+        match self.condition {
+            FleetCondition::QuantileAbove {
+                hop,
+                phi,
+                threshold,
+                min_samples,
+            } => {
+                let codec = codec?;
+                let sketch = view.snapshot().merged_hop_sketch(hop)?;
+                if sketch.count() < min_samples {
+                    return None;
+                }
+                let value = codec.decode(sketch.quantile(phi)?);
+                (value > threshold).then_some(value)
+            }
+            FleetCondition::PathCompletionBelow {
+                min_fraction,
+                min_flows,
+            } => {
+                let (_, total) = view.snapshot().path_counts();
+                if total < min_flows {
+                    return None;
+                }
+                let fraction = view.snapshot().path_completion()?;
+                (fraction < min_fraction).then_some(fraction)
+            }
+            FleetCondition::InconsistenciesAbove { min_total } => {
+                // Saturating: per-flow counts come off the wire and may
+                // be hostile; an overflow panic here would poison the
+                // server's aggregator mutex.
+                let total: u64 = view
+                    .snapshot()
+                    .flows()
+                    .fold(0u64, |acc, (_, s)| acc.saturating_add(s.inconsistencies));
+                (total >= min_total).then_some(total as f64)
+            }
+        }
+    }
+}
+
+/// Which edge of a rule's condition an event reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetEdge {
+    /// The condition started holding.
+    Fired,
+    /// A previously fired condition stopped holding.
+    Cleared,
+}
+
+/// A fleet-rule event, as drained from the aggregator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetEvent {
+    /// Index of the rule in [`FleetConfig::rules`](crate::FleetConfig).
+    pub rule: usize,
+    /// Fired or cleared.
+    pub edge: FleetEdge,
+    /// The observation at the edge: the quantile estimate, completion
+    /// fraction, or inconsistency total that was compared against the
+    /// rule's threshold (last-seen value for `Cleared`).
+    pub observed: f64,
+    /// Collectors contributing to the view that produced the event.
+    pub collectors: usize,
+}

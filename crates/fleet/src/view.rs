@@ -1,0 +1,280 @@
+//! The merged fleet view: one queryable snapshot over N collectors.
+//!
+//! `CollectorSnapshot::from_shards` already merges *shards* of one
+//! process deterministically; this module lifts the same associative
+//! merge one level, to snapshots from different collector *processes*.
+//! The new case is flow overlap: with per-pod collectors, packets of
+//! one flow may be recorded by several pods (ECMP, sink sharding), so
+//! equal flow IDs are merged — per-hop KLL sketches via the sketch's
+//! associative `merge`, counters summed — rather than duplicated.
+//! Collectors are processed in ascending collector-id order, making the
+//! result independent of frame arrival order.
+
+use pint_collector::{CollectorSnapshot, FlowId, FlowSummary};
+use pint_core::dynamic::DynamicAggregator;
+
+/// A point-in-time, queryable merge of every collector's latest
+/// snapshot.
+#[derive(Debug, Clone)]
+pub struct FleetView {
+    merged: CollectorSnapshot,
+    collectors: Vec<u64>,
+}
+
+impl FleetView {
+    /// Merges collector snapshots into one view. Input order does not
+    /// matter: snapshots are sorted by collector id first, so any
+    /// arrival interleaving yields the same view.
+    pub fn merge(snapshots: impl IntoIterator<Item = (u64, CollectorSnapshot)>) -> Self {
+        let mut tagged: Vec<(u64, CollectorSnapshot)> = snapshots.into_iter().collect();
+        tagged.sort_by_key(|&(id, _)| id);
+        let collectors: Vec<u64> = tagged.iter().map(|&(id, _)| id).collect();
+
+        let mut all_flows = Vec::new();
+        let mut all_stats = Vec::new();
+        let mut ingested = 0u64;
+        for (_, snap) in tagged {
+            let (flows, stats, n) = snap.into_parts();
+            all_flows.extend(flows);
+            all_stats.extend(stats);
+            ingested = ingested.saturating_add(n);
+        }
+        // Stable sort: duplicates of one flow stay in collector-id
+        // order, so the fold below merges them deterministically.
+        all_flows.sort_by_key(|&(f, _)| f);
+        let mut merged: Vec<(FlowId, FlowSummary)> = Vec::with_capacity(all_flows.len());
+        for (flow, summary) in all_flows {
+            match merged.last_mut() {
+                Some((last, dst)) if *last == flow => merge_summary(dst, summary),
+                _ => merged.push((flow, summary)),
+            }
+        }
+        Self {
+            merged: CollectorSnapshot::from_parts(merged, all_stats, ingested),
+            collectors,
+        }
+    }
+
+    /// The merged snapshot — every `CollectorSnapshot` query (per-flow
+    /// lookup, merged hop sketches, path completion, …) works on it.
+    pub fn snapshot(&self) -> &CollectorSnapshot {
+        &self.merged
+    }
+
+    /// Collector ids contributing to this view, ascending.
+    pub fn collectors(&self) -> &[u64] {
+        &self.collectors
+    }
+
+    /// Flows tracked fleet-wide.
+    pub fn num_flows(&self) -> usize {
+        self.merged.num_flows()
+    }
+
+    /// Digests recorded across the fleet's tracked flows.
+    pub fn total_packets(&self) -> u64 {
+        self.merged.total_packets()
+    }
+
+    /// Fleet-wide ϕ-quantile of hop `hop` (see
+    /// [`CollectorSnapshot::latency_quantile`]).
+    pub fn latency_quantile(&self, hop: usize, phi: f64, agg: &DynamicAggregator) -> Option<f64> {
+        self.merged.latency_quantile(hop, phi, agg)
+    }
+
+    /// The `k` heaviest flows by recorded packets, heaviest first (ties
+    /// broken by ascending flow ID) — the fleet dashboard's top panel,
+    /// served without touching any collector. `k = 0` is empty; `k`
+    /// past the population returns every flow.
+    pub fn top_k(&self, k: usize) -> Vec<(FlowId, &FlowSummary)> {
+        let mut ranked: Vec<(FlowId, &FlowSummary)> =
+            self.merged.flows().map(|(f, s)| (*f, s)).collect();
+        ranked.sort_by(|a, b| b.1.packets.cmp(&a.1.packets).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// A sub-view over only `flows` — how scoped fleet rules evaluate.
+    /// Clones the kept summaries; scopes are expected to be watch-list
+    /// sized, not the whole fleet.
+    pub(crate) fn restricted_to(&self, flows: &[FlowId]) -> FleetView {
+        let kept: Vec<(FlowId, FlowSummary)> = self
+            .filtered(flows)
+            .into_iter()
+            .map(|(f, s)| (f, s.clone()))
+            .collect();
+        FleetView {
+            merged: CollectorSnapshot::from_parts(kept, Vec::new(), 0),
+            collectors: self.collectors.clone(),
+        }
+    }
+
+    /// Watch-list lookup: the requested flows that exist fleet-wide,
+    /// ascending by ID. Unknown IDs are simply absent; duplicates in the
+    /// request collapse.
+    pub fn filtered(&self, flows: &[FlowId]) -> Vec<(FlowId, &FlowSummary)> {
+        let mut wanted = flows.to_vec();
+        wanted.sort_unstable();
+        wanted.dedup();
+        wanted
+            .into_iter()
+            .filter_map(|f| self.merged.flow(f).map(|s| (f, s)))
+            .collect()
+    }
+}
+
+/// Folds `src` (a later collector's view of the same flow) into `dst`.
+/// Counters saturate instead of wrapping: summaries come off the wire,
+/// and a hostile `u64::MAX` must not panic (overflow checks) or corrupt
+/// totals while the server holds its aggregator mutex.
+fn merge_summary(dst: &mut FlowSummary, src: FlowSummary) {
+    dst.packets = dst.packets.saturating_add(src.packets);
+    dst.state_bytes = dst.state_bytes.saturating_add(src.state_bytes);
+    dst.last_ts = dst.last_ts.max(src.last_ts);
+    dst.inconsistencies = dst.inconsistencies.saturating_add(src.inconsistencies);
+    for (hop, sk) in src.hop_sketches.into_iter().enumerate() {
+        if hop >= dst.hop_sketches.len() {
+            dst.hop_sketches.push(sk);
+        } else if !sk.is_empty() {
+            if dst.hop_sketches[hop].is_empty() {
+                dst.hop_sketches[hop] = sk;
+            } else {
+                dst.hop_sketches[hop].merge(&sk);
+            }
+        }
+    }
+    dst.path = match (dst.path.take(), src.path) {
+        (Some(a), Some(b)) => {
+            // Keep the further-along reconstruction; inconsistency
+            // counts accumulate across both observers.
+            let total = a.inconsistencies.saturating_add(b.inconsistencies);
+            let mut keep = if b.resolved > a.resolved { b } else { a };
+            keep.inconsistencies = total;
+            Some(keep)
+        }
+        (a, b) => a.or(b),
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pint_collector::flow_table::TableStats;
+    use pint_collector::ShardSnapshot;
+    use pint_core::RecorderKind;
+    use pint_sketches::KllSketch;
+
+    fn summary(values: &[u64], seed: u64) -> FlowSummary {
+        let mut sk = KllSketch::with_seed(64, seed);
+        for &v in values {
+            sk.update(v);
+        }
+        FlowSummary {
+            kind: RecorderKind::LatencyQuantiles,
+            packets: values.len() as u64,
+            state_bytes: values.len() * 8,
+            last_ts: seed,
+            hop_sketches: vec![KllSketch::with_seed(64, seed), sk],
+            path: None,
+            inconsistencies: 1,
+        }
+    }
+
+    fn snap(flows: Vec<(FlowId, FlowSummary)>) -> CollectorSnapshot {
+        CollectorSnapshot::from_shards(vec![ShardSnapshot {
+            shard: 0,
+            flows,
+            table_stats: TableStats::default(),
+            ingested: 0,
+        }])
+    }
+
+    #[test]
+    fn merge_is_arrival_order_invariant_and_dedupes_flows() {
+        // Flow 5 is seen by both collectors; 1 and 9 by one each.
+        let a = snap(vec![
+            (1, summary(&(0..100).collect::<Vec<_>>(), 1)),
+            (5, summary(&(100..200).collect::<Vec<_>>(), 2)),
+        ]);
+        let b = snap(vec![
+            (5, summary(&(200..300).collect::<Vec<_>>(), 3)),
+            (9, summary(&(300..400).collect::<Vec<_>>(), 4)),
+        ]);
+        let ab = FleetView::merge(vec![(10, a.clone()), (20, b.clone())]);
+        let ba = FleetView::merge(vec![(20, b), (10, a)]);
+
+        assert_eq!(ab.num_flows(), 3, "duplicate flow 5 merged");
+        assert_eq!(ab.total_packets(), 400);
+        assert_eq!(ab.snapshot().flow(5).unwrap().packets, 200);
+        assert_eq!(ab.collectors(), &[10, 20]);
+        // Arrival order cannot change any answer.
+        for phi in [0.1, 0.5, 0.9] {
+            assert_eq!(
+                ab.snapshot().flow(5).unwrap().hop_sketches[1].quantile(phi),
+                ba.snapshot().flow(5).unwrap().hop_sketches[1].quantile(phi),
+                "phi={phi}"
+            );
+        }
+        assert_eq!(
+            ab.snapshot().merged_hop_sketch(1).unwrap().quantile(0.5),
+            ba.snapshot().merged_hop_sketch(1).unwrap().quantile(0.5),
+        );
+    }
+
+    #[test]
+    fn top_k_and_filtered_queries() {
+        let a = snap(vec![
+            (1, summary(&(0..10).collect::<Vec<_>>(), 1)),
+            (2, summary(&(0..500).collect::<Vec<_>>(), 2)),
+        ]);
+        let b = snap(vec![(3, summary(&(0..200).collect::<Vec<_>>(), 3))]);
+        let view = FleetView::merge(vec![(1, a), (2, b)]);
+
+        let top = view.top_k(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, 2, "heaviest first");
+        assert_eq!(top[1].0, 3);
+        assert!(view.top_k(0).is_empty());
+        assert_eq!(view.top_k(99).len(), 3, "k beyond population");
+
+        let watch = view.filtered(&[3, 3, 1, 42]);
+        assert_eq!(
+            watch.iter().map(|&(f, _)| f).collect::<Vec<_>>(),
+            vec![1, 3],
+            "ascending, deduped, unknown absent"
+        );
+    }
+
+    #[test]
+    fn path_progress_prefers_further_reconstruction() {
+        let partial = FlowSummary {
+            kind: RecorderKind::PathTracing,
+            packets: 5,
+            state_bytes: 64,
+            last_ts: 1,
+            hop_sketches: Vec::new(),
+            path: Some(pint_core::PathProgress {
+                resolved: 1,
+                k: 3,
+                path: None,
+                inconsistencies: 2,
+            }),
+            inconsistencies: 2,
+        };
+        let mut complete = partial.clone();
+        complete.path = Some(pint_core::PathProgress {
+            resolved: 3,
+            k: 3,
+            path: Some(vec![7, 8, 9]),
+            inconsistencies: 1,
+        });
+        let view = FleetView::merge(vec![
+            (1, snap(vec![(4, partial)])),
+            (2, snap(vec![(4, complete)])),
+        ]);
+        let p = view.snapshot().flow(4).unwrap().path.as_ref().unwrap();
+        assert!(p.is_complete());
+        assert_eq!(p.path.as_deref(), Some(&[7u64, 8, 9][..]));
+        assert_eq!(p.inconsistencies, 3, "observer counts accumulate");
+    }
+}

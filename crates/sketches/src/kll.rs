@@ -11,14 +11,15 @@
 //! level is sorted and every other element (random offset) is promoted one
 //! level up, halving the stored item count at that level.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 /// Capacity decay rate between compactor levels (the `c` parameter of the
 /// KLL paper; 2/3 is the value used in the authors' reference code).
 const DECAY: f64 = 2.0 / 3.0;
 /// Minimum capacity of any compactor.
 const MIN_CAP: usize = 2;
+/// Upper bound on compactor levels: level `h` items weigh `2^h`, so 64
+/// levels already exhaust a `u64` weight. Also caps what
+/// [`KllSketch::from_parts`] accepts from untrusted input.
+const MAX_LEVELS: usize = 64;
 
 /// A KLL quantile sketch over `u64` values.
 ///
@@ -31,7 +32,7 @@ const MIN_CAP: usize = 2;
 /// let med = sk.quantile(0.5).unwrap();
 /// assert!((med as i64 - 5_000).unsigned_abs() < 500);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KllSketch {
     /// Accuracy parameter: the top compactor holds up to `k` items.
     k: usize,
@@ -43,7 +44,11 @@ pub struct KllSketch {
     max_size: usize,
     /// Stream length observed so far.
     n: u64,
-    rng: SmallRng,
+    /// Compaction coin state: a splitmix64 counter advanced once per
+    /// coin flip. Explicit (not an opaque RNG) so the sketch is fully
+    /// serializable — `pint-wire` round-trips it and a decoded sketch
+    /// behaves *identically* to the original, coin flips included.
+    coin: u64,
 }
 
 impl KllSketch {
@@ -62,10 +67,21 @@ impl KllSketch {
             size: 0,
             max_size: 0,
             n: 0,
-            rng: SmallRng::seed_from_u64(seed),
+            coin: seed,
         };
         s.grow();
         s
+    }
+
+    /// One compaction coin flip: advance the splitmix64 counter and take
+    /// the mixed output's low bit.
+    #[inline]
+    fn flip(&mut self) -> bool {
+        self.coin = self.coin.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.coin;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) & 1 == 1
     }
 
     /// Creates a sketch whose in-memory footprint is approximately
@@ -154,7 +170,7 @@ impl KllSketch {
                 // the level's buffer (small sketches compact every few
                 // updates — a scratch allocation here would dominate the
                 // ingest hot path).
-                let offset = usize::from(self.rng.gen_bool(0.5));
+                let offset = usize::from(self.flip());
                 let (lower, upper) = self.compactors.split_at_mut(h + 1);
                 let items = &mut lower[h];
                 items.sort_unstable();
@@ -250,12 +266,91 @@ impl KllSketch {
         self.n += other.n;
         self.compress_to_fit();
     }
+
+    // ---- serialization hooks (used by `pint-wire`) ----------------------
+
+    /// The accuracy parameter `k` the sketch was built with.
+    pub fn accuracy_k(&self) -> usize {
+        self.k
+    }
+
+    /// The compaction coin state (see [`from_parts`](Self::from_parts)).
+    pub fn coin_state(&self) -> u64 {
+        self.coin
+    }
+
+    /// The compactor levels, bottom (weight 1) first. Level `h` holds
+    /// items of weight `2^h`; items within a level are in insertion
+    /// order. Together with [`accuracy_k`](Self::accuracy_k),
+    /// [`coin_state`](Self::coin_state), and [`count`](Self::count) this
+    /// is the sketch's complete state.
+    pub fn levels(&self) -> impl ExactSizeIterator<Item = &[u64]> {
+        self.compactors.iter().map(Vec::as_slice)
+    }
+
+    /// Rebuilds a sketch from serialized state — the exact inverse of
+    /// reading [`levels`](Self::levels)/[`coin_state`](Self::coin_state):
+    /// the result is `==` to the original and makes the same compaction
+    /// decisions from here on.
+    ///
+    /// Validates untrusted input instead of panicking: `k` below the
+    /// implementation minimum, more than 64 levels (a `u64` cannot weight
+    /// level 64), a stored-item weight total overflowing `u64` (which
+    /// would make [`quantile`](Self::quantile) panic in debug builds), or
+    /// stored items without a stream (`n == 0` yet items present, and
+    /// vice versa) are rejected with a static description.
+    pub fn from_parts(
+        k: usize,
+        coin: u64,
+        n: u64,
+        levels: Vec<Vec<u64>>,
+    ) -> Result<Self, &'static str> {
+        if k < MIN_CAP {
+            return Err("KLL accuracy parameter below minimum");
+        }
+        if levels.len() > MAX_LEVELS {
+            return Err("too many KLL compactor levels");
+        }
+        let mut total_weight = 0u64;
+        let mut size = 0usize;
+        for (h, level) in levels.iter().enumerate() {
+            let per_item = 1u64 << h;
+            let level_weight = per_item
+                .checked_mul(level.len() as u64)
+                .ok_or("KLL level weight overflows u64")?;
+            total_weight = total_weight
+                .checked_add(level_weight)
+                .ok_or("KLL total weight overflows u64")?;
+            size += level.len();
+        }
+        if (n == 0) != (size == 0) {
+            return Err("KLL stream length inconsistent with stored items");
+        }
+        let mut s = Self {
+            k,
+            compactors: levels,
+            size,
+            max_size: 0,
+            n,
+            coin,
+        };
+        if s.compactors.is_empty() {
+            s.grow();
+        } else {
+            // Recompute the capacity sum for the level count as-is; do
+            // NOT compact here — decode must preserve state exactly.
+            s.max_size = (0..s.compactors.len()).map(|h| s.capacity_of(h)).sum();
+        }
+        Ok(s)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::SmallRng;
     use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
 
     fn rank_error(sk: &KllSketch, sorted: &[u64], phi: f64) -> f64 {
         let est = sk.quantile(phi).unwrap();
@@ -410,6 +505,53 @@ mod tests {
         sk.update_weighted(5, 1);
         assert_eq!(sk.count(), 1);
         assert_eq!(sk.quantile(0.5), Some(5));
+    }
+
+    #[test]
+    fn parts_round_trip_is_exact_including_future_updates() {
+        let mut sk = KllSketch::with_seed(64, 42);
+        for v in 0..10_000u64 {
+            sk.update(v * 17 % 4_096);
+        }
+        let levels: Vec<Vec<u64>> = sk.levels().map(<[u64]>::to_vec).collect();
+        let mut rebuilt =
+            KllSketch::from_parts(sk.accuracy_k(), sk.coin_state(), sk.count(), levels).unwrap();
+        assert_eq!(sk, rebuilt, "reconstruction is bit-exact");
+        // Same future behavior: identical coin flips ⇒ identical state
+        // after identical updates.
+        for v in 0..5_000u64 {
+            sk.update(v);
+            rebuilt.update(v);
+        }
+        assert_eq!(sk, rebuilt, "future compactions identical");
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_state() {
+        assert!(KllSketch::from_parts(1, 0, 0, Vec::new()).is_err(), "k");
+        assert!(
+            KllSketch::from_parts(8, 0, 0, vec![Vec::new(); 65]).is_err(),
+            "level count"
+        );
+        assert!(
+            KllSketch::from_parts(8, 0, 0, vec![vec![1, 2, 3]]).is_err(),
+            "items without stream length"
+        );
+        assert!(
+            KllSketch::from_parts(8, 0, 9, vec![Vec::new()]).is_err(),
+            "stream length without items"
+        );
+        // 2^63-weighted items overflowing the total weight.
+        let mut levels = vec![Vec::new(); 64];
+        levels[63] = vec![0; 3];
+        assert!(
+            KllSketch::from_parts(8, 0, u64::MAX, levels).is_err(),
+            "weight overflow"
+        );
+        // An empty, never-updated sketch round-trips too.
+        let empty = KllSketch::from_parts(8, 7, 0, Vec::new()).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.quantile(0.5), None);
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! [`WireEncode`]/[`WireDecode`] impls for the leaf types shared by
+//! every tier: digests, digest reports, KLL sketches, path progress,
+//! recorder kinds. Snapshot-level types live with their owning crate
+//! (`pint-collector`), which composes these primitives.
+
+use crate::error::WireError;
+use crate::rw::{WireReader, WireWriter};
+use crate::{WireDecode, WireEncode};
+use pint_core::{Digest, DigestReport, PathProgress, RecorderKind};
+use pint_sketches::KllSketch;
+
+impl WireEncode for Digest {
+    /// Lane count (varint), then each lane as a fixed 8-byte
+    /// little-endian word — lanes hold hash/XOR accumulators that use
+    /// the full width, so varints would pessimize them.
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = WireWriter::new(out);
+        w.put_varint(self.lanes() as u64);
+        for i in 0..self.lanes() {
+            w.put_u64(self.get(i));
+        }
+    }
+}
+
+impl WireDecode for Digest {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let lanes = r.get_count(8)?;
+        let mut d = Digest::new(lanes);
+        for i in 0..lanes {
+            d.set(i, r.get_u64()?);
+        }
+        Ok(d)
+    }
+}
+
+impl WireEncode for DigestReport {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = WireWriter::new(out);
+        w.put_varint(self.flow);
+        w.put_varint(self.pid);
+        w.put_varint(u64::from(self.path_len));
+        w.put_varint(self.ts);
+        self.digest.encode_into(out);
+    }
+}
+
+impl WireDecode for DigestReport {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let flow = r.get_varint()?;
+        let pid = r.get_varint()?;
+        let path_len = r.get_varint()?;
+        if path_len > u64::from(u16::MAX) {
+            return Err(WireError::Invalid("path length exceeds u16"));
+        }
+        let ts = r.get_varint()?;
+        let digest = Digest::decode_from(r)?;
+        Ok(DigestReport::new(flow, pid, digest, path_len as u16, ts))
+    }
+}
+
+impl WireEncode for KllSketch {
+    /// `k` (varint), coin state (8 bytes LE), stream length `n`
+    /// (varint), level count (varint), then per level an item count
+    /// (varint) and the items as varints — code-space values are small
+    /// (paper: 8-bit budgets), so varints shrink them to 1 byte.
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = WireWriter::new(out);
+        w.put_varint(self.accuracy_k() as u64);
+        w.put_u64(self.coin_state());
+        w.put_varint(self.count());
+        let levels = self.levels();
+        w.put_varint(levels.len() as u64);
+        for level in levels {
+            w.put_varint(level.len() as u64);
+            for &v in level {
+                w.put_varint(v);
+            }
+        }
+    }
+}
+
+impl WireDecode for KllSketch {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let k = r.get_varint()?;
+        if k > u32::MAX as u64 {
+            return Err(WireError::Invalid(
+                "KLL accuracy parameter implausibly large",
+            ));
+        }
+        let coin = r.get_u64()?;
+        let n = r.get_varint()?;
+        let num_levels = r.get_count(1)?;
+        // Reject before allocating: a hostile count costs 1 wire byte
+        // per claimed level but ~24 in-memory bytes per `Vec` header —
+        // and `from_parts` caps levels at 64 anyway (a u64 cannot
+        // weight level 64).
+        if num_levels > 64 {
+            return Err(WireError::Invalid("too many KLL compactor levels"));
+        }
+        let mut levels = Vec::with_capacity(num_levels);
+        for _ in 0..num_levels {
+            let items = r.get_count(1)?;
+            // Pre-reserve conservatively: `items` is backed by ≥ 1 wire
+            // byte each but costs 8 in-memory bytes each; growing past
+            // the cap is paid only as elements actually decode.
+            let mut level = Vec::with_capacity(items.min(65_536));
+            for _ in 0..items {
+                level.push(r.get_varint()?);
+            }
+            levels.push(level);
+        }
+        KllSketch::from_parts(k as usize, coin, n, levels).map_err(WireError::Invalid)
+    }
+}
+
+impl WireEncode for PathProgress {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = WireWriter::new(out);
+        w.put_varint(self.resolved as u64);
+        w.put_varint(self.k as u64);
+        match &self.path {
+            Some(path) => {
+                w.put_u8(1);
+                for &hop in path {
+                    w.put_varint(hop);
+                }
+            }
+            None => w.put_u8(0),
+        }
+        w.put_varint(self.inconsistencies);
+    }
+}
+
+impl WireDecode for PathProgress {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let resolved = r.get_varint()?;
+        let k = r.get_varint()?;
+        if k > u64::from(u16::MAX) {
+            return Err(WireError::Invalid("path length exceeds u16"));
+        }
+        if resolved > k {
+            return Err(WireError::Invalid("resolved hops exceed path length"));
+        }
+        let (resolved, k) = (resolved as usize, k as usize);
+        let path = match r.get_u8()? {
+            0 => None,
+            1 => {
+                // A present path is complete by construction: k hops.
+                r.check_count(k as u64, 1)?;
+                let mut path = Vec::with_capacity(k);
+                for _ in 0..k {
+                    path.push(r.get_varint()?);
+                }
+                Some(path)
+            }
+            _ => return Err(WireError::Invalid("path presence tag must be 0 or 1")),
+        };
+        if path.is_some() && resolved != k {
+            return Err(WireError::Invalid("complete path with unresolved hops"));
+        }
+        let inconsistencies = r.get_varint()?;
+        Ok(PathProgress {
+            resolved,
+            k,
+            path,
+            inconsistencies,
+        })
+    }
+}
+
+impl WireEncode for RecorderKind {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            RecorderKind::LatencyQuantiles => 0,
+            RecorderKind::PathTracing => 1,
+            RecorderKind::FrequentValues => 2,
+        };
+        WireWriter::new(out).put_u8(tag);
+    }
+}
+
+impl WireDecode for RecorderKind {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(RecorderKind::LatencyQuantiles),
+            1 => Ok(RecorderKind::PathTracing),
+            2 => Ok(RecorderKind::FrequentValues),
+            _ => Err(WireError::Invalid("unknown recorder kind")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_and_report_round_trip() {
+        for lanes in [0usize, 1, 2, 5] {
+            let mut d = Digest::new(lanes);
+            for i in 0..lanes {
+                d.set(i, u64::MAX - i as u64);
+            }
+            assert_eq!(Digest::decode(&d.encode()).unwrap(), d, "{lanes} lanes");
+            let report = DigestReport::new(u64::MAX, 12_345, d, 9, 1 << 40);
+            assert_eq!(DigestReport::decode(&report.encode()).unwrap(), report);
+        }
+    }
+
+    #[test]
+    fn kll_round_trip_is_structural() {
+        let mut sk = KllSketch::with_seed(48, 99);
+        for v in 0..30_000u64 {
+            sk.update(v % 257);
+        }
+        let decoded = KllSketch::decode(&sk.encode()).unwrap();
+        assert_eq!(decoded, sk, "decode(encode(A)) == A, coin state included");
+    }
+
+    #[test]
+    fn kll_decode_rejects_corruption_without_panicking() {
+        let mut sk = KllSketch::with_seed(16, 3);
+        for v in 0..1_000u64 {
+            sk.update(v);
+        }
+        let good = sk.encode();
+        // Truncate at every length: must error, never panic.
+        for cut in 0..good.len() {
+            assert!(
+                KllSketch::decode(&good[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn path_progress_round_trip_and_validation() {
+        let complete = PathProgress {
+            resolved: 3,
+            k: 3,
+            path: Some(vec![7, 8, 9]),
+            inconsistencies: 2,
+        };
+        assert_eq!(PathProgress::decode(&complete.encode()).unwrap(), complete);
+        let partial = PathProgress {
+            resolved: 1,
+            k: 5,
+            path: None,
+            inconsistencies: 0,
+        };
+        assert_eq!(PathProgress::decode(&partial.encode()).unwrap(), partial);
+
+        // resolved > k is rejected.
+        let mut bad = Vec::new();
+        let mut w = WireWriter::new(&mut bad);
+        w.put_varint(9);
+        w.put_varint(3);
+        w.put_u8(0);
+        w.put_varint(0);
+        assert!(matches!(
+            PathProgress::decode(&bad),
+            Err(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn recorder_kind_tags() {
+        for kind in [
+            RecorderKind::LatencyQuantiles,
+            RecorderKind::PathTracing,
+            RecorderKind::FrequentValues,
+        ] {
+            assert_eq!(RecorderKind::decode(&kind.encode()).unwrap(), kind);
+        }
+        assert!(RecorderKind::decode(&[9]).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Typed decode errors.
+
+use std::fmt;
+
+/// Why a buffer failed to decode. Every variant is a *rejection* — the
+/// decoder never panics on untrusted bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value did.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// The frame does not start with the `PINT` magic.
+    BadMagic,
+    /// The frame's format version is newer than this decoder speaks.
+    UnsupportedVersion {
+        /// Version byte found in the frame.
+        found: u8,
+        /// Highest version this build decodes.
+        supported: u8,
+    },
+    /// The frame-type byte is not a known [`FrameType`](crate::FrameType).
+    UnknownFrameType(u8),
+    /// The frame declares a payload larger than
+    /// [`MAX_PAYLOAD`](crate::MAX_PAYLOAD).
+    FrameTooLarge {
+        /// Declared payload length.
+        len: usize,
+        /// The enforced maximum.
+        max: usize,
+    },
+    /// A varint ran past 10 bytes or overflowed `u64`.
+    VarintOverflow,
+    /// A declared element count exceeds the bytes that could possibly
+    /// back it — rejected *before* allocating.
+    CountTooLarge {
+        /// The declared count.
+        count: u64,
+        /// Upper bound implied by the remaining input.
+        max: u64,
+    },
+    /// The value decoded but violates a semantic invariant.
+    Invalid(&'static str),
+    /// Bytes remained after the value that was supposed to end the
+    /// buffer.
+    TrailingBytes {
+        /// How many bytes were left over.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(
+                    f,
+                    "truncated input: needed {needed} more bytes, have {have}"
+                )
+            }
+            WireError::BadMagic => write!(f, "bad frame magic (not a PINT frame)"),
+            WireError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported wire version {found} (this build speaks ≤ {supported})"
+                )
+            }
+            WireError::UnknownFrameType(t) => write!(f, "unknown frame type 0x{t:02x}"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::VarintOverflow => write!(f, "varint longer than 10 bytes or overflows u64"),
+            WireError::CountTooLarge { count, max } => {
+                write!(
+                    f,
+                    "declared count {count} exceeds what {max} remaining bytes can hold"
+                )
+            }
+            WireError::Invalid(what) => write!(f, "invalid value: {what}"),
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after the decoded value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

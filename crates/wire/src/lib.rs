@@ -1,0 +1,114 @@
+//! # pint-wire — the PINT telemetry wire format
+//!
+//! PINT's collection tier is distributed: per-pod collectors
+//! (`pint-collector`) ship their snapshots to a fleet aggregator
+//! (`pint-fleet`) over plain sockets. This crate is the codec between
+//! them — a small, dependency-free, *versioned* binary format with
+//! typed decode errors. Decoding never panics, whatever the bytes:
+//! frames off the network are untrusted input.
+//!
+//! ## Frame format (version 1)
+//!
+//! Every message is one length-prefixed frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic       0x50 0x49 0x4E 0x54  (ASCII "PINT")
+//! 4       1     version     0x01
+//! 5       1     frame type  (see below)
+//! 6       4     payload length, u32 little-endian (≤ 64 MiB)
+//! 10      n     payload
+//! ```
+//!
+//! Frame types:
+//!
+//! | byte | type                        | payload |
+//! |------|-----------------------------|---------|
+//! | 0x01 | [`FrameType::Hello`]        | collector id (varint) |
+//! | 0x02 | [`FrameType::Snapshot`]     | a `SnapshotFrame` (see `pint-collector`'s wire module): collector id, epoch, full `CollectorSnapshot` |
+//! | 0x03 | [`FrameType::DigestBatch`]  | count (varint), then that many [`DigestReport`](pint_core::DigestReport)s |
+//! | 0x04 | [`FrameType::Bye`]          | collector id (varint) |
+//!
+//! Integers inside payloads are either fixed-width **little-endian**
+//! (`u64` hash values, coin states, `f64` bit patterns) or **LEB128
+//! varints** (counts, identifiers, timestamps — values that are usually
+//! small). Every varint is at most 10 bytes; over-long or overflowing
+//! encodings are rejected.
+//!
+//! A decoder receiving a frame with an unknown higher `version` rejects
+//! it with [`WireError::UnsupportedVersion`] — payload layouts may
+//! change between versions, so there is no partial forward parsing.
+//!
+//! ## Using the codec
+//!
+//! Types implement [`WireEncode`] (append to a caller-owned `Vec<u8>` —
+//! the hot path allocates nothing per lane or per item) and
+//! [`WireDecode`] (cursor-based, typed errors). This crate provides the
+//! impls for the leaf types every tier shares — [`Digest`],
+//! [`DigestReport`], [`KllSketch`], [`PathProgress`], [`RecorderKind`]
+//! — while `pint-collector` adds its snapshot types on top.
+//!
+//! ```
+//! use pint_core::{Digest, DigestReport};
+//! use pint_wire::{WireDecode, WireEncode};
+//!
+//! let mut d = Digest::new(2);
+//! d.set(0, 0xFEED);
+//! let report = DigestReport::new(7, 1_001, d, 5, 42);
+//!
+//! let mut buf = Vec::new();
+//! report.encode_into(&mut buf);
+//! assert_eq!(DigestReport::decode(&buf).unwrap(), report);
+//! ```
+//!
+//! [`Digest`]: pint_core::Digest
+//! [`DigestReport`]: pint_core::DigestReport
+//! [`KllSketch`]: pint_sketches::KllSketch
+//! [`PathProgress`]: pint_core::PathProgress
+//! [`RecorderKind`]: pint_core::RecorderKind
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod error;
+mod frame;
+mod rw;
+
+pub use error::WireError;
+pub use frame::{
+    frame_into, parse_frame, peek_frame, FrameReader, FrameType, ReadFrameError, HEADER_LEN, MAGIC,
+    MAX_PAYLOAD, VERSION,
+};
+pub use rw::{WireReader, WireWriter};
+
+/// Serialize into the PINT wire format by appending to a caller-owned
+/// buffer — no allocation inside the encoder itself.
+pub trait WireEncode {
+    /// Appends this value's encoding to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Convenience: encode into a fresh buffer.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+/// Deserialize from the PINT wire format with typed errors; never
+/// panics on malformed, truncated, or adversarial input.
+pub trait WireDecode: Sized {
+    /// Reads one value at the reader's cursor, advancing it.
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Decodes a value that must occupy `bytes` exactly (trailing bytes
+    /// are an error — catches framing bugs and truncation-splice
+    /// corruption).
+    fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let v = Self::decode_from(&mut r)?;
+        r.expect_end()?;
+        Ok(v)
+    }
+}

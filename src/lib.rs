@@ -10,14 +10,18 @@
 //! * `hpcc` — HPCC congestion control (INT & PINT modes).
 //! * `traceback` — PPM / AMS2 baselines.
 //! * `collector` — sharded, multi-threaded ingestion & inference.
+//! * `wire` — versioned binary codec for digests, sketches, snapshots.
+//! * `fleet` — cross-collector aggregation over TCP / in-memory frames.
 
 pub use pint_collector as collector;
 pub use pint_core as core;
 pub use pint_dataplane as dataplane;
+pub use pint_fleet as fleet;
 pub use pint_hpcc as hpcc;
 pub use pint_netsim as netsim;
 pub use pint_sketches as sketches;
 pub use pint_traceback as traceback;
+pub use pint_wire as wire;
 
 pub use pint_collector::{Collector, CollectorConfig, CollectorHandle, EventRule, RuleCondition};
 pub use pint_core::{

@@ -1,0 +1,158 @@
+//! Wire-codec round-trip properties.
+//!
+//! The load-bearing property for the fleet tier: serializing a KLL
+//! sketch and merging the decoded copies is *exactly* equivalent to
+//! merging the originals — not approximately. This holds because the
+//! sketch's compaction randomness is an explicit serialized coin state,
+//! so `decode(encode(A))` is structurally equal to `A` and makes the
+//! same coin flips forever after. The fleet view's determinism
+//! (arrival-order invariance, TCP ≡ in-memory) reduces to this.
+//!
+//! The dual property: corrupted, truncated, or future-version bytes
+//! are rejected with *typed* errors — decoding never panics, because
+//! frames come off the network.
+
+use pint::collector::wire::SnapshotFrame;
+use pint::collector::{CollectorSnapshot, FlowSummary, ShardSnapshot};
+use pint::core::RecorderKind;
+use pint::sketches::KllSketch;
+use pint::wire::{parse_frame, WireDecode, WireEncode, WireError, VERSION};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_sketch(k: usize, seed: u64, items: usize, spread: u64) -> KllSketch {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sk = KllSketch::with_seed(k, seed ^ 0xC0DE);
+    for _ in 0..items {
+        sk.update(rng.gen_range(0..spread.max(1)));
+    }
+    sk
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// decode(encode(A)) is structurally equal to A — coin state
+    /// included — for arbitrary sketch shapes.
+    #[test]
+    fn kll_decode_encode_is_identity(
+        k in 8usize..128,
+        seed in any::<u64>(),
+        items in 0usize..20_000,
+        spread in prop::sample::select(vec![1u64, 100, 1 << 20, u64::MAX]),
+    ) {
+        let sk = random_sketch(k, seed, items, spread);
+        let decoded = KllSketch::decode(&sk.encode()).unwrap();
+        prop_assert_eq!(&decoded, &sk);
+    }
+
+    /// merge(decode(encode(A)), decode(encode(B))) ≡ merge(A, B),
+    /// exactly: identical retained items AND identical answers for any
+    /// later query or update.
+    #[test]
+    fn kll_merge_commutes_with_codec(
+        ka in 8usize..96,
+        kb in 8usize..96,
+        seed in any::<u64>(),
+        items_a in 1usize..15_000,
+        items_b in 1usize..15_000,
+    ) {
+        let a = random_sketch(ka, seed, items_a, 1 << 30);
+        let b = random_sketch(kb, seed ^ 0xB, items_b, 1 << 24);
+
+        let mut direct = a.clone();
+        direct.merge(&b);
+
+        let mut via_wire = KllSketch::decode(&a.encode()).unwrap();
+        via_wire.merge(&KllSketch::decode(&b.encode()).unwrap());
+
+        prop_assert_eq!(&via_wire, &direct, "merge must commute with the codec");
+        // And the merged results keep agreeing under further updates
+        // (same coin state ⇒ same compactions).
+        let mut direct2 = direct.clone();
+        let mut via2 = via_wire.clone();
+        for v in 0..500u64 {
+            direct2.update(v * 7);
+            via2.update(v * 7);
+        }
+        prop_assert_eq!(via2, direct2);
+    }
+
+    /// Any truncation of a valid sketch encoding is a typed error;
+    /// any single-byte corruption either errors or decodes — never
+    /// panics either way.
+    #[test]
+    fn kll_corruption_never_panics(
+        k in 8usize..64,
+        seed in any::<u64>(),
+        items in 1usize..5_000,
+        flip in any::<u8>(),
+    ) {
+        let sk = random_sketch(k, seed, items, 1 << 16);
+        let bytes = sk.encode();
+        for cut in 0..bytes.len() {
+            prop_assert!(KllSketch::decode(&bytes[..cut]).is_err(), "cut at {}", cut);
+        }
+        let mut corrupt = bytes.clone();
+        let idx = (seed as usize) % corrupt.len();
+        corrupt[idx] ^= flip;
+        let _ = KllSketch::decode(&corrupt); // Err or Ok, but no panic
+    }
+}
+
+#[test]
+fn snapshot_frame_rejects_future_versions_and_garbage() {
+    let frame = SnapshotFrame {
+        collector_id: 1,
+        epoch: 1,
+        snapshot: CollectorSnapshot::from_shards(vec![ShardSnapshot {
+            shard: 0,
+            flows: vec![(
+                3,
+                FlowSummary {
+                    kind: RecorderKind::LatencyQuantiles,
+                    packets: 4,
+                    state_bytes: 32,
+                    last_ts: 0,
+                    hop_sketches: vec![random_sketch(16, 1, 4, 100)],
+                    path: None,
+                    inconsistencies: 0,
+                },
+            )],
+            table_stats: Default::default(),
+            ingested: 4,
+        }]),
+    };
+    let good = frame.to_frame_bytes();
+    assert!(parse_frame(&good).is_ok());
+
+    // Future version byte.
+    let mut future = good.clone();
+    future[4] = VERSION + 1;
+    assert!(matches!(
+        parse_frame(&future),
+        Err(WireError::UnsupportedVersion { .. })
+    ));
+
+    // Wrong magic.
+    let mut magic = good.clone();
+    magic[0] = b'Q';
+    assert!(matches!(parse_frame(&magic), Err(WireError::BadMagic)));
+
+    // Every truncation of the full frame is an error, never a panic.
+    for cut in 0..good.len() {
+        assert!(parse_frame(&good[..cut]).is_err(), "cut at {cut}");
+    }
+
+    // Flip every payload byte once: the frame parser or the snapshot
+    // decoder may reject it (or a don't-care bit may still decode), but
+    // nothing panics on any of the inputs.
+    for i in 0..good.len() {
+        let mut corrupt = good.clone();
+        corrupt[i] ^= 0xA5;
+        if let Ok((_, payload)) = parse_frame(&corrupt) {
+            let _ = SnapshotFrame::decode(payload);
+        }
+    }
+}
