@@ -5,9 +5,10 @@ use crate::config::{CollectorConfig, FlowId, RecorderFactory};
 use crate::error::CollectorError;
 use crate::events::Event;
 use crate::handle::{shard_of, CollectorHandle};
-use crate::inference::CollectorSnapshot;
+use crate::inference::{CollectorSnapshot, FlowSummary, ShardSnapshot};
 use crate::ring::{self, RingTuning, Waiter};
-use crate::shard::{ShardMsg, ShardStats, ShardWorker};
+use crate::shard::{ShardMsg, ShardQuery, ShardSelect, ShardStats, ShardWorker};
+use pint_query::{QueryBackend, QueryError, QueryPlan, QueryResult, Selector, TableTotals};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
@@ -98,10 +99,11 @@ impl ProducerRegistry {
 /// Spawn with a [`CollectorConfig`] and a [`RecorderFactory`]; register
 /// producers with [`register_producer`](Self::register_producer) — each
 /// gets its own lock-free ring per shard — and feed them
-/// [`DigestReport`](pint_core::DigestReport)s; query via merged
-/// [`snapshot`](Self::snapshot)s (full, [flow-filtered](Self::snapshot_flows),
-/// or [top-K](Self::snapshot_top_k)); subscribe to rule-driven
-/// [`Event`]s; and [`shutdown`](Self::shutdown) to join the workers.
+/// [`DigestReport`](pint_core::DigestReport)s; read via typed
+/// [`query`](Self::query) plans (selectors × projections, routed only
+/// to the shards that can answer) or a full merged
+/// [`snapshot`](Self::snapshot); subscribe to rule-driven [`Event`]s;
+/// and [`shutdown`](Self::shutdown) to join the workers.
 pub struct Collector {
     ctrl: Vec<SyncSender<ShardMsg>>,
     waiters: Vec<Arc<Waiter>>,
@@ -190,107 +192,32 @@ impl Collector {
     /// snapshot covers all batches shipped (flushed) before this call.
     /// Digests still sitting in un-flushed handle buffers are not
     /// included — flush the handles first for a precise cut.
+    ///
+    /// For targeted reads (a flow set, top-K, delta polls), prefer
+    /// [`query`](Self::query): it serializes only the selected flows.
     pub fn snapshot(&self) -> Result<CollectorSnapshot, CollectorError> {
-        self.fanout(ShardMsg::Snapshot)
+        self.gather(&Selector::All, None)
             .map(CollectorSnapshot::from_shards)
     }
 
-    /// A snapshot restricted to `flows` — dashboards polling a watch
-    /// list pay for those flows only, not a clone of every hop sketch
-    /// the collector holds. Flows not currently tracked are simply
-    /// absent from the result. Only the shards owning the requested
-    /// flows are consulted, so the snapshot's aggregate fields
-    /// (`ingested`, `shard_stats`) cover *those shards only* — read
-    /// fleet-wide totals from [`stats`](Self::stats) or a full
-    /// [`snapshot`](Self::snapshot) instead.
+    /// Executes a compiled [`QueryPlan`] against live shard state — the
+    /// collector's tier of the workspace-wide query API (the same plan
+    /// runs unchanged on a fleet view or over TCP, with identical
+    /// results on identical state).
     ///
-    /// Edge cases: an empty watch list yields an empty snapshot without
-    /// consulting any shard; unknown IDs cost one probe on their owning
-    /// shard and are absent from the result; duplicate IDs in `flows`
-    /// are deduplicated before fan-out.
-    ///
-    /// ```
-    /// use pint_collector::{Collector, CollectorConfig};
-    /// use pint_core::dynamic::{DynamicAggregator, DynamicRecorder};
-    /// use pint_core::{Digest, DigestReport, FlowRecorder};
-    /// use std::sync::Arc;
-    ///
-    /// let agg = DynamicAggregator::new(1, 8, 100.0, 1.0e7);
-    /// let factory_agg = agg.clone();
-    /// let collector = Collector::spawn(
-    ///     CollectorConfig::with_shards(2),
-    ///     Arc::new(move |_flow, report: &DigestReport| {
-    ///         Box::new(DynamicRecorder::new_sketched(
-    ///             factory_agg.clone(),
-    ///             usize::from(report.path_len).max(1),
-    ///             64,
-    ///         )) as Box<dyn FlowRecorder>
-    ///     }),
-    /// );
-    /// let mut handle = collector.handle();
-    /// for flow in 0..10u64 {
-    ///     for pid in 0..=flow {
-    ///         let mut d = Digest::new(1);
-    ///         agg.encode_hop(flow * 100 + pid, 1, 1_000.0, &mut d, 0);
-    ///         handle
-    ///             .push(DigestReport::new(flow, flow * 100 + pid, d, 1, 0))
-    ///             .unwrap();
-    ///     }
-    /// }
-    /// handle.flush().unwrap();
-    ///
-    /// // Only the watch list is serialized; unknown flow 999 is absent.
-    /// let watch = collector.snapshot_flows(&[3, 3, 999]).unwrap();
-    /// assert_eq!(watch.num_flows(), 1);
-    /// assert_eq!(watch.flow(3).unwrap().packets, 4);
-    /// assert_eq!(collector.snapshot_flows(&[]).unwrap().num_flows(), 0);
-    /// collector.shutdown();
-    /// ```
-    pub fn snapshot_flows(&self, flows: &[FlowId]) -> Result<CollectorSnapshot, CollectorError> {
-        let shards = self.shards();
-        let mut per_shard: Vec<Vec<FlowId>> = vec![Vec::new(); shards];
-        let mut sorted: Vec<FlowId> = flows.to_vec();
-        sorted.sort_unstable();
-        sorted.dedup();
-        for flow in sorted {
-            per_shard[shard_of(flow, shards)].push(flow);
-        }
-        let mut pending = Vec::new();
-        for (shard, wanted) in per_shard.into_iter().enumerate() {
-            if wanted.is_empty() {
-                continue;
-            }
-            let (reply_tx, reply_rx) = channel();
-            self.ctrl[shard]
-                .send(ShardMsg::SnapshotFlows(wanted, reply_tx))
-                .map_err(|_| CollectorError::Disconnected)?;
-            self.waiters[shard].wake();
-            pending.push((shard, reply_rx));
-        }
-        let mut out = Vec::with_capacity(pending.len());
-        for (shard, rx) in pending {
-            out.push(
-                rx.recv()
-                    .map_err(|_| CollectorError::SnapshotFailed { shard })?,
-            );
-        }
-        Ok(CollectorSnapshot::from_shards(out))
-    }
-
-    /// A snapshot of the `k` flows with the most recorded packets
-    /// (ties broken by ascending flow ID) — the "heaviest flows" panel
-    /// without serializing the full flow population. Each shard ranks
-    /// locally and returns its own top `k`; the merge keeps the global
-    /// top `k` (correct because every globally-heavy flow is heavy in
-    /// its owning shard).
-    ///
-    /// Edge cases: `k = 0` yields an empty snapshot, and `k` larger
-    /// than the tracked-flow population yields every flow.
+    /// Routing is selector-aware: a flow-set or watch-list plan
+    /// consults only the shards owning those flows, and every selector
+    /// narrows *before* summaries are serialized, so a targeted query
+    /// on a large table costs a small fraction of a full
+    /// [`snapshot`](Self::snapshot) (priced in `BENCH_query.json`).
+    /// Like snapshots, each consulted shard drains its rings first, so
+    /// the answer covers everything flushed before the call.
     ///
     /// ```
     /// use pint_collector::{Collector, CollectorConfig};
     /// use pint_core::dynamic::{DynamicAggregator, DynamicRecorder};
     /// use pint_core::{Digest, DigestReport, FlowRecorder};
+    /// use pint_query::{QueryResult, TelemetryQuery};
     /// use std::sync::Arc;
     ///
     /// let agg = DynamicAggregator::new(1, 8, 100.0, 1.0e7);
@@ -318,16 +245,154 @@ impl Collector {
     /// }
     /// handle.flush().unwrap();
     ///
-    /// let top = collector.snapshot_top_k(2).unwrap();
-    /// let ids: Vec<u64> = top.flows().map(|&(f, _)| f).collect();
-    /// assert_eq!(ids, vec![8, 9], "heaviest two, ascending by ID");
-    /// assert_eq!(collector.snapshot_top_k(100).unwrap().num_flows(), 10);
-    /// assert_eq!(collector.snapshot_top_k(0).unwrap().num_flows(), 0);
+    /// // Top-2 by packets: heaviest first, only two flows serialized.
+    /// let top = collector
+    ///     .query(&TelemetryQuery::new().top_k(2).plan().unwrap())
+    ///     .unwrap();
+    /// match top {
+    ///     QueryResult::Summaries(rows) => {
+    ///         let ids: Vec<u64> = rows.iter().map(|&(f, _)| f).collect();
+    ///         assert_eq!(ids, vec![9, 8], "heaviest first");
+    ///     }
+    ///     other => panic!("unexpected {other:?}"),
+    /// }
+    ///
+    /// // A watch list keeps request order; unknown flow 999 is absent.
+    /// let watch = collector
+    ///     .query(&TelemetryQuery::new().watch([7, 999, 3]).plan().unwrap())
+    ///     .unwrap();
+    /// match watch {
+    ///     QueryResult::Summaries(rows) => {
+    ///         let ids: Vec<u64> = rows.iter().map(|&(f, _)| f).collect();
+    ///         assert_eq!(ids, vec![7, 3], "request order, unknown absent");
+    ///     }
+    ///     other => panic!("unexpected {other:?}"),
+    /// }
     /// collector.shutdown();
     /// ```
+    pub fn query(&self, plan: &QueryPlan) -> Result<QueryResult, QueryError> {
+        plan.validate()?;
+        let shards = self.gather(&plan.selector, plan.options.updated_since)?;
+        // Table totals are whole-collector counters; only a full-table
+        // selector consults every shard, so only it reports them.
+        let table = matches!(plan.selector, Selector::All).then(|| {
+            let mut t = TableTotals::default();
+            for s in &shards {
+                t.created += s.table_stats.created;
+                t.evicted_lru += s.table_stats.evicted_lru;
+                t.evicted_ttl += s.table_stats.evicted_ttl;
+                t.ingested += s.ingested;
+            }
+            t
+        });
+        let mut rows: Vec<(FlowId, FlowSummary)> =
+            shards.into_iter().flat_map(|s| s.flows).collect();
+        rows.sort_by_key(|&(f, _)| f);
+        // Shards only pre-narrowed; the shared refinement owns final
+        // ordering and tie-breaking, identically on every backend.
+        let rows = pint_query::refine(rows, plan);
+        Ok(pint_query::project(rows, &plan.projection, table))
+    }
+
+    /// Routes one selector to the shards that can answer it and
+    /// collects their replies: flow sets and watch lists go only to
+    /// the owning shards (with each shard's slice of the IDs); other
+    /// selectors fan out, already narrowed shard-side (per-shard
+    /// top-K, path predicate, delta cutoff). This is the routing layer
+    /// under both [`query`](Self::query) and the legacy snapshot
+    /// methods.
+    fn gather(
+        &self,
+        selector: &Selector,
+        since: Option<u64>,
+    ) -> Result<Vec<ShardSnapshot>, CollectorError> {
+        let select_all = |select: ShardSelect| ShardQuery { select, since };
+        match selector {
+            Selector::All => self.fanout(|r| ShardMsg::Query(select_all(ShardSelect::All), r)),
+            Selector::TopK(k) => {
+                self.fanout(|r| ShardMsg::Query(select_all(ShardSelect::TopK(*k)), r))
+            }
+            Selector::PathThroughSwitch(s) => {
+                self.fanout(|r| ShardMsg::Query(select_all(ShardSelect::PathThrough(*s)), r))
+            }
+            Selector::FlowSet(ids) | Selector::WatchList(ids) => {
+                let shards = self.shards();
+                let mut sorted = ids.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                let mut per_shard: Vec<Vec<FlowId>> = vec![Vec::new(); shards];
+                for flow in sorted {
+                    per_shard[shard_of(flow, shards)].push(flow);
+                }
+                let mut pending = Vec::new();
+                for (shard, wanted) in per_shard.into_iter().enumerate() {
+                    if wanted.is_empty() {
+                        continue;
+                    }
+                    let (reply_tx, reply_rx) = channel();
+                    self.ctrl[shard]
+                        .send(ShardMsg::Query(
+                            ShardQuery {
+                                select: ShardSelect::Flows(wanted),
+                                since,
+                            },
+                            reply_tx,
+                        ))
+                        .map_err(|_| CollectorError::Disconnected)?;
+                    self.waiters[shard].wake();
+                    pending.push((shard, reply_rx));
+                }
+                Self::collect(pending)
+            }
+        }
+    }
+
+    /// Collects one reply per pending shard request (in request order).
+    fn collect<T>(pending: Vec<(usize, Receiver<T>)>) -> Result<Vec<T>, CollectorError> {
+        let mut out = Vec::with_capacity(pending.len());
+        for (shard, rx) in pending {
+            out.push(
+                rx.recv()
+                    .map_err(|_| CollectorError::SnapshotFailed { shard })?,
+            );
+        }
+        Ok(out)
+    }
+
+    /// A snapshot restricted to `flows` — only the owning shards are
+    /// consulted, and the snapshot's aggregate fields (`ingested`,
+    /// `shard_stats`) cover *those shards only*. Flows not currently
+    /// tracked are simply absent; duplicates are deduplicated; an
+    /// empty list consults no shard.
+    ///
+    /// Deprecated shim over the query tier's plan routing — kept for
+    /// one release. Use [`query`](Self::query) with
+    /// [`TelemetryQuery::flows`](pint_query::TelemetryQuery::flows)
+    /// (or `watch` for request-ordered rows) to get typed
+    /// [`QueryResult`] rows instead of a snapshot.
+    #[deprecated(
+        note = "use `Collector::query` with `TelemetryQuery::new().flows(..)` — same shard routing, typed rows"
+    )]
+    pub fn snapshot_flows(&self, flows: &[FlowId]) -> Result<CollectorSnapshot, CollectorError> {
+        self.gather(&Selector::FlowSet(flows.to_vec()), None)
+            .map(CollectorSnapshot::from_shards)
+    }
+
+    /// A snapshot of the `k` flows with the most recorded packets
+    /// (ties broken by ascending flow ID; the returned snapshot is
+    /// ID-sorted). `k = 0` yields an empty snapshot; `k` past the
+    /// population yields every flow.
+    ///
+    /// Deprecated shim over the query tier's plan routing — kept for
+    /// one release. Use [`query`](Self::query) with
+    /// [`TelemetryQuery::top_k`](pint_query::TelemetryQuery::top_k),
+    /// which returns rank-ordered rows (heaviest first).
+    #[deprecated(
+        note = "use `Collector::query` with `TelemetryQuery::new().top_k(k)` — same shard routing, typed rows"
+    )]
     pub fn snapshot_top_k(&self, k: usize) -> Result<CollectorSnapshot, CollectorError> {
         let merged = self
-            .fanout(|reply| ShardMsg::SnapshotTopK(k, reply))
+            .gather(&Selector::TopK(k), None)
             .map(CollectorSnapshot::from_shards)?;
         Ok(merged.into_top_k(k))
     }
@@ -375,14 +440,7 @@ impl Collector {
             self.waiters[shard].wake();
             pending.push((shard, reply_rx));
         }
-        let mut out = Vec::with_capacity(pending.len());
-        for (shard, rx) in pending {
-            out.push(
-                rx.recv()
-                    .map_err(|_| CollectorError::SnapshotFailed { shard })?,
-            );
-        }
-        Ok(out)
+        Self::collect(pending)
     }
 
     /// Drains all events fired since the last drain.
@@ -441,5 +499,14 @@ impl Drop for Collector {
     /// the workers exit).
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+impl QueryBackend for Collector {
+    /// The local backend of the unified query API — also what a
+    /// [`QueryResponder`](pint_query::QueryResponder) serves over TCP
+    /// (`QueryResponder::bind(addr, Arc::new(collector))`).
+    fn query(&self, plan: &QueryPlan) -> Result<QueryResult, QueryError> {
+        Collector::query(self, plan)
     }
 }

@@ -4,8 +4,9 @@ use crate::events::EventRule;
 use pint_core::{DigestReport, FlowRecorder};
 use std::sync::Arc;
 
-/// Flow identifier (matches `pint_netsim::FlowId`).
-pub type FlowId = u64;
+/// Flow identifier (matches `pint_netsim::FlowId`; defined by the
+/// query tier so every backend shares it).
+pub use pint_query::FlowId;
 
 /// Builds the per-flow Recording Module when a shard first sees a flow.
 ///

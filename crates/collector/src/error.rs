@@ -38,3 +38,12 @@ impl fmt::Display for CollectorError {
 }
 
 impl std::error::Error for CollectorError {}
+
+impl From<CollectorError> for pint_query::QueryError {
+    /// Collector failures surface as backend errors of the unified
+    /// query tier (stringified — `pint-query` has no collector
+    /// dependency).
+    fn from(e: CollectorError) -> Self {
+        pint_query::QueryError::Backend(e.to_string())
+    }
+}

@@ -11,27 +11,11 @@
 use crate::config::FlowId;
 use crate::flow_table::TableStats;
 use pint_core::dynamic::DynamicAggregator;
-use pint_core::{PathProgress, RecorderKind};
 use pint_sketches::KllSketch;
 
-/// One flow's state, as exported by a shard snapshot.
-#[derive(Debug, Clone)]
-pub struct FlowSummary {
-    /// Which aggregation the flow's recorder implements.
-    pub kind: RecorderKind,
-    /// Digests absorbed for this flow.
-    pub packets: u64,
-    /// Approximate recorder state bytes.
-    pub state_bytes: usize,
-    /// Latest sink timestamp for the flow.
-    pub last_ts: u64,
-    /// Per-hop code-space sketches (latency flows; index = hop, 0 unused).
-    pub hop_sketches: Vec<KllSketch>,
-    /// Path-reconstruction progress (path-tracing flows).
-    pub path: Option<PathProgress>,
-    /// Digests contradicting the flow's inference.
-    pub inconsistencies: u64,
-}
+/// One flow's state, as exported by a shard snapshot. Defined by the
+/// query tier (`pint-query`), which every read backend shares.
+pub use pint_query::FlowSummary;
 
 /// Everything one shard reports at snapshot time.
 #[derive(Debug, Clone)]
@@ -117,7 +101,7 @@ impl CollectorSnapshot {
     pub fn into_top_k(mut self, k: usize) -> Self {
         if self.flows.len() > k {
             self.flows
-                .sort_by(|a, b| b.1.packets.cmp(&a.1.packets).then(a.0.cmp(&b.0)));
+                .sort_by(|a, b| pint_query::top_k_order((a.1.packets, a.0), (b.1.packets, b.0)));
             self.flows.truncate(k);
             self.flows.sort_by_key(|&(f, _)| f);
         }
@@ -153,27 +137,11 @@ impl CollectorSnapshot {
 
     /// Merges hop `hop`'s code-space sketches across every latency flow
     /// (ascending flow ID — deterministic). `None` if no flow has data
-    /// for that hop.
+    /// for that hop. Delegates to the query tier's shared
+    /// [`merge_hop_sketches`](pint_query::merge_hop_sketches), so local
+    /// snapshots and query backends produce identical merges.
     pub fn merged_hop_sketch(&self, hop: usize) -> Option<KllSketch> {
-        let mut merged: Option<KllSketch> = None;
-        for (_, s) in &self.flows {
-            let Some(sk) = s.hop_sketches.get(hop) else {
-                continue;
-            };
-            if sk.is_empty() {
-                continue;
-            }
-            match merged.as_mut() {
-                None => {
-                    // Fixed-seed base so the merge is reproducible.
-                    let mut base = KllSketch::with_seed(256, 0x5EED_4A11);
-                    base.merge(sk);
-                    merged = Some(base);
-                }
-                Some(m) => m.merge(sk),
-            }
-        }
-        merged
+        pint_query::merge_hop_sketches(&self.flows, hop)
     }
 
     /// Fleet-wide ϕ-quantile of hop `hop`'s value stream, decompressed
@@ -237,6 +205,7 @@ impl CollectorSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pint_core::{PathProgress, RecorderKind};
 
     fn latency_summary(values: &[u64]) -> FlowSummary {
         let mut sk = KllSketch::with_seed(64, 1);
@@ -321,6 +290,26 @@ mod tests {
         assert_eq!(ids, vec![11, 13], "heaviest two, re-sorted by ID");
         assert!(top.flow(11).is_some() && top.flow(13).is_some());
         assert!(top.flow(12).is_none());
+    }
+
+    #[test]
+    fn top_k_tie_break_is_ascending_flow_id() {
+        // Every flow has identical packet counts, scattered across
+        // shards in adversarial insertion order: the k survivors must
+        // be exactly the k smallest IDs — never hash- or
+        // insertion-order dependent.
+        let with_packets = |packets: u64| {
+            let mut s = latency_summary(&[1]);
+            s.packets = packets;
+            s
+        };
+        let snap = CollectorSnapshot::from_shards(vec![
+            shard(1, vec![(40, with_packets(9)), (12, with_packets(9))]),
+            shard(0, vec![(99, with_packets(9)), (7, with_packets(9))]),
+            shard(2, vec![(55, with_packets(9))]),
+        ]);
+        let ids: Vec<FlowId> = snap.into_top_k(3).flows().map(|&(f, _)| f).collect();
+        assert_eq!(ids, vec![7, 12, 40], "equal packets: ascending-ID winners");
     }
 
     #[test]

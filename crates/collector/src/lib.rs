@@ -45,11 +45,14 @@
 //! * **Uniform recorders** — per-flow state is any
 //!   [`FlowRecorder`](pint_core::FlowRecorder): latency quantiles, path
 //!   reconstruction, frequent values, or user-defined.
-//! * **Cross-shard inference** — [`snapshot`](Collector::snapshot)
-//!   merges per-shard state deterministically ([`inference`]); filtered
-//!   ([`snapshot_flows`](Collector::snapshot_flows)) and top-K
-//!   ([`snapshot_top_k`](Collector::snapshot_top_k)) variants let
-//!   dashboards poll without cloning every flow's sketches.
+//! * **Cross-shard inference & queries** — [`snapshot`](Collector::snapshot)
+//!   merges per-shard state deterministically ([`inference`]), and
+//!   [`query`](Collector::query) executes typed
+//!   [`QueryPlan`]s (selectors × projections ×
+//!   delta options) routed only to the shards that can answer — the
+//!   local backend of the workspace-wide `pint-query` API, so the same
+//!   plan also runs on a fleet view or over TCP with identical
+//!   results.
 //! * **Streaming events** — threshold rules ([`events`]) are evaluated
 //!   on the workers as digests arrive; per-rule cooldowns re-arm alarms
 //!   after a quiet period.
@@ -89,6 +92,11 @@ pub use inference::{CollectorSnapshot, FlowSummary, ShardSnapshot};
 pub use shard::ShardStats;
 pub use sink::{attach_collector, attach_collector_parallel, LatencyTelemetry, ParallelSinkDriver};
 pub use wire::SnapshotFrame;
+// The query tier this collector is a backend of, re-exported so
+// callers can build plans without naming `pint-query` separately.
+pub use pint_query::{
+    Projection, QueryBackend, QueryError, QueryPlan, QueryResult, Selector, TelemetryQuery,
+};
 
 #[cfg(test)]
 mod tests {
@@ -288,7 +296,7 @@ mod tests {
     }
 
     #[test]
-    fn filtered_and_top_k_snapshots_answer_cheaply() {
+    fn filtered_and_top_k_queries_answer_cheaply() {
         let agg = DynamicAggregator::new(21, 8, 100.0, 1.0e7);
         let collector = Collector::spawn(
             CollectorConfig {
@@ -309,19 +317,107 @@ mod tests {
         }
         handle.flush().unwrap();
 
-        let watch = collector.snapshot_flows(&[3, 17, 42, 999]).unwrap();
-        assert_eq!(watch.num_flows(), 3, "untracked flow 999 absent");
-        for f in [3u64, 17, 42] {
-            assert_eq!(watch.flow(f).unwrap().packets, f + 1);
+        let watch = collector
+            .query(
+                &TelemetryQuery::new()
+                    .flows([3, 17, 42, 999])
+                    .plan()
+                    .unwrap(),
+            )
+            .unwrap();
+        match watch {
+            QueryResult::Summaries(rows) => {
+                assert_eq!(rows.len(), 3, "untracked flow 999 absent");
+                for (f, s) in rows {
+                    assert_eq!(s.packets, f + 1);
+                }
+            }
+            other => panic!("unexpected {other:?}"),
         }
 
-        let top = collector.snapshot_top_k(5).unwrap();
-        assert_eq!(top.num_flows(), 5);
-        let ids: Vec<u64> = top.flows().map(|&(f, _)| f).collect();
-        assert_eq!(ids, vec![59, 60, 61, 62, 63], "five heaviest, ID-sorted");
+        let top = collector
+            .query(&TelemetryQuery::new().top_k(5).plan().unwrap())
+            .unwrap();
+        match top {
+            QueryResult::Summaries(rows) => {
+                let ids: Vec<u64> = rows.iter().map(|&(f, _)| f).collect();
+                assert_eq!(ids, vec![63, 62, 61, 60, 59], "five heaviest, rank order");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Hop quantiles over the whole table: one sketch's worth of
+        // numbers back, never 64 summaries.
+        let q = collector
+            .query(
+                &TelemetryQuery::new()
+                    .hop_quantiles(2, [0.5])
+                    .plan()
+                    .unwrap(),
+            )
+            .unwrap();
+        let decoded = q.decode_quantiles(&agg);
+        assert_eq!(decoded.len(), 1);
+        assert!(
+            (decoded[0].1 / 1_400.0 - 1.0).abs() < 0.3,
+            "hop-2 median ~1.4us, got {}",
+            decoded[0].1
+        );
 
         let full = collector.snapshot().unwrap();
         assert_eq!(full.num_flows(), 64);
+        collector.shutdown();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_snapshot_shims_match_query_plans() {
+        // The one-release compatibility shims must answer exactly like
+        // the plans they wrap.
+        let agg = DynamicAggregator::new(33, 8, 100.0, 1.0e7);
+        let collector = Collector::spawn(
+            CollectorConfig::with_shards(4),
+            latency_factory(agg.clone(), 64),
+        );
+        let mut handle = collector.handle();
+        for flow in 0..32u64 {
+            for pid in 0..=(flow % 7) {
+                handle
+                    .push(encode_latency(&agg, flow, flow * 100 + pid, 2, 700.0))
+                    .unwrap();
+            }
+        }
+        handle.flush().unwrap();
+
+        let shim = collector.snapshot_flows(&[5, 5, 11, 999]).unwrap();
+        let plan = collector
+            .query(&TelemetryQuery::new().flows([5, 5, 11, 999]).plan().unwrap())
+            .unwrap();
+        match plan {
+            QueryResult::Summaries(rows) => {
+                assert_eq!(rows.len(), shim.num_flows());
+                for (f, s) in rows {
+                    assert_eq!(&s, shim.flow(f).unwrap());
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let shim = collector.snapshot_top_k(6).unwrap();
+        let plan = collector
+            .query(&TelemetryQuery::new().top_k(6).plan().unwrap())
+            .unwrap();
+        match plan {
+            QueryResult::Summaries(mut rows) => {
+                rows.sort_by_key(|&(f, _)| f); // shim is ID-sorted
+                assert_eq!(
+                    rows.iter().map(|&(f, _)| f).collect::<Vec<_>>(),
+                    shim.flows().map(|&(f, _)| f).collect::<Vec<_>>(),
+                    "same selection, shim re-sorted by ID"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
         collector.shutdown();
     }
 
@@ -422,7 +518,7 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_query_edge_cases() {
+    fn query_edge_cases() {
         let agg = DynamicAggregator::new(29, 8, 100.0, 1.0e7);
         let collector = Collector::spawn(
             CollectorConfig::with_shards(4),
@@ -436,29 +532,50 @@ mod tests {
         }
         handle.flush().unwrap();
 
-        // k = 0: empty snapshot, no flows serialized.
-        let empty = collector.snapshot_top_k(0).unwrap();
-        assert_eq!(empty.num_flows(), 0);
-        assert_eq!(empty.total_packets(), 0);
-        // k beyond the population: everything, still ID-sorted.
-        let all = collector.snapshot_top_k(64).unwrap();
-        assert_eq!(all.num_flows(), 6);
-        let ids: Vec<u64> = all.flows().map(|&(f, _)| f).collect();
-        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+        let rows = |result: QueryResult| match result {
+            QueryResult::Summaries(rows) => rows,
+            other => panic!("unexpected {other:?}"),
+        };
+        let q = |tq: TelemetryQuery| rows(collector.query(&tq.plan().unwrap()).unwrap());
 
-        // Unknown-only watch list: empty result (the owning shards are
-        // still consulted — only they know the flows are untracked).
-        let none = collector.snapshot_flows(&[100, 200]).unwrap();
-        assert_eq!(none.num_flows(), 0);
-        assert!(none.shard_stats.len() <= 2, "only owning shards consulted");
-        // Empty watch list: nothing to ask, no shard consulted.
-        let empty_watch = collector.snapshot_flows(&[]).unwrap();
-        assert_eq!(empty_watch.num_flows(), 0);
-        assert!(empty_watch.shard_stats.is_empty(), "no shard consulted");
+        // k = 0: empty result, no flows serialized.
+        assert!(q(TelemetryQuery::new().top_k(0)).is_empty());
+        // k beyond the population: everything, rank-ordered.
+        assert_eq!(q(TelemetryQuery::new().top_k(64)).len(), 6);
+
+        // Unknown-only flow set: empty result. Empty flow set: no
+        // shard consulted at all.
+        assert!(q(TelemetryQuery::new().flows([100, 200])).is_empty());
+        assert!(q(TelemetryQuery::new().flows(Vec::new())).is_empty());
         // Duplicates collapse; known and unknown IDs mix.
-        let dup = collector.snapshot_flows(&[2, 2, 2, 100]).unwrap();
-        assert_eq!(dup.num_flows(), 1);
-        assert_eq!(dup.flow(2).unwrap().packets, 1);
+        let dup = q(TelemetryQuery::new().flows([2, 2, 2, 100]));
+        assert_eq!(dup.len(), 1);
+        assert_eq!(dup[0].0, 2);
+        assert_eq!(dup[0].1.packets, 1);
+
+        // A delta query past the newest timestamp returns nothing; one
+        // from before returns everything.
+        assert!(q(TelemetryQuery::new().since(u64::MAX)).is_empty());
+        assert_eq!(q(TelemetryQuery::new()).len(), 6);
+        // max_flows caps the response.
+        assert_eq!(q(TelemetryQuery::new().max_flows(2)).len(), 2);
+
+        // Path predicates on a latency-only table match nothing.
+        assert!(q(TelemetryQuery::new().through_switch(1)).is_empty());
+
+        // An invalid hand-built plan is rejected, not executed.
+        let bad = QueryPlan {
+            selector: Selector::All,
+            projection: Projection::HopQuantiles {
+                hop: 0,
+                phis: vec![0.5],
+            },
+            options: Default::default(),
+        };
+        assert!(matches!(
+            collector.query(&bad),
+            Err(QueryError::InvalidPlan(_))
+        ));
         collector.shutdown();
     }
 

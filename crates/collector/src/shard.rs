@@ -25,20 +25,44 @@ use std::time::Duration;
 pub(crate) enum ShardMsg {
     /// A new producer registered; adopt its ring.
     Attach(RingConsumer),
-    /// Snapshot request; the worker drains all rings, then answers on
-    /// the provided channel.
-    Snapshot(Sender<ShardSnapshot>),
-    /// Snapshot restricted to the given flows (already filtered to this
-    /// shard's partition by the collector).
-    SnapshotFlows(Vec<FlowId>, Sender<ShardSnapshot>),
-    /// Snapshot of this shard's `k` flows with the most recorded
-    /// packets (ties broken by ascending flow ID).
-    SnapshotTopK(usize, Sender<ShardSnapshot>),
+    /// Read request: the worker drains all rings, resolves the
+    /// selection against its slice of flow state, and answers on the
+    /// provided channel. Every read — full snapshots, watch lists,
+    /// top-K, path predicates, delta polls — is this one message: the
+    /// shard tier of a compiled [`QueryPlan`](pint_query::QueryPlan).
+    Query(ShardQuery, Sender<ShardSnapshot>),
     /// Sync point: the worker acknowledges once every batch enqueued
     /// before this message was sent has been applied.
     Barrier(Sender<()>),
     /// Drain all rings and exit.
     Shutdown,
+}
+
+/// The shard-level slice of a query plan: which of this shard's flows
+/// to summarize. The collector pre-routes (a flow set is split to
+/// owning shards) and post-refines (per-shard top-K lists are trimmed
+/// globally); the shard only narrows what it serializes.
+pub(crate) struct ShardQuery {
+    /// Which flows to summarize.
+    pub(crate) select: ShardSelect,
+    /// Delta reads: skip flows whose `last_ts` is not strictly greater
+    /// (cold flows cost nothing — they are never summarized).
+    pub(crate) since: Option<u64>,
+}
+
+/// Shard-side selection (the distributable subset of
+/// [`Selector`](pint_query::Selector) — watch lists and flow sets both
+/// arrive as the owning shard's `Flows` slice).
+pub(crate) enum ShardSelect {
+    /// Every tracked flow.
+    All,
+    /// Exactly these flows (already routed to this shard's partition).
+    Flows(Vec<FlowId>),
+    /// This shard's `k` heaviest flows by packets (ties broken by
+    /// ascending flow ID — the k-list trims globally later).
+    TopK(usize),
+    /// Flows whose fully decoded path contains the switch.
+    PathThrough(u64),
 }
 
 /// Live counters one shard publishes (read from any thread).
@@ -206,18 +230,10 @@ impl ShardWorker {
                     .producers
                     .store(rings.len() as u64, Ordering::Relaxed);
             }
-            ShardMsg::Snapshot(reply) => {
+            ShardMsg::Query(query, reply) => {
                 self.drain_all(rings);
                 // The requester may have given up; ignore send errors.
-                let _ = reply.send(self.snapshot());
-            }
-            ShardMsg::SnapshotFlows(flows, reply) => {
-                self.drain_all(rings);
-                let _ = reply.send(self.snapshot_flows(&flows));
-            }
-            ShardMsg::SnapshotTopK(k, reply) => {
-                self.drain_all(rings);
-                let _ = reply.send(self.snapshot_top_k(k));
+                let _ = reply.send(self.answer(&query));
             }
             ShardMsg::Barrier(reply) => {
                 self.drain_all(rings);
@@ -441,47 +457,70 @@ impl ShardWorker {
         }
     }
 
-    fn snapshot(&self) -> ShardSnapshot {
-        let flows = self
-            .table
-            .iter()
-            .map(|(&flow, entry)| (flow, Self::summarize(entry)))
-            .collect();
-        self.snapshot_with(flows)
-    }
-
-    fn snapshot_flows(&self, wanted: &[FlowId]) -> ShardSnapshot {
-        // The collector pre-filters the list to this shard, so a direct
-        // per-ID probe beats scanning the whole table.
-        let flows = wanted
-            .iter()
-            .filter_map(|&flow| {
-                self.table
-                    .get(flow)
-                    .map(|entry| (flow, Self::summarize(entry)))
-            })
-            .collect();
-        self.snapshot_with(flows)
-    }
-
-    fn snapshot_top_k(&self, k: usize) -> ShardSnapshot {
-        let mut ranked: Vec<(u64, FlowId)> = self
-            .table
-            .iter()
-            .map(|(&flow, entry)| (entry.rec.packets(), flow))
-            .collect();
-        // Most packets first; ascending flow ID breaks ties so the
-        // selection is deterministic.
-        ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-        ranked.truncate(k);
-        let flows = ranked
-            .into_iter()
-            .filter_map(|(_, flow)| {
-                self.table
-                    .get(flow)
-                    .map(|entry| (flow, Self::summarize(entry)))
-            })
-            .collect();
+    /// Resolves one shard query: pick the flows the selection names
+    /// (respecting the delta cutoff), summarize *only* those, and wrap
+    /// them with this shard's counters. Summarizing clones hop
+    /// sketches, so narrowing here — not after — is what makes
+    /// targeted queries an order of magnitude cheaper than full
+    /// snapshots.
+    fn answer(&self, query: &ShardQuery) -> ShardSnapshot {
+        let fresh =
+            |entry: &crate::flow_table::FlowEntry| query.since.is_none_or(|t| entry.last_ts > t);
+        let flows: Vec<(FlowId, FlowSummary)> = match &query.select {
+            ShardSelect::All => self
+                .table
+                .iter()
+                .filter(|&(_, entry)| fresh(entry))
+                .map(|(&flow, entry)| (flow, Self::summarize(entry)))
+                .collect(),
+            // The collector pre-routes the list to this shard, so a
+            // direct per-ID probe beats scanning the whole table.
+            ShardSelect::Flows(wanted) => wanted
+                .iter()
+                .filter_map(|&flow| {
+                    self.table
+                        .get(flow)
+                        .filter(|&entry| fresh(entry))
+                        .map(|entry| (flow, Self::summarize(entry)))
+                })
+                .collect(),
+            ShardSelect::TopK(k) => {
+                let mut ranked: Vec<(u64, FlowId)> = self
+                    .table
+                    .iter()
+                    .filter(|&(_, entry)| fresh(entry))
+                    .map(|(&flow, entry)| (entry.rec.packets(), flow))
+                    .collect();
+                // The shared top-K order (most packets first, ties by
+                // ascending flow ID): local truncation must agree with
+                // the global re-rank or tied flows could be lost.
+                ranked.sort_unstable_by(|a, b| pint_query::top_k_order(*a, *b));
+                ranked.truncate(*k);
+                ranked
+                    .into_iter()
+                    .filter_map(|(_, flow)| {
+                        self.table
+                            .get(flow)
+                            .map(|entry| (flow, Self::summarize(entry)))
+                    })
+                    .collect()
+            }
+            // Probe path progress first (cheap) and summarize — hop
+            // sketches and all — only the matching flows.
+            ShardSelect::PathThrough(switch) => self
+                .table
+                .iter()
+                .filter(|&(_, entry)| fresh(entry))
+                .filter(|(_, entry)| {
+                    entry
+                        .rec
+                        .path_progress()
+                        .and_then(|p| p.path)
+                        .is_some_and(|p| p.contains(switch))
+                })
+                .map(|(&flow, entry)| (flow, Self::summarize(entry)))
+                .collect(),
+        };
         self.snapshot_with(flows)
     }
 }

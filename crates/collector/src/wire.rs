@@ -3,16 +3,15 @@
 //!
 //! `pint-wire` owns the format primitives (frames, varints, typed
 //! errors) and the leaf-type codecs (digests, KLL sketches, path
-//! progress); this module composes them into
-//! [`FlowSummary`]/[`CollectorSnapshot`] encodings plus the
-//! collector-id + epoch envelope the fleet tier keys on. See
+//! progress), `pint-query` owns the [`FlowSummary`] row codec shared
+//! with query responses; this module composes them into
+//! [`CollectorSnapshot`] encodings plus the collector-id + epoch
+//! envelope the fleet tier keys on. See
 //! [`Collector::export_snapshot_frame`](crate::Collector::export_snapshot_frame)
 //! for the one-call export path.
 
 use crate::flow_table::TableStats;
 use crate::inference::{CollectorSnapshot, FlowSummary};
-use pint_core::{PathProgress, RecorderKind};
-use pint_sketches::KllSketch;
 use pint_wire::{frame_into, FrameType, WireDecode, WireEncode, WireError, WireReader, WireWriter};
 
 impl WireEncode for TableStats {
@@ -30,65 +29,6 @@ impl WireDecode for TableStats {
             created: r.get_varint()?,
             evicted_lru: r.get_varint()?,
             evicted_ttl: r.get_varint()?,
-        })
-    }
-}
-
-impl WireEncode for FlowSummary {
-    fn encode_into(&self, out: &mut Vec<u8>) {
-        self.kind.encode_into(out);
-        let mut w = WireWriter::new(out);
-        w.put_varint(self.packets);
-        w.put_varint(self.state_bytes as u64);
-        w.put_varint(self.last_ts);
-        w.put_varint(self.inconsistencies);
-        w.put_varint(self.hop_sketches.len() as u64);
-        for sk in &self.hop_sketches {
-            sk.encode_into(out);
-        }
-        let mut w = WireWriter::new(out);
-        match &self.path {
-            Some(p) => {
-                w.put_u8(1);
-                p.encode_into(out);
-            }
-            None => w.put_u8(0),
-        }
-    }
-}
-
-impl WireDecode for FlowSummary {
-    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        let kind = RecorderKind::decode_from(r)?;
-        let packets = r.get_varint()?;
-        let state_bytes = r.get_varint()?;
-        let last_ts = r.get_varint()?;
-        let inconsistencies = r.get_varint()?;
-        // An empty sketch still occupies ≥ 11 bytes on the wire; the
-        // count is a path length (+1), so anything past the digest
-        // format's u16 hop bound is hostile — reject before allocating
-        // (each claimed sketch costs ~9× its wire minimum in memory).
-        let sketches = r.get_count(11)?;
-        if sketches > usize::from(u16::MAX) + 1 {
-            return Err(WireError::Invalid("hop sketch count exceeds path bound"));
-        }
-        let mut hop_sketches = Vec::with_capacity(sketches);
-        for _ in 0..sketches {
-            hop_sketches.push(KllSketch::decode_from(r)?);
-        }
-        let path = match r.get_u8()? {
-            0 => None,
-            1 => Some(PathProgress::decode_from(r)?),
-            _ => return Err(WireError::Invalid("path presence tag must be 0 or 1")),
-        };
-        Ok(FlowSummary {
-            kind,
-            packets,
-            state_bytes: state_bytes as usize,
-            last_ts,
-            hop_sketches,
-            path,
-            inconsistencies,
         })
     }
 }
@@ -179,6 +119,8 @@ impl SnapshotFrame {
 mod tests {
     use super::*;
     use crate::inference::ShardSnapshot;
+    use pint_core::{PathProgress, RecorderKind};
+    use pint_sketches::KllSketch;
     use pint_wire::parse_frame;
 
     fn summary(values: &[u64], hops: usize) -> FlowSummary {

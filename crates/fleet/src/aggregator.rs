@@ -7,6 +7,7 @@ use crate::view::FleetView;
 use pint_collector::wire::SnapshotFrame;
 use pint_collector::{CollectorSnapshot, FlowId};
 use pint_core::dynamic::DynamicAggregator;
+use pint_query::{QueryError, QueryPlan, QueryResult, Selector};
 use pint_wire::{parse_frame, FrameType, WireDecode, WireReader};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -40,6 +41,12 @@ pub struct FleetStats {
     pub snapshots_stale: u64,
     /// Frames rejected by the decoder.
     pub decode_errors: u64,
+    /// Well-formed frames of types the aggregator does not ingest
+    /// (`DigestBatch` — ingestion is a ROADMAP follow-on — and
+    /// `Query`/`QueryResponse`, which belong to the serving
+    /// transport). Each also returned a typed
+    /// [`FleetError::UnsupportedFrame`].
+    pub unsupported_frames: u64,
     /// Fleet events discarded because the event queue was full.
     pub events_dropped: u64,
     /// Collectors currently contributing snapshots.
@@ -106,8 +113,14 @@ impl FleetAggregator {
     /// Ingests an already-framed payload (e.g. from
     /// [`FrameReader`](pint_wire::FrameReader)), dispatching on its
     /// type: `Snapshot` updates fleet state and re-evaluates rules,
-    /// `Bye` removes the collector, `Hello` and `DigestBatch` are
-    /// acknowledged but carry no fleet state today.
+    /// `Bye` removes the collector, `Hello` is acknowledged.
+    /// `DigestBatch` (raw-digest ingestion is a ROADMAP follow-on —
+    /// the frame type exists, the ingest path doesn't yet) and
+    /// `Query`/`QueryResponse` (answered by the serving transport, not
+    /// the aggregator) return a typed
+    /// [`FleetError::UnsupportedFrame`], counted in
+    /// [`FleetStats::unsupported_frames`] — the sender learns its
+    /// frame went nowhere instead of a silent acknowledgment.
     pub fn ingest_payload(
         &mut self,
         ty: FrameType,
@@ -138,7 +151,11 @@ impl FleetAggregator {
                     }
                 }
             }
-            FrameType::Hello | FrameType::DigestBatch => {}
+            FrameType::Hello => {}
+            FrameType::DigestBatch | FrameType::Query | FrameType::QueryResponse => {
+                self.stats.unsupported_frames += 1;
+                return Err(FleetError::UnsupportedFrame(ty));
+            }
         }
         self.stats.frames += 1;
         Ok(ty)
@@ -170,11 +187,19 @@ impl FleetAggregator {
 
     /// The merged fleet view over every collector's latest snapshot.
     pub fn view(&self) -> FleetView {
-        FleetView::merge(
-            self.collectors
-                .iter()
-                .map(|(&id, state)| (id, state.snapshot.clone())),
-        )
+        FleetView::merge(self.collector_snapshots())
+    }
+
+    /// Clones `(collector id, latest snapshot)` pairs — the raw inputs
+    /// of a fleet view. Transports serving queries copy state out
+    /// under their aggregator lock with this (a plain clone) and run
+    /// the expensive [`FleetView::merge`] *outside* it, so a slow
+    /// query stalls only its own connection, never ingestion.
+    pub fn collector_snapshots(&self) -> Vec<(u64, CollectorSnapshot)> {
+        self.collectors
+            .iter()
+            .map(|(&id, state)| (id, state.snapshot.clone()))
+            .collect()
     }
 
     /// `(collector id, epoch)` of every contributing collector,
@@ -186,16 +211,33 @@ impl FleetAggregator {
             .collect()
     }
 
-    /// Fleet-wide top-`k` flows by packets — see
-    /// [`FleetView::top_k`]. (Builds a fresh merged view; dashboards
-    /// polling at high rate should hold a [`view`](Self::view) and
-    /// query it.)
+    /// Executes a compiled [`QueryPlan`] against a fresh merged view —
+    /// the fleet tier of the unified query API. (Merges the
+    /// contributing snapshots first; dashboards polling many plans at
+    /// high rate should hold a [`view`](Self::view) and
+    /// [`execute`](FleetView::execute) against it.)
+    pub fn query(&self, plan: &QueryPlan) -> Result<QueryResult, QueryError> {
+        self.view().execute(plan)
+    }
+
+    /// Fleet-wide top-`k` flows by packets, heaviest first.
+    ///
+    /// Deprecated shim kept for one release — use
+    /// [`query`](Self::query) with
+    /// [`TelemetryQuery::top_k`](pint_query::TelemetryQuery::top_k).
+    #[deprecated(note = "use `FleetAggregator::query` with `TelemetryQuery::new().top_k(k)`")]
     pub fn top_k(&self, k: usize) -> Vec<(FlowId, u64)> {
-        self.view()
-            .top_k(k)
-            .into_iter()
-            .map(|(f, s)| (f, s.packets))
-            .collect()
+        let plan = QueryPlan {
+            selector: Selector::TopK(k),
+            projection: pint_query::Projection::Summaries,
+            options: Default::default(),
+        };
+        match self.query(&plan) {
+            Ok(QueryResult::Summaries(rows)) => {
+                rows.into_iter().map(|(f, s)| (f, s.packets)).collect()
+            }
+            _ => Vec::new(),
+        }
     }
 
     /// Counts a transport-level framing failure (a connection whose
@@ -214,12 +256,18 @@ impl FleetAggregator {
         self.stats
     }
 
-    /// The union of all rule scopes, or `None` if any rule is unscoped
-    /// (and therefore needs the full view).
+    /// The union of all rule scopes' explicit flow IDs, or `None` if
+    /// any rule is unscoped or uses a structural selector (top-K, path
+    /// predicate) — those need the full view to resolve membership.
     fn scope_union(&self) -> Option<Vec<FlowId>> {
         let mut union = Vec::new();
         for rule in &self.config.rules {
-            union.extend_from_slice(rule.scope.as_ref()?);
+            match rule.scope.as_ref()? {
+                Selector::FlowSet(ids) | Selector::WatchList(ids) => {
+                    union.extend_from_slice(ids);
+                }
+                Selector::All | Selector::TopK(_) | Selector::PathThroughSwitch(_) => return None,
+            }
         }
         union.sort_unstable();
         union.dedup();
@@ -242,11 +290,13 @@ impl FleetAggregator {
     /// Re-runs every rule on the current merged view, emitting
     /// fired/cleared edges into the bounded event queue.
     ///
-    /// Runs after every applied snapshot. When *every* rule is scoped,
-    /// only the scoped flows are merged (cheap); one unscoped rule
-    /// forces a full-fleet merge per evaluation — which the bench
-    /// (`BENCH_fleet.json`, `wire/fleet_merge`) prices, so prefer
-    /// scoped rules on large fleets.
+    /// Runs after every applied snapshot. When *every* rule is scoped
+    /// to explicit flow sets, only those flows are merged (cheap); an
+    /// unscoped rule — or a structural scope like a top-K or
+    /// path-predicate selector, whose membership needs the whole view
+    /// — forces a full-fleet merge per evaluation, which the bench
+    /// (`BENCH_fleet.json`, `wire/fleet_merge`) prices. Prefer
+    /// flow-set scopes on large fleets.
     fn evaluate_rules(&mut self) {
         if self.config.rules.is_empty() {
             return;
@@ -399,6 +449,84 @@ mod tests {
         // A good frame still applies afterwards.
         agg.ingest_frame(&good).unwrap();
         assert_eq!(agg.stats().snapshots_applied, 1);
+    }
+
+    #[test]
+    fn digest_batch_frames_are_typed_unsupported_errors() {
+        // Raw-digest ingestion is a ROADMAP follow-on: the frame type
+        // exists, the ingest path doesn't. Senders must get a typed
+        // error (and a counter), not a silent acknowledgment.
+        struct Zero;
+        impl pint_wire::WireEncode for Zero {
+            fn encode_into(&self, out: &mut Vec<u8>) {
+                pint_wire::WireWriter::new(out).put_varint(0);
+            }
+        }
+        let mut agg = FleetAggregator::new(FleetConfig::default());
+        let mut bytes = Vec::new();
+        pint_wire::frame_into(FrameType::DigestBatch, &Zero, &mut bytes);
+        let err = agg.ingest_frame(&bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            FleetError::UnsupportedFrame(FrameType::DigestBatch)
+        ));
+        let stats = agg.stats();
+        assert_eq!(stats.unsupported_frames, 1);
+        assert_eq!(
+            stats.frames, 0,
+            "unsupported frames are not counted as ingested"
+        );
+        assert_eq!(stats.decode_errors, 0, "well-formed, just not ingestible");
+        // The aggregator still works afterwards.
+        assert!(agg.apply_snapshot(frame(1, 1, latency_snapshot(10, &[1]))));
+    }
+
+    #[test]
+    fn path_scoped_rule_fires_only_for_flows_through_the_switch() {
+        // The ROADMAP "flows whose decoded path contains switch S"
+        // predicate, as a rule scope: inconsistencies on a flow routed
+        // elsewhere must not trip the alarm.
+        use pint_core::PathProgress;
+        let path_snapshot = |flow: FlowId, path: Vec<u64>, inconsistencies: u64| {
+            CollectorSnapshot::from_shards(vec![ShardSnapshot {
+                shard: 0,
+                flows: vec![(
+                    flow,
+                    FlowSummary {
+                        kind: RecorderKind::PathTracing,
+                        packets: 10,
+                        state_bytes: 64,
+                        last_ts: 0,
+                        hop_sketches: Vec::new(),
+                        path: Some(PathProgress {
+                            resolved: path.len(),
+                            k: path.len(),
+                            path: Some(path),
+                            inconsistencies: 0,
+                        }),
+                        inconsistencies,
+                    },
+                )],
+                table_stats: TableStats::default(),
+                ingested: 10,
+            }])
+        };
+        let mut agg = FleetAggregator::new(FleetConfig {
+            rules: vec![
+                FleetRule::new(FleetCondition::InconsistenciesAbove { min_total: 5 })
+                    .scoped_by(pint_query::Selector::PathThroughSwitch(19)),
+            ],
+            codec: None,
+        });
+        // Flow 1 avoids switch 19 but is wildly inconsistent: no alarm.
+        agg.apply_snapshot(frame(1, 1, path_snapshot(1, vec![4, 5, 7], 100)));
+        assert!(agg.drain_events().is_empty(), "out-of-scope flow");
+        // Flow 2 goes through switch 19 and crosses the threshold.
+        agg.apply_snapshot(frame(2, 1, path_snapshot(2, vec![4, 19, 7], 9)));
+        let fired = agg.drain_events();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].edge, FleetEdge::Fired);
+        assert_eq!(fired[0].observed, 9.0, "only the in-scope flow counts");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Fleet-tier errors.
 
-use pint_wire::WireError;
+use pint_wire::{FrameType, WireError};
 use std::fmt;
 
 /// Errors surfaced by the fleet aggregator and transports.
@@ -10,6 +10,12 @@ pub enum FleetError {
     Wire(WireError),
     /// A transport-level I/O failure.
     Io(std::io::Error),
+    /// A well-formed frame of a type this aggregator does not ingest —
+    /// e.g. `DigestBatch` (raw-digest ingestion is a ROADMAP follow-on;
+    /// the frame type exists, the ingest path doesn't yet) or a
+    /// `Query`, which only the serving transport can answer. Counted in
+    /// [`FleetStats::unsupported_frames`](crate::FleetStats).
+    UnsupportedFrame(FrameType),
 }
 
 impl fmt::Display for FleetError {
@@ -17,6 +23,12 @@ impl fmt::Display for FleetError {
         match self {
             FleetError::Wire(e) => write!(f, "fleet frame decode failed: {e}"),
             FleetError::Io(e) => write!(f, "fleet transport failed: {e}"),
+            FleetError::UnsupportedFrame(ty) => {
+                write!(
+                    f,
+                    "frame type {ty:?} is not ingestible by the fleet aggregator"
+                )
+            }
         }
     }
 }

@@ -32,11 +32,17 @@
 //!   associative snapshot merge one level: flows tracked by several
 //!   collectors have their per-hop KLL sketches merged in collector-id
 //!   order, so the answer is independent of frame arrival order.
-//! * **Queries** — [`FleetView`] answers fleet-wide quantiles, top-K by
-//!   packets, and watch-list lookups without consulting any collector.
+//! * **Queries** — [`FleetView::execute`] runs any `pint-query`
+//!   [`QueryPlan`] (selectors × projections ×
+//!   delta options) against the merged view, with selection *before*
+//!   merging costs; the same plan answers over TCP via
+//!   [`FleetClient::query`] ↔ [`FleetServer`] `Query`/`QueryResponse`
+//!   frames, byte-identical to local execution on the same state.
 //! * **Rules** — [`FleetRule`]s run on the merged view after every
 //!   applied snapshot, with explicit [`FleetEvent`] fired/cleared
-//!   edges (hysteresis, like the collector's per-flow rules).
+//!   edges (hysteresis, like the collector's per-flow rules). Scopes
+//!   are query selectors, so "alarm on every flow through switch S"
+//!   is `rule.scoped_by(Selector::PathThroughSwitch(s))`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,3 +58,8 @@ pub use error::FleetError;
 pub use rules::{FleetCondition, FleetEdge, FleetEvent, FleetRule};
 pub use transport::{FleetClient, FleetServer, InMemorySender, InMemoryTransport};
 pub use view::FleetView;
+// The query tier this fleet is a backend of, re-exported for plan
+// building at the call site.
+pub use pint_query::{
+    Projection, QueryBackend, QueryError, QueryPlan, QueryResult, Selector, TelemetryQuery,
+};

@@ -13,6 +13,7 @@
 use crate::view::FleetView;
 use pint_collector::FlowId;
 use pint_core::dynamic::DynamicAggregator;
+use pint_query::Selector;
 
 /// The observable predicate of a fleet rule.
 #[derive(Debug, Clone)]
@@ -53,14 +54,18 @@ pub enum FleetCondition {
 }
 
 /// A fleet rule: a condition plus an optional flow scope.
+///
+/// Scopes are query-tier [`Selector`]s, so a rule can watch an explicit
+/// flow set *or* a structural predicate — e.g.
+/// `Selector::PathThroughSwitch(s)` alarms on "every flow routed
+/// through switch S" without the operator maintaining a flow list.
 #[derive(Debug, Clone)]
 pub struct FleetRule {
     /// The predicate.
     pub condition: FleetCondition,
-    /// Restrict evaluation to these flows (e.g. "all flows through
-    /// switch S", resolved to a flow set by the operator's topology).
-    /// `None` = every flow in the fleet view.
-    pub scope: Option<Vec<FlowId>>,
+    /// Restrict evaluation to the flows a selector names. `None` =
+    /// every flow in the fleet view.
+    pub scope: Option<Selector>,
 }
 
 impl FleetRule {
@@ -72,9 +77,16 @@ impl FleetRule {
         }
     }
 
-    /// Restricts the rule to a flow set.
-    pub fn scoped(mut self, flows: Vec<FlowId>) -> Self {
-        self.scope = Some(flows);
+    /// Restricts the rule to an explicit flow set (shorthand for
+    /// [`scoped_by`](Self::scoped_by) with [`Selector::FlowSet`]).
+    pub fn scoped(self, flows: Vec<FlowId>) -> Self {
+        self.scoped_by(Selector::FlowSet(flows))
+    }
+
+    /// Restricts the rule to the flows a query selector names — e.g.
+    /// `Selector::PathThroughSwitch(19)` or `Selector::TopK(100)`.
+    pub fn scoped_by(mut self, selector: Selector) -> Self {
+        self.scope = Some(selector);
         self
     }
 
@@ -89,8 +101,8 @@ impl FleetRule {
         let scoped;
         let view = match &self.scope {
             None => view,
-            Some(flows) => {
-                scoped = view.restricted_to(flows);
+            Some(selector) => {
+                scoped = view.scoped_view(selector);
                 &scoped
             }
         };

@@ -8,7 +8,8 @@
 use crate::aggregator::{FleetAggregator, FleetConfig};
 use crate::error::FleetError;
 use pint_collector::wire::SnapshotFrame;
-use pint_wire::{FrameReader, ReadFrameError};
+use pint_query::{QueryError, QueryPlan, QueryResult};
+use pint_wire::{FrameReader, FrameType, ReadFrameError};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -190,11 +191,33 @@ fn accept_loop(listener: TcpListener, agg: Arc<Mutex<FleetAggregator>>, stop: Ar
 /// [`FrameReader`] (a read timeout surfaces as `Io(WouldBlock)` with
 /// the partial frame still buffered — exactly the stop-flag poll point
 /// this loop needs) and applying them to the shared aggregator.
+/// `Query` frames are answered on the same connection: the
+/// contributing snapshots are cloned under the lock, then merged and
+/// executed outside it, so a slow query delays only this connection —
+/// ingestion never waits on a query's merge.
 fn connection_loop(stream: TcpStream, agg: Arc<Mutex<FleetAggregator>>, stop: Arc<AtomicBool>) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut writer = stream.try_clone().ok();
     let mut reader = FrameReader::new(stream);
     while !stop.load(Ordering::Acquire) {
         match reader.read_frame() {
+            Ok(Some((FrameType::Query, payload))) => {
+                // Snapshot clones leave the lock quickly; the
+                // expensive fleet merge and the plan itself run
+                // outside it.
+                let pods = agg
+                    .lock()
+                    .expect("fleet aggregator poisoned")
+                    .collector_snapshots();
+                let view = crate::view::FleetView::merge(pods);
+                let response = pint_query::remote::respond(&view, &payload);
+                let delivered = writer
+                    .as_mut()
+                    .map(|w| w.write_all(&response).and_then(|()| w.flush()));
+                if !matches!(delivered, Some(Ok(()))) {
+                    return; // reply path gone; drop the connection
+                }
+            }
             Ok(Some((ty, payload))) => {
                 let mut agg = agg.lock().expect("fleet aggregator poisoned");
                 // Decode errors inside a well-delimited frame are
@@ -222,9 +245,13 @@ fn connection_loop(stream: TcpStream, agg: Arc<Mutex<FleetAggregator>>, stop: Ar
     }
 }
 
-/// A collector's connection to a [`FleetServer`].
+/// A collector's (or dashboard's) connection to a [`FleetServer`]:
+/// ships snapshot frames up, and executes query plans against the
+/// server's merged fleet view over the same connection.
 pub struct FleetClient {
     stream: TcpStream,
+    reader: FrameReader<TcpStream>,
+    next_request: u64,
 }
 
 impl FleetClient {
@@ -232,7 +259,12 @@ impl FleetClient {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        Ok(Self { stream })
+        let reader = FrameReader::new(stream.try_clone()?);
+        Ok(Self {
+            stream,
+            reader,
+            next_request: 1,
+        })
     }
 
     /// Writes one encoded frame (header included).
@@ -244,6 +276,15 @@ impl FleetClient {
     /// Encodes and sends one snapshot frame.
     pub fn send_snapshot(&mut self, frame: &SnapshotFrame) -> std::io::Result<()> {
         self.send(&frame.to_frame_bytes())
+    }
+
+    /// Executes a [`QueryPlan`] on the server's merged fleet view,
+    /// blocking for the response — the remote tier of the unified
+    /// query API, carrying the same bytes the local API exchanges.
+    pub fn query(&mut self, plan: &QueryPlan) -> Result<QueryResult, QueryError> {
+        let id = self.next_request;
+        self.next_request += 1;
+        pint_query::remote::query_over(&mut self.stream, &mut self.reader, id, plan)
     }
 }
 

@@ -12,6 +12,7 @@
 
 use pint_collector::{CollectorSnapshot, FlowId, FlowSummary};
 use pint_core::dynamic::DynamicAggregator;
+use pint_query::{QueryBackend, QueryError, QueryPlan, QueryResult, Selector, TableTotals};
 
 /// A point-in-time, queryable merge of every collector's latest
 /// snapshot.
@@ -82,27 +83,117 @@ impl FleetView {
         self.merged.latency_quantile(hop, phi, agg)
     }
 
+    /// Executes a compiled [`QueryPlan`] against the merged view — the
+    /// fleet backend of the workspace-wide query API. The same plan
+    /// runs unchanged on a local `Collector` or over TCP, with
+    /// identical results on identical state: this method only
+    /// *pre-narrows* (clones just candidate rows) and delegates final
+    /// ordering/projection to `pint-query`'s shared refinement.
+    pub fn execute(&self, plan: &QueryPlan) -> Result<QueryResult, QueryError> {
+        plan.validate()?;
+        let rows = pint_query::refine(self.candidate_rows(plan), plan);
+        let table = matches!(plan.selector, Selector::All).then(|| self.table_totals());
+        Ok(pint_query::project(rows, &plan.projection, table))
+    }
+
+    /// Clones only the rows a plan could select: flow sets and watch
+    /// lists probe per ID, top-K ranks by reference before cloning the
+    /// winners, path predicates filter by reference — merge restricted
+    /// to selected flows, not the whole fleet.
+    fn candidate_rows(&self, plan: &QueryPlan) -> Vec<(FlowId, FlowSummary)> {
+        let since = plan.options.updated_since;
+        let live = |s: &FlowSummary| since.is_none_or(|t| s.last_ts > t);
+        match &plan.selector {
+            Selector::FlowSet(ids) | Selector::WatchList(ids) => {
+                let mut wanted = ids.clone();
+                wanted.sort_unstable();
+                wanted.dedup();
+                wanted
+                    .into_iter()
+                    .filter_map(|f| self.merged.flow(f).map(|s| (f, s.clone())))
+                    .filter(|(_, s)| live(s))
+                    .collect()
+            }
+            Selector::TopK(k) => {
+                let mut ranked: Vec<(FlowId, &FlowSummary)> = self
+                    .merged
+                    .flows()
+                    .filter(|(_, s)| live(s))
+                    .map(|(f, s)| (*f, s))
+                    .collect();
+                ranked.sort_by(|a, b| {
+                    pint_query::top_k_order((a.1.packets, a.0), (b.1.packets, b.0))
+                });
+                ranked.truncate(*k);
+                // Back to ascending-ID order: refine() owns the final
+                // rank ordering and expects sorted candidates.
+                ranked.sort_by_key(|&(f, _)| f);
+                ranked.into_iter().map(|(f, s)| (f, s.clone())).collect()
+            }
+            Selector::PathThroughSwitch(switch) => self
+                .merged
+                .flows()
+                .filter(|(_, s)| live(s))
+                .filter(|(_, s)| {
+                    s.path
+                        .as_ref()
+                        .and_then(|p| p.path.as_deref())
+                        .is_some_and(|p| p.contains(switch))
+                })
+                .map(|(f, s)| (*f, s.clone()))
+                .collect(),
+            Selector::All => self
+                .merged
+                .flows()
+                .filter(|(_, s)| live(s))
+                .map(|(f, s)| (*f, s.clone()))
+                .collect(),
+        }
+    }
+
+    /// Table counters summed over every contributing collector's
+    /// shards (the `Stats` projection's whole-backend totals).
+    fn table_totals(&self) -> TableTotals {
+        let mut t = TableTotals {
+            ingested: self.merged.ingested,
+            ..TableTotals::default()
+        };
+        for s in &self.merged.shard_stats {
+            t.created += s.created;
+            t.evicted_lru += s.evicted_lru;
+            t.evicted_ttl += s.evicted_ttl;
+        }
+        t
+    }
+
     /// The `k` heaviest flows by recorded packets, heaviest first (ties
-    /// broken by ascending flow ID) — the fleet dashboard's top panel,
-    /// served without touching any collector. `k = 0` is empty; `k`
-    /// past the population returns every flow.
+    /// broken by ascending flow ID). `k = 0` is empty; `k` past the
+    /// population returns every flow.
+    ///
+    /// Deprecated shim kept for one release — use
+    /// [`execute`](Self::execute) with
+    /// [`TelemetryQuery::top_k`](pint_query::TelemetryQuery::top_k),
+    /// which shares its ranking with every other backend.
+    #[deprecated(note = "use `FleetView::execute` with `TelemetryQuery::new().top_k(k)`")]
     pub fn top_k(&self, k: usize) -> Vec<(FlowId, &FlowSummary)> {
         let mut ranked: Vec<(FlowId, &FlowSummary)> =
             self.merged.flows().map(|(f, s)| (*f, s)).collect();
-        ranked.sort_by(|a, b| b.1.packets.cmp(&a.1.packets).then(a.0.cmp(&b.0)));
+        ranked.sort_by(|a, b| pint_query::top_k_order((a.1.packets, a.0), (b.1.packets, b.0)));
         ranked.truncate(k);
         ranked
     }
 
-    /// A sub-view over only `flows` — how scoped fleet rules evaluate.
-    /// Clones the kept summaries; scopes are expected to be watch-list
-    /// sized, not the whole fleet.
-    pub(crate) fn restricted_to(&self, flows: &[FlowId]) -> FleetView {
-        let kept: Vec<(FlowId, FlowSummary)> = self
-            .filtered(flows)
-            .into_iter()
-            .map(|(f, s)| (f, s.clone()))
-            .collect();
+    /// A sub-view over the flows a selector names — how scoped fleet
+    /// rules evaluate, at selection cost instead of a full-fleet
+    /// merge. The selector's ordering is irrelevant here (the snapshot
+    /// re-sorts by ID); only membership matters.
+    pub(crate) fn scoped_view(&self, selector: &Selector) -> FleetView {
+        let plan = QueryPlan {
+            selector: selector.clone(),
+            projection: pint_query::Projection::Summaries,
+            options: Default::default(),
+        };
+        let kept = pint_query::refine(self.candidate_rows(&plan), &plan);
         FleetView {
             merged: CollectorSnapshot::from_parts(kept, Vec::new(), 0),
             collectors: self.collectors.clone(),
@@ -112,6 +203,12 @@ impl FleetView {
     /// Watch-list lookup: the requested flows that exist fleet-wide,
     /// ascending by ID. Unknown IDs are simply absent; duplicates in the
     /// request collapse.
+    ///
+    /// Deprecated shim kept for one release — use
+    /// [`execute`](Self::execute) with
+    /// [`TelemetryQuery::flows`](pint_query::TelemetryQuery::flows)
+    /// (ID-sorted) or `watch` (request-ordered).
+    #[deprecated(note = "use `FleetView::execute` with `TelemetryQuery::new().flows(..)`")]
     pub fn filtered(&self, flows: &[FlowId]) -> Vec<(FlowId, &FlowSummary)> {
         let mut wanted = flows.to_vec();
         wanted.sort_unstable();
@@ -120,6 +217,13 @@ impl FleetView {
             .into_iter()
             .filter_map(|f| self.merged.flow(f).map(|s| (f, s)))
             .collect()
+    }
+}
+
+impl QueryBackend for FleetView {
+    /// The fleet backend of the unified query API.
+    fn query(&self, plan: &QueryPlan) -> Result<QueryResult, QueryError> {
+        self.execute(plan)
     }
 }
 
@@ -230,19 +334,73 @@ mod tests {
         let b = snap(vec![(3, summary(&(0..200).collect::<Vec<_>>(), 3))]);
         let view = FleetView::merge(vec![(1, a), (2, b)]);
 
-        let top = view.top_k(2);
-        assert_eq!(top.len(), 2);
-        assert_eq!(top[0].0, 2, "heaviest first");
-        assert_eq!(top[1].0, 3);
-        assert!(view.top_k(0).is_empty());
-        assert_eq!(view.top_k(99).len(), 3, "k beyond population");
+        let ids = |result: QueryResult| match result {
+            QueryResult::Summaries(rows) => rows.into_iter().map(|(f, _)| f).collect::<Vec<_>>(),
+            other => panic!("unexpected {other:?}"),
+        };
+        let run = |tq: pint_query::TelemetryQuery| ids(view.execute(&tq.plan().unwrap()).unwrap());
 
-        let watch = view.filtered(&[3, 3, 1, 42]);
+        use pint_query::TelemetryQuery;
         assert_eq!(
-            watch.iter().map(|&(f, _)| f).collect::<Vec<_>>(),
+            run(TelemetryQuery::new().top_k(2)),
+            vec![2, 3],
+            "heaviest first"
+        );
+        assert!(run(TelemetryQuery::new().top_k(0)).is_empty());
+        assert_eq!(
+            run(TelemetryQuery::new().top_k(99)).len(),
+            3,
+            "k beyond population"
+        );
+        assert_eq!(
+            run(TelemetryQuery::new().flows([3, 3, 1, 42])),
             vec![1, 3],
             "ascending, deduped, unknown absent"
         );
+        assert_eq!(
+            run(TelemetryQuery::new().watch([3, 3, 1, 42])),
+            vec![3, 1],
+            "watch lists keep request order"
+        );
+
+        // The one-release deprecated shims agree with the plans.
+        #[allow(deprecated)]
+        {
+            let top = view.top_k(2);
+            assert_eq!(
+                top.iter().map(|&(f, _)| f).collect::<Vec<_>>(),
+                run(TelemetryQuery::new().top_k(2))
+            );
+            let watch = view.filtered(&[3, 3, 1, 42]);
+            assert_eq!(
+                watch.iter().map(|&(f, _)| f).collect::<Vec<_>>(),
+                run(TelemetryQuery::new().flows([3, 3, 1, 42]))
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_tie_break_is_ascending_flow_id_fleet_wide() {
+        // Equal packet counts across collectors: the selection must be
+        // the k smallest IDs, independent of which pod contributed
+        // which flow.
+        let a = snap(vec![
+            (31, summary(&(0..5).collect::<Vec<_>>(), 1)),
+            (4, summary(&(0..5).collect::<Vec<_>>(), 2)),
+        ]);
+        let b = snap(vec![
+            (17, summary(&(0..5).collect::<Vec<_>>(), 3)),
+            (90, summary(&(0..5).collect::<Vec<_>>(), 4)),
+        ]);
+        let view = FleetView::merge(vec![(2, b), (1, a)]);
+        let plan = pint_query::TelemetryQuery::new().top_k(3).plan().unwrap();
+        match view.execute(&plan).unwrap() {
+            QueryResult::Summaries(rows) => {
+                let ids: Vec<FlowId> = rows.into_iter().map(|(f, _)| f).collect();
+                assert_eq!(ids, vec![4, 17, 31], "equal packets: ascending-ID winners");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

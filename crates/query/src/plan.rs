@@ -1,0 +1,400 @@
+//! Query plans: selectors × projections × options, and the
+//! [`TelemetryQuery`] builder that assembles them.
+
+use crate::FlowId;
+use pint_wire::WireError;
+use std::fmt;
+
+/// Upper bound on a plan's quantile list — a query is a control-plane
+/// message, not a bulk transfer, and the bound keeps hostile wire plans
+/// from driving allocation.
+pub(crate) const MAX_PHIS: usize = 1_024;
+
+/// Upper bound on a flow-set / watch-list selector's ID list, for the
+/// same reason: without it a single 64 MiB `Query` frame could decode
+/// into hundreds of MB of IDs (and more again in backend routing).
+/// Dashboards watch hundreds of flows; 64k is generous.
+pub(crate) const MAX_SELECTOR_IDS: usize = 65_536;
+
+/// Which flows a query reads.
+///
+/// Selection happens *before* any summary is cloned or serialized, so a
+/// narrow selector on a large table costs only the selected flows —
+/// locally (only owning shards are consulted) and on the wire (only
+/// selected rows are shipped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selector {
+    /// Every tracked flow, ascending by flow ID.
+    All,
+    /// Exactly these flows (deduplicated; untracked IDs are simply
+    /// absent), ascending by flow ID.
+    FlowSet(Vec<FlowId>),
+    /// The `k` flows with the most recorded packets, heaviest first;
+    /// equal packet counts order by **ascending flow ID** — the
+    /// tie-break every tier shares, so the selection is deterministic.
+    TopK(usize),
+    /// These flows in **request order** (first occurrence wins for
+    /// duplicates) — dashboard rows keep their screen position across
+    /// polls. Untracked IDs are absent.
+    WatchList(Vec<FlowId>),
+    /// Flows whose fully decoded path contains the given switch ID —
+    /// "everything through switch S", served from path-tracing state
+    /// without an operator-maintained flow list.
+    PathThroughSwitch(u64),
+}
+
+/// What a query returns for the selected flows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// Full [`FlowSummary`](crate::FlowSummary) rows.
+    Summaries,
+    /// The code-space quantiles of one hop's value stream, merged
+    /// across the selected flows (decode through the deployment's
+    /// value codec; see
+    /// [`QueryResult::decode_quantiles`](crate::QueryResult::decode_quantiles)).
+    HopQuantiles {
+        /// 1-based hop index (index 0 is unused by convention).
+        hop: usize,
+        /// Quantiles in `[0, 1]` to evaluate.
+        phis: Vec<f64>,
+    },
+    /// `(complete, total)` over the selected path-tracing flows.
+    PathCompletion,
+    /// The fully reconstructed routes of the selected flows.
+    DecodedPaths,
+    /// Aggregate counters over the selection (plus table totals when
+    /// the selector is [`Selector::All`]).
+    Stats,
+}
+
+/// Plan-wide options applied around the selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryOptions {
+    /// Delta reads: keep only flows whose `last_ts` is **strictly
+    /// greater** than this sink-timestamp epoch. Applied *before* the
+    /// selector, so e.g. `TopK` ranks only the flows that changed.
+    pub updated_since: Option<u64>,
+    /// Hard cap on returned rows, applied after the selector's
+    /// ordering (a response-size guard for dashboards and the wire).
+    pub max_flows: Option<usize>,
+}
+
+/// A validated, executable query: one selector, one projection, the
+/// options. Executes identically on every
+/// [`QueryBackend`](crate::QueryBackend); build it with
+/// [`TelemetryQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// Which flows to read.
+    pub selector: Selector,
+    /// What to return for them.
+    pub projection: Projection,
+    /// Delta / cap options.
+    pub options: QueryOptions,
+}
+
+impl QueryPlan {
+    /// Validates the plan's semantic invariants (quantiles in `[0, 1]`
+    /// and finite, hop index ≥ 1, bounded quantile list). Called by
+    /// [`TelemetryQuery::plan`] and by the wire decoder, so a hostile
+    /// remote plan is rejected with the same rules as a local one.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        if let Selector::FlowSet(ids) | Selector::WatchList(ids) = &self.selector {
+            if ids.len() > MAX_SELECTOR_IDS {
+                return Err(QueryError::InvalidPlan("too many flow IDs in one selector"));
+            }
+        }
+        if let Projection::HopQuantiles { hop, phis } = &self.projection {
+            if *hop == 0 {
+                return Err(QueryError::InvalidPlan("hop index is 1-based; 0 is unused"));
+            }
+            if *hop > usize::from(u16::MAX) {
+                return Err(QueryError::InvalidPlan("hop index exceeds the path bound"));
+            }
+            if phis.len() > MAX_PHIS {
+                return Err(QueryError::InvalidPlan("too many quantiles in one plan"));
+            }
+            if phis
+                .iter()
+                .any(|p| !p.is_finite() || !(0.0..=1.0).contains(p))
+            {
+                return Err(QueryError::InvalidPlan(
+                    "quantiles must be finite in [0, 1]",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes a plan from wire bytes **and** re-validates it —
+    /// the only decode path untrusted plans should take.
+    pub fn decode_checked(bytes: &[u8]) -> Result<Self, QueryError> {
+        let plan = <Self as pint_wire::WireDecode>::decode(bytes).map_err(QueryError::Wire)?;
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+/// Fluent builder for [`QueryPlan`]s.
+///
+/// Starts as "all flows → summaries"; each call replaces the selector,
+/// the projection, or an option. [`plan`](Self::plan) validates and
+/// freezes the result.
+///
+/// ```
+/// use pint_query::{Projection, Selector, TelemetryQuery};
+///
+/// let plan = TelemetryQuery::new()
+///     .flows([7, 3, 3])
+///     .summaries()
+///     .max_flows(16)
+///     .plan()
+///     .unwrap();
+/// assert_eq!(plan.selector, Selector::FlowSet(vec![7, 3, 3]));
+/// assert_eq!(plan.projection, Projection::Summaries);
+/// assert_eq!(plan.options.max_flows, Some(16));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryQuery {
+    selector: Option<Selector>,
+    projection: Option<Projection>,
+    options: QueryOptions,
+}
+
+impl TelemetryQuery {
+    /// An empty query: all flows, summary rows, no options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects every tracked flow (the default).
+    ///
+    /// ```
+    /// use pint_query::{Selector, TelemetryQuery};
+    /// let plan = TelemetryQuery::new().all_flows().plan().unwrap();
+    /// assert_eq!(plan.selector, Selector::All);
+    /// ```
+    pub fn all_flows(mut self) -> Self {
+        self.selector = Some(Selector::All);
+        self
+    }
+
+    /// Selects an explicit flow set (deduplicated, returned ascending
+    /// by ID; untracked IDs are absent).
+    ///
+    /// ```
+    /// use pint_query::{Selector, TelemetryQuery};
+    /// let plan = TelemetryQuery::new().flows(vec![9, 2]).plan().unwrap();
+    /// assert_eq!(plan.selector, Selector::FlowSet(vec![9, 2]));
+    /// ```
+    pub fn flows(mut self, ids: impl Into<Vec<FlowId>>) -> Self {
+        self.selector = Some(Selector::FlowSet(ids.into()));
+        self
+    }
+
+    /// Selects the `k` heaviest flows by recorded packets (ties broken
+    /// by ascending flow ID), heaviest first.
+    ///
+    /// ```
+    /// use pint_query::{Selector, TelemetryQuery};
+    /// let plan = TelemetryQuery::new().top_k(10).plan().unwrap();
+    /// assert_eq!(plan.selector, Selector::TopK(10));
+    /// ```
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.selector = Some(Selector::TopK(k));
+        self
+    }
+
+    /// Selects a watch list: rows come back in **request order** (first
+    /// occurrence wins), so dashboard panels keep their layout.
+    ///
+    /// ```
+    /// use pint_query::{Selector, TelemetryQuery};
+    /// let plan = TelemetryQuery::new().watch([42, 7]).plan().unwrap();
+    /// assert_eq!(plan.selector, Selector::WatchList(vec![42, 7]));
+    /// ```
+    pub fn watch(mut self, ids: impl Into<Vec<FlowId>>) -> Self {
+        self.selector = Some(Selector::WatchList(ids.into()));
+        self
+    }
+
+    /// Selects flows whose decoded path contains `switch` — the
+    /// "everything through switch S" predicate, resolved from
+    /// path-tracing state instead of an operator-maintained list.
+    ///
+    /// ```
+    /// use pint_query::{Selector, TelemetryQuery};
+    /// let plan = TelemetryQuery::new().through_switch(19).plan().unwrap();
+    /// assert_eq!(plan.selector, Selector::PathThroughSwitch(19));
+    /// ```
+    pub fn through_switch(mut self, switch: u64) -> Self {
+        self.selector = Some(Selector::PathThroughSwitch(switch));
+        self
+    }
+
+    /// Projects full summary rows (the default).
+    pub fn summaries(mut self) -> Self {
+        self.projection = Some(Projection::Summaries);
+        self
+    }
+
+    /// Projects hop `hop`'s merged code-space quantiles at each `phi`.
+    ///
+    /// ```
+    /// use pint_query::TelemetryQuery;
+    /// let plan = TelemetryQuery::new().hop_quantiles(3, [0.5, 0.9, 0.99]).plan().unwrap();
+    /// assert!(TelemetryQuery::new().hop_quantiles(3, [1.5]).plan().is_err(), "phi out of range");
+    /// assert!(TelemetryQuery::new().hop_quantiles(0, [0.5]).plan().is_err(), "hop 0 unused");
+    /// # drop(plan);
+    /// ```
+    pub fn hop_quantiles(mut self, hop: usize, phis: impl Into<Vec<f64>>) -> Self {
+        self.projection = Some(Projection::HopQuantiles {
+            hop,
+            phis: phis.into(),
+        });
+        self
+    }
+
+    /// Projects `(complete, total)` path-reconstruction counts.
+    pub fn path_completion(mut self) -> Self {
+        self.projection = Some(Projection::PathCompletion);
+        self
+    }
+
+    /// Projects the fully decoded routes of the selected flows.
+    pub fn decoded_paths(mut self) -> Self {
+        self.projection = Some(Projection::DecodedPaths);
+        self
+    }
+
+    /// Projects aggregate counters over the selection.
+    pub fn stats(mut self) -> Self {
+        self.projection = Some(Projection::Stats);
+        self
+    }
+
+    /// Delta read: only flows updated (sink timestamp strictly) after
+    /// `epoch`. Pass the previous poll's max `last_ts` to receive only
+    /// what changed since.
+    ///
+    /// ```
+    /// use pint_query::TelemetryQuery;
+    /// let plan = TelemetryQuery::new().since(1_000).plan().unwrap();
+    /// assert_eq!(plan.options.updated_since, Some(1_000));
+    /// ```
+    pub fn since(mut self, epoch: u64) -> Self {
+        self.options.updated_since = Some(epoch);
+        self
+    }
+
+    /// Caps the number of returned rows (applied after the selector's
+    /// ordering).
+    pub fn max_flows(mut self, cap: usize) -> Self {
+        self.options.max_flows = Some(cap);
+        self
+    }
+
+    /// Validates and freezes the plan.
+    pub fn plan(self) -> Result<QueryPlan, QueryError> {
+        let plan = QueryPlan {
+            selector: self.selector.unwrap_or(Selector::All),
+            projection: self.projection.unwrap_or(Projection::Summaries),
+            options: self.options,
+        };
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+/// Why a query could not be built or executed.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The plan violates a semantic invariant (bad quantile, hop 0, …).
+    InvalidPlan(&'static str),
+    /// The backend failed to execute (collector shut down, shard gone,
+    /// …) — stringified so this crate needs no backend dependency.
+    Backend(String),
+    /// A wire frame failed to encode/decode.
+    Wire(WireError),
+    /// A transport-level I/O failure.
+    Io(std::io::Error),
+    /// The remote end executed the plan and reported an error.
+    Remote(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::InvalidPlan(why) => write!(f, "invalid query plan: {why}"),
+            QueryError::Backend(why) => write!(f, "query backend failed: {why}"),
+            QueryError::Wire(e) => write!(f, "query wire codec failed: {e}"),
+            QueryError::Io(e) => write!(f, "query transport failed: {e}"),
+            QueryError::Remote(why) => write!(f, "remote backend reported: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<WireError> for QueryError {
+    fn from(e: WireError) -> Self {
+        QueryError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for QueryError {
+    fn from(e: std::io::Error) -> Self {
+        QueryError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_to_all_summaries() {
+        let plan = TelemetryQuery::new().plan().unwrap();
+        assert_eq!(plan.selector, Selector::All);
+        assert_eq!(plan.projection, Projection::Summaries);
+        assert_eq!(plan.options, QueryOptions::default());
+    }
+
+    #[test]
+    fn validation_rejects_bad_quantile_plans() {
+        assert!(matches!(
+            TelemetryQuery::new().hop_quantiles(1, [f64::NAN]).plan(),
+            Err(QueryError::InvalidPlan(_))
+        ));
+        assert!(matches!(
+            TelemetryQuery::new().hop_quantiles(1, [-0.1]).plan(),
+            Err(QueryError::InvalidPlan(_))
+        ));
+        assert!(matches!(
+            TelemetryQuery::new().hop_quantiles(0, [0.5]).plan(),
+            Err(QueryError::InvalidPlan(_))
+        ));
+        let many = vec![0.5; MAX_PHIS + 1];
+        assert!(matches!(
+            TelemetryQuery::new().hop_quantiles(1, many).plan(),
+            Err(QueryError::InvalidPlan(_))
+        ));
+        assert!(TelemetryQuery::new()
+            .hop_quantiles(1, [0.0, 1.0])
+            .plan()
+            .is_ok());
+    }
+
+    #[test]
+    fn later_builder_calls_replace_earlier_ones() {
+        let plan = TelemetryQuery::new()
+            .flows([1, 2])
+            .top_k(3)
+            .stats()
+            .decoded_paths()
+            .plan()
+            .unwrap();
+        assert_eq!(plan.selector, Selector::TopK(3));
+        assert_eq!(plan.projection, Projection::DecodedPaths);
+    }
+}

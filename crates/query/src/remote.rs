@@ -1,0 +1,458 @@
+//! The wire tier of the query API: `Query` / `QueryResponse` frames, a
+//! generic TCP responder serving any [`QueryBackend`], and the client
+//! that executes plans remotely.
+//!
+//! The transport carries exactly what the local API exchanges — an
+//! encoded [`QueryPlan`] out, an encoded [`QueryResult`] back — so a
+//! remote query is byte-identical to a local one on the same state
+//! (pinned by the workspace's query-equivalence proptest). Malformed
+//! frames are typed rejections: the responder answers a parseable-but-
+//! invalid request with an error response and drops connections whose
+//! byte stream cannot resynchronize, but it never panics on hostile
+//! bytes.
+
+use crate::exec::{QueryBackend, QueryResult};
+use crate::plan::{QueryError, QueryPlan};
+use pint_wire::{
+    frame_into, FrameReader, FrameType, ReadFrameError, WireDecode, WireEncode, WireError,
+    WireReader, WireWriter,
+};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Accept-loop poll interval and per-connection read timeout — bounds
+/// how long shutdown can lag (same contract as the fleet server).
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Longest error message a response may carry (a hostile server must
+/// not drive client allocation).
+const MAX_ERROR_LEN: usize = 4_096;
+
+/// A `Query` frame's payload: a correlation ID plus the plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Echoed verbatim in the matching [`QueryResponse`], so clients
+    /// may pipeline requests on one connection.
+    pub request_id: u64,
+    /// The plan to execute.
+    pub plan: QueryPlan,
+}
+
+impl WireEncode for QueryRequest {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        WireWriter::new(out).put_varint(self.request_id);
+        self.plan.encode_into(out);
+    }
+}
+
+impl WireDecode for QueryRequest {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(QueryRequest {
+            request_id: r.get_varint()?,
+            plan: QueryPlan::decode_from(r)?,
+        })
+    }
+}
+
+impl QueryRequest {
+    /// Encodes the complete wire frame (header included).
+    pub fn to_frame_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        frame_into(FrameType::Query, self, &mut out);
+        out
+    }
+}
+
+/// A `QueryResponse` frame's payload: the echoed correlation ID and
+/// either the result or the backend's error, stringified.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// The [`QueryRequest::request_id`] this answers.
+    pub request_id: u64,
+    /// The executed result, or the error the backend reported.
+    pub result: Result<QueryResult, String>,
+}
+
+impl WireEncode for QueryResponse {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        WireWriter::new(out).put_varint(self.request_id);
+        match &self.result {
+            Ok(result) => {
+                WireWriter::new(out).put_u8(0);
+                result.encode_into(out);
+            }
+            Err(msg) => {
+                let bytes = msg.as_bytes();
+                let take = bytes.len().min(MAX_ERROR_LEN);
+                let mut w = WireWriter::new(out);
+                w.put_u8(1);
+                w.put_varint(take as u64);
+                w.put_bytes(&bytes[..take]);
+            }
+        }
+    }
+}
+
+impl WireDecode for QueryResponse {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let request_id = r.get_varint()?;
+        let result = match r.get_u8()? {
+            0 => Ok(QueryResult::decode_from(r)?),
+            1 => {
+                let len = r.get_count(1)?;
+                if len > MAX_ERROR_LEN {
+                    return Err(WireError::Invalid("error message exceeds bound"));
+                }
+                Err(String::from_utf8_lossy(r.get_bytes(len)?).into_owned())
+            }
+            _ => return Err(WireError::Invalid("response status must be 0 or 1")),
+        };
+        Ok(QueryResponse { request_id, result })
+    }
+}
+
+impl QueryResponse {
+    /// Encodes the complete wire frame (header included).
+    pub fn to_frame_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        frame_into(FrameType::QueryResponse, self, &mut out);
+        out
+    }
+}
+
+/// Answers one `Query` frame payload against a backend, returning the
+/// encoded `QueryResponse` frame to write back. Never panics: an
+/// undecodable or invalid request becomes an error response (with a
+/// best-effort request ID), and backend failures are stringified.
+///
+/// This is the single server-side execution point — the fleet server
+/// and the standalone [`QueryResponder`] both route through it.
+pub fn respond<B: QueryBackend + ?Sized>(backend: &B, payload: &[u8]) -> Vec<u8> {
+    let response = match QueryRequest::decode(payload) {
+        Ok(req) => match req.plan.validate() {
+            Ok(()) => QueryResponse {
+                request_id: req.request_id,
+                result: backend.query(&req.plan).map_err(|e| e.to_string()),
+            },
+            Err(e) => QueryResponse {
+                request_id: req.request_id,
+                result: Err(e.to_string()),
+            },
+        },
+        Err(e) => QueryResponse {
+            // The correlation ID is the payload's first varint; recover
+            // it when possible so the client can match the error.
+            request_id: WireReader::new(payload).get_varint().unwrap_or(0),
+            result: Err(format!("undecodable query: {e}")),
+        },
+    };
+    response.to_frame_bytes()
+}
+
+/// A TCP endpoint serving queries against one shared backend — the
+/// collector-side responder (`QueryResponder::bind(addr,
+/// Arc::new(collector))`) or any other [`QueryBackend`].
+///
+/// One reader thread per connection; non-`Query` frames are ignored,
+/// streams that cannot resynchronize are dropped.
+pub struct QueryResponder {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl QueryResponder {
+    /// Binds and starts answering. Use `"127.0.0.1:0"` to let the OS
+    /// pick a port (read it back via [`local_addr`](Self::local_addr)).
+    pub fn bind<B>(addr: impl ToSocketAddrs, backend: Arc<B>) -> std::io::Result<Self>
+    where
+        B: QueryBackend + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("pint-query-accept".into())
+            .spawn(move || accept_loop(listener, backend, accept_stop))
+            .expect("spawn query accept thread");
+        Ok(Self {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept thread; live connections
+    /// notice the stop flag within a poll interval.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for QueryResponder {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop<B>(listener: TcpListener, backend: Arc<B>, stop: Arc<AtomicBool>)
+where
+    B: QueryBackend + Send + Sync + 'static,
+{
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_backend = Arc::clone(&backend);
+                let conn_stop = Arc::clone(&stop);
+                match std::thread::Builder::new()
+                    .name("pint-query-conn".into())
+                    .spawn(move || connection_loop(stream, &*conn_backend, conn_stop))
+                {
+                    Ok(t) => readers.push(t),
+                    Err(_) => { /* thread exhaustion: drop the connection */ }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+        readers.retain(|t| !t.is_finished());
+    }
+    for t in readers {
+        let _ = t.join();
+    }
+}
+
+fn connection_loop<B: QueryBackend + ?Sized>(
+    stream: TcpStream,
+    backend: &B,
+    stop: Arc<AtomicBool>,
+) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = FrameReader::new(stream);
+    while !stop.load(Ordering::Acquire) {
+        match reader.read_frame() {
+            Ok(Some((FrameType::Query, payload))) => {
+                let bytes = respond(backend, &payload);
+                if writer
+                    .write_all(&bytes)
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Ok(Some(_)) => { /* not a query; ignore */ }
+            Ok(None) => return, // peer closed cleanly
+            Err(ReadFrameError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // poll the stop flag, then resume buffering
+            }
+            // Framing broken (bad magic / oversized / mid-frame EOF):
+            // the connection cannot recover. Drop it; the process and
+            // its other connections live on.
+            Err(_) => return,
+        }
+    }
+}
+
+/// Sends one plan as a `Query` frame on `writer` and reads frames from
+/// `reader` until the matching `QueryResponse` arrives. Shared by
+/// [`QueryClient`] and the fleet tier's client.
+pub fn query_over<W: Write, R: std::io::Read>(
+    writer: &mut W,
+    reader: &mut FrameReader<R>,
+    request_id: u64,
+    plan: &QueryPlan,
+) -> Result<QueryResult, QueryError> {
+    plan.validate()?;
+    let request = QueryRequest {
+        request_id,
+        plan: plan.clone(),
+    };
+    writer.write_all(&request.to_frame_bytes())?;
+    writer.flush()?;
+    loop {
+        match reader.read_frame() {
+            Ok(Some((FrameType::QueryResponse, payload))) => {
+                let response = QueryResponse::decode(&payload).map_err(QueryError::Wire)?;
+                if response.request_id != request_id {
+                    continue; // an earlier request's answer; skip
+                }
+                return response.result.map_err(QueryError::Remote);
+            }
+            Ok(Some(_)) => continue, // unrelated frame type
+            Ok(None) => {
+                return Err(QueryError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before the response",
+                )))
+            }
+            Err(ReadFrameError::Io(e)) => return Err(QueryError::Io(e)),
+            Err(ReadFrameError::Wire(e)) => return Err(QueryError::Wire(e)),
+        }
+    }
+}
+
+/// A connection to a [`QueryResponder`] (or any server speaking
+/// `Query`/`QueryResponse` frames, e.g. the fleet server).
+pub struct QueryClient {
+    writer: TcpStream,
+    reader: FrameReader<TcpStream>,
+    next_id: u64,
+}
+
+impl QueryClient {
+    /// Connects to a query endpoint.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = FrameReader::new(writer.try_clone()?);
+        Ok(Self {
+            writer,
+            reader,
+            next_id: 1,
+        })
+    }
+
+    /// Executes one plan remotely, blocking for the response.
+    pub fn query(&mut self, plan: &QueryPlan) -> Result<QueryResult, QueryError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        query_over(&mut self.writer, &mut self.reader, id, plan)
+    }
+}
+
+impl QueryBackend for std::sync::Mutex<QueryClient> {
+    /// Lets a shared remote connection stand wherever a backend is
+    /// expected (`QueryClient::query` needs `&mut self` for the
+    /// stream).
+    fn query(&self, plan: &QueryPlan) -> Result<QueryResult, QueryError> {
+        self.lock()
+            .map_err(|_| QueryError::Backend("query client poisoned".into()))?
+            .query(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SelectionStats, TelemetryQuery};
+
+    /// A deterministic in-memory backend for transport tests.
+    struct Fixed;
+    impl QueryBackend for Fixed {
+        fn query(&self, plan: &QueryPlan) -> Result<QueryResult, QueryError> {
+            match plan.selector {
+                crate::Selector::TopK(0) => Err(QueryError::Backend("nothing to rank".into())),
+                _ => Ok(QueryResult::Stats(SelectionStats {
+                    flows: 3,
+                    ..SelectionStats::default()
+                })),
+            }
+        }
+    }
+
+    #[test]
+    fn request_and_response_round_trip() {
+        let req = QueryRequest {
+            request_id: 77,
+            plan: TelemetryQuery::new().top_k(5).stats().plan().unwrap(),
+        };
+        let bytes = req.to_frame_bytes();
+        let (ty, payload) = pint_wire::parse_frame(&bytes).unwrap();
+        assert_eq!(ty, FrameType::Query);
+        assert_eq!(QueryRequest::decode(payload).unwrap(), req);
+
+        for result in [
+            Ok(QueryResult::PathCompletion {
+                complete: 1,
+                total: 2,
+            }),
+            Err("backend exploded".to_string()),
+        ] {
+            let resp = QueryResponse {
+                request_id: 77,
+                result,
+            };
+            let bytes = resp.to_frame_bytes();
+            let (ty, payload) = pint_wire::parse_frame(&bytes).unwrap();
+            assert_eq!(ty, FrameType::QueryResponse);
+            assert_eq!(QueryResponse::decode(payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn responder_answers_over_loopback_and_reports_errors() {
+        let responder = QueryResponder::bind("127.0.0.1:0", Arc::new(Fixed)).unwrap();
+        let mut client = QueryClient::connect(responder.local_addr()).unwrap();
+        let ok = client
+            .query(&TelemetryQuery::new().stats().plan().unwrap())
+            .unwrap();
+        assert!(matches!(ok, QueryResult::Stats(s) if s.flows == 3));
+        let err = client
+            .query(&TelemetryQuery::new().top_k(0).plan().unwrap())
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Remote(ref m) if m.contains("nothing to rank")));
+        responder.shutdown();
+    }
+
+    #[test]
+    fn responder_survives_garbage_and_bad_payloads() {
+        let responder = QueryResponder::bind("127.0.0.1:0", Arc::new(Fixed)).unwrap();
+        let addr = responder.local_addr();
+        // A connection speaking something else entirely.
+        {
+            let mut garbage = TcpStream::connect(addr).unwrap();
+            garbage.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        }
+        // A well-framed Query frame whose payload is junk: the server
+        // must answer with a typed error, not die.
+        struct Junk;
+        impl WireEncode for Junk {
+            fn encode_into(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&[0xFF; 16]);
+            }
+        }
+        let mut framed_junk = Vec::new();
+        frame_into(FrameType::Query, &Junk, &mut framed_junk);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&framed_junk).unwrap();
+        let mut reader = FrameReader::new(stream.try_clone().unwrap());
+        let (ty, payload) = reader.read_frame().unwrap().unwrap();
+        assert_eq!(ty, FrameType::QueryResponse);
+        let resp = QueryResponse::decode(&payload).unwrap();
+        assert!(resp.result.is_err());
+        drop(stream);
+        // The server still answers real queries afterwards.
+        let mut client = QueryClient::connect(addr).unwrap();
+        assert!(client.query(&TelemetryQuery::new().plan().unwrap()).is_ok());
+        responder.shutdown();
+    }
+}

@@ -1,0 +1,30 @@
+//! The per-flow row every query tier exchanges.
+//!
+//! [`FlowSummary`] is the unit of the read path: shard workers export
+//! one per tracked flow, collectors and fleet views merge them, and
+//! [`QueryResult::Summaries`](crate::QueryResult::Summaries) rows carry
+//! them back to callers (locally or over the wire). It lives in this
+//! crate so every backend — and the wire codec — shares one definition.
+
+use pint_core::{PathProgress, RecorderKind};
+use pint_sketches::KllSketch;
+
+/// One flow's recorded state, as exported by a shard snapshot and
+/// merged up through collector and fleet views.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSummary {
+    /// Which aggregation the flow's recorder implements.
+    pub kind: RecorderKind,
+    /// Digests absorbed for this flow.
+    pub packets: u64,
+    /// Approximate recorder state bytes.
+    pub state_bytes: usize,
+    /// Latest sink timestamp for the flow (drives delta queries).
+    pub last_ts: u64,
+    /// Per-hop code-space sketches (latency flows; index = hop, 0 unused).
+    pub hop_sketches: Vec<KllSketch>,
+    /// Path-reconstruction progress (path-tracing flows).
+    pub path: Option<PathProgress>,
+    /// Digests contradicting the flow's inference.
+    pub inconsistencies: u64,
+}

@@ -43,6 +43,14 @@ pub enum FrameType {
     /// A collector leaving the fleet: payload is its collector id
     /// (varint). Receivers drop its snapshots from the fleet view.
     Bye = 4,
+    /// A telemetry query: request id (varint) then an encoded
+    /// `QueryPlan` (see `pint-query`). Servers answer on the same
+    /// connection with a [`QueryResponse`](FrameType::QueryResponse).
+    Query = 5,
+    /// The answer to a [`Query`](FrameType::Query): the echoed request
+    /// id, a status byte, then an encoded `QueryResult` or an error
+    /// message.
+    QueryResponse = 6,
 }
 
 impl FrameType {
@@ -52,6 +60,8 @@ impl FrameType {
             2 => Ok(FrameType::Snapshot),
             3 => Ok(FrameType::DigestBatch),
             4 => Ok(FrameType::Bye),
+            5 => Ok(FrameType::Query),
+            6 => Ok(FrameType::QueryResponse),
             other => Err(WireError::UnknownFrameType(other)),
         }
     }

@@ -28,6 +28,8 @@
 //! | 0x02 | [`FrameType::Snapshot`]     | a `SnapshotFrame` (see `pint-collector`'s wire module): collector id, epoch, full `CollectorSnapshot` |
 //! | 0x03 | [`FrameType::DigestBatch`]  | count (varint), then that many [`DigestReport`](pint_core::DigestReport)s |
 //! | 0x04 | [`FrameType::Bye`]          | collector id (varint) |
+//! | 0x05 | [`FrameType::Query`]        | request id (varint), then a `QueryPlan` (see `pint-query`) |
+//! | 0x06 | [`FrameType::QueryResponse`]| request id (varint), status byte, then a `QueryResult` or an error message |
 //!
 //! Integers inside payloads are either fixed-width **little-endian**
 //! (`u64` hash values, coin states, `f64` bit patterns) or **LEB128

@@ -17,6 +17,7 @@ use pint::collector::{Collector, CollectorConfig, EventKind, EventRule, RuleCond
 use pint::core::dynamic::{DynamicAggregator, DynamicRecorder};
 use pint::core::value::Digest;
 use pint::core::{DigestReport, FlowRecorder};
+use pint::query::{QueryResult, TelemetryQuery};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -208,30 +209,42 @@ fn main() {
         );
     }
 
-    // Dashboard-style cheap polls: the elephants by packet count, and a
-    // watch list, without serializing all ~8,000 resident flows.
-    let top = collector.snapshot_top_k(5).expect("top-k snapshot");
-    println!("\ntop-{} flows by packets (filtered snapshot):", 5);
-    for (flow, summary) in top.flows() {
-        println!(
-            "  flow {flow:>5}: {:>6} packets, hop-3 p90 ≈ {:.0}ns",
-            summary.packets,
-            summary
-                .hop_sketches
-                .get(3)
-                .and_then(|s| s.quantile(0.9))
-                .map(|c| agg.decode(c))
-                .unwrap_or(f64::NAN)
-        );
+    // Dashboard-style cheap polls through the unified query tier: the
+    // elephants by packet count, and a watch list, without serializing
+    // all ~8,000 resident flows.
+    let top = collector
+        .query(&TelemetryQuery::new().top_k(5).plan().expect("valid plan"))
+        .expect("top-k query");
+    println!("\ntop-{} flows by packets (top-K query):", 5);
+    if let QueryResult::Summaries(rows) = &top {
+        for (flow, summary) in rows {
+            println!(
+                "  flow {flow:>5}: {:>6} packets, hop-3 p90 ≈ {:.0}ns",
+                summary.packets,
+                summary
+                    .hop_sketches
+                    .get(3)
+                    .and_then(|s| s.quantile(0.9))
+                    .map(|c| agg.decode(c))
+                    .unwrap_or(f64::NAN)
+            );
+        }
     }
     let watch = collector
-        .snapshot_flows(&[0, 1, 2, 3, 4])
-        .expect("watch-list snapshot");
-    println!(
-        "watch list {{0..4}}: {} tracked, {} packets total",
-        watch.num_flows(),
-        watch.total_packets()
-    );
+        .query(
+            &TelemetryQuery::new()
+                .watch([0, 1, 2, 3, 4])
+                .stats()
+                .plan()
+                .expect("valid plan"),
+        )
+        .expect("watch-list query");
+    if let QueryResult::Stats(stats) = watch {
+        println!(
+            "watch list {{0..4}}: {} tracked, {} packets total",
+            stats.flows, stats.packets
+        );
+    }
 
     let trailing_alarms = collector.drain_events().len() as u64;
     let final_stats = collector.shutdown();
@@ -248,7 +261,7 @@ fn main() {
     // Every elephant alarms when resident long enough; scheduling skew
     // can shorten residencies, but at least one alarm is guaranteed.
     assert!(final_stats.events >= 1, "hot flows must alarm");
-    assert_eq!(top.num_flows(), 5, "top-k answers");
+    assert_eq!(top.len(), 5, "top-k answers");
     println!(
         "\n{} alarms total ({} during ingest, {} trailing); eviction kept ≤ {} flows resident of {} offered.",
         final_stats.events,

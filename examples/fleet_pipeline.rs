@@ -21,6 +21,7 @@ use pint::fleet::{
     FleetAggregator, FleetClient, FleetCondition, FleetConfig, FleetEdge, FleetRule, FleetServer,
     InMemoryTransport,
 };
+use pint::query::{QueryResult, TelemetryQuery};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -168,18 +169,30 @@ fn main() {
         );
     }
 
-    println!("\ntop-5 flows by packets (fleet-wide):");
-    for (flow, summary) in view.top_k(5) {
-        println!(
-            "  flow {flow:>5}: {:>6} packets, hop-3 p90 ≈ {:.0}ns",
-            summary.packets,
-            summary.hop_sketches[3]
-                .quantile(0.9)
-                .map(|c| agg.decode(c))
-                .unwrap_or(f64::NAN)
-        );
+    println!("\ntop-5 flows by packets (fleet-wide top-K query):");
+    let top = view
+        .execute(&TelemetryQuery::new().top_k(5).plan().expect("valid plan"))
+        .expect("top-k query");
+    if let QueryResult::Summaries(rows) = &top {
+        for (flow, summary) in rows {
+            println!(
+                "  flow {flow:>5}: {:>6} packets, hop-3 p90 ≈ {:.0}ns",
+                summary.packets,
+                summary.hop_sketches[3]
+                    .quantile(0.9)
+                    .map(|c| agg.decode(c))
+                    .unwrap_or(f64::NAN)
+            );
+        }
     }
-    let watch = view.filtered(&[0, 1, 2, 3, 999_999]);
+    let watch = view
+        .execute(
+            &TelemetryQuery::new()
+                .watch([0, 1, 2, 3, 999_999])
+                .plan()
+                .expect("valid plan"),
+        )
+        .expect("watch-list query");
     println!(
         "watch list {{0..3, 999999}}: {} tracked fleet-wide",
         watch.len()

@@ -12,6 +12,8 @@
 //! * `collector` — sharded, multi-threaded ingestion & inference.
 //! * `wire` — versioned binary codec for digests, sketches, snapshots.
 //! * `fleet` — cross-collector aggregation over TCP / in-memory frames.
+//! * `query` — one typed `TelemetryQuery`/`QueryPlan` read API executed
+//!   on collectors, fleet views, and over the wire.
 
 pub use pint_collector as collector;
 pub use pint_core as core;
@@ -19,6 +21,7 @@ pub use pint_dataplane as dataplane;
 pub use pint_fleet as fleet;
 pub use pint_hpcc as hpcc;
 pub use pint_netsim as netsim;
+pub use pint_query as query;
 pub use pint_sketches as sketches;
 pub use pint_traceback as traceback;
 pub use pint_wire as wire;
@@ -28,3 +31,4 @@ pub use pint_core::{
     Digest, DigestReport, FlowRecorder, GlobalHash, HashFamily, MetadataKind, PathDecoder,
     PathTracer, QueryEngine, QuerySpec, SchemeConfig, TracerConfig,
 };
+pub use pint_query::{QueryBackend, QueryPlan, QueryResult, TelemetryQuery};

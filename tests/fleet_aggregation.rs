@@ -15,6 +15,7 @@ use pint::fleet::{
     FleetAggregator, FleetCondition, FleetConfig, FleetEdge, FleetRule, FleetServer,
     InMemoryTransport,
 };
+use pint::query::{QueryResult, TelemetryQuery};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -193,10 +194,28 @@ fn fleet_view_matches_single_collector_over_both_transports() {
     }
 
     // ---- Fleet queries and the fleet-level rule --------------------
-    let top = mem_view.top_k(5);
+    let top = mem_view
+        .execute(&TelemetryQuery::new().top_k(5).plan().unwrap())
+        .unwrap();
     assert_eq!(top.len(), 5);
-    let watch = mem_view.filtered(&[0, 1, 2, 9_999]);
+    let watch = mem_view
+        .execute(
+            &TelemetryQuery::new()
+                .flows([0, 1, 2, 9_999])
+                .plan()
+                .unwrap(),
+        )
+        .unwrap();
     assert_eq!(watch.len(), 3, "unknown flow absent from watch list");
+    match watch {
+        QueryResult::Summaries(rows) => {
+            assert_eq!(
+                rows.iter().map(|&(f, _)| f).collect::<Vec<_>>(),
+                vec![0, 1, 2]
+            );
+        }
+        other => panic!("unexpected {other:?}"),
+    }
 
     let events = mem_agg.drain_events();
     assert!(
