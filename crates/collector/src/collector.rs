@@ -315,6 +315,13 @@ impl Collector {
             Selector::PathThroughSwitch(s) => {
                 self.fanout(|r| ShardMsg::Query(select_all(ShardSelect::PathThrough(*s)), r))
             }
+            // Kind membership is per-flow state every shard holds; fan
+            // out unfiltered and let the shared refinement drop
+            // non-matching rows (no serialization happens in-process,
+            // so there is nothing to narrow ahead of).
+            Selector::OfKind(_) => {
+                self.fanout(|r| ShardMsg::Query(select_all(ShardSelect::All), r))
+            }
             Selector::FlowSet(ids) | Selector::WatchList(ids) => {
                 let shards = self.shards();
                 let mut sorted = ids.clone();

@@ -2,13 +2,15 @@
 //! evaluation.
 
 use crate::error::FleetError;
+use crate::ingest::SourceDedup;
 use crate::rules::{FleetEdge, FleetEvent, FleetRule};
 use crate::view::FleetView;
 use pint_collector::wire::SnapshotFrame;
 use pint_collector::{CollectorSnapshot, FlowId};
 use pint_core::dynamic::DynamicAggregator;
+use pint_core::DigestReport;
 use pint_query::{QueryError, QueryPlan, QueryResult, Selector};
-use pint_wire::{parse_frame, FrameType, WireDecode, WireReader};
+use pint_wire::{parse_frame, AckStatus, BatchAck, DigestBatch, FrameType, WireDecode, WireReader};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
@@ -42,11 +44,20 @@ pub struct FleetStats {
     /// Frames rejected by the decoder.
     pub decode_errors: u64,
     /// Well-formed frames of types the aggregator does not ingest
-    /// (`DigestBatch` — ingestion is a ROADMAP follow-on — and
-    /// `Query`/`QueryResponse`, which belong to the serving
-    /// transport). Each also returned a typed
-    /// [`FleetError::UnsupportedFrame`].
+    /// (`Query`/`QueryResponse`, which belong to the serving
+    /// transport, and `BatchAck`, which only a forwarder consumes).
+    /// Each also returned a typed [`FleetError::UnsupportedFrame`].
     pub unsupported_frames: u64,
+    /// Fresh digest batches applied (deduped per `(source, seq)`).
+    pub digest_batches: u64,
+    /// Retransmitted digest batches recognized and dropped by dedup.
+    pub digest_batches_duplicate: u64,
+    /// Digests inside applied batches.
+    pub digests: u64,
+    /// Digests from applied batches that had nowhere to go because no
+    /// sink was installed ([`FleetAggregator::set_digest_sink`]); they
+    /// were still acknowledged and deduplicated, just not routed.
+    pub digests_unrouted: u64,
     /// Fleet events discarded because the event queue was full.
     pub events_dropped: u64,
     /// Collectors currently contributing snapshots.
@@ -78,6 +89,11 @@ pub struct FleetAggregator {
     /// Last observation per fired rule (reported on the cleared edge).
     last_observed: Vec<f64>,
     events: VecDeque<FleetEvent>,
+    /// Where applied digest batches go; without one they are counted
+    /// as unrouted (still acked and deduplicated).
+    digest_sink: Option<Box<dyn FnMut(u64, Vec<DigestReport>) + Send>>,
+    /// Per-source sequence dedup for at-least-once digest delivery.
+    digest_dedup: BTreeMap<u64, SourceDedup>,
     stats: FleetStats,
 }
 
@@ -91,8 +107,22 @@ impl FleetAggregator {
             fired: vec![false; rules],
             last_observed: vec![0.0; rules],
             events: VecDeque::new(),
+            digest_sink: None,
+            digest_dedup: BTreeMap::new(),
             stats: FleetStats::default(),
         }
+    }
+
+    /// Installs the destination for applied digest batches — typically
+    /// a [`CollectorHandle`](pint_collector::CollectorHandle) push —
+    /// called with `(source id, reports)` per fresh batch. Without a
+    /// sink, batches are still acknowledged and deduplicated but their
+    /// digests are counted in [`FleetStats::digests_unrouted`].
+    ///
+    /// (A method rather than a [`FleetConfig`] field: the config stays
+    /// `Clone`, closures do not.)
+    pub fn set_digest_sink(&mut self, sink: Box<dyn FnMut(u64, Vec<DigestReport>) + Send>) {
+        self.digest_sink = Some(sink);
     }
 
     /// Ingests one complete wire frame (header included): parses the
@@ -113,12 +143,13 @@ impl FleetAggregator {
     /// Ingests an already-framed payload (e.g. from
     /// [`FrameReader`](pint_wire::FrameReader)), dispatching on its
     /// type: `Snapshot` updates fleet state and re-evaluates rules,
-    /// `Bye` removes the collector, `Hello` is acknowledged.
-    /// `DigestBatch` (raw-digest ingestion is a ROADMAP follow-on —
-    /// the frame type exists, the ingest path doesn't yet) and
+    /// `Bye` removes the collector, `Hello` is acknowledged,
+    /// `DigestBatch` is deduplicated and routed to the digest sink
+    /// (see [`ingest_digest_batch`](Self::ingest_digest_batch), which
+    /// transports call directly when they need the ack to send back).
     /// `Query`/`QueryResponse` (answered by the serving transport, not
-    /// the aggregator) return a typed
-    /// [`FleetError::UnsupportedFrame`], counted in
+    /// the aggregator) and `BatchAck` (consumed only by forwarders)
+    /// return a typed [`FleetError::UnsupportedFrame`], counted in
     /// [`FleetStats::unsupported_frames`] — the sender learns its
     /// frame went nowhere instead of a silent acknowledgment.
     pub fn ingest_payload(
@@ -127,6 +158,9 @@ impl FleetAggregator {
         payload: &[u8],
     ) -> Result<FrameType, FleetError> {
         match ty {
+            FrameType::DigestBatch => {
+                return self.ingest_digest_batch(payload).map(|_| ty);
+            }
             FrameType::Snapshot => match SnapshotFrame::decode(payload) {
                 Ok(frame) => {
                     self.apply_snapshot(frame);
@@ -152,13 +186,51 @@ impl FleetAggregator {
                 }
             }
             FrameType::Hello => {}
-            FrameType::DigestBatch | FrameType::Query | FrameType::QueryResponse => {
+            FrameType::Query | FrameType::QueryResponse | FrameType::BatchAck => {
                 self.stats.unsupported_frames += 1;
                 return Err(FleetError::UnsupportedFrame(ty));
             }
         }
         self.stats.frames += 1;
         Ok(ty)
+    }
+
+    /// Ingests one [`DigestBatch`] payload: decodes it, deduplicates
+    /// per `(source, seq)` (at-least-once delivery means retransmitted
+    /// batches arrive; they must be applied exactly once), routes a
+    /// fresh batch to the digest sink, and returns the [`BatchAck`]
+    /// the transport should send back to the forwarder. Decode
+    /// failures are typed errors (counted), never panics.
+    pub fn ingest_digest_batch(&mut self, payload: &[u8]) -> Result<BatchAck, FleetError> {
+        let batch = match DigestBatch::decode(payload) {
+            Ok(batch) => batch,
+            Err(e) => {
+                self.stats.decode_errors += 1;
+                return Err(e.into());
+            }
+        };
+        let fresh = self
+            .digest_dedup
+            .entry(batch.source)
+            .or_default()
+            .observe(batch.seq);
+        let status = if fresh {
+            self.stats.digest_batches += 1;
+            self.stats.digests += batch.reports.len() as u64;
+            match &mut self.digest_sink {
+                Some(sink) => sink(batch.source, batch.reports),
+                None => self.stats.digests_unrouted += batch.reports.len() as u64,
+            }
+            AckStatus::Applied
+        } else {
+            self.stats.digest_batches_duplicate += 1;
+            AckStatus::Duplicate
+        };
+        self.stats.frames += 1;
+        Ok(BatchAck {
+            seq: batch.seq,
+            status,
+        })
     }
 
     /// Applies one decoded snapshot, keyed by `(collector_id, epoch)`:
@@ -266,7 +338,10 @@ impl FleetAggregator {
                 Selector::FlowSet(ids) | Selector::WatchList(ids) => {
                     union.extend_from_slice(ids);
                 }
-                Selector::All | Selector::TopK(_) | Selector::PathThroughSwitch(_) => return None,
+                Selector::All
+                | Selector::TopK(_)
+                | Selector::PathThroughSwitch(_)
+                | Selector::OfKind(_) => return None,
             }
         }
         union.sort_unstable();
@@ -452,10 +527,75 @@ mod tests {
     }
 
     #[test]
-    fn digest_batch_frames_are_typed_unsupported_errors() {
-        // Raw-digest ingestion is a ROADMAP follow-on: the frame type
-        // exists, the ingest path doesn't. Senders must get a typed
-        // error (and a counter), not a silent acknowledgment.
+    fn digest_batches_ingest_dedup_and_ack() {
+        use pint_core::{Digest, DigestReport};
+        use pint_wire::WireEncode;
+        use std::sync::{Arc, Mutex};
+
+        let payload = |b: &DigestBatch| {
+            let mut v = Vec::new();
+            b.encode_into(&mut v);
+            v
+        };
+
+        let routed = Arc::new(Mutex::new(Vec::new()));
+        let sink_routed = Arc::clone(&routed);
+        let mut agg = FleetAggregator::new(FleetConfig::default());
+        agg.set_digest_sink(Box::new(move |source, reports| {
+            sink_routed.lock().unwrap().push((source, reports.len()));
+        }));
+
+        let batch = |source: u64, seq: u64, n: u64| DigestBatch {
+            source,
+            seq,
+            reports: (0..n)
+                .map(|pid| DigestReport::new(1, pid, Digest::new(1), 3, 0))
+                .collect(),
+        };
+        // Fresh batches route to the sink and ack `Applied`.
+        let ack = agg.ingest_digest_batch(&payload(&batch(7, 1, 3))).unwrap();
+        assert_eq!(
+            ack,
+            pint_wire::BatchAck {
+                seq: 1,
+                status: AckStatus::Applied,
+            }
+        );
+        // A retransmission dedups: acked `Duplicate`, not re-routed.
+        let ack = agg.ingest_digest_batch(&payload(&batch(7, 1, 3))).unwrap();
+        assert_eq!(ack.status, AckStatus::Duplicate);
+        // Sequences are per source: another edge reuses seq 1 freely.
+        let ack = agg.ingest_digest_batch(&payload(&batch(8, 1, 2))).unwrap();
+        assert_eq!(ack.status, AckStatus::Applied);
+        assert_eq!(*routed.lock().unwrap(), vec![(7, 3), (8, 2)]);
+
+        // The framed path ingests too (no ack surfaced — the
+        // UnsupportedFrame era is over).
+        let frame_bytes = batch(7, 2, 1).to_frame_bytes();
+        assert_eq!(
+            agg.ingest_frame(&frame_bytes).unwrap(),
+            FrameType::DigestBatch
+        );
+
+        let stats = agg.stats();
+        assert_eq!(stats.digest_batches, 3);
+        assert_eq!(stats.digest_batches_duplicate, 1);
+        assert_eq!(stats.digests, 6);
+        assert_eq!(stats.digests_unrouted, 0);
+        assert_eq!(stats.unsupported_frames, 0);
+        assert_eq!(stats.decode_errors, 0);
+
+        // Garbage payloads are typed errors; the aggregator survives.
+        assert!(agg.ingest_digest_batch(&[0xFF; 3]).is_err());
+        assert_eq!(agg.stats().decode_errors, 1);
+        assert!(agg.apply_snapshot(frame(1, 1, latency_snapshot(10, &[1]))));
+    }
+
+    #[test]
+    fn acks_and_query_frames_are_typed_unsupported_errors() {
+        // BatchAck is consumed by forwarders; Query/QueryResponse by
+        // the serving transport. An aggregator receiving one must say
+        // so (typed error + counter), not silently acknowledge.
         struct Zero;
         impl pint_wire::WireEncode for Zero {
             fn encode_into(&self, out: &mut Vec<u8>) {
@@ -464,11 +604,11 @@ mod tests {
         }
         let mut agg = FleetAggregator::new(FleetConfig::default());
         let mut bytes = Vec::new();
-        pint_wire::frame_into(FrameType::DigestBatch, &Zero, &mut bytes);
+        pint_wire::frame_into(FrameType::BatchAck, &Zero, &mut bytes);
         let err = agg.ingest_frame(&bytes).unwrap_err();
         assert!(matches!(
             err,
-            FleetError::UnsupportedFrame(FrameType::DigestBatch)
+            FleetError::UnsupportedFrame(FrameType::BatchAck)
         ));
         let stats = agg.stats();
         assert_eq!(stats.unsupported_frames, 1);

@@ -11,9 +11,9 @@ pub enum FleetError {
     /// A transport-level I/O failure.
     Io(std::io::Error),
     /// A well-formed frame of a type this aggregator does not ingest —
-    /// e.g. `DigestBatch` (raw-digest ingestion is a ROADMAP follow-on;
-    /// the frame type exists, the ingest path doesn't yet) or a
-    /// `Query`, which only the serving transport can answer. Counted in
+    /// e.g. a `Query`, which only the serving transport can answer, or
+    /// a `BatchAck`, which only the sending
+    /// [`DigestForwarder`](crate::DigestForwarder) consumes. Counted in
     /// [`FleetStats::unsupported_frames`](crate::FleetStats).
     UnsupportedFrame(FrameType),
 }

@@ -1,0 +1,589 @@
+//! The regional digest-ingest endpoint: a non-blocking poll-loop
+//! server for [`DigestBatch`] streams from many edge forwarders.
+//!
+//! Unlike [`FleetServer`](crate::FleetServer) (snapshot frames, one
+//! thread per connection), [`DigestServer`] multiplexes every
+//! connection on **one** poll thread over non-blocking `std::net`
+//! sockets — the workspace is offline and runtime-free, so there is no
+//! async executor to lean on. Each connection carries its own frame
+//! reassembly buffer and write-back ack buffer; per-tick work is
+//! bounded per connection, so one hostile peer (oversized frames,
+//! garbage bytes, slow-loris partial writes, a half-open socket) can
+//! reject, stall, or die without delaying any other connection or the
+//! accept path.
+//!
+//! Delivery is at-least-once: batches carry `(source, seq)`, the
+//! server deduplicates per source ([`SourceDedup`]) and acknowledges
+//! every batch with a [`BatchAck`] so the sending
+//! [`DigestForwarder`](crate::DigestForwarder) can retire it. Decoded
+//! batches are handed to a caller-supplied sink — typically a
+//! [`CollectorHandle`](pint_collector::CollectorHandle) feeding the
+//! local collector's producer rings.
+
+use pint_collector::CollectorHandle;
+use pint_core::DigestReport;
+use pint_wire::{AckStatus, BatchAck, DigestBatch, FramePoll, FrameReader, FrameType, WireDecode};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Sleep between poll ticks when no connection made progress.
+const IDLE_SLEEP: Duration = Duration::from_millis(1);
+
+/// Frames decoded per connection per tick — bounds how long one
+/// firehose peer can monopolize the poll thread.
+const FRAMES_PER_TICK: usize = 64;
+
+/// Out-of-order sequence numbers remembered per source before the
+/// dedup window compacts by abandoning its oldest gap.
+const DEDUP_WINDOW: usize = 1_024;
+
+/// Exact per-source sequence dedup that tolerates *permanent* gaps.
+///
+/// A forwarder under overload sheds batches, so the server must never
+/// wait for a sequence number that will never arrive: freshness is
+/// "not at or below the contiguous floor, and not among the
+/// out-of-order seqs already seen". The out-of-order set is bounded;
+/// past [`DEDUP_WINDOW`] entries the floor advances over the oldest
+/// gap (an abandoned seq that does arrive later is then reported as a
+/// duplicate — the conservative side: accounting stays exact, data is
+/// never double-applied).
+#[derive(Debug, Default)]
+pub(crate) struct SourceDedup {
+    /// Every seq `<= contiguous` has been seen (or abandoned).
+    contiguous: u64,
+    /// Seen seqs above the floor (out-of-order arrivals).
+    above: BTreeSet<u64>,
+}
+
+impl SourceDedup {
+    /// Records one arrival; `true` if this `(source, seq)` is fresh.
+    pub(crate) fn observe(&mut self, seq: u64) -> bool {
+        if seq <= self.contiguous || self.above.contains(&seq) {
+            return false;
+        }
+        self.above.insert(seq);
+        while self.above.remove(&(self.contiguous + 1)) {
+            self.contiguous += 1;
+        }
+        while self.above.len() > DEDUP_WINDOW {
+            // Abandon the oldest gap: jump the floor to the smallest
+            // out-of-order seq and re-compact.
+            if let Some(&lo) = self.above.iter().next() {
+                self.contiguous = lo;
+                self.above.remove(&lo);
+                while self.above.remove(&(self.contiguous + 1)) {
+                    self.contiguous += 1;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Tuning knobs of a [`DigestServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct DigestServerConfig {
+    /// Drop a connection stuck mid-frame (or mid-ack-write) with no
+    /// progress for this long — the slow-loris guard. Idle connections
+    /// at a frame boundary are unaffected.
+    pub read_deadline: Duration,
+    /// Connections beyond this are accepted and immediately dropped
+    /// (counted), bounding poll-loop state under a connection flood.
+    pub max_connections: usize,
+    /// Distinct edge sources tracked for dedup; batches from sources
+    /// beyond this are rejected (never acked), bounding dedup memory.
+    pub max_sources: usize,
+}
+
+impl Default for DigestServerConfig {
+    fn default() -> Self {
+        Self {
+            read_deadline: Duration::from_secs(2),
+            max_connections: 1_024,
+            max_sources: 4_096,
+        }
+    }
+}
+
+/// Live counters of one [`DigestServer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DigestServerStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections currently served.
+    pub active: usize,
+    /// Fresh batches fed to the sink.
+    pub batches_applied: u64,
+    /// Retransmitted batches recognized and dropped by dedup.
+    pub batches_duplicate: u64,
+    /// Digests inside applied batches.
+    pub digests: u64,
+    /// Acks written back to forwarders.
+    pub acks_sent: u64,
+    /// Connections dropped because their byte stream stopped being
+    /// PINT frames (bad magic, future version, hostile length — the
+    /// stream cannot resynchronize).
+    pub framing_errors: u64,
+    /// Well-framed `DigestBatch` frames whose payload failed to
+    /// decode; the frame boundary holds, so the connection survives.
+    pub payload_errors: u64,
+    /// Connections dropped by the slow-loris deadline.
+    pub stalled_dropped: u64,
+    /// Well-formed frames of types this server does not ingest.
+    pub unsupported_frames: u64,
+    /// Connections refused over [`DigestServerConfig::max_connections`].
+    pub connections_rejected: u64,
+    /// Batches refused over [`DigestServerConfig::max_sources`].
+    pub sources_rejected: u64,
+}
+
+/// Where decoded batches go: `(source id, reports)`.
+pub type BatchSink = Box<dyn FnMut(u64, Vec<DigestReport>) + Send>;
+
+/// A fault-tolerant digest-ingest endpoint (see the module docs).
+///
+/// ```no_run
+/// use pint_fleet::{DigestForwarder, DigestServer, DigestServerConfig, ForwarderConfig};
+/// use pint_core::{Digest, DigestReport};
+/// use std::sync::{Arc, Mutex};
+///
+/// // Regional side: collect every batch a forwarder delivers.
+/// let seen = Arc::new(Mutex::new(Vec::new()));
+/// let sink_seen = Arc::clone(&seen);
+/// let server = DigestServer::bind(
+///     "127.0.0.1:0",
+///     DigestServerConfig::default(),
+///     Box::new(move |source, reports| {
+///         sink_seen.lock().unwrap().push((source, reports));
+///     }),
+/// )?;
+///
+/// // Edge side: a forwarder ships digests upstream with acks/retries.
+/// let fwd = DigestForwarder::connect(
+///     server.local_addr(),
+///     ForwarderConfig {
+///         source: 7,
+///         ..ForwarderConfig::default()
+///     },
+/// );
+/// fwd.push(DigestReport::new(1, 100, Digest::new(1), 5, 0));
+/// fwd.flush();
+/// let stats = fwd.shutdown(std::time::Duration::from_secs(5));
+/// assert_eq!(stats.delivered, 1);
+/// assert_eq!(server.stats().digests, 1);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct DigestServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+    stats: Arc<Mutex<DigestServerStats>>,
+}
+
+impl DigestServer {
+    /// Binds and starts the poll thread. Use `"127.0.0.1:0"` to let
+    /// the OS pick a port (read it back via
+    /// [`local_addr`](Self::local_addr)).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: DigestServerConfig,
+        sink: BatchSink,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(Mutex::new(DigestServerStats::default()));
+        let loop_stop = Arc::clone(&stop);
+        let loop_stats = Arc::clone(&stats);
+        let thread = std::thread::Builder::new()
+            .name("pint-digest-ingest".into())
+            .spawn(move || poll_loop(listener, config, sink, loop_stats, loop_stop))
+            .expect("spawn digest ingest thread");
+        Ok(Self {
+            addr,
+            stop,
+            thread: Some(thread),
+            stats,
+        })
+    }
+
+    /// Binds with the batch sink feeding a collector producer: each
+    /// applied batch is pushed through `handle`'s per-shard rings and
+    /// flushed, so queries observe it immediately. Undeliverable
+    /// digests (collector shut down mid-batch) are counted by the
+    /// collector's dropped-digest counter, never lost silently.
+    pub fn bind_collector(
+        addr: impl ToSocketAddrs,
+        config: DigestServerConfig,
+        mut handle: CollectorHandle,
+    ) -> std::io::Result<Self> {
+        Self::bind(
+            addr,
+            config,
+            Box::new(move |_source, reports| {
+                let _ = handle.push_batch(reports);
+                let _ = handle.flush();
+            }),
+        )
+    }
+
+    /// The bound address forwarders connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A copy of the live counters.
+    pub fn stats(&self) -> DigestServerStats {
+        *self.stats.lock().expect("digest server stats poisoned")
+    }
+
+    /// Stops the poll thread (open connections are dropped) and
+    /// returns the final counters.
+    pub fn shutdown(mut self) -> DigestServerStats {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for DigestServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One connection's poll-loop state machine.
+struct Conn {
+    reader: FrameReader<TcpStream>,
+    writer: TcpStream,
+    /// Pending ack bytes not yet accepted by the socket (partial
+    /// writes to a congested or hostile peer resume here).
+    write_buf: Vec<u8>,
+    /// Last instant this connection moved: bytes read, a frame
+    /// decoded, or ack bytes flushed.
+    last_progress: Instant,
+}
+
+/// What one connection tick concluded.
+enum TickOutcome {
+    Keep { progressed: bool },
+    Drop,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: FrameReader::new(stream),
+            writer,
+            write_buf: Vec::new(),
+            last_progress: Instant::now(),
+        })
+    }
+
+    /// Serves one tick: decode up to [`FRAMES_PER_TICK`] frames, route
+    /// them, flush pending acks, and police the progress deadline.
+    fn tick(
+        &mut self,
+        config: &DigestServerConfig,
+        sink: &mut BatchSink,
+        dedup: &mut BTreeMap<u64, SourceDedup>,
+        stats: &mut DigestServerStats,
+    ) -> TickOutcome {
+        let mut progressed = false;
+        let buffered_before = self.reader.buffered();
+        let mut closed = false;
+        for _ in 0..FRAMES_PER_TICK {
+            match self.reader.poll_frame() {
+                Ok(FramePoll::Frame(ty, payload)) => {
+                    progressed = true;
+                    self.route(ty, &payload, config, sink, dedup, stats);
+                }
+                Ok(FramePoll::Pending) => break,
+                Ok(FramePoll::Closed) => {
+                    closed = true;
+                    break;
+                }
+                Err(pint_wire::ReadFrameError::Wire(_)) => {
+                    // Framing cannot resynchronize: count and drop.
+                    stats.framing_errors += 1;
+                    return TickOutcome::Drop;
+                }
+                Err(pint_wire::ReadFrameError::Io(_)) => {
+                    // Reset or mid-frame EOF; also a framing loss from
+                    // this server's perspective when bytes were
+                    // pending, but counted as a plain disconnect.
+                    return TickOutcome::Drop;
+                }
+            }
+        }
+        if self.reader.buffered() != buffered_before {
+            progressed = true;
+        }
+
+        // Flush acks, tolerating partial writes.
+        while !self.write_buf.is_empty() {
+            match self.writer.write(&self.write_buf) {
+                Ok(0) => return TickOutcome::Drop,
+                Ok(n) => {
+                    self.write_buf.drain(..n);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return TickOutcome::Drop,
+            }
+        }
+
+        if closed && self.write_buf.is_empty() {
+            return TickOutcome::Drop; // clean goodbye, acks delivered
+        }
+        if progressed {
+            self.last_progress = Instant::now();
+        } else {
+            // Mid-frame (or mid-ack) with no movement: slow-loris.
+            let mid_work = self.reader.buffered() > 0 || !self.write_buf.is_empty();
+            if mid_work && self.last_progress.elapsed() > config.read_deadline {
+                stats.stalled_dropped += 1;
+                return TickOutcome::Drop;
+            }
+        }
+        TickOutcome::Keep { progressed }
+    }
+
+    /// Dispatches one well-framed frame.
+    fn route(
+        &mut self,
+        ty: FrameType,
+        payload: &[u8],
+        config: &DigestServerConfig,
+        sink: &mut BatchSink,
+        dedup: &mut BTreeMap<u64, SourceDedup>,
+        stats: &mut DigestServerStats,
+    ) {
+        match ty {
+            FrameType::DigestBatch => match DigestBatch::decode(payload) {
+                Ok(batch) => {
+                    if !dedup.contains_key(&batch.source) && dedup.len() >= config.max_sources {
+                        stats.sources_rejected += 1;
+                        return; // never acked; the sender will shed it
+                    }
+                    let fresh = dedup.entry(batch.source).or_default().observe(batch.seq);
+                    let status = if fresh {
+                        stats.batches_applied += 1;
+                        stats.digests += batch.reports.len() as u64;
+                        sink(batch.source, batch.reports);
+                        AckStatus::Applied
+                    } else {
+                        stats.batches_duplicate += 1;
+                        AckStatus::Duplicate
+                    };
+                    let ack = BatchAck {
+                        seq: batch.seq,
+                        status,
+                    };
+                    self.write_buf.extend_from_slice(&ack.to_frame_bytes());
+                    stats.acks_sent += 1;
+                }
+                Err(_) => {
+                    // The envelope was valid, so the stream is still in
+                    // sync — count the bad payload, keep the connection.
+                    stats.payload_errors += 1;
+                }
+            },
+            // Edge processes may announce/leave; nothing to track here.
+            FrameType::Hello | FrameType::Bye => {}
+            _ => stats.unsupported_frames += 1,
+        }
+    }
+}
+
+fn poll_loop(
+    listener: TcpListener,
+    config: DigestServerConfig,
+    mut sink: BatchSink,
+    shared_stats: Arc<Mutex<DigestServerStats>>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut dedup: BTreeMap<u64, SourceDedup> = BTreeMap::new();
+    let mut stats = DigestServerStats::default();
+    while !stop.load(Ordering::Acquire) {
+        let mut progressed = false;
+        // Accept everything pending this tick.
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    progressed = true;
+                    if conns.len() >= config.max_connections {
+                        stats.connections_rejected += 1;
+                        continue; // stream drops here
+                    }
+                    match Conn::new(stream) {
+                        Ok(conn) => {
+                            stats.accepted += 1;
+                            conns.push(conn);
+                        }
+                        Err(_) => stats.connections_rejected += 1,
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        // One bounded tick per connection; a dropped connection never
+        // takes the loop down with it.
+        conns.retain_mut(
+            |conn| match conn.tick(&config, &mut sink, &mut dedup, &mut stats) {
+                TickOutcome::Keep { progressed: p } => {
+                    progressed |= p;
+                    true
+                }
+                TickOutcome::Drop => {
+                    progressed = true;
+                    false
+                }
+            },
+        );
+        stats.active = conns.len();
+        *shared_stats.lock().expect("digest server stats poisoned") = stats;
+        if !progressed {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+    stats.active = 0;
+    *shared_stats.lock().expect("digest server stats poisoned") = stats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_is_exact_in_order() {
+        let mut d = SourceDedup::default();
+        for seq in 1..=100u64 {
+            assert!(d.observe(seq), "first sight of {seq}");
+            assert!(!d.observe(seq), "immediate dup of {seq}");
+        }
+        assert!(d.above.is_empty(), "in-order stream fully compacts");
+        assert_eq!(d.contiguous, 100);
+    }
+
+    #[test]
+    fn dedup_tolerates_gaps_and_reorders() {
+        let mut d = SourceDedup::default();
+        assert!(d.observe(2), "gap: 1 was shed");
+        assert!(d.observe(4));
+        assert!(!d.observe(2), "reordered dup");
+        assert!(d.observe(3), "late arrival in the gap is fresh");
+        assert!(!d.observe(4));
+        assert!(d.observe(1), "the shed seq arriving after all is fresh");
+        assert_eq!(d.contiguous, 4, "gap closed: everything compacts");
+    }
+
+    #[test]
+    fn dedup_window_compacts_by_abandoning_oldest_gap() {
+        let mut d = SourceDedup::default();
+        // Seq 1 never arrives; fill far past the window.
+        for seq in 2..(DEDUP_WINDOW as u64 + 100) {
+            assert!(d.observe(seq));
+        }
+        assert!(
+            d.above.len() <= DEDUP_WINDOW,
+            "window bounded: {} entries",
+            d.above.len()
+        );
+        // The abandoned seq is now conservatively a duplicate.
+        assert!(!d.observe(1), "abandoned gap reports duplicate");
+    }
+
+    #[test]
+    fn server_survives_garbage_slow_and_half_open_peers() {
+        let applied = Arc::new(Mutex::new(0u64));
+        let sink_applied = Arc::clone(&applied);
+        let server = DigestServer::bind(
+            "127.0.0.1:0",
+            DigestServerConfig {
+                read_deadline: Duration::from_millis(100),
+                ..DigestServerConfig::default()
+            },
+            Box::new(move |_src, reports| {
+                *sink_applied.lock().unwrap() += reports.len() as u64;
+            }),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        // A garbage peer: not PINT frames at all.
+        let mut garbage = TcpStream::connect(addr).unwrap();
+        garbage.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        // A slow-loris peer: a valid prefix, then silence.
+        let mut loris = TcpStream::connect(addr).unwrap();
+        loris.write_all(b"PINT\x01").unwrap();
+        // A half-open peer: connects and says nothing (legal; parked).
+        let _half_open = TcpStream::connect(addr).unwrap();
+
+        // A well-behaved batch still lands while all three misbehave.
+        let mut good = TcpStream::connect(addr).unwrap();
+        let batch = DigestBatch {
+            source: 1,
+            seq: 1,
+            reports: vec![pint_core::DigestReport::new(
+                9,
+                100,
+                pint_core::Digest::new(1),
+                3,
+                0,
+            )],
+        };
+        good.write_all(&batch.to_frame_bytes()).unwrap();
+        good.flush().unwrap();
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while *applied.lock().unwrap() < 1 {
+            assert!(Instant::now() < deadline, "batch never applied");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // The ack comes back to the good client.
+        good.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut reader = FrameReader::new(good);
+        let (ty, payload) = reader.read_frame().unwrap().unwrap();
+        assert_eq!(ty, FrameType::BatchAck);
+        let ack = BatchAck::decode(&payload).unwrap();
+        assert_eq!(ack.seq, 1);
+        assert_eq!(ack.status, AckStatus::Applied);
+
+        // The garbage and slow-loris peers get cleaned up; the server
+        // keeps running.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let s = server.stats();
+            if s.framing_errors >= 1 && s.stalled_dropped >= 1 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "hostile peers never reaped: {s:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let s = server.shutdown();
+        assert_eq!(s.batches_applied, 1);
+        assert_eq!(s.digests, 1);
+        assert_eq!(s.acks_sent, 1);
+    }
+}

@@ -43,18 +43,32 @@
 //!   edges (hysteresis, like the collector's per-flow rules). Scopes
 //!   are query selectors, so "alarm on every flow through switch S"
 //!   is `rule.scoped_by(Selector::PathThroughSwitch(s))`.
+//! * **Edge ingestion** — raw digests ship upstream too:
+//!   [`DigestForwarder`] tails an edge process's digest stream and
+//!   sends sequence-numbered `DigestBatch` frames with bounded
+//!   buffering, reconnect + exponential backoff, and shed-oldest
+//!   overload behavior; [`DigestServer`] ingests those streams from
+//!   many forwarders on one non-blocking poll thread, deduplicates per
+//!   `(source, seq)`, acknowledges every batch (`BatchAck`), and feeds
+//!   a local collector's producer rings. Delivery is at-least-once
+//!   with exact accounting: after shutdown,
+//!   `delivered + deduped + shed == sent` holds per forwarder.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod aggregator;
 mod error;
+mod forwarder;
+mod ingest;
 mod rules;
 mod transport;
 mod view;
 
 pub use aggregator::{FleetAggregator, FleetConfig, FleetStats};
 pub use error::FleetError;
+pub use forwarder::{DigestForwarder, ForwarderConfig, ForwarderStats};
+pub use ingest::{BatchSink, DigestServer, DigestServerConfig, DigestServerStats};
 pub use rules::{FleetCondition, FleetEdge, FleetEvent, FleetRule};
 pub use transport::{FleetClient, FleetServer, InMemorySender, InMemoryTransport};
 pub use view::FleetView;

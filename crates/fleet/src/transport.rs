@@ -218,6 +218,24 @@ fn connection_loop(stream: TcpStream, agg: Arc<Mutex<FleetAggregator>>, stop: Ar
                     return; // reply path gone; drop the connection
                 }
             }
+            Ok(Some((FrameType::DigestBatch, payload))) => {
+                // Digest batches are acknowledged so the sending
+                // forwarder can retire them (at-least-once delivery).
+                let ack = agg
+                    .lock()
+                    .expect("fleet aggregator poisoned")
+                    .ingest_digest_batch(&payload);
+                if let Ok(ack) = ack {
+                    let delivered = writer
+                        .as_mut()
+                        .map(|w| w.write_all(&ack.to_frame_bytes()).and_then(|()| w.flush()));
+                    if !matches!(delivered, Some(Ok(()))) {
+                        return; // ack path gone; force a reconnect
+                    }
+                }
+                // A decode error was counted; framing is intact, keep
+                // reading.
+            }
             Ok(Some((ty, payload))) => {
                 let mut agg = agg.lock().expect("fleet aggregator poisoned");
                 // Decode errors inside a well-delimited frame are

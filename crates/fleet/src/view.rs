@@ -142,6 +142,13 @@ impl FleetView {
                 })
                 .map(|(f, s)| (*f, s.clone()))
                 .collect(),
+            Selector::OfKind(kind) => self
+                .merged
+                .flows()
+                .filter(|(_, s)| live(s))
+                .filter(|(_, s)| s.kind == *kind)
+                .map(|(f, s)| (*f, s.clone()))
+                .collect(),
             Selector::All => self
                 .merged
                 .flows()

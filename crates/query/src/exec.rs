@@ -163,6 +163,10 @@ pub fn refine(
             });
             rows
         }
+        Selector::OfKind(kind) => {
+            rows.retain(|(_, s)| s.kind == *kind);
+            rows
+        }
     };
     if let Some(cap) = plan.options.max_flows {
         rows.truncate(cap);
@@ -356,6 +360,27 @@ mod tests {
         let picked = refine(rows, &plan);
         assert_eq!(picked.len(), 1);
         assert_eq!(picked[0].0, 1);
+    }
+
+    #[test]
+    fn of_kind_keeps_only_matching_recorders() {
+        let rows = vec![
+            row(1, 10, 0),                    // LatencyQuantiles
+            path_row(2, Some(vec![4, 5, 7])), // PathTracing
+            row(3, 30, 0),                    // LatencyQuantiles
+        ];
+        let plan = TelemetryQuery::new()
+            .of_kind(RecorderKind::LatencyQuantiles)
+            .plan()
+            .unwrap();
+        let picked = refine(rows.clone(), &plan);
+        let ids: Vec<FlowId> = picked.iter().map(|&(f, _)| f).collect();
+        assert_eq!(ids, vec![1, 3]);
+        let plan = TelemetryQuery::new()
+            .of_kind(RecorderKind::FrequentValues)
+            .plan()
+            .unwrap();
+        assert!(refine(rows, &plan).is_empty(), "no such recorder present");
     }
 
     #[test]

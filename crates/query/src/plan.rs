@@ -2,6 +2,7 @@
 //! [`TelemetryQuery`] builder that assembles them.
 
 use crate::FlowId;
+use pint_core::RecorderKind;
 use pint_wire::WireError;
 use std::fmt;
 
@@ -41,6 +42,10 @@ pub enum Selector {
     /// "everything through switch S", served from path-tracing state
     /// without an operator-maintained flow list.
     PathThroughSwitch(u64),
+    /// Flows recorded by the given recorder kind — "latency-only" or
+    /// "path-tracing-only" scopes for standing dashboards on mixed
+    /// deployments, ascending by flow ID.
+    OfKind(RecorderKind),
 }
 
 /// What a query returns for the selected flows.
@@ -229,6 +234,24 @@ impl TelemetryQuery {
     /// ```
     pub fn through_switch(mut self, switch: u64) -> Self {
         self.selector = Some(Selector::PathThroughSwitch(switch));
+        self
+    }
+
+    /// Selects flows recorded by `kind` — scope a standing dashboard to
+    /// e.g. latency-only flows on a deployment that mixes recorder
+    /// kinds behind one collector.
+    ///
+    /// ```
+    /// use pint_core::RecorderKind;
+    /// use pint_query::{Selector, TelemetryQuery};
+    /// let plan = TelemetryQuery::new()
+    ///     .of_kind(RecorderKind::LatencyQuantiles)
+    ///     .plan()
+    ///     .unwrap();
+    /// assert_eq!(plan.selector, Selector::OfKind(RecorderKind::LatencyQuantiles));
+    /// ```
+    pub fn of_kind(mut self, kind: RecorderKind) -> Self {
+        self.selector = Some(Selector::OfKind(kind));
         self
     }
 

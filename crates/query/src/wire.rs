@@ -96,6 +96,10 @@ impl WireEncode for Selector {
                 w.put_u8(4);
                 w.put_varint(*s);
             }
+            Selector::OfKind(kind) => {
+                w.put_u8(5);
+                kind.encode_into(out);
+            }
         }
     }
 }
@@ -125,6 +129,7 @@ impl WireDecode for Selector {
                 Ok(Selector::TopK(k))
             }
             4 => Ok(Selector::PathThroughSwitch(r.get_varint()?)),
+            5 => Ok(Selector::OfKind(RecorderKind::decode_from(r)?)),
             _ => Err(WireError::Invalid("unknown selector tag")),
         }
     }
@@ -430,6 +435,11 @@ mod tests {
                 .path_completion()
                 .since(0)
                 .max_flows(0)
+                .plan()
+                .unwrap(),
+            TelemetryQuery::new()
+                .of_kind(RecorderKind::PathTracing)
+                .stats()
                 .plan()
                 .unwrap(),
         ]

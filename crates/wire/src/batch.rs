@@ -1,0 +1,236 @@
+//! The edge-ingest frames: sequence-numbered digest batches and their
+//! acknowledgments.
+//!
+//! An edge process batches raw [`DigestReport`]s and ships them
+//! upstream as [`DigestBatch`] frames tagged with a stable source id
+//! and a per-source sequence number. The receiver replies with one
+//! [`BatchAck`] per batch, echoing the sequence number and reporting
+//! whether the batch was applied or recognized as a retransmitted
+//! duplicate. Together they give the path *at-least-once* delivery:
+//! the sender retransmits anything unacknowledged, the receiver
+//! deduplicates by `(source, seq)`, and every batch reaches exactly
+//! one terminal state — applied, shed by the sender, or deduplicated.
+
+use crate::error::WireError;
+use crate::frame::{frame_into, FrameType};
+use crate::rw::{WireReader, WireWriter};
+use crate::{WireDecode, WireEncode};
+use pint_core::DigestReport;
+
+/// Upper bound on reports in one batch. A batch is one ingest unit,
+/// not a bulk transfer: the bound keeps a hostile count from driving
+/// allocation and keeps retransmissions cheap.
+pub const MAX_BATCH_REPORTS: usize = 65_536;
+
+/// A sequence-numbered batch of raw digest reports from one edge
+/// source (the payload of [`FrameType::DigestBatch`]).
+///
+/// Wire layout: source id (varint), sequence number (varint), report
+/// count (varint), then the reports. Sequence numbers start at 1 and
+/// are per-source monotonic; receivers deduplicate on `(source, seq)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestBatch {
+    /// Stable identifier of the producing edge process.
+    pub source: u64,
+    /// Per-source sequence number (first batch is 1).
+    pub seq: u64,
+    /// The digests, in the order the edge recorded them.
+    pub reports: Vec<DigestReport>,
+}
+
+impl DigestBatch {
+    /// Wraps this batch in a complete [`FrameType::DigestBatch`] frame.
+    pub fn to_frame_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        frame_into(FrameType::DigestBatch, self, &mut out);
+        out
+    }
+}
+
+impl WireEncode for DigestBatch {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = WireWriter::new(out);
+        w.put_varint(self.source);
+        w.put_varint(self.seq);
+        w.put_varint(self.reports.len() as u64);
+        for report in &self.reports {
+            report.encode_into(out);
+        }
+    }
+}
+
+impl WireDecode for DigestBatch {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let source = r.get_varint()?;
+        let seq = r.get_varint()?;
+        // A minimal report is 5 bytes (four 1-byte varints + a
+        // zero-lane digest); validate the count against the remaining
+        // input before any allocation.
+        let count = r.get_count(5)?;
+        if count > MAX_BATCH_REPORTS {
+            return Err(WireError::Invalid("too many reports in one batch"));
+        }
+        let mut reports = Vec::with_capacity(count);
+        for _ in 0..count {
+            reports.push(DigestReport::decode_from(r)?);
+        }
+        Ok(DigestBatch {
+            source,
+            seq,
+            reports,
+        })
+    }
+}
+
+/// What a receiver did with an acknowledged batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckStatus {
+    /// First delivery: the batch was fed downstream.
+    Applied,
+    /// A retransmission of a batch already applied (or already
+    /// abandoned): dropped by the receiver's sequence dedup.
+    Duplicate,
+}
+
+/// The payload of [`FrameType::BatchAck`]: the echoed sequence number
+/// and the receiver's verdict.
+///
+/// Acks travel on the same connection as the batches; source identity
+/// is implied by the connection, so only the sequence number is echoed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchAck {
+    /// The acknowledged batch's sequence number.
+    pub seq: u64,
+    /// Applied or duplicate.
+    pub status: AckStatus,
+}
+
+impl BatchAck {
+    /// Wraps this ack in a complete [`FrameType::BatchAck`] frame.
+    pub fn to_frame_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        frame_into(FrameType::BatchAck, self, &mut out);
+        out
+    }
+}
+
+impl WireEncode for BatchAck {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = WireWriter::new(out);
+        w.put_varint(self.seq);
+        w.put_u8(match self.status {
+            AckStatus::Applied => 0,
+            AckStatus::Duplicate => 1,
+        });
+    }
+}
+
+impl WireDecode for BatchAck {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let seq = r.get_varint()?;
+        let status = match r.get_u8()? {
+            0 => AckStatus::Applied,
+            1 => AckStatus::Duplicate,
+            _ => return Err(WireError::Invalid("unknown ack status")),
+        };
+        Ok(BatchAck { seq, status })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_frame;
+    use pint_core::Digest;
+
+    fn sample_batch() -> DigestBatch {
+        let reports = (0..5u64)
+            .map(|i| {
+                let mut d = Digest::new(2);
+                d.set(0, i.wrapping_mul(0x9E37));
+                d.set(1, !i);
+                DigestReport::new(i % 3, 1_000 + i, d, 5, 40 + i)
+            })
+            .collect();
+        DigestBatch {
+            source: 17,
+            seq: 3,
+            reports,
+        }
+    }
+
+    #[test]
+    fn batch_round_trips_through_its_frame() {
+        let batch = sample_batch();
+        let bytes = batch.to_frame_bytes();
+        let (ty, payload) = parse_frame(&bytes).unwrap();
+        assert_eq!(ty, FrameType::DigestBatch);
+        assert_eq!(DigestBatch::decode(payload).unwrap(), batch);
+    }
+
+    #[test]
+    fn ack_round_trips_through_its_frame() {
+        for status in [AckStatus::Applied, AckStatus::Duplicate] {
+            let ack = BatchAck {
+                seq: u64::MAX,
+                status,
+            };
+            let bytes = ack.to_frame_bytes();
+            let (ty, payload) = parse_frame(&bytes).unwrap();
+            assert_eq!(ty, FrameType::BatchAck);
+            assert_eq!(BatchAck::decode(payload).unwrap(), ack);
+        }
+    }
+
+    #[test]
+    fn hostile_report_counts_are_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        let mut w = WireWriter::new(&mut bytes);
+        w.put_varint(1); // source
+        w.put_varint(1); // seq
+        w.put_varint(u64::MAX); // count with no backing bytes
+        assert!(matches!(
+            DigestBatch::decode(&bytes),
+            Err(WireError::CountTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_but_backed_report_counts_are_rejected() {
+        // Physically back the count with 5 bytes per claimed report so
+        // the count guard passes; the explicit batch bound must still
+        // reject it.
+        let claimed = (MAX_BATCH_REPORTS + 1) as u64;
+        let mut bytes = Vec::new();
+        let mut w = WireWriter::new(&mut bytes);
+        w.put_varint(1);
+        w.put_varint(1);
+        w.put_varint(claimed);
+        bytes.resize(bytes.len() + (claimed as usize) * 5, 0);
+        assert!(matches!(
+            DigestBatch::decode(&bytes),
+            Err(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_and_corruption_never_panic() {
+        let bytes = sample_batch().encode();
+        for cut in 0..bytes.len() {
+            assert!(DigestBatch::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x5A;
+            let _ = DigestBatch::decode(&bad); // Err or Ok, never a panic
+        }
+        let ack = BatchAck {
+            seq: 300,
+            status: AckStatus::Applied,
+        }
+        .encode();
+        for cut in 0..ack.len() {
+            assert!(BatchAck::decode(&ack[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

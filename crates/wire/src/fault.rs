@@ -1,0 +1,267 @@
+//! Deterministic fault injection for frame transports.
+//!
+//! [`FaultInjector`] wraps the *sending* side of a frame stream and
+//! misbehaves on purpose: it drops, duplicates, reorders, corrupts,
+//! truncates, and stalls frames, driven by a seeded generator so a
+//! failing soak run replays exactly. Receivers are expected to survive
+//! all of it — corrupt or truncated frames desynchronize the stream and
+//! force a reconnect, stalls look like slow-loris peers, drops and
+//! duplicates exercise the at-least-once retransmission and dedup
+//! machinery ([`DigestBatch`](crate::DigestBatch) /
+//! [`BatchAck`](crate::BatchAck)).
+
+use pint_core::hash::mix64;
+use std::io::Write;
+use std::time::Duration;
+
+/// Fault rates, each expressed as "one in N transmitted frames"
+/// (`0` disables that fault). Rates are rolled independently per frame
+/// from the seeded stream, so one frame can suffer several faults.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Seed for the deterministic fault stream.
+    pub seed: u64,
+    /// Drop the frame entirely (never written).
+    pub drop_1_in: u32,
+    /// Write the frame twice back to back.
+    pub duplicate_1_in: u32,
+    /// Hold the frame back and emit it after the next one.
+    pub reorder_1_in: u32,
+    /// Flip one byte somewhere in the frame (header or payload).
+    pub corrupt_1_in: u32,
+    /// Write only a prefix of the frame, desynchronizing the stream.
+    pub truncate_1_in: u32,
+    /// Pause mid-frame for [`stall`](Self::stall) — a slow-loris write.
+    pub stall_1_in: u32,
+    /// How long a stalled write pauses between the frame's two halves.
+    pub stall: Duration,
+}
+
+impl Default for FaultConfig {
+    /// No faults; seed 0; 5 ms stalls when enabled.
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            drop_1_in: 0,
+            duplicate_1_in: 0,
+            reorder_1_in: 0,
+            corrupt_1_in: 0,
+            truncate_1_in: 0,
+            stall_1_in: 0,
+            stall: Duration::from_millis(5),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A hostile-but-survivable mix used by the soak tests: every fault
+    /// enabled at moderate rates.
+    pub fn hostile(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_1_in: 11,
+            duplicate_1_in: 13,
+            reorder_1_in: 17,
+            corrupt_1_in: 19,
+            truncate_1_in: 23,
+            stall_1_in: 29,
+            stall: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Counters of the faults actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames offered to [`FaultInjector::transmit`].
+    pub frames: u64,
+    /// Frames dropped (never written).
+    pub dropped: u64,
+    /// Frames written twice.
+    pub duplicated: u64,
+    /// Frames held back and emitted after a successor.
+    pub reordered: u64,
+    /// Frames with one byte flipped.
+    pub corrupted: u64,
+    /// Frames cut short mid-write.
+    pub truncated: u64,
+    /// Frames written with a mid-frame pause.
+    pub stalled: u64,
+}
+
+/// A deterministic, seeded misbehaving transport wrapper (see the
+/// module docs). Apply it at the sender: route every outgoing frame
+/// through [`transmit`](Self::transmit) instead of writing directly.
+pub struct FaultInjector {
+    config: FaultConfig,
+    state: u64,
+    /// A frame held back by the reorder fault, emitted after the next.
+    held: Option<Vec<u8>>,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// An injector with the given fault mix.
+    pub fn new(config: FaultConfig) -> Self {
+        Self {
+            config,
+            state: config.seed,
+            held: None,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Counters of the faults injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The next value of the seeded stream (splitmix64-style).
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.state)
+    }
+
+    /// Rolls one fault's "1 in N" dice (`0` never fires).
+    fn roll(&mut self, one_in: u32) -> bool {
+        one_in != 0 && self.next().is_multiple_of(u64::from(one_in))
+    }
+
+    /// Writes `frame` through the fault mix. An `Ok(())` means the
+    /// transport accepted whatever the injector chose to send — which
+    /// may be nothing (drop), a mangled copy (corrupt/truncate), or
+    /// more than one frame (duplicate, a released reorder hold).
+    /// Transport errors pass through untouched.
+    pub fn transmit(&mut self, frame: &[u8], w: &mut impl Write) -> std::io::Result<()> {
+        self.stats.frames += 1;
+        if self.roll(self.config.drop_1_in) {
+            self.stats.dropped += 1;
+            return self.release_held(w);
+        }
+        if self.roll(self.config.reorder_1_in) && self.held.is_none() {
+            self.stats.reordered += 1;
+            self.held = Some(frame.to_vec());
+            return Ok(());
+        }
+        self.write_mangled(frame, w)?;
+        if self.roll(self.config.duplicate_1_in) {
+            self.stats.duplicated += 1;
+            w.write_all(frame)?;
+        }
+        self.release_held(w)
+    }
+
+    /// Emits a reorder-held frame, if any (also called by transports on
+    /// teardown so a held frame is not silently lost across reconnects).
+    pub fn release_held(&mut self, w: &mut impl Write) -> std::io::Result<()> {
+        if let Some(held) = self.held.take() {
+            w.write_all(&held)?;
+        }
+        Ok(())
+    }
+
+    /// Writes one frame, possibly corrupted, truncated, or stalled.
+    fn write_mangled(&mut self, frame: &[u8], w: &mut impl Write) -> std::io::Result<()> {
+        let mut owned;
+        let mut bytes: &[u8] = frame;
+        if self.roll(self.config.corrupt_1_in) && !frame.is_empty() {
+            self.stats.corrupted += 1;
+            owned = frame.to_vec();
+            let idx = (self.next() as usize) % owned.len();
+            let flip = (self.next() as u8) | 1; // never a zero flip
+            owned[idx] ^= flip;
+            bytes = &owned;
+        }
+        if self.roll(self.config.truncate_1_in) && bytes.len() > 1 {
+            self.stats.truncated += 1;
+            let keep = 1 + (self.next() as usize) % (bytes.len() - 1);
+            return w.write_all(&bytes[..keep]);
+        }
+        if self.roll(self.config.stall_1_in) && bytes.len() > 1 {
+            self.stats.stalled += 1;
+            let split = bytes.len() / 2;
+            w.write_all(&bytes[..split])?;
+            w.flush()?;
+            std::thread::sleep(self.config.stall);
+            return w.write_all(&bytes[split..]);
+        }
+        w.write_all(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct VarintPayload(u64);
+    impl crate::WireEncode for VarintPayload {
+        fn encode_into(&self, out: &mut Vec<u8>) {
+            crate::WireWriter::new(out).put_varint(self.0);
+        }
+    }
+
+    fn frame(tag: u8) -> Vec<u8> {
+        let mut out = Vec::new();
+        crate::frame_into(
+            crate::FrameType::Hello,
+            &VarintPayload(u64::from(tag)),
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let run = |seed: u64| {
+            let mut inj = FaultInjector::new(FaultConfig::hostile(seed));
+            let mut out = Vec::new();
+            for i in 0..200u8 {
+                inj.transmit(&frame(i), &mut out).unwrap();
+            }
+            inj.release_held(&mut out).unwrap();
+            (out, inj.stats())
+        };
+        let (a_bytes, a_stats) = run(42);
+        let (b_bytes, b_stats) = run(42);
+        assert_eq!(a_bytes, b_bytes, "byte-identical replay");
+        assert_eq!(a_stats, b_stats);
+        let (c_bytes, _) = run(43);
+        assert_ne!(a_bytes, c_bytes, "a different seed faults differently");
+    }
+
+    #[test]
+    fn no_faults_is_a_transparent_pipe() {
+        let mut inj = FaultInjector::new(FaultConfig::default());
+        let mut out = Vec::new();
+        let mut expect = Vec::new();
+        for i in 0..50u8 {
+            let f = frame(i);
+            inj.transmit(&f, &mut out).unwrap();
+            expect.extend_from_slice(&f);
+        }
+        assert_eq!(out, expect);
+        assert_eq!(inj.stats().frames, 50);
+        assert_eq!(inj.stats().dropped + inj.stats().corrupted, 0);
+    }
+
+    #[test]
+    fn hostile_mix_actually_injects_every_fault() {
+        let mut inj = FaultInjector::new(FaultConfig {
+            stall: Duration::from_micros(10),
+            ..FaultConfig::hostile(7)
+        });
+        let mut out = Vec::new();
+        for i in 0..=255u8 {
+            for _ in 0..4 {
+                inj.transmit(&frame(i), &mut out).unwrap();
+            }
+        }
+        let s = inj.stats();
+        assert!(s.dropped > 0, "{s:?}");
+        assert!(s.duplicated > 0, "{s:?}");
+        assert!(s.reordered > 0, "{s:?}");
+        assert!(s.corrupted > 0, "{s:?}");
+        assert!(s.truncated > 0, "{s:?}");
+        assert!(s.stalled > 0, "{s:?}");
+    }
+}

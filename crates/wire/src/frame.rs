@@ -51,6 +51,11 @@ pub enum FrameType {
     /// id, a status byte, then an encoded `QueryResult` or an error
     /// message.
     QueryResponse = 6,
+    /// A receiver acknowledging one [`DigestBatch`](FrameType::DigestBatch):
+    /// the echoed sequence number (varint) and a status byte (applied
+    /// or duplicate). The at-least-once half of the edge-ingest
+    /// protocol — see [`BatchAck`](crate::BatchAck).
+    BatchAck = 7,
 }
 
 impl FrameType {
@@ -62,6 +67,7 @@ impl FrameType {
             4 => Ok(FrameType::Bye),
             5 => Ok(FrameType::Query),
             6 => Ok(FrameType::QueryResponse),
+            7 => Ok(FrameType::BatchAck),
             other => Err(WireError::UnknownFrameType(other)),
         }
     }
@@ -200,8 +206,21 @@ impl<R: Read> FrameReader<R> {
         }
     }
 
+    /// Bytes buffered towards the next frame (a partial frame mid-read).
+    /// Poll loops compare this across ticks to detect slow-loris peers:
+    /// a connection stuck mid-frame with no growth is stalled, not slow.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
     /// Returns the next complete frame as `(type, payload)`, `Ok(None)`
     /// on a clean EOF at a frame boundary.
+    ///
+    /// `ErrorKind::Interrupted` reads are retried internally — a signal
+    /// mid-read must not tear down the stream. `WouldBlock`/`TimedOut`
+    /// still surface (with the partial frame kept buffered) so blocking
+    /// callers can poll a shutdown flag; non-blocking callers should use
+    /// [`poll_frame`](Self::poll_frame) instead.
     pub fn read_frame(&mut self) -> Result<Option<(FrameType, Vec<u8>)>, ReadFrameError> {
         loop {
             match peek_frame(&self.buf)? {
@@ -210,12 +229,8 @@ impl<R: Read> FrameReader<R> {
                     self.buf.drain(..consumed);
                     return Ok(Some((ty, payload)));
                 }
-                None => {
-                    let n = self
-                        .inner
-                        .read(&mut self.chunk)
-                        .map_err(ReadFrameError::Io)?;
-                    if n == 0 {
+                None => match self.inner.read(&mut self.chunk) {
+                    Ok(0) => {
                         if self.buf.is_empty() {
                             return Ok(None); // clean EOF
                         }
@@ -224,11 +239,65 @@ impl<R: Read> FrameReader<R> {
                             "stream ended mid-frame",
                         )));
                     }
-                    self.buf.extend_from_slice(&self.chunk[..n]);
-                }
+                    Ok(n) => self.buf.extend_from_slice(&self.chunk[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(ReadFrameError::Io(e)),
+                },
             }
         }
     }
+
+    /// Non-blocking [`read_frame`](Self::read_frame): one step of a
+    /// poll loop over a non-blocking stream.
+    ///
+    /// `WouldBlock`/`TimedOut` become [`FramePoll::Pending`] — no bytes
+    /// are lost; the partial frame stays buffered and the next call
+    /// resumes it. `Interrupted` is retried. A clean EOF at a frame
+    /// boundary is [`FramePoll::Closed`]; EOF mid-frame is an
+    /// `UnexpectedEof` error like the blocking path.
+    pub fn poll_frame(&mut self) -> Result<FramePoll, ReadFrameError> {
+        loop {
+            match peek_frame(&self.buf)? {
+                Some((ty, payload, consumed)) => {
+                    let payload = payload.to_vec();
+                    self.buf.drain(..consumed);
+                    return Ok(FramePoll::Frame(ty, payload));
+                }
+                None => match self.inner.read(&mut self.chunk) {
+                    Ok(0) => {
+                        if self.buf.is_empty() {
+                            return Ok(FramePoll::Closed);
+                        }
+                        return Err(ReadFrameError::Io(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "stream ended mid-frame",
+                        )));
+                    }
+                    Ok(n) => self.buf.extend_from_slice(&self.chunk[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        return Ok(FramePoll::Pending)
+                    }
+                    Err(e) => return Err(ReadFrameError::Io(e)),
+                },
+            }
+        }
+    }
+}
+
+/// One step of [`FrameReader::poll_frame`] over a non-blocking stream.
+#[derive(Debug)]
+pub enum FramePoll {
+    /// A complete frame was reassembled.
+    Frame(FrameType, Vec<u8>),
+    /// No complete frame yet; the socket has no more bytes right now.
+    /// Any partial frame stays buffered for the next poll.
+    Pending,
+    /// The peer closed the stream cleanly at a frame boundary.
+    Closed,
 }
 
 #[cfg(test)]
@@ -307,6 +376,94 @@ mod tests {
         let (ty2, _) = reader.read_frame().unwrap().unwrap();
         assert_eq!((ty1, ty2), (FrameType::Hello, FrameType::Bye));
         assert!(reader.read_frame().unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn reader_retries_interrupted_reads() {
+        // Every other read is EINTR: both frames must still arrive.
+        struct Flaky<'a> {
+            data: &'a [u8],
+            tick: bool,
+        }
+        impl Read for Flaky<'_> {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                self.tick = !self.tick;
+                if self.tick {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::Interrupted,
+                        "signal",
+                    ));
+                }
+                if self.data.is_empty() {
+                    return Ok(0);
+                }
+                out[0] = self.data[0];
+                self.data = &self.data[1..];
+                Ok(1)
+            }
+        }
+        let mut wire = Vec::new();
+        frame_into(FrameType::Hello, &VarintPayload(1), &mut wire);
+        frame_into(FrameType::Bye, &VarintPayload(2), &mut wire);
+        let mut reader = FrameReader::new(Flaky {
+            data: &wire,
+            tick: false,
+        });
+        assert_eq!(reader.read_frame().unwrap().unwrap().0, FrameType::Hello);
+        assert_eq!(reader.read_frame().unwrap().unwrap().0, FrameType::Bye);
+        assert!(reader.read_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn poll_frame_resumes_partial_frames_across_would_block() {
+        // The stream yields one byte, then WouldBlock, repeatedly — the
+        // shape a non-blocking socket gives a poll loop. The partial
+        // frame must survive every Pending and complete eventually.
+        struct Trickle<'a> {
+            data: &'a [u8],
+            ready: bool,
+        }
+        impl Read for Trickle<'_> {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                self.ready = !self.ready;
+                if !self.ready {
+                    return Err(std::io::ErrorKind::WouldBlock.into());
+                }
+                if self.data.is_empty() {
+                    return Ok(0);
+                }
+                out[0] = self.data[0];
+                self.data = &self.data[1..];
+                Ok(1)
+            }
+        }
+        let mut wire = Vec::new();
+        frame_into(FrameType::Hello, &VarintPayload(300), &mut wire);
+        let mut reader = FrameReader::new(Trickle {
+            data: &wire,
+            ready: false,
+        });
+        let mut pendings = 0;
+        loop {
+            match reader.poll_frame().unwrap() {
+                FramePoll::Frame(ty, payload) => {
+                    assert_eq!(ty, FrameType::Hello);
+                    let mut r = WireReader::new(&payload);
+                    assert_eq!(r.get_varint().unwrap(), 300);
+                    break;
+                }
+                FramePoll::Pending => pendings += 1,
+                FramePoll::Closed => panic!("closed before the frame completed"),
+            }
+        }
+        assert!(pendings > 0, "the trickle must have parked at least once");
+        loop {
+            match reader.poll_frame().unwrap() {
+                FramePoll::Closed => break,
+                FramePoll::Pending => continue,
+                FramePoll::Frame(..) => panic!("no second frame exists"),
+            }
+        }
     }
 
     #[test]

@@ -26,10 +26,18 @@
 //! |------|-----------------------------|---------|
 //! | 0x01 | [`FrameType::Hello`]        | collector id (varint) |
 //! | 0x02 | [`FrameType::Snapshot`]     | a `SnapshotFrame` (see `pint-collector`'s wire module): collector id, epoch, full `CollectorSnapshot` |
-//! | 0x03 | [`FrameType::DigestBatch`]  | count (varint), then that many [`DigestReport`](pint_core::DigestReport)s |
+//! | 0x03 | [`FrameType::DigestBatch`]  | a [`DigestBatch`]: source id (varint), sequence number (varint), count (varint), then that many [`DigestReport`](pint_core::DigestReport)s |
 //! | 0x04 | [`FrameType::Bye`]          | collector id (varint) |
 //! | 0x05 | [`FrameType::Query`]        | request id (varint), then a `QueryPlan` (see `pint-query`) |
 //! | 0x06 | [`FrameType::QueryResponse`]| request id (varint), status byte, then a `QueryResult` or an error message |
+//! | 0x07 | [`FrameType::BatchAck`]     | a [`BatchAck`]: echoed sequence number (varint), status byte (0 = applied, 1 = duplicate) |
+//!
+//! `DigestBatch`/`BatchAck` together form the edge-ingest protocol:
+//! sequence-numbered at-least-once delivery with receiver-side dedup
+//! (see the [`batch`] module docs). [`FaultInjector`] wraps a sender
+//! with deterministic, seeded misbehavior — drops, duplicates,
+//! reorders, corruption, truncation, stalls — for soak-testing
+//! receivers against hostile peers.
 //!
 //! Integers inside payloads are either fixed-width **little-endian**
 //! (`u64` hash values, coin states, `f64` bit patterns) or **LEB128
@@ -72,15 +80,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod codec;
 mod error;
+pub mod fault;
 mod frame;
 mod rw;
 
+pub use batch::{AckStatus, BatchAck, DigestBatch, MAX_BATCH_REPORTS};
 pub use error::WireError;
+pub use fault::{FaultConfig, FaultInjector, FaultStats};
 pub use frame::{
-    frame_into, parse_frame, peek_frame, FrameReader, FrameType, ReadFrameError, HEADER_LEN, MAGIC,
-    MAX_PAYLOAD, VERSION,
+    frame_into, parse_frame, peek_frame, FramePoll, FrameReader, FrameType, ReadFrameError,
+    HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
 };
 pub use rw::{WireReader, WireWriter};
 

@@ -14,9 +14,11 @@
 
 use pint::collector::wire::SnapshotFrame;
 use pint::collector::{CollectorSnapshot, FlowSummary, ShardSnapshot};
-use pint::core::RecorderKind;
+use pint::core::{Digest, DigestReport, RecorderKind};
 use pint::sketches::KllSketch;
-use pint::wire::{parse_frame, WireDecode, WireEncode, WireError, VERSION};
+use pint::wire::{
+    parse_frame, AckStatus, BatchAck, DigestBatch, WireDecode, WireEncode, WireError, VERSION,
+};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -98,6 +100,96 @@ proptest! {
         let idx = (seed as usize) % corrupt.len();
         corrupt[idx] ^= flip;
         let _ = KllSketch::decode(&corrupt); // Err or Ok, but no panic
+    }
+
+    /// The edge-ingest frames round-trip exactly: a sequence-numbered
+    /// `DigestBatch` and its `BatchAck` survive encode→frame→decode
+    /// with every field intact.
+    #[test]
+    fn digest_batch_and_ack_roundtrip(
+        source in any::<u64>(),
+        seq in any::<u64>(),
+        n in 0usize..64,
+        seed in any::<u64>(),
+        dup in any::<bool>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let batch = DigestBatch {
+            source,
+            seq,
+            reports: (0..n)
+                .map(|_| {
+                    let mut d = Digest::new(rng.gen_range(0..4));
+                    for lane in 0..d.lanes() {
+                        d.set(lane, rng.gen());
+                    }
+                    DigestReport::new(
+                        rng.gen(),
+                        rng.gen(),
+                        d,
+                        (rng.gen::<u64>() % 64) as u16,
+                        rng.gen(),
+                    )
+                })
+                .collect(),
+        };
+        let framed = batch.to_frame_bytes();
+        let (ty, payload) = parse_frame(&framed).unwrap();
+        prop_assert_eq!(ty, pint::wire::FrameType::DigestBatch);
+        let decoded = DigestBatch::decode(payload).unwrap();
+        prop_assert_eq!(&decoded, &batch);
+
+        let ack = BatchAck {
+            seq,
+            status: if dup { AckStatus::Duplicate } else { AckStatus::Applied },
+        };
+        let framed = ack.to_frame_bytes();
+        let (ty, payload) = parse_frame(&framed).unwrap();
+        prop_assert_eq!(ty, pint::wire::FrameType::BatchAck);
+        prop_assert_eq!(BatchAck::decode(payload).unwrap(), ack);
+    }
+
+    /// Hostile bytes against the edge-ingest decoders: every
+    /// truncation is a typed error, every single-byte corruption is a
+    /// typed error or a decode — never a panic. Frames cross trust
+    /// boundaries (edge processes dial in over the network).
+    #[test]
+    fn digest_batch_and_ack_corruption_never_panics(
+        source in any::<u64>(),
+        seq in any::<u64>(),
+        n in 1usize..32,
+        flip in 1u8..=255,
+    ) {
+        let batch = DigestBatch {
+            source,
+            seq,
+            reports: (0..n)
+                .map(|i| DigestReport::new(i as u64, seq ^ i as u64, Digest::new(1), 3, 0))
+                .collect(),
+        };
+        for good in [batch.to_frame_bytes(), BatchAck { seq, status: AckStatus::Applied }.to_frame_bytes()] {
+            for cut in 0..good.len() {
+                prop_assert!(parse_frame(&good[..cut]).is_err(), "cut at {}", cut);
+            }
+            // Future-version bytes are rejected up front.
+            let mut future = good.clone();
+            future[4] = VERSION + 1;
+            prop_assert!(matches!(
+                parse_frame(&future),
+                Err(WireError::UnsupportedVersion { .. })
+            ));
+            for i in 0..good.len() {
+                let mut corrupt = good.clone();
+                corrupt[i] ^= flip;
+                if let Ok((ty, payload)) = parse_frame(&corrupt) {
+                    match ty {
+                        pint::wire::FrameType::DigestBatch => { let _ = DigestBatch::decode(payload); }
+                        pint::wire::FrameType::BatchAck => { let _ = BatchAck::decode(payload); }
+                        _ => {}
+                    }
+                }
+            }
+        }
     }
 }
 
