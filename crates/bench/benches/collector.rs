@@ -12,12 +12,20 @@
 //! numbers in `BENCH_collector.json`, which `collector_ingest/p1/s*`
 //! reproduces. `PINT_BENCH_JSON` records the baseline
 //! (`BENCH_ingest.json`).
+//!
+//! Besides the throughput matrix, the recorded JSON carries two notes:
+//! a metrics snapshot taken from the observed cell's shared registry
+//! (stage-timing sample counts and means, occupancy), and a per-cell
+//! overhead comparison against the mean_ns committed in
+//! `BENCH_ingest.json` — the before/after record for the ≤5%
+//! instrumentation budget.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pint_collector::{Collector, CollectorConfig};
 use pint_core::dynamic::{DynamicAggregator, DynamicRecorder};
 use pint_core::value::Digest;
 use pint_core::{DigestReport, FlowRecorder};
+use pint_obs::MetricsRegistry;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -53,64 +61,186 @@ fn partition(reports: &[DigestReport], producers: u64) -> Vec<Vec<DigestReport>>
     parts
 }
 
+/// One ingest cell: `producers` threads × `shards` shards, publishing
+/// into `metrics` when given (the observed variant) or a private
+/// registry otherwise.
+fn run_cell(
+    g: &mut criterion::BenchmarkGroup<'_>,
+    agg: &DynamicAggregator,
+    reports: &[DigestReport],
+    producers: u64,
+    shards: usize,
+    metrics: Option<MetricsRegistry>,
+) {
+    let parts = partition(reports, producers);
+    let rec_agg = agg.clone();
+    let collector = Collector::spawn(
+        CollectorConfig {
+            shards,
+            batch_size: 1_024,
+            ring_capacity: 64,
+            max_flows_per_shard: 2_048,
+            metrics,
+            ..CollectorConfig::default()
+        },
+        Arc::new(move |_flow, report: &DigestReport| {
+            Box::new(DynamicRecorder::new_sketched(
+                rec_agg.clone(),
+                usize::from(report.path_len).max(1),
+                64,
+            )) as Box<dyn FlowRecorder>
+        }),
+    );
+    // Register once per cell: iterations measure ingest, not
+    // producer registration/teardown.
+    let mut handles: Vec<_> = parts
+        .iter()
+        .map(|_| collector.register_producer())
+        .collect();
+    g.bench_with_input(
+        BenchmarkId::new(format!("p{producers}"), format!("s{shards}")),
+        &shards,
+        |b, _| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for (part, handle) in parts.iter().zip(handles.iter_mut()) {
+                        s.spawn(move || {
+                            for r in part {
+                                handle.push(r.clone()).expect("collector alive");
+                            }
+                            handle.flush().expect("flush");
+                        });
+                    }
+                });
+                collector.barrier().expect("barrier");
+                black_box(())
+            })
+        },
+    );
+    drop(handles);
+    let stats = collector.shutdown();
+    assert!(stats.ingested >= reports.len() as u64, "workload applied");
+    assert_eq!(stats.digests_dropped, 0, "no digest lost");
+}
+
 fn bench_ingest(c: &mut Criterion) {
     let agg = DynamicAggregator::new(17, 8, 100.0, 1.0e7);
     let reports = workload(&agg);
     let mut g = c.benchmark_group("collector_ingest");
     g.throughput(Throughput::Elements(reports.len() as u64));
     for producers in [1u64, 2, 4] {
-        let parts = partition(&reports, producers);
         for shards in [1usize, 2, 4, 8] {
-            let rec_agg = agg.clone();
-            let collector = Collector::spawn(
-                CollectorConfig {
-                    shards,
-                    batch_size: 1_024,
-                    ring_capacity: 64,
-                    max_flows_per_shard: 2_048,
-                    ..CollectorConfig::default()
-                },
-                Arc::new(move |_flow, report: &DigestReport| {
-                    Box::new(DynamicRecorder::new_sketched(
-                        rec_agg.clone(),
-                        usize::from(report.path_len).max(1),
-                        64,
-                    )) as Box<dyn FlowRecorder>
-                }),
-            );
-            // Register once per cell: iterations measure ingest, not
-            // producer registration/teardown.
-            let mut handles: Vec<_> = parts
-                .iter()
-                .map(|_| collector.register_producer())
-                .collect();
-            g.bench_with_input(
-                BenchmarkId::new(format!("p{producers}"), format!("s{shards}")),
-                &shards,
-                |b, _| {
-                    b.iter(|| {
-                        std::thread::scope(|s| {
-                            for (part, handle) in parts.iter().zip(handles.iter_mut()) {
-                                s.spawn(move || {
-                                    for r in part {
-                                        handle.push(r.clone()).expect("collector alive");
-                                    }
-                                    handle.flush().expect("flush");
-                                });
-                            }
-                        });
-                        collector.barrier().expect("barrier");
-                        black_box(())
-                    })
-                },
-            );
-            drop(handles);
-            let stats = collector.shutdown();
-            assert!(stats.ingested >= reports.len() as u64, "workload applied");
-            assert_eq!(stats.digests_dropped, 0, "no digest lost");
+            run_cell(&mut g, &agg, &reports, producers, shards, None);
         }
     }
     g.finish();
+
+    // One cell with an externally shared registry: the snapshot taken
+    // after the run rides into BENCH_ingest.json next to the
+    // throughput it was recorded under.
+    let registry = MetricsRegistry::new();
+    let mut g = c.benchmark_group("collector_ingest_observed");
+    g.throughput(Throughput::Elements(reports.len() as u64));
+    run_cell(&mut g, &agg, &reports, 2, 4, Some(registry.clone()));
+    g.finish();
+    c.note(snapshot_note(&registry));
+    if let Some(note) = overhead_note(c) {
+        c.note(note);
+    }
+}
+
+/// Summarizes the observed cell's registry as one JSON note.
+fn snapshot_note(registry: &MetricsRegistry) -> String {
+    let snap = registry.snapshot();
+    let stage = |name: &str| {
+        let (mut count, mut sum) = (0u64, 0u64);
+        for shard in 0..8u32 {
+            if let Some(h) = snap.histogram(name, Some(shard)) {
+                count += h.count();
+                sum += (h.mean().unwrap_or(0.0) * h.count() as f64) as u64;
+            }
+        }
+        let mean = if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        };
+        format!("{{\"samples\": {count}, \"mean_ns\": {mean:.1}}}")
+    };
+    let enqueue = snap
+        .histogram("collector_stage_enqueue_ns", None)
+        .map(|h| {
+            format!(
+                "{{\"samples\": {}, \"mean_ns\": {:.1}}}",
+                h.count(),
+                h.mean().unwrap_or(0.0)
+            )
+        })
+        .unwrap_or_else(|| "{\"samples\": 0, \"mean_ns\": 0.0}".into());
+    format!(
+        "{{\"id\": \"ingest_metrics_snapshot\", \"ingested_total\": {}, \"batches_total\": {}, \
+         \"active_flows\": {}, \"state_bytes\": {}, \"evicted_lru\": {}, \
+         \"stage_enqueue\": {enqueue}, \"stage_drain\": {}, \"stage_touch\": {}, \
+         \"stage_kll\": {}}}",
+        snap.counter_total("collector_ingested_total"),
+        snap.counter_total("collector_batches_total"),
+        snap.gauge_total("collector_active_flows"),
+        snap.gauge_total("collector_state_bytes"),
+        snap.counter_total("collector_evicted_lru"),
+        stage("collector_stage_drain_ns"),
+        stage("collector_stage_touch_ns"),
+        stage("collector_stage_kll_ns"),
+    )
+}
+
+/// Compares this run's matrix against a recorded baseline's mean_ns —
+/// the before/after record for the instrumentation-overhead budget.
+/// `PINT_BENCH_BASELINE` selects the baseline file (e.g. a run of the
+/// pre-instrumentation commit on the *same* machine); it defaults to
+/// the committed `BENCH_ingest.json`, whose numbers may come from
+/// different hardware.
+fn overhead_note(c: &Criterion) -> Option<String> {
+    let path = std::env::var("PINT_BENCH_BASELINE").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json").to_string()
+    });
+    let baseline = std::fs::read_to_string(&path).ok()?;
+    let mut cells = Vec::new();
+    let mut ratios = Vec::new();
+    for r in c.results() {
+        if !r.id.starts_with("collector_ingest/") {
+            continue;
+        }
+        let Some(before) = baseline_mean_ns(&baseline, &r.id) else {
+            continue;
+        };
+        let pct = (r.mean_ns / before - 1.0) * 100.0;
+        ratios.push(pct);
+        cells.push(format!(
+            "{{\"id\": \"{}\", \"before_ns\": {before:.0}, \"after_ns\": {:.0}, \
+             \"overhead_pct\": {pct:.2}}}",
+            r.id, r.mean_ns
+        ));
+    }
+    if cells.is_empty() {
+        return None;
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    let base_name = path.rsplit('/').next().unwrap_or(&path);
+    Some(format!(
+        "{{\"id\": \"ingest_overhead_vs_baseline\", \"baseline\": \"{base_name}\", \
+         \"cells\": {}, \"mean_overhead_pct\": {mean:.2}, \"entries\": [{}]}}",
+        cells.len(),
+        cells.join(", ")
+    ))
+}
+
+/// Pulls `"mean_ns"` for `id` out of a recorded baseline without a JSON
+/// parser: entries are one object per line in the shim's own format.
+fn baseline_mean_ns(baseline: &str, id: &str) -> Option<f64> {
+    let needle = format!("\"id\": \"{id}\"");
+    let line = baseline.lines().find(|l| l.contains(&needle))?;
+    let rest = line.split("\"mean_ns\": ").nth(1)?;
+    rest.split([',', '}']).next()?.trim().parse().ok()
 }
 
 criterion_group!(benches, bench_ingest);

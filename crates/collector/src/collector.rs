@@ -8,8 +8,9 @@ use crate::handle::{shard_of, CollectorHandle};
 use crate::inference::{CollectorSnapshot, FlowSummary, ShardSnapshot};
 use crate::ring::{self, RingTuning, Waiter};
 use crate::shard::{ShardMsg, ShardQuery, ShardSelect, ShardStats, ShardWorker};
+use pint_obs::{ClockHandle, Counter, Histogram, MetricsRegistry};
 use pint_query::{QueryBackend, QueryError, QueryPlan, QueryResult, Selector, TableTotals};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -62,10 +63,18 @@ pub(crate) struct ProducerRegistry {
     batch_size: usize,
     ring_capacity: usize,
     tuning: RingTuning,
-    /// Digests lost in undeliverable batches (see `CollectorStats`).
-    pub(crate) dropped: AtomicU64,
-    /// Producer park count across all rings ever registered.
+    /// Digests lost in undeliverable batches (see `CollectorStats`);
+    /// exposed as `collector_digests_dropped_total`.
+    pub(crate) dropped: Counter,
+    /// Producer park count across all rings ever registered; the ring
+    /// layer owns the cell, the registry exposes it as
+    /// `collector_producer_parks_total`.
     pub(crate) parks: Arc<AtomicU64>,
+    /// Batch enqueue latency (`collector_stage_enqueue_ns`): one sample
+    /// per shipped batch, recorded producer-side.
+    pub(crate) enqueue: Histogram,
+    /// Clock the enqueue timing reads (the registry's clock).
+    pub(crate) clock: ClockHandle,
 }
 
 impl ProducerRegistry {
@@ -111,6 +120,7 @@ pub struct Collector {
     events_rx: Mutex<Receiver<Event>>,
     stats: Vec<Arc<ShardStats>>,
     registry: Arc<ProducerRegistry>,
+    metrics: MetricsRegistry,
 }
 
 impl Collector {
@@ -118,6 +128,7 @@ impl Collector {
     /// collector.
     pub fn spawn(config: CollectorConfig, factory: RecorderFactory) -> Self {
         config.validate();
+        let metrics = config.metrics.clone().unwrap_or_default();
         // Bounded: a consumer that never drains costs dropped events
         // (counted), not unbounded memory.
         let (events_tx, events_rx) = sync_channel(config.event_capacity);
@@ -128,7 +139,7 @@ impl Collector {
         for shard in 0..config.shards {
             let (tx, rx) = sync_channel(CTRL_CAPACITY);
             let waiter = Arc::new(Waiter::new());
-            let shard_stats = Arc::new(ShardStats::default());
+            let shard_stats = Arc::new(ShardStats::register(&metrics, shard as u32));
             let worker = ShardWorker::new(
                 shard,
                 &config,
@@ -136,6 +147,7 @@ impl Collector {
                 events_tx.clone(),
                 Arc::clone(&shard_stats),
                 Arc::clone(&waiter),
+                &metrics,
             );
             let join = std::thread::Builder::new()
                 .name(format!("pint-collector-{shard}"))
@@ -155,8 +167,14 @@ impl Collector {
                 spin_limit: config.spin_limit,
                 park_timeout: Duration::from_micros(config.park_timeout_us.max(1)),
             },
-            dropped: AtomicU64::new(0),
-            parks: Arc::new(AtomicU64::new(0)),
+            dropped: metrics.counter("collector_digests_dropped_total"),
+            parks: {
+                let cell = Arc::new(AtomicU64::new(0));
+                metrics.counter_cell("collector_producer_parks_total", Arc::clone(&cell));
+                cell
+            },
+            enqueue: metrics.histogram("collector_stage_enqueue_ns"),
+            clock: metrics.clock(),
         });
         Self {
             ctrl,
@@ -165,7 +183,16 @@ impl Collector {
             events_rx: Mutex::new(events_rx),
             stats,
             registry,
+            metrics,
         }
+    }
+
+    /// The registry this collector publishes its self-telemetry into —
+    /// the one from [`CollectorConfig::metrics`], or a private default.
+    /// Snapshot it locally, render it as text, or serve it over the
+    /// `Metrics` wire frame by sharing it with a fleet tier.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Number of shard workers.
@@ -464,18 +491,21 @@ impl Collector {
     pub fn stats(&self) -> CollectorStats {
         let mut out = CollectorStats::default();
         for s in &self.stats {
-            out.ingested += s.ingested.load(Ordering::Relaxed);
-            out.batches += s.batches.load(Ordering::Relaxed);
-            out.producers += s.producers.load(Ordering::Relaxed);
-            out.active_flows += s.active_flows.load(Ordering::Relaxed);
-            out.state_bytes += s.state_bytes.load(Ordering::Relaxed);
-            out.evicted_lru += s.evicted_lru.load(Ordering::Relaxed);
-            out.evicted_ttl += s.evicted_ttl.load(Ordering::Relaxed);
-            out.events += s.events.load(Ordering::Relaxed);
-            out.events_dropped += s.events_dropped.load(Ordering::Relaxed);
+            out.ingested += s.ingested.get();
+            out.batches += s.batches.get();
+            out.producers += s.producers.get();
+            out.active_flows += s.active_flows.get();
+            out.state_bytes += s.state_bytes.get();
+            out.evicted_lru += s.evicted_lru.get();
+            out.evicted_ttl += s.evicted_ttl.get();
+            out.events += s.events.get();
+            out.events_dropped += s.events_dropped.get();
         }
-        out.digests_dropped = self.registry.dropped.load(Ordering::Relaxed);
-        out.producer_parks = self.registry.parks.load(Ordering::Relaxed);
+        out.digests_dropped = self.registry.dropped.get();
+        out.producer_parks = self
+            .registry
+            .parks
+            .load(std::sync::atomic::Ordering::Relaxed);
         out
     }
 

@@ -61,6 +61,13 @@ pub struct CollectorConfig {
     /// Streaming event-detection rules, evaluated on shard workers as
     /// batches are applied. At most 64 rules.
     pub rules: Vec<EventRule>,
+    /// Metrics registry the collector publishes its self-telemetry into
+    /// (per-shard counters/gauges, stage-timing histograms). Share one
+    /// registry across tiers to serve whole-process metrics from a
+    /// single `Metrics` wire frame; `None` gives the collector a
+    /// private registry (read it via
+    /// [`Collector::metrics`](crate::Collector::metrics)).
+    pub metrics: Option<pint_obs::MetricsRegistry>,
 }
 
 impl Default for CollectorConfig {
@@ -76,6 +83,7 @@ impl Default for CollectorConfig {
             flow_ttl: None,
             event_capacity: 65_536,
             rules: Vec::new(),
+            metrics: None,
         }
     }
 }

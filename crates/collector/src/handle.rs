@@ -20,7 +20,6 @@ use crate::config::FlowId;
 use crate::error::CollectorError;
 use crate::ring::{PushError, RingProducer};
 use pint_core::DigestReport;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Stable shard choice via `pint-core`'s splitmix64 finalizer —
@@ -66,7 +65,7 @@ impl CollectorHandle {
     /// [`CollectorStats::digests_dropped`](crate::CollectorStats)).
     /// Shared across all handles of one collector.
     pub fn dropped_digests(&self) -> u64 {
-        self.registry.dropped.load(Ordering::Relaxed)
+        self.registry.dropped.get()
     }
 
     /// Queues one digest; ships the destination shard's batch when it
@@ -134,14 +133,21 @@ impl CollectorHandle {
 
     fn ship(&mut self, shard: usize) -> Result<(), CollectorError> {
         let batch = std::mem::replace(&mut self.bufs[shard], Vec::with_capacity(self.batch_size));
+        // One enqueue-latency sample per shipped batch: cheap enough to
+        // be always-on, and a parked producer (full ring) shows up as a
+        // fat tail in `collector_stage_enqueue_ns`.
+        let t0 = self.registry.clock.now_ns();
         match self.producers[shard].push(batch) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.registry
+                    .enqueue
+                    .record(self.registry.clock.now_ns().saturating_sub(t0));
+                Ok(())
+            }
             Err(PushError::Closed(lost)) => {
                 // The batch cannot be delivered anywhere; account for
                 // every digest of it before reporting the disconnect.
-                self.registry
-                    .dropped
-                    .fetch_add(lost.len() as u64, Ordering::Relaxed);
+                self.registry.dropped.add(lost.len() as u64);
                 Err(CollectorError::Disconnected)
             }
             Err(PushError::Full(_)) => unreachable!("blocking push never reports Full"),
@@ -157,9 +163,7 @@ impl CollectorHandle {
                 Err(CollectorError::WouldBlock)
             }
             Err(PushError::Closed(lost)) => {
-                self.registry
-                    .dropped
-                    .fetch_add(lost.len() as u64, Ordering::Relaxed);
+                self.registry.dropped.add(lost.len() as u64);
                 Err(CollectorError::Disconnected)
             }
         }

@@ -71,6 +71,8 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "measure-alloc")]
+pub mod alloc_track;
 mod collector;
 pub mod config;
 pub mod error;

@@ -15,10 +15,17 @@ use crate::flow_table::FlowTable;
 use crate::inference::{FlowSummary, ShardSnapshot};
 use crate::ring::{RingConsumer, Waiter};
 use pint_core::DigestReport;
-use std::sync::atomic::{AtomicU64, Ordering};
+use pint_obs::{ClockHandle, Counter, Gauge, Histogram, MetricsRegistry};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError, TrySendError};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Per-operation stage timing (flow-table touch, KLL update) samples one
+/// digest in this many: individual `Clock` reads around every digest
+/// would dominate the ~100 ns ingest path, while a deterministic 1-in-64
+/// sample keeps overhead well under the 5% budget and still populates
+/// the histograms at any realistic rate.
+const STAGE_SAMPLE: u64 = 64;
 
 /// Messages a shard worker consumes on its control channel. Data batches
 /// arrive on the per-producer rings, never here.
@@ -66,27 +73,58 @@ pub(crate) enum ShardSelect {
 }
 
 /// Live counters one shard publishes (read from any thread).
-#[derive(Debug, Default)]
+///
+/// A view over the collector's [`MetricsRegistry`]: every field is a
+/// cached handle to a registry cell labelled with the shard index, so
+/// the same numbers are visible locally, in text exposition, and over
+/// the `Metrics` wire frame. See the README's "Observability" section
+/// for the metric catalogue.
+#[derive(Debug, Clone)]
 pub struct ShardStats {
-    /// Digests applied.
-    pub ingested: AtomicU64,
-    /// Batches applied.
-    pub batches: AtomicU64,
-    /// Currently attached producer rings.
-    pub producers: AtomicU64,
-    /// Currently tracked flows.
-    pub active_flows: AtomicU64,
-    /// Approximate recorder-state bytes held.
-    pub state_bytes: AtomicU64,
-    /// Flows evicted by the count/byte caps.
-    pub evicted_lru: AtomicU64,
-    /// Flows evicted by idle TTL.
-    pub evicted_ttl: AtomicU64,
-    /// Events fired and delivered to the event queue.
-    pub events: AtomicU64,
+    /// Digests applied (`collector_ingested_total`).
+    pub ingested: Counter,
+    /// Batches applied (`collector_batches_total`).
+    pub batches: Counter,
+    /// Currently attached producer rings (`collector_producers`).
+    pub producers: Gauge,
+    /// Currently tracked flows (`collector_active_flows`).
+    pub active_flows: Gauge,
+    /// Approximate recorder-state bytes held (`collector_state_bytes`).
+    pub state_bytes: Gauge,
+    /// Flows evicted by the count/byte caps (`collector_evicted_lru`).
+    pub evicted_lru: Gauge,
+    /// Flows evicted by idle TTL (`collector_evicted_ttl`).
+    pub evicted_ttl: Gauge,
+    /// Events fired and delivered (`collector_events_total`).
+    pub events: Counter,
     /// Events fired but discarded — the bounded event channel was full
-    /// (consumer stopped draining) or the consumer was gone.
-    pub events_dropped: AtomicU64,
+    /// (consumer stopped draining) or the consumer was gone
+    /// (`collector_events_dropped_total`).
+    pub events_dropped: Counter,
+    /// Allocator-measured recorder-state bytes
+    /// (`collector_state_bytes_measured`) — the ground truth the
+    /// `state_bytes` estimate is validated against. Only maintained
+    /// with the `measure-alloc` feature.
+    #[cfg(feature = "measure-alloc")]
+    pub state_bytes_measured: Gauge,
+}
+
+impl ShardStats {
+    pub(crate) fn register(registry: &MetricsRegistry, shard: u32) -> Self {
+        Self {
+            ingested: registry.counter_shard("collector_ingested_total", shard),
+            batches: registry.counter_shard("collector_batches_total", shard),
+            producers: registry.gauge_shard("collector_producers", shard),
+            active_flows: registry.gauge_shard("collector_active_flows", shard),
+            state_bytes: registry.gauge_shard("collector_state_bytes", shard),
+            evicted_lru: registry.gauge_shard("collector_evicted_lru", shard),
+            evicted_ttl: registry.gauge_shard("collector_evicted_ttl", shard),
+            events: registry.counter_shard("collector_events_total", shard),
+            events_dropped: registry.counter_shard("collector_events_dropped_total", shard),
+            #[cfg(feature = "measure-alloc")]
+            state_bytes_measured: registry.gauge_shard("collector_state_bytes_measured", shard),
+        }
+    }
 }
 
 pub(crate) struct ShardWorker {
@@ -107,6 +145,22 @@ pub(crate) struct ShardWorker {
     batch_stamp: u64,
     /// Latest sink timestamp seen (drives TTL expiry).
     clock: u64,
+    /// Wall clock for stage timing (shared registry clock, so netsim and
+    /// tests can drive it virtually).
+    obs_clock: ClockHandle,
+    /// Whole-batch apply latency, ns (`collector_stage_drain_ns`).
+    stage_drain: Histogram,
+    /// Sampled per-digest flow-table touch latency, ns
+    /// (`collector_stage_touch_ns`).
+    stage_touch: Histogram,
+    /// Sampled per-digest recorder/KLL update latency, ns
+    /// (`collector_stage_kll_ns`).
+    stage_kll: Histogram,
+    /// Digest counter driving the deterministic [`STAGE_SAMPLE`] pick.
+    sample_tick: u64,
+    /// Cumulative allocator-measured net bytes this shard thread holds.
+    #[cfg(feature = "measure-alloc")]
+    measured_net: i64,
 }
 
 impl ShardWorker {
@@ -117,8 +171,16 @@ impl ShardWorker {
         events_tx: SyncSender<Event>,
         stats: Arc<ShardStats>,
         waiter: Arc<Waiter>,
+        registry: &MetricsRegistry,
     ) -> Self {
         Self {
+            obs_clock: registry.clock(),
+            stage_drain: registry.histogram_shard("collector_stage_drain_ns", shard as u32),
+            stage_touch: registry.histogram_shard("collector_stage_touch_ns", shard as u32),
+            stage_kll: registry.histogram_shard("collector_stage_kll_ns", shard as u32),
+            sample_tick: 0,
+            #[cfg(feature = "measure-alloc")]
+            measured_net: 0,
             shard,
             table: FlowTable::new(
                 config.max_flows_per_shard,
@@ -178,9 +240,7 @@ impl ShardWorker {
                 None => !ring.is_finished(),
             });
             if rings.len() != before {
-                self.stats
-                    .producers
-                    .store(rings.len() as u64, Ordering::Relaxed);
+                self.stats.producers.set(rings.len() as u64);
             }
             if progressed {
                 idle = 0;
@@ -226,9 +286,7 @@ impl ShardWorker {
         match msg {
             ShardMsg::Attach(ring) => {
                 rings.push(ring);
-                self.stats
-                    .producers
-                    .store(rings.len() as u64, Ordering::Relaxed);
+                self.stats.producers.set(rings.len() as u64);
             }
             ShardMsg::Query(query, reply) => {
                 self.drain_all(rings);
@@ -267,6 +325,15 @@ impl ShardWorker {
     }
 
     fn apply_batch(&mut self, batch: Vec<DigestReport>) {
+        let t_batch = self.obs_clock.now_ns();
+        // The batch `Vec` itself was allocated by the producer thread and
+        // is freed here, so the shard-thread delta under-counts by its
+        // backing store; compensate to keep the cross-check honest.
+        #[cfg(feature = "measure-alloc")]
+        let (alloc_before, batch_comp) = (
+            crate::alloc_track::thread_net_bytes(),
+            (batch.capacity() * std::mem::size_of::<DigestReport>()) as i64,
+        );
         self.touched.clear();
         self.batch_stamp += 1;
         let stamp = self.batch_stamp;
@@ -275,17 +342,31 @@ impl ShardWorker {
             self.clock = self.clock.max(report.ts);
             let flow = report.flow;
             let factory = &self.factory;
+            let sampled = self.sample_tick.is_multiple_of(STAGE_SAMPLE);
+            self.sample_tick += 1;
+            let t0 = if sampled { self.obs_clock.now_ns() } else { 0 };
             let (idx, first) = self
                 .table
                 .upsert(flow, report.ts, stamp, || factory(flow, &report));
             if first {
                 self.touched.push((idx, flow));
             }
+            let t1 = if sampled {
+                let t1 = self.obs_clock.now_ns();
+                self.stage_touch.record(t1.saturating_sub(t0));
+                t1
+            } else {
+                0
+            };
             self.table
                 .entry_if(idx, flow)
                 .expect("slot just upserted")
                 .rec
                 .absorb(report.pid, &report.digest);
+            if sampled {
+                self.stage_kll
+                    .record(self.obs_clock.now_ns().saturating_sub(t1));
+            }
         }
         // Memory accounting + byte-cap eviction for the flows that grew
         // (the estimate itself refreshes on a packet stride inside the
@@ -297,6 +378,35 @@ impl ShardWorker {
         self.table.expire(self.clock);
         self.detect_events();
         self.publish_stats(n);
+        #[cfg(feature = "measure-alloc")]
+        self.account_measured(alloc_before, batch_comp);
+        self.stage_drain
+            .record(self.obs_clock.now_ns().saturating_sub(t_batch));
+    }
+
+    /// Folds this batch's allocator delta into the shard's measured
+    /// recorder footprint and cross-checks the flow table's estimate.
+    ///
+    /// The bound is deliberately loose (allocator slack, `Vec` growth
+    /// headroom, and recorder scratch all land in the measurement but
+    /// not the estimate): it catches order-of-magnitude accounting bugs
+    /// — the kind that would mis-drive byte-cap eviction — not slack.
+    #[cfg(feature = "measure-alloc")]
+    fn account_measured(&mut self, alloc_before: i64, batch_comp: i64) {
+        let delta = crate::alloc_track::thread_net_bytes() - alloc_before + batch_comp;
+        self.measured_net += delta;
+        self.stats
+            .state_bytes_measured
+            .set(self.measured_net.max(0) as u64);
+        let estimate = self.table.total_bytes() as i64;
+        if estimate > (1 << 20) {
+            debug_assert!(
+                self.measured_net >= estimate / 8
+                    && self.measured_net <= estimate.saturating_mul(16),
+                "state_bytes estimate {estimate} vs measured {} diverged beyond 8x/16x",
+                self.measured_net
+            );
+        }
     }
 
     /// Evaluates armed rules against every flow this batch touched (the
@@ -403,7 +513,7 @@ impl ShardWorker {
             }
         }
         if fired > 0 {
-            self.stats.events.fetch_add(fired, Ordering::Relaxed);
+            self.stats.events.add(fired);
         }
     }
 
@@ -415,7 +525,7 @@ impl ShardWorker {
         match events_tx.try_send(event) {
             Ok(()) => 1,
             Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
-                stats.events_dropped.fetch_add(1, Ordering::Relaxed);
+                stats.events_dropped.inc();
                 0
             }
         }
@@ -423,16 +533,12 @@ impl ShardWorker {
 
     fn publish_stats(&self, batch_digests: u64) {
         let s = &self.stats;
-        s.ingested.fetch_add(batch_digests, Ordering::Relaxed);
-        s.batches.fetch_add(1, Ordering::Relaxed);
-        s.active_flows
-            .store(self.table.len() as u64, Ordering::Relaxed);
-        s.state_bytes
-            .store(self.table.total_bytes() as u64, Ordering::Relaxed);
-        s.evicted_lru
-            .store(self.table.stats.evicted_lru, Ordering::Relaxed);
-        s.evicted_ttl
-            .store(self.table.stats.evicted_ttl, Ordering::Relaxed);
+        s.ingested.add(batch_digests);
+        s.batches.inc();
+        s.active_flows.set(self.table.len() as u64);
+        s.state_bytes.set(self.table.total_bytes() as u64);
+        s.evicted_lru.set(self.table.stats.evicted_lru);
+        s.evicted_ttl.set(self.table.stats.evicted_ttl);
     }
 
     fn summarize(entry: &crate::flow_table::FlowEntry) -> FlowSummary {
@@ -453,7 +559,7 @@ impl ShardWorker {
             shard: self.shard,
             flows,
             table_stats: self.table.stats,
-            ingested: self.stats.ingested.load(Ordering::Relaxed),
+            ingested: self.stats.ingested.get(),
         }
     }
 

@@ -1,0 +1,55 @@
+//! Recorder memory honesty: with the `measure-alloc` feature, shard
+//! workers fold real allocator deltas into a per-shard gauge that
+//! cross-checks the flow table's `state_bytes` estimate.
+
+#![cfg(feature = "measure-alloc")]
+
+use pint_collector::{Collector, CollectorConfig};
+use pint_core::dynamic::{DynamicAggregator, DynamicRecorder};
+use pint_core::{Digest, DigestReport, FlowRecorder};
+use std::sync::Arc;
+
+#[test]
+fn measured_bytes_track_the_estimate() {
+    let agg = DynamicAggregator::new(4, 8, 100.0, 1.0e7);
+    let factory_agg = agg.clone();
+    let collector = Collector::spawn(
+        CollectorConfig {
+            shards: 2,
+            ..CollectorConfig::default()
+        },
+        Arc::new(move |_flow, report: &DigestReport| {
+            Box::new(DynamicRecorder::new_sketched(
+                factory_agg.clone(),
+                usize::from(report.path_len).max(1),
+                256,
+            )) as Box<dyn FlowRecorder>
+        }),
+    );
+    let mut handle = collector.handle();
+    for flow in 0..512u64 {
+        for pid in 0..64u64 {
+            let mut d = Digest::new(1);
+            agg.encode_hop(flow * 1_000 + pid, 1, 1_000.0, &mut d, 0);
+            handle
+                .push(DigestReport::new(flow, flow * 1_000 + pid, d, 4, pid))
+                .unwrap();
+        }
+    }
+    handle.flush().unwrap();
+    collector.barrier().unwrap();
+
+    let snap = collector.metrics().snapshot();
+    let estimate = snap.gauge_total("collector_state_bytes");
+    let measured = snap.gauge_total("collector_state_bytes_measured");
+    assert!(estimate > 0, "estimate gauge not published");
+    assert!(measured > 0, "measured gauge not published");
+    // The loose bound from the shard-side debug assert, checked here in
+    // release-compiled tests too: the estimate must be the same order of
+    // magnitude as what the allocator actually handed out.
+    assert!(
+        measured >= estimate / 8 && measured <= estimate * 16,
+        "estimate {estimate} vs measured {measured} diverged"
+    );
+    collector.shutdown();
+}

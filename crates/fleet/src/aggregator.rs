@@ -9,6 +9,7 @@ use pint_collector::wire::SnapshotFrame;
 use pint_collector::{CollectorSnapshot, FlowId};
 use pint_core::dynamic::DynamicAggregator;
 use pint_core::DigestReport;
+use pint_obs::{GaugeGroup, MetricsRegistry};
 use pint_query::{QueryError, QueryPlan, QueryResult, Selector};
 use pint_wire::{parse_frame, AckStatus, BatchAck, DigestBatch, FrameType, WireDecode, WireReader};
 use std::collections::BTreeMap;
@@ -29,6 +30,11 @@ pub struct FleetConfig {
     /// deployment's `RecorderFactory` and this codec must agree (one
     /// query plan fleet-wide).
     pub codec: Option<DynamicAggregator>,
+    /// Metrics registry the aggregator publishes its counters into (as
+    /// the `fleet_*` gauge group). Share one registry process-wide so a
+    /// single `Metrics` wire frame reports every tier; `None` gives the
+    /// aggregator a private registry.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 /// Live counters of one aggregator.
@@ -95,12 +101,36 @@ pub struct FleetAggregator {
     /// Per-source sequence dedup for at-least-once digest delivery.
     digest_dedup: BTreeMap<u64, SourceDedup>,
     stats: FleetStats,
+    metrics: MetricsRegistry,
+    /// The registry view of `stats` (+ the live event-queue depth),
+    /// republished whole after every mutation so remote readers observe
+    /// internally consistent counters.
+    obs_group: GaugeGroup,
 }
+
+/// `set_all` field order of the `fleet` gauge group (mirrors
+/// [`FleetStats`] plus the live event-queue depth).
+const FLEET_OBS_FIELDS: [&str; 12] = [
+    "frames",
+    "snapshots_applied",
+    "snapshots_stale",
+    "decode_errors",
+    "unsupported_frames",
+    "digest_batches",
+    "digest_batches_duplicate",
+    "digests",
+    "digests_unrouted",
+    "events_dropped",
+    "collectors",
+    "events_queued",
+];
 
 impl FleetAggregator {
     /// An empty aggregator with the given config.
     pub fn new(config: FleetConfig) -> Self {
         let rules = config.rules.len();
+        let metrics = config.metrics.clone().unwrap_or_default();
+        let obs_group = metrics.gauge_group("fleet", &FLEET_OBS_FIELDS);
         Self {
             config,
             collectors: BTreeMap::new(),
@@ -110,7 +140,37 @@ impl FleetAggregator {
             digest_sink: None,
             digest_dedup: BTreeMap::new(),
             stats: FleetStats::default(),
+            metrics,
+            obs_group,
         }
+    }
+
+    /// The registry this aggregator publishes its `fleet_*` gauge group
+    /// into — the one from [`FleetConfig::metrics`], or a private
+    /// default.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Republishes the whole stats vector (one locked write), so any
+    /// snapshot — local or over the wire — sees a consistent point in
+    /// time, never a torn mix of old and new counters.
+    fn publish_obs(&self) {
+        let s = &self.stats;
+        self.obs_group.set_all(&[
+            s.frames,
+            s.snapshots_applied,
+            s.snapshots_stale,
+            s.decode_errors,
+            s.unsupported_frames,
+            s.digest_batches,
+            s.digest_batches_duplicate,
+            s.digests,
+            s.digests_unrouted,
+            s.events_dropped,
+            s.collectors as u64,
+            self.events.len() as u64,
+        ]);
     }
 
     /// Installs the destination for applied digest batches — typically
@@ -135,6 +195,7 @@ impl FleetAggregator {
             Ok((ty, payload)) => self.ingest_payload(ty, payload),
             Err(e) => {
                 self.stats.decode_errors += 1;
+                self.publish_obs();
                 Err(e.into())
             }
         }
@@ -153,6 +214,16 @@ impl FleetAggregator {
     /// [`FleetStats::unsupported_frames`] — the sender learns its
     /// frame went nowhere instead of a silent acknowledgment.
     pub fn ingest_payload(
+        &mut self,
+        ty: FrameType,
+        payload: &[u8],
+    ) -> Result<FrameType, FleetError> {
+        let out = self.ingest_payload_inner(ty, payload);
+        self.publish_obs();
+        out
+    }
+
+    fn ingest_payload_inner(
         &mut self,
         ty: FrameType,
         payload: &[u8],
@@ -186,7 +257,13 @@ impl FleetAggregator {
                 }
             }
             FrameType::Hello => {}
-            FrameType::Query | FrameType::QueryResponse | FrameType::BatchAck => {
+            FrameType::Query
+            | FrameType::QueryResponse
+            | FrameType::BatchAck
+            | FrameType::Metrics => {
+                // Metrics requests, like queries, are answered by the
+                // serving transport (which owns the registry snapshot);
+                // the aggregator only merges telemetry state.
                 self.stats.unsupported_frames += 1;
                 return Err(FleetError::UnsupportedFrame(ty));
             }
@@ -202,6 +279,12 @@ impl FleetAggregator {
     /// the transport should send back to the forwarder. Decode
     /// failures are typed errors (counted), never panics.
     pub fn ingest_digest_batch(&mut self, payload: &[u8]) -> Result<BatchAck, FleetError> {
+        let out = self.ingest_digest_batch_inner(payload);
+        self.publish_obs();
+        out
+    }
+
+    fn ingest_digest_batch_inner(&mut self, payload: &[u8]) -> Result<BatchAck, FleetError> {
         let batch = match DigestBatch::decode(payload) {
             Ok(batch) => batch,
             Err(e) => {
@@ -241,6 +324,7 @@ impl FleetAggregator {
         if let Some(existing) = self.collectors.get(&frame.collector_id) {
             if frame.epoch <= existing.epoch {
                 self.stats.snapshots_stale += 1;
+                self.publish_obs();
                 return false;
             }
         }
@@ -254,6 +338,7 @@ impl FleetAggregator {
         self.stats.snapshots_applied += 1;
         self.stats.collectors = self.collectors.len();
         self.evaluate_rules();
+        self.publish_obs();
         true
     }
 
@@ -316,11 +401,14 @@ impl FleetAggregator {
     /// byte stream could not be resynchronized).
     pub(crate) fn record_decode_error(&mut self) {
         self.stats.decode_errors += 1;
+        self.publish_obs();
     }
 
     /// Drains fleet events accumulated since the last drain.
     pub fn drain_events(&mut self) -> Vec<FleetEvent> {
-        self.events.drain(..).collect()
+        let drained = self.events.drain(..).collect();
+        self.publish_obs();
+        drained
     }
 
     /// Live counters.
@@ -656,7 +744,7 @@ mod tests {
                 FleetRule::new(FleetCondition::InconsistenciesAbove { min_total: 5 })
                     .scoped_by(pint_query::Selector::PathThroughSwitch(19)),
             ],
-            codec: None,
+            ..FleetConfig::default()
         });
         // Flow 1 avoids switch 19 but is wildly inconsistent: no alarm.
         agg.apply_snapshot(frame(1, 1, path_snapshot(1, vec![4, 5, 7], 100)));
@@ -675,7 +763,7 @@ mod tests {
             rules: vec![FleetRule::new(FleetCondition::InconsistenciesAbove {
                 min_total: 5,
             })],
-            codec: None,
+            ..FleetConfig::default()
         });
         let with_inconsistencies = |n: u64| {
             let mut snap = latency_snapshot(10, &[1, 2, 3]);

@@ -21,6 +21,7 @@
 
 use pint_core::hash::mix64;
 use pint_core::DigestReport;
+use pint_obs::{GaugeGroup, MetricsRegistry};
 use pint_wire::{
     AckStatus, BatchAck, DigestBatch, FaultInjector, FrameReader, FrameType, WireDecode,
 };
@@ -116,15 +117,60 @@ struct Pending {
     sent_at: Option<Instant>,
 }
 
+/// `set_all` field order of the per-source `forwarder` gauge group.
+/// `in_flight` is the live pending-queue depth, which closes the
+/// accounting mid-run: `delivered + deduped + shed + in_flight ==
+/// sent` holds in *every* published snapshot, not only after shutdown
+/// — the group is republished whole under the state mutex at each
+/// transition, so a concurrent reader can never observe a batch that
+/// is in no bucket.
+const FORWARDER_OBS_FIELDS: [&str; 11] = [
+    "source",
+    "sent",
+    "delivered",
+    "deduped",
+    "shed",
+    "in_flight",
+    "retransmits",
+    "reconnects",
+    "digests",
+    "digests_delivered",
+    "digests_shed",
+];
+
 struct Inner {
     queue: VecDeque<Pending>,
     batch: Vec<DigestReport>,
     next_seq: u64,
     stats: ForwarderStats,
     stop: bool,
+    source: u64,
+    obs: GaugeGroup,
 }
 
 impl Inner {
+    /// Republishes the whole gauge group from the current stats +
+    /// queue depth, under the state mutex — the mid-flight invariant
+    /// `delivered + deduped + shed + in_flight == sent` is intact in
+    /// every snapshot. (The `digests` gauge advances at seal/ack
+    /// granularity, not per push.)
+    fn publish_obs(&self) {
+        let s = &self.stats;
+        self.obs.set_all(&[
+            self.source,
+            s.sent,
+            s.delivered,
+            s.deduped,
+            s.shed,
+            self.queue.len() as u64,
+            s.retransmits,
+            s.reconnects,
+            s.digests,
+            s.digests_delivered,
+            s.digests_shed,
+        ]);
+    }
+
     /// Seals the current batch onto the queue, shedding the oldest
     /// pending batch if the queue is full.
     fn seal(&mut self, config: &ForwarderConfig) {
@@ -154,6 +200,7 @@ impl Inner {
             sent_at: None,
         });
         self.stats.sent += 1;
+        self.publish_obs();
     }
 
     /// Retires the pending batch `ack` covers, if it is still queued.
@@ -167,6 +214,7 @@ impl Inner {
                 AckStatus::Duplicate => self.stats.deduped += 1,
             }
             self.stats.digests_delivered += p.digests;
+            self.publish_obs();
         }
     }
 }
@@ -177,6 +225,7 @@ pub struct DigestForwarder {
     shared: Arc<(Mutex<Inner>, Condvar)>,
     config: ForwarderConfig,
     worker: Option<JoinHandle<()>>,
+    metrics: MetricsRegistry,
 }
 
 impl DigestForwarder {
@@ -184,7 +233,20 @@ impl DigestForwarder {
     /// established (and re-established) in the background; pushes
     /// before or between connections just queue.
     pub fn connect(addr: SocketAddr, config: ForwarderConfig) -> Self {
-        Self::spawn(addr, config, None)
+        Self::spawn(addr, config, None, MetricsRegistry::new())
+    }
+
+    /// Like [`connect`](Self::connect), publishing the per-source
+    /// `forwarder` gauge group (queue depth, delivery accounting) into
+    /// a shared registry. The group is sharded by the low 32 bits of
+    /// [`ForwarderConfig::source`], with the full id carried in the
+    /// `forwarder_source` field.
+    pub fn connect_observed(
+        addr: SocketAddr,
+        config: ForwarderConfig,
+        metrics: MetricsRegistry,
+    ) -> Self {
+        Self::spawn(addr, config, None, metrics)
     }
 
     /// Like [`connect`](Self::connect), but every outgoing frame
@@ -196,10 +258,17 @@ impl DigestForwarder {
         config: ForwarderConfig,
         faults: FaultInjector,
     ) -> Self {
-        Self::spawn(addr, config, Some(faults))
+        Self::spawn(addr, config, Some(faults), MetricsRegistry::new())
     }
 
-    fn spawn(addr: SocketAddr, config: ForwarderConfig, faults: Option<FaultInjector>) -> Self {
+    fn spawn(
+        addr: SocketAddr,
+        config: ForwarderConfig,
+        faults: Option<FaultInjector>,
+        metrics: MetricsRegistry,
+    ) -> Self {
+        let obs =
+            metrics.gauge_group_shard("forwarder", config.source as u32, &FORWARDER_OBS_FIELDS);
         let shared = Arc::new((
             Mutex::new(Inner {
                 queue: VecDeque::new(),
@@ -207,6 +276,8 @@ impl DigestForwarder {
                 next_seq: 1,
                 stats: ForwarderStats::default(),
                 stop: false,
+                source: config.source,
+                obs,
             }),
             Condvar::new(),
         ));
@@ -219,7 +290,13 @@ impl DigestForwarder {
             shared,
             config,
             worker: Some(worker),
+            metrics,
         }
+    }
+
+    /// The registry the `forwarder` gauge group publishes into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Queues one digest; never blocks on the network. Seals a batch
@@ -291,6 +368,7 @@ impl DigestForwarder {
                 inner.stats.shed += 1;
                 inner.stats.digests_shed += p.digests;
             }
+            inner.publish_obs();
             inner.stop = true;
             cvar.notify_all();
         }
@@ -341,10 +419,9 @@ fn worker_loop(
         };
         backoff = config.retry_base;
         if connected_before {
-            lock.lock()
-                .expect("forwarder state poisoned")
-                .stats
-                .reconnects += 1;
+            let mut inner = lock.lock().expect("forwarder state poisoned");
+            inner.stats.reconnects += 1;
+            inner.publish_obs();
         }
         connected_before = true;
         stream.set_nodelay(true).ok();
@@ -387,6 +464,9 @@ fn worker_loop(
                         p.sent_at = Some(now);
                         frames.push(p.frame.clone());
                     }
+                }
+                if !frames.is_empty() {
+                    inner.publish_obs();
                 }
                 frames
             };

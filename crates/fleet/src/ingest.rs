@@ -22,7 +22,11 @@
 
 use pint_collector::CollectorHandle;
 use pint_core::DigestReport;
-use pint_wire::{AckStatus, BatchAck, DigestBatch, FramePoll, FrameReader, FrameType, WireDecode};
+use pint_obs::{GaugeGroup, MetricsRegistry};
+use pint_wire::{
+    frame_into, AckStatus, BatchAck, DigestBatch, FramePoll, FrameReader, FrameType, MetricsMsg,
+    MetricsReport, WireDecode,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -183,7 +187,29 @@ pub struct DigestServer {
     stop: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
     stats: Arc<Mutex<DigestServerStats>>,
+    metrics: MetricsRegistry,
 }
+
+/// `set_all` field order of the `digest_server` gauge group (mirrors
+/// [`DigestServerStats`]). Published once per poll tick, so a reader
+/// always observes one tick's consistent counters — in particular
+/// `acks_sent == batches_applied + batches_duplicate` holds in every
+/// snapshot (sourced batches are acked exactly once, rejected ones
+/// never).
+const DIGEST_SERVER_OBS_FIELDS: [&str; 12] = [
+    "accepted",
+    "active",
+    "batches_applied",
+    "batches_duplicate",
+    "digests",
+    "acks_sent",
+    "framing_errors",
+    "payload_errors",
+    "stalled_dropped",
+    "unsupported_frames",
+    "connections_rejected",
+    "sources_rejected",
+];
 
 impl DigestServer {
     /// Binds and starts the poll thread. Use `"127.0.0.1:0"` to let
@@ -194,6 +220,20 @@ impl DigestServer {
         config: DigestServerConfig,
         sink: BatchSink,
     ) -> std::io::Result<Self> {
+        Self::bind_observed(addr, config, sink, MetricsRegistry::new())
+    }
+
+    /// [`bind`](Self::bind) publishing self-telemetry into a shared
+    /// registry: the `digest_server` gauge group is refreshed once per
+    /// poll tick, and `Metrics` request frames on any connection are
+    /// answered with a snapshot of `metrics` — share the collector's
+    /// registry and one fetch reports both tiers.
+    pub fn bind_observed(
+        addr: impl ToSocketAddrs,
+        config: DigestServerConfig,
+        sink: BatchSink,
+        metrics: MetricsRegistry,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -201,16 +241,24 @@ impl DigestServer {
         let stats = Arc::new(Mutex::new(DigestServerStats::default()));
         let loop_stop = Arc::clone(&stop);
         let loop_stats = Arc::clone(&stats);
+        let loop_metrics = metrics.clone();
         let thread = std::thread::Builder::new()
             .name("pint-digest-ingest".into())
-            .spawn(move || poll_loop(listener, config, sink, loop_stats, loop_stop))
+            .spawn(move || poll_loop(listener, config, sink, loop_stats, loop_stop, loop_metrics))
             .expect("spawn digest ingest thread");
         Ok(Self {
             addr,
             stop,
             thread: Some(thread),
             stats,
+            metrics,
         })
+    }
+
+    /// The registry this server publishes its `digest_server_*` gauge
+    /// group into and answers `Metrics` frames from.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Binds with the batch sink feeding a collector producer: each
@@ -302,6 +350,7 @@ impl Conn {
         sink: &mut BatchSink,
         dedup: &mut BTreeMap<u64, SourceDedup>,
         stats: &mut DigestServerStats,
+        metrics: &MetricsRegistry,
     ) -> TickOutcome {
         let mut progressed = false;
         let buffered_before = self.reader.buffered();
@@ -310,7 +359,7 @@ impl Conn {
             match self.reader.poll_frame() {
                 Ok(FramePoll::Frame(ty, payload)) => {
                     progressed = true;
-                    self.route(ty, &payload, config, sink, dedup, stats);
+                    self.route(ty, &payload, config, sink, dedup, stats, metrics);
                 }
                 Ok(FramePoll::Pending) => break,
                 Ok(FramePoll::Closed) => {
@@ -365,6 +414,7 @@ impl Conn {
     }
 
     /// Dispatches one well-framed frame.
+    #[allow(clippy::too_many_arguments)]
     fn route(
         &mut self,
         ty: FrameType,
@@ -373,6 +423,7 @@ impl Conn {
         sink: &mut BatchSink,
         dedup: &mut BTreeMap<u64, SourceDedup>,
         stats: &mut DigestServerStats,
+        metrics: &MetricsRegistry,
     ) {
         match ty {
             FrameType::DigestBatch => match DigestBatch::decode(payload) {
@@ -404,6 +455,20 @@ impl Conn {
                     stats.payload_errors += 1;
                 }
             },
+            FrameType::Metrics => match MetricsMsg::decode(payload) {
+                Ok(MetricsMsg::Request(req)) => {
+                    // Answered from the shared registry on the same
+                    // back-pressure-aware write path as acks.
+                    let report = MetricsReport {
+                        request_id: req.request_id,
+                        source: 0,
+                        snapshot: metrics.snapshot(),
+                    };
+                    frame_into(FrameType::Metrics, &report, &mut self.write_buf);
+                }
+                // A stray report (or junk payload) at the server side.
+                _ => stats.unsupported_frames += 1,
+            },
             // Edge processes may announce/leave; nothing to track here.
             FrameType::Hello | FrameType::Bye => {}
             _ => stats.unsupported_frames += 1,
@@ -417,10 +482,28 @@ fn poll_loop(
     mut sink: BatchSink,
     shared_stats: Arc<Mutex<DigestServerStats>>,
     stop: Arc<AtomicBool>,
+    metrics: MetricsRegistry,
 ) {
     let mut conns: Vec<Conn> = Vec::new();
     let mut dedup: BTreeMap<u64, SourceDedup> = BTreeMap::new();
     let mut stats = DigestServerStats::default();
+    let obs = metrics.gauge_group("digest_server", &DIGEST_SERVER_OBS_FIELDS);
+    let publish = |obs: &GaugeGroup, s: &DigestServerStats| {
+        obs.set_all(&[
+            s.accepted,
+            s.active as u64,
+            s.batches_applied,
+            s.batches_duplicate,
+            s.digests,
+            s.acks_sent,
+            s.framing_errors,
+            s.payload_errors,
+            s.stalled_dropped,
+            s.unsupported_frames,
+            s.connections_rejected,
+            s.sources_rejected,
+        ]);
+    };
     while !stop.load(Ordering::Acquire) {
         let mut progressed = false;
         // Accept everything pending this tick.
@@ -446,8 +529,8 @@ fn poll_loop(
         }
         // One bounded tick per connection; a dropped connection never
         // takes the loop down with it.
-        conns.retain_mut(
-            |conn| match conn.tick(&config, &mut sink, &mut dedup, &mut stats) {
+        conns.retain_mut(|conn| {
+            match conn.tick(&config, &mut sink, &mut dedup, &mut stats, &metrics) {
                 TickOutcome::Keep { progressed: p } => {
                     progressed |= p;
                     true
@@ -456,16 +539,18 @@ fn poll_loop(
                     progressed = true;
                     false
                 }
-            },
-        );
+            }
+        });
         stats.active = conns.len();
         *shared_stats.lock().expect("digest server stats poisoned") = stats;
+        publish(&obs, &stats);
         if !progressed {
             std::thread::sleep(IDLE_SLEEP);
         }
     }
     stats.active = 0;
     *shared_stats.lock().expect("digest server stats poisoned") = stats;
+    publish(&obs, &stats);
 }
 
 #[cfg(test)]

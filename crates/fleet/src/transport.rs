@@ -8,8 +8,11 @@
 use crate::aggregator::{FleetAggregator, FleetConfig};
 use crate::error::FleetError;
 use pint_collector::wire::SnapshotFrame;
+use pint_obs::{Gauge, MetricsRegistry};
 use pint_query::{QueryError, QueryPlan, QueryResult};
-use pint_wire::{FrameReader, FrameType, ReadFrameError};
+use pint_wire::{
+    frame_into, FrameReader, FrameType, MetricsMsg, MetricsReport, ReadFrameError, WireDecode,
+};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -95,9 +98,28 @@ impl InMemorySender {
 /// [`FleetStats::decode_errors`](crate::FleetStats).
 pub struct FleetServer {
     agg: Arc<Mutex<FleetAggregator>>,
+    metrics: MetricsRegistry,
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Holds the `fleet_connections` gauge up for one connection's
+/// lifetime; the `Drop` decrement covers every exit path of
+/// [`connection_loop`], panics included.
+struct ConnectionGuard(Gauge);
+
+impl ConnectionGuard {
+    fn new(gauge: Gauge) -> Self {
+        gauge.add(1);
+        Self(gauge)
+    }
+}
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.0.sub(1);
+    }
 }
 
 impl FleetServer {
@@ -107,20 +129,42 @@ impl FleetServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let agg = Arc::new(Mutex::new(FleetAggregator::new(config)));
+        let aggregator = FleetAggregator::new(config);
+        let metrics = aggregator.metrics().clone();
+        // Registered at bind so the gauge reports 0 before the first
+        // connection rather than being absent from snapshots.
+        let connections = metrics.gauge("fleet_connections");
+        let agg = Arc::new(Mutex::new(aggregator));
         let stop = Arc::new(AtomicBool::new(false));
         let accept_agg = Arc::clone(&agg);
         let accept_stop = Arc::clone(&stop);
+        let accept_metrics = metrics.clone();
         let accept_thread = std::thread::Builder::new()
             .name("pint-fleet-accept".into())
-            .spawn(move || accept_loop(listener, accept_agg, accept_stop))
+            .spawn(move || {
+                accept_loop(
+                    listener,
+                    accept_agg,
+                    accept_stop,
+                    accept_metrics,
+                    connections,
+                )
+            })
             .expect("spawn fleet accept thread");
         Ok(Self {
             agg,
+            metrics,
             addr,
             stop,
             accept_thread: Some(accept_thread),
         })
+    }
+
+    /// The registry this server answers `Metrics` frames from — the
+    /// aggregator's (shared process-wide when
+    /// [`FleetConfig::metrics`] was set).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The bound address collectors connect to.
@@ -160,17 +204,26 @@ impl Drop for FleetServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, agg: Arc<Mutex<FleetAggregator>>, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    agg: Arc<Mutex<FleetAggregator>>,
+    stop: Arc<AtomicBool>,
+    metrics: MetricsRegistry,
+    connections: Gauge,
+) {
     let mut readers: Vec<JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let conn_agg = Arc::clone(&agg);
                 let conn_stop = Arc::clone(&stop);
+                let conn_metrics = metrics.clone();
+                let conn_gauge = connections.clone();
                 match std::thread::Builder::new()
                     .name("pint-fleet-conn".into())
-                    .spawn(move || connection_loop(stream, conn_agg, conn_stop))
-                {
+                    .spawn(move || {
+                        connection_loop(stream, conn_agg, conn_stop, conn_metrics, conn_gauge)
+                    }) {
                     Ok(t) => readers.push(t),
                     Err(_) => { /* thread exhaustion: drop the connection */ }
                 }
@@ -195,7 +248,14 @@ fn accept_loop(listener: TcpListener, agg: Arc<Mutex<FleetAggregator>>, stop: Ar
 /// contributing snapshots are cloned under the lock, then merged and
 /// executed outside it, so a slow query delays only this connection —
 /// ingestion never waits on a query's merge.
-fn connection_loop(stream: TcpStream, agg: Arc<Mutex<FleetAggregator>>, stop: Arc<AtomicBool>) {
+fn connection_loop(
+    stream: TcpStream,
+    agg: Arc<Mutex<FleetAggregator>>,
+    stop: Arc<AtomicBool>,
+    metrics: MetricsRegistry,
+    connections: Gauge,
+) {
+    let _guard = ConnectionGuard::new(connections);
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let mut writer = stream.try_clone().ok();
     let mut reader = FrameReader::new(stream);
@@ -235,6 +295,35 @@ fn connection_loop(stream: TcpStream, agg: Arc<Mutex<FleetAggregator>>, stop: Ar
                 }
                 // A decode error was counted; framing is intact, keep
                 // reading.
+            }
+            Ok(Some((FrameType::Metrics, payload))) => {
+                // Self-telemetry: answered from the registry snapshot,
+                // no aggregator lock needed. Anything but a request
+                // (a stray report, junk payload) is funneled to the
+                // aggregator, which counts it as unsupported.
+                match MetricsMsg::decode(&payload) {
+                    Ok(MetricsMsg::Request(req)) => {
+                        let report = MetricsReport {
+                            request_id: req.request_id,
+                            source: 0,
+                            snapshot: metrics.snapshot(),
+                        };
+                        let mut out = Vec::new();
+                        frame_into(FrameType::Metrics, &report, &mut out);
+                        let delivered = writer
+                            .as_mut()
+                            .map(|w| w.write_all(&out).and_then(|()| w.flush()));
+                        if !matches!(delivered, Some(Ok(()))) {
+                            return; // reply path gone; drop the connection
+                        }
+                    }
+                    _ => {
+                        let _ = agg
+                            .lock()
+                            .expect("fleet aggregator poisoned")
+                            .ingest_payload(FrameType::Metrics, &payload);
+                    }
+                }
             }
             Ok(Some((ty, payload))) => {
                 let mut agg = agg.lock().expect("fleet aggregator poisoned");
@@ -303,6 +392,15 @@ impl FleetClient {
         let id = self.next_request;
         self.next_request += 1;
         pint_query::remote::query_over(&mut self.stream, &mut self.reader, id, plan)
+    }
+
+    /// Fetches the server's live self-telemetry ([`MetricsReport`])
+    /// over this connection — every tier publishing into the server's
+    /// shared registry shows up in one snapshot.
+    pub fn fetch_metrics(&mut self) -> Result<MetricsReport, QueryError> {
+        let id = self.next_request;
+        self.next_request += 1;
+        pint_query::remote::metrics_over(&mut self.stream, &mut self.reader, id)
     }
 }
 

@@ -124,6 +124,38 @@ impl Report {
         }
         self.finished().count() as f64 / self.flows.len() as f64
     }
+
+    /// Publishes the report's scalar outcomes as the `netsim` gauge
+    /// group of `registry` (one atomic `set_all`), so a simulation's
+    /// health rides the same exposition paths — snapshot, `Metrics`
+    /// wire frame, text render — as the live tiers it feeds.
+    pub fn publish_into(&self, registry: &pint_obs::MetricsRegistry) {
+        let group = registry.gauge_group(
+            "netsim",
+            &[
+                "flows",
+                "flows_finished",
+                "drops",
+                "injected_faults",
+                "delivered_data_packets",
+                "delivered_payload_bytes",
+                "wire_bytes",
+                "max_queue_bytes",
+                "elapsed_ns",
+            ],
+        );
+        group.set_all(&[
+            self.flows.len() as u64,
+            self.finished().count() as u64,
+            self.drops,
+            self.injected_faults,
+            self.delivered_data_packets,
+            self.delivered_payload_bytes,
+            self.wire_bytes,
+            self.max_queue_bytes,
+            self.elapsed_ns,
+        ]);
+    }
 }
 
 #[cfg(test)]

@@ -160,6 +160,7 @@ pub struct Simulator {
     fault_rng: SmallRng,
     digest_sink: Option<DigestSink>,
     batch_sink: Option<BatchTap>,
+    sim_clock: Option<pint_obs::VirtualClock>,
 }
 
 /// A [`DigestBatchSink`] plus its accumulation buffer.
@@ -214,7 +215,20 @@ impl Simulator {
             fault_rng,
             digest_sink: None,
             batch_sink: None,
+            sim_clock: None,
         }
+    }
+
+    /// Drives a [`pint_obs::VirtualClock`] from simulated time: before
+    /// each event dispatches, the clock is set to the event's
+    /// timestamp. Hand the same clock to a
+    /// [`MetricsRegistry`](pint_obs::MetricsRegistry) (via
+    /// `MetricsRegistry::with_clock`) and every stage-timing histogram
+    /// recorded by in-simulation collectors is stamped in virtual
+    /// nanoseconds — two same-seed runs produce *identical* metric
+    /// snapshots, which the workspace determinism test pins.
+    pub fn drive_clock(&mut self, clock: pint_obs::VirtualClock) {
+        self.sim_clock = Some(clock);
     }
 
     /// Installs a sink-side digest tap (see [`DigestSink`]). Replaces any
@@ -647,6 +661,9 @@ impl Simulator {
                 break;
             }
             self.now = ev.at;
+            if let Some(clock) = &self.sim_clock {
+                clock.set(ev.at);
+            }
             match ev.kind {
                 EvKind::FlowStart {
                     flow,

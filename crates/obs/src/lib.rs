@@ -1,0 +1,32 @@
+//! # pint-obs — self-telemetry for the PINT stack
+//!
+//! PINT's value proposition is low-overhead network telemetry; this crate
+//! applies the same rigor to the stack itself. It is a dependency-free leaf
+//! crate so every tier (wire, query, collector, fleet, netsim) can use it:
+//!
+//! - [`MetricsRegistry`] — process-wide registry of counters, gauges,
+//!   fixed-bucket log2 [`Histogram`]s, and multi-field [`GaugeGroup`]s.
+//!   Registration is locked and returns cached handles; the hot path is
+//!   pure relaxed atomics with zero allocation.
+//! - [`Clock`] / [`MonotonicClock`] / [`VirtualClock`] — pluggable time so
+//!   netsim and tests inject virtual time and snapshots are deterministic.
+//! - [`MetricsSnapshot`] — deterministic point-in-time copy with lookup
+//!   helpers and a Prometheus-style
+//!   [`render_text`](MetricsSnapshot::render_text) exposition.
+//!
+//! The wire codec for shipping snapshots between tiers lives in `pint-wire`
+//! (frame type `Metrics` = 8); the metric name catalogue is in the
+//! repository README under "Observability".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod registry;
+mod snapshot;
+
+pub use clock::{Clock, ClockHandle, MonotonicClock, VirtualClock};
+pub use registry::{
+    bucket_bound, Counter, Gauge, GaugeGroup, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS,
+};
+pub use snapshot::{HistogramSnapshot, MetricsSnapshot, ScalarMetric, SnapshotHistogram};

@@ -1,0 +1,638 @@
+//! The metrics registry and its hot-path handles.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::{ClockHandle, MonotonicClock};
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot, ScalarMetric, SnapshotHistogram};
+
+/// Number of fixed log2 buckets in a [`Histogram`].
+///
+/// Bucket 0 counts the value 0; bucket `i` (1 ≤ i ≤ 64) counts values whose
+/// bit width is `i`, i.e. `2^(i-1) <= v < 2^i`. Together they cover the full
+/// `u64` range with no configuration and no allocation.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Upper bound (inclusive) of histogram bucket `i`.
+///
+/// Bucket 0 holds only the value 0; bucket `i` tops out at `2^i - 1`
+/// (saturating to [`u64::MAX`] for the last bucket).
+pub fn bucket_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64.. => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Monotonically increasing counter handle.
+///
+/// Cloning is cheap and all clones share the same cell; incrementing is a
+/// single relaxed atomic add — no locks, no allocation.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a counter detached from any registry (useful in tests).
+    pub fn detached() -> Self {
+        Self {
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
+/// Last-value gauge handle; same cost model as [`Counter`].
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Creates a gauge detached from any registry (useful in tests).
+    pub fn detached() -> Self {
+        Self {
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (for gauges maintained by delta).
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at 0 is *not* guaranteed — the cell wraps
+    /// like the underlying atomic; callers keep their own accounting sane.
+    pub fn sub(&self, n: u64) {
+        self.cell.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Gauge").field(&self.get()).finish()
+    }
+}
+
+pub(crate) struct HistCell {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl HistCell {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Fixed-bucket log2 histogram handle.
+///
+/// Recording a sample is two relaxed atomic adds into a fixed array — no
+/// locks, no allocation, any `u64` value accepted. See
+/// [`HISTOGRAM_BUCKETS`] for the bucket layout.
+#[derive(Clone)]
+pub struct Histogram {
+    cell: Arc<HistCell>,
+}
+
+impl Histogram {
+    /// Creates a histogram detached from any registry (useful in tests).
+    pub fn detached() -> Self {
+        Self {
+            cell: Arc::new(HistCell::new()),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.cell.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.cell.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Copies the current bucket counts out.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.cell.snapshot()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &s.count())
+            .field("sum", &s.sum)
+            .finish()
+    }
+}
+
+pub(crate) struct GroupCell {
+    pub(crate) fields: Vec<String>,
+    pub(crate) values: Mutex<Vec<u64>>,
+}
+
+/// A named vector of gauges published and snapshotted under one lock.
+///
+/// Use this when a set of counters must satisfy a cross-field invariant
+/// (e.g. `delivered + deduped + shed + in_flight == sent`): a writer calls
+/// [`set_all`](Self::set_all) with a consistent vector, and any snapshot —
+/// local or over the wire — observes either the whole old vector or the
+/// whole new one, never a mix.
+#[derive(Clone)]
+pub struct GaugeGroup {
+    cell: Arc<GroupCell>,
+}
+
+impl GaugeGroup {
+    /// Overwrites all fields atomically with respect to snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the field count declared at
+    /// registration.
+    pub fn set_all(&self, values: &[u64]) {
+        let mut v = self.cell.values.lock().unwrap();
+        assert_eq!(
+            v.len(),
+            values.len(),
+            "GaugeGroup::set_all arity mismatch (have {} fields)",
+            v.len()
+        );
+        v.copy_from_slice(values);
+    }
+
+    /// Reads all fields atomically with respect to writers.
+    pub fn get_all(&self) -> Vec<u64> {
+        self.cell.values.lock().unwrap().clone()
+    }
+
+    /// The field names declared at registration, in `set_all` order.
+    pub fn fields(&self) -> &[String] {
+        &self.cell.fields
+    }
+}
+
+impl fmt::Debug for GaugeGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GaugeGroup")
+            .field("fields", &self.cell.fields)
+            .field("values", &self.get_all())
+            .finish()
+    }
+}
+
+enum Slot {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistCell>),
+    Group(Arc<GroupCell>),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+            Slot::Group(_) => "gauge group",
+        }
+    }
+}
+
+type Key = (String, Option<u32>);
+
+struct Inner {
+    clock: ClockHandle,
+    slots: Mutex<BTreeMap<Key, Slot>>,
+}
+
+/// Process-wide metrics registry.
+///
+/// Registration (`counter`/`gauge`/`histogram`/`gauge_group`) takes a short
+/// lock and returns a cheap [`Clone`] handle; callers register once and
+/// cache the handle, after which the hot path is pure relaxed atomics.
+/// Registering the same `(name, shard)` key again returns a handle to the
+/// existing cell, so independently constructed components converge on
+/// shared metrics. Cloning the registry itself shares all metrics.
+///
+/// ```
+/// use pint_obs::MetricsRegistry;
+///
+/// let registry = MetricsRegistry::new();
+/// let ingested = registry.counter_shard("demo_ingested_total", 0);
+/// let depth = registry.gauge("demo_queue_depth");
+/// let lat = registry.histogram("demo_latency_ns");
+///
+/// ingested.add(3);
+/// depth.set(7);
+/// lat.record(1200);
+///
+/// let snap = registry.snapshot();
+/// assert_eq!(snap.counter("demo_ingested_total", Some(0)), Some(3));
+/// assert_eq!(snap.gauge("demo_queue_depth", None), Some(7));
+/// assert_eq!(snap.histogram("demo_latency_ns", None).unwrap().count(), 1);
+/// println!("{}", snap.render_text());
+/// ```
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<Inner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.inner.slots.lock().unwrap().len();
+        f.debug_struct("MetricsRegistry")
+            .field("metrics", &n)
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates a registry driven by the real [`MonotonicClock`].
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// Creates a registry driven by the given clock (e.g. a
+    /// [`VirtualClock`](crate::VirtualClock) in tests or netsim).
+    pub fn with_clock(clock: ClockHandle) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                clock,
+                slots: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// The clock all timing instrumentation in this registry should use.
+    pub fn clock(&self) -> ClockHandle {
+        Arc::clone(&self.inner.clock)
+    }
+
+    /// Shorthand for `self.clock().now_ns()`.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.clock.now_ns()
+    }
+
+    fn slot<T>(
+        &self,
+        name: &str,
+        shard: Option<u32>,
+        make: impl FnOnce() -> Slot,
+        extract: impl FnOnce(&Slot) -> Option<T>,
+    ) -> T {
+        let mut slots = self.inner.slots.lock().unwrap();
+        let slot = slots.entry((name.to_string(), shard)).or_insert_with(make);
+        match extract(slot) {
+            Some(t) => t,
+            None => panic!(
+                "metric `{name}` (shard {shard:?}) already registered as a {}",
+                slot.kind()
+            ),
+        }
+    }
+
+    /// Gets or registers an unsharded counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a different metric type
+    /// (the same key must always mean the same thing).
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_impl(name, None)
+    }
+
+    /// Gets or registers a counter labelled with an instance index —
+    /// a collector shard, a forwarder source id, etc.
+    pub fn counter_shard(&self, name: &str, shard: u32) -> Counter {
+        self.counter_impl(name, Some(shard))
+    }
+
+    /// Registers a counter backed by a caller-owned atomic cell, so a
+    /// component with an existing counter can expose it without double
+    /// accounting. If the key already exists as a counter, the existing
+    /// cell wins and `cell` is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics on metric-type mismatch, like [`counter`](Self::counter).
+    pub fn counter_cell(&self, name: &str, cell: Arc<AtomicU64>) -> Counter {
+        self.slot(
+            name,
+            None,
+            || Slot::Counter(cell),
+            |s| match s {
+                Slot::Counter(c) => Some(Counter {
+                    cell: Arc::clone(c),
+                }),
+                _ => None,
+            },
+        )
+    }
+
+    fn counter_impl(&self, name: &str, shard: Option<u32>) -> Counter {
+        self.slot(
+            name,
+            shard,
+            || Slot::Counter(Arc::new(AtomicU64::new(0))),
+            |s| match s {
+                Slot::Counter(c) => Some(Counter {
+                    cell: Arc::clone(c),
+                }),
+                _ => None,
+            },
+        )
+    }
+
+    /// Gets or registers an unsharded gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on metric-type mismatch, like [`counter`](Self::counter).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_impl(name, None)
+    }
+
+    /// Gets or registers a gauge labelled with an instance index.
+    pub fn gauge_shard(&self, name: &str, shard: u32) -> Gauge {
+        self.gauge_impl(name, Some(shard))
+    }
+
+    fn gauge_impl(&self, name: &str, shard: Option<u32>) -> Gauge {
+        self.slot(
+            name,
+            shard,
+            || Slot::Gauge(Arc::new(AtomicU64::new(0))),
+            |s| match s {
+                Slot::Gauge(c) => Some(Gauge {
+                    cell: Arc::clone(c),
+                }),
+                _ => None,
+            },
+        )
+    }
+
+    /// Gets or registers an unsharded histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics on metric-type mismatch, like [`counter`](Self::counter).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_impl(name, None)
+    }
+
+    /// Gets or registers a histogram labelled with an instance index.
+    pub fn histogram_shard(&self, name: &str, shard: u32) -> Histogram {
+        self.histogram_impl(name, Some(shard))
+    }
+
+    fn histogram_impl(&self, name: &str, shard: Option<u32>) -> Histogram {
+        self.slot(
+            name,
+            shard,
+            || Slot::Histogram(Arc::new(HistCell::new())),
+            |s| match s {
+                Slot::Histogram(c) => Some(Histogram {
+                    cell: Arc::clone(c),
+                }),
+                _ => None,
+            },
+        )
+    }
+
+    /// Gets or registers an unsharded [`GaugeGroup`].
+    ///
+    /// In snapshots the group flattens into one gauge per field, named
+    /// `{name}_{field}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on metric-type mismatch or if the key exists with different
+    /// field names.
+    pub fn gauge_group(&self, name: &str, fields: &[&str]) -> GaugeGroup {
+        self.gauge_group_impl(name, None, fields)
+    }
+
+    /// Gets or registers a [`GaugeGroup`] labelled with an instance index.
+    pub fn gauge_group_shard(&self, name: &str, shard: u32, fields: &[&str]) -> GaugeGroup {
+        self.gauge_group_impl(name, Some(shard), fields)
+    }
+
+    fn gauge_group_impl(&self, name: &str, shard: Option<u32>, fields: &[&str]) -> GaugeGroup {
+        let group = self.slot(
+            name,
+            shard,
+            || {
+                Slot::Group(Arc::new(GroupCell {
+                    fields: fields.iter().map(|s| s.to_string()).collect(),
+                    values: Mutex::new(vec![0; fields.len()]),
+                }))
+            },
+            |s| match s {
+                Slot::Group(c) => Some(GaugeGroup {
+                    cell: Arc::clone(c),
+                }),
+                _ => None,
+            },
+        );
+        assert!(
+            group
+                .cell
+                .fields
+                .iter()
+                .map(String::as_str)
+                .eq(fields.iter().copied()),
+            "gauge group `{name}` re-registered with different fields"
+        );
+        group
+    }
+
+    /// Takes a point-in-time snapshot of every registered metric.
+    ///
+    /// Counters and gauges are read with relaxed loads (each individually
+    /// atomic); gauge groups are read under their lock, so multi-field
+    /// invariants hold in the snapshot. Output ordering is deterministic
+    /// (sorted by name, then instance index).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let slots = self.inner.slots.lock().unwrap();
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for ((name, shard), slot) in slots.iter() {
+            match slot {
+                Slot::Counter(c) => counters.push(ScalarMetric {
+                    name: name.clone(),
+                    shard: *shard,
+                    value: c.load(Ordering::Relaxed),
+                }),
+                Slot::Gauge(c) => gauges.push(ScalarMetric {
+                    name: name.clone(),
+                    shard: *shard,
+                    value: c.load(Ordering::Relaxed),
+                }),
+                Slot::Histogram(h) => histograms.push(SnapshotHistogram {
+                    name: name.clone(),
+                    shard: *shard,
+                    hist: h.snapshot(),
+                }),
+                Slot::Group(g) => {
+                    let values = g.values.lock().unwrap().clone();
+                    for (field, value) in g.fields.iter().zip(values) {
+                        gauges.push(ScalarMetric {
+                            name: format!("{name}_{field}"),
+                            shard: *shard,
+                            value,
+                        });
+                    }
+                }
+            }
+        }
+        // Group flattening can interleave names out of order; restore the
+        // deterministic global ordering the snapshot promises.
+        counters.sort_by(|a, b| (&a.name, a.shard).cmp(&(&b.name, b.shard)));
+        gauges.sort_by(|a, b| (&a.name, a.shard).cmp(&(&b.name, b.shard)));
+        histograms.sort_by(|a, b| (&a.name, a.shard).cmp(&(&b.name, b.shard)));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_cells_by_key() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x_total");
+        let b = r.counter("x_total");
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        // Different shard label = different cell.
+        let c = r.counter_shard("x_total", 1);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        let _ = r.counter("m");
+        let _ = r.gauge("m");
+    }
+
+    #[test]
+    fn histogram_buckets_cover_u64() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        let h = Histogram::detached();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[64], 1);
+        // sum wraps on overflow: 0 + 1 + u64::MAX ≡ 0 (mod 2^64).
+        assert_eq!(s.sum, 0);
+    }
+
+    #[test]
+    fn gauge_group_atomic_arity() {
+        let r = MetricsRegistry::new();
+        let g = r.gauge_group("fw", &["sent", "done"]);
+        g.set_all(&[10, 10]);
+        assert_eq!(g.get_all(), vec![10, 10]);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauge("fw_sent", None), Some(10));
+        assert_eq!(snap.gauge("fw_done", None), Some(10));
+    }
+
+    #[test]
+    fn snapshot_order_is_deterministic() {
+        let r = MetricsRegistry::new();
+        r.counter_shard("b_total", 1).inc();
+        r.counter_shard("b_total", 0).inc();
+        r.counter("a_total").inc();
+        let s = r.snapshot();
+        let keys: Vec<_> = s
+            .counters
+            .iter()
+            .map(|c| (c.name.as_str(), c.shard))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("a_total", None),
+                ("b_total", Some(0)),
+                ("b_total", Some(1))
+            ]
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Point-in-time snapshots and the Prometheus-style text renderer.
+
+use crate::registry::{bucket_bound, HISTOGRAM_BUCKETS};
+use std::fmt::Write as _;
+
+/// One counter or gauge reading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScalarMetric {
+    /// Metric name (snake_case, `_total` suffix for counters by convention).
+    pub name: String,
+    /// Optional instance index: collector shard, forwarder source id, …
+    pub shard: Option<u32>,
+    /// The value at snapshot time.
+    pub value: u64,
+}
+
+/// Frozen bucket counts of one [`Histogram`](crate::Histogram).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts; see
+    /// [`HISTOGRAM_BUCKETS`](crate::HISTOGRAM_BUCKETS) for the layout.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of all recorded values (wrapping on overflow).
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean of recorded values, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum as f64 / n as f64)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (0 ≤ q ≤ 1),
+    /// or `None` if empty. Log2 buckets make this an upper estimate within
+    /// 2× of the true value.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Some(bucket_bound(i));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// One histogram reading in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotHistogram {
+    /// Metric name.
+    pub name: String,
+    /// Optional instance index.
+    pub shard: Option<u32>,
+    /// Frozen bucket counts.
+    pub hist: HistogramSnapshot,
+}
+
+/// Everything a [`MetricsRegistry`](crate::MetricsRegistry) knew at one
+/// instant, in deterministic order — two registries holding the same values
+/// compare equal.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter readings, sorted by `(name, shard)`.
+    pub counters: Vec<ScalarMetric>,
+    /// Gauge readings (gauge groups flattened to `{group}_{field}` names),
+    /// sorted by `(name, shard)`.
+    pub gauges: Vec<ScalarMetric>,
+    /// Histogram readings, sorted by `(name, shard)`.
+    pub histograms: Vec<SnapshotHistogram>,
+}
+
+fn find(metrics: &[ScalarMetric], name: &str, shard: Option<u32>) -> Option<u64> {
+    metrics
+        .iter()
+        .find(|m| m.name == name && m.shard == shard)
+        .map(|m| m.value)
+}
+
+fn total(metrics: &[ScalarMetric], name: &str) -> u64 {
+    metrics
+        .iter()
+        .filter(|m| m.name == name)
+        .map(|m| m.value)
+        .sum()
+}
+
+impl MetricsSnapshot {
+    /// Looks up one counter reading.
+    pub fn counter(&self, name: &str, shard: Option<u32>) -> Option<u64> {
+        find(&self.counters, name, shard)
+    }
+
+    /// Sums a counter across all instance indexes.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        total(&self.counters, name)
+    }
+
+    /// Looks up one gauge reading (gauge-group fields appear as
+    /// `{group}_{field}`).
+    pub fn gauge(&self, name: &str, shard: Option<u32>) -> Option<u64> {
+        find(&self.gauges, name, shard)
+    }
+
+    /// Sums a gauge across all instance indexes.
+    pub fn gauge_total(&self, name: &str) -> u64 {
+        total(&self.gauges, name)
+    }
+
+    /// Looks up one histogram reading.
+    pub fn histogram(&self, name: &str, shard: Option<u32>) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name && h.shard == shard)
+            .map(|h| &h.hist)
+    }
+
+    /// Renders the snapshot in Prometheus text exposition style.
+    ///
+    /// Sharded metrics carry a `shard="N"` label; histograms emit
+    /// cumulative `_bucket{le=...}` lines (trailing empty buckets elided),
+    /// `_sum`, and `_count`.
+    ///
+    /// ```
+    /// use pint_obs::MetricsRegistry;
+    ///
+    /// let r = MetricsRegistry::new();
+    /// r.counter_shard("demo_ingested_total", 3).add(41);
+    /// let text = r.snapshot().render_text();
+    /// assert!(text.contains("demo_ingested_total{shard=\"3\"} 41"));
+    /// ```
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_type_line = String::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let line = format!("# TYPE {name} {kind}\n");
+            if line != last_type_line {
+                out.push_str(&line);
+                last_type_line = line;
+            }
+        };
+        let label = |shard: Option<u32>| match shard {
+            Some(s) => format!("{{shard=\"{s}\"}}"),
+            None => String::new(),
+        };
+        for m in &self.counters {
+            type_line(&mut out, &m.name, "counter");
+            let _ = writeln!(out, "{}{} {}", m.name, label(m.shard), m.value);
+        }
+        for m in &self.gauges {
+            type_line(&mut out, &m.name, "gauge");
+            let _ = writeln!(out, "{}{} {}", m.name, label(m.shard), m.value);
+        }
+        for h in &self.histograms {
+            type_line(&mut out, &h.name, "histogram");
+            let last = h.hist.buckets.iter().rposition(|&b| b > 0).unwrap_or(0);
+            let mut cumulative = 0u64;
+            for (i, b) in h.hist.buckets.iter().enumerate().take(last + 1) {
+                cumulative += b;
+                let le = match h.shard {
+                    Some(s) => format!("{{shard=\"{s}\",le=\"{}\"}}", bucket_le(i)),
+                    None => format!("{{le=\"{}\"}}", bucket_le(i)),
+                };
+                let _ = writeln!(out, "{}_bucket{} {}", h.name, le, cumulative);
+            }
+            let inf = match h.shard {
+                Some(s) => format!("{{shard=\"{s}\",le=\"+Inf\"}}",),
+                None => "{le=\"+Inf\"}".to_string(),
+            };
+            let _ = writeln!(out, "{}_bucket{} {}", h.name, inf, h.hist.count());
+            let _ = writeln!(out, "{}_sum{} {}", h.name, label(h.shard), h.hist.sum);
+            let _ = writeln!(out, "{}_count{} {}", h.name, label(h.shard), h.hist.count());
+        }
+        out
+    }
+}
+
+fn bucket_le(i: usize) -> String {
+    if i >= 64 {
+        "+Inf".to_string()
+    } else {
+        crate::registry::bucket_bound(i).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn quantiles_and_mean() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat_ns");
+        for v in [1u64, 2, 4, 8, 1000] {
+            h.record(v);
+        }
+        let s = r.snapshot();
+        let hist = s.histogram("lat_ns", None).unwrap();
+        assert_eq!(hist.count(), 5);
+        assert_eq!(hist.mean(), Some(203.0));
+        // p50 of {1,2,4,8,1000}: third sample = 4, bucket bound 7.
+        assert_eq!(hist.quantile(0.5), Some(7));
+        assert_eq!(hist.quantile(1.0), Some(1023));
+        assert_eq!(hist.quantile(0.0), Some(1));
+    }
+
+    #[test]
+    fn render_text_shapes() {
+        let r = MetricsRegistry::new();
+        r.counter("c_total").add(5);
+        r.gauge_shard("depth", 2).set(9);
+        r.histogram("h_ns").record(3);
+        let text = r.snapshot().render_text();
+        assert!(text.contains("# TYPE c_total counter\nc_total 5\n"));
+        assert!(text.contains("depth{shard=\"2\"} 9"));
+        assert!(text.contains("h_ns_bucket{le=\"3\"} 1"));
+        assert!(text.contains("h_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("h_ns_sum 3"));
+        assert!(text.contains("h_ns_count 1"));
+    }
+
+    #[test]
+    fn empty_snapshots_compare_equal() {
+        assert_eq!(MetricsSnapshot::default(), MetricsSnapshot::default());
+    }
+}

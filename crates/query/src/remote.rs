@@ -14,8 +14,8 @@
 use crate::exec::{QueryBackend, QueryResult};
 use crate::plan::{QueryError, QueryPlan};
 use pint_wire::{
-    frame_into, FrameReader, FrameType, ReadFrameError, WireDecode, WireEncode, WireError,
-    WireReader, WireWriter,
+    frame_into, FrameReader, FrameType, MetricsMsg, MetricsReport, MetricsRequest, ReadFrameError,
+    WireDecode, WireEncode, WireError, WireReader, WireWriter,
 };
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -320,6 +320,47 @@ pub fn query_over<W: Write, R: std::io::Read>(
     }
 }
 
+/// Sends one `Metrics` request frame on `writer` and reads frames from
+/// `reader` until the matching report arrives — the self-telemetry
+/// sibling of [`query_over`], shared by [`QueryClient`] and the fleet
+/// tier's client. Frames that are not the answer (earlier requests'
+/// reports, interleaved query responses) are skipped, never errors.
+pub fn metrics_over<W: Write, R: std::io::Read>(
+    writer: &mut W,
+    reader: &mut FrameReader<R>,
+    request_id: u64,
+) -> Result<MetricsReport, QueryError> {
+    let mut bytes = Vec::new();
+    frame_into(
+        FrameType::Metrics,
+        &MetricsRequest { request_id },
+        &mut bytes,
+    );
+    writer.write_all(&bytes)?;
+    writer.flush()?;
+    loop {
+        match reader.read_frame() {
+            Ok(Some((FrameType::Metrics, payload))) => {
+                match MetricsMsg::decode(&payload).map_err(QueryError::Wire)? {
+                    MetricsMsg::Report(report) if report.request_id == request_id => {
+                        return Ok(report)
+                    }
+                    _ => continue, // another request's report, or an echo
+                }
+            }
+            Ok(Some(_)) => continue, // unrelated frame type
+            Ok(None) => {
+                return Err(QueryError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before the metrics report",
+                )))
+            }
+            Err(ReadFrameError::Io(e)) => return Err(QueryError::Io(e)),
+            Err(ReadFrameError::Wire(e)) => return Err(QueryError::Wire(e)),
+        }
+    }
+}
+
 /// A connection to a [`QueryResponder`] (or any server speaking
 /// `Query`/`QueryResponse` frames, e.g. the fleet server).
 pub struct QueryClient {
@@ -346,6 +387,16 @@ impl QueryClient {
         let id = self.next_id;
         self.next_id += 1;
         query_over(&mut self.writer, &mut self.reader, id, plan)
+    }
+
+    /// Fetches the server's live self-telemetry snapshot (a `Metrics`
+    /// frame), blocking for the report. Servers that do not serve
+    /// metrics close the request unanswered, which surfaces as a
+    /// timeout/EOF error here, never a hang past the socket timeout.
+    pub fn fetch_metrics(&mut self) -> Result<MetricsReport, QueryError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        metrics_over(&mut self.writer, &mut self.reader, id)
     }
 }
 

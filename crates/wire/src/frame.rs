@@ -56,6 +56,11 @@ pub enum FrameType {
     /// or duplicate). The at-least-once half of the edge-ingest
     /// protocol — see [`BatchAck`](crate::BatchAck).
     BatchAck = 7,
+    /// Self-telemetry: a metrics request (kind byte 0, request id) or a
+    /// metrics report (kind byte 1, request id, source id, then a full
+    /// `MetricsSnapshot`) — see the [`metrics`](crate::metrics) module.
+    /// Served by `FleetServer` and `DigestServer`.
+    Metrics = 8,
 }
 
 impl FrameType {
@@ -68,6 +73,7 @@ impl FrameType {
             5 => Ok(FrameType::Query),
             6 => Ok(FrameType::QueryResponse),
             7 => Ok(FrameType::BatchAck),
+            8 => Ok(FrameType::Metrics),
             other => Err(WireError::UnknownFrameType(other)),
         }
     }

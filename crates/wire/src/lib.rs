@@ -31,6 +31,7 @@
 //! | 0x05 | [`FrameType::Query`]        | request id (varint), then a `QueryPlan` (see `pint-query`) |
 //! | 0x06 | [`FrameType::QueryResponse`]| request id (varint), status byte, then a `QueryResult` or an error message |
 //! | 0x07 | [`FrameType::BatchAck`]     | a [`BatchAck`]: echoed sequence number (varint), status byte (0 = applied, 1 = duplicate) |
+//! | 0x08 | [`FrameType::Metrics`]      | self-telemetry: kind byte (0 = [`MetricsRequest`], 1 = [`MetricsReport`] carrying a `pint-obs` `MetricsSnapshot`) |
 //!
 //! `DigestBatch`/`BatchAck` together form the edge-ingest protocol:
 //! sequence-numbered at-least-once delivery with receiver-side dedup
@@ -85,6 +86,7 @@ mod codec;
 mod error;
 pub mod fault;
 mod frame;
+pub mod metrics;
 mod rw;
 
 pub use batch::{AckStatus, BatchAck, DigestBatch, MAX_BATCH_REPORTS};
@@ -94,6 +96,7 @@ pub use frame::{
     frame_into, parse_frame, peek_frame, FramePoll, FrameReader, FrameType, ReadFrameError,
     HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
 };
+pub use metrics::{MetricsMsg, MetricsReport, MetricsRequest, MAX_METRIC_NAME};
 pub use rw::{WireReader, WireWriter};
 
 /// Serialize into the PINT wire format by appending to a caller-owned

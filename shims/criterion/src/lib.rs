@@ -63,6 +63,7 @@ impl BenchmarkId {
 pub struct Criterion {
     budget: Duration,
     results: Vec<BenchResult>,
+    notes: Vec<String>,
 }
 
 impl Default for Criterion {
@@ -74,6 +75,7 @@ impl Default for Criterion {
         Self {
             budget: Duration::from_millis(ms.max(1)),
             results: Vec::new(),
+            notes: Vec::new(),
         }
     }
 }
@@ -94,6 +96,22 @@ impl Criterion {
         let res = run_one(id.to_string(), None, budget, f);
         self.record(res);
         self
+    }
+
+    /// Results recorded so far (shim extension): lets a bench compare
+    /// its fresh measurements against a committed baseline and attach
+    /// the verdict as a [`note`](Self::note).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Attaches one extra JSON object to the `PINT_BENCH_JSON` output
+    /// (shim extension). `json` must be a complete JSON object literal;
+    /// it is appended verbatim after the measurement entries, so a
+    /// bench can record context — e.g. a metrics snapshot taken during
+    /// the run — alongside its throughput numbers.
+    pub fn note(&mut self, json: impl Into<String>) {
+        self.notes.push(json.into());
     }
 
     fn record(&mut self, res: BenchResult) {
@@ -119,27 +137,33 @@ impl Drop for Criterion {
         let Ok(path) = std::env::var("PINT_BENCH_JSON") else {
             return;
         };
-        let mut out = String::from("[\n");
-        for (i, r) in self.results.iter().enumerate() {
+        if let Err(e) = std::fs::write(&path, render_json(&self.results, &self.notes)) {
+            eprintln!("criterion shim: cannot write {path}: {e}");
+        }
+    }
+}
+
+/// One JSON array: measurement entries first, then any attached notes.
+fn render_json(results: &[BenchResult], notes: &[String]) -> String {
+    let mut entries: Vec<String> = results
+        .iter()
+        .map(|r| {
             let thr = match r.throughput {
                 Some(Throughput::Elements(n)) => format!(", \"elements_per_iter\": {n}"),
                 Some(Throughput::Bytes(n)) => format!(", \"bytes_per_iter\": {n}"),
                 None => String::new(),
             };
-            out.push_str(&format!(
-                "  {{\"id\": \"{}\", \"mean_ns\": {:.2}, \"iters\": {}{}}}{}\n",
-                r.id,
-                r.mean_ns,
-                r.iters,
-                thr,
-                if i + 1 < self.results.len() { "," } else { "" }
-            ));
-        }
-        out.push_str("]\n");
-        if let Err(e) = std::fs::write(&path, out) {
-            eprintln!("criterion shim: cannot write {path}: {e}");
-        }
-    }
+            format!(
+                "  {{\"id\": \"{}\", \"mean_ns\": {:.2}, \"iters\": {}{}}}",
+                r.id, r.mean_ns, r.iters, thr
+            )
+        })
+        .collect();
+    entries.extend(notes.iter().map(|n| format!("  {n}")));
+    let mut out = String::from("[\n");
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n]\n");
+    out
 }
 
 /// A group of benchmarks sharing a name prefix and throughput setting.
@@ -271,6 +295,7 @@ mod tests {
         let mut c = Criterion {
             budget: Duration::from_millis(5),
             results: Vec::new(),
+            notes: Vec::new(),
         };
         let mut g = c.benchmark_group("g");
         g.throughput(Throughput::Elements(100));
@@ -282,5 +307,23 @@ mod tests {
         assert_eq!(c.results.len(), 2);
         assert!(c.results.iter().all(|r| r.mean_ns > 0.0 && r.iters >= 1));
         assert_eq!(c.results[1].id, "g/param/7");
+    }
+
+    #[test]
+    fn notes_render_after_results() {
+        let results = vec![BenchResult {
+            id: "g/a".into(),
+            mean_ns: 10.0,
+            iters: 3,
+            throughput: None,
+        }];
+        let notes = vec![r#"{"id": "note", "k": 1}"#.to_string()];
+        let out = render_json(&results, &notes);
+        assert!(out.starts_with("[\n"));
+        assert!(out.ends_with("]\n"));
+        let ai = out.find("\"g/a\"").unwrap();
+        let ni = out.find("\"note\"").unwrap();
+        assert!(ai < ni, "notes must follow measurements");
+        assert!(out.contains("},\n"), "entries comma-separated:\n{out}");
     }
 }

@@ -14,6 +14,8 @@
 //! * `fleet` — cross-collector aggregation over TCP / in-memory frames.
 //! * `query` — one typed `TelemetryQuery`/`QueryPlan` read API executed
 //!   on collectors, fleet views, and over the wire.
+//! * `obs` — self-telemetry: lock-free metrics registry, stage-timing
+//!   histograms, pluggable clocks, text + wire exposition.
 
 pub use pint_collector as collector;
 pub use pint_core as core;
@@ -21,6 +23,7 @@ pub use pint_dataplane as dataplane;
 pub use pint_fleet as fleet;
 pub use pint_hpcc as hpcc;
 pub use pint_netsim as netsim;
+pub use pint_obs as obs;
 pub use pint_query as query;
 pub use pint_sketches as sketches;
 pub use pint_traceback as traceback;
@@ -31,4 +34,5 @@ pub use pint_core::{
     Digest, DigestReport, FlowRecorder, GlobalHash, HashFamily, MetadataKind, PathDecoder,
     PathTracer, QueryEngine, QuerySpec, SchemeConfig, TracerConfig,
 };
+pub use pint_obs::{MetricsRegistry, MetricsSnapshot, MonotonicClock, VirtualClock};
 pub use pint_query::{QueryBackend, QueryPlan, QueryResult, TelemetryQuery};

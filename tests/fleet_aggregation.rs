@@ -83,6 +83,7 @@ fn fleet_config(agg: &DynamicAggregator) -> FleetConfig {
             .scoped((0..HOT_FLOWS).collect()),
         ],
         codec: Some(agg.clone()),
+        metrics: None,
     }
 }
 
