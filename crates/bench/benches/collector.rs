@@ -21,7 +21,7 @@
 //! instrumentation budget.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pint_collector::{Collector, CollectorConfig};
+use pint_collector::{Collector, CollectorConfig, PrefilterConfig};
 use pint_core::dynamic::{DynamicAggregator, DynamicRecorder};
 use pint_core::value::Digest;
 use pint_core::{DigestReport, FlowRecorder};
@@ -63,7 +63,9 @@ fn partition(reports: &[DigestReport], producers: u64) -> Vec<Vec<DigestReport>>
 
 /// One ingest cell: `producers` threads × `shards` shards, publishing
 /// into `metrics` when given (the observed variant) or a private
-/// registry otherwise.
+/// registry otherwise. A non-empty `variant` renames the cell (for
+/// side-by-side pairs like the prefilter on/off comparison), and
+/// `prefilter` installs the ingest-side watch-list filter.
 fn run_cell(
     g: &mut criterion::BenchmarkGroup<'_>,
     agg: &DynamicAggregator,
@@ -71,7 +73,10 @@ fn run_cell(
     producers: u64,
     shards: usize,
     metrics: Option<MetricsRegistry>,
+    prefilter: Option<PrefilterConfig>,
+    variant: &str,
 ) {
+    let filtered = prefilter.is_some();
     let parts = partition(reports, producers);
     let rec_agg = agg.clone();
     let collector = Collector::spawn(
@@ -81,6 +86,7 @@ fn run_cell(
             ring_capacity: 64,
             max_flows_per_shard: 2_048,
             metrics,
+            prefilter,
             ..CollectorConfig::default()
         },
         Arc::new(move |_flow, report: &DigestReport| {
@@ -97,29 +103,37 @@ fn run_cell(
         .iter()
         .map(|_| collector.register_producer())
         .collect();
-    g.bench_with_input(
-        BenchmarkId::new(format!("p{producers}"), format!("s{shards}")),
-        &shards,
-        |b, _| {
-            b.iter(|| {
-                std::thread::scope(|s| {
-                    for (part, handle) in parts.iter().zip(handles.iter_mut()) {
-                        s.spawn(move || {
-                            for r in part {
-                                handle.push(r.clone()).expect("collector alive");
-                            }
-                            handle.flush().expect("flush");
-                        });
-                    }
-                });
-                collector.barrier().expect("barrier");
-                black_box(())
-            })
-        },
-    );
+    let id = if variant.is_empty() {
+        BenchmarkId::new(format!("p{producers}"), format!("s{shards}"))
+    } else {
+        BenchmarkId::new(variant, format!("p{producers}s{shards}"))
+    };
+    g.bench_with_input(id, &shards, |b, _| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for (part, handle) in parts.iter().zip(handles.iter_mut()) {
+                    s.spawn(move || {
+                        for r in part {
+                            handle.push(r.clone()).expect("collector alive");
+                        }
+                        handle.flush().expect("flush");
+                    });
+                }
+            });
+            collector.barrier().expect("barrier");
+            black_box(())
+        })
+    });
     drop(handles);
     let stats = collector.shutdown();
-    assert!(stats.ingested >= reports.len() as u64, "workload applied");
+    if filtered {
+        // The filter diverts off-watch digests before the ring; they
+        // are accounted, not lost.
+        assert!(stats.digests_prefiltered > 0, "prefilter never engaged");
+        assert!(stats.ingested > 0, "watch-listed flows must land");
+    } else {
+        assert!(stats.ingested >= reports.len() as u64, "workload applied");
+    }
     assert_eq!(stats.digests_dropped, 0, "no digest lost");
 }
 
@@ -130,7 +144,7 @@ fn bench_ingest(c: &mut Criterion) {
     g.throughput(Throughput::Elements(reports.len() as u64));
     for producers in [1u64, 2, 4] {
         for shards in [1usize, 2, 4, 8] {
-            run_cell(&mut g, &agg, &reports, producers, shards, None);
+            run_cell(&mut g, &agg, &reports, producers, shards, None, None, "");
         }
     }
     g.finish();
@@ -141,12 +155,151 @@ fn bench_ingest(c: &mut Criterion) {
     let registry = MetricsRegistry::new();
     let mut g = c.benchmark_group("collector_ingest_observed");
     g.throughput(Throughput::Elements(reports.len() as u64));
-    run_cell(&mut g, &agg, &reports, 2, 4, Some(registry.clone()));
+    run_cell(&mut g, &agg, &reports, 2, 4, Some(registry.clone()), None, "");
     g.finish();
     c.note(snapshot_note(&registry));
+
+    // Prefilter on/off pair on the same cell and stream: `on` watches
+    // 1/8th of the flows, so the `off`→`on` mean_ns gap is the price of
+    // full ingest versus two hashes per uninteresting digest.
+    let watch: Vec<u64> = (0..FLOWS).filter(|f| f % 8 == 0).collect();
+    let mut g = c.benchmark_group("collector_ingest_prefilter");
+    g.throughput(Throughput::Elements(reports.len() as u64));
+    run_cell(&mut g, &agg, &reports, 2, 4, None, None, "off");
+    run_cell(
+        &mut g,
+        &agg,
+        &reports,
+        2,
+        4,
+        None,
+        Some(PrefilterConfig::new(watch)),
+        "on",
+    );
+    g.finish();
+
+    if let Some(note) = scaling_note(c) {
+        c.note(note);
+    }
     if let Some(note) = overhead_note(c) {
         c.note(note);
     }
+}
+
+/// Digests/s-per-core across the matrix: each cell's throughput divided
+/// by the cores it can actually use — `min(available_parallelism,
+/// producers + shards)` threads run concurrently at most — normalized
+/// to the serial `p1/s1` cell. On a 1-core host every cell shares one
+/// core, so efficiency reads as "how much does coordination cost when
+/// it cannot buy parallelism"; on a many-core host it reads as true
+/// scaling efficiency.
+fn scaling_note(c: &Criterion) -> Option<String> {
+    let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) as u64;
+    let mut cells = Vec::new();
+    let mut base_per_core = None;
+    for r in c.results() {
+        let Some(cell) = r.id.strip_prefix("collector_ingest/p") else {
+            continue;
+        };
+        let (p, s) = cell.split_once("/s")?;
+        let (p, s): (u64, u64) = (p.parse().ok()?, s.parse().ok()?);
+        let cores = avail.min(p + s);
+        let rate = (FLOWS * DIGESTS_PER_FLOW) as f64 * 1e9 / r.mean_ns;
+        let per_core = rate / cores as f64;
+        if p == 1 && s == 1 {
+            base_per_core = Some(per_core);
+        }
+        let eff = base_per_core.map_or(1.0, |b| per_core / b);
+        cells.push(format!(
+            "{{\"id\": \"p{p}/s{s}\", \"cores\": {cores}, \
+             \"digests_per_sec\": {rate:.0}, \"digests_per_sec_per_core\": {per_core:.0}, \
+             \"efficiency_vs_p1s1\": {eff:.3}}}"
+        ));
+    }
+    if cells.is_empty() {
+        return None;
+    }
+    Some(format!(
+        "{{\"id\": \"ingest_scaling_efficiency\", \"available_parallelism\": {avail}, \
+         \"cores_model\": \"min(available_parallelism, producers + shards)\", \
+         \"entries\": [{}]}}",
+        cells.join(", ")
+    ))
+}
+
+/// Tuning sweep behind the `CollectorConfig` defaults: ring capacity ×
+/// batch size on a mid-matrix cell, plus a spin-limit sweep at the
+/// chosen geometry. Run with a generous `PINT_BENCH_MS` when retuning;
+/// the committed defaults cite this sweep's output in
+/// `BENCH_ingest.json`.
+fn bench_sweep(c: &mut Criterion) {
+    let agg = DynamicAggregator::new(17, 8, 100.0, 1.0e7);
+    let reports = workload(&agg);
+    let parts = partition(&reports, 2);
+    let mut g = c.benchmark_group("collector_ingest_sweep");
+    g.throughput(Throughput::Elements(reports.len() as u64));
+    let sweep = |g: &mut criterion::BenchmarkGroup<'_>,
+                     ring_capacity: usize,
+                     batch_size: usize,
+                     spin_limit: u32| {
+        let rec_agg = agg.clone();
+        let collector = Collector::spawn(
+            CollectorConfig {
+                shards: 2,
+                batch_size,
+                ring_capacity,
+                spin_limit,
+                max_flows_per_shard: 2_048,
+                ..CollectorConfig::default()
+            },
+            Arc::new(move |_flow, report: &DigestReport| {
+                Box::new(DynamicRecorder::new_sketched(
+                    rec_agg.clone(),
+                    usize::from(report.path_len).max(1),
+                    64,
+                )) as Box<dyn FlowRecorder>
+            }),
+        );
+        let mut handles: Vec<_> = parts
+            .iter()
+            .map(|_| collector.register_producer())
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new(
+                format!("r{ring_capacity}_b{batch_size}"),
+                format!("spin{spin_limit}"),
+            ),
+            &ring_capacity,
+            |b, _| {
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for (part, handle) in parts.iter().zip(handles.iter_mut()) {
+                            s.spawn(move || {
+                                for r in part {
+                                    handle.push(r.clone()).expect("collector alive");
+                                }
+                                handle.flush().expect("flush");
+                            });
+                        }
+                    });
+                    collector.barrier().expect("barrier");
+                    black_box(())
+                })
+            },
+        );
+        drop(handles);
+        let stats = collector.shutdown();
+        assert_eq!(stats.digests_dropped, 0, "no digest lost");
+    };
+    for ring_capacity in [16usize, 64, 256] {
+        for batch_size in [64usize, 256, 1_024] {
+            sweep(&mut g, ring_capacity, batch_size, 64);
+        }
+    }
+    for spin_limit in [16u32, 256] {
+        sweep(&mut g, 64, 1_024, spin_limit);
+    }
+    g.finish();
 }
 
 /// Summarizes the observed cell's registry as one JSON note.
@@ -243,5 +396,5 @@ fn baseline_mean_ns(baseline: &str, id: &str) -> Option<f64> {
     rest.split([',', '}']).next()?.trim().parse().ok()
 }
 
-criterion_group!(benches, bench_ingest);
+criterion_group!(benches, bench_ingest, bench_sweep);
 criterion_main!(benches);

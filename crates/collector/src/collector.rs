@@ -6,9 +6,10 @@ use crate::error::CollectorError;
 use crate::events::Event;
 use crate::handle::{shard_of, CollectorHandle};
 use crate::inference::{CollectorSnapshot, FlowSummary, ShardSnapshot};
+use crate::prefilter::Bloom;
 use crate::ring::{self, RingTuning, Waiter};
 use crate::shard::{ShardMsg, ShardQuery, ShardSelect, ShardStats, ShardWorker};
-use pint_obs::{ClockHandle, Counter, Histogram, MetricsRegistry};
+use pint_obs::{ClockHandle, Counter, Gauge, Histogram, MetricsRegistry};
 use pint_query::{QueryBackend, QueryError, QueryPlan, QueryResult, Selector, TableTotals};
 use std::sync::atomic::AtomicU64;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
@@ -50,6 +51,9 @@ pub struct CollectorStats {
     /// Times a producer parked on a full ring (backpressure pressure
     /// gauge: rising fast means shards cannot keep up).
     pub producer_parks: u64,
+    /// Digests dropped by the ingest-side watch-list pre-filter before
+    /// buffering (zero when `prefilter` is unset).
+    pub digests_prefiltered: u64,
 }
 
 /// Everything a [`CollectorHandle`] needs to mint sibling producers:
@@ -75,6 +79,25 @@ pub(crate) struct ProducerRegistry {
     pub(crate) enqueue: Histogram,
     /// Clock the enqueue timing reads (the registry's clock).
     pub(crate) clock: ClockHandle,
+    /// Watch-list bloom filter shared by every producer handle; `None`
+    /// ingests all flows.
+    pub(crate) prefilter: Option<Arc<Bloom>>,
+    /// Digests dropped by the pre-filter
+    /// (`collector_digests_prefiltered_total`).
+    pub(crate) prefiltered: Counter,
+    /// Ship-path batch buffers allocated fresh because the recycle lane
+    /// was empty (`collector_batch_allocs_total`); flat after warmup in
+    /// steady state.
+    pub(crate) batch_allocs: Counter,
+    /// Ship-path batch buffers reused from the recycle lane
+    /// (`collector_batches_recycled_total`).
+    pub(crate) recycled: Counter,
+    /// Live producer backoff policy (`collector_producer_adaptive_spin`
+    /// / `_park_us`). Producers publish after each ship; with several
+    /// producers the gauges show the most recent shipper (last writer
+    /// wins) — a sample of the fleet, not an aggregate.
+    pub(crate) producer_spin: Gauge,
+    pub(crate) producer_park_us: Gauge,
 }
 
 impl ProducerRegistry {
@@ -88,12 +111,19 @@ impl ProducerRegistry {
     pub(crate) fn register(self: &Arc<Self>) -> CollectorHandle {
         let mut producers = Vec::with_capacity(self.ctrl.len());
         for (shard, ctrl) in self.ctrl.iter().enumerate() {
-            let (tx, rx) = ring::ring(
+            let (tx, mut rx) = ring::ring(
                 self.ring_capacity,
                 self.tuning,
                 Arc::clone(&self.waiters[shard]),
                 Arc::clone(&self.parks),
             );
+            // Seed the recycle lane before the consumer endpoint leaves
+            // this thread: with the handle's initial buffer that makes
+            // *two* buffers per lane from the first ship, so a re-arm
+            // finds the lane non-empty even when the shard has not yet
+            // drained the batch just pushed — steady-state recycling
+            // must not depend on the drain winning that race.
+            rx.recycle(Vec::with_capacity(self.batch_size));
             if ctrl.send(ShardMsg::Attach(rx)).is_ok() {
                 self.waiters[shard].wake();
             }
@@ -175,6 +205,15 @@ impl Collector {
             },
             enqueue: metrics.histogram("collector_stage_enqueue_ns"),
             clock: metrics.clock(),
+            prefilter: config
+                .prefilter
+                .as_ref()
+                .map(|p| Arc::new(Bloom::build(p))),
+            prefiltered: metrics.counter("collector_digests_prefiltered_total"),
+            batch_allocs: metrics.counter("collector_batch_allocs_total"),
+            recycled: metrics.counter("collector_batches_recycled_total"),
+            producer_spin: metrics.gauge("collector_producer_adaptive_spin"),
+            producer_park_us: metrics.gauge("collector_producer_adaptive_park_us"),
         });
         Self {
             ctrl,
@@ -506,6 +545,7 @@ impl Collector {
             .registry
             .parks
             .load(std::sync::atomic::Ordering::Relaxed);
+        out.digests_prefiltered = self.registry.prefiltered.get();
         out
     }
 

@@ -1,6 +1,7 @@
 //! Collector configuration.
 
 use crate::events::EventRule;
+use crate::prefilter::PrefilterConfig;
 use pint_core::{DigestReport, FlowRecorder};
 use std::sync::Arc;
 
@@ -34,14 +35,19 @@ pub struct CollectorConfig {
     pub ring_capacity: usize,
     /// Digests a handle buffers per shard before shipping a batch.
     pub batch_size: usize,
-    /// Busy-poll iterations before a blocked side (producer on a full
-    /// ring, shard worker with nothing to do) parks its thread. Keep
-    /// small on machines with few cores — a spinning thread steals the
-    /// core the other side needs.
+    /// Upper bound on busy-poll iterations before a blocked side
+    /// (producer on a full ring, shard worker with nothing to do) parks
+    /// its thread. Each ring endpoint adapts its actual spin budget
+    /// within `[4, spin_limit]`: sustained occupancy widens spin toward
+    /// this bound, sustained idleness decays it so an idle thread stops
+    /// stealing the core the other side needs. The live policy is
+    /// published as `collector_adaptive_spin` gauges.
     pub spin_limit: u32,
-    /// Upper bound, in microseconds, on one park. This is a safety net
-    /// that turns wakeup races into bounded latency; explicit wakes make
-    /// the common case much faster than this.
+    /// Upper bound, in microseconds, on one park. The adaptive
+    /// controller starts at 1/16th of this and doubles toward it while
+    /// a thread keeps parking without work, so a quiet collector
+    /// converges to long sleeps while a busy one wakes quickly. Explicit
+    /// wakes make the common case much faster than either bound.
     pub park_timeout_us: u64,
     /// Per-shard cap on tracked flows; least-recently-updated flows are
     /// evicted beyond it.
@@ -61,6 +67,14 @@ pub struct CollectorConfig {
     /// Streaming event-detection rules, evaluated on shard workers as
     /// batches are applied. At most 64 rules.
     pub rules: Vec<EventRule>,
+    /// Optional ingest-side watch-list pre-filter. When set, producer
+    /// handles drop digests whose flow is (probably) not on the watch
+    /// list *before* buffering them, so off-list traffic never crosses
+    /// a ring or touches shard state. Watch-listed flows are never
+    /// dropped (the bloom filter has no false negatives); drops are
+    /// counted in `digests_prefiltered`. An empty watch list drops
+    /// everything — use `None` to ingest all flows.
+    pub prefilter: Option<PrefilterConfig>,
     /// Metrics registry the collector publishes its self-telemetry into
     /// (per-shard counters/gauges, stage-timing histograms). Share one
     /// registry across tiers to serve whole-process metrics from a
@@ -71,18 +85,48 @@ pub struct CollectorConfig {
 }
 
 impl Default for CollectorConfig {
+    /// Defaults tuned from the `collector_ingest_sweep` bench matrix
+    /// (ring capacity × batch size, then spin limit at the winning
+    /// geometry — recorded alongside `BENCH_ingest.json`; the sweep runs
+    /// the contended 2-producer × 2-shard cell under flow-cap eviction
+    /// churn, the geometry most sensitive to these knobs):
+    ///
+    /// * `batch_size: 1024` — batch size dominated the sweep; 1024 ran
+    ///   at or ahead of 256 (typically 15–30% ahead) and far ahead of 64
+    ///   at every ring depth, because ring synchronization (and a
+    ///   possible wake) is paid per batch. The cost is buffering latency
+    ///   and up to `ring_capacity` pooled buffers of this size retained
+    ///   per producer×shard lane; latency-sensitive deployments should
+    ///   dial it down and `flush()` often.
+    /// * `ring_capacity: 64` — r16 was consistently behind (producers
+    ///   stall before the shard's drain runs can amortize); r256 bought
+    ///   a further few-to-20% on some runs by letting backed-up lanes
+    ///   decouple longer, but at 4× the buffering and pool ceiling.
+    ///   64 is the balance; raise it when memory is cheap and producers
+    ///   are bursty.
+    /// * `spin_limit: 256` — the spin column (16/64/256 at r64/b1024)
+    ///   stayed within the churn cell's run-to-run noise: this is an
+    ///   *upper bound* on an adaptive budget that decays toward 4 when
+    ///   spinning stops paying, so a generous bound costs CPU only
+    ///   while the other side is actively making progress, and it spares
+    ///   a park/unpark round trip when it is.
+    /// * `park_timeout_us: 200` — unchanged: explicit wakes cover the
+    ///   common case, and adaptive parking starts at 1/16th of this and
+    ///   doubles, so the bound mostly sets worst-case wake latency for
+    ///   lost races.
     fn default() -> Self {
         Self {
             shards: 4,
             ring_capacity: 64,
-            batch_size: 256,
-            spin_limit: 64,
+            batch_size: 1_024,
+            spin_limit: 256,
             park_timeout_us: 200,
             max_flows_per_shard: 65_536,
             max_bytes_per_shard: 64 << 20,
             flow_ttl: None,
             event_capacity: 65_536,
             rules: Vec::new(),
+            prefilter: None,
             metrics: None,
         }
     }

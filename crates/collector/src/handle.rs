@@ -70,8 +70,13 @@ impl CollectorHandle {
 
     /// Queues one digest; ships the destination shard's batch when it
     /// reaches `batch_size`. Parks (backpressure) while that shard's
-    /// ring is full.
+    /// ring is full. With a configured pre-filter, off-watch-list flows
+    /// are dropped here (counted in `digests_prefiltered`) before any
+    /// buffering.
     pub fn push(&mut self, report: DigestReport) -> Result<(), CollectorError> {
+        if self.prefiltered(&report) {
+            return Ok(());
+        }
         let shard = shard_of(report.flow, self.producers.len());
         self.bufs[shard].push(report);
         if self.bufs[shard].len() >= self.batch_size {
@@ -80,12 +85,29 @@ impl CollectorHandle {
         Ok(())
     }
 
+    /// True when the watch-list pre-filter rejects `report` — checked
+    /// before buffering so an uninteresting flow costs two hashes, not
+    /// a ring crossing and a flow-table touch.
+    #[inline]
+    fn prefiltered(&self, report: &DigestReport) -> bool {
+        match &self.registry.prefilter {
+            Some(bloom) if !bloom.may_contain(report.flow) => {
+                self.registry.prefiltered.add(1);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Non-blocking [`push`](Self::push): if the destination shard's
     /// ring is full *and* the handle's buffer for it already holds a
     /// full batch, returns [`CollectorError::WouldBlock`] without
     /// accepting the digest — the caller chooses whether to retry,
     /// reroute, or drop. Buffering stays bounded at one batch per shard.
     pub fn try_push(&mut self, report: DigestReport) -> Result<(), CollectorError> {
+        if self.prefiltered(&report) {
+            return Ok(());
+        }
         let shard = shard_of(report.flow, self.producers.len());
         if self.bufs[shard].len() >= self.batch_size {
             self.try_ship(shard)?;
@@ -131,8 +153,38 @@ impl CollectorHandle {
         result
     }
 
+    /// The next buffer for `shard`: a recycled one from the shard's
+    /// reverse lane when available — the steady state, and thanks to the
+    /// seed buffer registration plants in each lane, the very first ship
+    /// too — else a fresh allocation (the lane ran dry, e.g. the worker
+    /// fell far enough behind that ships outpaced recycles).
+    fn fresh_buf(&mut self, shard: usize) -> Vec<DigestReport> {
+        match self.producers[shard].take_recycled() {
+            Some(buf) => {
+                self.registry.recycled.inc();
+                buf
+            }
+            None => {
+                self.registry.batch_allocs.inc();
+                Vec::with_capacity(self.batch_size)
+            }
+        }
+    }
+
+    /// Publishes this producer's live backoff policy for `shard`. With
+    /// several producers the gauges show the most recent shipper (last
+    /// writer wins) — a sample of the adaptive state, not an aggregate.
+    fn publish_backoff(&self, shard: usize) {
+        self.registry
+            .producer_spin
+            .set(u64::from(self.producers[shard].adaptive_spin()));
+        self.registry
+            .producer_park_us
+            .set(self.producers[shard].adaptive_park_us());
+    }
+
     fn ship(&mut self, shard: usize) -> Result<(), CollectorError> {
-        let batch = std::mem::replace(&mut self.bufs[shard], Vec::with_capacity(self.batch_size));
+        let batch = std::mem::take(&mut self.bufs[shard]);
         // One enqueue-latency sample per shipped batch: cheap enough to
         // be always-on, and a parked producer (full ring) shows up as a
         // fat tail in `collector_stage_enqueue_ns`.
@@ -142,11 +194,17 @@ impl CollectorHandle {
                 self.registry
                     .enqueue
                     .record(self.registry.clock.now_ns().saturating_sub(t0));
+                self.publish_backoff(shard);
+                // Re-arm only after the hand-off: a park on the full
+                // ring may be exactly what refills the recycle lane.
+                self.bufs[shard] = self.fresh_buf(shard);
                 Ok(())
             }
             Err(PushError::Closed(lost)) => {
                 // The batch cannot be delivered anywhere; account for
                 // every digest of it before reporting the disconnect.
+                // The buffer stays empty — further pushes to a dead
+                // shard are error-path, not worth pool traffic.
                 self.registry.dropped.add(lost.len() as u64);
                 Err(CollectorError::Disconnected)
             }
@@ -155,9 +213,13 @@ impl CollectorHandle {
     }
 
     fn try_ship(&mut self, shard: usize) -> Result<(), CollectorError> {
-        let batch = std::mem::replace(&mut self.bufs[shard], Vec::with_capacity(self.batch_size));
+        let batch = std::mem::take(&mut self.bufs[shard]);
         match self.producers[shard].try_push(batch) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.publish_backoff(shard);
+                self.bufs[shard] = self.fresh_buf(shard);
+                Ok(())
+            }
             Err(PushError::Full(batch)) => {
                 self.bufs[shard] = batch;
                 Err(CollectorError::WouldBlock)

@@ -80,6 +80,7 @@ pub mod events;
 pub mod flow_table;
 pub mod handle;
 pub mod inference;
+pub mod prefilter;
 mod ring;
 mod shard;
 pub mod sink;
@@ -90,6 +91,7 @@ pub use config::{CollectorConfig, FlowId, RecorderFactory};
 pub use error::CollectorError;
 pub use events::{Event, EventKind, EventRule, RuleCondition};
 pub use handle::CollectorHandle;
+pub use prefilter::PrefilterConfig;
 pub use inference::{CollectorSnapshot, FlowSummary, ShardSnapshot};
 pub use shard::ShardStats;
 pub use sink::{attach_collector, attach_collector_parallel, LatencyTelemetry, ParallelSinkDriver};
@@ -98,6 +100,7 @@ pub use wire::SnapshotFrame;
 // callers can build plans without naming `pint-query` separately.
 pub use pint_query::{
     Projection, QueryBackend, QueryError, QueryPlan, QueryResult, Selector, TelemetryQuery,
+    ValueDecodeSpec,
 };
 
 #[cfg(test)]
@@ -571,6 +574,7 @@ mod tests {
             projection: Projection::HopQuantiles {
                 hop: 0,
                 phis: vec![0.5],
+                decode: None,
             },
             options: Default::default(),
         };

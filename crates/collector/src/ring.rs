@@ -15,16 +15,25 @@
 //! small machines: an idle thread must get *off* the core so the other
 //! side can run.
 //!
+//! Each ring also carries a *reverse* SPSC lane — the batch pool — on
+//! which the consumer hands drained `Vec<DigestReport>` buffers back to
+//! the producer. A producer that finds a pooled buffer on ship reuses
+//! it instead of allocating, so steady-state ingest performs zero batch
+//! allocations; the lane is purely an optimization (a full lane drops
+//! the buffer, an empty lane falls back to allocation).
+//!
 //! This is the one module in the crate that uses `unsafe` (the slot
-//! array is shared between exactly two threads). The safety argument is
-//! the classic SPSC protocol, spelled out at each unsafe block:
+//! arrays are shared between exactly two threads). The safety argument
+//! is the classic SPSC protocol, spelled out at each unsafe block:
 //!
 //! * the producer writes slot `i` only while `i - head < capacity`, and
 //!   publishes it with a release store of `tail = i + 1`;
 //! * the consumer reads slot `i` only after an acquire load observes
 //!   `tail > i`, and releases it with a release store of `head = i + 1`;
 //! * `RingProducer`/`RingConsumer` are not `Clone`, so each side has
-//!   exactly one owner.
+//!   exactly one owner;
+//! * the pool lane runs the identical protocol with the roles swapped
+//!   (the consumer is the lane's writer, the producer its reader).
 
 #![allow(unsafe_code)]
 
@@ -109,6 +118,13 @@ struct Ring {
     tail: CachePadded<AtomicU64>,
     /// Next position the consumer will read (monotonic, not wrapped).
     head: CachePadded<AtomicU64>,
+    /// Reverse lane: drained batch buffers travelling consumer→producer
+    /// (same capacity and protocol as `slots`, roles swapped).
+    pool: Box<[Slot]>,
+    /// Next pool position the consumer (the lane's writer) will write.
+    pool_tail: CachePadded<AtomicU64>,
+    /// Next pool position the producer (the lane's reader) will read.
+    pool_head: CachePadded<AtomicU64>,
     /// Cleared when the producer endpoint drops: no more batches coming.
     producer_open: AtomicBool,
     /// Cleared when the consumer endpoint drops: pushes fail from now on.
@@ -128,13 +144,83 @@ struct Ring {
 unsafe impl Send for Ring {}
 unsafe impl Sync for Ring {}
 
-/// Spin/park tuning shared by both endpoints.
+/// Spin/park tuning shared by both endpoints. These are *upper bounds*:
+/// each endpoint runs a [`BackoffController`] that adapts its live spin
+/// budget and park timeout inside them.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct RingTuning {
-    /// Polls before parking.
+    /// Upper bound on polls before parking.
     pub spin_limit: u32,
     /// Upper bound on one park (safety net against wakeup races).
     pub park_timeout: Duration,
+}
+
+/// Smallest spin budget the controller decays to: enough to catch an
+/// in-flight hand-off without holding the core when the other side is
+/// clearly idle.
+const SPIN_MIN: u32 = 4;
+
+/// Adaptive spin/park policy for one blocked endpoint.
+///
+/// The controller widens the spin budget when spinning *pays* (progress
+/// arrived before a park — sustained occupancy, the other side is
+/// actively moving) and shrinks it toward [`SPIN_MIN`] whenever a park
+/// was unavoidable (idle — get off the core early). Park timeouts start
+/// at 1/16th of the configured bound and only ever lengthen toward it
+/// (per consecutive park): the timeout is purely a safety net against
+/// wakeup races, because hot-path parks are ended by the other side's
+/// explicit wakes — a timer that fired *during* sustained traffic would
+/// preempt the very thread being waited on, which measurably collapses
+/// throughput when both endpoints share a core. Both stay inside the
+/// [`RingTuning`] bounds.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BackoffController {
+    spin: u32,
+    park: Duration,
+    spin_max: u32,
+    park_max: Duration,
+}
+
+impl BackoffController {
+    pub(crate) fn new(tuning: RingTuning) -> Self {
+        let spin_max = tuning.spin_limit.max(SPIN_MIN);
+        let park_max = tuning.park_timeout.max(Duration::from_micros(1));
+        let park_min = (park_max / 16).max(Duration::from_micros(1));
+        Self {
+            // Optimistic start: full spin budget, shortest park.
+            spin: spin_max,
+            park: park_min,
+            spin_max,
+            park_max,
+        }
+    }
+
+    /// Current spin budget (polls before parking).
+    pub(crate) fn spin_limit(&self) -> u32 {
+        self.spin
+    }
+
+    /// Current park timeout.
+    pub(crate) fn park_timeout(&self) -> Duration {
+        self.park
+    }
+
+    /// Progress arrived while spinning: occupancy is sustained, widen
+    /// the spin budget. The park bound is left alone: while traffic is
+    /// hot the other side's explicit wakes end parks, so a short
+    /// safety-net timer would only fire mid-drain and preempt the very
+    /// thread being waited on (measurably brutal when endpoints share a
+    /// core).
+    pub(crate) fn on_spin_win(&mut self) {
+        self.spin = self.spin.saturating_mul(2).clamp(SPIN_MIN, self.spin_max);
+    }
+
+    /// Spinning did not pay and the endpoint parked: halve the spin
+    /// budget (park earlier while idle) and lengthen the next park.
+    pub(crate) fn on_park(&mut self) {
+        self.spin = (self.spin / 2).max(SPIN_MIN);
+        self.park = self.park.saturating_mul(2).min(self.park_max);
+    }
 }
 
 /// Creates a connected producer/consumer pair over a fresh ring.
@@ -150,11 +236,15 @@ pub(crate) fn ring(
 ) -> (RingProducer, RingConsumer) {
     let cap = capacity.max(1).next_power_of_two();
     let slots = (0..cap).map(|_| Slot(UnsafeCell::new(None))).collect();
+    let pool = (0..cap).map(|_| Slot(UnsafeCell::new(None))).collect();
     let ring = Arc::new(Ring {
         slots,
         mask: cap as u64 - 1,
         tail: CachePadded(AtomicU64::new(0)),
         head: CachePadded(AtomicU64::new(0)),
+        pool,
+        pool_tail: CachePadded(AtomicU64::new(0)),
+        pool_head: CachePadded(AtomicU64::new(0)),
         producer_open: AtomicBool::new(true),
         consumer_open: AtomicBool::new(true),
         producer_waiter: Waiter::new(),
@@ -166,13 +256,17 @@ pub(crate) fn ring(
             ring: Arc::clone(&ring),
             tail: 0,
             head_cache: 0,
-            tuning,
+            pool_head: 0,
+            pool_tail_cache: 0,
+            backoff: BackoffController::new(tuning),
             registered: None,
         },
         RingConsumer {
             ring,
             head: 0,
             tail_cache: 0,
+            pool_tail: 0,
+            pool_head_cache: 0,
         },
     )
 }
@@ -194,7 +288,12 @@ pub(crate) struct RingProducer {
     /// Last observed consumer position; refreshed only when apparently
     /// full, so the fast path reads no shared cache line.
     head_cache: u64,
-    tuning: RingTuning,
+    /// Local copy of `ring.pool_head` (we are its only writer).
+    pool_head: u64,
+    /// Last observed recycler position on the pool lane.
+    pool_tail_cache: u64,
+    /// Adaptive spin/park policy for full-ring backpressure.
+    backoff: BackoffController,
     /// Thread whose handle is registered with the producer waiter; the
     /// endpoint is `Send`, so re-register whenever it parks from a
     /// different thread than last time.
@@ -232,6 +331,8 @@ impl RingProducer {
 
     /// Enqueues `batch`, parking under backpressure until the consumer
     /// frees a slot. Fails only when the consumer endpoint is gone.
+    /// Contended pushes adapt the spin/park policy (see
+    /// [`BackoffController`]).
     pub(crate) fn push(&mut self, batch: Batch) -> Result<(), PushError> {
         let mut spins = 0u32;
         loop {
@@ -239,10 +340,15 @@ impl RingProducer {
                 return Err(PushError::Closed(batch));
             }
             if self.has_room() {
+                if spins > 0 {
+                    // The consumer freed a slot while we spun: spinning
+                    // paid, widen the budget.
+                    self.backoff.on_spin_win();
+                }
                 self.commit(batch);
                 return Ok(());
             }
-            if spins < self.tuning.spin_limit {
+            if spins < self.backoff.spin_limit() {
                 spins += 1;
                 std::hint::spin_loop();
                 continue;
@@ -263,10 +369,44 @@ impl RingProducer {
                 self.ring.producer_waiter.cancel();
             } else {
                 self.ring.parks.fetch_add(1, Ordering::Relaxed);
-                self.ring.producer_waiter.park(self.tuning.park_timeout);
+                self.backoff.on_park();
+                self.ring
+                    .producer_waiter
+                    .park(self.backoff.park_timeout());
             }
             spins = 0;
         }
+    }
+
+    /// Takes a drained buffer off the pool lane, if one is waiting.
+    /// Never blocks — an empty lane means the caller allocates.
+    pub(crate) fn take_recycled(&mut self) -> Option<Batch> {
+        if self.pool_head == self.pool_tail_cache {
+            self.pool_tail_cache = self.ring.pool_tail.0.load(Ordering::Acquire);
+            if self.pool_head == self.pool_tail_cache {
+                return None;
+            }
+        }
+        let idx = (self.pool_head & self.ring.mask) as usize;
+        // SAFETY: reverse-lane SPSC — `pool_head < pool_tail` was
+        // observed with acquire ordering, so the consumer's write of
+        // this pool slot happens-before this read, and the consumer
+        // will not rewrite it until it observes `pool_head + 1`.
+        let batch = unsafe { (*self.ring.pool[idx].0.get()).take() };
+        debug_assert!(batch.is_some(), "SPSC protocol: published pool slot empty");
+        self.pool_head = self.pool_head.wrapping_add(1);
+        self.ring.pool_head.0.store(self.pool_head, Ordering::Release);
+        batch
+    }
+
+    /// The live adaptive spin budget (for policy gauges).
+    pub(crate) fn adaptive_spin(&self) -> u32 {
+        self.backoff.spin_limit()
+    }
+
+    /// The live adaptive park timeout in µs (for policy gauges).
+    pub(crate) fn adaptive_park_us(&self) -> u64 {
+        self.backoff.park_timeout().as_micros() as u64
     }
 
     /// Non-blocking enqueue: `Full` hands the batch back immediately
@@ -300,6 +440,10 @@ pub(crate) struct RingConsumer {
     head: u64,
     /// Last observed producer position; refreshed when apparently empty.
     tail_cache: u64,
+    /// Local copy of `ring.pool_tail` (we are its only writer).
+    pool_tail: u64,
+    /// Last observed taker position on the pool lane.
+    pool_head_cache: u64,
 }
 
 impl RingConsumer {
@@ -325,10 +469,50 @@ impl RingConsumer {
         batch
     }
 
+    /// Hands a drained batch buffer back to the producer via the pool
+    /// lane. The buffer is cleared here (cheap — `DigestReport` is
+    /// dropped by the drain, clearing only resets the length); a full
+    /// lane simply drops it, because recycling is an optimization, never
+    /// required for correctness.
+    pub(crate) fn recycle(&mut self, mut batch: Batch) {
+        batch.clear();
+        let cap = self.ring.mask + 1;
+        if self.pool_tail.wrapping_sub(self.pool_head_cache) >= cap {
+            self.pool_head_cache = self.ring.pool_head.0.load(Ordering::Acquire);
+            if self.pool_tail.wrapping_sub(self.pool_head_cache) >= cap {
+                return; // lane full: drop the buffer
+            }
+        }
+        let idx = (self.pool_tail & self.ring.mask) as usize;
+        // SAFETY: reverse-lane SPSC — `pool_tail - pool_head < capacity`,
+        // so the producer has taken this pool slot (or it was never
+        // written) and will not read it until it observes the release
+        // store of `pool_tail + 1` below.
+        unsafe { *self.ring.pool[idx].0.get() = Some(batch) };
+        self.pool_tail = self.pool_tail.wrapping_add(1);
+        self.ring.pool_tail.0.store(self.pool_tail, Ordering::Release);
+        // No wake: the producer polls the lane on ship and falls back to
+        // allocation when it is empty — nobody ever sleeps on the pool.
+    }
+
     /// No batch is currently queued (racy by nature; exact once the
     /// producer endpoint is closed).
     pub(crate) fn is_empty(&self) -> bool {
         self.ring.tail.0.load(Ordering::Acquire) == self.head
+    }
+
+    /// Monotonic count of batches the producer has published (the
+    /// ring's write epoch). With [`consumed`](Self::consumed) this lets
+    /// a shard answer "has everything enqueued before time T been
+    /// applied?" without draining to a quiesce point.
+    pub(crate) fn published(&self) -> u64 {
+        self.ring.tail.0.load(Ordering::Acquire)
+    }
+
+    /// Monotonic count of batches this consumer has popped (the ring's
+    /// read epoch).
+    pub(crate) fn consumed(&self) -> u64 {
+        self.head
     }
 
     /// Batches currently queued (a snapshot — the producer may enqueue
@@ -490,6 +674,157 @@ mod tests {
         }
         assert_eq!(expect, N, "every batch delivered exactly once");
         producer.join().expect("producer thread");
+    }
+
+    #[test]
+    fn recycle_lane_returns_cleared_buffers_in_fifo_order() {
+        let (mut p, mut c) = test_pair(4);
+        assert!(p.take_recycled().is_none(), "fresh lane is empty");
+        p.try_push(batch(1)).ok().expect("room");
+        let b = c.pop().expect("queued");
+        let cap_before = b.capacity();
+        c.recycle(b);
+        let back = p.take_recycled().expect("recycled buffer waiting");
+        assert!(back.is_empty(), "recycled buffer is cleared");
+        assert_eq!(back.capacity(), cap_before, "backing store preserved");
+        assert!(p.take_recycled().is_none(), "lane drained");
+    }
+
+    #[test]
+    fn recycle_lane_wraps_across_many_laps() {
+        // Far more recycles than lane capacity: every buffer must come
+        // back (none lost, none duplicated) as long as the producer
+        // keeps draining the lane.
+        let (mut p, mut c) = test_pair(2);
+        let mut returned = 0u64;
+        for i in 0..1_000u64 {
+            p.push(batch(i)).ok().expect("consumer open");
+            let b = c.pop().expect("queued");
+            c.recycle(b);
+            while p.take_recycled().is_some() {
+                returned += 1;
+            }
+        }
+        assert_eq!(returned, 1_000, "every recycled buffer came back");
+    }
+
+    #[test]
+    fn full_recycle_lane_drops_excess_buffers() {
+        let (mut p, mut c) = test_pair(2);
+        // Feed 5 batches through; never take from the lane, so only the
+        // lane capacity (2) can be held — the rest are dropped.
+        for i in 0..5u64 {
+            p.push(batch(i)).ok().expect("room");
+            let b = c.pop().expect("queued");
+            c.recycle(b);
+        }
+        let mut held = 0;
+        while p.take_recycled().is_some() {
+            held += 1;
+        }
+        assert_eq!(held, 2, "lane holds exactly its capacity");
+    }
+
+    #[test]
+    fn recycled_buffers_survive_consumer_shutdown() {
+        // Buffers parked in the lane stay takeable after the consumer
+        // endpoint closes (they are free memory, not data), and dropping
+        // both endpoints frees whatever is still pooled.
+        let (mut p, mut c) = test_pair(4);
+        for i in 0..2u64 {
+            p.try_push(batch(i)).ok().expect("room");
+            let b = c.pop().expect("queued");
+            c.recycle(b);
+        }
+        drop(c);
+        assert!(p.take_recycled().is_some());
+        assert!(p.take_recycled().is_some());
+        assert!(p.take_recycled().is_none());
+        // One more lap: recycle again is impossible (consumer gone), and
+        // dropping the producer releases the ring with pooled buffers
+        // still inside — covered by the first pair above where `c`
+        // dropped while the lane was full.
+    }
+
+    #[test]
+    fn concurrent_recycling_loses_no_order_and_reuses_buffers() {
+        // The forward lane's FIFO contract must hold while the reverse
+        // lane is in constant use from both threads.
+        const N: u64 = 20_000;
+        let (mut p, mut c) = test_pair(2);
+        let producer = std::thread::spawn(move || {
+            let mut reused = 0u64;
+            for i in 0..N {
+                let buf = match p.take_recycled() {
+                    Some(mut b) => {
+                        reused += 1;
+                        b.extend(batch(i));
+                        b
+                    }
+                    None => batch(i),
+                };
+                p.push(buf).ok().expect("consumer open");
+            }
+            reused
+        });
+        let mut expect = 0u64;
+        loop {
+            match c.pop() {
+                Some(b) => {
+                    assert_eq!(b[0].flow, expect, "order violated at {expect}");
+                    expect += 1;
+                    c.recycle(b);
+                }
+                None if c.is_finished() => break,
+                None => std::hint::spin_loop(),
+            }
+        }
+        assert_eq!(expect, N, "every batch delivered exactly once");
+        let reused = producer.join().expect("producer thread");
+        assert!(reused > 0, "steady state must reuse pooled buffers");
+    }
+
+    #[test]
+    fn published_and_consumed_track_ring_epochs() {
+        let (mut p, mut c) = test_pair(4);
+        assert_eq!((c.published(), c.consumed()), (0, 0));
+        p.try_push(batch(0)).ok().expect("room");
+        p.try_push(batch(1)).ok().expect("room");
+        assert_eq!((c.published(), c.consumed()), (2, 0));
+        c.pop().expect("queued");
+        assert_eq!((c.published(), c.consumed()), (2, 1));
+        c.pop().expect("queued");
+        assert_eq!((c.published(), c.consumed()), (2, 2));
+    }
+
+    #[test]
+    fn backoff_controller_adapts_within_configured_bounds() {
+        let tuning = RingTuning {
+            spin_limit: 64,
+            park_timeout: Duration::from_micros(1_600),
+        };
+        let mut b = BackoffController::new(tuning);
+        assert_eq!(b.spin_limit(), 64, "starts at the spin bound");
+        assert_eq!(
+            b.park_timeout(),
+            Duration::from_micros(100),
+            "starts at park_max / 16"
+        );
+        // Sustained idleness: spin decays to the floor, park grows to
+        // the configured bound — and both saturate there.
+        for _ in 0..20 {
+            b.on_park();
+        }
+        assert_eq!(b.spin_limit(), SPIN_MIN);
+        assert_eq!(b.park_timeout(), Duration::from_micros(1_600));
+        // Sustained occupancy: spin recovers to the bound. The park
+        // bound stays put — hot-path parks end via explicit wakes, so
+        // a tight safety-net timer would only preempt the other side.
+        for _ in 0..20 {
+            b.on_spin_win();
+        }
+        assert_eq!(b.spin_limit(), 64);
+        assert_eq!(b.park_timeout(), Duration::from_micros(1_600));
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //! A worker multiplexes two inputs: a low-rate *control* channel
 //! (producer attachment, snapshot/barrier requests, shutdown) and one
 //! SPSC *data ring* per registered producer. The run loop polls control
-//! first, then takes one batch from each ring per pass — round-robin, so
-//! no producer can starve the others — and parks when everything is
-//! momentarily idle. Because flows are hash-partitioned, a worker never
+//! first, then drains a bounded run of batches from each ring per pass —
+//! round-robin with a per-ring quota, so no producer can starve the
+//! others while consecutive batches from one producer still hit warm
+//! flow state — and parks when everything is momentarily idle. Because
+//! flows are hash-partitioned, a worker never
 //! shares recorder state with another thread: the ingest hot path takes
 //! no locks, and the only synchronization is the ring hand-off itself.
 
@@ -13,9 +15,10 @@ use crate::config::{CollectorConfig, FlowId, RecorderFactory};
 use crate::events::{Event, EventKind, EventRule};
 use crate::flow_table::FlowTable;
 use crate::inference::{FlowSummary, ShardSnapshot};
-use crate::ring::{RingConsumer, Waiter};
+use crate::ring::{BackoffController, RingConsumer, RingTuning, Waiter};
 use pint_core::DigestReport;
 use pint_obs::{ClockHandle, Counter, Gauge, Histogram, MetricsRegistry};
+use std::collections::VecDeque;
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError, TrySendError};
 use std::sync::Arc;
 use std::time::Duration;
@@ -32,17 +35,47 @@ const STAGE_SAMPLE: u64 = 64;
 pub(crate) enum ShardMsg {
     /// A new producer registered; adopt its ring.
     Attach(RingConsumer),
-    /// Read request: the worker drains all rings, resolves the
-    /// selection against its slice of flow state, and answers on the
-    /// provided channel. Every read — full snapshots, watch lists,
-    /// top-K, path predicates, delta polls — is this one message: the
-    /// shard tier of a compiled [`QueryPlan`](pint_query::QueryPlan).
+    /// Read request: once every batch published before this message was
+    /// received has been applied, the worker resolves the selection
+    /// against its slice of flow state and answers on the provided
+    /// channel. Every read — full snapshots, watch lists, top-K, path
+    /// predicates, delta polls — is this one message: the shard tier of
+    /// a compiled [`QueryPlan`](pint_query::QueryPlan).
     Query(ShardQuery, Sender<ShardSnapshot>),
     /// Sync point: the worker acknowledges once every batch enqueued
     /// before this message was sent has been applied.
     Barrier(Sender<()>),
     /// Drain all rings and exit.
     Shutdown,
+}
+
+/// A producer ring with the identity the sync machinery keys on.
+struct AttachedRing {
+    ring: RingConsumer,
+    /// Stable within one worker; dense indices would be reused after a
+    /// detach and alias stale sync targets.
+    id: u64,
+}
+
+/// What a satisfied sync point answers with.
+enum SyncKind {
+    Query(ShardQuery, Sender<ShardSnapshot>),
+    Barrier(Sender<()>),
+}
+
+/// One in-flight `Query`/`Barrier`: per-ring epoch targets captured at
+/// receipt. The request is answerable once every named ring has
+/// *consumed* up to its target (or detached, which implies it drained).
+///
+/// This replaces stop-the-world draining: instead of pulling every
+/// queued batch before answering — a global quiesce that let one
+/// line-rate producer stall a snapshot — the worker keeps its normal
+/// fair round-robin and answers as soon as the epochs pass. Batches
+/// published *after* the request arrived are never waited on.
+struct PendingSync {
+    /// `(ring id, published epoch at receipt)`.
+    targets: Vec<(u64, u64)>,
+    kind: SyncKind,
 }
 
 /// The shard-level slice of a query plan: which of this shard's flows
@@ -136,8 +169,17 @@ pub(crate) struct ShardWorker {
     stats: Arc<ShardStats>,
     /// This shard's park slot; producers and the collector wake it.
     waiter: Arc<Waiter>,
-    spin_limit: u32,
-    park_timeout: Duration,
+    /// Adaptive spin/park policy: spin widens toward `spin_limit` while
+    /// polls keep finding work, decays when the worker ends up parking.
+    backoff: BackoffController,
+    /// Live backoff policy (`collector_adaptive_spin{shard}`).
+    adaptive_spin: Gauge,
+    /// Live backoff policy (`collector_adaptive_park_us{shard}`).
+    adaptive_park_us: Gauge,
+    /// Outstanding sync points (`collector_sync_pending{shard}`).
+    sync_pending: Gauge,
+    /// Monotonic id for the next attached ring.
+    next_ring_id: u64,
     /// Scratch: `(slot, flow)` touched by the current batch (unique per
     /// batch via the table's stamp — no sort/dedup pass).
     touched: Vec<(u32, FlowId)>,
@@ -162,6 +204,13 @@ pub(crate) struct ShardWorker {
     #[cfg(feature = "measure-alloc")]
     measured_net: i64,
 }
+
+/// Most batches one ring may contribute per drain pass. Large enough
+/// that a backed-up producer's flow working set is revisited while its
+/// recorders are still resident (the locality the run exists to buy),
+/// small enough that the worker returns to the other rings — and to
+/// sync answering — within a bounded slice of work.
+const DRAIN_RUN_BATCHES: u64 = 32;
 
 impl ShardWorker {
     pub(crate) fn new(
@@ -192,8 +241,14 @@ impl ShardWorker {
             events_tx,
             stats,
             waiter,
-            spin_limit: config.spin_limit,
-            park_timeout: Duration::from_micros(config.park_timeout_us.max(1)),
+            backoff: BackoffController::new(RingTuning {
+                spin_limit: config.spin_limit,
+                park_timeout: Duration::from_micros(config.park_timeout_us.max(1)),
+            }),
+            adaptive_spin: registry.gauge_shard("collector_adaptive_spin", shard as u32),
+            adaptive_park_us: registry.gauge_shard("collector_adaptive_park_us", shard as u32),
+            sync_pending: registry.gauge_shard("collector_sync_pending", shard as u32),
+            next_ring_id: 0,
             touched: Vec::new(),
             batch_stamp: 0,
             clock: 0,
@@ -204,9 +259,11 @@ impl ShardWorker {
     /// producers are gone).
     pub(crate) fn run(mut self, ctrl: Receiver<ShardMsg>) {
         self.waiter.register_current();
-        let mut rings: Vec<RingConsumer> = Vec::new();
+        let mut rings: Vec<AttachedRing> = Vec::new();
+        let mut pending: VecDeque<PendingSync> = VecDeque::new();
         let mut ctrl_open = true;
         let mut idle = 0u32;
+        self.publish_backoff();
         loop {
             let mut progressed = false;
             // Control first: attachment must precede any sync request
@@ -215,8 +272,8 @@ impl ShardWorker {
                 match ctrl.try_recv() {
                     Ok(msg) => {
                         progressed = true;
-                        if !self.on_ctrl(msg, &mut rings) {
-                            return; // Shutdown: rings already drained
+                        if !self.on_ctrl(msg, &mut rings, &mut pending) {
+                            return; // Shutdown: rings drained, syncs answered
                         }
                     }
                     Err(TryRecvError::Empty) => break,
@@ -227,30 +284,61 @@ impl ShardWorker {
                     }
                 }
             }
-            // One batch per ring per pass (fair across producers);
-            // closed-and-drained rings detach as soon as they run dry,
-            // so producer churn cannot accumulate dead rings.
+            // A bounded *run* of batches per ring per pass, then move to
+            // the next ring. Runs, not single batches: one producer's
+            // digests cluster on the flows it forwards, so consecutive
+            // batches from the same ring touch flow state that is still
+            // resident — under eviction pressure (more live flows than
+            // `max_flows_per_shard`) interleaving producers batch-by-
+            // batch degrades the table to a scan-thrash where nearly
+            // every digest rebuilds an evicted recorder. The quota is
+            // captured at run start and capped, so one line-rate
+            // producer still cannot monopolize the pass; closed-and-
+            // drained rings detach as soon as they run dry, and drained
+            // buffers go back to the producer via the recycle lane.
             let before = rings.len();
-            rings.retain_mut(|ring| match ring.pop() {
-                Some(batch) => {
-                    self.apply_batch(batch);
+            rings.retain_mut(|attached| {
+                let mut quota = attached.ring.pending().min(DRAIN_RUN_BATCHES);
+                let mut drained = false;
+                while quota > 0 {
+                    let Some(mut batch) = attached.ring.pop() else {
+                        break;
+                    };
+                    self.apply_batch(&mut batch);
+                    attached.ring.recycle(batch);
+                    drained = true;
+                    quota -= 1;
+                }
+                if drained {
                     progressed = true;
                     true
+                } else {
+                    !attached.ring.is_finished()
                 }
-                None => !ring.is_finished(),
             });
             if rings.len() != before {
                 self.stats.producers.set(rings.len() as u64);
             }
+            // Sync points resolve as their epoch targets pass — no
+            // stop-the-world drain. A detached ring counts as satisfied
+            // (detach implies it drained fully).
+            if !pending.is_empty() {
+                self.answer_ready(&mut pending, &rings);
+            }
             if progressed {
+                if idle > 0 {
+                    // Work arrived while spinning: widen the spin window.
+                    self.backoff.on_spin_win();
+                }
                 idle = 0;
                 continue;
             }
             if !ctrl_open && rings.is_empty() {
+                debug_assert!(pending.is_empty(), "syncs outlive their rings");
                 return;
             }
             idle += 1;
-            if idle <= self.spin_limit {
+            if idle <= self.backoff.spin_limit() {
                 std::hint::spin_loop();
                 continue;
             }
@@ -259,21 +347,26 @@ impl ShardWorker {
             // the announce before the re-checks; both inputs must be
             // re-checked after it, or a wake racing the announce is
             // lost and the request stalls a full park_timeout.
+            //
+            // An unsatisfied sync can never park us forever: its target
+            // epoch is below some ring's published epoch, so that ring
+            // is non-empty and the re-check (or the producer's wake)
+            // keeps the loop progressing.
             self.waiter.prepare();
-            if rings.iter().any(|r| !r.is_empty()) {
+            if rings.iter().any(|r| !r.ring.is_empty()) {
                 self.waiter.cancel();
             } else {
                 match ctrl.try_recv() {
                     Ok(msg) => {
                         self.waiter.cancel();
-                        if !self.on_ctrl(msg, &mut rings) {
+                        if !self.on_ctrl(msg, &mut rings, &mut pending) {
                             return;
                         }
                     }
-                    Err(TryRecvError::Empty) => self.waiter.park(self.park_timeout),
+                    Err(TryRecvError::Empty) => self.park(),
                     Err(TryRecvError::Disconnected) => {
                         ctrl_open = false;
-                        self.waiter.park(self.park_timeout);
+                        self.park();
                     }
                 }
             }
@@ -281,64 +374,149 @@ impl ShardWorker {
         }
     }
 
+    /// One adaptive park: decays the spin window and widens the next
+    /// timeout before sleeping, so an idle worker converges to long
+    /// sleeps instead of burning its core.
+    fn park(&mut self) {
+        self.backoff.on_park();
+        self.waiter.park(self.backoff.park_timeout());
+    }
+
+    /// Publishes the live policy. Called at work-time (per applied
+    /// batch), never from the idle path — a quiesced collector's
+    /// registry stays byte-stable for scrapes and snapshot diffs, and
+    /// the gauges read as "the policy in effect during recent work".
+    fn publish_backoff(&self) {
+        self.adaptive_spin.set(self.backoff.spin_limit() as u64);
+        self.adaptive_park_us
+            .set(self.backoff.park_timeout().as_micros() as u64);
+    }
+
     /// Handles one control message; `false` means exit now.
-    fn on_ctrl(&mut self, msg: ShardMsg, rings: &mut Vec<RingConsumer>) -> bool {
+    fn on_ctrl(
+        &mut self,
+        msg: ShardMsg,
+        rings: &mut Vec<AttachedRing>,
+        pending: &mut VecDeque<PendingSync>,
+    ) -> bool {
         match msg {
             ShardMsg::Attach(ring) => {
-                rings.push(ring);
+                let id = self.next_ring_id;
+                self.next_ring_id += 1;
+                rings.push(AttachedRing { ring, id });
                 self.stats.producers.set(rings.len() as u64);
             }
             ShardMsg::Query(query, reply) => {
-                self.drain_all(rings);
-                // The requester may have given up; ignore send errors.
-                let _ = reply.send(self.answer(&query));
+                self.enqueue_sync(SyncKind::Query(query, reply), rings, pending);
             }
             ShardMsg::Barrier(reply) => {
-                self.drain_all(rings);
-                let _ = reply.send(());
+                self.enqueue_sync(SyncKind::Barrier(reply), rings, pending);
             }
             ShardMsg::Shutdown => {
+                // Exit is the one true quiesce point: pull everything
+                // still queued, then answer whatever sync requests are
+                // in flight (their targets are necessarily passed).
+                // Gauge before replies: a requester must never observe
+                // its answer while the registry still shows it pending.
                 self.drain_all(rings);
+                self.sync_pending.set(0);
+                while let Some(sync) = pending.pop_front() {
+                    self.answer_sync(sync.kind);
+                }
                 return false;
             }
         }
         true
     }
 
+    /// Captures a sync point: per-ring published epochs at receipt.
+    /// Batches already applied count immediately, so an idle shard
+    /// answers on the spot; under load the request waits only for
+    /// batches that were already in flight, never for the producers'
+    /// ongoing stream.
+    fn enqueue_sync(
+        &mut self,
+        kind: SyncKind,
+        rings: &[AttachedRing],
+        pending: &mut VecDeque<PendingSync>,
+    ) {
+        let targets = rings
+            .iter()
+            .filter(|r| r.ring.consumed() < r.ring.published())
+            .map(|r| (r.id, r.ring.published()))
+            .collect();
+        pending.push_back(PendingSync { targets, kind });
+        self.sync_pending.set(pending.len() as u64);
+        self.answer_ready(pending, rings);
+    }
+
+    /// Answers every queued sync whose targets have all been consumed.
+    /// Targets are captured from monotone published epochs, so the
+    /// queue satisfies in FIFO order — stop at the first unsatisfied.
+    fn answer_ready(&mut self, pending: &mut VecDeque<PendingSync>, rings: &[AttachedRing]) {
+        let satisfied = |&(id, target): &(u64, u64)| {
+            rings
+                .iter()
+                .find(|r| r.id == id)
+                // Detached ⇒ the ring was fully drained before removal.
+                .is_none_or(|r| r.ring.consumed() >= target)
+        };
+        while pending
+            .front()
+            .is_some_and(|sync| sync.targets.iter().all(satisfied))
+        {
+            let sync = pending.pop_front().expect("front just checked");
+            // Gauge before the reply: once the requester unblocks, the
+            // registry must already be done moving on its behalf.
+            self.sync_pending.set(pending.len() as u64);
+            self.answer_sync(sync.kind);
+        }
+    }
+
+    fn answer_sync(&mut self, kind: SyncKind) {
+        match kind {
+            // The requester may have given up; ignore send errors.
+            SyncKind::Query(query, reply) => {
+                let _ = reply.send(self.answer(&query));
+            }
+            SyncKind::Barrier(reply) => {
+                let _ = reply.send(());
+            }
+        }
+    }
+
     /// Applies every batch queued on any ring *at the moment of the
-    /// call*: the sync point behind snapshots, barriers, and shutdown.
-    /// Batches enqueued by a producer before the triggering request was
-    /// sent are guaranteed in (they were visible in its ring). The drain
-    /// is bounded by a per-ring quota taken up front, so a producer
-    /// sustaining line-rate ingest cannot starve the request — batches
-    /// racing in behind the quota catch the next cycle.
-    fn drain_all(&mut self, rings: &mut [RingConsumer]) {
-        let quotas: Vec<u64> = rings.iter().map(|r| r.pending()).collect();
-        for (ring, quota) in rings.iter_mut().zip(quotas) {
+    /// call* — only used at shutdown, where a full quiesce is the
+    /// point. The drain is bounded by a per-ring quota taken up front,
+    /// so a producer racing more batches in cannot extend it.
+    fn drain_all(&mut self, rings: &mut [AttachedRing]) {
+        let quotas: Vec<u64> = rings.iter().map(|r| r.ring.pending()).collect();
+        for (attached, quota) in rings.iter_mut().zip(quotas) {
             for _ in 0..quota {
-                match ring.pop() {
-                    Some(batch) => self.apply_batch(batch),
+                match attached.ring.pop() {
+                    Some(mut batch) => {
+                        self.apply_batch(&mut batch);
+                        attached.ring.recycle(batch);
+                    }
                     None => break,
                 }
             }
         }
     }
 
-    fn apply_batch(&mut self, batch: Vec<DigestReport>) {
+    /// Applies one batch in place. The buffer is drained, not consumed:
+    /// the caller returns it to the producer via the recycle lane, so
+    /// neither side allocates or frees batch backing store in steady
+    /// state (and the measure-alloc window sees no batch traffic).
+    fn apply_batch(&mut self, batch: &mut Vec<DigestReport>) {
         let t_batch = self.obs_clock.now_ns();
-        // The batch `Vec` itself was allocated by the producer thread and
-        // is freed here, so the shard-thread delta under-counts by its
-        // backing store; compensate to keep the cross-check honest.
         #[cfg(feature = "measure-alloc")]
-        let (alloc_before, batch_comp) = (
-            crate::alloc_track::thread_net_bytes(),
-            (batch.capacity() * std::mem::size_of::<DigestReport>()) as i64,
-        );
+        let alloc_before = crate::alloc_track::thread_net_bytes();
         self.touched.clear();
         self.batch_stamp += 1;
         let stamp = self.batch_stamp;
         let n = batch.len() as u64;
-        for report in batch {
+        for report in batch.drain(..) {
             self.clock = self.clock.max(report.ts);
             let flow = report.flow;
             let factory = &self.factory;
@@ -379,7 +557,7 @@ impl ShardWorker {
         self.detect_events();
         self.publish_stats(n);
         #[cfg(feature = "measure-alloc")]
-        self.account_measured(alloc_before, batch_comp);
+        self.account_measured(alloc_before);
         self.stage_drain
             .record(self.obs_clock.now_ns().saturating_sub(t_batch));
     }
@@ -387,13 +565,18 @@ impl ShardWorker {
     /// Folds this batch's allocator delta into the shard's measured
     /// recorder footprint and cross-checks the flow table's estimate.
     ///
+    /// Batch buffers need no compensation: `apply_batch` drains the
+    /// producer-allocated `Vec` in place and the recycle (or drop, if
+    /// the pool lane is full) happens outside this window, so the
+    /// delta is recorder state only.
+    ///
     /// The bound is deliberately loose (allocator slack, `Vec` growth
     /// headroom, and recorder scratch all land in the measurement but
     /// not the estimate): it catches order-of-magnitude accounting bugs
     /// — the kind that would mis-drive byte-cap eviction — not slack.
     #[cfg(feature = "measure-alloc")]
-    fn account_measured(&mut self, alloc_before: i64, batch_comp: i64) {
-        let delta = crate::alloc_track::thread_net_bytes() - alloc_before + batch_comp;
+    fn account_measured(&mut self, alloc_before: i64) {
+        let delta = crate::alloc_track::thread_net_bytes() - alloc_before;
         self.measured_net += delta;
         self.stats
             .state_bytes_measured
@@ -532,6 +715,7 @@ impl ShardWorker {
     }
 
     fn publish_stats(&self, batch_digests: u64) {
+        self.publish_backoff();
         let s = &self.stats;
         s.ingested.add(batch_digests);
         s.batches.inc();

@@ -18,7 +18,8 @@ use pint_core::dynamic::DynamicAggregator;
 use pint_core::value::Digest;
 use pint_core::DigestReport;
 use pint_netsim::{DigestBatchSink, DigestSink, Packet, Simulator, SwitchView, TelemetryHook};
-use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Installs `handle` as `sim`'s digest sink: every digest extracted at a
@@ -65,6 +66,11 @@ const FEED_DEPTH: usize = 8;
 /// lost silently.
 pub struct ParallelSinkDriver {
     txs: Vec<SyncSender<Vec<DigestReport>>>,
+    /// Per-worker return lanes carrying drained chunk buffers back to
+    /// the router, mirroring the ring layer's batch recycling. Wrapped
+    /// for sharing across sink closures; contention-free in practice
+    /// (`try_lock` in the ship path, one router at a time).
+    rets: Vec<Arc<Mutex<Receiver<Vec<DigestReport>>>>>,
     workers: Vec<JoinHandle<u64>>,
     chunk: usize,
 }
@@ -76,32 +82,39 @@ impl ParallelSinkDriver {
         assert!(producers >= 1, "need at least one producer");
         let chunk = chunk.max(1);
         let mut txs = Vec::with_capacity(producers);
+        let mut rets = Vec::with_capacity(producers);
         let mut workers = Vec::with_capacity(producers);
         for p in 0..producers {
             let mut handle = collector.register_producer();
             let (tx, rx) = sync_channel::<Vec<DigestReport>>(FEED_DEPTH);
+            let (ret_tx, ret_rx) = sync_channel::<Vec<DigestReport>>(FEED_DEPTH);
             let join = std::thread::Builder::new()
                 .name(format!("pint-sink-{p}"))
                 .spawn(move || {
                     let mut delivered = 0u64;
-                    while let Ok(chunk) = rx.recv() {
-                        for report in chunk {
+                    while let Ok(mut chunk) = rx.recv() {
+                        for report in chunk.drain(..) {
                             // Failures (collector shut down mid-run) are
                             // counted by the handle itself.
                             if handle.push(report).is_ok() {
                                 delivered += 1;
                             }
                         }
+                        // Hand the drained buffer back for reuse; a full
+                        // (or gone) return lane just drops it.
+                        let _ = ret_tx.try_send(chunk);
                     }
                     let _ = handle.flush();
                     delivered
                 })
                 .expect("spawn sink producer");
             txs.push(tx);
+            rets.push(Arc::new(Mutex::new(ret_rx)));
             workers.push(join);
         }
         Self {
             txs,
+            rets,
             workers,
             chunk,
         }
@@ -120,6 +133,7 @@ impl ParallelSinkDriver {
                 .map(|_| Vec::with_capacity(self.chunk))
                 .collect(),
             txs: self.txs.clone(),
+            rets: self.rets.clone(),
             chunk: self.chunk,
         }
     }
@@ -159,6 +173,7 @@ impl ParallelSinkDriver {
 struct Router {
     bufs: Vec<Vec<DigestReport>>,
     txs: Vec<SyncSender<Vec<DigestReport>>>,
+    rets: Vec<Arc<Mutex<Receiver<Vec<DigestReport>>>>>,
     chunk: usize,
 }
 
@@ -173,11 +188,25 @@ impl Router {
     }
 
     fn ship(&mut self, p: usize) {
-        let chunk = std::mem::replace(&mut self.bufs[p], Vec::with_capacity(self.chunk));
+        let next = self.recycled(p);
+        let chunk = std::mem::replace(&mut self.bufs[p], next);
         // A gone worker means the driver is shutting down; the digests
         // of this chunk are accounted by the collector-side counters
         // when the worker's handle drops.
         let _ = self.txs[p].send(chunk);
+    }
+
+    /// A drained buffer returned by worker `p`, or a fresh allocation.
+    /// `try_lock` never blocks the routing hot path: contention (a
+    /// second router shipping to the same worker) just allocates.
+    fn recycled(&self, p: usize) -> Vec<DigestReport> {
+        if let Ok(ret) = self.rets[p].try_lock() {
+            match ret.try_recv() {
+                Ok(buf) => return buf,
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => {}
+            }
+        }
+        Vec::with_capacity(self.chunk)
     }
 }
 

@@ -37,6 +37,19 @@ pub enum QueryResult {
         /// space* — decode via [`decode_quantiles`](Self::decode_quantiles).
         quantiles: Vec<(f64, u64)>,
     },
+    /// One hop's merged quantiles over the selection, decoded
+    /// server-side to real values (the plan carried a
+    /// [`ValueDecodeSpec`](crate::ValueDecodeSpec)).
+    HopQuantilesDecoded {
+        /// The queried hop (1-based).
+        hop: u64,
+        /// Samples in the merged sketch (0 = no data at that hop).
+        samples: u64,
+        /// `(phi, value)` per requested quantile, in value space (e.g.
+        /// nanoseconds); empty when no selected flow has data at the
+        /// hop.
+        quantiles: Vec<(f64, f64)>,
+    },
     /// Path-reconstruction progress over the selection.
     PathCompletion {
         /// Selected path-tracing flows whose route fully decoded.
@@ -58,6 +71,7 @@ impl QueryResult {
         match self {
             QueryResult::Summaries(rows) => rows.len(),
             QueryResult::HopQuantiles { quantiles, .. } => quantiles.len(),
+            QueryResult::HopQuantilesDecoded { quantiles, .. } => quantiles.len(),
             QueryResult::PathCompletion { total, .. } => *total as usize,
             QueryResult::DecodedPaths(rows) => rows.len(),
             QueryResult::Stats(s) => s.flows as usize,
@@ -71,13 +85,16 @@ impl QueryResult {
 
     /// Decompresses a `HopQuantiles` result through the deployment's
     /// value codec: `(phi, value)` pairs in value space (e.g.
-    /// nanoseconds). Empty for every other variant.
+    /// nanoseconds). A `HopQuantilesDecoded` result is already in value
+    /// space and comes back as-is (the codec is ignored). Empty for
+    /// every other variant.
     pub fn decode_quantiles(&self, codec: &DynamicAggregator) -> Vec<(f64, f64)> {
         match self {
             QueryResult::HopQuantiles { quantiles, .. } => quantiles
                 .iter()
                 .map(|&(phi, code)| (phi, codec.decode(code)))
                 .collect(),
+            QueryResult::HopQuantilesDecoded { quantiles, .. } => quantiles.clone(),
             _ => Vec::new(),
         }
     }
@@ -223,20 +240,39 @@ pub fn project(
 ) -> QueryResult {
     match projection {
         Projection::Summaries => QueryResult::Summaries(rows),
-        Projection::HopQuantiles { hop, phis } => {
+        Projection::HopQuantiles { hop, phis, decode } => {
             let merged = merge_hop_sketches(&rows, *hop);
             let samples = merged.as_ref().map_or(0, KllSketch::count);
-            let quantiles = merged
+            let quantiles: Vec<(f64, u64)> = merged
                 .map(|sk| {
                     phis.iter()
                         .filter_map(|&phi| sk.quantile(phi).map(|code| (phi, code)))
                         .collect()
                 })
                 .unwrap_or_default();
-            QueryResult::HopQuantiles {
-                hop: *hop as u64,
-                samples,
-                quantiles,
+            match decode {
+                // Server-side decode: this runs inside every backend's
+                // `project`, so the collector, a fleet view, and a TCP
+                // responder all answer identical real-valued rows.
+                // The spec was validated with the plan, so constructing
+                // the codec cannot panic. The seed only affects
+                // encoding-side hash choices, never decoding.
+                Some(spec) => {
+                    let codec = DynamicAggregator::new(0, spec.bits, spec.v_min, spec.v_max);
+                    QueryResult::HopQuantilesDecoded {
+                        hop: *hop as u64,
+                        samples,
+                        quantiles: quantiles
+                            .into_iter()
+                            .map(|(phi, code)| (phi, codec.decode(code)))
+                            .collect(),
+                    }
+                }
+                None => QueryResult::HopQuantiles {
+                    hop: *hop as u64,
+                    samples,
+                    quantiles,
+                },
             }
         }
         Projection::PathCompletion => {

@@ -57,7 +57,9 @@ pub use exec::{
     merge_hop_sketches, project, refine, top_k_order, QueryBackend, QueryResult, SelectionStats,
     TableTotals,
 };
-pub use plan::{Projection, QueryError, QueryOptions, QueryPlan, Selector, TelemetryQuery};
+pub use plan::{
+    Projection, QueryError, QueryOptions, QueryPlan, Selector, TelemetryQuery, ValueDecodeSpec,
+};
 pub use remote::{QueryClient, QueryRequest, QueryResponder, QueryResponse};
 pub use summary::FlowSummary;
 

@@ -48,20 +48,60 @@ pub enum Selector {
     OfKind(RecorderKind),
 }
 
+/// Codec parameters for server-side quantile decoding: the same three
+/// numbers `DynamicAggregator::new` takes (minus the seed, which never
+/// affects decoding). A plan carrying a spec tells the *server* to map
+/// code-space quantiles back to real values before answering, so a
+/// dashboard needs no local codec — only the deployment's value range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueDecodeSpec {
+    /// Per-hop digest bit budget (1..=32), as configured at the encoder.
+    pub bits: u32,
+    /// Smallest encodable value (must be finite and positive).
+    pub v_min: f64,
+    /// Largest encodable value (must be finite and greater than `v_min`).
+    pub v_max: f64,
+}
+
+impl ValueDecodeSpec {
+    /// Validates the spec's invariants — the wire decoder calls this on
+    /// hostile input *before* any codec is constructed, so out-of-range
+    /// parameters are a typed error, never a panic.
+    fn validate(&self) -> Result<(), QueryError> {
+        if !(1..=32).contains(&self.bits) {
+            return Err(QueryError::InvalidPlan("decode bits must be in 1..=32"));
+        }
+        if !self.v_min.is_finite() || self.v_min <= 0.0 {
+            return Err(QueryError::InvalidPlan(
+                "decode v_min must be finite and positive",
+            ));
+        }
+        if !self.v_max.is_finite() || self.v_max <= self.v_min {
+            return Err(QueryError::InvalidPlan(
+                "decode v_max must be finite and greater than v_min",
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// What a query returns for the selected flows.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Projection {
     /// Full [`FlowSummary`](crate::FlowSummary) rows.
     Summaries,
-    /// The code-space quantiles of one hop's value stream, merged
-    /// across the selected flows (decode through the deployment's
-    /// value codec; see
-    /// [`QueryResult::decode_quantiles`](crate::QueryResult::decode_quantiles)).
+    /// The quantiles of one hop's value stream, merged across the
+    /// selected flows. Without a `decode` spec the result carries
+    /// code-space values (decode client-side via
+    /// [`QueryResult::decode_quantiles`](crate::QueryResult::decode_quantiles));
+    /// with one, the server decodes and answers real values.
     HopQuantiles {
         /// 1-based hop index (index 0 is unused by convention).
         hop: usize,
         /// Quantiles in `[0, 1]` to evaluate.
         phis: Vec<f64>,
+        /// `Some` ⇒ decode server-side with this codec.
+        decode: Option<ValueDecodeSpec>,
     },
     /// `(complete, total)` over the selected path-tracing flows.
     PathCompletion,
@@ -109,7 +149,7 @@ impl QueryPlan {
                 return Err(QueryError::InvalidPlan("too many flow IDs in one selector"));
             }
         }
-        if let Projection::HopQuantiles { hop, phis } = &self.projection {
+        if let Projection::HopQuantiles { hop, phis, decode } = &self.projection {
             if *hop == 0 {
                 return Err(QueryError::InvalidPlan("hop index is 1-based; 0 is unused"));
             }
@@ -126,6 +166,9 @@ impl QueryPlan {
                 return Err(QueryError::InvalidPlan(
                     "quantiles must be finite in [0, 1]",
                 ));
+            }
+            if let Some(spec) = decode {
+                spec.validate()?;
             }
         }
         Ok(())
@@ -274,6 +317,34 @@ impl TelemetryQuery {
         self.projection = Some(Projection::HopQuantiles {
             hop,
             phis: phis.into(),
+            decode: None,
+        });
+        self
+    }
+
+    /// Projects hop `hop`'s merged quantiles, decoded **server-side**
+    /// through the deployment's value codec (`spec` mirrors the
+    /// aggregator's `bits`/`v_min`/`v_max`). The result carries real
+    /// values, so the querying side needs no codec of its own.
+    ///
+    /// ```
+    /// use pint_query::{TelemetryQuery, ValueDecodeSpec};
+    /// let spec = ValueDecodeSpec { bits: 8, v_min: 100.0, v_max: 1.0e7 };
+    /// let plan = TelemetryQuery::new().hop_quantiles_decoded(3, [0.5, 0.99], spec).plan().unwrap();
+    /// let bad = ValueDecodeSpec { bits: 0, ..spec };
+    /// assert!(TelemetryQuery::new().hop_quantiles_decoded(3, [0.5], bad).plan().is_err());
+    /// # drop(plan);
+    /// ```
+    pub fn hop_quantiles_decoded(
+        mut self,
+        hop: usize,
+        phis: impl Into<Vec<f64>>,
+        spec: ValueDecodeSpec,
+    ) -> Self {
+        self.projection = Some(Projection::HopQuantiles {
+            hop,
+            phis: phis.into(),
+            decode: Some(spec),
         });
         self
     }

@@ -4,7 +4,9 @@
 //! errors, no panics, and no allocation driven by unvalidated counts.
 
 use crate::exec::{QueryResult, SelectionStats, TableTotals};
-use crate::plan::{Projection, QueryOptions, QueryPlan, Selector, MAX_PHIS, MAX_SELECTOR_IDS};
+use crate::plan::{
+    Projection, QueryOptions, QueryPlan, Selector, ValueDecodeSpec, MAX_PHIS, MAX_SELECTOR_IDS,
+};
 use crate::FlowSummary;
 use pint_core::{PathProgress, RecorderKind};
 use pint_sketches::KllSketch;
@@ -140,7 +142,14 @@ impl WireEncode for Projection {
         let mut w = WireWriter::new(out);
         match self {
             Projection::Summaries => w.put_u8(0),
-            Projection::HopQuantiles { hop, phis } => {
+            // Tag 1 is the historical code-space form; a decode spec
+            // moves the projection to tag 5 so old decoders reject the
+            // frame cleanly instead of mis-reading trailing fields.
+            Projection::HopQuantiles {
+                hop,
+                phis,
+                decode: None,
+            } => {
                 w.put_u8(1);
                 w.put_varint(*hop as u64);
                 w.put_varint(phis.len() as u64);
@@ -151,6 +160,21 @@ impl WireEncode for Projection {
             Projection::PathCompletion => w.put_u8(2),
             Projection::DecodedPaths => w.put_u8(3),
             Projection::Stats => w.put_u8(4),
+            Projection::HopQuantiles {
+                hop,
+                phis,
+                decode: Some(spec),
+            } => {
+                w.put_u8(5);
+                w.put_varint(*hop as u64);
+                w.put_varint(phis.len() as u64);
+                for &phi in phis {
+                    w.put_f64(phi);
+                }
+                w.put_varint(u64::from(spec.bits));
+                w.put_f64(spec.v_min);
+                w.put_f64(spec.v_max);
+            }
         }
     }
 }
@@ -159,7 +183,7 @@ impl WireDecode for Projection {
     fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         match r.get_u8()? {
             0 => Ok(Projection::Summaries),
-            1 => {
+            tag @ (1 | 5) => {
                 let hop = usize::try_from(r.get_varint()?)
                     .map_err(|_| WireError::Invalid("hop index exceeds usize"))?;
                 let n = r.get_count(8)?;
@@ -170,7 +194,20 @@ impl WireDecode for Projection {
                 for _ in 0..n {
                     phis.push(r.get_f64()?);
                 }
-                Ok(Projection::HopQuantiles { hop, phis })
+                let decode = if tag == 5 {
+                    let bits = u32::try_from(r.get_varint()?)
+                        .map_err(|_| WireError::Invalid("decode bits exceed u32"))?;
+                    // Range/finiteness invariants are re-checked by
+                    // `QueryPlan::validate` on the decode_checked path.
+                    Some(ValueDecodeSpec {
+                        bits,
+                        v_min: r.get_f64()?,
+                        v_max: r.get_f64()?,
+                    })
+                } else {
+                    None
+                };
+                Ok(Projection::HopQuantiles { hop, phis, decode })
             }
             2 => Ok(Projection::PathCompletion),
             3 => Ok(Projection::DecodedPaths),
@@ -341,6 +378,21 @@ impl WireEncode for QueryResult {
                 WireWriter::new(out).put_u8(4);
                 stats.encode_into(out);
             }
+            QueryResult::HopQuantilesDecoded {
+                hop,
+                samples,
+                quantiles,
+            } => {
+                let mut w = WireWriter::new(out);
+                w.put_u8(5);
+                w.put_varint(*hop);
+                w.put_varint(*samples);
+                w.put_varint(quantiles.len() as u64);
+                for &(phi, value) in quantiles {
+                    w.put_f64(phi);
+                    w.put_f64(value);
+                }
+            }
         }
     }
 }
@@ -400,6 +452,22 @@ impl WireDecode for QueryResult {
                 Ok(QueryResult::DecodedPaths(rows))
             }
             4 => Ok(QueryResult::Stats(SelectionStats::decode_from(r)?)),
+            5 => {
+                let hop = r.get_varint()?;
+                let samples = r.get_varint()?;
+                let n = r.get_count(16)?;
+                let mut quantiles = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let phi = r.get_f64()?;
+                    let value = r.get_f64()?;
+                    quantiles.push((phi, value));
+                }
+                Ok(QueryResult::HopQuantilesDecoded {
+                    hop,
+                    samples,
+                    quantiles,
+                })
+            }
             _ => Err(WireError::Invalid("unknown query result tag")),
         }
     }
@@ -442,6 +510,19 @@ mod tests {
                 .stats()
                 .plan()
                 .unwrap(),
+            TelemetryQuery::new()
+                .top_k(3)
+                .hop_quantiles_decoded(
+                    2,
+                    [0.5, 0.99],
+                    ValueDecodeSpec {
+                        bits: 8,
+                        v_min: 100.0,
+                        v_max: 1.0e7,
+                    },
+                )
+                .plan()
+                .unwrap(),
         ]
     }
 
@@ -461,6 +542,11 @@ mod tests {
                 hop: 3,
                 samples: 1_000,
                 quantiles: vec![(0.5, 17), (0.99, 250)],
+            },
+            QueryResult::HopQuantilesDecoded {
+                hop: 3,
+                samples: 1_000,
+                quantiles: vec![(0.5, 1_234.5), (0.99, 98_765.4)],
             },
             QueryResult::PathCompletion {
                 complete: 3,
@@ -588,6 +674,7 @@ mod tests {
             projection: Projection::HopQuantiles {
                 hop: 1,
                 phis: vec![2.5],
+                decode: None,
             },
             options: QueryOptions::default(),
         };
@@ -596,5 +683,40 @@ mod tests {
             QueryPlan::decode_checked(&bytes),
             Err(crate::QueryError::InvalidPlan(_))
         ));
+    }
+
+    #[test]
+    fn hostile_decode_specs_are_rejected_without_panicking() {
+        // Each spec parses at the wire layer but must bounce in
+        // validation — constructing a codec from it would assert/panic.
+        let hostile = [
+            (0u32, 100.0, 1.0e7),               // bits out of range
+            (33, 100.0, 1.0e7),                 // bits out of range
+            (8, 0.0, 1.0e7),                    // v_min not positive
+            (8, -5.0, 1.0e7),                   // v_min negative
+            (8, f64::NAN, 1.0e7),               // v_min NaN
+            (8, 100.0, 100.0),                  // empty range
+            (8, 100.0, f64::INFINITY),          // v_max infinite
+            (8, f64::INFINITY, f64::INFINITY),  // both infinite
+        ];
+        for (bits, v_min, v_max) in hostile {
+            let plan = QueryPlan {
+                selector: Selector::All,
+                projection: Projection::HopQuantiles {
+                    hop: 1,
+                    phis: vec![0.5],
+                    decode: Some(ValueDecodeSpec { bits, v_min, v_max }),
+                },
+                options: QueryOptions::default(),
+            };
+            let bytes = plan.encode();
+            assert!(
+                matches!(
+                    QueryPlan::decode_checked(&bytes),
+                    Err(crate::QueryError::InvalidPlan(_))
+                ),
+                "spec ({bits}, {v_min}, {v_max}) must be rejected"
+            );
+        }
     }
 }

@@ -144,7 +144,12 @@ impl Drop for Criterion {
 }
 
 /// One JSON array: measurement entries first, then any attached notes.
+/// Every measurement records the host's `available_parallelism`, so a
+/// committed baseline is honest about how many cores produced it —
+/// scaling numbers from a 1-core box and a 32-core box must never be
+/// compared as if they were peers.
 fn render_json(results: &[BenchResult], notes: &[String]) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut entries: Vec<String> = results
         .iter()
         .map(|r| {
@@ -154,7 +159,7 @@ fn render_json(results: &[BenchResult], notes: &[String]) -> String {
                 None => String::new(),
             };
             format!(
-                "  {{\"id\": \"{}\", \"mean_ns\": {:.2}, \"iters\": {}{}}}",
+                "  {{\"id\": \"{}\", \"mean_ns\": {:.2}, \"iters\": {}{}, \"available_parallelism\": {cores}}}",
                 r.id, r.mean_ns, r.iters, thr
             )
         })
@@ -325,5 +330,10 @@ mod tests {
         let ni = out.find("\"note\"").unwrap();
         assert!(ai < ni, "notes must follow measurements");
         assert!(out.contains("},\n"), "entries comma-separated:\n{out}");
+        let cores = std::thread::available_parallelism().unwrap().get();
+        assert!(
+            out.contains(&format!("\"available_parallelism\": {cores}")),
+            "measurements must record the host core count:\n{out}"
+        );
     }
 }

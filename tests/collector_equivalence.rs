@@ -19,7 +19,7 @@
 //! rings interleave; recorders are seeded deterministically; and
 //! snapshot merging sorts by flow ID.
 
-use pint::collector::{Collector, CollectorConfig};
+use pint::collector::{Collector, CollectorConfig, PrefilterConfig};
 use pint::core::dynamic::{DynamicAggregator, DynamicRecorder};
 use pint::core::statictrace::{PathTracer, TracerConfig};
 use pint::core::{Digest, DigestReport, FlowRecorder};
@@ -108,7 +108,7 @@ fn serial_baseline(w: &Workload) -> Vec<Box<dyn FlowRecorder>> {
     recs
 }
 
-fn spawn_collector(w: &Workload, shards: usize) -> Collector {
+fn spawn_collector(w: &Workload, shards: usize, prefilter: Option<PrefilterConfig>) -> Collector {
     let agg = w.agg.clone();
     let tracer = w.tracer.clone();
     let universe = w.universe.clone();
@@ -122,6 +122,7 @@ fn spawn_collector(w: &Workload, shards: usize) -> Collector {
             // flow must stay resident.
             max_flows_per_shard: usize::MAX >> 1,
             max_bytes_per_shard: usize::MAX >> 1,
+            prefilter,
             ..CollectorConfig::default()
         },
         Arc::new(move |flow, report: &DigestReport| {
@@ -174,7 +175,7 @@ proptest! {
 
         for producers in PRODUCER_COUNTS {
             for shards in SHARD_COUNTS {
-                let collector = spawn_collector(&w, shards);
+                let collector = spawn_collector(&w, shards, None);
                 ingest(&collector, &w, producers);
                 let snap = collector.snapshot().expect("snapshot");
 
@@ -227,4 +228,136 @@ proptest! {
                 first_combo, combo);
         }
     }
+
+    /// The ingest-side pre-filter guarantee: a Bloom filter has no
+    /// false negatives, so every watch-listed flow answers exactly like
+    /// the serial Recording Module — under every producer/shard combo.
+    /// Off-watch flows may slip through as false positives, but the
+    /// membership test is deterministic per flow ID, so each one is
+    /// either fully present (all digests, matching the serial count) or
+    /// fully absent — and absences are accounted digest-for-digest in
+    /// `digests_prefiltered`, never in `digests_dropped`.
+    #[test]
+    fn prefilter_never_drops_watch_listed_flows(
+        flows in 6u64..24,
+        per_flow in 20u64..50,
+        k in 2usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let w = build_workload(flows, per_flow, k, seed);
+        let mut serial = serial_baseline(&w);
+        // Every third flow is off the watch list; the rest mix latency
+        // and path flows, so both recorder kinds cross the filter.
+        let watch: Vec<u64> = (0..flows).filter(|f| f % 3 != 2).collect();
+        let phis = [0.25, 0.5, 0.9, 0.99];
+
+        for producers in PRODUCER_COUNTS {
+            for shards in [1usize, 4] {
+                let collector =
+                    spawn_collector(&w, shards, Some(PrefilterConfig::new(watch.clone())));
+                ingest(&collector, &w, producers);
+                let snap = collector.snapshot().expect("snapshot");
+
+                let mut ingested_expect = 0u64;
+                for flow in 0..flows {
+                    let on_watch = watch.contains(&flow);
+                    let summary = match snap.flow(flow) {
+                        Some(s) => s,
+                        None => {
+                            prop_assert!(!on_watch,
+                                "watch-listed flow {} was pre-filtered away (P {} S {})",
+                                flow, producers, shards);
+                            continue;
+                        }
+                    };
+                    // Present ⇒ every digest passed (the filter keys on
+                    // the flow ID alone), so the serial oracle applies
+                    // to false positives too.
+                    ingested_expect += per_flow;
+                    let baseline = &mut serial[flow as usize];
+                    prop_assert_eq!(summary.packets, baseline.packets(),
+                        "packets diverge: flow {} P {} S {}", flow, producers, shards);
+                    if is_path_flow(flow) {
+                        let got = summary.path.as_ref().expect("path progress");
+                        let want = baseline.path_progress().expect("baseline progress");
+                        prop_assert_eq!(got, &want,
+                            "path progress diverges: flow {} P {} S {}",
+                            flow, producers, shards);
+                    } else {
+                        let base_sketches = baseline.hop_sketches();
+                        for hop in 1..=k {
+                            for &phi in &phis {
+                                prop_assert_eq!(
+                                    summary.hop_sketches[hop].quantile(phi),
+                                    base_sketches[hop].quantile(phi),
+                                    "quantile diverges: flow {} hop {} phi {} P {} S {}",
+                                    flow, hop, phi, producers, shards
+                                );
+                            }
+                        }
+                    }
+                }
+
+                let stats = collector.shutdown();
+                prop_assert_eq!(stats.digests_dropped, 0);
+                prop_assert_eq!(stats.ingested, ingested_expect,
+                    "ingested count disagrees with surviving flows (P {} S {})",
+                    producers, shards);
+                prop_assert_eq!(
+                    stats.digests_prefiltered,
+                    flows * per_flow - ingested_expect,
+                    "pre-filter accounting leaks digests (P {} S {})",
+                    producers, shards
+                );
+            }
+        }
+    }
+}
+
+/// Feature-independent pin of pooled batch recycling, via the public
+/// metrics registry: after a warmup pass, a barrier-paced producer is
+/// fed entirely from the recycle lane — `collector_batch_allocs_total`
+/// stays flat while `collector_batches_recycled_total` keeps rising.
+/// (Registration seeds each lane with a spare, so two buffers circulate
+/// and the lane is deterministically non-empty at every re-arm — even
+/// when the shard drains and recycles a batch before the producer's
+/// own re-arm, which would otherwise collapse the lane to a single
+/// racing buffer. The allocator-level version of this pin lives in the
+/// collector crate's `measure-alloc` tests.)
+#[test]
+fn steady_state_batch_allocations_stay_flat() {
+    let w = build_workload(8, 40, 3, 7);
+    let collector = spawn_collector(&w, 1, None);
+    let mut handle = collector.register_producer();
+    let batch = 32; // spawn_collector's batch_size
+    let mut cycles = w.reports.chunks(batch).cycle();
+    let mut run_cycle = |handle: &mut pint::collector::CollectorHandle| {
+        for r in cycles.next().expect("cycle is infinite") {
+            handle.push(r.clone()).expect("collector alive");
+        }
+        handle.flush().expect("flush");
+        collector.barrier().expect("barrier");
+    };
+    for _ in 0..4 {
+        run_cycle(&mut handle);
+    }
+    let warmed = collector.metrics().snapshot();
+    let allocs_warm = warmed.counter_total("collector_batch_allocs_total");
+    let recycled_warm = warmed.counter_total("collector_batches_recycled_total");
+    for _ in 0..16 {
+        run_cycle(&mut handle);
+    }
+    let after = collector.metrics().snapshot();
+    assert_eq!(
+        after.counter_total("collector_batch_allocs_total"),
+        allocs_warm,
+        "steady state allocated fresh batches instead of recycling"
+    );
+    assert!(
+        after.counter_total("collector_batches_recycled_total") >= recycled_warm + 16,
+        "steady-state ships were not fed from the recycle lane"
+    );
+    drop(handle);
+    let stats = collector.shutdown();
+    assert_eq!(stats.digests_dropped, 0);
 }

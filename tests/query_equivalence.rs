@@ -173,12 +173,24 @@ fn build_plan(sel: u8, proj: u8, seed: u64, k: usize, hop: usize, flags: u8) -> 
             seed % 64
         }),
     };
-    let q = match proj % 5 {
+    let q = match proj % 6 {
         0 => q.summaries(),
         1 => q.hop_quantiles(hop, [0.1, 0.5, 0.9, 0.99]),
         2 => q.path_completion(),
         3 => q.decoded_paths(),
-        _ => q.stats(),
+        4 => q.stats(),
+        // Server-side decode: the spec mirrors the ingest aggregator
+        // (`DynamicAggregator::new(7, 8, 100.0, 1.0e7)` in `build_ctx`),
+        // so decoded quantiles are real values, not codes.
+        _ => q.hop_quantiles_decoded(
+            hop,
+            [0.1, 0.5, 0.9, 0.99],
+            pint::query::ValueDecodeSpec {
+                bits: 8,
+                v_min: 100.0,
+                v_max: 1.0e7,
+            },
+        ),
     };
     let q = if flags & 1 != 0 {
         // Timestamps span 0..~12_000; hit the interesting range.
@@ -201,7 +213,7 @@ proptest! {
     #[test]
     fn any_plan_executes_identically_on_all_three_backends(
         sel in 0u8..5,
-        proj in 0u8..5,
+        proj in 0u8..6,
         seed in any::<u64>(),
         k in 0usize..70,
         hop in 1usize..6,
