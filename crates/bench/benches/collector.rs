@@ -25,7 +25,7 @@ use pint_collector::{Collector, CollectorConfig, PrefilterConfig};
 use pint_core::dynamic::{DynamicAggregator, DynamicRecorder};
 use pint_core::value::Digest;
 use pint_core::{DigestReport, FlowRecorder};
-use pint_obs::MetricsRegistry;
+use pint_obs::{FlightRecorder, MetricsRegistry};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -64,8 +64,11 @@ fn partition(reports: &[DigestReport], producers: u64) -> Vec<Vec<DigestReport>>
 /// One ingest cell: `producers` threads × `shards` shards, publishing
 /// into `metrics` when given (the observed variant) or a private
 /// registry otherwise. A non-empty `variant` renames the cell (for
-/// side-by-side pairs like the prefilter on/off comparison), and
-/// `prefilter` installs the ingest-side watch-list filter.
+/// side-by-side pairs like the prefilter or tracing on/off
+/// comparisons), `prefilter` installs the ingest-side watch-list
+/// filter, and `trace` installs a shared flight recorder (one
+/// `CollectorBatch` event per applied batch).
+#[allow(clippy::too_many_arguments)]
 fn run_cell(
     g: &mut criterion::BenchmarkGroup<'_>,
     agg: &DynamicAggregator,
@@ -74,6 +77,7 @@ fn run_cell(
     shards: usize,
     metrics: Option<MetricsRegistry>,
     prefilter: Option<PrefilterConfig>,
+    trace: Option<FlightRecorder>,
     variant: &str,
 ) {
     let filtered = prefilter.is_some();
@@ -87,6 +91,7 @@ fn run_cell(
             max_flows_per_shard: 2_048,
             metrics,
             prefilter,
+            trace,
             ..CollectorConfig::default()
         },
         Arc::new(move |_flow, report: &DigestReport| {
@@ -144,7 +149,9 @@ fn bench_ingest(c: &mut Criterion) {
     g.throughput(Throughput::Elements(reports.len() as u64));
     for producers in [1u64, 2, 4] {
         for shards in [1usize, 2, 4, 8] {
-            run_cell(&mut g, &agg, &reports, producers, shards, None, None, "");
+            run_cell(
+                &mut g, &agg, &reports, producers, shards, None, None, None, "",
+            );
         }
     }
     g.finish();
@@ -155,7 +162,17 @@ fn bench_ingest(c: &mut Criterion) {
     let registry = MetricsRegistry::new();
     let mut g = c.benchmark_group("collector_ingest_observed");
     g.throughput(Throughput::Elements(reports.len() as u64));
-    run_cell(&mut g, &agg, &reports, 2, 4, Some(registry.clone()), None, "");
+    run_cell(
+        &mut g,
+        &agg,
+        &reports,
+        2,
+        4,
+        Some(registry.clone()),
+        None,
+        None,
+        "",
+    );
     g.finish();
     c.note(snapshot_note(&registry));
 
@@ -165,7 +182,7 @@ fn bench_ingest(c: &mut Criterion) {
     let watch: Vec<u64> = (0..FLOWS).filter(|f| f % 8 == 0).collect();
     let mut g = c.benchmark_group("collector_ingest_prefilter");
     g.throughput(Throughput::Elements(reports.len() as u64));
-    run_cell(&mut g, &agg, &reports, 2, 4, None, None, "off");
+    run_cell(&mut g, &agg, &reports, 2, 4, None, None, None, "off");
     run_cell(
         &mut g,
         &agg,
@@ -174,10 +191,41 @@ fn bench_ingest(c: &mut Criterion) {
         4,
         None,
         Some(PrefilterConfig::new(watch)),
+        None,
         "on",
     );
     g.finish();
 
+    // Tracing on/off pair on the same cell and stream: `on` shares one
+    // flight recorder across the shard workers, recording one
+    // `CollectorBatch` event per applied batch. The `off`→`on` mean_ns
+    // gap is the flight recorder's hot-path price, budgeted ≤5%
+    // (`ingest_traced_overhead` note; median-of-N record in
+    // `BENCH_ingest.json`).
+    let mut g = c.benchmark_group("collector_ingest_traced");
+    g.throughput(Throughput::Elements(reports.len() as u64));
+    run_cell(&mut g, &agg, &reports, 2, 4, None, None, None, "off");
+    let recorder = FlightRecorder::new(4, 4_096);
+    run_cell(
+        &mut g,
+        &agg,
+        &reports,
+        2,
+        4,
+        None,
+        None,
+        Some(recorder.clone()),
+        "on",
+    );
+    assert!(
+        !recorder.snapshot().is_empty(),
+        "tracing never engaged: no CollectorBatch events recorded"
+    );
+    g.finish();
+
+    if let Some(note) = traced_overhead_note(c) {
+        c.note(note);
+    }
     if let Some(note) = scaling_note(c) {
         c.note(note);
     }
@@ -239,9 +287,9 @@ fn bench_sweep(c: &mut Criterion) {
     let mut g = c.benchmark_group("collector_ingest_sweep");
     g.throughput(Throughput::Elements(reports.len() as u64));
     let sweep = |g: &mut criterion::BenchmarkGroup<'_>,
-                     ring_capacity: usize,
-                     batch_size: usize,
-                     spin_limit: u32| {
+                 ring_capacity: usize,
+                 batch_size: usize,
+                 spin_limit: u32| {
         let rec_agg = agg.clone();
         let collector = Collector::spawn(
             CollectorConfig {
@@ -344,6 +392,26 @@ fn snapshot_note(registry: &MetricsRegistry) -> String {
         stage("collector_stage_touch_ns"),
         stage("collector_stage_kll_ns"),
     )
+}
+
+/// Self-reported tracing price: the fresh `off`→`on` gap from this
+/// run's traced pair, with the ≤5% budget verdict. Single runs on a
+/// noisy host swing well past the budget either way; the committed
+/// median-of-N record in `BENCH_ingest.json` is the honest number.
+fn traced_overhead_note(c: &Criterion) -> Option<String> {
+    let mean = |needle: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.id == needle)
+            .map(|r| r.mean_ns)
+    };
+    let off = mean("collector_ingest_traced/off/p2s4")?;
+    let on = mean("collector_ingest_traced/on/p2s4")?;
+    let pct = (on / off - 1.0) * 100.0;
+    Some(format!(
+        "{{\"id\": \"ingest_traced_overhead\", \"off_ns\": {off:.0}, \"on_ns\": {on:.0}, \
+         \"overhead_pct\": {pct:.2}, \"budget_pct\": 5.0}}"
+    ))
 }
 
 /// Compares this run's matrix against a recorded baseline's mean_ns —

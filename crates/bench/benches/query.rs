@@ -91,6 +91,7 @@ fn bench_query(c: &mut Criterion) {
         QueryResponse {
             request_id: 1,
             result: Ok(collector.query(plan).unwrap()),
+            watermark: Some(collector.watermark()),
         }
         .to_frame_bytes()
         .len()
@@ -149,6 +150,7 @@ fn bench_query(c: &mut Criterion) {
             let response = QueryResponse {
                 request_id: 1,
                 result: Ok(collector.query(&set_plan).unwrap()),
+                watermark: Some(collector.watermark()),
             };
             black_box(response.to_frame_bytes().len())
         })
@@ -159,6 +161,7 @@ fn bench_query(c: &mut Criterion) {
             let response = QueryResponse {
                 request_id: 1,
                 result: Ok(collector.query(&delta_plan).unwrap()),
+                watermark: Some(collector.watermark()),
             };
             black_box(response.to_frame_bytes().len())
         })

@@ -10,7 +10,9 @@ use crate::prefilter::Bloom;
 use crate::ring::{self, RingTuning, Waiter};
 use crate::shard::{ShardMsg, ShardQuery, ShardSelect, ShardStats, ShardWorker};
 use pint_obs::{ClockHandle, Counter, Gauge, Histogram, MetricsRegistry};
-use pint_query::{QueryBackend, QueryError, QueryPlan, QueryResult, Selector, TableTotals};
+use pint_query::{
+    QueryBackend, QueryError, QueryPlan, QueryResult, Selector, TableTotals, Watermark,
+};
 use std::sync::atomic::AtomicU64;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
@@ -151,6 +153,9 @@ pub struct Collector {
     stats: Vec<Arc<ShardStats>>,
     registry: Arc<ProducerRegistry>,
     metrics: MetricsRegistry,
+    /// Per-shard `collector_newest_ts` gauges (shared cells with the
+    /// shard workers) — read by [`watermark`](Self::watermark).
+    newest_ts: Vec<pint_obs::Gauge>,
 }
 
 impl Collector {
@@ -205,16 +210,16 @@ impl Collector {
             },
             enqueue: metrics.histogram("collector_stage_enqueue_ns"),
             clock: metrics.clock(),
-            prefilter: config
-                .prefilter
-                .as_ref()
-                .map(|p| Arc::new(Bloom::build(p))),
+            prefilter: config.prefilter.as_ref().map(|p| Arc::new(Bloom::build(p))),
             prefiltered: metrics.counter("collector_digests_prefiltered_total"),
             batch_allocs: metrics.counter("collector_batch_allocs_total"),
             recycled: metrics.counter("collector_batches_recycled_total"),
             producer_spin: metrics.gauge("collector_producer_adaptive_spin"),
             producer_park_us: metrics.gauge("collector_producer_adaptive_park_us"),
         });
+        let newest_ts = (0..config.shards)
+            .map(|shard| metrics.gauge_shard("collector_newest_ts", shard as u32))
+            .collect();
         Self {
             ctrl,
             waiters,
@@ -223,6 +228,20 @@ impl Collector {
             stats,
             registry,
             metrics,
+            newest_ts,
+        }
+    }
+
+    /// The collector's freshness stamp: the newest report timestamp any
+    /// shard has applied (a collector applies everything it is fed, so
+    /// `newest_seen == newest_applied`), with one source per shard.
+    /// Relaxed reads — exact after a [`barrier`](Self::barrier).
+    pub fn watermark(&self) -> Watermark {
+        let newest = self.newest_ts.iter().map(|g| g.get()).max().unwrap_or(0);
+        Watermark {
+            newest_applied: newest,
+            newest_seen: newest,
+            sources: self.newest_ts.len() as u64,
         }
     }
 
@@ -585,5 +604,9 @@ impl QueryBackend for Collector {
     /// (`QueryResponder::bind(addr, Arc::new(collector))`).
     fn query(&self, plan: &QueryPlan) -> Result<QueryResult, QueryError> {
         Collector::query(self, plan)
+    }
+
+    fn watermark(&self) -> Option<Watermark> {
+        Some(Collector::watermark(self))
     }
 }

@@ -82,6 +82,12 @@ pub struct CollectorConfig {
     /// private registry (read it via
     /// [`Collector::metrics`](crate::Collector::metrics)).
     pub metrics: Option<pint_obs::MetricsRegistry>,
+    /// Flight recorder for pipeline tracing: each applied batch is
+    /// stamped as a `CollectorBatch` trace event on the applying
+    /// shard's lane. `None` disables tracing (the hot path pays
+    /// nothing). Share one recorder across tiers — and drive it from
+    /// the same clock as `metrics` — to read one end-to-end timeline.
+    pub trace: Option<pint_obs::FlightRecorder>,
 }
 
 impl Default for CollectorConfig {
@@ -128,6 +134,7 @@ impl Default for CollectorConfig {
             rules: Vec::new(),
             prefilter: None,
             metrics: None,
+            trace: None,
         }
     }
 }

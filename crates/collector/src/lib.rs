@@ -91,8 +91,8 @@ pub use config::{CollectorConfig, FlowId, RecorderFactory};
 pub use error::CollectorError;
 pub use events::{Event, EventKind, EventRule, RuleCondition};
 pub use handle::CollectorHandle;
-pub use prefilter::PrefilterConfig;
 pub use inference::{CollectorSnapshot, FlowSummary, ShardSnapshot};
+pub use prefilter::PrefilterConfig;
 pub use shard::ShardStats;
 pub use sink::{attach_collector, attach_collector_parallel, LatencyTelemetry, ParallelSinkDriver};
 pub use wire::SnapshotFrame;

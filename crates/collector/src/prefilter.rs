@@ -144,7 +144,7 @@ mod tests {
 
     #[test]
     fn tiny_bits_budget_still_has_no_false_negatives() {
-        let watch: Vec<FlowId> = (0..5_000).map(|i| mix64(i)).collect();
+        let watch: Vec<FlowId> = (0..5_000).map(mix64).collect();
         let config = PrefilterConfig {
             watch: watch.clone(),
             bits_per_flow: 1,

@@ -370,9 +370,7 @@ impl RingProducer {
             } else {
                 self.ring.parks.fetch_add(1, Ordering::Relaxed);
                 self.backoff.on_park();
-                self.ring
-                    .producer_waiter
-                    .park(self.backoff.park_timeout());
+                self.ring.producer_waiter.park(self.backoff.park_timeout());
             }
             spins = 0;
         }
@@ -395,7 +393,10 @@ impl RingProducer {
         let batch = unsafe { (*self.ring.pool[idx].0.get()).take() };
         debug_assert!(batch.is_some(), "SPSC protocol: published pool slot empty");
         self.pool_head = self.pool_head.wrapping_add(1);
-        self.ring.pool_head.0.store(self.pool_head, Ordering::Release);
+        self.ring
+            .pool_head
+            .0
+            .store(self.pool_head, Ordering::Release);
         batch
     }
 
@@ -490,7 +491,10 @@ impl RingConsumer {
         // store of `pool_tail + 1` below.
         unsafe { *self.ring.pool[idx].0.get() = Some(batch) };
         self.pool_tail = self.pool_tail.wrapping_add(1);
-        self.ring.pool_tail.0.store(self.pool_tail, Ordering::Release);
+        self.ring
+            .pool_tail
+            .0
+            .store(self.pool_tail, Ordering::Release);
         // No wake: the producer polls the lane on ship and falls back to
         // allocation when it is empty — nobody ever sleeps on the pool.
     }

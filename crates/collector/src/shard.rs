@@ -17,7 +17,9 @@ use crate::flow_table::FlowTable;
 use crate::inference::{FlowSummary, ShardSnapshot};
 use crate::ring::{BackoffController, RingConsumer, RingTuning, Waiter};
 use pint_core::DigestReport;
-use pint_obs::{ClockHandle, Counter, Gauge, Histogram, MetricsRegistry};
+use pint_obs::{
+    ClockHandle, Counter, FlightRecorder, Gauge, Histogram, MetricsRegistry, TraceStage,
+};
 use std::collections::VecDeque;
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError, TrySendError};
 use std::sync::Arc;
@@ -200,6 +202,11 @@ pub(crate) struct ShardWorker {
     stage_kll: Histogram,
     /// Digest counter driving the deterministic [`STAGE_SAMPLE`] pick.
     sample_tick: u64,
+    /// Newest report timestamp applied (`collector_newest_ts{shard}`)
+    /// — the per-shard freshness watermark.
+    newest_ts: Gauge,
+    /// Pipeline tracing: one `CollectorBatch` event per applied batch.
+    recorder: Option<FlightRecorder>,
     /// Cumulative allocator-measured net bytes this shard thread holds.
     #[cfg(feature = "measure-alloc")]
     measured_net: i64,
@@ -228,6 +235,8 @@ impl ShardWorker {
             stage_touch: registry.histogram_shard("collector_stage_touch_ns", shard as u32),
             stage_kll: registry.histogram_shard("collector_stage_kll_ns", shard as u32),
             sample_tick: 0,
+            newest_ts: registry.gauge_shard("collector_newest_ts", shard as u32),
+            recorder: config.trace.clone(),
             #[cfg(feature = "measure-alloc")]
             measured_net: 0,
             shard,
@@ -555,6 +564,17 @@ impl ShardWorker {
         }
         self.table.expire(self.clock);
         self.detect_events();
+        if let Some(rec) = &self.recorder {
+            // One event per batch, not per digest: the hot path stays
+            // within the tracing overhead budget at any batch size.
+            rec.record_at(
+                self.shard as u32,
+                TraceStage::CollectorBatch,
+                self.shard as u64,
+                stamp,
+                t_batch,
+            );
+        }
         self.publish_stats(n);
         #[cfg(feature = "measure-alloc")]
         self.account_measured(alloc_before);
@@ -723,6 +743,7 @@ impl ShardWorker {
         s.state_bytes.set(self.table.total_bytes() as u64);
         s.evicted_lru.set(self.table.stats.evicted_lru);
         s.evicted_ttl.set(self.table.stats.evicted_ttl);
+        self.newest_ts.set(self.clock);
     }
 
     fn summarize(entry: &crate::flow_table::FlowEntry) -> FlowSummary {

@@ -9,8 +9,8 @@ use pint_collector::wire::SnapshotFrame;
 use pint_collector::{CollectorSnapshot, FlowId};
 use pint_core::dynamic::DynamicAggregator;
 use pint_core::DigestReport;
-use pint_obs::{GaugeGroup, MetricsRegistry};
-use pint_query::{QueryError, QueryPlan, QueryResult, Selector};
+use pint_obs::{FlightRecorder, Gauge, GaugeGroup, MetricsRegistry, TraceStage};
+use pint_query::{QueryError, QueryPlan, QueryResult, Selector, Watermark};
 use pint_wire::{parse_frame, AckStatus, BatchAck, DigestBatch, FrameType, WireDecode, WireReader};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -35,6 +35,11 @@ pub struct FleetConfig {
     /// single `Metrics` wire frame reports every tier; `None` gives the
     /// aggregator a private registry.
     pub metrics: Option<MetricsRegistry>,
+    /// Flight recorder for pipeline tracing: applied snapshots and
+    /// fresh digest batches are stamped as
+    /// [`TraceStage::AggregatorApplied`] events. `None` disables
+    /// tracing (the hot path pays nothing).
+    pub trace: Option<FlightRecorder>,
 }
 
 /// Live counters of one aggregator.
@@ -106,6 +111,13 @@ pub struct FleetAggregator {
     /// republished whole after every mutation so remote readers observe
     /// internally consistent counters.
     obs_group: GaugeGroup,
+    /// The newest epoch ever *seen* per collector — including stale
+    /// arrivals the epoch gate discarded — feeding the freshness
+    /// watermark's `newest_seen` side.
+    newest_seen_epoch: u64,
+    /// Per-collector `fleet_collector_epoch` / `fleet_collector_lag`
+    /// freshness gauges, created lazily on first apply.
+    freshness_gauges: BTreeMap<u64, (Gauge, Gauge)>,
 }
 
 /// `set_all` field order of the `fleet` gauge group (mirrors
@@ -142,6 +154,8 @@ impl FleetAggregator {
             stats: FleetStats::default(),
             metrics,
             obs_group,
+            newest_seen_epoch: 0,
+            freshness_gauges: BTreeMap::new(),
         }
     }
 
@@ -150,6 +164,12 @@ impl FleetAggregator {
     /// default.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The flight recorder from [`FleetConfig::trace`], if tracing is
+    /// on — the serving transport answers `TraceDump` requests from it.
+    pub fn trace_recorder(&self) -> Option<&FlightRecorder> {
+        self.config.trace.as_ref()
     }
 
     /// Republishes the whole stats vector (one locked write), so any
@@ -260,7 +280,8 @@ impl FleetAggregator {
             FrameType::Query
             | FrameType::QueryResponse
             | FrameType::BatchAck
-            | FrameType::Metrics => {
+            | FrameType::Metrics
+            | FrameType::TraceDump => {
                 // Metrics requests, like queries, are answered by the
                 // serving transport (which owns the registry snapshot);
                 // the aggregator only merges telemetry state.
@@ -300,6 +321,14 @@ impl FleetAggregator {
         let status = if fresh {
             self.stats.digest_batches += 1;
             self.stats.digests += batch.reports.len() as u64;
+            if let Some(rec) = &self.config.trace {
+                rec.record(
+                    batch.source as u32,
+                    TraceStage::AggregatorApplied,
+                    batch.source,
+                    batch.seq,
+                );
+            }
             match &mut self.digest_sink {
                 Some(sink) => sink(batch.source, batch.reports),
                 None => self.stats.digests_unrouted += batch.reports.len() as u64,
@@ -321,12 +350,25 @@ impl FleetAggregator {
     /// is discarded as stale (returns `false`). On application, fleet
     /// rules are re-evaluated against the new merged view.
     pub fn apply_snapshot(&mut self, frame: SnapshotFrame) -> bool {
+        // Even a stale arrival advances `newest_seen`: a watermark's
+        // lag measures "how far behind the freshest evidence" the
+        // applied state is, and discarded evidence still counts.
+        self.newest_seen_epoch = self.newest_seen_epoch.max(frame.epoch);
         if let Some(existing) = self.collectors.get(&frame.collector_id) {
             if frame.epoch <= existing.epoch {
                 self.stats.snapshots_stale += 1;
+                self.publish_freshness();
                 self.publish_obs();
                 return false;
             }
+        }
+        if let Some(rec) = &self.config.trace {
+            rec.record(
+                frame.collector_id as u32,
+                TraceStage::AggregatorApplied,
+                frame.collector_id,
+                frame.epoch,
+            );
         }
         self.collectors.insert(
             frame.collector_id,
@@ -338,8 +380,38 @@ impl FleetAggregator {
         self.stats.snapshots_applied += 1;
         self.stats.collectors = self.collectors.len();
         self.evaluate_rules();
+        self.publish_freshness();
         self.publish_obs();
         true
+    }
+
+    /// The aggregator's freshness stamp: the newest epoch *applied*
+    /// across collectors vs. the newest epoch ever *seen* (stale
+    /// arrivals included), plus how many collectors contribute. Stamped
+    /// onto every [`QueryResponse`](pint_query::QueryResponse) the
+    /// fleet server answers.
+    pub fn watermark(&self) -> Watermark {
+        Watermark {
+            newest_applied: self.collectors.values().map(|s| s.epoch).max().unwrap_or(0),
+            newest_seen: self.newest_seen_epoch,
+            sources: self.collectors.len() as u64,
+        }
+    }
+
+    /// Publishes per-collector `fleet_collector_epoch{shard=id}` and
+    /// `fleet_collector_lag{shard=id}` gauges (lag = newest epoch seen
+    /// fleet-wide minus this collector's applied epoch).
+    fn publish_freshness(&mut self) {
+        for (&id, state) in &self.collectors {
+            let (epoch_gauge, lag_gauge) = self.freshness_gauges.entry(id).or_insert_with(|| {
+                (
+                    self.metrics.gauge_shard("fleet_collector_epoch", id as u32),
+                    self.metrics.gauge_shard("fleet_collector_lag", id as u32),
+                )
+            });
+            epoch_gauge.set(state.epoch);
+            lag_gauge.set(self.newest_seen_epoch.saturating_sub(state.epoch));
+        }
     }
 
     /// The merged fleet view over every collector's latest snapshot.
@@ -639,6 +711,7 @@ mod tests {
             reports: (0..n)
                 .map(|pid| DigestReport::new(1, pid, Digest::new(1), 3, 0))
                 .collect(),
+            trace: None,
         };
         // Fresh batches route to the sink and ack `Applied`.
         let ack = agg.ingest_digest_batch(&payload(&batch(7, 1, 3))).unwrap();

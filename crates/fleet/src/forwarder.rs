@@ -21,9 +21,10 @@
 
 use pint_core::hash::mix64;
 use pint_core::DigestReport;
-use pint_obs::{GaugeGroup, MetricsRegistry};
+use pint_obs::{ClockHandle, FlightRecorder, GaugeGroup, MetricsRegistry, TraceStage};
 use pint_wire::{
-    AckStatus, BatchAck, DigestBatch, FaultInjector, FrameReader, FrameType, WireDecode,
+    AckStatus, BatchAck, DigestBatch, FaultInjector, FrameReader, FrameType, TraceContext,
+    WireDecode,
 };
 use std::collections::VecDeque;
 use std::io::Write;
@@ -146,6 +147,12 @@ struct Inner {
     stop: bool,
     source: u64,
     obs: GaugeGroup,
+    /// Stamps each sealed batch's trace-context origin timestamp —
+    /// the metrics registry's clock, so simulations share one
+    /// `VirtualClock` across stamping and recording.
+    clock: ClockHandle,
+    /// Flight recorder for `ForwarderSealed` events, when tracing.
+    recorder: Option<FlightRecorder>,
 }
 
 impl Inner {
@@ -181,10 +188,28 @@ impl Inner {
         let digests = reports.len() as u64;
         let seq = self.next_seq;
         self.next_seq += 1;
+        // Every batch carries its origin stamp; the trace id is
+        // derived deterministically from (source, seq) so same-seed
+        // runs produce identical ids without a randomness source.
+        let origin_ns = self.clock.now_ns();
+        let trace = TraceContext {
+            origin_ns,
+            trace_id: mix64(config.source ^ mix64(seq)),
+        };
+        if let Some(rec) = &self.recorder {
+            rec.record_at(
+                config.source as u32,
+                TraceStage::ForwarderSealed,
+                config.source,
+                seq,
+                origin_ns,
+            );
+        }
         let frame = DigestBatch {
             source: config.source,
             seq,
             reports,
+            trace: Some(trace),
         }
         .to_frame_bytes();
         if self.queue.len() >= config.queue_batches {
@@ -233,7 +258,7 @@ impl DigestForwarder {
     /// established (and re-established) in the background; pushes
     /// before or between connections just queue.
     pub fn connect(addr: SocketAddr, config: ForwarderConfig) -> Self {
-        Self::spawn(addr, config, None, MetricsRegistry::new())
+        Self::spawn(addr, config, None, MetricsRegistry::new(), None)
     }
 
     /// Like [`connect`](Self::connect), publishing the per-source
@@ -246,7 +271,21 @@ impl DigestForwarder {
         config: ForwarderConfig,
         metrics: MetricsRegistry,
     ) -> Self {
-        Self::spawn(addr, config, None, metrics)
+        Self::spawn(addr, config, None, metrics, None)
+    }
+
+    /// Like [`connect_observed`](Self::connect_observed), additionally
+    /// recording a [`TraceStage::ForwarderSealed`] event into
+    /// `recorder` for every sealed batch. Pair the recorder's clock
+    /// with the registry's ([`MetricsRegistry::with_clock`]) so event
+    /// ticks and trace-context stamps share one time base.
+    pub fn connect_traced(
+        addr: SocketAddr,
+        config: ForwarderConfig,
+        metrics: MetricsRegistry,
+        recorder: FlightRecorder,
+    ) -> Self {
+        Self::spawn(addr, config, None, metrics, Some(recorder))
     }
 
     /// Like [`connect`](Self::connect), but every outgoing frame
@@ -258,7 +297,7 @@ impl DigestForwarder {
         config: ForwarderConfig,
         faults: FaultInjector,
     ) -> Self {
-        Self::spawn(addr, config, Some(faults), MetricsRegistry::new())
+        Self::spawn(addr, config, Some(faults), MetricsRegistry::new(), None)
     }
 
     fn spawn(
@@ -266,6 +305,7 @@ impl DigestForwarder {
         config: ForwarderConfig,
         faults: Option<FaultInjector>,
         metrics: MetricsRegistry,
+        recorder: Option<FlightRecorder>,
     ) -> Self {
         let obs =
             metrics.gauge_group_shard("forwarder", config.source as u32, &FORWARDER_OBS_FIELDS);
@@ -278,6 +318,8 @@ impl DigestForwarder {
                 stop: false,
                 source: config.source,
                 obs,
+                clock: metrics.clock(),
+                recorder,
             }),
             Condvar::new(),
         ));

@@ -22,10 +22,10 @@
 
 use pint_collector::CollectorHandle;
 use pint_core::DigestReport;
-use pint_obs::{GaugeGroup, MetricsRegistry};
+use pint_obs::{FlightRecorder, GaugeGroup, Histogram, MetricsRegistry, TraceStage};
 use pint_wire::{
     frame_into, AckStatus, BatchAck, DigestBatch, FramePoll, FrameReader, FrameType, MetricsMsg,
-    MetricsReport, WireDecode,
+    MetricsReport, TraceMsg, TraceReport, WireDecode,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write;
@@ -234,6 +234,34 @@ impl DigestServer {
         sink: BatchSink,
         metrics: MetricsRegistry,
     ) -> std::io::Result<Self> {
+        Self::bind_inner(addr, config, sink, metrics, None)
+    }
+
+    /// [`bind_observed`](Self::bind_observed) with pipeline tracing:
+    /// every applied (or deduplicated) batch records a
+    /// [`TraceStage::ServerApplied`] / `ServerDuplicate` event into
+    /// `recorder`, batches carrying a trace context feed the
+    /// `ingest_e2e_latency_ns` histogram (receiver clock minus origin
+    /// stamp — honest only when both ends share a time base), and
+    /// `TraceDump` request frames on any connection are answered with
+    /// a snapshot of `recorder`.
+    pub fn bind_traced(
+        addr: impl ToSocketAddrs,
+        config: DigestServerConfig,
+        sink: BatchSink,
+        metrics: MetricsRegistry,
+        recorder: FlightRecorder,
+    ) -> std::io::Result<Self> {
+        Self::bind_inner(addr, config, sink, metrics, Some(recorder))
+    }
+
+    fn bind_inner(
+        addr: impl ToSocketAddrs,
+        config: DigestServerConfig,
+        sink: BatchSink,
+        metrics: MetricsRegistry,
+        recorder: Option<FlightRecorder>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -244,7 +272,17 @@ impl DigestServer {
         let loop_metrics = metrics.clone();
         let thread = std::thread::Builder::new()
             .name("pint-digest-ingest".into())
-            .spawn(move || poll_loop(listener, config, sink, loop_stats, loop_stop, loop_metrics))
+            .spawn(move || {
+                poll_loop(
+                    listener,
+                    config,
+                    sink,
+                    loop_stats,
+                    loop_stop,
+                    loop_metrics,
+                    recorder,
+                )
+            })
             .expect("spawn digest ingest thread");
         Ok(Self {
             addr,
@@ -311,6 +349,15 @@ impl Drop for DigestServer {
     }
 }
 
+/// The poll loop's tracing hooks, built once at bind: the registry's
+/// clock, the end-to-end latency histogram it feeds, and the optional
+/// flight recorder served over `TraceDump` frames.
+struct IngestObs {
+    clock: pint_obs::ClockHandle,
+    e2e_latency: Histogram,
+    recorder: Option<FlightRecorder>,
+}
+
 /// One connection's poll-loop state machine.
 struct Conn {
     reader: FrameReader<TcpStream>,
@@ -344,6 +391,7 @@ impl Conn {
 
     /// Serves one tick: decode up to [`FRAMES_PER_TICK`] frames, route
     /// them, flush pending acks, and police the progress deadline.
+    #[allow(clippy::too_many_arguments)]
     fn tick(
         &mut self,
         config: &DigestServerConfig,
@@ -351,6 +399,7 @@ impl Conn {
         dedup: &mut BTreeMap<u64, SourceDedup>,
         stats: &mut DigestServerStats,
         metrics: &MetricsRegistry,
+        obs: &IngestObs,
     ) -> TickOutcome {
         let mut progressed = false;
         let buffered_before = self.reader.buffered();
@@ -359,7 +408,7 @@ impl Conn {
             match self.reader.poll_frame() {
                 Ok(FramePoll::Frame(ty, payload)) => {
                     progressed = true;
-                    self.route(ty, &payload, config, sink, dedup, stats, metrics);
+                    self.route(ty, &payload, config, sink, dedup, stats, metrics, obs);
                 }
                 Ok(FramePoll::Pending) => break,
                 Ok(FramePoll::Closed) => {
@@ -424,6 +473,7 @@ impl Conn {
         dedup: &mut BTreeMap<u64, SourceDedup>,
         stats: &mut DigestServerStats,
         metrics: &MetricsRegistry,
+        obs: &IngestObs,
     ) {
         match ty {
             FrameType::DigestBatch => match DigestBatch::decode(payload) {
@@ -436,10 +486,35 @@ impl Conn {
                     let status = if fresh {
                         stats.batches_applied += 1;
                         stats.digests += batch.reports.len() as u64;
+                        let now = obs.clock.now_ns();
+                        if let Some(trace) = &batch.trace {
+                            // Edge→regional latency from the sender's
+                            // origin stamp — a true end-to-end sample,
+                            // not a per-hop guess (meaningful when both
+                            // ends share a time base).
+                            obs.e2e_latency.record(now.saturating_sub(trace.origin_ns));
+                        }
+                        if let Some(rec) = &obs.recorder {
+                            rec.record_at(
+                                batch.source as u32,
+                                TraceStage::ServerApplied,
+                                batch.source,
+                                batch.seq,
+                                now,
+                            );
+                        }
                         sink(batch.source, batch.reports);
                         AckStatus::Applied
                     } else {
                         stats.batches_duplicate += 1;
+                        if let Some(rec) = &obs.recorder {
+                            rec.record(
+                                batch.source as u32,
+                                TraceStage::ServerDuplicate,
+                                batch.source,
+                                batch.seq,
+                            );
+                        }
                         AckStatus::Duplicate
                     };
                     let ack = BatchAck {
@@ -469,6 +544,23 @@ impl Conn {
                 // A stray report (or junk payload) at the server side.
                 _ => stats.unsupported_frames += 1,
             },
+            FrameType::TraceDump => match TraceMsg::decode(payload) {
+                Ok(TraceMsg::Request(req)) => {
+                    // Untraced servers answer with an empty dump, so
+                    // clients need not know which bind variant ran.
+                    let report = TraceReport {
+                        request_id: req.request_id,
+                        source: 0,
+                        dump: obs
+                            .recorder
+                            .as_ref()
+                            .map(|r| r.snapshot())
+                            .unwrap_or_default(),
+                    };
+                    frame_into(FrameType::TraceDump, &report, &mut self.write_buf);
+                }
+                _ => stats.unsupported_frames += 1,
+            },
             // Edge processes may announce/leave; nothing to track here.
             FrameType::Hello | FrameType::Bye => {}
             _ => stats.unsupported_frames += 1,
@@ -476,6 +568,7 @@ impl Conn {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn poll_loop(
     listener: TcpListener,
     config: DigestServerConfig,
@@ -483,7 +576,13 @@ fn poll_loop(
     shared_stats: Arc<Mutex<DigestServerStats>>,
     stop: Arc<AtomicBool>,
     metrics: MetricsRegistry,
+    recorder: Option<FlightRecorder>,
 ) {
+    let ingest_obs = IngestObs {
+        clock: metrics.clock(),
+        e2e_latency: metrics.histogram("ingest_e2e_latency_ns"),
+        recorder,
+    };
     let mut conns: Vec<Conn> = Vec::new();
     let mut dedup: BTreeMap<u64, SourceDedup> = BTreeMap::new();
     let mut stats = DigestServerStats::default();
@@ -530,7 +629,14 @@ fn poll_loop(
         // One bounded tick per connection; a dropped connection never
         // takes the loop down with it.
         conns.retain_mut(|conn| {
-            match conn.tick(&config, &mut sink, &mut dedup, &mut stats, &metrics) {
+            match conn.tick(
+                &config,
+                &mut sink,
+                &mut dedup,
+                &mut stats,
+                &metrics,
+                &ingest_obs,
+            ) {
                 TickOutcome::Keep { progressed: p } => {
                     progressed |= p;
                     true
@@ -634,6 +740,7 @@ mod tests {
                 3,
                 0,
             )],
+            trace: None,
         };
         good.write_all(&batch.to_frame_bytes()).unwrap();
         good.flush().unwrap();

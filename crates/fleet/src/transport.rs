@@ -11,7 +11,8 @@ use pint_collector::wire::SnapshotFrame;
 use pint_obs::{Gauge, MetricsRegistry};
 use pint_query::{QueryError, QueryPlan, QueryResult};
 use pint_wire::{
-    frame_into, FrameReader, FrameType, MetricsMsg, MetricsReport, ReadFrameError, WireDecode,
+    frame_into, FrameReader, FrameType, MetricsMsg, MetricsReport, ReadFrameError, TraceMsg,
+    TraceReport, WireDecode,
 };
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -264,13 +265,15 @@ fn connection_loop(
             Ok(Some((FrameType::Query, payload))) => {
                 // Snapshot clones leave the lock quickly; the
                 // expensive fleet merge and the plan itself run
-                // outside it.
-                let pods = agg
-                    .lock()
-                    .expect("fleet aggregator poisoned")
-                    .collector_snapshots();
+                // outside it. The watermark is read under the same
+                // lock hold, so the stamp is consistent with the
+                // snapshots the answer was computed from.
+                let (pods, watermark) = {
+                    let agg = agg.lock().expect("fleet aggregator poisoned");
+                    (agg.collector_snapshots(), agg.watermark())
+                };
                 let view = crate::view::FleetView::merge(pods);
-                let response = pint_query::remote::respond(&view, &payload);
+                let response = pint_query::remote::respond_with(&view, &payload, Some(watermark));
                 let delivered = writer
                     .as_mut()
                     .map(|w| w.write_all(&response).and_then(|()| w.flush()));
@@ -322,6 +325,41 @@ fn connection_loop(
                             .lock()
                             .expect("fleet aggregator poisoned")
                             .ingest_payload(FrameType::Metrics, &payload);
+                    }
+                }
+            }
+            Ok(Some((FrameType::TraceDump, payload))) => {
+                // Flight-recorder exposition: snapshotting is lock-free
+                // on the recorder itself, but the recorder handle lives
+                // in the aggregator config. Untraced servers answer
+                // with an empty dump.
+                match TraceMsg::decode(&payload) {
+                    Ok(TraceMsg::Request(req)) => {
+                        let dump = agg
+                            .lock()
+                            .expect("fleet aggregator poisoned")
+                            .trace_recorder()
+                            .map(|r| r.snapshot())
+                            .unwrap_or_default();
+                        let report = TraceReport {
+                            request_id: req.request_id,
+                            source: 0,
+                            dump,
+                        };
+                        let mut out = Vec::new();
+                        frame_into(FrameType::TraceDump, &report, &mut out);
+                        let delivered = writer
+                            .as_mut()
+                            .map(|w| w.write_all(&out).and_then(|()| w.flush()));
+                        if !matches!(delivered, Some(Ok(()))) {
+                            return; // reply path gone; drop the connection
+                        }
+                    }
+                    _ => {
+                        let _ = agg
+                            .lock()
+                            .expect("fleet aggregator poisoned")
+                            .ingest_payload(FrameType::TraceDump, &payload);
                     }
                 }
             }
@@ -401,6 +439,15 @@ impl FleetClient {
         let id = self.next_request;
         self.next_request += 1;
         pint_query::remote::metrics_over(&mut self.stream, &mut self.reader, id)
+    }
+
+    /// Fetches the server's flight-recorder snapshot ([`TraceReport`])
+    /// over this connection. Servers without a recorder installed
+    /// ([`FleetConfig::trace`]) answer with an empty dump.
+    pub fn fetch_trace(&mut self) -> Result<TraceReport, QueryError> {
+        let id = self.next_request;
+        self.next_request += 1;
+        pint_query::remote::trace_over(&mut self.stream, &mut self.reader, id)
     }
 }
 

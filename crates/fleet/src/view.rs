@@ -232,6 +232,23 @@ impl QueryBackend for FleetView {
     fn query(&self, plan: &QueryPlan) -> Result<QueryResult, QueryError> {
         self.execute(plan)
     }
+
+    /// A merged view's freshness is the newest flow activity timestamp
+    /// it holds (a view has no epoch stream of its own; the fleet
+    /// server overrides this with its aggregator's epoch watermark).
+    fn watermark(&self) -> Option<pint_query::Watermark> {
+        let newest = self
+            .merged
+            .flows()
+            .map(|(_, s)| s.last_ts)
+            .max()
+            .unwrap_or(0);
+        Some(pint_query::Watermark {
+            newest_applied: newest,
+            newest_seen: newest,
+            sources: self.collectors.len() as u64,
+        })
+    }
 }
 
 /// Folds `src` (a later collector's view of the same flow) into `dst`.

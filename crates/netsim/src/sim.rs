@@ -161,6 +161,7 @@ pub struct Simulator {
     digest_sink: Option<DigestSink>,
     batch_sink: Option<BatchTap>,
     sim_clock: Option<pint_obs::VirtualClock>,
+    trace: Option<pint_obs::FlightRecorder>,
 }
 
 /// A [`DigestBatchSink`] plus its accumulation buffer.
@@ -216,6 +217,7 @@ impl Simulator {
             digest_sink: None,
             batch_sink: None,
             sim_clock: None,
+            trace: None,
         }
     }
 
@@ -229,6 +231,17 @@ impl Simulator {
     /// snapshots, which the workspace determinism test pins.
     pub fn drive_clock(&mut self, clock: pint_obs::VirtualClock) {
         self.sim_clock = Some(clock);
+    }
+
+    /// Installs a flight recorder: every delivered data packet is
+    /// stamped as a [`pint_obs::TraceStage::SinkDelivered`] event
+    /// (lane = destination node, source = flow, seq = packet id) at the
+    /// simulated delivery time. Combined with
+    /// [`drive_clock`](Self::drive_clock), two same-seed runs produce
+    /// byte-identical trace dumps — the workspace determinism test pins
+    /// this.
+    pub fn set_trace_recorder(&mut self, recorder: pint_obs::FlightRecorder) {
+        self.trace = Some(recorder);
     }
 
     /// Installs a sink-side digest tap (see [`DigestSink`]). Replaces any
@@ -571,6 +584,15 @@ impl Simulator {
         // ID (assigned per transmission, like IPID/checksum in §4.1), so
         // its digest is an independent observation of a real traversal,
         // not a duplicate sample.
+        if let Some(rec) = &self.trace {
+            rec.record_at(
+                node as u32,
+                pint_obs::TraceStage::SinkDelivered,
+                pkt.flow,
+                pkt.id,
+                self.now,
+            );
+        }
         if self.digest_sink.is_some() || self.batch_sink.is_some() {
             let report = DigestReport::new(
                 pkt.flow,

@@ -13,10 +13,15 @@
 //! - [`MetricsSnapshot`] — deterministic point-in-time copy with lookup
 //!   helpers and a Prometheus-style
 //!   [`render_text`](MetricsSnapshot::render_text) exposition.
+//! - [`FlightRecorder`] — a lock-free bounded ring of structured
+//!   [`TraceEvent`]s (stage, source, batch seq, clock tick) drained into
+//!   a deterministic [`TraceDump`]: per-batch pipeline tracing next to
+//!   the registry's per-stage aggregates.
 //!
-//! The wire codec for shipping snapshots between tiers lives in `pint-wire`
-//! (frame type `Metrics` = 8); the metric name catalogue is in the
-//! repository README under "Observability".
+//! The wire codecs for shipping snapshots and trace dumps between tiers
+//! live in `pint-wire` (frame types `Metrics` = 8, `TraceDump` = 9); the
+//! metric name catalogue is in the repository README under
+//! "Observability".
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,9 +29,11 @@
 mod clock;
 mod registry;
 mod snapshot;
+mod trace;
 
 pub use clock::{Clock, ClockHandle, MonotonicClock, VirtualClock};
 pub use registry::{
     bucket_bound, Counter, Gauge, GaugeGroup, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS,
 };
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot, ScalarMetric, SnapshotHistogram};
+pub use trace::{FlightRecorder, TraceDump, TraceEvent, TraceStage};

@@ -137,9 +137,16 @@ impl MetricsSnapshot {
 
     /// Renders the snapshot in Prometheus text exposition style.
     ///
-    /// Sharded metrics carry a `shard="N"` label; histograms emit
-    /// cumulative `_bucket{le=...}` lines (trailing empty buckets elided),
-    /// `_sum`, and `_count`.
+    /// Each metric family gets `# HELP` and `# TYPE` header lines
+    /// (emitted once per family, HELP first per the exposition-format
+    /// convention). Sharded metrics carry a `shard="N"` label;
+    /// histograms emit cumulative `_bucket{le=...}` lines (trailing
+    /// empty buckets elided), `_sum`, and `_count`.
+    ///
+    /// Names are validated against the Prometheus metric-name charset
+    /// (`[a-zA-Z_:][a-zA-Z0-9_:]*`); invalid characters are rewritten
+    /// to `_` so the output is always scrapeable instead of silently
+    /// poisoning an exposition endpoint.
     ///
     /// ```
     /// use pint_obs::MetricsRegistry;
@@ -147,6 +154,7 @@ impl MetricsSnapshot {
     /// let r = MetricsRegistry::new();
     /// r.counter_shard("demo_ingested_total", 3).add(41);
     /// let text = r.snapshot().render_text();
+    /// assert!(text.contains("# HELP demo_ingested_total "));
     /// assert!(text.contains("demo_ingested_total{shard=\"3\"} 41"));
     /// ```
     pub fn render_text(&self) -> String {
@@ -155,6 +163,9 @@ impl MetricsSnapshot {
         let mut type_line = |out: &mut String, name: &str, kind: &str| {
             let line = format!("# TYPE {name} {kind}\n");
             if line != last_type_line {
+                out.push_str(&format!(
+                    "# HELP {name} pint self-telemetry {kind} {name}\n"
+                ));
                 out.push_str(&line);
                 last_type_line = line;
             }
@@ -164,15 +175,18 @@ impl MetricsSnapshot {
             None => String::new(),
         };
         for m in &self.counters {
-            type_line(&mut out, &m.name, "counter");
-            let _ = writeln!(out, "{}{} {}", m.name, label(m.shard), m.value);
+            let name = sanitize_name(&m.name);
+            type_line(&mut out, &name, "counter");
+            let _ = writeln!(out, "{}{} {}", name, label(m.shard), m.value);
         }
         for m in &self.gauges {
-            type_line(&mut out, &m.name, "gauge");
-            let _ = writeln!(out, "{}{} {}", m.name, label(m.shard), m.value);
+            let name = sanitize_name(&m.name);
+            type_line(&mut out, &name, "gauge");
+            let _ = writeln!(out, "{}{} {}", name, label(m.shard), m.value);
         }
         for h in &self.histograms {
-            type_line(&mut out, &h.name, "histogram");
+            let name = sanitize_name(&h.name);
+            type_line(&mut out, &name, "histogram");
             let last = h.hist.buckets.iter().rposition(|&b| b > 0).unwrap_or(0);
             let mut cumulative = 0u64;
             for (i, b) in h.hist.buckets.iter().enumerate().take(last + 1) {
@@ -181,18 +195,58 @@ impl MetricsSnapshot {
                     Some(s) => format!("{{shard=\"{s}\",le=\"{}\"}}", bucket_le(i)),
                     None => format!("{{le=\"{}\"}}", bucket_le(i)),
                 };
-                let _ = writeln!(out, "{}_bucket{} {}", h.name, le, cumulative);
+                let _ = writeln!(out, "{}_bucket{} {}", name, le, cumulative);
             }
             let inf = match h.shard {
                 Some(s) => format!("{{shard=\"{s}\",le=\"+Inf\"}}",),
                 None => "{le=\"+Inf\"}".to_string(),
             };
-            let _ = writeln!(out, "{}_bucket{} {}", h.name, inf, h.hist.count());
-            let _ = writeln!(out, "{}_sum{} {}", h.name, label(h.shard), h.hist.sum);
-            let _ = writeln!(out, "{}_count{} {}", h.name, label(h.shard), h.hist.count());
+            let _ = writeln!(out, "{}_bucket{} {}", name, inf, h.hist.count());
+            let _ = writeln!(out, "{}_sum{} {}", name, label(h.shard), h.hist.sum);
+            let _ = writeln!(out, "{}_count{} {}", name, label(h.shard), h.hist.count());
         }
         out
     }
+}
+
+/// Rewrites `name` into the Prometheus metric-name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): invalid characters become `_`, a
+/// leading digit gains a `_` prefix, and an empty name becomes `_`.
+/// Valid names (the overwhelmingly common case) are borrowed, not
+/// reallocated.
+fn sanitize_name(name: &str) -> std::borrow::Cow<'_, str> {
+    let valid_start = |c: char| c.is_ascii_alphabetic() || c == '_' || c == ':';
+    let valid_rest = |c: char| c.is_ascii_alphanumeric() || c == '_' || c == ':';
+    let mut chars = name.chars();
+    let ok = match chars.next() {
+        Some(first) => valid_start(first) && chars.all(valid_rest),
+        None => false,
+    };
+    if ok {
+        return std::borrow::Cow::Borrowed(name);
+    }
+    let mut fixed = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let valid = if i == 0 {
+            valid_start(c)
+        } else {
+            valid_rest(c)
+        };
+        if valid {
+            fixed.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            // A leading digit is valid *rest*; keep it readable by
+            // prefixing rather than replacing.
+            fixed.push('_');
+            fixed.push(c);
+        } else {
+            fixed.push('_');
+        }
+    }
+    if fixed.is_empty() {
+        fixed.push('_');
+    }
+    std::borrow::Cow::Owned(fixed)
 }
 
 fn bucket_le(i: usize) -> String {
@@ -232,12 +286,39 @@ mod tests {
         r.gauge_shard("depth", 2).set(9);
         r.histogram("h_ns").record(3);
         let text = r.snapshot().render_text();
+        assert!(text.contains("# HELP c_total "));
         assert!(text.contains("# TYPE c_total counter\nc_total 5\n"));
+        assert!(text.contains("# HELP depth "));
+        assert!(text.contains("# TYPE depth gauge"));
         assert!(text.contains("depth{shard=\"2\"} 9"));
+        assert!(text.contains("# HELP h_ns "));
+        assert!(text.contains("# TYPE h_ns histogram"));
         assert!(text.contains("h_ns_bucket{le=\"3\"} 1"));
         assert!(text.contains("h_ns_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("h_ns_sum 3"));
         assert!(text.contains("h_ns_count 1"));
+        // HELP and TYPE are emitted once per family, HELP first.
+        assert_eq!(text.matches("# HELP c_total").count(), 1);
+        assert!(
+            text.find("# HELP c_total").unwrap() < text.find("# TYPE c_total").unwrap(),
+            "HELP precedes TYPE"
+        );
+    }
+
+    #[test]
+    fn render_text_sanitizes_unscrapeable_names() {
+        let r = MetricsRegistry::new();
+        r.counter("bad name.total").add(1);
+        r.gauge("2fast").set(3);
+        let text = r.snapshot().render_text();
+        assert!(text.contains("bad_name_total 1"), "{text}");
+        assert!(text.contains("_2fast 3"), "{text}");
+        assert!(!text.contains("bad name"), "raw invalid name leaked");
+        // Valid names pass through untouched (and un-reallocated).
+        assert!(matches!(
+            super::sanitize_name("collector_ingested_total"),
+            std::borrow::Cow::Borrowed(_)
+        ));
     }
 
     #[test]

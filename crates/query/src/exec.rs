@@ -14,11 +14,46 @@ use pint_core::dynamic::DynamicAggregator;
 use pint_sketches::KllSketch;
 use std::collections::HashSet;
 
+/// How fresh a backend's state is — the as-of stamp every
+/// [`QueryResponse`](crate::QueryResponse) carries, so a dashboard can
+/// tell "no traffic" from "stale replica".
+///
+/// The units are backend-defined but consistent per backend: a
+/// collector or fleet view reports digest timestamps (its flows'
+/// newest `last_ts`), a fleet aggregator reports snapshot epochs.
+/// `lag()` compares applied against seen in those same units.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Watermark {
+    /// Newest timestamp/epoch *applied* to the served state — what the
+    /// answer is as-of.
+    pub newest_applied: u64,
+    /// Newest timestamp/epoch the backend has *seen* (applied or not);
+    /// equals `newest_applied` when fully caught up.
+    pub newest_seen: u64,
+    /// Contributing sources: collector shards, fleet collectors, …
+    /// Zero means the backend serves no state yet.
+    pub sources: u64,
+}
+
+impl Watermark {
+    /// How far applied state trails what has been seen (0 = caught up).
+    pub fn lag(&self) -> u64 {
+        self.newest_seen.saturating_sub(self.newest_applied)
+    }
+}
+
 /// Something a [`QueryPlan`] executes against: a local
 /// `Collector`, a merged `FleetView`, or a remote `QueryClient`.
 pub trait QueryBackend {
     /// Executes the plan against this backend's current state.
     fn query(&self, plan: &QueryPlan) -> Result<QueryResult, QueryError>;
+
+    /// This backend's freshness watermark, if it tracks one. The
+    /// default (`None`) makes servers stamp a zero watermark rather
+    /// than omit it — responses always carry an as-of marker.
+    fn watermark(&self) -> Option<Watermark> {
+        None
+    }
 }
 
 /// What a query returns — typed rows, not a whole snapshot.

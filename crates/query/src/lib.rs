@@ -55,7 +55,7 @@ mod wire;
 
 pub use exec::{
     merge_hop_sketches, project, refine, top_k_order, QueryBackend, QueryResult, SelectionStats,
-    TableTotals,
+    TableTotals, Watermark,
 };
 pub use plan::{
     Projection, QueryError, QueryOptions, QueryPlan, Selector, TelemetryQuery, ValueDecodeSpec,

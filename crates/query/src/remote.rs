@@ -11,11 +11,11 @@
 //! byte stream cannot resynchronize, but it never panics on hostile
 //! bytes.
 
-use crate::exec::{QueryBackend, QueryResult};
+use crate::exec::{QueryBackend, QueryResult, Watermark};
 use crate::plan::{QueryError, QueryPlan};
 use pint_wire::{
     frame_into, FrameReader, FrameType, MetricsMsg, MetricsReport, MetricsRequest, ReadFrameError,
-    WireDecode, WireEncode, WireError, WireReader, WireWriter,
+    TraceMsg, TraceReport, TraceRequest, WireDecode, WireEncode, WireError, WireReader, WireWriter,
 };
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -67,14 +67,24 @@ impl QueryRequest {
     }
 }
 
+/// Extension tag for the [`Watermark`] trailing bytes of a
+/// [`QueryResponse`]. Responses from servers predating watermarks end
+/// at the result; the tag gates optional suffixes beyond that.
+const EXT_WATERMARK: u8 = 1;
+
 /// A `QueryResponse` frame's payload: the echoed correlation ID and
-/// either the result or the backend's error, stringified.
+/// either the result or the backend's error, stringified — plus the
+/// serving backend's freshness [`Watermark`] as a trailing extension.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryResponse {
     /// The [`QueryRequest::request_id`] this answers.
     pub request_id: u64,
     /// The executed result, or the error the backend reported.
     pub result: Result<QueryResult, String>,
+    /// The backend's as-of stamp. Servers built with watermarks always
+    /// stamp `Some` (a zero watermark when the backend tracks none);
+    /// `None` only appears decoding responses from older servers.
+    pub watermark: Option<Watermark>,
 }
 
 impl WireEncode for QueryResponse {
@@ -94,6 +104,13 @@ impl WireEncode for QueryResponse {
                 w.put_bytes(&bytes[..take]);
             }
         }
+        if let Some(wm) = &self.watermark {
+            let mut w = WireWriter::new(out);
+            w.put_u8(EXT_WATERMARK);
+            w.put_varint(wm.newest_applied);
+            w.put_varint(wm.newest_seen);
+            w.put_varint(wm.sources);
+        }
     }
 }
 
@@ -111,7 +128,23 @@ impl WireDecode for QueryResponse {
             }
             _ => return Err(WireError::Invalid("response status must be 0 or 1")),
         };
-        Ok(QueryResponse { request_id, result })
+        let watermark = if r.remaining() > 0 {
+            match r.get_u8()? {
+                EXT_WATERMARK => Some(Watermark {
+                    newest_applied: r.get_varint()?,
+                    newest_seen: r.get_varint()?,
+                    sources: r.get_varint()?,
+                }),
+                _ => return Err(WireError::Invalid("unknown query response extension")),
+            }
+        } else {
+            None
+        };
+        Ok(QueryResponse {
+            request_id,
+            result,
+            watermark,
+        })
     }
 }
 
@@ -129,18 +162,41 @@ impl QueryResponse {
 /// undecodable or invalid request becomes an error response (with a
 /// best-effort request ID), and backend failures are stringified.
 ///
+/// Every response — success or error — is stamped with the backend's
+/// [`Watermark`] (zero if the backend tracks none), so clients always
+/// learn how fresh the answering state was.
+///
 /// This is the single server-side execution point — the fleet server
 /// and the standalone [`QueryResponder`] both route through it.
 pub fn respond<B: QueryBackend + ?Sized>(backend: &B, payload: &[u8]) -> Vec<u8> {
+    respond_with(backend, payload, None)
+}
+
+/// [`respond`] with an explicit watermark override — for transports
+/// whose freshness authority is not the query backend itself (the
+/// fleet server stamps its aggregator's epoch watermark onto views
+/// merged from it). `None` falls back to `backend.watermark()`.
+pub fn respond_with<B: QueryBackend + ?Sized>(
+    backend: &B,
+    payload: &[u8],
+    watermark: Option<Watermark>,
+) -> Vec<u8> {
+    let watermark = Some(
+        watermark
+            .or_else(|| backend.watermark())
+            .unwrap_or_default(),
+    );
     let response = match QueryRequest::decode(payload) {
         Ok(req) => match req.plan.validate() {
             Ok(()) => QueryResponse {
                 request_id: req.request_id,
                 result: backend.query(&req.plan).map_err(|e| e.to_string()),
+                watermark,
             },
             Err(e) => QueryResponse {
                 request_id: req.request_id,
                 result: Err(e.to_string()),
+                watermark,
             },
         },
         Err(e) => QueryResponse {
@@ -148,6 +204,7 @@ pub fn respond<B: QueryBackend + ?Sized>(backend: &B, payload: &[u8]) -> Vec<u8>
             // it when possible so the client can match the error.
             request_id: WireReader::new(payload).get_varint().unwrap_or(0),
             result: Err(format!("undecodable query: {e}")),
+            watermark,
         },
     };
     response.to_frame_bytes()
@@ -291,6 +348,20 @@ pub fn query_over<W: Write, R: std::io::Read>(
     request_id: u64,
     plan: &QueryPlan,
 ) -> Result<QueryResult, QueryError> {
+    response_over(writer, reader, request_id, plan)?
+        .result
+        .map_err(QueryError::Remote)
+}
+
+/// [`query_over`] returning the whole [`QueryResponse`] — for callers
+/// that also want the server's freshness [`Watermark`], not just the
+/// result.
+pub fn response_over<W: Write, R: std::io::Read>(
+    writer: &mut W,
+    reader: &mut FrameReader<R>,
+    request_id: u64,
+    plan: &QueryPlan,
+) -> Result<QueryResponse, QueryError> {
     plan.validate()?;
     let request = QueryRequest {
         request_id,
@@ -305,7 +376,7 @@ pub fn query_over<W: Write, R: std::io::Read>(
                 if response.request_id != request_id {
                     continue; // an earlier request's answer; skip
                 }
-                return response.result.map_err(QueryError::Remote);
+                return Ok(response);
             }
             Ok(Some(_)) => continue, // unrelated frame type
             Ok(None) => {
@@ -361,12 +432,53 @@ pub fn metrics_over<W: Write, R: std::io::Read>(
     }
 }
 
+/// Sends one `TraceDump` request frame on `writer` and reads frames
+/// from `reader` until the matching report arrives — the flight-
+/// recorder sibling of [`metrics_over`], shared by [`QueryClient`] and
+/// the fleet tier's client.
+pub fn trace_over<W: Write, R: std::io::Read>(
+    writer: &mut W,
+    reader: &mut FrameReader<R>,
+    request_id: u64,
+) -> Result<TraceReport, QueryError> {
+    let mut bytes = Vec::new();
+    frame_into(
+        FrameType::TraceDump,
+        &TraceRequest { request_id },
+        &mut bytes,
+    );
+    writer.write_all(&bytes)?;
+    writer.flush()?;
+    loop {
+        match reader.read_frame() {
+            Ok(Some((FrameType::TraceDump, payload))) => {
+                match TraceMsg::decode(&payload).map_err(QueryError::Wire)? {
+                    TraceMsg::Report(report) if report.request_id == request_id => {
+                        return Ok(report)
+                    }
+                    _ => continue, // another request's report, or an echo
+                }
+            }
+            Ok(Some(_)) => continue, // unrelated frame type
+            Ok(None) => {
+                return Err(QueryError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before the trace report",
+                )))
+            }
+            Err(ReadFrameError::Io(e)) => return Err(QueryError::Io(e)),
+            Err(ReadFrameError::Wire(e)) => return Err(QueryError::Wire(e)),
+        }
+    }
+}
+
 /// A connection to a [`QueryResponder`] (or any server speaking
 /// `Query`/`QueryResponse` frames, e.g. the fleet server).
 pub struct QueryClient {
     writer: TcpStream,
     reader: FrameReader<TcpStream>,
     next_id: u64,
+    last_watermark: Option<Watermark>,
 }
 
 impl QueryClient {
@@ -379,14 +491,26 @@ impl QueryClient {
             writer,
             reader,
             next_id: 1,
+            last_watermark: None,
         })
     }
 
-    /// Executes one plan remotely, blocking for the response.
+    /// Executes one plan remotely, blocking for the response. On any
+    /// answered request — success or remote error — the response's
+    /// freshness stamp is retained for [`last_watermark`](Self::last_watermark).
     pub fn query(&mut self, plan: &QueryPlan) -> Result<QueryResult, QueryError> {
         let id = self.next_id;
         self.next_id += 1;
-        query_over(&mut self.writer, &mut self.reader, id, plan)
+        let response = response_over(&mut self.writer, &mut self.reader, id, plan)?;
+        self.last_watermark = response.watermark;
+        response.result.map_err(QueryError::Remote)
+    }
+
+    /// The freshness [`Watermark`] carried by the most recent answered
+    /// query on this connection — `None` before the first answer, or
+    /// when talking to a server predating watermarks.
+    pub fn last_watermark(&self) -> Option<Watermark> {
+        self.last_watermark
     }
 
     /// Fetches the server's live self-telemetry snapshot (a `Metrics`
@@ -397,6 +521,15 @@ impl QueryClient {
         let id = self.next_id;
         self.next_id += 1;
         metrics_over(&mut self.writer, &mut self.reader, id)
+    }
+
+    /// Fetches the server's flight-recorder snapshot (a `TraceDump`
+    /// frame), blocking for the report. Servers without a recorder
+    /// answer with an empty dump.
+    pub fn fetch_trace(&mut self) -> Result<TraceReport, QueryError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        trace_over(&mut self.writer, &mut self.reader, id)
     }
 }
 
@@ -451,6 +584,11 @@ mod tests {
             let resp = QueryResponse {
                 request_id: 77,
                 result,
+                watermark: Some(Watermark {
+                    newest_applied: 41,
+                    newest_seen: 43,
+                    sources: 2,
+                }),
             };
             let bytes = resp.to_frame_bytes();
             let (ty, payload) = pint_wire::parse_frame(&bytes).unwrap();
@@ -460,13 +598,39 @@ mod tests {
     }
 
     #[test]
+    fn watermarkless_responses_decode_without_extension() {
+        // A response from a server predating watermarks: same bytes,
+        // no trailing extension — must decode to `watermark: None`.
+        let with = QueryResponse {
+            request_id: 9,
+            result: Err("old server".into()),
+            watermark: Some(Watermark::default()),
+        };
+        let without = QueryResponse {
+            watermark: None,
+            ..with.clone()
+        };
+        let old_bytes = without.encode();
+        assert_eq!(with.encode()[..old_bytes.len()], old_bytes[..]);
+        assert_eq!(QueryResponse::decode(&old_bytes).unwrap(), without);
+        // Unknown extension tags are rejected, not silently skipped.
+        let mut bad = old_bytes;
+        bad.push(0xEE);
+        assert!(QueryResponse::decode(&bad).is_err());
+    }
+
+    #[test]
     fn responder_answers_over_loopback_and_reports_errors() {
         let responder = QueryResponder::bind("127.0.0.1:0", Arc::new(Fixed)).unwrap();
         let mut client = QueryClient::connect(responder.local_addr()).unwrap();
+        assert_eq!(client.last_watermark(), None);
         let ok = client
             .query(&TelemetryQuery::new().stats().plan().unwrap())
             .unwrap();
         assert!(matches!(ok, QueryResult::Stats(s) if s.flows == 3));
+        // `Fixed` tracks no watermark, but the server still stamps a
+        // (zero) one on every answer.
+        assert_eq!(client.last_watermark(), Some(Watermark::default()));
         let err = client
             .query(&TelemetryQuery::new().top_k(0).plan().unwrap())
             .unwrap_err();

@@ -690,14 +690,14 @@ mod tests {
         // Each spec parses at the wire layer but must bounce in
         // validation — constructing a codec from it would assert/panic.
         let hostile = [
-            (0u32, 100.0, 1.0e7),               // bits out of range
-            (33, 100.0, 1.0e7),                 // bits out of range
-            (8, 0.0, 1.0e7),                    // v_min not positive
-            (8, -5.0, 1.0e7),                   // v_min negative
-            (8, f64::NAN, 1.0e7),               // v_min NaN
-            (8, 100.0, 100.0),                  // empty range
-            (8, 100.0, f64::INFINITY),          // v_max infinite
-            (8, f64::INFINITY, f64::INFINITY),  // both infinite
+            (0u32, 100.0, 1.0e7),              // bits out of range
+            (33, 100.0, 1.0e7),                // bits out of range
+            (8, 0.0, 1.0e7),                   // v_min not positive
+            (8, -5.0, 1.0e7),                  // v_min negative
+            (8, f64::NAN, 1.0e7),              // v_min NaN
+            (8, 100.0, 100.0),                 // empty range
+            (8, 100.0, f64::INFINITY),         // v_max infinite
+            (8, f64::INFINITY, f64::INFINITY), // both infinite
         ];
         for (bits, v_min, v_max) in hostile {
             let plan = QueryPlan {

@@ -22,12 +22,40 @@ use pint_core::DigestReport;
 /// allocation and keeps retransmissions cheap.
 pub const MAX_BATCH_REPORTS: usize = 65_536;
 
+/// Trace context stamped onto a [`DigestBatch`] by its sender: the
+/// origin clock reading and a per-batch trace id. Receivers echo it
+/// into their flight recorder and subtract `origin_ns` from their own
+/// clock for a true edge→receiver end-to-end latency sample.
+///
+/// Carried as a *versioned trailing extension* of the batch payload
+/// (tag byte then fields), so decoders that predate it — which stop at
+/// the last report — still parse extension-less frames, and encoders
+/// that omit it produce frames byte-identical to the old layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Sender clock reading when the batch was sealed (ns). Only
+    /// comparable to receiver clocks sharing a time base (one
+    /// `VirtualClock`, or hosts with synchronized monotonic-ish
+    /// clocks); the latency histogram is honest about that in its docs.
+    pub origin_ns: u64,
+    /// Sender-chosen id tying this batch's events together across
+    /// tiers. Deterministic senders derive it from `(source, seq)`.
+    pub trace_id: u64,
+}
+
+/// Extension tag for [`TraceContext`] trailing bytes. Future
+/// extensions take the next tag; unknown tags are a decode error (the
+/// version byte gates layout changes, tags gate optional suffixes).
+const EXT_TRACE_CONTEXT: u8 = 1;
+
 /// A sequence-numbered batch of raw digest reports from one edge
 /// source (the payload of [`FrameType::DigestBatch`]).
 ///
 /// Wire layout: source id (varint), sequence number (varint), report
-/// count (varint), then the reports. Sequence numbers start at 1 and
-/// are per-source monotonic; receivers deduplicate on `(source, seq)`.
+/// count (varint), then the reports, then optionally a trailing
+/// [`TraceContext`] extension (tag byte `1`, origin timestamp varint,
+/// trace id varint). Sequence numbers start at 1 and are per-source
+/// monotonic; receivers deduplicate on `(source, seq)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DigestBatch {
     /// Stable identifier of the producing edge process.
@@ -36,6 +64,9 @@ pub struct DigestBatch {
     pub seq: u64,
     /// The digests, in the order the edge recorded them.
     pub reports: Vec<DigestReport>,
+    /// Optional sender-stamped trace context (`None` on frames from
+    /// senders that predate tracing, and on untraced senders).
+    pub trace: Option<TraceContext>,
 }
 
 impl DigestBatch {
@@ -56,6 +87,12 @@ impl WireEncode for DigestBatch {
         for report in &self.reports {
             report.encode_into(out);
         }
+        if let Some(trace) = &self.trace {
+            let mut w = WireWriter::new(out);
+            w.put_u8(EXT_TRACE_CONTEXT);
+            w.put_varint(trace.origin_ns);
+            w.put_varint(trace.trace_id);
+        }
     }
 }
 
@@ -74,10 +111,26 @@ impl WireDecode for DigestBatch {
         for _ in 0..count {
             reports.push(DigestReport::decode_from(r)?);
         }
+        // Trailing extension: absent on old-version frames (payload
+        // ends at the last report), present when the sender stamped a
+        // trace context. `decode` enforces exact consumption, so the
+        // extension must be read here, not ignored.
+        let trace = if r.remaining() > 0 {
+            match r.get_u8()? {
+                EXT_TRACE_CONTEXT => Some(TraceContext {
+                    origin_ns: r.get_varint()?,
+                    trace_id: r.get_varint()?,
+                }),
+                _ => return Err(WireError::Invalid("unknown digest batch extension")),
+            }
+        } else {
+            None
+        };
         Ok(DigestBatch {
             source,
             seq,
             reports,
+            trace,
         })
     }
 }
@@ -156,6 +209,7 @@ mod tests {
             source: 17,
             seq: 3,
             reports,
+            trace: None,
         }
     }
 
@@ -180,6 +234,49 @@ mod tests {
             assert_eq!(ty, FrameType::BatchAck);
             assert_eq!(BatchAck::decode(payload).unwrap(), ack);
         }
+    }
+
+    #[test]
+    fn trace_context_extension_round_trips() {
+        let mut batch = sample_batch();
+        batch.trace = Some(TraceContext {
+            origin_ns: 1_234_567_890,
+            trace_id: 0xDEAD_BEEF_u64,
+        });
+        let bytes = batch.to_frame_bytes();
+        let (ty, payload) = parse_frame(&bytes).unwrap();
+        assert_eq!(ty, FrameType::DigestBatch);
+        assert_eq!(DigestBatch::decode(payload).unwrap(), batch);
+    }
+
+    #[test]
+    fn extension_less_frames_decode_with_no_trace_context() {
+        // A traced batch's payload minus the extension bytes is exactly
+        // what a pre-tracing sender emits; it must decode cleanly with
+        // `trace: None` and be byte-identical to the untraced encoding.
+        let untraced = sample_batch();
+        let mut traced = untraced.clone();
+        traced.trace = Some(TraceContext {
+            origin_ns: 7,
+            trace_id: 9,
+        });
+        let old_bytes = untraced.encode();
+        let new_bytes = traced.encode();
+        assert!(new_bytes.len() > old_bytes.len());
+        assert_eq!(&new_bytes[..old_bytes.len()], &old_bytes[..]);
+        let decoded = DigestBatch::decode(&old_bytes).unwrap();
+        assert_eq!(decoded.trace, None);
+        assert_eq!(decoded, untraced);
+    }
+
+    #[test]
+    fn unknown_extension_tags_are_rejected() {
+        let mut bytes = sample_batch().encode();
+        bytes.push(0xEE); // future extension tag this decoder predates
+        assert!(matches!(
+            DigestBatch::decode(&bytes),
+            Err(WireError::Invalid(_))
+        ));
     }
 
     #[test]
@@ -215,9 +312,22 @@ mod tests {
 
     #[test]
     fn truncation_and_corruption_never_panic() {
-        let bytes = sample_batch().encode();
+        let mut batch = sample_batch();
+        batch.trace = Some(TraceContext {
+            origin_ns: u64::MAX,
+            trace_id: 1,
+        });
+        let bytes = batch.encode();
+        let mut untraced = batch.clone();
+        untraced.trace = None;
+        let ext_boundary = untraced.encode().len();
         for cut in 0..bytes.len() {
-            assert!(DigestBatch::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+            match DigestBatch::decode(&bytes[..cut]) {
+                // The one legal truncation: cutting off the whole
+                // trailing extension leaves a valid pre-tracing frame.
+                Ok(b) => assert_eq!((cut, b), (ext_boundary, untraced.clone())),
+                Err(_) => assert_ne!(cut, ext_boundary),
+            }
         }
         for i in 0..bytes.len() {
             let mut bad = bytes.clone();

@@ -61,6 +61,12 @@ pub enum FrameType {
     /// `MetricsSnapshot`) — see the [`metrics`](crate::metrics) module.
     /// Served by `FleetServer` and `DigestServer`.
     Metrics = 8,
+    /// Pipeline tracing: a trace request (kind byte 0, request id) or a
+    /// trace report (kind byte 1, request id, source id, then a
+    /// `pint-obs` `TraceDump`) — see the [`trace`](crate::trace)
+    /// module. Served by `FleetServer` and `DigestServer` next to
+    /// [`Metrics`](FrameType::Metrics).
+    TraceDump = 9,
 }
 
 impl FrameType {
@@ -74,6 +80,7 @@ impl FrameType {
             6 => Ok(FrameType::QueryResponse),
             7 => Ok(FrameType::BatchAck),
             8 => Ok(FrameType::Metrics),
+            9 => Ok(FrameType::TraceDump),
             other => Err(WireError::UnknownFrameType(other)),
         }
     }

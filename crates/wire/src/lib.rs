@@ -32,6 +32,7 @@
 //! | 0x06 | [`FrameType::QueryResponse`]| request id (varint), status byte, then a `QueryResult` or an error message |
 //! | 0x07 | [`FrameType::BatchAck`]     | a [`BatchAck`]: echoed sequence number (varint), status byte (0 = applied, 1 = duplicate) |
 //! | 0x08 | [`FrameType::Metrics`]      | self-telemetry: kind byte (0 = [`MetricsRequest`], 1 = [`MetricsReport`] carrying a `pint-obs` `MetricsSnapshot`) |
+//! | 0x09 | [`FrameType::TraceDump`]    | pipeline tracing: kind byte (0 = [`TraceRequest`], 1 = [`TraceReport`] carrying a `pint-obs` `TraceDump`) |
 //!
 //! `DigestBatch`/`BatchAck` together form the edge-ingest protocol:
 //! sequence-numbered at-least-once delivery with receiver-side dedup
@@ -88,8 +89,9 @@ pub mod fault;
 mod frame;
 pub mod metrics;
 mod rw;
+pub mod trace;
 
-pub use batch::{AckStatus, BatchAck, DigestBatch, MAX_BATCH_REPORTS};
+pub use batch::{AckStatus, BatchAck, DigestBatch, TraceContext, MAX_BATCH_REPORTS};
 pub use error::WireError;
 pub use fault::{FaultConfig, FaultInjector, FaultStats};
 pub use frame::{
@@ -98,6 +100,7 @@ pub use frame::{
 };
 pub use metrics::{MetricsMsg, MetricsReport, MetricsRequest, MAX_METRIC_NAME};
 pub use rw::{WireReader, WireWriter};
+pub use trace::{TraceMsg, TraceReport, TraceRequest, MAX_TRACE_EVENTS};
 
 /// Serialize into the PINT wire format by appending to a caller-owned
 /// buffer — no allocation inside the encoder itself.

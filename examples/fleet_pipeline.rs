@@ -114,6 +114,7 @@ fn main() {
         .scoped((0..HOT_FLOWS).collect())],
         codec: Some(agg.clone()),
         metrics: None,
+        trace: None,
     };
 
     // ---- Tier 2a: in-memory transport ------------------------------

@@ -34,5 +34,8 @@ pub use pint_core::{
     Digest, DigestReport, FlowRecorder, GlobalHash, HashFamily, MetadataKind, PathDecoder,
     PathTracer, QueryEngine, QuerySpec, SchemeConfig, TracerConfig,
 };
-pub use pint_obs::{MetricsRegistry, MetricsSnapshot, MonotonicClock, VirtualClock};
-pub use pint_query::{QueryBackend, QueryPlan, QueryResult, TelemetryQuery};
+pub use pint_obs::{
+    FlightRecorder, MetricsRegistry, MetricsSnapshot, MonotonicClock, TraceDump, TraceEvent,
+    TraceStage, VirtualClock,
+};
+pub use pint_query::{QueryBackend, QueryPlan, QueryResult, TelemetryQuery, Watermark};

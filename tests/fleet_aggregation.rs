@@ -84,6 +84,7 @@ fn fleet_config(agg: &DynamicAggregator) -> FleetConfig {
         ],
         codec: Some(agg.clone()),
         metrics: None,
+        trace: None,
     }
 }
 

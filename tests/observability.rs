@@ -488,3 +488,125 @@ fn same_seed_simulations_yield_identical_snapshots() {
     let c = simulated_snapshot(18);
     assert_ne!(a, c, "different seeds should not collide exactly");
 }
+
+/// Runs one simulation with a flight recorder slaved to the
+/// simulator-driven virtual clock and returns the *encoded* drained
+/// dump — every delivered packet taps a `SinkDelivered` event at its
+/// simulated delivery time.
+fn simulated_trace_bytes(seed: u64) -> Vec<u8> {
+    let clock = VirtualClock::default();
+    // 8 rings × 4096 slots: the run overflows them (overwrite-oldest,
+    // counted in `dropped`) and the retained window still reproduces.
+    let recorder = pint::obs::FlightRecorder::with_clock(8, 4_096, Arc::new(clock.clone()));
+    let mut sim = Simulator::new(
+        Topology::overhead_study(),
+        SimConfig {
+            end_time_ns: 10_000_000,
+            seed,
+            ..SimConfig::default()
+        },
+        Box::new(|meta| Box::new(Reno::new(meta))),
+        Box::new(FixedOverhead(28)),
+    );
+    sim.drive_clock(clock);
+    sim.set_trace_recorder(recorder.clone());
+    sim.add_workload(&WorkloadConfig {
+        cdf: FlowSizeCdf::hadoop(),
+        load: 0.5,
+        nic_bps: 10_000_000_000,
+        duration_ns: 5_000_000,
+        seed,
+    });
+    sim.run();
+    recorder.drain().encode()
+}
+
+/// Same-seed simulations produce **byte-identical** trace dumps: the
+/// recorder's ticks are simulated time and its drain order is
+/// deterministic, so the whole flight record — not just aggregate
+/// counters — reproduces exactly. Different seeds diverge.
+#[test]
+fn same_seed_simulations_yield_byte_identical_trace_dumps() {
+    let a = simulated_trace_bytes(17);
+    let b = simulated_trace_bytes(17);
+    assert_eq!(a, b, "same-seed trace dumps diverged");
+    let dump = pint::obs::TraceDump::decode(&a).unwrap();
+    assert!(!dump.is_empty(), "no packets delivered: the pin is vacuous");
+    assert!(dump
+        .events
+        .iter()
+        .all(|e| e.stage == pint::obs::TraceStage::SinkDelivered));
+    let c = simulated_trace_bytes(18);
+    assert_ne!(a, c, "different seeds should not collide exactly");
+}
+
+/// The remote trace exposition adds nothing and loses nothing: a
+/// `TraceDump` fetched over loopback TCP from a traced `DigestServer`
+/// equals the shared recorder's local drain, event for event.
+#[test]
+fn remote_trace_fetch_equals_local_drain() {
+    let clock = VirtualClock::default();
+    clock.set(5_000);
+    let registry = MetricsRegistry::with_clock(Arc::new(clock.clone()));
+    let recorder = pint::obs::FlightRecorder::with_clock(4, 1024, Arc::new(clock.clone()));
+    let agg = DynamicAggregator::new(7, 8, 100.0, 1.0e7);
+    let collector = Collector::spawn(
+        CollectorConfig {
+            shards: 2,
+            metrics: Some(registry.clone()),
+            trace: Some(recorder.clone()),
+            ..CollectorConfig::default()
+        },
+        latency_factory(&agg),
+    );
+    let mut sink = collector.handle();
+    let server = DigestServer::bind_traced(
+        "127.0.0.1:0",
+        DigestServerConfig::default(),
+        Box::new(move |_source, reports| {
+            let _ = sink.push_batch(reports);
+            let _ = sink.flush();
+        }),
+        registry.clone(),
+        recorder.clone(),
+    )
+    .unwrap();
+
+    let fwd = DigestForwarder::connect_traced(
+        server.local_addr(),
+        ForwarderConfig {
+            source: 3,
+            batch_digests: 16,
+            ..ForwarderConfig::default()
+        },
+        registry.clone(),
+        recorder.clone(),
+    );
+    for pid in 0..160u64 {
+        let mut d = Digest::new(1);
+        agg.encode_hop(pid, 1, 900.0, &mut d, 0);
+        fwd.push(DigestReport::new(pid % 8, pid, d, 1, pid));
+        clock.advance(500);
+    }
+    let stats = fwd.shutdown(Duration::from_secs(30));
+    assert_eq!(stats.digests_delivered, 160, "{stats:?}");
+    collector.barrier().unwrap();
+    let reg = registry.clone();
+    wait_until("server gauges caught up", move || {
+        reg.snapshot()
+            .gauge("digest_server_digests", None)
+            .unwrap_or(0)
+            == 160
+    });
+
+    let mut client = QueryClient::connect(server.local_addr()).unwrap();
+    let report = client.fetch_trace().unwrap();
+    assert!(!report.dump.is_empty(), "traced pipeline recorded nothing");
+    // The server snapshots the same shared rings the local drain
+    // empties — equal dumps, and a second fetch sees the cleared state.
+    assert_eq!(report.dump, recorder.drain());
+    assert!(client.fetch_trace().unwrap().dump.is_empty());
+    drop(client);
+    server.shutdown();
+    collector.shutdown();
+}

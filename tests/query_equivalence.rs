@@ -223,12 +223,16 @@ proptest! {
         let plan = build_plan(sel, proj, seed, k, hop, flags);
 
         let local = ctx.collector.query(&plan).expect("local query");
-        let remote = ctx
-            .client
-            .lock()
-            .unwrap()
-            .query(&plan)
-            .expect("remote query");
+        let remote = {
+            let mut client = ctx.client.lock().unwrap();
+            let result = client.query(&plan).expect("remote query");
+            // Every response carries a freshness watermark: the newest
+            // ingested timestamp at answer time, same on every ask
+            // against this frozen state.
+            let wm = client.last_watermark().expect("response has a watermark");
+            prop_assert_eq!(wm, ctx.collector.watermark());
+            result
+        };
         prop_assert_eq!(
             local.encode(),
             remote.encode(),
@@ -293,6 +297,9 @@ fn corrupted_and_truncated_query_frames_never_panic_the_server() {
     assert_eq!(ty, FrameType::QueryResponse);
     let resp = pint::query::QueryResponse::decode(&payload).unwrap();
     assert!(resp.result.is_err(), "junk payload must be a typed error");
+    // Even error responses are watermark-stamped: the client learns
+    // how fresh the serving state was regardless of the outcome.
+    assert!(resp.watermark.is_some(), "error response carries watermark");
     drop(s);
 
     // The responder still answers real queries.
@@ -341,6 +348,23 @@ fn fleet_server_answers_query_frames_on_the_ingest_connection() {
         let source = ctx.collector.query(&plan).unwrap();
         assert_eq!(over_tcp.encode(), source.encode(), "plan {plan:?}");
     }
+    // Fleet responses are watermark-stamped with collector *epochs*:
+    // one snapshot applied at epoch 1, nothing newer seen, one source.
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = pint::wire::FrameReader::new(s.try_clone().unwrap());
+    let resp = pint::query::remote::response_over(
+        &mut s,
+        &mut reader,
+        77,
+        &TelemetryQuery::new().stats().plan().unwrap(),
+    )
+    .unwrap();
+    let wm = resp.watermark.expect("fleet response carries a watermark");
+    assert_eq!(wm, server.with_aggregator(|a| a.watermark()));
+    assert_eq!((wm.newest_applied, wm.newest_seen, wm.sources), (1, 1, 1));
+    assert_eq!(wm.lag(), 0);
+    drop(reader);
+
     // Path-through-switch actually selects the even path flows.
     let via = client
         .query(

@@ -15,9 +15,11 @@
 use pint::collector::wire::SnapshotFrame;
 use pint::collector::{CollectorSnapshot, FlowSummary, ShardSnapshot};
 use pint::core::{Digest, DigestReport, RecorderKind};
+use pint::obs::{TraceDump, TraceEvent, TraceStage};
 use pint::sketches::KllSketch;
 use pint::wire::{
-    parse_frame, AckStatus, BatchAck, DigestBatch, WireDecode, WireEncode, WireError, VERSION,
+    parse_frame, AckStatus, BatchAck, DigestBatch, TraceContext, TraceMsg, TraceReport,
+    TraceRequest, WireDecode, WireEncode, WireError, VERSION,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -112,6 +114,9 @@ proptest! {
         n in 0usize..64,
         seed in any::<u64>(),
         dup in any::<bool>(),
+        traced in any::<bool>(),
+        origin_ns in any::<u64>(),
+        trace_id in any::<u64>(),
     ) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let batch = DigestBatch {
@@ -132,12 +137,22 @@ proptest! {
                     )
                 })
                 .collect(),
+            trace: traced.then_some(TraceContext { origin_ns, trace_id }),
         };
         let framed = batch.to_frame_bytes();
         let (ty, payload) = parse_frame(&framed).unwrap();
         prop_assert_eq!(ty, pint::wire::FrameType::DigestBatch);
         let decoded = DigestBatch::decode(payload).unwrap();
         prop_assert_eq!(&decoded, &batch);
+
+        // The trace context is a *versioned* trailing extension: the
+        // same batch without it encodes to a strict prefix, and that
+        // extension-less encoding (what a pre-tracing sender emits)
+        // decodes cleanly with no context.
+        let untraced = DigestBatch { trace: None, ..batch.clone() };
+        let old_payload = untraced.encode();
+        prop_assert_eq!(&payload[..old_payload.len()], &old_payload[..]);
+        prop_assert_eq!(DigestBatch::decode(&old_payload).unwrap(), untraced);
 
         let ack = BatchAck {
             seq,
@@ -166,6 +181,8 @@ proptest! {
             reports: (0..n)
                 .map(|i| DigestReport::new(i as u64, seq ^ i as u64, Digest::new(1), 3, 0))
                 .collect(),
+            // Traced, so corruption also exercises the extension bytes.
+            trace: Some(TraceContext { origin_ns: seq, trace_id: source }),
         };
         for good in [batch.to_frame_bytes(), BatchAck { seq, status: AckStatus::Applied }.to_frame_bytes()] {
             for cut in 0..good.len() {
@@ -188,6 +205,68 @@ proptest! {
                         _ => {}
                     }
                 }
+            }
+        }
+    }
+
+    /// The pipeline-tracing frames round-trip exactly — request,
+    /// report, and an arbitrary event dump — and hostile bytes
+    /// (truncations, bit flips) are typed errors or clean decodes,
+    /// never panics.
+    #[test]
+    fn trace_dump_frames_roundtrip_and_never_panic(
+        request_id in any::<u64>(),
+        source in any::<u64>(),
+        n in 0usize..64,
+        seed in any::<u64>(),
+        dropped in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let dump = TraceDump {
+            events: (0..n)
+                .map(|_| TraceEvent {
+                    tick_ns: rng.gen(),
+                    stage: TraceStage::from_u8(rng.gen_range(0..6)).unwrap(),
+                    source: rng.gen(),
+                    seq: rng.gen(),
+                    shard: rng.gen(),
+                })
+                .collect(),
+            dropped,
+        };
+
+        let mut req = Vec::new();
+        pint::wire::frame_into(
+            pint::wire::FrameType::TraceDump,
+            &TraceRequest { request_id },
+            &mut req,
+        );
+        let (ty, payload) = parse_frame(&req).unwrap();
+        prop_assert_eq!(ty, pint::wire::FrameType::TraceDump);
+        prop_assert_eq!(
+            TraceMsg::decode(payload).unwrap(),
+            TraceMsg::Request(TraceRequest { request_id })
+        );
+
+        let report = TraceReport { request_id, source, dump };
+        let mut framed = Vec::new();
+        pint::wire::frame_into(pint::wire::FrameType::TraceDump, &report, &mut framed);
+        let (ty, payload) = parse_frame(&framed).unwrap();
+        prop_assert_eq!(ty, pint::wire::FrameType::TraceDump);
+        prop_assert_eq!(
+            TraceMsg::decode(payload).unwrap(),
+            TraceMsg::Report(report.clone())
+        );
+
+        for cut in 0..framed.len() {
+            prop_assert!(parse_frame(&framed[..cut]).is_err(), "cut at {}", cut);
+        }
+        for i in 0..framed.len() {
+            let mut corrupt = framed.clone();
+            corrupt[i] ^= flip;
+            if let Ok((pint::wire::FrameType::TraceDump, payload)) = parse_frame(&corrupt) {
+                let _ = TraceMsg::decode(payload); // Err or Ok, never a panic
             }
         }
     }
