@@ -4,6 +4,7 @@
 use crate::config::{CollectorConfig, FlowId, RecorderFactory};
 use crate::error::CollectorError;
 use crate::events::Event;
+use crate::flow_table::TableStats;
 use crate::handle::{shard_of, CollectorHandle};
 use crate::inference::{CollectorSnapshot, FlowSummary, ShardSnapshot};
 use crate::prefilter::Bloom;
@@ -13,6 +14,8 @@ use pint_obs::{ClockHandle, Counter, Gauge, Histogram, MetricsRegistry};
 use pint_query::{
     QueryBackend, QueryError, QueryPlan, QueryResult, Selector, TableTotals, Watermark,
 };
+use pint_store::{Journal, Replayer, StoreReader};
+use pint_wire::WireDecode;
 use std::sync::atomic::AtomicU64;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
@@ -156,6 +159,46 @@ pub struct Collector {
     /// Per-shard `collector_newest_ts` gauges (shared cells with the
     /// shard workers) — read by [`watermark`](Self::watermark).
     newest_ts: Vec<pint_obs::Gauge>,
+    /// The durability journal, once
+    /// [`attach_store`](Self::attach_store) installs one.
+    journal: Mutex<Option<Journal>>,
+    /// Checkpoint state a compacted-log [`restore`](Self::restore)
+    /// seeded — merged under live shard state on every read.
+    base: Option<BaseOverlay>,
+}
+
+/// The decoded checkpoint a compacted-log restore seeds: replay can no
+/// longer reach the origin, so this state is held as a read-time
+/// overlay (fresh recorders cannot be reconstructed from summaries)
+/// and merged under live rows exactly like a `FleetView` merges two
+/// collectors.
+struct BaseOverlay {
+    /// Checkpoint flows, ascending by ID.
+    flows: Vec<(FlowId, FlowSummary)>,
+    /// Checkpoint-time shard eviction counters.
+    shard_stats: Vec<TableStats>,
+    /// Digests the checkpointed collector had applied.
+    ingested: u64,
+    /// Newest flow timestamp in the checkpoint (folded into
+    /// [`Collector::watermark`]).
+    newest_ts: u64,
+}
+
+/// What [`Collector::restore`] rebuilt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// The newest consistent epoch the log reached (the restore
+    /// target), `None` for an empty log.
+    pub epoch: Option<u64>,
+    /// Whether state was seeded from a checkpoint overlay (compacted
+    /// log) instead of replaying the full delta chain.
+    pub from_checkpoint: bool,
+    /// Delta batches replayed into the collector.
+    pub batches: u64,
+    /// Digest reports inside them.
+    pub digests: u64,
+    /// Persisted duplicates (or checkpoint-covered deltas) skipped.
+    pub duplicates: u64,
 }
 
 impl Collector {
@@ -229,7 +272,126 @@ impl Collector {
             registry,
             metrics,
             newest_ts,
+            journal: Mutex::new(None),
+            base: None,
         }
+    }
+
+    /// Attaches a durability journal: from now on every applied batch
+    /// is teed — off the shard hot path, never blocking; a full queue
+    /// drops and counts into `store_journal_dropped_total` — into the
+    /// journal's store file, and [`checkpoint`](Self::checkpoint)
+    /// writes full-state snapshots into the same log. Each shard
+    /// numbers its journaled deltas above what the log already holds
+    /// for it, so re-attaching after a restore appends a new
+    /// generation instead of colliding with the old one in replay's
+    /// dedup window.
+    pub fn attach_store(&self, journal: Journal) {
+        for (shard, tx) in self.ctrl.iter().enumerate() {
+            let msg = ShardMsg::AttachJournal {
+                sender: journal.sender(),
+                start_seq: journal.delta_floor(shard as u64),
+            };
+            if tx.send(msg).is_ok() {
+                self.waiters[shard].wake();
+            }
+        }
+        *self.journal.lock().expect("journal slot") = Some(journal);
+    }
+
+    /// Journals a full-state checkpoint stamped `epoch` (monotonically
+    /// increasing, caller-driven — every N seconds or every N applied
+    /// batches, whatever cadence fits). The snapshot drains the rings
+    /// first and its deltas were teed before the shards answered, so
+    /// the checkpoint's `covered` floors (computed writer-side) are
+    /// exactly the deltas it subsumes. `Ok(false)` when no store is
+    /// attached (or the journal already stopped).
+    pub fn checkpoint(&self, epoch: u64) -> Result<bool, CollectorError> {
+        let snapshot = self.snapshot()?;
+        let guard = self.journal.lock().expect("journal slot");
+        let Some(journal) = guard.as_ref() else {
+            return Ok(false);
+        };
+        let payload = crate::wire::SnapshotFrame {
+            collector_id: 0,
+            epoch,
+            snapshot,
+        }
+        .to_frame_bytes();
+        Ok(journal.checkpoint(0, epoch, payload))
+    }
+
+    /// Blocks until every journaled record enqueued so far is written
+    /// and synced to the store file. No-op without an attached store.
+    pub fn flush_store(&self) {
+        if let Some(journal) = self.journal.lock().expect("journal slot").as_ref() {
+            journal.flush();
+        }
+    }
+
+    /// Rebuilds a collector from a persisted store log, replaying to
+    /// the newest consistent epoch the log holds.
+    ///
+    /// * **Uncompacted log** — every delta replays (in journal order,
+    ///   deduplicated by the same `SourceDedup` window live receivers
+    ///   run) through fresh recorders: the result answers every query
+    ///   plan byte-identically to a collector that never restarted
+    ///   (pinned by `tests/persistence.rs`).
+    /// * **Compacted log** — the delta chain no longer reaches the
+    ///   origin, so the newest checkpoint decodes into a base overlay,
+    ///   the replay windows are primed with the checkpoint's `covered`
+    ///   floors, and only the uncovered tail replays. Reads then merge
+    ///   base under live exactly like a `FleetView` merges two
+    ///   collectors.
+    ///
+    /// Replay runs through an ordinary producer handle, so per-shard
+    /// apply order matches journal order; delivered batches count into
+    /// `store_restore_replayed_total` in the collector's registry.
+    /// Restore does not itself attach a journal — call
+    /// [`attach_store`](Self::attach_store) afterwards (typically on
+    /// the same file, reopened) to resume journaling.
+    pub fn restore(
+        config: CollectorConfig,
+        factory: RecorderFactory,
+        reader: &StoreReader,
+    ) -> Result<(Self, RestoreReport), CollectorError> {
+        let mut collector = Self::spawn(config, factory);
+        let mut replayer = Replayer::new(reader).observed(&collector.metrics);
+        let mut report = RestoreReport {
+            epoch: reader.newest_epoch(),
+            from_checkpoint: false,
+            batches: 0,
+            digests: 0,
+            duplicates: 0,
+        };
+        if reader.is_compacted() {
+            if let Some(i) = reader.newest_checkpoint() {
+                let pint_wire::store::StoreRecord::Checkpoint(c) = &reader.records()[i] else {
+                    unreachable!("newest_checkpoint indexes a checkpoint record");
+                };
+                collector.base = Some(decode_checkpoint(&c.payload)?);
+                replayer = replayer.primed(&c.covered);
+                report.from_checkpoint = true;
+            }
+        }
+        let mut handle = collector.register_producer();
+        let mut push_err = None;
+        let stats = replayer.replay(&mut |_, reports| {
+            for r in reports {
+                if let Err(e) = handle.push(r) {
+                    push_err.get_or_insert(e);
+                }
+            }
+        });
+        if let Some(e) = push_err {
+            return Err(e);
+        }
+        handle.flush()?;
+        collector.barrier()?;
+        report.batches = stats.batches;
+        report.digests = stats.digests;
+        report.duplicates = stats.duplicates;
+        Ok((collector, report))
     }
 
     /// The collector's freshness stamp: the newest report timestamp any
@@ -237,7 +399,12 @@ impl Collector {
     /// `newest_seen == newest_applied`), with one source per shard.
     /// Relaxed reads — exact after a [`barrier`](Self::barrier).
     pub fn watermark(&self) -> Watermark {
-        let newest = self.newest_ts.iter().map(|g| g.get()).max().unwrap_or(0);
+        let mut newest = self.newest_ts.iter().map(|g| g.get()).max().unwrap_or(0);
+        if let Some(base) = &self.base {
+            // A restored-from-checkpoint collector is at least as fresh
+            // as the state it restored.
+            newest = newest.max(base.newest_ts);
+        }
         Watermark {
             newest_applied: newest,
             newest_seen: newest,
@@ -281,8 +448,36 @@ impl Collector {
     /// For targeted reads (a flow set, top-K, delta polls), prefer
     /// [`query`](Self::query): it serializes only the selected flows.
     pub fn snapshot(&self) -> Result<CollectorSnapshot, CollectorError> {
-        self.gather(&Selector::All, None)
-            .map(CollectorSnapshot::from_shards)
+        let live = self
+            .gather(&Selector::All, None)
+            .map(CollectorSnapshot::from_shards)?;
+        Ok(self.overlay(live))
+    }
+
+    /// Folds the restore base (if any) under a live merge: per-flow
+    /// summaries merge base-then-live via the shared
+    /// [`FlowSummary::merge`], shard stats concatenate, ingested
+    /// counts sum — the same associative fold `FleetView::merge` runs,
+    /// so a compacted restore answers like the fleet merge of
+    /// "checkpoint" and "replayed tail".
+    fn overlay(&self, live: CollectorSnapshot) -> CollectorSnapshot {
+        let Some(base) = &self.base else { return live };
+        let (live_flows, live_stats, live_ingested) = live.into_parts();
+        let mut all = base.flows.clone();
+        all.extend(live_flows);
+        // Stable sort: base rows precede live rows per flow, so the
+        // fold merges base-then-live deterministically.
+        all.sort_by_key(|&(f, _)| f);
+        let mut merged: Vec<(FlowId, FlowSummary)> = Vec::with_capacity(all.len());
+        for (flow, summary) in all {
+            match merged.last_mut() {
+                Some((last, dst)) if *last == flow => dst.merge(summary),
+                _ => merged.push((flow, summary)),
+            }
+        }
+        let mut stats = base.shard_stats.clone();
+        stats.extend(live_stats);
+        CollectorSnapshot::from_parts(merged, stats, base.ingested.saturating_add(live_ingested))
     }
 
     /// Executes a compiled [`QueryPlan`] against live shard state — the
@@ -357,6 +552,9 @@ impl Collector {
     /// ```
     pub fn query(&self, plan: &QueryPlan) -> Result<QueryResult, QueryError> {
         plan.validate()?;
+        if self.base.is_some() {
+            return self.query_overlaid(plan);
+        }
         let shards = self.gather(&plan.selector, plan.options.updated_since)?;
         // Table totals are whole-collector counters; only a full-table
         // selector consults every shard, so only it reports them.
@@ -375,6 +573,40 @@ impl Collector {
         rows.sort_by_key(|&(f, _)| f);
         // Shards only pre-narrowed; the shared refinement owns final
         // ordering and tie-breaking, identically on every backend.
+        let rows = pint_query::refine(rows, plan);
+        Ok(pint_query::project(rows, &plan.projection, table))
+    }
+
+    /// The read path of a compacted restore: shard-side narrowing
+    /// would lose base contributions (a flow's rank or path may only
+    /// complete once its checkpoint half merges in), so plans run
+    /// against the full overlaid snapshot. `refine` is documented
+    /// superset-idempotent, so passing every merged row yields exactly
+    /// the narrow result the selector names.
+    fn query_overlaid(&self, plan: &QueryPlan) -> Result<QueryResult, QueryError> {
+        let snap = self.snapshot()?;
+        let table = matches!(plan.selector, Selector::All).then(|| {
+            let mut t = TableTotals {
+                ingested: snap.ingested,
+                ..TableTotals::default()
+            };
+            for s in &snap.shard_stats {
+                t.created += s.created;
+                t.evicted_lru += s.evicted_lru;
+                t.evicted_ttl += s.evicted_ttl;
+            }
+            t
+        });
+        // The delta cutoff filters *selection*, not history: a merged
+        // row keeps its base half even when only the live half is
+        // fresh, so it is applied here on merged rows, never before
+        // the merge.
+        let since = plan.options.updated_since;
+        let rows: Vec<(FlowId, FlowSummary)> = snap
+            .flows()
+            .filter(|(_, s)| since.is_none_or(|t| s.last_ts > t))
+            .map(|(f, s)| (*f, s.clone()))
+            .collect();
         let rows = pint_query::refine(rows, plan);
         Ok(pint_query::project(rows, &plan.projection, table))
     }
@@ -586,6 +818,37 @@ impl Collector {
             let _ = w.join();
         }
     }
+}
+
+/// Decodes a checkpoint payload (a `SnapshotFrame` wire frame, as
+/// [`Collector::checkpoint`] writes) into a restore base overlay.
+fn decode_checkpoint(payload: &[u8]) -> Result<BaseOverlay, CollectorError> {
+    let (ty, body) =
+        pint_wire::parse_frame(payload).map_err(|_| CollectorError::RestoreFailed {
+            reason: "checkpoint payload is not a wire frame",
+        })?;
+    if ty != pint_wire::FrameType::Snapshot {
+        return Err(CollectorError::RestoreFailed {
+            reason: "checkpoint payload is not a snapshot frame",
+        });
+    }
+    let frame =
+        crate::wire::SnapshotFrame::decode(body).map_err(|_| CollectorError::RestoreFailed {
+            reason: "checkpoint snapshot failed to decode",
+        })?;
+    let newest_ts = frame
+        .snapshot
+        .flows()
+        .map(|(_, s)| s.last_ts)
+        .max()
+        .unwrap_or(0);
+    let (flows, shard_stats, ingested) = frame.snapshot.into_parts();
+    Ok(BaseOverlay {
+        flows,
+        shard_stats,
+        ingested,
+        newest_ts,
+    })
 }
 
 impl Drop for Collector {

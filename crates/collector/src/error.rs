@@ -19,6 +19,14 @@ pub enum CollectorError {
     /// digest would require blocking. The digest was *not* queued; retry,
     /// reroute, or drop it.
     WouldBlock,
+    /// A persisted checkpoint could not be decoded during
+    /// [`Collector::restore`](crate::Collector::restore) — the store
+    /// file's CRCs were intact but the payload is not a snapshot frame
+    /// this build understands.
+    RestoreFailed {
+        /// What failed to decode.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CollectorError {
@@ -32,6 +40,9 @@ impl fmt::Display for CollectorError {
             }
             CollectorError::WouldBlock => {
                 write!(f, "shard ring full; digest not queued (backpressure)")
+            }
+            CollectorError::RestoreFailed { reason } => {
+                write!(f, "restore failed: {reason}")
             }
         }
     }

@@ -86,7 +86,7 @@ mod shard;
 pub mod sink;
 pub mod wire;
 
-pub use collector::{Collector, CollectorStats};
+pub use collector::{Collector, CollectorStats, RestoreReport};
 pub use config::{CollectorConfig, FlowId, RecorderFactory};
 pub use error::CollectorError;
 pub use events::{Event, EventKind, EventRule, RuleCondition};

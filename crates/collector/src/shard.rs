@@ -20,6 +20,8 @@ use pint_core::DigestReport;
 use pint_obs::{
     ClockHandle, Counter, FlightRecorder, Gauge, Histogram, MetricsRegistry, TraceStage,
 };
+use pint_store::JournalSender;
+use pint_wire::DigestBatch;
 use std::collections::VecDeque;
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError, TrySendError};
 use std::sync::Arc;
@@ -47,6 +49,16 @@ pub(crate) enum ShardMsg {
     /// Sync point: the worker acknowledges once every batch enqueued
     /// before this message was sent has been applied.
     Barrier(Sender<()>),
+    /// Start teeing applied batches into a durability journal. The
+    /// worker numbers its journaled deltas from `start_seq + 1` —
+    /// above whatever the journal's file already holds for this shard,
+    /// so generations never collide in replay's dedup window.
+    AttachJournal {
+        /// The journal's non-blocking hot-path handle.
+        sender: JournalSender,
+        /// Highest delta seq already persisted for this shard.
+        start_seq: u64,
+    },
     /// Drain all rings and exit.
     Shutdown,
 }
@@ -207,6 +219,11 @@ pub(crate) struct ShardWorker {
     newest_ts: Gauge,
     /// Pipeline tracing: one `CollectorBatch` event per applied batch.
     recorder: Option<FlightRecorder>,
+    /// Durability tee: applied batches are offered (never blocking) to
+    /// this journal before being drained into flow state.
+    journal: Option<JournalSender>,
+    /// Seq stamp of the last journaled delta (source = shard index).
+    journal_seq: u64,
     /// Cumulative allocator-measured net bytes this shard thread holds.
     #[cfg(feature = "measure-alloc")]
     measured_net: i64,
@@ -261,6 +278,8 @@ impl ShardWorker {
             touched: Vec::new(),
             batch_stamp: 0,
             clock: 0,
+            journal: None,
+            journal_seq: 0,
         }
     }
 
@@ -421,6 +440,10 @@ impl ShardWorker {
             ShardMsg::Barrier(reply) => {
                 self.enqueue_sync(SyncKind::Barrier(reply), rings, pending);
             }
+            ShardMsg::AttachJournal { sender, start_seq } => {
+                self.journal = Some(sender);
+                self.journal_seq = start_seq;
+            }
             ShardMsg::Shutdown => {
                 // Exit is the one true quiesce point: pull everything
                 // still queued, then answer whatever sync requests are
@@ -513,10 +536,12 @@ impl ShardWorker {
         }
     }
 
-    /// Applies one batch in place. The buffer is drained, not consumed:
-    /// the caller returns it to the producer via the recycle lane, so
-    /// neither side allocates or frees batch backing store in steady
-    /// state (and the measure-alloc window sees no batch traffic).
+    /// Applies one batch in place. The buffer comes back empty: the
+    /// caller returns it to the producer via the recycle lane, so in
+    /// steady state neither side allocates or frees batch backing store
+    /// (and the measure-alloc window sees no batch traffic) — unless a
+    /// journal is attached, in which case the applied reports move to
+    /// the journal thread whole and the producer re-grows its buffers.
     fn apply_batch(&mut self, batch: &mut Vec<DigestReport>) {
         let t_batch = self.obs_clock.now_ns();
         #[cfg(feature = "measure-alloc")]
@@ -525,7 +550,7 @@ impl ShardWorker {
         self.batch_stamp += 1;
         let stamp = self.batch_stamp;
         let n = batch.len() as u64;
-        for report in batch.drain(..) {
+        for report in batch.iter() {
             self.clock = self.clock.max(report.ts);
             let flow = report.flow;
             let factory = &self.factory;
@@ -534,7 +559,7 @@ impl ShardWorker {
             let t0 = if sampled { self.obs_clock.now_ns() } else { 0 };
             let (idx, first) = self
                 .table
-                .upsert(flow, report.ts, stamp, || factory(flow, &report));
+                .upsert(flow, report.ts, stamp, || factory(flow, report));
             if first {
                 self.touched.push((idx, flow));
             }
@@ -553,6 +578,25 @@ impl ShardWorker {
             if sampled {
                 self.stage_kll
                     .record(self.obs_clock.now_ns().saturating_sub(t1));
+            }
+        }
+        // Durability tee: the apply loop above reads the reports by
+        // reference, so the applied batch can be handed to the journal
+        // *whole* — a pointer swap, no clone. `try_delta` never blocks
+        // (a full queue drops and counts), so the hot path pays a
+        // channel offer, never an allocation or disk latency; the
+        // recycle lane just gets an empty buffer this round.
+        if n > 0 {
+            if let Some(journal) = &self.journal {
+                self.journal_seq += 1;
+                journal.try_delta(DigestBatch {
+                    source: self.shard as u64,
+                    seq: self.journal_seq,
+                    reports: std::mem::take(batch),
+                    trace: None,
+                });
+            } else {
+                batch.clear();
             }
         }
         // Memory accounting + byte-cap eviction for the flows that grew
@@ -585,10 +629,10 @@ impl ShardWorker {
     /// Folds this batch's allocator delta into the shard's measured
     /// recorder footprint and cross-checks the flow table's estimate.
     ///
-    /// Batch buffers need no compensation: `apply_batch` drains the
-    /// producer-allocated `Vec` in place and the recycle (or drop, if
-    /// the pool lane is full) happens outside this window, so the
-    /// delta is recorder state only.
+    /// Batch buffers need no compensation: `apply_batch` empties (or,
+    /// journaling, hands off) the producer-allocated `Vec` and the
+    /// recycle (or drop, if the pool lane is full) happens outside this
+    /// window, so the delta is recorder state only.
     ///
     /// The bound is deliberately loose (allocator slack, `Vec` growth
     /// headroom, and recorder scratch all land in the measurement but

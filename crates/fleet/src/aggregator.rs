@@ -2,7 +2,6 @@
 //! evaluation.
 
 use crate::error::FleetError;
-use crate::ingest::SourceDedup;
 use crate::rules::{FleetEdge, FleetEvent, FleetRule};
 use crate::view::FleetView;
 use pint_collector::wire::SnapshotFrame;
@@ -11,6 +10,9 @@ use pint_core::dynamic::DynamicAggregator;
 use pint_core::DigestReport;
 use pint_obs::{FlightRecorder, Gauge, GaugeGroup, MetricsRegistry, TraceStage};
 use pint_query::{QueryError, QueryPlan, QueryResult, Selector, Watermark};
+use pint_store::{Journal, JournalSender, StoreReader};
+use pint_wire::store::StoreRecord;
+use pint_wire::SourceDedup;
 use pint_wire::{parse_frame, AckStatus, BatchAck, DigestBatch, FrameType, WireDecode, WireReader};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -82,6 +84,24 @@ struct CollectorState {
     snapshot: pint_collector::CollectorSnapshot,
 }
 
+/// What [`FleetAggregator::restore`] recovered from a persisted log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetRestoreReport {
+    /// Checkpoint records whose snapshot frames applied (newest epoch
+    /// per collector wins; the same gate as live ingestion).
+    pub checkpoints_applied: u64,
+    /// Checkpoint records the epoch gate discarded — an older epoch
+    /// for a collector a newer record already restored.
+    pub checkpoints_stale: u64,
+    /// Delta records primed into the digest dedup windows, so
+    /// forwarders retransmitting after the restart are acknowledged
+    /// `Duplicate` instead of double-applied.
+    pub deltas_primed: u64,
+    /// The newest epoch any restored record carried, if the log held
+    /// any records.
+    pub newest_epoch: Option<u64>,
+}
+
 /// Merges snapshot frames from N collector processes into a fleet view
 /// and evaluates fleet rules over it.
 ///
@@ -118,6 +138,12 @@ pub struct FleetAggregator {
     /// Per-collector `fleet_collector_epoch` / `fleet_collector_lag`
     /// freshness gauges, created lazily on first apply.
     freshness_gauges: BTreeMap<u64, (Gauge, Gauge)>,
+    /// Durable journal ([`attach_store`](Self::attach_store)): applied
+    /// snapshots become checkpoint records, fresh digest batches
+    /// become delta records.
+    journal: Option<Journal>,
+    /// The journal's non-blocking delta sender, cached at attach.
+    journal_tx: Option<JournalSender>,
 }
 
 /// `set_all` field order of the `fleet` gauge group (mirrors
@@ -156,7 +182,88 @@ impl FleetAggregator {
             obs_group,
             newest_seen_epoch: 0,
             freshness_gauges: BTreeMap::new(),
+            journal: None,
+            journal_tx: None,
         }
+    }
+
+    /// Attaches a durable journal (a [`Journal`] over a
+    /// [`StoreKind::Fleet`](pint_wire::store::StoreKind::Fleet) log).
+    /// From here on, every *applied* snapshot is persisted as a
+    /// checkpoint record keyed by `(collector_id, epoch)` and every
+    /// *fresh* digest batch as a delta record under its original
+    /// `(source, seq)` — stale snapshots and duplicate batches are
+    /// never journaled, so replaying the log is naturally idempotent.
+    /// Digest journaling is non-blocking: a full journal queue drops
+    /// the delta (counted in `store_journal_dropped_total`), never
+    /// stalls ingestion. Checkpoint writes block briefly (snapshots
+    /// are periodic, not hot-path).
+    pub fn attach_store(&mut self, journal: Journal) {
+        self.journal_tx = Some(journal.sender());
+        self.journal = Some(journal);
+    }
+
+    /// Drains the attached journal's queue to disk and syncs the file.
+    /// No-op without an attached store.
+    pub fn flush_store(&self) {
+        if let Some(journal) = &self.journal {
+            journal.flush();
+        }
+    }
+
+    /// Rebuilds an aggregator from a persisted fleet log: every
+    /// checkpoint record's snapshot frame is re-applied through the
+    /// same epoch gate as live ingestion (newest epoch per collector
+    /// wins, stale records counted), and every delta record primes the
+    /// per-source digest dedup — so forwarders that retransmit
+    /// unacked batches after the restart are acknowledged `Duplicate`
+    /// instead of double-applied. Checkpoint `covered` floors prime
+    /// dedup too, keeping the guarantee across compactions that
+    /// dropped the underlying delta records.
+    ///
+    /// Digest *contents* are not re-routed (the restored aggregator
+    /// has no sink yet); to replay persisted digests into a collector,
+    /// run a [`pint_store::Replayer`] over the same log.
+    pub fn restore(
+        config: FleetConfig,
+        reader: &StoreReader,
+    ) -> Result<(Self, FleetRestoreReport), FleetError> {
+        let mut agg = Self::new(config);
+        let mut report = FleetRestoreReport::default();
+        for record in reader.records() {
+            report.newest_epoch = Some(report.newest_epoch.unwrap_or(0).max(record.epoch()));
+            match record {
+                StoreRecord::Checkpoint(c) => {
+                    let (ty, payload) = parse_frame(&c.payload)?;
+                    if ty != FrameType::Snapshot {
+                        return Err(FleetError::UnsupportedFrame(ty));
+                    }
+                    let frame = SnapshotFrame::decode(payload)?;
+                    if agg.apply_snapshot(frame) {
+                        report.checkpoints_applied += 1;
+                    } else {
+                        report.checkpoints_stale += 1;
+                    }
+                    for &(source, seq) in &c.covered {
+                        agg.digest_dedup
+                            .entry(source)
+                            .or_default()
+                            .advance_floor(seq);
+                    }
+                }
+                StoreRecord::Delta { batch, .. } => {
+                    if agg
+                        .digest_dedup
+                        .entry(batch.source)
+                        .or_default()
+                        .observe(batch.seq)
+                    {
+                        report.deltas_primed += 1;
+                    }
+                }
+            }
+        }
+        Ok((agg, report))
     }
 
     /// The registry this aggregator publishes its `fleet_*` gauge group
@@ -321,6 +428,12 @@ impl FleetAggregator {
         let status = if fresh {
             self.stats.digest_batches += 1;
             self.stats.digests += batch.reports.len() as u64;
+            // Journal the fresh batch under its original (source, seq)
+            // before the sink consumes it; duplicates never reach here,
+            // so the persisted log is already deduplicated.
+            if let Some(tx) = &self.journal_tx {
+                tx.try_delta(batch.clone());
+            }
             if let Some(rec) = &self.config.trace {
                 rec.record(
                     batch.source as u32,
@@ -369,6 +482,14 @@ impl FleetAggregator {
                 frame.collector_id,
                 frame.epoch,
             );
+        }
+        // Persist the applied snapshot (re-framed — only paid with a
+        // store attached, and only for frames that pass the epoch
+        // gate). The journal stamps subsequent deltas with this epoch
+        // and derives the checkpoint's covered floors from the deltas
+        // already written.
+        if let Some(journal) = &self.journal {
+            journal.checkpoint(frame.collector_id, frame.epoch, frame.to_frame_bytes());
         }
         self.collectors.insert(
             frame.collector_id,

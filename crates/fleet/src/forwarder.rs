@@ -22,9 +22,10 @@
 use pint_core::hash::mix64;
 use pint_core::DigestReport;
 use pint_obs::{ClockHandle, FlightRecorder, GaugeGroup, MetricsRegistry, TraceStage};
+use pint_store::SpillQueue;
 use pint_wire::{
-    AckStatus, BatchAck, DigestBatch, FaultInjector, FrameReader, FrameType, TraceContext,
-    WireDecode,
+    parse_frame, AckStatus, BatchAck, DigestBatch, FaultInjector, FrameReader, FrameType,
+    TraceContext, WireDecode,
 };
 use std::collections::VecDeque;
 use std::io::Write;
@@ -99,6 +100,18 @@ pub struct ForwarderStats {
     pub digests_delivered: u64,
     /// Digests inside shed batches.
     pub digests_shed: u64,
+    /// Batches displaced from a full queue into the on-disk spill
+    /// instead of being shed ([`DigestForwarder::connect_spilling`]).
+    /// A spilled batch is not yet accounted: it re-enters the queue
+    /// (`resumed`) when the link catches up, or is counted as shed at
+    /// shutdown if still on disk (where it stays persisted for a
+    /// successor forwarder to resume).
+    pub spilled: u64,
+    /// Batches resumed from the spill back onto the pending queue —
+    /// including leftovers persisted by a previous run, which are
+    /// counted into `sent` (and `digests`) at resumption so
+    /// [`accounted`](Self::accounted) stays exact per run.
+    pub resumed: u64,
 }
 
 impl ForwarderStats {
@@ -124,8 +137,10 @@ struct Pending {
 /// sent` holds in *every* published snapshot, not only after shutdown
 /// — the group is republished whole under the state mutex at each
 /// transition, so a concurrent reader can never observe a batch that
-/// is in no bucket.
-const FORWARDER_OBS_FIELDS: [&str; 11] = [
+/// is in no bucket. With a spill attached the mid-run equation gains
+/// the on-disk bucket: `... + in_flight + spill_depth == sent`
+/// (modulo prior-run leftovers, which enter `sent` only on resume).
+const FORWARDER_OBS_FIELDS: [&str; 14] = [
     "source",
     "sent",
     "delivered",
@@ -137,6 +152,9 @@ const FORWARDER_OBS_FIELDS: [&str; 11] = [
     "digests",
     "digests_delivered",
     "digests_shed",
+    "spilled",
+    "resumed",
+    "spill_depth",
 ];
 
 struct Inner {
@@ -153,6 +171,12 @@ struct Inner {
     clock: ClockHandle,
     /// Flight recorder for `ForwarderSealed` events, when tracing.
     recorder: Option<FlightRecorder>,
+    /// Durable overflow: batches a full queue would shed go here
+    /// instead and resume when the link catches up.
+    spill: Option<SpillQueue>,
+    /// `(batches, digests)` still in the spill from a *previous* run —
+    /// not in this run's `sent`; counted in as they resume.
+    spill_leftover: (u64, u64),
 }
 
 impl Inner {
@@ -175,7 +199,28 @@ impl Inner {
             s.digests,
             s.digests_delivered,
             s.digests_shed,
+            s.spilled,
+            s.resumed,
+            self.spill.as_ref().map(|s| s.len() as u64).unwrap_or(0),
         ]);
+    }
+
+    /// Moves a displaced pending batch into the spill. `false` (caller
+    /// sheds instead) without a spill or when the disk write fails —
+    /// durability degrades before correctness does.
+    fn spill_displaced(&mut self, old: &Pending) -> bool {
+        let Some(spill) = &mut self.spill else {
+            return false;
+        };
+        // The pending entry holds the encoded frame; the spill stores
+        // decoded batches, so round-trip it (overload path only).
+        let Ok((FrameType::DigestBatch, payload)) = parse_frame(&old.frame) else {
+            return false;
+        };
+        let Ok(batch) = DigestBatch::decode(payload) else {
+            return false;
+        };
+        spill.push(&batch).is_ok()
     }
 
     /// Seals the current batch onto the queue, shedding the oldest
@@ -214,8 +259,12 @@ impl Inner {
         .to_frame_bytes();
         if self.queue.len() >= config.queue_batches {
             if let Some(old) = self.queue.pop_front() {
-                self.stats.shed += 1;
-                self.stats.digests_shed += old.digests;
+                if self.spill_displaced(&old) {
+                    self.stats.spilled += 1;
+                } else {
+                    self.stats.shed += 1;
+                    self.stats.digests_shed += old.digests;
+                }
             }
         }
         self.queue.push_back(Pending {
@@ -226,6 +275,57 @@ impl Inner {
         });
         self.stats.sent += 1;
         self.publish_obs();
+    }
+
+    /// Moves spilled batches back onto the pending queue while it has
+    /// headroom (only up to half the queue bound, so resumed batches
+    /// are not immediately displaced again by fresh seals). Called by
+    /// the worker each transmit pass, under the state mutex.
+    ///
+    /// Leftovers persisted by a previous run enter this run's books at
+    /// resumption: `sent` and `digests` advance with them, keeping
+    /// `delivered + deduped + shed == sent` exact per run.
+    fn resume_spilled(&mut self, config: &ForwarderConfig) {
+        let mut moved = false;
+        while self.queue.len() < config.queue_batches.div_ceil(2) {
+            let popped = match &mut self.spill {
+                Some(spill) => spill.pop(),
+                None => Ok(None),
+            };
+            match popped {
+                Ok(Some(batch)) => {
+                    let digests = batch.reports.len() as u64;
+                    self.queue.push_back(Pending {
+                        seq: batch.seq,
+                        frame: batch.to_frame_bytes(),
+                        digests,
+                        sent_at: None,
+                    });
+                    self.stats.resumed += 1;
+                    if self.spill_leftover.0 > 0 {
+                        self.spill_leftover.0 -= 1;
+                        self.spill_leftover.1 = self.spill_leftover.1.saturating_sub(digests);
+                        self.stats.sent += 1;
+                        self.stats.digests += digests;
+                    }
+                    moved = true;
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // A torn or corrupt record is consumed by the
+                    // failed pop; book it as shed so no batch of this
+                    // run silently vanishes from the accounting.
+                    if self.spill_leftover.0 > 0 {
+                        self.spill_leftover.0 -= 1;
+                    } else {
+                        self.stats.shed += 1;
+                    }
+                }
+            }
+        }
+        if moved {
+            self.publish_obs();
+        }
     }
 
     /// Retires the pending batch `ack` covers, if it is still queued.
@@ -258,7 +358,7 @@ impl DigestForwarder {
     /// established (and re-established) in the background; pushes
     /// before or between connections just queue.
     pub fn connect(addr: SocketAddr, config: ForwarderConfig) -> Self {
-        Self::spawn(addr, config, None, MetricsRegistry::new(), None)
+        Self::spawn(addr, config, None, MetricsRegistry::new(), None, None)
     }
 
     /// Like [`connect`](Self::connect), publishing the per-source
@@ -271,7 +371,28 @@ impl DigestForwarder {
         config: ForwarderConfig,
         metrics: MetricsRegistry,
     ) -> Self {
-        Self::spawn(addr, config, None, metrics, None)
+        Self::spawn(addr, config, None, metrics, None, None)
+    }
+
+    /// Like [`connect_observed`](Self::connect_observed), with a
+    /// durable overflow: batches a full pending queue would shed are
+    /// spilled to `spill`'s on-disk log instead and resume
+    /// (oldest-first) once the link catches up — so an outage longer
+    /// than the in-memory queue becomes persist-and-resume, not loss.
+    /// Batches still spilled at [`shutdown`](Self::shutdown) are
+    /// counted as shed for this run's accounting but stay persisted;
+    /// a successor forwarder opened on the same spill file resumes
+    /// them (counting them into its own `sent` as it does, and
+    /// numbering its fresh batches above [`SpillQueue::max_seq`] so
+    /// generations never collide). Delivery stays at-least-once: the
+    /// receiver's per-source dedup absorbs any replays.
+    pub fn connect_spilling(
+        addr: SocketAddr,
+        config: ForwarderConfig,
+        metrics: MetricsRegistry,
+        spill: SpillQueue,
+    ) -> Self {
+        Self::spawn(addr, config, None, metrics, None, Some(spill))
     }
 
     /// Like [`connect_observed`](Self::connect_observed), additionally
@@ -285,7 +406,7 @@ impl DigestForwarder {
         metrics: MetricsRegistry,
         recorder: FlightRecorder,
     ) -> Self {
-        Self::spawn(addr, config, None, metrics, Some(recorder))
+        Self::spawn(addr, config, None, metrics, Some(recorder), None)
     }
 
     /// Like [`connect`](Self::connect), but every outgoing frame
@@ -297,7 +418,14 @@ impl DigestForwarder {
         config: ForwarderConfig,
         faults: FaultInjector,
     ) -> Self {
-        Self::spawn(addr, config, Some(faults), MetricsRegistry::new(), None)
+        Self::spawn(
+            addr,
+            config,
+            Some(faults),
+            MetricsRegistry::new(),
+            None,
+            None,
+        )
     }
 
     fn spawn(
@@ -306,20 +434,32 @@ impl DigestForwarder {
         faults: Option<FaultInjector>,
         metrics: MetricsRegistry,
         recorder: Option<FlightRecorder>,
+        spill: Option<SpillQueue>,
     ) -> Self {
         let obs =
             metrics.gauge_group_shard("forwarder", config.source as u32, &FORWARDER_OBS_FIELDS);
+        // A reopened spill may hold leftovers from a previous run; they
+        // join this run's accounting as they resume, and fresh batches
+        // are numbered above anything ever spilled so the two
+        // generations never collide at the receiver's dedup window.
+        let spill_leftover = spill
+            .as_ref()
+            .map(|s| (s.len() as u64, s.digests()))
+            .unwrap_or((0, 0));
+        let next_seq = spill.as_ref().map(|s| s.max_seq() + 1).unwrap_or(1);
         let shared = Arc::new((
             Mutex::new(Inner {
                 queue: VecDeque::new(),
                 batch: Vec::new(),
-                next_seq: 1,
+                next_seq,
                 stats: ForwarderStats::default(),
                 stop: false,
                 source: config.source,
                 obs,
                 clock: metrics.clock(),
                 recorder,
+                spill,
+                spill_leftover,
             }),
             Condvar::new(),
         ));
@@ -390,17 +530,22 @@ impl DigestForwarder {
             .stats
     }
 
-    /// Flushes, waits up to `drain` for the queue to empty, then stops
-    /// the worker. Batches still undelivered when the window expires
-    /// are shed (counted), so the returned stats always satisfy
-    /// [`ForwarderStats::accounted`].
+    /// Flushes, waits up to `drain` for the queue (and any attached
+    /// spill) to empty, then stops the worker. Batches still
+    /// undelivered when the window expires are shed (counted), so the
+    /// returned stats always satisfy [`ForwarderStats::accounted`] —
+    /// though batches shed *from the spill* remain persisted on disk
+    /// for a successor forwarder to resume.
     pub fn shutdown(mut self, drain: Duration) -> ForwarderStats {
         self.flush();
         let deadline = Instant::now() + drain;
         let (lock, cvar) = &*self.shared;
         {
+            let draining = |inner: &Inner| {
+                !inner.queue.is_empty() || inner.spill.as_ref().is_some_and(|s| !s.is_empty())
+            };
             let mut inner = lock.lock().expect("forwarder state poisoned");
-            while !inner.queue.is_empty() && Instant::now() < deadline {
+            while draining(&inner) && Instant::now() < deadline {
                 let (guard, _timeout) = cvar
                     .wait_timeout(inner, Duration::from_millis(10))
                     .expect("forwarder state poisoned");
@@ -409,6 +554,17 @@ impl DigestForwarder {
             while let Some(p) = inner.queue.pop_front() {
                 inner.stats.shed += 1;
                 inner.stats.digests_shed += p.digests;
+            }
+            // Batches still spilled are shed from *this run's* books
+            // (leftovers a prior run persisted were never in this
+            // run's `sent` and stay off them) — but the file keeps
+            // them, so a successor forwarder resumes rather than
+            // loses them.
+            if let Some((batches, digests)) =
+                inner.spill.as_ref().map(|s| (s.len() as u64, s.digests()))
+            {
+                inner.stats.shed += batches.saturating_sub(inner.spill_leftover.0);
+                inner.stats.digests_shed += digests.saturating_sub(inner.spill_leftover.1);
             }
             inner.publish_obs();
             inner.stop = true;
@@ -491,6 +647,9 @@ fn worker_loop(
                     return;
                 }
                 let inner = &mut *guard;
+                // The link is up and we hold the lock: pull spilled
+                // batches back in while the queue has headroom.
+                inner.resume_spilled(&config);
                 let now = Instant::now();
                 let rto = config.rto;
                 let mut frames = Vec::new();

@@ -25,9 +25,9 @@ use pint_core::DigestReport;
 use pint_obs::{FlightRecorder, GaugeGroup, Histogram, MetricsRegistry, TraceStage};
 use pint_wire::{
     frame_into, AckStatus, BatchAck, DigestBatch, FramePoll, FrameReader, FrameType, MetricsMsg,
-    MetricsReport, TraceMsg, TraceReport, WireDecode,
+    MetricsReport, SourceDedup, TraceMsg, TraceReport, WireDecode,
 };
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -41,53 +41,6 @@ const IDLE_SLEEP: Duration = Duration::from_millis(1);
 /// Frames decoded per connection per tick — bounds how long one
 /// firehose peer can monopolize the poll thread.
 const FRAMES_PER_TICK: usize = 64;
-
-/// Out-of-order sequence numbers remembered per source before the
-/// dedup window compacts by abandoning its oldest gap.
-const DEDUP_WINDOW: usize = 1_024;
-
-/// Exact per-source sequence dedup that tolerates *permanent* gaps.
-///
-/// A forwarder under overload sheds batches, so the server must never
-/// wait for a sequence number that will never arrive: freshness is
-/// "not at or below the contiguous floor, and not among the
-/// out-of-order seqs already seen". The out-of-order set is bounded;
-/// past [`DEDUP_WINDOW`] entries the floor advances over the oldest
-/// gap (an abandoned seq that does arrive later is then reported as a
-/// duplicate — the conservative side: accounting stays exact, data is
-/// never double-applied).
-#[derive(Debug, Default)]
-pub(crate) struct SourceDedup {
-    /// Every seq `<= contiguous` has been seen (or abandoned).
-    contiguous: u64,
-    /// Seen seqs above the floor (out-of-order arrivals).
-    above: BTreeSet<u64>,
-}
-
-impl SourceDedup {
-    /// Records one arrival; `true` if this `(source, seq)` is fresh.
-    pub(crate) fn observe(&mut self, seq: u64) -> bool {
-        if seq <= self.contiguous || self.above.contains(&seq) {
-            return false;
-        }
-        self.above.insert(seq);
-        while self.above.remove(&(self.contiguous + 1)) {
-            self.contiguous += 1;
-        }
-        while self.above.len() > DEDUP_WINDOW {
-            // Abandon the oldest gap: jump the floor to the smallest
-            // out-of-order seq and re-compact.
-            if let Some(&lo) = self.above.iter().next() {
-                self.contiguous = lo;
-                self.above.remove(&lo);
-                while self.above.remove(&(self.contiguous + 1)) {
-                    self.contiguous += 1;
-                }
-            }
-        }
-        true
-    }
-}
 
 /// Tuning knobs of a [`DigestServer`].
 #[derive(Debug, Clone, Copy)]
@@ -662,45 +615,6 @@ fn poll_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn dedup_is_exact_in_order() {
-        let mut d = SourceDedup::default();
-        for seq in 1..=100u64 {
-            assert!(d.observe(seq), "first sight of {seq}");
-            assert!(!d.observe(seq), "immediate dup of {seq}");
-        }
-        assert!(d.above.is_empty(), "in-order stream fully compacts");
-        assert_eq!(d.contiguous, 100);
-    }
-
-    #[test]
-    fn dedup_tolerates_gaps_and_reorders() {
-        let mut d = SourceDedup::default();
-        assert!(d.observe(2), "gap: 1 was shed");
-        assert!(d.observe(4));
-        assert!(!d.observe(2), "reordered dup");
-        assert!(d.observe(3), "late arrival in the gap is fresh");
-        assert!(!d.observe(4));
-        assert!(d.observe(1), "the shed seq arriving after all is fresh");
-        assert_eq!(d.contiguous, 4, "gap closed: everything compacts");
-    }
-
-    #[test]
-    fn dedup_window_compacts_by_abandoning_oldest_gap() {
-        let mut d = SourceDedup::default();
-        // Seq 1 never arrives; fill far past the window.
-        for seq in 2..(DEDUP_WINDOW as u64 + 100) {
-            assert!(d.observe(seq));
-        }
-        assert!(
-            d.above.len() <= DEDUP_WINDOW,
-            "window bounded: {} entries",
-            d.above.len()
-        );
-        // The abandoned seq is now conservatively a duplicate.
-        assert!(!d.observe(1), "abandoned gap reports duplicate");
-    }
 
     #[test]
     fn server_survives_garbage_slow_and_half_open_peers() {

@@ -65,7 +65,7 @@ mod rules;
 mod transport;
 mod view;
 
-pub use aggregator::{FleetAggregator, FleetConfig, FleetStats};
+pub use aggregator::{FleetAggregator, FleetConfig, FleetRestoreReport, FleetStats};
 pub use error::FleetError;
 pub use forwarder::{DigestForwarder, ForwarderConfig, ForwarderStats};
 pub use ingest::{BatchSink, DigestServer, DigestServerConfig, DigestServerStats};

@@ -46,7 +46,7 @@ impl FleetView {
         let mut merged: Vec<(FlowId, FlowSummary)> = Vec::with_capacity(all_flows.len());
         for (flow, summary) in all_flows {
             match merged.last_mut() {
-                Some((last, dst)) if *last == flow => merge_summary(dst, summary),
+                Some((last, dst)) if *last == flow => dst.merge(summary),
                 _ => merged.push((flow, summary)),
             }
         }
@@ -249,39 +249,6 @@ impl QueryBackend for FleetView {
             sources: self.collectors.len() as u64,
         })
     }
-}
-
-/// Folds `src` (a later collector's view of the same flow) into `dst`.
-/// Counters saturate instead of wrapping: summaries come off the wire,
-/// and a hostile `u64::MAX` must not panic (overflow checks) or corrupt
-/// totals while the server holds its aggregator mutex.
-fn merge_summary(dst: &mut FlowSummary, src: FlowSummary) {
-    dst.packets = dst.packets.saturating_add(src.packets);
-    dst.state_bytes = dst.state_bytes.saturating_add(src.state_bytes);
-    dst.last_ts = dst.last_ts.max(src.last_ts);
-    dst.inconsistencies = dst.inconsistencies.saturating_add(src.inconsistencies);
-    for (hop, sk) in src.hop_sketches.into_iter().enumerate() {
-        if hop >= dst.hop_sketches.len() {
-            dst.hop_sketches.push(sk);
-        } else if !sk.is_empty() {
-            if dst.hop_sketches[hop].is_empty() {
-                dst.hop_sketches[hop] = sk;
-            } else {
-                dst.hop_sketches[hop].merge(&sk);
-            }
-        }
-    }
-    dst.path = match (dst.path.take(), src.path) {
-        (Some(a), Some(b)) => {
-            // Keep the further-along reconstruction; inconsistency
-            // counts accumulate across both observers.
-            let total = a.inconsistencies.saturating_add(b.inconsistencies);
-            let mut keep = if b.resolved > a.resolved { b } else { a };
-            keep.inconsistencies = total;
-            Some(keep)
-        }
-        (a, b) => a.or(b),
-    };
 }
 
 #[cfg(test)]

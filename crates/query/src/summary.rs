@@ -28,3 +28,44 @@ pub struct FlowSummary {
     /// Digests contradicting the flow's inference.
     pub inconsistencies: u64,
 }
+
+impl FlowSummary {
+    /// Folds `src` (another backend's view of the same flow) into
+    /// `self`. This is the one associative flow-level merge every tier
+    /// shares: fleet views fold collector rows with it, and a restored
+    /// collector folds its checkpoint base under live shard rows with
+    /// it — so "merged live" and "restored from checkpoint" are
+    /// byte-identical by construction.
+    ///
+    /// Counters saturate instead of wrapping: summaries come off the
+    /// wire, and a hostile `u64::MAX` must not panic (overflow checks)
+    /// or corrupt totals while a server holds its aggregator mutex.
+    pub fn merge(&mut self, src: FlowSummary) {
+        self.packets = self.packets.saturating_add(src.packets);
+        self.state_bytes = self.state_bytes.saturating_add(src.state_bytes);
+        self.last_ts = self.last_ts.max(src.last_ts);
+        self.inconsistencies = self.inconsistencies.saturating_add(src.inconsistencies);
+        for (hop, sk) in src.hop_sketches.into_iter().enumerate() {
+            if hop >= self.hop_sketches.len() {
+                self.hop_sketches.push(sk);
+            } else if !sk.is_empty() {
+                if self.hop_sketches[hop].is_empty() {
+                    self.hop_sketches[hop] = sk;
+                } else {
+                    self.hop_sketches[hop].merge(&sk);
+                }
+            }
+        }
+        self.path = match (self.path.take(), src.path) {
+            (Some(a), Some(b)) => {
+                // Keep the further-along reconstruction; inconsistency
+                // counts accumulate across both observers.
+                let total = a.inconsistencies.saturating_add(b.inconsistencies);
+                let mut keep = if b.resolved > a.resolved { b } else { a };
+                keep.inconsistencies = total;
+                Some(keep)
+            }
+            (a, b) => a.or(b),
+        };
+    }
+}

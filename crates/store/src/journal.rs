@@ -1,0 +1,406 @@
+//! The off-hot-path journal: a bounded queue feeding one writer
+//! thread that owns the [`StoreWriter`].
+//!
+//! Ingest shards tee applied batches through a [`JournalSender`] whose
+//! [`try_delta`](JournalSender::try_delta) *never blocks*: when the
+//! queue is full the delta is dropped and counted
+//! (`store_journal_dropped_total`) — durability degrades before ingest
+//! does, the same trade every overload path in the stack makes.
+//! Checkpoints and flushes ride the same FIFO queue, so a checkpoint
+//! always lands *after* every delta it covers (shards tee a batch
+//! before answering the snapshot query that feeds the checkpoint), and
+//! the writer derives each checkpoint's `covered` floors from the
+//! deltas it has already written.
+//!
+//! Self-telemetry (all in the registry handed to [`Journal::spawn`]):
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `store_bytes_appended_total` | counter | record bytes written |
+//! | `store_checkpoints_total` | counter | checkpoint records written |
+//! | `store_compactions_total` | counter | log rewrites |
+//! | `store_journal_depth` | gauge | deltas queued, not yet written |
+//! | `store_journal_dropped_total` | counter | deltas lost to a full queue |
+//! | `store_journal_errors_total` | counter | records lost to I/O errors |
+
+use crate::log::StoreWriter;
+use pint_obs::{Counter, Gauge, MetricsRegistry};
+use pint_wire::store::{CheckpointRecord, StoreRecord};
+use pint_wire::DigestBatch;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning of a [`Journal`].
+#[derive(Debug, Clone, Copy)]
+pub struct JournalConfig {
+    /// Bounded queue depth between ingest shards and the writer
+    /// thread; deltas past it are dropped (counted), never blocked on.
+    pub queue_depth: usize,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        Self { queue_depth: 4_096 }
+    }
+}
+
+enum JournalMsg {
+    Delta {
+        epoch: u64,
+        batch: DigestBatch,
+    },
+    Checkpoint {
+        source: u64,
+        epoch: u64,
+        payload: Vec<u8>,
+    },
+    Flush(SyncSender<()>),
+    Stop,
+}
+
+/// The non-blocking hot-path handle shards hold: cheap to clone, and
+/// [`try_delta`](Self::try_delta) never waits on the writer thread.
+#[derive(Clone)]
+pub struct JournalSender {
+    tx: SyncSender<JournalMsg>,
+    pending: Arc<AtomicU64>,
+    epoch: Arc<AtomicU64>,
+    depth: Gauge,
+    dropped: Counter,
+}
+
+impl JournalSender {
+    /// Offers one applied batch to the journal, stamped with the
+    /// current epoch. Returns `false` (and counts the drop) when the
+    /// queue is full or the journal has stopped — the caller keeps
+    /// ingesting either way.
+    pub fn try_delta(&self, batch: DigestBatch) -> bool {
+        let msg = JournalMsg::Delta {
+            epoch: self.epoch.load(Ordering::Relaxed),
+            batch,
+        };
+        // Count the delta as pending *before* offering it: the worker
+        // only decrements after receiving, so the counter never dips
+        // below zero however the two threads interleave.
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        match self.tx.try_send(msg) {
+            Ok(()) => {
+                self.depth.set(self.pending.load(Ordering::Relaxed));
+                true
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.pending.fetch_sub(1, Ordering::Relaxed);
+                self.dropped.inc();
+                false
+            }
+        }
+    }
+}
+
+/// Owns the writer thread; see the module docs.
+pub struct Journal {
+    tx: SyncSender<JournalMsg>,
+    pending: Arc<AtomicU64>,
+    epoch: Arc<AtomicU64>,
+    depth: Gauge,
+    dropped: Counter,
+    /// Per-source delta floors the file held when this journal started
+    /// (see [`delta_floor`](Self::delta_floor)).
+    initial_floors: BTreeMap<u64, u64>,
+    thread: Mutex<Option<JoinHandle<StoreWriter>>>,
+}
+
+impl Journal {
+    /// Starts the writer thread over `writer`, registering the
+    /// `store_*` metrics in `registry`.
+    pub fn spawn(writer: StoreWriter, config: JournalConfig, registry: &MetricsRegistry) -> Self {
+        let (tx, rx) = sync_channel(config.queue_depth.max(1));
+        let initial_floors = writer.delta_floors().clone();
+        let pending = Arc::new(AtomicU64::new(0));
+        let epoch = Arc::new(AtomicU64::new(0));
+        let depth = registry.gauge("store_journal_depth");
+        let dropped = registry.counter("store_journal_dropped_total");
+        let worker = Worker {
+            writer,
+            rx,
+            pending: Arc::clone(&pending),
+            depth: depth.clone(),
+            bytes: registry.counter("store_bytes_appended_total"),
+            checkpoints: registry.counter("store_checkpoints_total"),
+            compactions: registry.counter("store_compactions_total"),
+            errors: registry.counter("store_journal_errors_total"),
+        };
+        let thread = std::thread::Builder::new()
+            .name("pint-store-journal".into())
+            .spawn(move || worker.run())
+            .expect("spawn journal writer thread");
+        Self {
+            tx,
+            pending,
+            epoch,
+            depth,
+            dropped,
+            initial_floors,
+            thread: Mutex::new(Some(thread)),
+        }
+    }
+
+    /// The highest delta seq the underlying file already held for
+    /// `source` when this journal started (0 for a fresh file). A
+    /// producer re-attaching after a restart numbers its fresh deltas
+    /// *above* this, so replay's per-source dedup window never mistakes
+    /// a new generation's batches for retransmissions of the old one.
+    pub fn delta_floor(&self, source: u64) -> u64 {
+        self.initial_floors.get(&source).copied().unwrap_or(0)
+    }
+
+    /// A hot-path sender for one ingest shard (or any producer).
+    pub fn sender(&self) -> JournalSender {
+        JournalSender {
+            tx: self.tx.clone(),
+            pending: Arc::clone(&self.pending),
+            epoch: Arc::clone(&self.epoch),
+            depth: self.depth.clone(),
+            dropped: self.dropped.clone(),
+        }
+    }
+
+    /// The epoch new deltas are stamped with.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues a full-state checkpoint and advances the delta epoch
+    /// stamp to `epoch`. Blocking (checkpoints are rare and must not
+    /// be shed); returns `false` only if the journal already stopped.
+    /// The writer computes the checkpoint's `covered` floors from the
+    /// deltas it has written — FIFO order makes that exactly the set
+    /// the snapshot subsumes.
+    pub fn checkpoint(&self, source: u64, epoch: u64, payload: Vec<u8>) -> bool {
+        let sent = self
+            .tx
+            .send(JournalMsg::Checkpoint {
+                source,
+                epoch,
+                payload,
+            })
+            .is_ok();
+        if sent {
+            self.epoch.store(epoch, Ordering::Relaxed);
+        }
+        sent
+    }
+
+    /// Drains everything enqueued so far and syncs the file. Blocks
+    /// until the writer confirms.
+    pub fn flush(&self) {
+        let (ack_tx, ack_rx) = sync_channel(1);
+        if self.tx.send(JournalMsg::Flush(ack_tx)).is_ok() {
+            let _ = ack_rx.recv();
+        }
+    }
+
+    /// Stops the writer thread (after draining the queue) and returns
+    /// the [`StoreWriter`], synced.
+    pub fn shutdown(self) -> Option<StoreWriter> {
+        self.stop_and_join()
+    }
+
+    fn stop_and_join(&self) -> Option<StoreWriter> {
+        let handle = self.thread.lock().expect("journal thread slot").take()?;
+        let _ = self.tx.send(JournalMsg::Stop);
+        handle.join().ok()
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        let _ = self.stop_and_join();
+    }
+}
+
+struct Worker {
+    writer: StoreWriter,
+    rx: Receiver<JournalMsg>,
+    pending: Arc<AtomicU64>,
+    depth: Gauge,
+    bytes: Counter,
+    checkpoints: Counter,
+    compactions: Counter,
+    errors: Counter,
+}
+
+impl Worker {
+    fn run(mut self) -> StoreWriter {
+        while let Ok(msg) = self.rx.recv() {
+            match msg {
+                JournalMsg::Delta { epoch, batch } => {
+                    let d = self
+                        .pending
+                        .fetch_sub(1, Ordering::Relaxed)
+                        .saturating_sub(1);
+                    self.depth.set(d);
+                    self.append(&StoreRecord::Delta { epoch, batch });
+                }
+                JournalMsg::Checkpoint {
+                    source,
+                    epoch,
+                    payload,
+                } => {
+                    let covered = self
+                        .writer
+                        .delta_floors()
+                        .iter()
+                        .map(|(&s, &q)| (s, q))
+                        .collect();
+                    let rec = StoreRecord::Checkpoint(CheckpointRecord {
+                        source,
+                        epoch,
+                        covered,
+                        payload,
+                    });
+                    if self.append(&rec) {
+                        self.checkpoints.inc();
+                    }
+                }
+                JournalMsg::Flush(ack) => {
+                    if self.writer.sync().is_err() {
+                        self.errors.inc();
+                    }
+                    let _ = ack.send(());
+                }
+                JournalMsg::Stop => break,
+            }
+        }
+        let _ = self.writer.sync();
+        self.writer
+    }
+
+    fn append(&mut self, record: &StoreRecord) -> bool {
+        match self.writer.append(record) {
+            Ok(info) => {
+                self.bytes.add(info.bytes);
+                if info.compacted {
+                    self.compactions.inc();
+                }
+                true
+            }
+            Err(_) => {
+                // An unwritable journal must not take ingest down:
+                // count the loss and keep consuming the queue.
+                self.errors.inc();
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{StoreOptions, StoreReader};
+    use pint_core::{Digest, DigestReport};
+    use pint_wire::store::{StoreKind, Superblock};
+
+    fn batch(source: u64, seq: u64) -> DigestBatch {
+        let mut d = Digest::new(1);
+        d.set(0, seq);
+        DigestBatch {
+            source,
+            seq,
+            reports: vec![DigestReport::new(seq, 100, d, 4, seq)],
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn journal_writes_deltas_checkpoints_and_covered_floors() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("pint-journal-{}", std::process::id()));
+        let writer = StoreWriter::create(
+            &path,
+            Superblock::new(StoreKind::Collector, 1, 0),
+            StoreOptions::default(),
+        )
+        .unwrap();
+        let registry = MetricsRegistry::new();
+        let journal = Journal::spawn(writer, JournalConfig::default(), &registry);
+        let sender = journal.sender();
+        for seq in 1..=5u64 {
+            assert!(sender.try_delta(batch(2, seq)));
+        }
+        assert!(journal.checkpoint(0, 1, vec![0xAA; 16]));
+        // Deltas after the checkpoint carry the advanced epoch stamp.
+        assert!(sender.try_delta(batch(2, 6)));
+        journal.flush();
+        let snap = registry.snapshot();
+        let get = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+                .unwrap_or(0)
+        };
+        assert_eq!(get("store_checkpoints_total"), 1);
+        assert!(get("store_bytes_appended_total") > 0);
+        assert_eq!(get("store_journal_dropped_total"), 0);
+        journal.shutdown().unwrap();
+
+        let r = StoreReader::open(&path).unwrap();
+        assert_eq!(r.records().len(), 7);
+        let ck = r.newest_checkpoint().unwrap();
+        match &r.records()[ck] {
+            StoreRecord::Checkpoint(c) => {
+                assert_eq!(c.covered, vec![(2, 5)], "floors from written deltas");
+                assert_eq!(c.epoch, 1);
+            }
+            _ => unreachable!(),
+        }
+        match &r.records()[6] {
+            StoreRecord::Delta { epoch, batch } => {
+                assert_eq!(*epoch, 1, "post-checkpoint delta stamped with new epoch");
+                assert_eq!(batch.seq, 6);
+            }
+            _ => unreachable!(),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn full_queue_drops_and_counts_instead_of_blocking() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("pint-journal-full-{}", std::process::id()));
+        let writer = StoreWriter::create(
+            &path,
+            Superblock::new(StoreKind::Collector, 1, 0),
+            StoreOptions::default(),
+        )
+        .unwrap();
+        let registry = MetricsRegistry::new();
+        let journal = Journal::spawn(writer, JournalConfig { queue_depth: 2 }, &registry);
+        let sender = journal.sender();
+        // Flood far past the queue depth; some must drop, none block.
+        let mut accepted = 0u64;
+        for seq in 1..=10_000u64 {
+            if sender.try_delta(batch(1, seq)) {
+                accepted += 1;
+            }
+        }
+        journal.flush();
+        let snap = registry.snapshot();
+        let dropped = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "store_journal_dropped_total")
+            .map(|c| c.value)
+            .unwrap_or(0);
+        assert_eq!(accepted + dropped, 10_000);
+        journal.shutdown().unwrap();
+        let r = StoreReader::open(&path).unwrap();
+        assert_eq!(r.records().len() as u64, accepted);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,812 @@
+//! The append-only log file: [`StoreWriter`] / [`StoreReader`] over
+//! the `pint-wire` store codecs, with per-record CRC framing,
+//! torn-tail recovery, and bounded-size compaction.
+//!
+//! File layout (see [`pint_wire::store`] for the payload codecs):
+//!
+//! ```text
+//! [ 8B magic "PINTSTOR" ]
+//! [ 4B len ][ 4B crc ][ superblock payload ]
+//! [ 4B len ][ 4B crc ][ record payload ]    ⟵ repeated
+//! ```
+//!
+//! Records append with one buffered `write_all`; a crash can only tear
+//! the *last* record, and the CRC detects any tear (or bit rot) on the
+//! next open, which truncates back to the last intact boundary.
+
+use crate::error::{StoreError, TailStatus, TornReason};
+use pint_wire::store::{crc32, StoreKind, StoreRecord, Superblock, STORE_MAGIC};
+use pint_wire::{WireDecode, WireEncode, MAX_PAYLOAD};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Per-record frame header: u32 length + u32 CRC.
+const RECORD_HEADER: usize = 8;
+
+/// Tuning of a [`StoreWriter`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreOptions {
+    /// Compact when the file grows past this many bytes — the log's
+    /// analog of the flow table's byte-cap eviction: oldest state goes
+    /// first, but only state a newer checkpoint already covers, so
+    /// compaction never loses information (a log with no checkpoint is
+    /// never compacted, whatever its size).
+    pub max_bytes: Option<u64>,
+    /// `fsync` after every append. Off by default: the journal is a
+    /// crash-*consistency* mechanism (the CRC scan recovers a prefix),
+    /// not a zero-loss one, and per-record fsync would gate ingest on
+    /// disk latency.
+    pub fsync: bool,
+}
+
+/// What one append did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendInfo {
+    /// Bytes this record occupied (header + payload).
+    pub bytes: u64,
+    /// Whether the append pushed the file over budget and a compaction
+    /// rewrote it.
+    pub compacted: bool,
+}
+
+/// Scan metadata for one intact record.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    /// Offset of the record's 8-byte header.
+    offset: u64,
+    /// Payload length.
+    len: u32,
+}
+
+/// Shared scan: parse `bytes` as a store file. Returns the superblock,
+/// decoded records with their spans, the valid length, and the tail
+/// verdict. The only hard errors are a missing magic, a damaged or
+/// undecodable superblock, and a future version; record damage is a
+/// `TailStatus`, not an error.
+#[allow(clippy::type_complexity)]
+fn scan(
+    bytes: &[u8],
+) -> Result<(Superblock, Vec<(StoreRecord, Span)>, u64, TailStatus), StoreError> {
+    if bytes.len() < STORE_MAGIC.len() || bytes[..STORE_MAGIC.len()] != STORE_MAGIC {
+        return Err(StoreError::NotAStore);
+    }
+    let sb_off = STORE_MAGIC.len();
+    let (sb_payload, sb_end) = match frame_at(bytes, sb_off as u64) {
+        Ok(Some((payload, end))) => (payload, end),
+        Ok(None) | Err(_) => return Err(StoreError::CorruptSuperblock),
+    };
+    let superblock = Superblock::decode(sb_payload)?;
+
+    let mut records = Vec::new();
+    let mut off = sb_end;
+    let tail = loop {
+        match frame_at(bytes, off) {
+            Ok(None) => break TailStatus::Clean,
+            Ok(Some((payload, end))) => match StoreRecord::decode(payload) {
+                Ok(rec) => {
+                    records.push((
+                        rec,
+                        Span {
+                            offset: off,
+                            len: payload.len() as u32,
+                        },
+                    ));
+                    off = end;
+                }
+                Err(_) => {
+                    break TailStatus::Torn {
+                        offset: off,
+                        reason: TornReason::Undecodable,
+                    }
+                }
+            },
+            Err(reason) => {
+                break TailStatus::Torn {
+                    offset: off,
+                    reason,
+                }
+            }
+        }
+    };
+    Ok((superblock, records, off, tail))
+}
+
+/// Reads one `[len][crc][payload]` frame at `off`. `Ok(None)` at exact
+/// end of input; `Err` classifies a tear.
+fn frame_at(bytes: &[u8], off: u64) -> Result<Option<(&[u8], u64)>, TornReason> {
+    let off = off as usize;
+    let remaining = bytes.len() - off;
+    if remaining == 0 {
+        return Ok(None);
+    }
+    if remaining < RECORD_HEADER {
+        return Err(TornReason::TruncatedHeader);
+    }
+    let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(TornReason::LengthOverflow);
+    }
+    if remaining - RECORD_HEADER < len {
+        return Err(TornReason::TruncatedPayload);
+    }
+    let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4 bytes"));
+    let payload = &bytes[off + RECORD_HEADER..off + RECORD_HEADER + len];
+    if crc32(payload) != crc {
+        return Err(TornReason::CrcMismatch);
+    }
+    Ok(Some((payload, (off + RECORD_HEADER + len) as u64)))
+}
+
+/// A fully-scanned store file: the superblock, every intact record,
+/// and the tail verdict.
+///
+/// The reader is eager — store files are bounded by compaction, and
+/// restore wants every record anyway — and works equally from a file
+/// ([`open`](Self::open)) or raw bytes ([`from_bytes`](Self::from_bytes),
+/// the fuzzing entry point: a store file is untrusted input like any
+/// frame off a socket, and parsing never panics).
+pub struct StoreReader {
+    superblock: Superblock,
+    records: Vec<StoreRecord>,
+    /// `(header offset, payload length)` per record, parallel to
+    /// `records`.
+    spans: Vec<(u64, u32)>,
+    valid_len: u64,
+    tail: TailStatus,
+}
+
+impl StoreReader {
+    /// Reads and scans a store file.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Scans an in-memory store image.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        let (superblock, records, valid_len, tail) = scan(bytes)?;
+        let spans = records.iter().map(|(_, s)| (s.offset, s.len)).collect();
+        Ok(Self {
+            superblock,
+            records: records.into_iter().map(|(r, _)| r).collect(),
+            spans,
+            valid_len,
+            tail,
+        })
+    }
+
+    /// The file's superblock.
+    pub fn superblock(&self) -> &Superblock {
+        &self.superblock
+    }
+
+    /// Every intact record, in append order.
+    pub fn records(&self) -> &[StoreRecord] {
+        &self.records
+    }
+
+    /// `(header offset, payload length)` of record `i` in the file.
+    pub fn record_span(&self, i: usize) -> (u64, u32) {
+        self.spans[i]
+    }
+
+    /// Bytes of intact data (magic + superblock + whole records).
+    pub fn valid_len(&self) -> u64 {
+        self.valid_len
+    }
+
+    /// Whether the file ended cleanly or mid-record.
+    pub fn tail(&self) -> TailStatus {
+        self.tail
+    }
+
+    /// `true` when compaction has dropped leading deltas — replay from
+    /// the origin is no longer possible and a restore must seed from
+    /// the newest checkpoint.
+    pub fn is_compacted(&self) -> bool {
+        self.superblock.compactions > 0
+    }
+
+    /// The highest epoch stamped on any intact record — the newest
+    /// consistent epoch a restore can reach.
+    pub fn newest_epoch(&self) -> Option<u64> {
+        self.records.iter().map(StoreRecord::epoch).max()
+    }
+
+    /// Index of the newest checkpoint record, if any (ties broken by
+    /// position: the latest-written wins).
+    pub fn newest_checkpoint(&self) -> Option<usize> {
+        self.records
+            .iter()
+            .rposition(|r| matches!(r, StoreRecord::Checkpoint(_)))
+    }
+}
+
+/// Appends records to a store file; recovers torn tails on open and
+/// compacts when over budget.
+pub struct StoreWriter {
+    file: File,
+    path: PathBuf,
+    superblock: Superblock,
+    opts: StoreOptions,
+    /// Current valid length == append position.
+    len: u64,
+    /// Offset right past the superblock frame (reset target).
+    data_start: u64,
+    /// Compaction index: `(offset, is_checkpoint, source)` per record.
+    index: Vec<(u64, bool, u64)>,
+    /// Cumulative per-source delta seq floors: the highest delta seq
+    /// ever journaled per source, surviving compaction — this is what
+    /// a checkpoint's `covered` list is built from.
+    floors: BTreeMap<u64, u64>,
+    /// Scratch encode buffer, reused across appends.
+    buf: Vec<u8>,
+}
+
+impl StoreWriter {
+    /// Creates a new store file (truncating any existing one) headed
+    /// by `superblock`.
+    pub fn create(
+        path: impl AsRef<Path>,
+        superblock: Superblock,
+        opts: StoreOptions,
+    ) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&STORE_MAGIC);
+        frame_into_buf(&superblock, &mut buf);
+        file.write_all(&buf)?;
+        let len = buf.len() as u64;
+        Ok(Self {
+            file,
+            path,
+            superblock,
+            opts,
+            len,
+            data_start: len,
+            index: Vec::new(),
+            floors: BTreeMap::new(),
+            buf,
+        })
+    }
+
+    /// Opens an existing store file for appending: scans it, truncates
+    /// any torn tail back to the last intact record boundary, and
+    /// rebuilds the compaction index and per-source floors (from both
+    /// the surviving deltas and any checkpoint coverage, so floors are
+    /// cumulative across compactions). Returns the tail verdict the
+    /// scan found, already healed.
+    pub fn open(
+        path: impl AsRef<Path>,
+        opts: StoreOptions,
+    ) -> Result<(Self, TailStatus), StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let bytes = std::fs::read(&path)?;
+        let (superblock, records, valid_len, tail) = scan(&bytes)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        if valid_len < bytes.len() as u64 {
+            file.set_len(valid_len)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(valid_len))?;
+        let data_start = {
+            // Magic + the superblock frame.
+            let sb_len = frame_at(&bytes, STORE_MAGIC.len() as u64)
+                .ok()
+                .flatten()
+                .map(|(_, end)| end)
+                .ok_or(StoreError::CorruptSuperblock)?;
+            sb_len
+        };
+        let mut index = Vec::with_capacity(records.len());
+        let mut floors: BTreeMap<u64, u64> = BTreeMap::new();
+        for (rec, span) in &records {
+            match rec {
+                StoreRecord::Delta { batch, .. } => {
+                    let f = floors.entry(batch.source).or_insert(0);
+                    *f = (*f).max(batch.seq);
+                    index.push((span.offset, false, batch.source));
+                }
+                StoreRecord::Checkpoint(c) => {
+                    for &(src, seq) in &c.covered {
+                        let f = floors.entry(src).or_insert(0);
+                        *f = (*f).max(seq);
+                    }
+                    index.push((span.offset, true, c.source));
+                }
+            }
+        }
+        Ok((
+            Self {
+                file,
+                path,
+                superblock,
+                opts,
+                len: valid_len,
+                data_start,
+                index,
+                floors,
+                buf: Vec::new(),
+            },
+            tail,
+        ))
+    }
+
+    /// The file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The superblock (its `compactions` count reflects rewrites done
+    /// by this writer).
+    pub fn superblock(&self) -> &Superblock {
+        &self.superblock
+    }
+
+    /// Current file length (== next record's offset).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` when the file holds no records yet.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Offset of the first record (right past the superblock).
+    pub fn data_start(&self) -> u64 {
+        self.data_start
+    }
+
+    /// The cumulative per-source delta seq floors — what a checkpoint
+    /// appended *now* covers.
+    pub fn delta_floors(&self) -> &BTreeMap<u64, u64> {
+        &self.floors
+    }
+
+    /// Appends one record (buffered single `write_all`, so a crash can
+    /// only tear this record, never an earlier one), then compacts if
+    /// the budget allows and demands it.
+    pub fn append(&mut self, record: &StoreRecord) -> Result<AppendInfo, StoreError> {
+        let offset = self.len;
+        self.buf.clear();
+        record.encode_into(&mut self.buf);
+        if self.buf.len() > MAX_PAYLOAD {
+            return Err(StoreError::RecordTooLarge {
+                len: self.buf.len(),
+                max: MAX_PAYLOAD,
+            });
+        }
+        let mut framed = Vec::with_capacity(RECORD_HEADER + self.buf.len());
+        framed.extend_from_slice(&(self.buf.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&crc32(&self.buf).to_le_bytes());
+        framed.extend_from_slice(&self.buf);
+        self.file.write_all(&framed)?;
+        if self.opts.fsync {
+            self.file.sync_data()?;
+        }
+        self.len += framed.len() as u64;
+        match record {
+            StoreRecord::Delta { batch, .. } => {
+                let f = self.floors.entry(batch.source).or_insert(0);
+                *f = (*f).max(batch.seq);
+                self.index.push((offset, false, batch.source));
+            }
+            StoreRecord::Checkpoint(c) => {
+                for &(src, seq) in &c.covered {
+                    let f = self.floors.entry(src).or_insert(0);
+                    *f = (*f).max(seq);
+                }
+                self.index.push((offset, true, c.source));
+            }
+        }
+        let compacted = self.maybe_compact()?;
+        Ok(AppendInfo {
+            bytes: framed.len() as u64,
+            compacted,
+        })
+    }
+
+    /// Flushes file data to stable storage.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Truncates the log back to an empty record section (superblock
+    /// kept). Spill queues use this once fully drained, so a spill
+    /// file never grows without bound across overload episodes.
+    pub fn reset(&mut self) -> Result<(), StoreError> {
+        self.file.set_len(self.data_start)?;
+        self.file.seek(SeekFrom::Start(self.data_start))?;
+        self.file.sync_data()?;
+        self.len = self.data_start;
+        self.index.clear();
+        // Floors survive: they describe what was ever journaled, and a
+        // reset only happens once that data reached its destination.
+        Ok(())
+    }
+
+    fn maybe_compact(&mut self) -> Result<bool, StoreError> {
+        match self.opts.max_bytes {
+            Some(max) if self.len > max => self.compact(),
+            _ => Ok(false),
+        }
+    }
+
+    /// Rewrites the log keeping only the newest checkpoint per source
+    /// plus every record written after the globally newest checkpoint.
+    /// No checkpoint → nothing is safely droppable → no-op. Returns
+    /// whether a rewrite happened.
+    pub fn compact(&mut self) -> Result<bool, StoreError> {
+        // Newest checkpoint per source, and the globally newest one.
+        let global = match self.index.iter().rposition(|&(_, ck, _)| ck) {
+            Some(i) => i,
+            None => return Ok(false),
+        };
+        let mut keep = vec![false; self.index.len()];
+        let mut seen_sources = std::collections::BTreeSet::new();
+        for i in (0..self.index.len()).rev() {
+            let (_, is_ckpt, source) = self.index[i];
+            if i > global || (is_ckpt && seen_sources.insert(source)) {
+                keep[i] = true;
+            }
+        }
+        keep[global] = true;
+        if keep.iter().all(|&k| k) {
+            return Ok(false); // nothing to drop
+        }
+
+        // Re-read the file and copy kept records' raw frames verbatim
+        // (their CRCs are already computed) into a tmp file, then
+        // atomically swap it in.
+        let bytes = {
+            let mut v = Vec::with_capacity(self.len as usize);
+            self.file.seek(SeekFrom::Start(0))?;
+            self.file.read_to_end(&mut v)?;
+            v.truncate(self.len as usize);
+            v
+        };
+        let mut sb = self.superblock.clone();
+        sb.compactions += 1;
+        let mut out = Vec::with_capacity(bytes.len() / 2);
+        out.extend_from_slice(&STORE_MAGIC);
+        frame_into_buf(&sb, &mut out);
+        let new_data_start = out.len() as u64;
+        let mut new_index = Vec::new();
+        for (i, &(offset, is_ckpt, source)) in self.index.iter().enumerate() {
+            if !keep[i] {
+                continue;
+            }
+            let off = offset as usize;
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+            new_index.push((out.len() as u64, is_ckpt, source));
+            out.extend_from_slice(&bytes[off..off + RECORD_HEADER + len]);
+        }
+
+        let tmp = self.path.with_extension("compact-tmp");
+        {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            f.write_all(&out)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // The old fd points at the unlinked inode; reopen the new file
+        // positioned at its end.
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        self.file = file;
+        self.superblock = sb;
+        self.len = out.len() as u64;
+        self.data_start = new_data_start;
+        self.index = new_index;
+        Ok(true)
+    }
+}
+
+/// Appends `[len][crc][payload]` for one encodable value.
+fn frame_into_buf(value: &impl WireEncode, out: &mut Vec<u8>) {
+    let payload = value.encode();
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+}
+
+/// Convenience guard: opens a reader and checks the superblock kind.
+pub fn open_kind(path: impl AsRef<Path>, expected: StoreKind) -> Result<StoreReader, StoreError> {
+    let reader = StoreReader::open(path)?;
+    let found = reader.superblock().kind;
+    if found != expected {
+        return Err(StoreError::WrongKind { expected, found });
+    }
+    Ok(reader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pint_core::{Digest, DigestReport};
+    use pint_wire::store::CheckpointRecord;
+    use pint_wire::DigestBatch;
+
+    fn delta(source: u64, seq: u64, n: usize) -> StoreRecord {
+        let reports = (0..n as u64)
+            .map(|i| {
+                let mut d = Digest::new(1);
+                d.set(0, seq.wrapping_mul(1_000) + i);
+                DigestReport::new(i, 100 + i, d, 4, seq * 10 + i)
+            })
+            .collect();
+        StoreRecord::Delta {
+            epoch: seq,
+            batch: DigestBatch {
+                source,
+                seq,
+                reports,
+                trace: None,
+            },
+        }
+    }
+
+    fn checkpoint(source: u64, epoch: u64, covered: Vec<(u64, u64)>) -> StoreRecord {
+        StoreRecord::Checkpoint(CheckpointRecord {
+            source,
+            epoch,
+            covered,
+            payload: vec![0xC0; 64],
+        })
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pint-store-log-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let path = tmp("roundtrip");
+        let sb = Superblock::new(StoreKind::Collector, 7, 1);
+        let mut w = StoreWriter::create(&path, sb.clone(), StoreOptions::default()).unwrap();
+        let recs = vec![
+            delta(0, 1, 3),
+            checkpoint(0, 1, vec![(0, 1)]),
+            delta(0, 2, 2),
+        ];
+        for r in &recs {
+            let info = w.append(r).unwrap();
+            assert!(info.bytes > RECORD_HEADER as u64);
+            assert!(!info.compacted);
+        }
+        assert_eq!(w.delta_floors().get(&0), Some(&2));
+        drop(w);
+
+        let r = StoreReader::open(&path).unwrap();
+        assert_eq!(r.superblock(), &sb);
+        assert_eq!(r.records(), &recs[..]);
+        assert!(r.tail().is_clean());
+        assert!(!r.is_compacted());
+        assert_eq!(r.newest_epoch(), Some(2));
+        assert_eq!(r.newest_checkpoint(), Some(1));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_healed_on_open() {
+        let path = tmp("torn");
+        let mut w = StoreWriter::create(
+            &path,
+            Superblock::new(StoreKind::Collector, 1, 0),
+            StoreOptions::default(),
+        )
+        .unwrap();
+        w.append(&delta(0, 1, 2)).unwrap();
+        let boundary = w.len();
+        w.append(&delta(0, 2, 2)).unwrap();
+        drop(w);
+
+        // Tear the last record mid-payload, as a crash mid-write would.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let r = StoreReader::open(&path).unwrap();
+        assert_eq!(r.records().len(), 1);
+        assert_eq!(
+            r.tail(),
+            TailStatus::Torn {
+                offset: boundary,
+                reason: TornReason::TruncatedPayload,
+            }
+        );
+        assert_eq!(r.valid_len(), boundary);
+
+        // Reopen for writing: the tear is truncated away and appends
+        // land on the healed boundary.
+        let (mut w, tail) = StoreWriter::open(&path, StoreOptions::default()).unwrap();
+        assert!(!tail.is_clean());
+        assert_eq!(w.len(), boundary);
+        assert_eq!(w.delta_floors().get(&0), Some(&1), "torn delta not counted");
+        w.append(&delta(0, 2, 2)).unwrap();
+        drop(w);
+        let r = StoreReader::open(&path).unwrap();
+        assert_eq!(r.records().len(), 2);
+        assert!(r.tail().is_clean());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flips_stop_the_scan_at_the_damaged_record() {
+        let path = tmp("flip");
+        let mut w = StoreWriter::create(
+            &path,
+            Superblock::new(StoreKind::Collector, 1, 0),
+            StoreOptions::default(),
+        )
+        .unwrap();
+        w.append(&delta(0, 1, 2)).unwrap();
+        let damaged_at = w.len();
+        w.append(&delta(0, 2, 2)).unwrap();
+        w.append(&delta(0, 3, 2)).unwrap();
+        drop(w);
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let i = damaged_at as usize + RECORD_HEADER + 1; // inside record 2's payload
+        bytes[i] ^= 0xFF;
+        let r = StoreReader::from_bytes(&bytes).unwrap();
+        // Records after the damage are unreachable (framing is
+        // sequential), but the prefix survives.
+        assert_eq!(r.records().len(), 1);
+        assert_eq!(
+            r.tail(),
+            TailStatus::Torn {
+                offset: damaged_at,
+                reason: TornReason::CrcMismatch,
+            }
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn not_a_store_and_corrupt_superblock_are_hard_errors() {
+        assert!(matches!(
+            StoreReader::from_bytes(b"hello"),
+            Err(StoreError::NotAStore)
+        ));
+        assert!(matches!(
+            StoreReader::from_bytes(b"PINTSTOR"),
+            Err(StoreError::CorruptSuperblock)
+        ));
+        // A valid file with a flipped superblock byte.
+        let path = tmp("sbflip");
+        let w = StoreWriter::create(
+            &path,
+            Superblock::new(StoreKind::Spill, 1, 0),
+            StoreOptions::default(),
+        )
+        .unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            StoreReader::from_bytes(&bytes),
+            Err(StoreError::CorruptSuperblock)
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let path = tmp("kind");
+        drop(
+            StoreWriter::create(
+                &path,
+                Superblock::new(StoreKind::Spill, 1, 0),
+                StoreOptions::default(),
+            )
+            .unwrap(),
+        );
+        assert!(matches!(
+            open_kind(&path, StoreKind::Collector),
+            Err(StoreError::WrongKind { .. })
+        ));
+        assert!(open_kind(&path, StoreKind::Spill).is_ok());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_keeps_newest_checkpoint_and_tail_and_bumps_the_count() {
+        let path = tmp("compact");
+        let opts = StoreOptions {
+            max_bytes: Some(700),
+            fsync: false,
+        };
+        let mut w =
+            StoreWriter::create(&path, Superblock::new(StoreKind::Collector, 1, 0), opts).unwrap();
+        let mut compactions = 0;
+        for seq in 1..=20u64 {
+            if w.append(&delta(0, seq, 4)).unwrap().compacted {
+                compactions += 1;
+            }
+            if seq % 5 == 0 {
+                let covered = vec![(0u64, seq)];
+                if w.append(&checkpoint(0, seq, covered)).unwrap().compacted {
+                    compactions += 1;
+                }
+            }
+        }
+        assert!(compactions > 0, "budget forced at least one rewrite");
+        // Floors are cumulative: every delta ever written counts.
+        assert_eq!(w.delta_floors().get(&0), Some(&20));
+        drop(w);
+
+        let r = StoreReader::open(&path).unwrap();
+        assert!(r.is_compacted());
+        assert_eq!(r.superblock().compactions, compactions);
+        assert!(r.tail().is_clean());
+        // The newest checkpoint survived, with the tail after it.
+        let ck = r.newest_checkpoint().expect("checkpoint kept");
+        match &r.records()[ck] {
+            StoreRecord::Checkpoint(c) => assert_eq!(c.epoch, 20),
+            _ => unreachable!(),
+        }
+        let tail_epochs: Vec<u64> = r.records()[ck + 1..]
+            .iter()
+            .map(StoreRecord::epoch)
+            .collect();
+        assert!(tail_epochs.is_empty() || tail_epochs.iter().all(|&e| e > 15));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn a_checkpoint_free_log_is_never_compacted() {
+        let path = tmp("nockpt");
+        let opts = StoreOptions {
+            max_bytes: Some(200),
+            fsync: false,
+        };
+        let mut w =
+            StoreWriter::create(&path, Superblock::new(StoreKind::Spill, 1, 0), opts).unwrap();
+        for seq in 1..=50u64 {
+            assert!(!w.append(&delta(0, seq, 2)).unwrap().compacted);
+        }
+        drop(w);
+        let r = StoreReader::open(&path).unwrap();
+        assert_eq!(r.records().len(), 50, "deltas are never silently dropped");
+        assert!(!r.is_compacted());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reset_empties_the_record_section() {
+        let path = tmp("reset");
+        let mut w = StoreWriter::create(
+            &path,
+            Superblock::new(StoreKind::Spill, 1, 0),
+            StoreOptions::default(),
+        )
+        .unwrap();
+        w.append(&delta(3, 1, 2)).unwrap();
+        w.append(&delta(3, 2, 2)).unwrap();
+        w.reset().unwrap();
+        assert!(w.is_empty());
+        w.append(&delta(3, 3, 2)).unwrap();
+        drop(w);
+        let r = StoreReader::open(&path).unwrap();
+        assert_eq!(r.records().len(), 1);
+        assert_eq!(r.records()[0].epoch(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -16,6 +16,7 @@ use crate::frame::{frame_into, FrameType};
 use crate::rw::{WireReader, WireWriter};
 use crate::{WireDecode, WireEncode};
 use pint_core::DigestReport;
+use std::collections::BTreeSet;
 
 /// Upper bound on reports in one batch. A batch is one ingest unit,
 /// not a bulk transfer: the bound keeps a hostile count from driving
@@ -132,6 +133,91 @@ impl WireDecode for DigestBatch {
             reports,
             trace,
         })
+    }
+}
+
+/// Out-of-order sequence numbers remembered per source before a
+/// [`SourceDedup`] window compacts by abandoning its oldest gap.
+pub const DEDUP_WINDOW: usize = 1_024;
+
+/// Exact per-source sequence dedup that tolerates *permanent* gaps —
+/// the receiver side of the at-least-once batch protocol.
+///
+/// A forwarder under overload sheds batches, so a receiver must never
+/// wait for a sequence number that will never arrive: freshness is
+/// "not at or below the contiguous floor, and not among the
+/// out-of-order seqs already seen". The out-of-order set is bounded;
+/// past [`DEDUP_WINDOW`] entries the floor advances over the oldest
+/// gap (an abandoned seq that does arrive later is then reported as a
+/// duplicate — the conservative side: accounting stays exact, data is
+/// never double-applied).
+///
+/// This lives in `pint-wire` because every consumer of the protocol
+/// needs it: the fleet's `DigestServer`/`FleetAggregator` deduplicate
+/// live streams, and `pint-store` restore paths replay persisted
+/// batches through the same window so a crash mid-batch (or a
+/// checkpoint overlapping the delta chain) never double-applies.
+#[derive(Debug, Default, Clone)]
+pub struct SourceDedup {
+    /// Every seq `<= contiguous` has been seen (or abandoned).
+    contiguous: u64,
+    /// Seen seqs above the floor (out-of-order arrivals).
+    above: BTreeSet<u64>,
+}
+
+impl SourceDedup {
+    /// An empty window (no sequence numbers seen).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one arrival; `true` if this `(source, seq)` is fresh.
+    pub fn observe(&mut self, seq: u64) -> bool {
+        if seq <= self.contiguous || self.above.contains(&seq) {
+            return false;
+        }
+        self.above.insert(seq);
+        while self.above.remove(&(self.contiguous + 1)) {
+            self.contiguous += 1;
+        }
+        while self.above.len() > DEDUP_WINDOW {
+            // Abandon the oldest gap: jump the floor to the smallest
+            // out-of-order seq and re-compact.
+            if let Some(&lo) = self.above.iter().next() {
+                self.contiguous = lo;
+                self.above.remove(&lo);
+                while self.above.remove(&(self.contiguous + 1)) {
+                    self.contiguous += 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// The contiguous floor: every seq at or below it has been seen or
+    /// abandoned.
+    pub fn floor(&self) -> u64 {
+        self.contiguous
+    }
+
+    /// Out-of-order seqs currently remembered above the floor.
+    pub fn pending_above(&self) -> usize {
+        self.above.len()
+    }
+
+    /// Raises the floor to at least `seq` (no-op when already past
+    /// it), compacting any remembered seqs the new floor swallows.
+    /// Restore paths use this to prime the window from a checkpoint's
+    /// coverage so deltas the checkpoint subsumes dedup as duplicates.
+    pub fn advance_floor(&mut self, seq: u64) {
+        if seq <= self.contiguous {
+            return;
+        }
+        self.contiguous = seq;
+        self.above = self.above.split_off(&(seq + 1));
+        while self.above.remove(&(self.contiguous + 1)) {
+            self.contiguous += 1;
+        }
     }
 }
 
@@ -308,6 +394,61 @@ mod tests {
             DigestBatch::decode(&bytes),
             Err(WireError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn dedup_is_exact_in_order() {
+        let mut d = SourceDedup::new();
+        for seq in 1..=100u64 {
+            assert!(d.observe(seq), "first sight of {seq}");
+            assert!(!d.observe(seq), "immediate dup of {seq}");
+        }
+        assert_eq!(d.pending_above(), 0, "in-order stream fully compacts");
+        assert_eq!(d.floor(), 100);
+    }
+
+    #[test]
+    fn dedup_tolerates_gaps_and_reorders() {
+        let mut d = SourceDedup::new();
+        assert!(d.observe(2), "gap: 1 was shed");
+        assert!(d.observe(4));
+        assert!(!d.observe(2), "reordered dup");
+        assert!(d.observe(3), "late arrival in the gap is fresh");
+        assert!(!d.observe(4));
+        assert!(d.observe(1), "the shed seq arriving after all is fresh");
+        assert_eq!(d.floor(), 4, "gap closed: everything compacts");
+    }
+
+    #[test]
+    fn dedup_window_compacts_by_abandoning_oldest_gap() {
+        let mut d = SourceDedup::new();
+        // Seq 1 never arrives; fill far past the window.
+        for seq in 2..(DEDUP_WINDOW as u64 + 100) {
+            assert!(d.observe(seq));
+        }
+        assert!(
+            d.pending_above() <= DEDUP_WINDOW,
+            "window bounded: {} entries",
+            d.pending_above()
+        );
+        // The abandoned seq is now conservatively a duplicate.
+        assert!(!d.observe(1), "abandoned gap reports duplicate");
+    }
+
+    #[test]
+    fn dedup_floor_priming_swallows_covered_seqs() {
+        let mut d = SourceDedup::new();
+        assert!(d.observe(12), "out-of-order arrival above the floor");
+        d.advance_floor(10);
+        assert_eq!(d.floor(), 10);
+        assert!(!d.observe(3), "covered by the primed floor");
+        assert!(!d.observe(10), "the floor itself is covered");
+        assert!(!d.observe(12), "remembered arrival survives priming");
+        assert!(d.observe(11), "first uncovered seq is fresh");
+        assert_eq!(d.floor(), 12, "11 bridges the gap to remembered 12");
+        // Priming below the current floor is a no-op.
+        d.advance_floor(1);
+        assert_eq!(d.floor(), 12);
     }
 
     #[test]

@@ -36,7 +36,7 @@
 //!
 //! `DigestBatch`/`BatchAck` together form the edge-ingest protocol:
 //! sequence-numbered at-least-once delivery with receiver-side dedup
-//! (see the [`batch`] module docs). [`FaultInjector`] wraps a sender
+//! ([`SourceDedup`]; see the [`batch`] module docs). [`FaultInjector`] wraps a sender
 //! with deterministic, seeded misbehavior — drops, duplicates,
 //! reorders, corruption, truncation, stalls — for soak-testing
 //! receivers against hostile peers.
@@ -50,6 +50,12 @@
 //! A decoder receiving a frame with an unknown higher `version` rejects
 //! it with [`WireError::UnsupportedVersion`] — payload layouts may
 //! change between versions, so there is no partial forward parsing.
+//!
+//! Beyond socket frames, the [`store`] module defines the *on-disk*
+//! codecs of `pint-store`'s durable logs: a versioned [`Superblock`]
+//! and CRC-checksummed [`StoreRecord`]s (checkpoint/delta chains). The
+//! same hostile-input rules apply — a store file is just bytes that
+//! survived a crash, which is its own kind of adversary.
 //!
 //! ## Using the codec
 //!
@@ -89,9 +95,12 @@ pub mod fault;
 mod frame;
 pub mod metrics;
 mod rw;
+pub mod store;
 pub mod trace;
 
-pub use batch::{AckStatus, BatchAck, DigestBatch, TraceContext, MAX_BATCH_REPORTS};
+pub use batch::{
+    AckStatus, BatchAck, DigestBatch, SourceDedup, TraceContext, DEDUP_WINDOW, MAX_BATCH_REPORTS,
+};
 pub use error::WireError;
 pub use fault::{FaultConfig, FaultInjector, FaultStats};
 pub use frame::{
@@ -100,6 +109,9 @@ pub use frame::{
 };
 pub use metrics::{MetricsMsg, MetricsReport, MetricsRequest, MAX_METRIC_NAME};
 pub use rw::{WireReader, WireWriter};
+pub use store::{
+    crc32, CheckpointRecord, StoreKind, StoreRecord, Superblock, STORE_MAGIC, STORE_VERSION,
+};
 pub use trace::{TraceMsg, TraceReport, TraceRequest, MAX_TRACE_EVENTS};
 
 /// Serialize into the PINT wire format by appending to a caller-owned

@@ -1,0 +1,398 @@
+//! Codecs for the durable store (`pint-store`): the versioned
+//! superblock that heads every log file and the snapshot/delta records
+//! the log holds.
+//!
+//! ## On-disk layout (store version 1)
+//!
+//! A store file is a superblock followed by an append-only run of
+//! checksummed records:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic        "PINTSTOR"
+//! 8       4     length of the superblock payload, u32 little-endian
+//! 12      4     CRC-32 (IEEE) of the superblock payload
+//! 16      n     superblock payload (version byte first — see below)
+//! ...           records, each: [u32 LE length][u32 LE CRC][payload]
+//! ```
+//!
+//! The length/CRC framing is the *file* layer and lives in
+//! `pint-store`; this module owns the payload codecs, so the store
+//! shares `pint-wire`'s hostile-input discipline: counts are validated
+//! against remaining bytes before any allocation, varints are bounded,
+//! and decoding never panics. A torn final record (a crash mid-write)
+//! is detected by the CRC and truncated on open; a superblock whose
+//! version byte is newer than [`STORE_VERSION`] is rejected whole with
+//! [`WireError::UnsupportedVersion`] — record layouts may change
+//! between versions, so there is no partial forward parsing.
+//!
+//! Record payloads come in two kinds:
+//!
+//! * [`StoreRecord::Delta`] — one applied [`DigestBatch`], stamped with
+//!   the epoch it was applied under. Replaying deltas through the same
+//!   recorder factory rebuilds recorder state exactly.
+//! * [`StoreRecord::Checkpoint`] — an opaque full-state payload (a
+//!   collector's encoded `CollectorSnapshot`, a fleet tier's encoded
+//!   `SnapshotFrame`) plus the per-source sequence floors it covers,
+//!   so a restore that seeds from the checkpoint can prime its dedup
+//!   state and never double-apply a delta the checkpoint already
+//!   contains. The payload is opaque *here* because the snapshot
+//!   codecs live above this crate (`pint-collector`); the store only
+//!   needs to carry and checksum them.
+
+use crate::batch::DigestBatch;
+use crate::error::WireError;
+use crate::rw::{WireReader, WireWriter};
+use crate::{WireDecode, WireEncode};
+
+/// Magic heading every store file.
+pub const STORE_MAGIC: [u8; 8] = *b"PINTSTOR";
+
+/// Highest store-format version this build reads and writes.
+pub const STORE_VERSION: u8 = 1;
+
+/// What a store log holds — informational, so tooling can tell a
+/// collector journal from a forwarder spill without decoding records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// A collector's journal: checkpoints + applied-delta chain.
+    Collector,
+    /// A fleet aggregator's journal: applied snapshot frames + digest
+    /// batches.
+    Fleet,
+    /// A forwarder's overflow spill: delta batches only.
+    Spill,
+}
+
+impl StoreKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            StoreKind::Collector => 0,
+            StoreKind::Fleet => 1,
+            StoreKind::Spill => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(StoreKind::Collector),
+            1 => Ok(StoreKind::Fleet),
+            2 => Ok(StoreKind::Spill),
+            _ => Err(WireError::Invalid("unknown store kind")),
+        }
+    }
+}
+
+/// The versioned header payload of a store file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Superblock {
+    /// What this log holds.
+    pub kind: StoreKind,
+    /// Who wrote it (collector id / forwarder source) — informational.
+    pub source: u64,
+    /// Creation timestamp (ns on the writer's clock).
+    pub created_ns: u64,
+    /// Times this log has been rewritten by compaction. Zero means the
+    /// delta chain is complete from the log's origin, so a restore can
+    /// replay it end-to-end for state byte-identical to a process that
+    /// never crashed; non-zero means leading deltas were dropped in
+    /// favor of a checkpoint.
+    pub compactions: u64,
+}
+
+impl Superblock {
+    /// A fresh (never-compacted) superblock.
+    pub fn new(kind: StoreKind, source: u64, created_ns: u64) -> Self {
+        Self {
+            kind,
+            source,
+            created_ns,
+            compactions: 0,
+        }
+    }
+}
+
+impl WireEncode for Superblock {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = WireWriter::new(out);
+        w.put_u8(STORE_VERSION);
+        w.put_u8(self.kind.to_byte());
+        w.put_varint(self.source);
+        w.put_varint(self.created_ns);
+        w.put_varint(self.compactions);
+    }
+}
+
+impl WireDecode for Superblock {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let version = r.get_u8()?;
+        if version > STORE_VERSION {
+            return Err(WireError::UnsupportedVersion {
+                found: version,
+                supported: STORE_VERSION,
+            });
+        }
+        let kind = StoreKind::from_byte(r.get_u8()?)?;
+        let source = r.get_varint()?;
+        let created_ns = r.get_varint()?;
+        let compactions = r.get_varint()?;
+        Ok(Self {
+            kind,
+            source,
+            created_ns,
+            compactions,
+        })
+    }
+}
+
+/// A full-state checkpoint: an opaque snapshot payload plus the
+/// per-source delta coverage it subsumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointRecord {
+    /// Whose state this is (collector id for fleet journals, 0 for a
+    /// collector's own journal).
+    pub source: u64,
+    /// The epoch the checkpoint was taken at.
+    pub epoch: u64,
+    /// `(delta source, highest seq)` pairs this checkpoint covers: a
+    /// restore seeding from this checkpoint primes its
+    /// [`SourceDedup`](crate::SourceDedup) floors with these, so
+    /// deltas the snapshot already contains are recognized as
+    /// duplicates instead of double-applied.
+    pub covered: Vec<(u64, u64)>,
+    /// The encoded snapshot (opaque at this layer; the tier that wrote
+    /// it owns the codec).
+    pub payload: Vec<u8>,
+}
+
+/// Record kind bytes (first payload byte of every record).
+const RECORD_DELTA: u8 = 1;
+const RECORD_CHECKPOINT: u8 = 2;
+
+/// One log record: a delta batch or a full-state checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreRecord {
+    /// One applied digest batch, stamped with its epoch.
+    Delta {
+        /// Epoch index the batch was applied under.
+        epoch: u64,
+        /// The batch itself (source, seq, reports).
+        batch: DigestBatch,
+    },
+    /// A full-state checkpoint.
+    Checkpoint(CheckpointRecord),
+}
+
+impl StoreRecord {
+    /// The epoch stamp of this record.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            StoreRecord::Delta { epoch, .. } => *epoch,
+            StoreRecord::Checkpoint(c) => c.epoch,
+        }
+    }
+}
+
+impl WireEncode for StoreRecord {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            StoreRecord::Delta { epoch, batch } => {
+                WireWriter::new(out).put_u8(RECORD_DELTA);
+                WireWriter::new(out).put_varint(*epoch);
+                batch.encode_into(out);
+            }
+            StoreRecord::Checkpoint(c) => {
+                let mut w = WireWriter::new(out);
+                w.put_u8(RECORD_CHECKPOINT);
+                w.put_varint(c.source);
+                w.put_varint(c.epoch);
+                w.put_varint(c.covered.len() as u64);
+                for &(src, seq) in &c.covered {
+                    w.put_varint(src);
+                    w.put_varint(seq);
+                }
+                w.put_varint(c.payload.len() as u64);
+                w.put_bytes(&c.payload);
+            }
+        }
+    }
+}
+
+impl WireDecode for StoreRecord {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            RECORD_DELTA => {
+                let epoch = r.get_varint()?;
+                let batch = DigestBatch::decode_from(r)?;
+                Ok(StoreRecord::Delta { epoch, batch })
+            }
+            RECORD_CHECKPOINT => {
+                let source = r.get_varint()?;
+                let epoch = r.get_varint()?;
+                // Each covered pair is at least 2 bytes; reject counts
+                // the remaining input cannot back before allocating.
+                let n = r.get_count(2)?;
+                let mut covered = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let src = r.get_varint()?;
+                    let seq = r.get_varint()?;
+                    covered.push((src, seq));
+                }
+                let len = r.get_count(1)?;
+                let payload = r.get_bytes(len)?.to_vec();
+                Ok(StoreRecord::Checkpoint(CheckpointRecord {
+                    source,
+                    epoch,
+                    covered,
+                    payload,
+                }))
+            }
+            _ => Err(WireError::Invalid("unknown store record kind")),
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the
+/// per-record checksum of the store layer. Table-driven; the table is
+/// built at compile time, so the crate stays dependency-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = build_crc_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pint_core::{Digest, DigestReport};
+
+    fn sample_batch() -> DigestBatch {
+        let mut d = Digest::new(2);
+        d.set(0, 0xFEED);
+        DigestBatch {
+            source: 7,
+            seq: 42,
+            reports: vec![
+                DigestReport::new(1, 100, d.clone(), 5, 1_000),
+                DigestReport::new(2, 101, d, 5, 1_001),
+            ],
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn superblock_roundtrips() {
+        let sb = Superblock {
+            kind: StoreKind::Collector,
+            source: 9,
+            created_ns: 1_234_567,
+            compactions: 3,
+        };
+        assert_eq!(Superblock::decode(&sb.encode()).unwrap(), sb);
+    }
+
+    #[test]
+    fn future_version_superblock_is_rejected_whole() {
+        let mut bytes = Superblock::new(StoreKind::Fleet, 1, 2).encode();
+        bytes[0] = STORE_VERSION + 1;
+        assert_eq!(
+            Superblock::decode(&bytes),
+            Err(WireError::UnsupportedVersion {
+                found: STORE_VERSION + 1,
+                supported: STORE_VERSION,
+            })
+        );
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let delta = StoreRecord::Delta {
+            epoch: 5,
+            batch: sample_batch(),
+        };
+        assert_eq!(StoreRecord::decode(&delta.encode()).unwrap(), delta);
+
+        let ckpt = StoreRecord::Checkpoint(CheckpointRecord {
+            source: 3,
+            epoch: 8,
+            covered: vec![(0, 17), (1, 4)],
+            payload: vec![0xAB; 100],
+        });
+        assert_eq!(StoreRecord::decode(&ckpt.encode()).unwrap(), ckpt);
+        assert_eq!(ckpt.epoch(), 8);
+        assert_eq!(delta.epoch(), 5);
+    }
+
+    #[test]
+    fn truncated_and_flipped_records_never_panic() {
+        let good = StoreRecord::Checkpoint(CheckpointRecord {
+            source: 1,
+            epoch: 2,
+            covered: vec![(4, 9)],
+            payload: vec![1, 2, 3],
+        })
+        .encode();
+        for cut in 0..good.len() {
+            let _ = StoreRecord::decode(&good[..cut]); // must not panic
+        }
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0xFF;
+            let _ = StoreRecord::decode(&bad); // must not panic
+        }
+        let delta = StoreRecord::Delta {
+            epoch: 1,
+            batch: sample_batch(),
+        }
+        .encode();
+        for cut in 0..delta.len() {
+            let _ = StoreRecord::decode(&delta[..cut]);
+        }
+    }
+
+    #[test]
+    fn hostile_counts_are_rejected_before_allocation() {
+        // A checkpoint declaring 2^60 covered pairs backed by 4 bytes.
+        let mut bytes = vec![RECORD_CHECKPOINT];
+        {
+            let mut w = WireWriter::new(&mut bytes);
+            w.put_varint(0); // source
+            w.put_varint(0); // epoch
+            w.put_varint(1 << 60); // covered count
+        }
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(matches!(
+            StoreRecord::decode(&bytes),
+            Err(WireError::CountTooLarge { .. })
+        ));
+    }
+}

@@ -16,6 +16,8 @@
 //!   on collectors, fleet views, and over the wire.
 //! * `obs` — self-telemetry: lock-free metrics registry, stage-timing
 //!   histograms, pluggable clocks, text + wire exposition.
+//! * `store` — durable persistence: checksummed append-only logs,
+//!   off-hot-path journaling, crash-consistent restore, digest replay.
 
 pub use pint_collector as collector;
 pub use pint_core as core;
@@ -26,6 +28,7 @@ pub use pint_netsim as netsim;
 pub use pint_obs as obs;
 pub use pint_query as query;
 pub use pint_sketches as sketches;
+pub use pint_store as store;
 pub use pint_traceback as traceback;
 pub use pint_wire as wire;
 
@@ -39,3 +42,7 @@ pub use pint_obs::{
     TraceStage, VirtualClock,
 };
 pub use pint_query::{QueryBackend, QueryPlan, QueryResult, TelemetryQuery, Watermark};
+pub use pint_store::{
+    Journal, JournalConfig, Replayer, SpillQueue, StoreError, StoreOptions, StoreReader,
+    StoreWriter,
+};

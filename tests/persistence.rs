@@ -1,0 +1,463 @@
+//! Durable-store integration: crash-consistent restore, deterministic
+//! replay, and spill persist-and-resume.
+//!
+//! The load-bearing property: a collector that **crashes and restores
+//! from its journal answers every query plan byte-identically to a
+//! twin that never restarted** — same rows, same ordering, same
+//! sketches (coin state included), same watermarks. That holds because
+//! the journal tees applied batches in per-shard FIFO order and replay
+//! re-batches them through the same flow→shard hash, so each shard
+//! re-applies exactly the sequence it originally saw.
+//!
+//! Checkpoint-compacted logs trade that byte-level guarantee for
+//! bounded disk: restore then answers from a checkpoint *overlay*
+//! merged with the replayed tail, which pins aggregate counts but not
+//! sketch structure — the second test pins exactly that contract.
+
+use pint::collector::{Collector, CollectorConfig, RecorderFactory};
+use pint::core::dynamic::{DynamicAggregator, DynamicRecorder};
+use pint::core::{Digest, DigestReport, FlowRecorder};
+use pint::fleet::{
+    DigestForwarder, DigestServer, DigestServerConfig, FleetAggregator, FleetConfig,
+    ForwarderConfig,
+};
+use pint::obs::MetricsRegistry;
+use pint::query::TelemetryQuery;
+use pint::wire::store::{StoreKind, Superblock};
+use pint::wire::WireEncode;
+use pint::{Journal, JournalConfig, SpillQueue, StoreOptions, StoreReader, StoreWriter};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const HOPS: usize = 3;
+
+fn unique_path(tag: &str) -> PathBuf {
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "pint-persist-{tag}-{}-{}",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn codec() -> DynamicAggregator {
+    DynamicAggregator::new(7, 8, 100.0, 1.0e7)
+}
+
+fn factory() -> RecorderFactory {
+    let agg = codec();
+    Arc::new(move |_flow, report: &DigestReport| {
+        Box::new(DynamicRecorder::new_sketched(
+            agg.clone(),
+            usize::from(report.path_len).max(1),
+            96,
+        )) as Box<dyn FlowRecorder>
+    })
+}
+
+/// A deterministic latency workload: `flows` flows, distinct packet
+/// counts and timestamps, generation-offset so successive generations
+/// never collide.
+fn workload(generation: u64, flows: u64) -> Vec<DigestReport> {
+    let agg = codec();
+    let mut out = Vec::new();
+    for flow in 0..flows {
+        let packets = (flow % 5) * 4 + 3;
+        for pid in 0..packets {
+            let mut d = Digest::new(1);
+            for hop in 1..=HOPS {
+                agg.encode_hop(
+                    generation * 1_000_000 + flow * 1_000 + pid,
+                    hop,
+                    300.0 * hop as f64 + (flow % 4) as f64 * 250.0,
+                    &mut d,
+                    0,
+                );
+            }
+            out.push(DigestReport::new(
+                flow,
+                generation * 1_000_000 + flow * 1_000 + pid,
+                d,
+                HOPS as u16,
+                generation * 100_000 + flow * 100 + pid,
+            ));
+        }
+    }
+    out
+}
+
+fn config() -> CollectorConfig {
+    CollectorConfig {
+        shards: 4,
+        batch_size: 32,
+        ..CollectorConfig::default()
+    }
+}
+
+/// Every plan family the query tier answers, for equivalence sweeps.
+fn plans() -> Vec<pint::QueryPlan> {
+    vec![
+        TelemetryQuery::new().plan().unwrap(),
+        TelemetryQuery::new().top_k(3).plan().unwrap(),
+        TelemetryQuery::new().flows(vec![0, 2, 5]).plan().unwrap(),
+        TelemetryQuery::new().stats().plan().unwrap(),
+        TelemetryQuery::new().top_k(4).stats().plan().unwrap(),
+        TelemetryQuery::new().since(150).plan().unwrap(),
+    ]
+}
+
+fn ingest(collector: &Collector, reports: &[DigestReport]) {
+    let mut h = collector.register_producer();
+    for r in reports {
+        h.push(r.clone()).unwrap();
+    }
+    h.flush().unwrap();
+    collector.barrier().unwrap();
+}
+
+/// Appends crash residue — a torn half-written record — to a closed
+/// store file.
+fn tear_tail(path: &PathBuf) {
+    let mut bytes = std::fs::read(path).unwrap();
+    bytes.extend_from_slice(&[0x5A; 13]);
+    std::fs::write(path, &bytes).unwrap();
+}
+
+#[test]
+fn crashed_and_restored_collector_answers_byte_identically_to_a_twin() {
+    let path = unique_path("equiv");
+    let reports = workload(0, 24);
+
+    // The victim: journaling attached, full workload applied, then the
+    // process "dies" (drop drains the journal; the torn tail appended
+    // after simulates a record half-written at the moment of death).
+    {
+        let writer = StoreWriter::create(
+            &path,
+            Superblock::new(StoreKind::Collector, 1, 0),
+            StoreOptions::default(),
+        )
+        .unwrap();
+        let registry = MetricsRegistry::new();
+        let collector = Collector::spawn(config(), factory());
+        collector.attach_store(Journal::spawn(writer, JournalConfig::default(), &registry));
+        ingest(&collector, &reports);
+        collector.flush_store();
+    }
+    tear_tail(&path);
+
+    // The twin: identical pushes, no crash, no store.
+    let twin = Collector::spawn(config(), factory());
+    ingest(&twin, &reports);
+
+    let reader = StoreReader::open(&path).unwrap();
+    assert!(
+        matches!(reader.tail(), pint::store::TailStatus::Torn { .. }),
+        "the crash residue must be detected"
+    );
+    let (restored, report) = Collector::restore(config(), factory(), &reader).unwrap();
+    assert!(
+        !report.from_checkpoint,
+        "uncompacted log replays end-to-end"
+    );
+    assert_eq!(report.digests, reports.len() as u64);
+    assert_eq!(report.duplicates, 0);
+
+    for plan in plans() {
+        let a = restored.query(&plan).unwrap();
+        let b = twin.query(&plan).unwrap();
+        assert_eq!(
+            a.encode(),
+            b.encode(),
+            "restored and never-restarted answers must be byte-identical for {plan:?}"
+        );
+    }
+    assert_eq!(restored.watermark(), twin.watermark());
+    assert_eq!(
+        restored.snapshot().unwrap().ingested,
+        twin.snapshot().unwrap().ingested
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn kill_and_restore_soak_stays_equivalent_across_generations() {
+    let path = unique_path("soak");
+    let twin = Collector::spawn(config(), factory());
+    let registry = MetricsRegistry::new();
+
+    for generation in 0..3u64 {
+        let reports = workload(generation, 16);
+        let collector = if generation == 0 {
+            let writer = StoreWriter::create(
+                &path,
+                Superblock::new(StoreKind::Collector, 1, 0),
+                StoreOptions::default(),
+            )
+            .unwrap();
+            let c = Collector::spawn(config(), factory());
+            c.attach_store(Journal::spawn(writer, JournalConfig::default(), &registry));
+            c
+        } else {
+            // Reopen truncates the torn tail; restore replays what
+            // survived; the fresh journal numbers new deltas above the
+            // persisted per-source floors so generations never collide.
+            let (writer, tail) = StoreWriter::open(&path, StoreOptions::default()).unwrap();
+            assert!(matches!(tail, pint::store::TailStatus::Torn { .. }));
+            let reader = StoreReader::open(&path).unwrap();
+            let (c, report) = Collector::restore(config(), factory(), &reader).unwrap();
+            assert_eq!(report.duplicates, 0, "generation seqs must never collide");
+            c.attach_store(Journal::spawn(writer, JournalConfig::default(), &registry));
+            c
+        };
+        ingest(&collector, &reports);
+        ingest(&twin, &reports);
+        collector.flush_store();
+        drop(collector); // kill
+        tear_tail(&path);
+    }
+
+    let (writer, _tail) = StoreWriter::open(&path, StoreOptions::default()).unwrap();
+    drop(writer); // truncation only
+    let reader = StoreReader::open(&path).unwrap();
+    let (survivor, _) = Collector::restore(config(), factory(), &reader).unwrap();
+    for plan in plans() {
+        assert_eq!(
+            survivor.query(&plan).unwrap().encode(),
+            twin.query(&plan).unwrap().encode(),
+            "after 3 kill/restore cycles, {plan:?} must still match the twin"
+        );
+    }
+    assert_eq!(survivor.watermark(), twin.watermark());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn compacted_restore_resumes_from_checkpoint_with_exact_totals() {
+    let path = unique_path("compact");
+    let phase1 = workload(0, 12);
+    let phase2 = workload(1, 12);
+    {
+        // A tiny size bound forces compaction once a checkpoint exists.
+        let writer = StoreWriter::create(
+            &path,
+            Superblock::new(StoreKind::Collector, 1, 0),
+            StoreOptions {
+                max_bytes: Some(2 << 10),
+                fsync: false,
+            },
+        )
+        .unwrap();
+        let registry = MetricsRegistry::new();
+        let collector = Collector::spawn(config(), factory());
+        collector.attach_store(Journal::spawn(writer, JournalConfig::default(), &registry));
+        ingest(&collector, &phase1);
+        assert!(collector.checkpoint(1).unwrap(), "store attached");
+        ingest(&collector, &phase2);
+        collector.flush_store();
+    }
+
+    let reader = StoreReader::open(&path).unwrap();
+    assert!(
+        reader.is_compacted(),
+        "the size bound must have compacted (len {} records {})",
+        reader.valid_len(),
+        reader.records().len()
+    );
+    let (restored, report) = Collector::restore(config(), factory(), &reader).unwrap();
+    assert!(report.from_checkpoint);
+    assert_eq!(report.epoch, Some(1));
+
+    // The contract for compacted restore: aggregate counts are exact
+    // (checkpoint overlay + replayed tail double-counts nothing).
+    let snap = restored.snapshot().unwrap();
+    let total: u64 = (phase1.len() + phase2.len()) as u64;
+    assert_eq!(snap.total_packets(), total);
+    assert_eq!(snap.num_flows(), 12);
+    assert_eq!(snap.ingested, total);
+    let wm = restored.watermark();
+    let newest = phase2.iter().map(|r| r.ts).max().unwrap();
+    assert_eq!(wm.newest_applied, newest);
+
+    // Reads keep working through the overlay, per plan family.
+    for plan in plans() {
+        restored.query(&plan).unwrap();
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn fleet_aggregator_journals_and_restores_with_primed_dedup() {
+    use pint::wire::DigestBatch;
+
+    let path = unique_path("fleet");
+    let snapshot_of = |collector: &Collector, id: u64, epoch: u64| {
+        collector.export_snapshot_frame(id, epoch).unwrap()
+    };
+    let c1 = Collector::spawn(config(), factory());
+    ingest(&c1, &workload(0, 8));
+    let c2 = Collector::spawn(config(), factory());
+    ingest(&c2, &workload(1, 6));
+
+    let batch = DigestBatch {
+        source: 7,
+        seq: 1,
+        reports: workload(2, 2),
+        trace: None,
+    };
+    let batch_payload = {
+        let mut v = Vec::new();
+        batch.encode_into(&mut v);
+        v
+    };
+
+    {
+        let writer = StoreWriter::create(
+            &path,
+            Superblock::new(StoreKind::Fleet, 0, 0),
+            StoreOptions::default(),
+        )
+        .unwrap();
+        let registry = MetricsRegistry::new();
+        let mut agg = FleetAggregator::new(FleetConfig::default());
+        agg.attach_store(Journal::spawn(writer, JournalConfig::default(), &registry));
+        agg.ingest_frame(&snapshot_of(&c1, 1, 5)).unwrap();
+        agg.ingest_frame(&snapshot_of(&c2, 2, 3)).unwrap();
+        // A newer epoch for collector 1 supersedes; the stale original
+        // is journaled too, but restore's epoch gate discards it again.
+        agg.ingest_frame(&snapshot_of(&c1, 1, 6)).unwrap();
+        agg.ingest_digest_batch(&batch_payload).unwrap();
+        // The duplicate is NOT journaled: replay is pre-deduplicated.
+        let ack = agg.ingest_digest_batch(&batch_payload).unwrap();
+        assert_eq!(ack.status, pint::wire::AckStatus::Duplicate);
+        agg.flush_store();
+    }
+    tear_tail(&path);
+
+    let reader = StoreReader::open(&path).unwrap();
+    let (mut restored, report) = FleetAggregator::restore(FleetConfig::default(), &reader).unwrap();
+    assert_eq!(report.checkpoints_applied, 3);
+    assert_eq!(report.deltas_primed, 1);
+    assert_eq!(restored.collector_epochs(), vec![(1, 6), (2, 3)]);
+
+    // The merged view equals a never-persisted aggregator's.
+    let mut direct = FleetAggregator::new(FleetConfig::default());
+    direct.ingest_frame(&snapshot_of(&c1, 1, 6)).unwrap();
+    direct.ingest_frame(&snapshot_of(&c2, 2, 3)).unwrap();
+    for plan in plans() {
+        assert_eq!(
+            restored.view().execute(&plan).unwrap().encode(),
+            direct.view().execute(&plan).unwrap().encode(),
+        );
+    }
+
+    // A forwarder retransmitting the pre-crash batch is absorbed.
+    let ack = restored.ingest_digest_batch(&batch_payload).unwrap();
+    assert_eq!(
+        ack.status,
+        pint::wire::AckStatus::Duplicate,
+        "restored dedup must recognize pre-crash seqs"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn forwarder_spill_persists_across_runs_and_resumes_with_exact_accounting() {
+    let spill_path = unique_path("spill");
+    let report = |pid: u64| DigestReport::new(pid % 3, pid, Digest::new(1), 3, pid);
+
+    // Reserve an address with no listener: run 1 faces a dead upstream.
+    let placeholder = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = placeholder.local_addr().unwrap();
+    drop(placeholder);
+
+    // Run 1: tiny queue, every push seals a batch; overflow spills to
+    // disk instead of shedding.
+    let spill = SpillQueue::open(&spill_path, 9).unwrap();
+    let fwd = DigestForwarder::connect_spilling(
+        addr,
+        ForwarderConfig {
+            source: 9,
+            batch_digests: 1,
+            queue_batches: 2,
+            retry_base: Duration::from_millis(5),
+            retry_max: Duration::from_millis(20),
+            ..ForwarderConfig::default()
+        },
+        MetricsRegistry::new(),
+        spill,
+    );
+    for pid in 0..20 {
+        fwd.push(report(pid));
+    }
+    let stats = fwd.shutdown(Duration::from_millis(100));
+    assert!(stats.accounted(), "{stats:?}");
+    assert_eq!(stats.sent, 20);
+    assert_eq!(stats.delivered, 0);
+    assert_eq!(stats.spilled, 18, "all but the queue-resident 2 spilled");
+    assert_eq!(stats.resumed, 0, "never connected, nothing resumed");
+    assert_eq!(
+        stats.shed, 20,
+        "per-run books close: spilled-but-persisted counts as shed"
+    );
+
+    // The spill file survives run 1 with the 18 displaced batches.
+    {
+        let q = SpillQueue::open(&spill_path, 9).unwrap();
+        assert_eq!(q.len(), 18);
+        assert_eq!(q.max_seq(), 18);
+    }
+
+    // Run 2: upstream is alive; a successor forwarder on the same
+    // spill file resumes the leftovers and ships fresh traffic, with
+    // fresh seqs numbered above everything ever spilled.
+    let applied = Arc::new(AtomicU64::new(0));
+    let sink = Arc::clone(&applied);
+    let server = DigestServer::bind(
+        "127.0.0.1:0",
+        DigestServerConfig::default(),
+        Box::new(move |_src, reports| {
+            sink.fetch_add(reports.len() as u64, Ordering::Relaxed);
+        }),
+    )
+    .unwrap();
+    let spill = SpillQueue::open(&spill_path, 9).unwrap();
+    let fwd = DigestForwarder::connect_spilling(
+        server.local_addr(),
+        ForwarderConfig {
+            source: 9,
+            batch_digests: 4,
+            queue_batches: 8,
+            ..ForwarderConfig::default()
+        },
+        MetricsRegistry::new(),
+        spill,
+    );
+    for pid in 100..110 {
+        fwd.push(report(pid));
+    }
+    let stats = fwd.shutdown(Duration::from_secs(10));
+    assert!(stats.accounted(), "{stats:?}");
+    assert_eq!(stats.resumed, 18, "every persisted leftover resumed");
+    assert_eq!(
+        stats.sent,
+        18 + 3,
+        "leftovers join this run's books + 3 fresh"
+    );
+    assert_eq!(stats.delivered + stats.deduped, 21, "{stats:?}");
+    assert_eq!(stats.shed, 0, "{stats:?}");
+    assert_eq!(stats.digests_delivered, 18 + 10);
+    assert_eq!(
+        applied.load(Ordering::Relaxed),
+        28,
+        "receiver applied the 18 persisted + 10 fresh digests exactly once"
+    );
+    let server_stats = server.shutdown();
+    assert_eq!(server_stats.digests, 28);
+    std::fs::remove_file(&spill_path).unwrap();
+}
