@@ -15,6 +15,7 @@ use pint_query::{
     QueryBackend, QueryError, QueryPlan, QueryResult, Selector, TableTotals, Watermark,
 };
 use pint_store::{Journal, Replayer, StoreReader};
+use pint_wire::store::CoveredSource;
 use pint_wire::WireDecode;
 use std::sync::atomic::AtomicU64;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
@@ -301,13 +302,23 @@ impl Collector {
 
     /// Journals a full-state checkpoint stamped `epoch` (monotonically
     /// increasing, caller-driven — every N seconds or every N applied
-    /// batches, whatever cadence fits). The snapshot drains the rings
-    /// first and its deltas were teed before the shards answered, so
-    /// the checkpoint's `covered` floors (computed writer-side) are
-    /// exactly the deltas it subsumes. `Ok(false)` when no store is
-    /// attached (or the journal already stopped).
+    /// batches, whatever cadence fits). Each shard reports the seq of
+    /// its last teed delta *in the same reply* as its rows, and that
+    /// explicit list rides the checkpoint as its `covered` coverage —
+    /// so the checkpoint claims exactly the deltas whose data its
+    /// snapshot holds. Deltas shards apply after answering stay
+    /// uncovered even when the journal writes them before the
+    /// checkpoint record dequeues; compaction keeps them and restore
+    /// replays them. `Ok(false)` when no store is attached (or the
+    /// journal already stopped).
     pub fn checkpoint(&self, epoch: u64) -> Result<bool, CollectorError> {
-        let snapshot = self.snapshot()?;
+        let shards = self.gather(&Selector::All, None)?;
+        let covered = shards
+            .iter()
+            .filter(|s| s.journal_seq > 0)
+            .map(|s| CoveredSource::floor_only(s.shard as u64, s.journal_seq))
+            .collect();
+        let snapshot = self.overlay(CollectorSnapshot::from_shards(shards));
         let guard = self.journal.lock().expect("journal slot");
         let Some(journal) = guard.as_ref() else {
             return Ok(false);
@@ -318,7 +329,7 @@ impl Collector {
             snapshot,
         }
         .to_frame_bytes();
-        Ok(journal.checkpoint(0, epoch, payload))
+        Ok(journal.checkpoint(0, epoch, payload, covered))
     }
 
     /// Blocks until every journaled record enqueued so far is written
@@ -339,8 +350,9 @@ impl Collector {
     ///   (pinned by `tests/persistence.rs`).
     /// * **Compacted log** — the delta chain no longer reaches the
     ///   origin, so the newest checkpoint decodes into a base overlay,
-    ///   the replay windows are primed with the checkpoint's `covered`
-    ///   floors, and only the uncovered tail replays. Reads then merge
+    ///   the replay windows are primed with the checkpoint's exact
+    ///   `covered` coverage, and only uncovered deltas replay. Reads
+    ///   then merge
     ///   base under live exactly like a `FleetView` merges two
     ///   collectors.
     ///
@@ -460,6 +472,16 @@ impl Collector {
     /// counts sum — the same associative fold `FleetView::merge` runs,
     /// so a compacted restore answers like the fleet merge of
     /// "checkpoint" and "replayed tail".
+    ///
+    /// Creation counters are reconciled: a flow present in both halves
+    /// was created once in the original history but counted by the
+    /// checkpoint *and* by the replay's fresh table, so the overlap is
+    /// subtracted from the concatenated `created` totals. Residual
+    /// drift remains for flows the replay created and then evicted
+    /// before this read (absent from the live rows, so the overlap is
+    /// invisible) — eviction counters likewise track this process's
+    /// history, not the pre-crash twin's, once replay-era evictions
+    /// differ.
     fn overlay(&self, live: CollectorSnapshot) -> CollectorSnapshot {
         let Some(base) = &self.base else { return live };
         let (live_flows, live_stats, live_ingested) = live.into_parts();
@@ -469,14 +491,29 @@ impl Collector {
         // fold merges base-then-live deterministically.
         all.sort_by_key(|&(f, _)| f);
         let mut merged: Vec<(FlowId, FlowSummary)> = Vec::with_capacity(all.len());
+        let mut rejoined = 0u64;
         for (flow, summary) in all {
             match merged.last_mut() {
-                Some((last, dst)) if *last == flow => dst.merge(summary),
+                Some((last, dst)) if *last == flow => {
+                    dst.merge(summary);
+                    rejoined += 1;
+                }
                 _ => merged.push((flow, summary)),
             }
         }
         let mut stats = base.shard_stats.clone();
         stats.extend(live_stats);
+        // Spread the double-count correction across the concatenated
+        // entries; only the summed totals are read downstream.
+        let mut excess = rejoined;
+        for s in stats.iter_mut().rev() {
+            let take = s.created.min(excess);
+            s.created -= take;
+            excess -= take;
+            if excess == 0 {
+                break;
+            }
+        }
         CollectorSnapshot::from_parts(merged, stats, base.ingested.saturating_add(live_ingested))
     }
 

@@ -809,6 +809,10 @@ impl ShardWorker {
             flows,
             table_stats: self.table.stats,
             ingested: self.stats.ingested.get(),
+            // Captured in the same reply as the rows: everything teed
+            // at or below this seq is in this snapshot, nothing above
+            // it is — the exact coverage a checkpoint may claim.
+            journal_seq: self.journal_seq,
         }
     }
 

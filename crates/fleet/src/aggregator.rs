@@ -11,7 +11,7 @@ use pint_core::DigestReport;
 use pint_obs::{FlightRecorder, Gauge, GaugeGroup, MetricsRegistry, TraceStage};
 use pint_query::{QueryError, QueryPlan, QueryResult, Selector, Watermark};
 use pint_store::{Journal, JournalSender, StoreReader};
-use pint_wire::store::StoreRecord;
+use pint_wire::store::{CoveredSource, StoreRecord};
 use pint_wire::SourceDedup;
 use pint_wire::{parse_frame, AckStatus, BatchAck, DigestBatch, FrameType, WireDecode, WireReader};
 use std::collections::BTreeMap;
@@ -216,10 +216,13 @@ impl FleetAggregator {
     /// same epoch gate as live ingestion (newest epoch per collector
     /// wins, stale records counted), and every delta record primes the
     /// per-source digest dedup — so forwarders that retransmit
-    /// unacked batches after the restart are acknowledged `Duplicate`
-    /// instead of double-applied. Checkpoint `covered` floors prime
-    /// dedup too, keeping the guarantee across compactions that
-    /// dropped the underlying delta records.
+    /// *applied* batches after the restart are acknowledged
+    /// `Duplicate` instead of double-applied, while a batch that was
+    /// lost in transit (a seq gap the dedup windows never observed)
+    /// stays fresh and its retransmission is applied. Checkpoint
+    /// `covered` entries prime dedup with the same exact state,
+    /// keeping both guarantees across compactions that dropped the
+    /// underlying delta records.
     ///
     /// Digest *contents* are not re-routed (the restored aggregator
     /// has no sink yet); to replay persisted digests into a collector,
@@ -244,11 +247,12 @@ impl FleetAggregator {
                     } else {
                         report.checkpoints_stale += 1;
                     }
-                    for &(source, seq) in &c.covered {
-                        agg.digest_dedup
-                            .entry(source)
-                            .or_default()
-                            .advance_floor(seq);
+                    // Exact priming: rebuild each window as it was at
+                    // checkpoint time. Seqs in transient gaps (lost
+                    // batches awaiting retransmission) were never
+                    // observed, so they stay fresh after restore.
+                    for cov in &c.covered {
+                        cov.prime(agg.digest_dedup.entry(cov.source).or_default());
                     }
                 }
                 StoreRecord::Delta { batch, .. } => {
@@ -485,11 +489,23 @@ impl FleetAggregator {
         }
         // Persist the applied snapshot (re-framed — only paid with a
         // store attached, and only for frames that pass the epoch
-        // gate). The journal stamps subsequent deltas with this epoch
-        // and derives the checkpoint's covered floors from the deltas
-        // already written.
+        // gate), carrying the exact dedup state at this moment as its
+        // coverage: every journaled delta so far was observed by these
+        // windows, and a seq the windows never saw (a batch lost in
+        // transit) stays uncovered, so its post-restore retransmission
+        // is still applied rather than dropped as a duplicate.
         if let Some(journal) = &self.journal {
-            journal.checkpoint(frame.collector_id, frame.epoch, frame.to_frame_bytes());
+            let covered = self
+                .digest_dedup
+                .iter()
+                .map(|(&source, dedup)| CoveredSource::from_dedup(source, dedup))
+                .collect();
+            journal.checkpoint(
+                frame.collector_id,
+                frame.epoch,
+                frame.to_frame_bytes(),
+                covered,
+            );
         }
         self.collectors.insert(
             frame.collector_id,
@@ -733,6 +749,7 @@ mod tests {
             )],
             table_stats: TableStats::default(),
             ingested: code_values.len() as u64,
+            journal_seq: 0,
         }])
     }
 
@@ -931,6 +948,7 @@ mod tests {
                 )],
                 table_stats: TableStats::default(),
                 ingested: 10,
+                journal_seq: 0,
             }])
         };
         let mut agg = FleetAggregator::new(FleetConfig {

@@ -484,6 +484,7 @@ mod tests {
                 )],
                 table_stats: TableStats::default(),
                 ingested: 100,
+                journal_seq: 0,
             }]),
         }
     }

@@ -281,6 +281,7 @@ mod tests {
             flows,
             table_stats: TableStats::default(),
             ingested: 0,
+            journal_seq: 0,
         }])
     }
 

@@ -8,9 +8,14 @@
 //! does, the same trade every overload path in the stack makes.
 //! Checkpoints and flushes ride the same FIFO queue, so a checkpoint
 //! always lands *after* every delta it covers (shards tee a batch
-//! before answering the snapshot query that feeds the checkpoint), and
-//! the writer derives each checkpoint's `covered` floors from the
-//! deltas it has already written.
+//! before answering the snapshot query that feeds the checkpoint).
+//! Each checkpoint carries an **explicit** `covered` list captured by
+//! its taker at snapshot time — never derived from the file, because
+//! deltas teed after the snapshot can be written before the checkpoint
+//! record dequeues, and those are not in the payload. The writer
+//! thread stamps every delta with the epoch of the last checkpoint it
+//! wrote, so epoch stamps are monotone with file order by
+//! construction.
 //!
 //! Self-telemetry (all in the registry handed to [`Journal::spawn`]):
 //!
@@ -25,7 +30,7 @@
 
 use crate::log::StoreWriter;
 use pint_obs::{Counter, Gauge, MetricsRegistry};
-use pint_wire::store::{CheckpointRecord, StoreRecord};
+use pint_wire::store::{CheckpointRecord, CoveredSource, StoreRecord};
 use pint_wire::DigestBatch;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -49,13 +54,13 @@ impl Default for JournalConfig {
 
 enum JournalMsg {
     Delta {
-        epoch: u64,
         batch: DigestBatch,
     },
     Checkpoint {
         source: u64,
         epoch: u64,
         payload: Vec<u8>,
+        covered: Vec<CoveredSource>,
     },
     Flush(SyncSender<()>),
     Stop,
@@ -67,21 +72,18 @@ enum JournalMsg {
 pub struct JournalSender {
     tx: SyncSender<JournalMsg>,
     pending: Arc<AtomicU64>,
-    epoch: Arc<AtomicU64>,
     depth: Gauge,
     dropped: Counter,
 }
 
 impl JournalSender {
-    /// Offers one applied batch to the journal, stamped with the
-    /// current epoch. Returns `false` (and counts the drop) when the
-    /// queue is full or the journal has stopped — the caller keeps
-    /// ingesting either way.
+    /// Offers one applied batch to the journal; the writer thread
+    /// stamps it with the epoch of the last checkpoint it wrote, so
+    /// stamps are monotone with file order. Returns `false` (and
+    /// counts the drop) when the queue is full or the journal has
+    /// stopped — the caller keeps ingesting either way.
     pub fn try_delta(&self, batch: DigestBatch) -> bool {
-        let msg = JournalMsg::Delta {
-            epoch: self.epoch.load(Ordering::Relaxed),
-            batch,
-        };
+        let msg = JournalMsg::Delta { batch };
         // Count the delta as pending *before* offering it: the worker
         // only decrements after receiving, so the counter never dips
         // below zero however the two threads interleave.
@@ -120,10 +122,11 @@ impl Journal {
         let (tx, rx) = sync_channel(config.queue_depth.max(1));
         let initial_floors = writer.delta_floors().clone();
         let pending = Arc::new(AtomicU64::new(0));
-        let epoch = Arc::new(AtomicU64::new(0));
+        let epoch = Arc::new(AtomicU64::new(writer.newest_checkpoint_epoch()));
         let depth = registry.gauge("store_journal_depth");
         let dropped = registry.counter("store_journal_dropped_total");
         let worker = Worker {
+            epoch: writer.newest_checkpoint_epoch(),
             writer,
             rx,
             pending: Arc::clone(&pending),
@@ -162,36 +165,40 @@ impl Journal {
         JournalSender {
             tx: self.tx.clone(),
             pending: Arc::clone(&self.pending),
-            epoch: Arc::clone(&self.epoch),
             depth: self.depth.clone(),
             dropped: self.dropped.clone(),
         }
     }
 
-    /// The epoch new deltas are stamped with.
+    /// The epoch of the newest checkpoint enqueued (deltas behind it in
+    /// the queue will be stamped with it once the writer passes it).
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Relaxed)
     }
 
-    /// Enqueues a full-state checkpoint and advances the delta epoch
-    /// stamp to `epoch`. Blocking (checkpoints are rare and must not
-    /// be shed); returns `false` only if the journal already stopped.
-    /// The writer computes the checkpoint's `covered` floors from the
-    /// deltas it has written — FIFO order makes that exactly the set
-    /// the snapshot subsumes.
-    pub fn checkpoint(&self, source: u64, epoch: u64, payload: Vec<u8>) -> bool {
-        let sent = self
-            .tx
+    /// Enqueues a full-state checkpoint carrying `covered`, the exact
+    /// per-source delta coverage the snapshot payload subsumes — the
+    /// caller captures it at snapshot time (shards report their teed
+    /// seq in the snapshot reply), so deltas applied after the snapshot
+    /// but written before this record are *not* claimed and survive
+    /// compaction. Blocking (checkpoints are rare and must not be
+    /// shed); returns `false` only if the journal already stopped.
+    pub fn checkpoint(
+        &self,
+        source: u64,
+        epoch: u64,
+        payload: Vec<u8>,
+        covered: Vec<CoveredSource>,
+    ) -> bool {
+        self.epoch.store(epoch, Ordering::Relaxed);
+        self.tx
             .send(JournalMsg::Checkpoint {
                 source,
                 epoch,
                 payload,
+                covered,
             })
-            .is_ok();
-        if sent {
-            self.epoch.store(epoch, Ordering::Relaxed);
-        }
-        sent
+            .is_ok()
     }
 
     /// Drains everything enqueued so far and syncs the file. Blocks
@@ -225,6 +232,9 @@ impl Drop for Journal {
 struct Worker {
     writer: StoreWriter,
     rx: Receiver<JournalMsg>,
+    /// Epoch of the last checkpoint this thread wrote — the stamp for
+    /// every delta, making stamps monotone with file order.
+    epoch: u64,
     pending: Arc<AtomicU64>,
     depth: Gauge,
     bytes: Counter,
@@ -237,25 +247,21 @@ impl Worker {
     fn run(mut self) -> StoreWriter {
         while let Ok(msg) = self.rx.recv() {
             match msg {
-                JournalMsg::Delta { epoch, batch } => {
+                JournalMsg::Delta { batch } => {
                     let d = self
                         .pending
                         .fetch_sub(1, Ordering::Relaxed)
                         .saturating_sub(1);
                     self.depth.set(d);
+                    let epoch = self.epoch;
                     self.append(&StoreRecord::Delta { epoch, batch });
                 }
                 JournalMsg::Checkpoint {
                     source,
                     epoch,
                     payload,
+                    covered,
                 } => {
-                    let covered = self
-                        .writer
-                        .delta_floors()
-                        .iter()
-                        .map(|(&s, &q)| (s, q))
-                        .collect();
                     let rec = StoreRecord::Checkpoint(CheckpointRecord {
                         source,
                         epoch,
@@ -265,6 +271,11 @@ impl Worker {
                     if self.append(&rec) {
                         self.checkpoints.inc();
                     }
+                    // Deltas behind this point in the queue were teed
+                    // under the new epoch (or later); stamp them with
+                    // it even if the append itself failed, so stamps
+                    // stay monotone.
+                    self.epoch = epoch;
                 }
                 JournalMsg::Flush(ack) => {
                     if self.writer.sync().is_err() {
@@ -332,7 +343,13 @@ mod tests {
         for seq in 1..=5u64 {
             assert!(sender.try_delta(batch(2, seq)));
         }
-        assert!(journal.checkpoint(0, 1, vec![0xAA; 16]));
+        // The covered list is the caller's, captured at snapshot time:
+        // claim only seqs 1..=4 even though 5 deltas are queued — the
+        // writer must persist it verbatim, never re-derive it from the
+        // deltas it happens to have written when the record dequeues.
+        let covered = vec![CoveredSource::floor_only(2, 4)];
+        assert!(journal.checkpoint(0, 1, vec![0xAA; 16], covered.clone()));
+        assert_eq!(journal.epoch(), 1);
         // Deltas after the checkpoint carry the advanced epoch stamp.
         assert!(sender.try_delta(batch(2, 6)));
         journal.flush();
@@ -354,7 +371,7 @@ mod tests {
         let ck = r.newest_checkpoint().unwrap();
         match &r.records()[ck] {
             StoreRecord::Checkpoint(c) => {
-                assert_eq!(c.covered, vec![(2, 5)], "floors from written deltas");
+                assert_eq!(c.covered, covered, "caller's covered list, verbatim");
                 assert_eq!(c.epoch, 1);
             }
             _ => unreachable!(),
@@ -366,6 +383,9 @@ mod tests {
             }
             _ => unreachable!(),
         }
+        // Writer-side stamping: epochs are monotone with file order.
+        let epochs: Vec<u64> = r.records().iter().map(StoreRecord::epoch).collect();
+        assert!(epochs.windows(2).all(|w| w[0] <= w[1]), "{epochs:?}");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -27,8 +27,10 @@
 //!   batches through a cloneable [`JournalSender`] whose `try_delta`
 //!   never blocks (a full queue drops and counts instead), a dedicated
 //!   thread owns the `StoreWriter`, and checkpoints ride the same FIFO
-//!   so their `covered` floors are exact. All drops, bytes, depths,
-//!   and compactions are `pint-obs` metrics.
+//!   carrying the exact coverage their taker captured at snapshot
+//!   time (deltas teed after the snapshot stay uncovered and survive
+//!   compaction). All drops, bytes, depths, and compactions are
+//!   `pint-obs` metrics.
 //! * [`Replayer`] — streams a persisted log back through any
 //!   `FnMut(source, reports)` sink (a `CollectorHandle`, a bench
 //!   harness) at full speed or virtual-clock pace, deduplicating

@@ -224,6 +224,20 @@ impl StoreReader {
     }
 }
 
+/// Compaction index entry for one record.
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    /// Offset of the record's 8-byte frame header.
+    offset: u64,
+    /// Checkpoint vs delta.
+    is_checkpoint: bool,
+    /// Checkpoint source / delta batch source.
+    source: u64,
+    /// Delta batch seq (0 for checkpoints) — compaction checks it
+    /// against the newest checkpoint's coverage before dropping.
+    seq: u64,
+}
+
 /// Appends records to a store file; recovers torn tails on open and
 /// compacts when over budget.
 pub struct StoreWriter {
@@ -235,12 +249,16 @@ pub struct StoreWriter {
     len: u64,
     /// Offset right past the superblock frame (reset target).
     data_start: u64,
-    /// Compaction index: `(offset, is_checkpoint, source)` per record.
-    index: Vec<(u64, bool, u64)>,
-    /// Cumulative per-source delta seq floors: the highest delta seq
-    /// ever journaled per source, surviving compaction — this is what
-    /// a checkpoint's `covered` list is built from.
+    /// Compaction index, parallel to the file's records.
+    index: Vec<IndexEntry>,
+    /// Cumulative per-source delta seq high-water marks: the highest
+    /// delta seq ever journaled (or claimed covered by a checkpoint)
+    /// per source, surviving compaction — what a re-attaching producer
+    /// numbers its fresh deltas above.
     floors: BTreeMap<u64, u64>,
+    /// Epoch of the newest checkpoint record in the file (0 if none):
+    /// the journal writer seeds its delta epoch stamp from this.
+    newest_checkpoint_epoch: u64,
     /// Scratch encode buffer, reused across appends.
     buf: Vec<u8>,
 }
@@ -274,6 +292,7 @@ impl StoreWriter {
             data_start: len,
             index: Vec::new(),
             floors: BTreeMap::new(),
+            newest_checkpoint_epoch: 0,
             buf,
         })
     }
@@ -308,19 +327,31 @@ impl StoreWriter {
         };
         let mut index = Vec::with_capacity(records.len());
         let mut floors: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut newest_checkpoint_epoch = 0u64;
         for (rec, span) in &records {
             match rec {
                 StoreRecord::Delta { batch, .. } => {
                     let f = floors.entry(batch.source).or_insert(0);
                     *f = (*f).max(batch.seq);
-                    index.push((span.offset, false, batch.source));
+                    index.push(IndexEntry {
+                        offset: span.offset,
+                        is_checkpoint: false,
+                        source: batch.source,
+                        seq: batch.seq,
+                    });
                 }
                 StoreRecord::Checkpoint(c) => {
-                    for &(src, seq) in &c.covered {
-                        let f = floors.entry(src).or_insert(0);
-                        *f = (*f).max(seq);
+                    for cov in &c.covered {
+                        let f = floors.entry(cov.source).or_insert(0);
+                        *f = (*f).max(cov.max_seq());
                     }
-                    index.push((span.offset, true, c.source));
+                    newest_checkpoint_epoch = c.epoch;
+                    index.push(IndexEntry {
+                        offset: span.offset,
+                        is_checkpoint: true,
+                        source: c.source,
+                        seq: 0,
+                    });
                 }
             }
         }
@@ -334,6 +365,7 @@ impl StoreWriter {
                 data_start,
                 index,
                 floors,
+                newest_checkpoint_epoch,
                 buf: Vec::new(),
             },
             tail,
@@ -366,10 +398,19 @@ impl StoreWriter {
         self.data_start
     }
 
-    /// The cumulative per-source delta seq floors — what a checkpoint
-    /// appended *now* covers.
+    /// The cumulative per-source delta seq high-water marks: the
+    /// highest seq ever journaled (or claimed covered by a checkpoint)
+    /// per source. A producer re-attaching after a restart numbers its
+    /// fresh deltas above these. *Not* checkpoint coverage — a
+    /// checkpoint's `covered` list is captured by its taker at snapshot
+    /// time, never derived from the file.
     pub fn delta_floors(&self) -> &BTreeMap<u64, u64> {
         &self.floors
+    }
+
+    /// Epoch of the newest checkpoint record in the file (0 if none).
+    pub fn newest_checkpoint_epoch(&self) -> u64 {
+        self.newest_checkpoint_epoch
     }
 
     /// Appends one record (buffered single `write_all`, so a crash can
@@ -398,14 +439,25 @@ impl StoreWriter {
             StoreRecord::Delta { batch, .. } => {
                 let f = self.floors.entry(batch.source).or_insert(0);
                 *f = (*f).max(batch.seq);
-                self.index.push((offset, false, batch.source));
+                self.index.push(IndexEntry {
+                    offset,
+                    is_checkpoint: false,
+                    source: batch.source,
+                    seq: batch.seq,
+                });
             }
             StoreRecord::Checkpoint(c) => {
-                for &(src, seq) in &c.covered {
-                    let f = self.floors.entry(src).or_insert(0);
-                    *f = (*f).max(seq);
+                for cov in &c.covered {
+                    let f = self.floors.entry(cov.source).or_insert(0);
+                    *f = (*f).max(cov.max_seq());
                 }
-                self.index.push((offset, true, c.source));
+                self.newest_checkpoint_epoch = c.epoch;
+                self.index.push(IndexEntry {
+                    offset,
+                    is_checkpoint: true,
+                    source: c.source,
+                    seq: 0,
+                });
             }
         }
         let compacted = self.maybe_compact()?;
@@ -442,32 +494,23 @@ impl StoreWriter {
         }
     }
 
-    /// Rewrites the log keeping only the newest checkpoint per source
-    /// plus every record written after the globally newest checkpoint.
-    /// No checkpoint → nothing is safely droppable → no-op. Returns
-    /// whether a rewrite happened.
+    /// Rewrites the log keeping the newest checkpoint per source, every
+    /// record written after the globally newest checkpoint, and every
+    /// earlier delta the newest checkpoint's coverage does *not* claim
+    /// (a delta can land in the file between a snapshot and its
+    /// checkpoint record — its data is not in the payload, so dropping
+    /// it would lose digests). No checkpoint → nothing is safely
+    /// droppable → no-op. Returns whether a rewrite happened.
     pub fn compact(&mut self) -> Result<bool, StoreError> {
         // Newest checkpoint per source, and the globally newest one.
-        let global = match self.index.iter().rposition(|&(_, ck, _)| ck) {
+        let global = match self.index.iter().rposition(|e| e.is_checkpoint) {
             Some(i) => i,
             None => return Ok(false),
         };
-        let mut keep = vec![false; self.index.len()];
-        let mut seen_sources = std::collections::BTreeSet::new();
-        for i in (0..self.index.len()).rev() {
-            let (_, is_ckpt, source) = self.index[i];
-            if i > global || (is_ckpt && seen_sources.insert(source)) {
-                keep[i] = true;
-            }
-        }
-        keep[global] = true;
-        if keep.iter().all(|&k| k) {
-            return Ok(false); // nothing to drop
-        }
 
-        // Re-read the file and copy kept records' raw frames verbatim
-        // (their CRCs are already computed) into a tmp file, then
-        // atomically swap it in.
+        // Re-read the file up front: the keep decision needs the newest
+        // checkpoint's coverage decoded, and kept records' raw frames
+        // are copied verbatim (their CRCs are already computed).
         let bytes = {
             let mut v = Vec::with_capacity(self.len as usize);
             self.file.seek(SeekFrom::Start(0))?;
@@ -475,6 +518,34 @@ impl StoreWriter {
             v.truncate(self.len as usize);
             v
         };
+        let covered = {
+            let off = self.index[global].offset as usize;
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+            match StoreRecord::decode(&bytes[off + RECORD_HEADER..off + RECORD_HEADER + len]) {
+                Ok(StoreRecord::Checkpoint(c)) => c.covered,
+                // Unreachable for a file this writer scanned/appended;
+                // claim no coverage, which keeps every delta (safe).
+                _ => Vec::new(),
+            }
+        };
+        let covers =
+            |source: u64, seq: u64| covered.iter().any(|c| c.source == source && c.covers(seq));
+
+        let mut keep = vec![false; self.index.len()];
+        let mut seen_sources = std::collections::BTreeSet::new();
+        for i in (0..self.index.len()).rev() {
+            let e = self.index[i];
+            if i > global
+                || (e.is_checkpoint && seen_sources.insert(e.source))
+                || (!e.is_checkpoint && !covers(e.source, e.seq))
+            {
+                keep[i] = true;
+            }
+        }
+        keep[global] = true;
+        if keep.iter().all(|&k| k) {
+            return Ok(false); // nothing to drop
+        }
         let mut sb = self.superblock.clone();
         sb.compactions += 1;
         let mut out = Vec::with_capacity(bytes.len() / 2);
@@ -482,13 +553,16 @@ impl StoreWriter {
         frame_into_buf(&sb, &mut out);
         let new_data_start = out.len() as u64;
         let mut new_index = Vec::new();
-        for (i, &(offset, is_ckpt, source)) in self.index.iter().enumerate() {
+        for (i, e) in self.index.iter().enumerate() {
             if !keep[i] {
                 continue;
             }
-            let off = offset as usize;
+            let off = e.offset as usize;
             let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
-            new_index.push((out.len() as u64, is_ckpt, source));
+            new_index.push(IndexEntry {
+                offset: out.len() as u64,
+                ..*e
+            });
             out.extend_from_slice(&bytes[off..off + RECORD_HEADER + len]);
         }
 
@@ -538,7 +612,7 @@ pub fn open_kind(path: impl AsRef<Path>, expected: StoreKind) -> Result<StoreRea
 mod tests {
     use super::*;
     use pint_core::{Digest, DigestReport};
-    use pint_wire::store::CheckpointRecord;
+    use pint_wire::store::{CheckpointRecord, CoveredSource};
     use pint_wire::DigestBatch;
 
     fn delta(source: u64, seq: u64, n: usize) -> StoreRecord {
@@ -560,7 +634,7 @@ mod tests {
         }
     }
 
-    fn checkpoint(source: u64, epoch: u64, covered: Vec<(u64, u64)>) -> StoreRecord {
+    fn checkpoint(source: u64, epoch: u64, covered: Vec<CoveredSource>) -> StoreRecord {
         StoreRecord::Checkpoint(CheckpointRecord {
             source,
             epoch,
@@ -582,7 +656,7 @@ mod tests {
         let mut w = StoreWriter::create(&path, sb.clone(), StoreOptions::default()).unwrap();
         let recs = vec![
             delta(0, 1, 3),
-            checkpoint(0, 1, vec![(0, 1)]),
+            checkpoint(0, 1, vec![CoveredSource::floor_only(0, 1)]),
             delta(0, 2, 2),
         ];
         for r in &recs {
@@ -741,7 +815,7 @@ mod tests {
                 compactions += 1;
             }
             if seq % 5 == 0 {
-                let covered = vec![(0u64, seq)];
+                let covered = vec![CoveredSource::floor_only(0, seq)];
                 if w.append(&checkpoint(0, seq, covered)).unwrap().compacted {
                     compactions += 1;
                 }
@@ -767,6 +841,60 @@ mod tests {
             .map(StoreRecord::epoch)
             .collect();
         assert!(tail_epochs.is_empty() || tail_epochs.iter().all(|&e| e > 15));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_keeps_deltas_the_checkpoint_does_not_cover() {
+        // A delta can land in the file *before* the checkpoint record
+        // yet after the snapshot it persists (the snapshot/append race
+        // the explicit covered list exists for). Compaction must keep
+        // any delta the checkpoint's coverage does not claim, wherever
+        // it sits in the file.
+        let path = tmp("uncovered");
+        let mut w = StoreWriter::create(
+            &path,
+            Superblock::new(StoreKind::Collector, 1, 0),
+            StoreOptions::default(),
+        )
+        .unwrap();
+        for seq in 1..=5u64 {
+            w.append(&delta(0, seq, 2)).unwrap();
+        }
+        // The checkpoint only covers seqs 1..=3 (and out-of-order 5):
+        // delta 4 was applied after the snapshot.
+        w.append(&checkpoint(
+            0,
+            9,
+            vec![CoveredSource {
+                source: 0,
+                floor: 3,
+                above: vec![5],
+            }],
+        ))
+        .unwrap();
+        w.append(&delta(0, 6, 2)).unwrap();
+        assert!(w.compact().unwrap(), "covered deltas were droppable");
+        drop(w);
+
+        let r = StoreReader::open(&path).unwrap();
+        assert!(r.is_compacted());
+        let mut delta_seqs: Vec<u64> = r
+            .records()
+            .iter()
+            .filter_map(|rec| match rec {
+                StoreRecord::Delta { batch, .. } => Some(batch.seq),
+                _ => None,
+            })
+            .collect();
+        delta_seqs.sort_unstable();
+        assert_eq!(
+            delta_seqs,
+            vec![4, 6],
+            "uncovered pre-checkpoint delta survives, covered ones drop"
+        );
+        // File order is preserved: kept delta 4, checkpoint, delta 6.
+        assert_eq!(r.newest_checkpoint(), Some(1));
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -17,7 +17,7 @@
 use crate::log::StoreReader;
 use pint_core::DigestReport;
 use pint_obs::{Counter, MetricsRegistry, VirtualClock};
-use pint_wire::store::StoreRecord;
+use pint_wire::store::{CoveredSource, StoreRecord};
 use pint_wire::SourceDedup;
 use std::collections::BTreeMap;
 
@@ -40,8 +40,8 @@ pub struct ReplayStats {
 pub struct Replayer<'a> {
     reader: &'a StoreReader,
     replayed: Option<Counter>,
-    /// `(source, seq)` floors to prime the dedup windows with.
-    floors: Vec<(u64, u64)>,
+    /// Exact per-source coverage to prime the dedup windows with.
+    covered: Vec<CoveredSource>,
 }
 
 impl<'a> Replayer<'a> {
@@ -50,7 +50,7 @@ impl<'a> Replayer<'a> {
         Self {
             reader,
             replayed: None,
-            floors: Vec::new(),
+            covered: Vec::new(),
         }
     }
 
@@ -61,13 +61,14 @@ impl<'a> Replayer<'a> {
         self
     }
 
-    /// Primes each source's dedup window to `covered` floors — deltas
-    /// at or below a floor replay as duplicates. A restore that seeds
-    /// state from a checkpoint passes the checkpoint's `covered` list
-    /// here, so only the tail the checkpoint does not subsume streams
-    /// through the sink.
-    pub fn primed(mut self, covered: &[(u64, u64)]) -> Self {
-        self.floors = covered.to_vec();
+    /// Primes each source's dedup window to exactly `covered` — deltas
+    /// the coverage claims replay as duplicates, everything else
+    /// (including seqs in gaps the coverage never saw) still streams.
+    /// A restore that seeds state from a checkpoint passes the
+    /// checkpoint's `covered` list here, so only what the checkpoint
+    /// does not subsume reaches the sink.
+    pub fn primed(mut self, covered: &[CoveredSource]) -> Self {
+        self.covered = covered.to_vec();
         self
     }
 
@@ -95,8 +96,8 @@ impl<'a> Replayer<'a> {
     ) -> ReplayStats {
         let mut stats = ReplayStats::default();
         let mut dedup: BTreeMap<u64, SourceDedup> = BTreeMap::new();
-        for &(source, seq) in &self.floors {
-            dedup.entry(source).or_default().advance_floor(seq);
+        for cov in &self.covered {
+            cov.prime(dedup.entry(cov.source).or_default());
         }
         for record in self.reader.records() {
             match record {

@@ -205,6 +205,14 @@ impl SourceDedup {
         self.above.len()
     }
 
+    /// The out-of-order seqs above the floor, ascending. Together with
+    /// [`floor`](Self::floor) this is the window's *exact* state — what
+    /// a checkpoint persists so a restore can rebuild the window
+    /// without covering gaps that were never seen.
+    pub fn seen_above(&self) -> impl Iterator<Item = u64> + '_ {
+        self.above.iter().copied()
+    }
+
     /// Raises the floor to at least `seq` (no-op when already past
     /// it), compacting any remembered seqs the new floor swallows.
     /// Restore paths use this to prime the window from a checkpoint's

@@ -110,7 +110,8 @@ pub use frame::{
 pub use metrics::{MetricsMsg, MetricsReport, MetricsRequest, MAX_METRIC_NAME};
 pub use rw::{WireReader, WireWriter};
 pub use store::{
-    crc32, CheckpointRecord, StoreKind, StoreRecord, Superblock, STORE_MAGIC, STORE_VERSION,
+    crc32, CheckpointRecord, CoveredSource, StoreKind, StoreRecord, Superblock, STORE_MAGIC,
+    STORE_VERSION,
 };
 pub use trace::{TraceMsg, TraceReport, TraceRequest, MAX_TRACE_EVENTS};
 

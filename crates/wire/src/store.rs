@@ -40,7 +40,7 @@
 //!   codecs live above this crate (`pint-collector`); the store only
 //!   needs to carry and checksum them.
 
-use crate::batch::DigestBatch;
+use crate::batch::{DigestBatch, SourceDedup};
 use crate::error::WireError;
 use crate::rw::{WireReader, WireWriter};
 use crate::{WireDecode, WireEncode};
@@ -145,6 +145,68 @@ impl WireDecode for Superblock {
     }
 }
 
+/// Exact delta coverage a checkpoint claims for one source: a
+/// serialized [`SourceDedup`] window.
+///
+/// The split between `floor` and `above` matters: a forwarder's stream
+/// can have *permanent* gaps (shed batches) and *transient* ones (a
+/// batch lost in transit that the at-least-once protocol will
+/// retransmit). Coverage must say exactly which seqs the checkpoint's
+/// payload contains — a plain "highest seq" floor would swallow
+/// transient gaps, and a post-restore retransmission of a never-applied
+/// batch would dedup as a duplicate and its digests would be lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoveredSource {
+    /// The delta source (ingest shard index, forwarder source id, …).
+    pub source: u64,
+    /// Every seq at or below this is contained in the checkpoint.
+    pub floor: u64,
+    /// Out-of-order seqs above the floor also contained (ascending).
+    pub above: Vec<u64>,
+}
+
+impl CoveredSource {
+    /// Gap-free coverage: seqs `1..=floor` and nothing above. Right for
+    /// sources whose delta seqs are assigned contiguously by the writer
+    /// itself (a collector's ingest shards).
+    pub fn floor_only(source: u64, floor: u64) -> Self {
+        Self {
+            source,
+            floor,
+            above: Vec::new(),
+        }
+    }
+
+    /// Captures a dedup window's exact state as coverage.
+    pub fn from_dedup(source: u64, dedup: &SourceDedup) -> Self {
+        Self {
+            source,
+            floor: dedup.floor(),
+            above: dedup.seen_above().collect(),
+        }
+    }
+
+    /// Whether `seq` is contained in this coverage.
+    pub fn covers(&self, seq: u64) -> bool {
+        seq <= self.floor || self.above.binary_search(&seq).is_ok()
+    }
+
+    /// Primes a dedup window to exactly this coverage: seqs covered
+    /// here dedup as duplicates, every other seq (including gaps below
+    /// the highest covered one) stays fresh.
+    pub fn prime(&self, dedup: &mut SourceDedup) {
+        dedup.advance_floor(self.floor);
+        for &seq in &self.above {
+            dedup.observe(seq);
+        }
+    }
+
+    /// The highest seq this coverage contains.
+    pub fn max_seq(&self) -> u64 {
+        self.above.last().copied().unwrap_or(self.floor)
+    }
+}
+
 /// A full-state checkpoint: an opaque snapshot payload plus the
 /// per-source delta coverage it subsumes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -154,12 +216,14 @@ pub struct CheckpointRecord {
     pub source: u64,
     /// The epoch the checkpoint was taken at.
     pub epoch: u64,
-    /// `(delta source, highest seq)` pairs this checkpoint covers: a
-    /// restore seeding from this checkpoint primes its
-    /// [`SourceDedup`](crate::SourceDedup) floors with these, so
-    /// deltas the snapshot already contains are recognized as
-    /// duplicates instead of double-applied.
-    pub covered: Vec<(u64, u64)>,
+    /// Exact per-source coverage, captured by the checkpoint *taker* at
+    /// snapshot time (not derived by the log writer — deltas can land
+    /// in the file between the snapshot and this record, and those are
+    /// deliberately not covered). A restore seeding from this
+    /// checkpoint primes its [`SourceDedup`] windows with these, so
+    /// deltas the snapshot already contains dedup as duplicates instead
+    /// of double-applying, while uncovered deltas still replay.
+    pub covered: Vec<CoveredSource>,
     /// The encoded snapshot (opaque at this layer; the tier that wrote
     /// it owns the codec).
     pub payload: Vec<u8>,
@@ -207,9 +271,13 @@ impl WireEncode for StoreRecord {
                 w.put_varint(c.source);
                 w.put_varint(c.epoch);
                 w.put_varint(c.covered.len() as u64);
-                for &(src, seq) in &c.covered {
-                    w.put_varint(src);
-                    w.put_varint(seq);
+                for cov in &c.covered {
+                    w.put_varint(cov.source);
+                    w.put_varint(cov.floor);
+                    w.put_varint(cov.above.len() as u64);
+                    for &seq in &cov.above {
+                        w.put_varint(seq);
+                    }
                 }
                 w.put_varint(c.payload.len() as u64);
                 w.put_bytes(&c.payload);
@@ -229,14 +297,29 @@ impl WireDecode for StoreRecord {
             RECORD_CHECKPOINT => {
                 let source = r.get_varint()?;
                 let epoch = r.get_varint()?;
-                // Each covered pair is at least 2 bytes; reject counts
-                // the remaining input cannot back before allocating.
-                let n = r.get_count(2)?;
+                // Each covered entry is at least 3 bytes (source +
+                // floor + above count); reject counts the remaining
+                // input cannot back before allocating.
+                let n = r.get_count(3)?;
                 let mut covered = Vec::with_capacity(n);
                 for _ in 0..n {
-                    let src = r.get_varint()?;
-                    let seq = r.get_varint()?;
-                    covered.push((src, seq));
+                    let source = r.get_varint()?;
+                    let floor = r.get_varint()?;
+                    let n_above = r.get_count(1)?;
+                    let mut above = Vec::with_capacity(n_above);
+                    for _ in 0..n_above {
+                        above.push(r.get_varint()?);
+                    }
+                    // Encoders emit ascending seqs (BTreeSet order);
+                    // normalize anyway so `covers`' binary search is
+                    // sound on arbitrary CRC-valid bytes.
+                    above.sort_unstable();
+                    above.dedup();
+                    covered.push(CoveredSource {
+                        source,
+                        floor,
+                        above,
+                    });
                 }
                 let len = r.get_count(1)?;
                 let payload = r.get_bytes(len)?.to_vec();
@@ -344,7 +427,14 @@ mod tests {
         let ckpt = StoreRecord::Checkpoint(CheckpointRecord {
             source: 3,
             epoch: 8,
-            covered: vec![(0, 17), (1, 4)],
+            covered: vec![
+                CoveredSource {
+                    source: 0,
+                    floor: 17,
+                    above: vec![20, 23],
+                },
+                CoveredSource::floor_only(1, 4),
+            ],
             payload: vec![0xAB; 100],
         });
         assert_eq!(StoreRecord::decode(&ckpt.encode()).unwrap(), ckpt);
@@ -353,11 +443,43 @@ mod tests {
     }
 
     #[test]
+    fn covered_source_tracks_exact_dedup_state() {
+        let mut d = SourceDedup::new();
+        for seq in [1u64, 2, 3, 5, 9] {
+            assert!(d.observe(seq));
+        }
+        let cov = CoveredSource::from_dedup(7, &d);
+        assert_eq!(cov.source, 7);
+        assert_eq!(cov.floor, 3);
+        assert_eq!(cov.above, vec![5, 9]);
+        assert_eq!(cov.max_seq(), 9);
+        for seq in [1u64, 3, 5, 9] {
+            assert!(cov.covers(seq));
+        }
+        for seq in [4u64, 6, 7, 8, 10] {
+            assert!(!cov.covers(seq), "gap seq {seq} must stay uncovered");
+        }
+
+        // Priming a fresh window reproduces the window exactly: the
+        // transient gaps (4, 6–8) stay fresh, covered seqs dedup.
+        let mut primed = SourceDedup::new();
+        cov.prime(&mut primed);
+        assert!(!primed.observe(3), "covered seq dedups");
+        assert!(!primed.observe(9), "covered out-of-order seq dedups");
+        assert!(primed.observe(4), "gap below max stays fresh");
+        assert!(primed.observe(6), "gap below max stays fresh");
+    }
+
+    #[test]
     fn truncated_and_flipped_records_never_panic() {
         let good = StoreRecord::Checkpoint(CheckpointRecord {
             source: 1,
             epoch: 2,
-            covered: vec![(4, 9)],
+            covered: vec![CoveredSource {
+                source: 4,
+                floor: 9,
+                above: vec![12],
+            }],
             payload: vec![1, 2, 3],
         })
         .encode();
@@ -388,6 +510,23 @@ mod tests {
             w.put_varint(0); // source
             w.put_varint(0); // epoch
             w.put_varint(1 << 60); // covered count
+        }
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(matches!(
+            StoreRecord::decode(&bytes),
+            Err(WireError::CountTooLarge { .. })
+        ));
+
+        // One covered entry declaring 2^50 above-seqs backed by 4 bytes.
+        let mut bytes = vec![RECORD_CHECKPOINT];
+        {
+            let mut w = WireWriter::new(&mut bytes);
+            w.put_varint(0); // source
+            w.put_varint(0); // epoch
+            w.put_varint(1); // covered count
+            w.put_varint(3); // entry source
+            w.put_varint(5); // entry floor
+            w.put_varint(1 << 50); // above count
         }
         bytes.extend_from_slice(&[0, 0, 0, 0]);
         assert!(matches!(

@@ -319,7 +319,10 @@ fn store_image(seed: u64, deltas: usize) -> Vec<u8> {
         .append(&StoreRecord::Checkpoint(CheckpointRecord {
             source: 0,
             epoch: deltas as u64,
-            covered: vec![(0, deltas as u64)],
+            covered: vec![pint::wire::store::CoveredSource::floor_only(
+                0,
+                deltas as u64,
+            )],
             payload: (0..rng.gen_range(1..64u8)).collect(),
         }))
         .unwrap();
@@ -456,6 +459,7 @@ fn snapshot_frame_rejects_future_versions_and_garbage() {
             )],
             table_stats: Default::default(),
             ingested: 4,
+            journal_seq: 0,
         }]),
     };
     let good = frame.to_frame_bytes();
